@@ -1,0 +1,147 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw::bench {
+
+/// A dataset with its baseline (row-wise, original order) A² time.
+struct SuiteEntry {
+  std::string name;
+  Csr matrix;
+  double baseline_seconds = 0;
+};
+
+/// Build + baseline-time every selected suite dataset. `names` empty = full
+/// registry. Prints progress because the full suite takes a while.
+inline std::vector<SuiteEntry> load_suite(const RunConfig& cfg,
+                                          const std::vector<std::string>& names = {}) {
+  std::vector<std::string> wanted = names;
+  if (wanted.empty()) {
+    for (const auto& spec : suite_specs()) wanted.push_back(spec.name);
+  }
+  std::vector<SuiteEntry> out;
+  for (const std::string& name : wanted) {
+    if (!dataset_selected(cfg, name)) continue;
+    SuiteEntry e;
+    e.name = name;
+    e.matrix = make_dataset(name, cfg.scale);
+    e.baseline_seconds = time_rowwise_square(e.matrix, cfg);
+    std::fprintf(stderr, "  [suite] %-22s n=%-8d nnz=%-10lld baseline %8.2f ms\n",
+                 name.c_str(), e.matrix.nrows(),
+                 static_cast<long long>(e.matrix.nnz()),
+                 e.baseline_seconds * 1e3);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+inline void print_banner(const char* experiment, const char* paper_ref,
+                         const RunConfig& cfg) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("suite scale: %s, reps: %d (set CW_SUITE / CW_REPS / CW_DATASETS)\n\n",
+              to_string(cfg.scale), cfg.reps);
+}
+
+/// Reordering cache: the expensive orders (HP/GP/ND/AMD) are shared between
+/// the row-wise / fixed / variable variants of the same bench binary instead
+/// of being recomputed per variant.
+struct CachedReorder {
+  Permutation order;
+  double seconds = 0;
+};
+
+inline const CachedReorder& reorder_cached(const std::string& dataset,
+                                           const Csr& a, ReorderAlgo algo) {
+  static std::map<std::pair<std::string, ReorderAlgo>, CachedReorder> cache;
+  const auto key = std::make_pair(dataset, algo);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  // Second-level disk cache shared between bench binaries (an ordering is
+  // deterministic in (dataset, algo, suite scale), so recomputing it per
+  // binary only wastes time). Format: seconds, n, then the order vector.
+  const std::string dir = ".cwcache";
+  const std::string path = dir + "/" + dataset + "-" + to_string(algo) + "-" +
+                           std::to_string(a.nrows()) + ".order";
+  CachedReorder entry;
+  if (FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::uint64_t n = 0;
+    if (std::fread(&entry.seconds, sizeof entry.seconds, 1, f) == 1 &&
+        std::fread(&n, sizeof n, 1, f) == 1 &&
+        n == static_cast<std::uint64_t>(a.nrows())) {
+      entry.order.resize(n);
+      if (std::fread(entry.order.data(), sizeof(index_t), n, f) == n &&
+          is_permutation(entry.order, a.nrows())) {
+        std::fclose(f);
+        return cache.emplace(key, std::move(entry)).first->second;
+      }
+    }
+    std::fclose(f);
+    entry = CachedReorder{};
+  }
+
+  Timer t;
+  entry.order = reorder(a, algo);
+  entry.seconds = t.seconds();
+#ifdef _WIN32
+#else
+  (void)std::system(("mkdir -p " + dir).c_str());
+#endif
+  if (FILE* f = std::fopen(path.c_str(), "wb")) {
+    const auto n = static_cast<std::uint64_t>(entry.order.size());
+    std::fwrite(&entry.seconds, sizeof entry.seconds, 1, f);
+    std::fwrite(&n, sizeof n, 1, f);
+    std::fwrite(entry.order.data(), sizeof(index_t), entry.order.size(), f);
+    std::fclose(f);
+  }
+  return cache.emplace(key, std::move(entry)).first->second;
+}
+
+/// One (dataset × reordering × clustering) measurement against the cached
+/// row-wise/original baseline.
+struct VariantResult {
+  double kernel_seconds = 0;
+  double preprocess_seconds = 0;  // reorder + clustering + format build
+  double speedup = 0;
+  PipelineStats stats;
+  [[nodiscard]] double amortization_iters(double baseline_seconds) const {
+    const double gain = baseline_seconds - kernel_seconds;
+    return gain > 0 ? preprocess_seconds / gain : 1e18;
+  }
+};
+
+inline VariantResult run_variant(const SuiteEntry& e, ReorderAlgo algo,
+                                 ClusterScheme scheme, const RunConfig& cfg) {
+  VariantResult r;
+  PipelineOptions opt;
+  opt.scheme = scheme;
+  double reorder_seconds = 0;
+  const Csr* matrix = &e.matrix;
+  Csr permuted;
+  if (algo != ReorderAlgo::kOriginal) {
+    const CachedReorder& cached = reorder_cached(e.name, e.matrix, algo);
+    reorder_seconds = cached.seconds;
+    permuted = e.matrix.permute_symmetric(cached.order);
+    matrix = &permuted;
+  }
+  Pipeline pipeline(*matrix, opt);
+  r.stats = pipeline.stats();
+  r.preprocess_seconds = reorder_seconds + pipeline.stats().preprocess_seconds();
+  r.kernel_seconds = time_pipeline_square(pipeline, cfg);
+  r.speedup = r.kernel_seconds > 0 ? e.baseline_seconds / r.kernel_seconds : 0;
+  return r;
+}
+
+}  // namespace cw::bench

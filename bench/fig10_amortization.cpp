@@ -1,0 +1,57 @@
+// Fig. 10: performance profile of preprocessing overhead — for each method,
+// the fraction of (positively improved) problems whose reordering/clustering
+// cost is amortized within x SpGEMM iterations.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "reorder/reorder.hpp"
+
+int main() {
+  using namespace cw;
+  using namespace cw::bench;
+  const RunConfig cfg = run_config_from_env();
+  print_banner("Figure 10: SpGEMM runs needed to amortize preprocessing",
+               "Fig. 10 (performance profile of reordering overhead; positive cases only)",
+               cfg);
+
+  const std::vector<SuiteEntry> suite = load_suite(cfg);
+  const std::vector<double> grid = {1, 2, 5, 10, 20, 50, 100};
+
+  struct Method {
+    std::string label;
+    ReorderAlgo algo = ReorderAlgo::kOriginal;
+    ClusterScheme scheme = ClusterScheme::kNone;
+  };
+  std::vector<Method> methods;
+  for (ReorderAlgo algo : all_reorder_algos()) {
+    if (algo == ReorderAlgo::kOriginal) continue;
+    methods.push_back({to_string(algo), algo, ClusterScheme::kNone});
+  }
+  methods.push_back(
+      {"Hierarchical", ReorderAlgo::kOriginal, ClusterScheme::kHierarchical});
+
+  std::vector<std::string> header{"method", "pos%"};
+  for (double x : grid) header.push_back("<=" + fmt_double(x, 0));
+  TextTable table(header);
+  for (const Method& m : methods) {
+    std::vector<double> amortization;  // positive cases only (as in the paper)
+    int positive = 0;
+    for (const SuiteEntry& e : suite) {
+      const VariantResult r = run_variant(e, m.algo, m.scheme, cfg);
+      if (r.speedup > 1.0) {
+        ++positive;
+        amortization.push_back(r.amortization_iters(e.baseline_seconds));
+      }
+    }
+    const std::vector<double> curve = profile_curve(amortization, grid);
+    std::vector<std::string> row{
+        m.label,
+        fmt_double(100.0 * positive / std::max<std::size_t>(suite.size(), 1), 0) + "%"};
+    for (double frac : curve) row.push_back(fmt_double(frac, 2));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper shape: cheap orders (Shuffled/Degree/Rabbit) amortize within"
+            "\n~5 runs; RCM/GP need 20+; Hierarchical amortizes within 20 runs"
+            "\nfor ~90% of its positive cases.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 11: CDF of CSR_Cluster memory relative to CSR for the three
+// clustering schemes, over the suite. No kernel timing involved.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace cw;
+  using namespace cw::bench;
+  RunConfig cfg = run_config_from_env();
+  cfg.reps = 1;  // no timing needed
+  print_banner("Figure 11: memory overhead of cluster-wise SpGEMM",
+               "Fig. 11 (CSR_Cluster bytes / CSR bytes, CDF over suite)", cfg);
+
+  const std::vector<double> grid = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0};
+  std::vector<std::string> header{"scheme"};
+  for (double x : grid) header.push_back("<=" + fmt_double(x, 2));
+  header.push_back("median");
+  TextTable table(header);
+
+  for (ClusterScheme scheme : {ClusterScheme::kFixed, ClusterScheme::kVariable,
+                               ClusterScheme::kHierarchical}) {
+    std::vector<double> ratios;
+    for (const auto& spec : suite_specs()) {
+      if (!dataset_selected(cfg, spec.name)) continue;
+      const Csr a = make_dataset(spec.name, cfg.scale);
+      PipelineOptions opt;
+      opt.scheme = scheme;
+      Pipeline p(a, opt);
+      ratios.push_back(p.stats().memory_ratio());
+    }
+    const std::vector<double> curve = profile_curve(ratios, grid);
+    std::vector<std::string> row{to_string(scheme)};
+    for (double frac : curve) row.push_back(fmt_double(frac, 2));
+    row.push_back(fmt_double(percentile(ratios, 50), 2));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper shape: variable-length lowest overhead, fixed-length highest;"
+            "\nmany matrices land below 1.0 (shared column ids beat CSR).");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// google-benchmark micro suite: accumulator ablation (hash vs dense SPA vs
+// sort) and format construction costs — the design choices DESIGN.md calls
+// out.
+#include <benchmark/benchmark.h>
+
+#include "accumulator/dense_accumulator.hpp"
+#include "accumulator/hash_accumulator.hpp"
+#include "accumulator/sort_accumulator.hpp"
+#include "common/rng.hpp"
+#include "core/clustering_schemes.hpp"
+#include "gen/generators.hpp"
+#include "matrix/csr_cluster.hpp"
+
+namespace {
+
+using namespace cw;
+
+/// Synthetic accumulation workload: `rows` rows of `len` inserts drawn from
+/// `universe` columns.
+template <typename Acc>
+void accumulate_workload(Acc& acc, int rows, int len, index_t universe,
+                         benchmark::State& state) {
+  Rng rng(42);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (auto _ : state) {
+    for (int r = 0; r < rows; ++r) {
+      acc.reset();
+      for (int k = 0; k < len; ++k) acc.add(rng.index(universe), 1.0);
+      cols.clear();
+      vals.clear();
+      acc.extract_sorted(cols, vals);
+      benchmark::DoNotOptimize(cols.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rows * len);
+}
+
+void BM_HashAccumulator(benchmark::State& state) {
+  HashAccumulator acc;
+  accumulate_workload(acc, 64, static_cast<int>(state.range(0)),
+                      static_cast<index_t>(state.range(1)), state);
+}
+BENCHMARK(BM_HashAccumulator)
+    ->Args({16, 1024})
+    ->Args({64, 1024})
+    ->Args({256, 65536})
+    ->Args({1024, 65536});
+
+void BM_DenseAccumulator(benchmark::State& state) {
+  DenseAccumulator acc(static_cast<index_t>(state.range(1)));
+  accumulate_workload(acc, 64, static_cast<int>(state.range(0)),
+                      static_cast<index_t>(state.range(1)), state);
+}
+BENCHMARK(BM_DenseAccumulator)
+    ->Args({16, 1024})
+    ->Args({64, 1024})
+    ->Args({256, 65536})
+    ->Args({1024, 65536});
+
+void BM_SortAccumulator(benchmark::State& state) {
+  SortAccumulator acc;
+  accumulate_workload(acc, 64, static_cast<int>(state.range(0)),
+                      static_cast<index_t>(state.range(1)), state);
+}
+BENCHMARK(BM_SortAccumulator)
+    ->Args({16, 1024})
+    ->Args({64, 1024})
+    ->Args({256, 65536});
+
+// --- format construction costs ---------------------------------------------
+
+void BM_CsrClusterBuildFixed(benchmark::State& state) {
+  const Csr a = gen_tri_mesh(60, 60, true, 1);
+  const auto k = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    CsrCluster cc = CsrCluster::build(a, Clustering::fixed(a.nrows(), k));
+    benchmark::DoNotOptimize(cc.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CsrClusterBuildFixed)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_VariableClusterConstruction(benchmark::State& state) {
+  const Csr a = gen_tri_mesh(60, 60, false, 1);
+  for (auto _ : state) {
+    Clustering c = variable_length_clustering(a, {});
+    benchmark::DoNotOptimize(c.num_clusters());
+  }
+}
+BENCHMARK(BM_VariableClusterConstruction);
+
+void BM_HierarchicalClusterConstruction(benchmark::State& state) {
+  const Csr a = gen_tri_mesh(40, 40, true, 1);
+  for (auto _ : state) {
+    HierarchicalResult r = hierarchical_clustering(a, {});
+    benchmark::DoNotOptimize(r.order.data());
+  }
+}
+BENCHMARK(BM_HierarchicalClusterConstruction);
+
+void BM_Transpose(benchmark::State& state) {
+  const Csr a = gen_rmat(11, 8, 0.55, 0.2, 0.15, 7);
+  for (auto _ : state) {
+    Csr at = a.transpose();
+    benchmark::DoNotOptimize(at.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose);
+
+}  // namespace

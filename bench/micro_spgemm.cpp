@@ -1,0 +1,187 @@
+// google-benchmark micro suite: SpGEMM kernel variants — row-wise with each
+// accumulator, cluster-wise with each clustering scheme, and the
+// symbolic/numeric split.
+#include <benchmark/benchmark.h>
+
+#include "core/clusterwise_spgemm.hpp"
+#include "core/clusterwise_spmm.hpp"
+#include "core/clustering_schemes.hpp"
+#include "gen/generators.hpp"
+#include "spgemm/spgemm.hpp"
+#include "spgemm/spmm.hpp"
+#include "spgemm/tiled.hpp"
+
+namespace {
+
+using namespace cw;
+
+Csr bench_matrix(int which) {
+  switch (which) {
+    case 0: return gen_tri_mesh(50, 50, false, 1);   // structured mesh
+    case 1: return gen_tri_mesh(50, 50, true, 1);    // shuffled mesh
+    case 2: return gen_rmat(10, 8, 0.55, 0.2, 0.15, 2);  // power law
+    default: return gen_block_diag(2000, 8, 2.0, 3);  // dense blocks
+  }
+}
+
+const char* matrix_name(int which) {
+  switch (which) {
+    case 0: return "mesh";
+    case 1: return "mesh-shuffled";
+    case 2: return "rmat";
+    default: return "block";
+  }
+}
+
+void BM_RowwiseSpgemm(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  const auto acc = static_cast<Accumulator>(state.range(1));
+  for (auto _ : state) {
+    Csr c = spgemm(a, a, acc);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                 "/" + to_string(acc));
+  state.SetItemsProcessed(state.iterations() * spgemm_products(a, a));
+}
+BENCHMARK(BM_RowwiseSpgemm)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0});
+
+void BM_ClusterwiseSpgemm(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  Clustering cl;
+  const char* scheme;
+  switch (state.range(1)) {
+    case 0:
+      cl = Clustering::fixed(a.nrows(), 8);
+      scheme = "fixed8";
+      break;
+    case 1:
+      cl = variable_length_clustering(a, {});
+      scheme = "variable";
+      break;
+    default: {
+      // Hierarchical reorders; bench the kernel on the reordered matrix.
+      const HierarchicalResult h = hierarchical_clustering(a, {});
+      const Csr ap = a.permute_symmetric(h.order);
+      const CsrCluster cc = CsrCluster::build(ap, h.clustering);
+      for (auto _ : state) {
+        Csr c = clusterwise_spgemm(cc, ap);
+        benchmark::DoNotOptimize(c.nnz());
+      }
+      state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                     "/hierarchical");
+      return;
+    }
+  }
+  const CsrCluster cc = CsrCluster::build(a, cl);
+  for (auto _ : state) {
+    Csr c = clusterwise_spgemm(cc, a);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                 "/" + scheme);
+}
+BENCHMARK(BM_ClusterwiseSpgemm)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+// Ablation: lane accumulator (one probe per cluster column) vs per-row
+// accumulators (Alg. 1 verbatim) — the kernel design choice DESIGN.md
+// documents.
+void BM_ClusterKernelVariant(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  const HierarchicalResult h = hierarchical_clustering(a, {});
+  const Csr ap = a.permute_symmetric(h.order);
+  const CsrCluster cc = CsrCluster::build(ap, h.clustering);
+  const auto kernel = static_cast<ClusterKernel>(state.range(1));
+  for (auto _ : state) {
+    Csr c = clusterwise_spgemm(cc, ap, nullptr, kernel);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                 "/" + to_string(kernel));
+}
+BENCHMARK(BM_ClusterKernelVariant)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+void BM_SymbolicPhase(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto counts = spgemm_symbolic(a, a);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetLabel(matrix_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SymbolicPhase)->Arg(0)->Arg(2);
+
+// Tiled SpGEMM (§5 future work): tile-width sweep against the untiled
+// kernel.
+void BM_TiledSpgemm(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  TiledOptions topt;
+  topt.tile_cols = static_cast<index_t>(state.range(1));
+  for (auto _ : state) {
+    Csr c = spgemm_tiled(a, a, topt);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                 "/tile" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_TiledSpgemm)
+    ->Args({0, 512})
+    ->Args({0, 2048})
+    ->Args({0, 1 << 20})
+    ->Args({2, 512})
+    ->Args({2, 2048});
+
+// Cluster-wise SpMM vs row-wise SpMM (the [32] lineage workload).
+void BM_Spmm(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  Dense b(a.ncols(), 16);
+  for (index_t r = 0; r < b.nrows(); ++r)
+    for (index_t c = 0; c < 16; ++c) b.at(r, c) = 0.5 + 0.001 * c;
+  if (state.range(1) == 0) {
+    for (auto _ : state) {
+      Dense c = spmm(a, b);
+      benchmark::DoNotOptimize(c.at(0, 0));
+    }
+  } else {
+    const HierarchicalResult h = hierarchical_clustering(a, {});
+    const Csr ap = a.permute_symmetric(h.order);
+    const CsrCluster cc = CsrCluster::build(ap, h.clustering);
+    for (auto _ : state) {
+      Dense c = clusterwise_spmm(cc, b);
+      benchmark::DoNotOptimize(c.at(0, 0));
+    }
+  }
+  state.SetLabel(std::string(matrix_name(static_cast<int>(state.range(0)))) +
+                 (state.range(1) == 0 ? "/rowwise" : "/clusterwise"));
+}
+BENCHMARK(BM_Spmm)->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1});
+
+void BM_TopKCandidates(benchmark::State& state) {
+  const Csr a = bench_matrix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto pairs = spgemm_topk(a, {});
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetLabel(matrix_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TopKCandidates)->Arg(0)->Arg(2);
+
+}  // namespace

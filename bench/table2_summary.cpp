@@ -1,0 +1,57 @@
+// Table 2: GM / Pos% / +GM of every reordering for row-wise, fixed-cluster
+// and variable-cluster SpGEMM (A² over the suite), plus the Best-Reordering
+// row (per-matrix best across all reorderings).
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "reorder/reorder.hpp"
+
+int main() {
+  using namespace cw;
+  using namespace cw::bench;
+  const RunConfig cfg = run_config_from_env();
+  print_banner("Table 2: reordering impact across SpGEMM variants",
+               "Table 2 (GM / Pos% / +GM per reordering × SpGEMM variant)", cfg);
+
+  const std::vector<SuiteEntry> suite = load_suite(cfg);
+  const ClusterScheme variants[] = {ClusterScheme::kNone, ClusterScheme::kFixed,
+                                    ClusterScheme::kVariable};
+
+  TextTable table({"Algorithm", "Row GM", "Row Pos%", "Row +GM", "Fix GM",
+                   "Fix Pos%", "Fix +GM", "Var GM", "Var Pos%", "Var +GM"});
+
+  // speedups[variant][dataset] of the best reordering per dataset.
+  std::vector<std::vector<double>> best(3,
+                                        std::vector<double>(suite.size(), 0.0));
+
+  for (ReorderAlgo algo : all_reorder_algos()) {
+    if (algo == ReorderAlgo::kOriginal) continue;
+    std::vector<std::string> row{to_string(algo)};
+    for (std::size_t v = 0; v < 3; ++v) {
+      std::vector<double> speedups;
+      for (std::size_t d = 0; d < suite.size(); ++d) {
+        const VariantResult r = run_variant(suite[d], algo, variants[v], cfg);
+        speedups.push_back(r.speedup);
+        best[v][d] = std::max(best[v][d], r.speedup);
+      }
+      const SpeedupSummary s = summarize_speedups(speedups);
+      row.push_back(fmt_double(s.gm));
+      row.push_back(fmt_double(s.pos_pct, 1));
+      row.push_back(fmt_double(s.pos_gm));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> best_row{"Best Reord."};
+  for (std::size_t v = 0; v < 3; ++v) {
+    const SpeedupSummary s = summarize_speedups(best[v]);
+    best_row.push_back(fmt_double(s.gm));
+    best_row.push_back(fmt_double(s.pos_pct, 1));
+    best_row.push_back(fmt_double(s.pos_gm));
+  }
+  table.add_row(std::move(best_row));
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper shape: HP best single reordering (row GM ~1.77, ~80% pos);"
+            "\nGP/RCM next; Shuffled worst (~0.43); Best-Reordering GM ~2.9.");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 3: row-wise SpGEMM speedup after reordering on the tall-skinny
+// workload (A × BC-frontier matrices, averaged over the first 10 frontiers),
+// relative to the original order, per dataset × reordering + Best column.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "graph/frontier.hpp"
+#include "reorder/reorder.hpp"
+
+int main() {
+  using namespace cw;
+  using namespace cw::bench;
+  const RunConfig cfg = run_config_from_env();
+  print_banner("Table 3: reordered row-wise SpGEMM on tall-skinny matrices",
+               "Table 3 (speedup per dataset × reordering, BC frontier workload)",
+               cfg);
+
+  std::vector<std::string> header{"Dataset"};
+  for (ReorderAlgo algo : all_reorder_algos()) {
+    if (algo == ReorderAlgo::kOriginal) continue;
+    header.push_back(to_string(algo));
+  }
+  header.push_back("Best");
+  TextTable table(header);
+
+  for (const std::string& name : tallskinny_datasets()) {
+    if (!dataset_selected(cfg, name)) continue;
+    const Csr a = make_dataset(name, cfg.scale);
+    FrontierOptions fopt;
+    fopt.batch = 64;
+    fopt.num_frontiers = 10;
+    const std::vector<Csr> frontiers = bc_frontiers(a, fopt);
+    std::fprintf(stderr, "  [table3] %-22s n=%d, %zu frontiers\n", name.c_str(),
+                 a.nrows(), frontiers.size());
+
+    // Baseline: original order, summed over the frontier series.
+    double base_total = 0;
+    for (const Csr& b : frontiers) {
+      if (b.nnz() == 0) continue;
+      base_total += time_rowwise(a, b, cfg);
+    }
+
+    std::vector<std::string> row{name};
+    double best = 0;
+    for (ReorderAlgo algo : all_reorder_algos()) {
+      if (algo == ReorderAlgo::kOriginal) continue;
+      const Permutation& order = reorder_cached(name, a, algo).order;
+      const Csr pa = a.permute_symmetric(order);
+      double total = 0;
+      for (const Csr& b : frontiers) {
+        if (b.nnz() == 0) continue;
+        const Csr pb = b.permute_rows(order);
+        total += time_rowwise(pa, pb, cfg);
+      }
+      const double speedup = total > 0 ? base_total / total : 0.0;
+      best = std::max(best, speedup);
+      row.push_back(fmt_double(speedup));
+    }
+    row.push_back(fmt_double(best));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper shape: mesh/road datasets (AS365, M6, NLR, europe_osm,"
+            "\nGAP-road) gain most from RCM/ND/GP/HP; Shuffled hurts them badly;"
+            "\nsocial graphs gain moderately across many orders.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 4: hierarchical cluster-wise SpGEMM vs row-wise SpGEMM per BC
+// frontier iteration i1..i10 (tall-skinny workload) + per-dataset mean.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "graph/frontier.hpp"
+
+int main() {
+  using namespace cw;
+  using namespace cw::bench;
+  const RunConfig cfg = run_config_from_env();
+  print_banner("Table 4: hierarchical cluster-wise SpGEMM on BC frontiers",
+               "Table 4 (speedup per frontier iteration i1..i10 + mean)", cfg);
+
+  constexpr index_t kFrontiers = 10;
+  std::vector<std::string> header{"Dataset"};
+  for (index_t i = 1; i <= kFrontiers; ++i) header.push_back("i" + std::to_string(i));
+  header.push_back("Mean");
+  TextTable table(header);
+
+  for (const std::string& name : tallskinny_datasets()) {
+    if (!dataset_selected(cfg, name)) continue;
+    const Csr a = make_dataset(name, cfg.scale);
+    FrontierOptions fopt;
+    fopt.batch = 64;
+    fopt.num_frontiers = kFrontiers;
+    const std::vector<Csr> frontiers = bc_frontiers(a, fopt);
+
+    PipelineOptions opt;
+    opt.scheme = ClusterScheme::kHierarchical;
+    Pipeline pipeline(a, opt);
+    std::fprintf(stderr, "  [table4] %-22s preprocess %.1f ms\n", name.c_str(),
+                 pipeline.stats().preprocess_seconds() * 1e3);
+
+    std::vector<std::string> row{name};
+    std::vector<double> speedups;
+    for (const Csr& b : frontiers) {
+      if (b.nnz() == 0) {
+        row.push_back("-");
+        continue;
+      }
+      const double base = time_rowwise(a, b, cfg);
+      const double clustered = time_pipeline(pipeline, b, cfg);
+      const double speedup = clustered > 0 ? base / clustered : 0.0;
+      speedups.push_back(speedup);
+      row.push_back(fmt_double(speedup));
+    }
+    row.resize(header.size() - 1, "-");
+    row.push_back(fmt_double(mean(speedups)));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\npaper shape: datasets that win on A^2 (meshes, roads) also win"
+            "\nacross the frontier series (AS365 ~2.1, GAP-road ~2.5, M6 ~2.5);"
+            "\npower-law datasets hover near 1.0.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// AMG-flavoured example: repeated squaring of mesh operators (the A² workload
+// of §4.2). Algebraic multigrid setup computes Galerkin triple products whose
+// dominant cost is SpGEMM on matrices like these; here we show how reordering
+// plus clustering affects that kernel on a structured vs. an irregular mesh.
+//
+//   ./amg_square
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "gen/generators.hpp"
+
+namespace {
+
+void run_case(const char* label, const cw::Csr& a) {
+  using namespace cw;
+  Timer tb;
+  const Csr base = spgemm_square(a);
+  const double base_s = tb.seconds();
+  std::printf("%-22s n=%-7d nnz=%-9lld row-wise %8.2f ms\n", label, a.nrows(),
+              static_cast<long long>(a.nnz()), base_s * 1e3);
+
+  struct Config {
+    const char* name;
+    ReorderAlgo algo;
+    ClusterScheme scheme;
+  };
+  const Config configs[] = {
+      {"  RCM row-wise", ReorderAlgo::kRCM, ClusterScheme::kNone},
+      {"  fixed cluster", ReorderAlgo::kOriginal, ClusterScheme::kFixed},
+      {"  variable cluster", ReorderAlgo::kOriginal, ClusterScheme::kVariable},
+      {"  hierarchical", ReorderAlgo::kOriginal, ClusterScheme::kHierarchical},
+      {"  RCM + variable", ReorderAlgo::kRCM, ClusterScheme::kVariable},
+  };
+  for (const Config& cfg : configs) {
+    PipelineOptions opt;
+    opt.reorder = cfg.algo;
+    opt.scheme = cfg.scheme;
+    Pipeline p(a, opt);
+    Timer tv;
+    const Csr c = p.multiply_square();
+    const double v_s = tv.seconds();
+    std::printf("%-22s kernel %8.2f ms  speedup %5.2fx  preprocess %8.2f ms\n",
+                cfg.name, v_s * 1e3, base_s / v_s,
+                p.stats().preprocess_seconds() * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cw;
+  // A structured mesh (good natural order) vs. the same mesh with scrambled
+  // vertex ids (how unstructured meshes actually arrive).
+  run_case("mesh natural order", gen_tri_mesh(90, 90, false, 1));
+  run_case("mesh shuffled order", gen_tri_mesh(90, 90, true, 1));
+  return 0;
+}

@@ -1,0 +1,220 @@
+// Lane-structured sparse accumulator for cluster-wise SpGEMM.
+//
+// Rows of a cluster are similar by construction, so they produce mostly the
+// same output columns. Instead of one hash accumulator per cluster row (one
+// probe per (row, B-entry)), a single table keyed by output column holds K
+// value lanes plus a presence mask: one probe per (cluster column, B-entry)
+// serves every row at once, and the per-row products accumulate into
+// contiguous lanes. The probe saving is proportional to the very reuse the
+// CSR_Cluster format creates — this is where Alg. 1's locality turns into
+// single-thread arithmetic savings too.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+class ClusterAccumulator {
+ public:
+  static constexpr index_t kMaxLanes = 64;
+
+  explicit ClusterAccumulator(index_t lanes = 1) { configure(lanes); }
+
+  /// Set the lane count (cluster size). Implies reset().
+  void configure(index_t lanes) {
+    lanes_ = std::max<index_t>(lanes, 1);
+    if (capacity_ == 0) rehash_(kMinCapacity);
+    vals_.assign(capacity_ * static_cast<std::size_t>(lanes_), 0.0);
+    for (std::uint32_t slot : occupied_) keys_[slot] = kEmpty;
+    occupied_.clear();
+  }
+
+  [[nodiscard]] index_t lanes() const { return lanes_; }
+
+  /// Returns the slot for `key`, inserting it (mask 0, zero lanes) if new.
+  std::size_t slot_for(index_t key) {
+    if (occupied_.size() * 2 >= capacity_) grow_();
+    std::size_t slot = probe_(key);
+    if (keys_[slot] == kEmpty) {
+      keys_[slot] = key;
+      masks_[slot] = 0;
+      value_t* lane = &vals_[slot * static_cast<std::size_t>(lanes_)];
+      std::fill(lane, lane + lanes_, 0.0);
+      occupied_.push_back(static_cast<std::uint32_t>(slot));
+      sorted_ = false;
+    }
+    return slot;
+  }
+
+  /// Symbolic insert: record that rows in `mask` produce column `key`.
+  void add_symbolic(index_t key, std::uint64_t mask) {
+    masks_[slot_for(key)] |= mask;
+  }
+
+  /// Numeric insert: lane r += avals[r] * bv for rows owning the column.
+  /// Dense masks take the branch-free vectorizable K-wide FMA (padding lanes
+  /// carry avals[r] == 0, guaranteed by CSR_Cluster, so they accumulate
+  /// zeros); sparse masks iterate set bits to avoid wasted lane work. The
+  /// mask keeps the *pattern* exact either way.
+  void add_scaled(index_t key, std::uint64_t mask, const value_t* avals,
+                  value_t bv) {
+    const std::size_t slot = slot_for(key);
+    masks_[slot] |= mask;
+    value_t* lane = &vals_[slot * static_cast<std::size_t>(lanes_)];
+    if (2 * __builtin_popcountll(mask) >= lanes_) {
+      for (index_t r = 0; r < lanes_; ++r) lane[r] += avals[r] * bv;
+    } else {
+      std::uint64_t m = mask;
+      while (m) {
+        const int r = __builtin_ctzll(m);
+        m &= m - 1;
+        lane[r] += avals[r] * bv;
+      }
+    }
+  }
+
+  /// Distinct keys seen by lane r.
+  [[nodiscard]] index_t lane_size(index_t r) const {
+    index_t count = 0;
+    const std::uint64_t bit = std::uint64_t{1} << r;
+    for (std::uint32_t slot : occupied_)
+      if (masks_[slot] & bit) ++count;
+    return count;
+  }
+
+  /// Distinct keys per lane, all lanes in one pass over the table.
+  void lane_sizes(std::vector<offset_t>& out) const {
+    out.assign(static_cast<std::size_t>(lanes_), 0);
+    for (std::uint32_t slot : occupied_) {
+      std::uint64_t m = masks_[slot];
+      while (m) {
+        const int r = __builtin_ctzll(m);
+        m &= m - 1;
+        ++out[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+
+  /// Extract lane r sorted by key, appending to (cols, vals).
+  void extract_lane_sorted(index_t r, std::vector<index_t>& cols,
+                           std::vector<value_t>& vals) {
+    sort_occupied_();
+    const std::uint64_t bit = std::uint64_t{1} << r;
+    for (std::uint32_t slot : occupied_) {
+      if (masks_[slot] & bit) {
+        cols.push_back(keys_[slot]);
+        vals.push_back(vals_[static_cast<std::size_t>(slot) *
+                                 static_cast<std::size_t>(lanes_) +
+                             static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+
+  /// Extract every lane in one pass over the (sorted) table. `emit(r, key,
+  /// value)` is called in ascending-key order within each lane.
+  template <typename Emit>
+  void extract_all_sorted(Emit&& emit) {
+    sort_occupied_();
+    for (std::uint32_t slot : occupied_) {
+      const index_t key = keys_[slot];
+      const value_t* lane = &vals_[static_cast<std::size_t>(slot) *
+                                   static_cast<std::size_t>(lanes_)];
+      std::uint64_t m = masks_[slot];
+      while (m) {
+        const int r = __builtin_ctzll(m);
+        m &= m - 1;
+        emit(static_cast<index_t>(r), key, lane[r]);
+      }
+    }
+  }
+
+  /// Forget all entries; O(#entries × lanes).
+  void reset() {
+    for (std::uint32_t slot : occupied_) {
+      keys_[slot] = kEmpty;
+      value_t* lane = &vals_[static_cast<std::size_t>(slot) *
+                             static_cast<std::size_t>(lanes_)];
+      std::fill(lane, lane + lanes_, 0.0);
+    }
+    occupied_.clear();
+    sorted_ = true;
+  }
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(occupied_.size());
+  }
+
+ private:
+  static constexpr index_t kEmpty = -1;
+  static constexpr std::size_t kMinCapacity = 16;
+
+  static std::uint64_t hash_(index_t key) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
+           0x9e3779b97f4a7c15ULL;
+  }
+
+  std::size_t probe_(index_t key) const {
+    std::size_t slot = static_cast<std::size_t>(hash_(key) >> shift_);
+    while (keys_[slot] != kEmpty && keys_[slot] != key) {
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    return slot;
+  }
+
+  void rehash_(std::size_t new_capacity) {
+    std::vector<index_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_masks = std::move(masks_);
+    std::vector<value_t> old_vals = std::move(vals_);
+    std::vector<std::uint32_t> old_occ = std::move(occupied_);
+    capacity_ = new_capacity;
+    shift_ = 64 - log2_(capacity_);
+    keys_.assign(capacity_, kEmpty);
+    masks_.assign(capacity_, 0);
+    vals_.assign(capacity_ * static_cast<std::size_t>(lanes_), 0.0);
+    occupied_.clear();
+    occupied_.reserve(capacity_ / 2 + 1);
+    for (std::uint32_t slot : old_occ) {
+      const std::size_t s = probe_(old_keys[slot]);
+      keys_[s] = old_keys[slot];
+      masks_[s] = old_masks[slot];
+      for (index_t r = 0; r < lanes_; ++r) {
+        vals_[s * static_cast<std::size_t>(lanes_) + static_cast<std::size_t>(r)] =
+            old_vals[static_cast<std::size_t>(slot) *
+                         static_cast<std::size_t>(lanes_) +
+                     static_cast<std::size_t>(r)];
+      }
+      occupied_.push_back(static_cast<std::uint32_t>(s));
+    }
+    sorted_ = false;
+  }
+
+  void grow_() { rehash_(capacity_ * 2); }
+
+  void sort_occupied_() {
+    if (sorted_) return;
+    std::sort(occupied_.begin(), occupied_.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return keys_[a] < keys_[b]; });
+    sorted_ = true;
+  }
+
+  static int log2_(std::size_t x) {
+    int n = 0;
+    while ((std::size_t{1} << n) < x) ++n;
+    return n;
+  }
+
+  index_t lanes_ = 1;
+  std::size_t capacity_ = 0;
+  int shift_ = 0;
+  bool sorted_ = true;
+  std::vector<index_t> keys_;
+  std::vector<std::uint64_t> masks_;
+  std::vector<value_t> vals_;
+  std::vector<std::uint32_t> occupied_;
+};
+
+}  // namespace cw

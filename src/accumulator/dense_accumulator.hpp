@@ -1,0 +1,66 @@
+// Dense sparse accumulator (SPA, Gilbert–Moler–Schreiber): an ncols-wide
+// value array plus an occupancy flag array and a list of touched columns.
+// O(1) insert, O(#touched) reset, but O(ncols) memory per thread — the
+// classical alternative to the hash accumulator, used in ablation benches.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+class DenseAccumulator {
+ public:
+  explicit DenseAccumulator(index_t ncols)
+      : vals_(static_cast<std::size_t>(ncols), 0.0),
+        present_(static_cast<std::size_t>(ncols), 0) {}
+
+  void add(index_t key, value_t v) {
+    if (!present_[static_cast<std::size_t>(key)]) {
+      present_[static_cast<std::size_t>(key)] = 1;
+      touched_.push_back(key);
+    }
+    vals_[static_cast<std::size_t>(key)] += v;
+  }
+
+  void add_symbolic(index_t key) {
+    if (!present_[static_cast<std::size_t>(key)]) {
+      present_[static_cast<std::size_t>(key)] = 1;
+      touched_.push_back(key);
+    }
+  }
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(touched_.size());
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (index_t c : touched_) fn(c, vals_[static_cast<std::size_t>(c)]);
+  }
+
+  void extract_sorted(std::vector<index_t>& cols, std::vector<value_t>& vals) {
+    std::sort(touched_.begin(), touched_.end());
+    for (index_t c : touched_) {
+      cols.push_back(c);
+      vals.push_back(vals_[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  void reset() {
+    for (index_t c : touched_) {
+      present_[static_cast<std::size_t>(c)] = 0;
+      vals_[static_cast<std::size_t>(c)] = 0.0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<value_t> vals_;
+  std::vector<std::uint8_t> present_;
+  std::vector<index_t> touched_;
+};
+
+}  // namespace cw

@@ -1,0 +1,70 @@
+// Sort-based accumulator: append (col, val) pairs, then sort-and-combine at
+// extraction. No per-row state beyond the pair buffer; best when rows have
+// few intermediate products. Ablation counterpart of the hash accumulator.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+class SortAccumulator {
+ public:
+  void add(index_t key, value_t v) {
+    buf_.emplace_back(key, v);
+    combined_ = false;
+  }
+  void add_symbolic(index_t key) {
+    buf_.emplace_back(key, 0.0);
+    combined_ = false;
+  }
+
+  /// Distinct keys — requires a combine pass, O(n log n).
+  [[nodiscard]] index_t size() {
+    combine_();
+    return static_cast<index_t>(buf_.size());
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    combine_();
+    for (const auto& [c, v] : buf_) fn(c, v);
+  }
+
+  void extract_sorted(std::vector<index_t>& cols, std::vector<value_t>& vals) {
+    combine_();
+    for (const auto& [c, v] : buf_) {
+      cols.push_back(c);
+      vals.push_back(v);
+    }
+  }
+
+  void reset() {
+    buf_.clear();
+    combined_ = true;
+  }
+
+ private:
+  void combine_() {
+    if (combined_) return;
+    std::sort(buf_.begin(), buf_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      if (out > 0 && buf_[out - 1].first == buf_[i].first) {
+        buf_[out - 1].second += buf_[i].second;
+      } else {
+        buf_[out++] = buf_[i];
+      }
+    }
+    buf_.resize(out);
+    combined_ = true;
+  }
+
+  std::vector<std::pair<index_t, value_t>> buf_;
+  bool combined_ = true;
+};
+
+}  // namespace cw

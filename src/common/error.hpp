@@ -1,0 +1,52 @@
+// Error handling: CW_CHECK for unrecoverable precondition violations and
+// cw::Error for recoverable I/O and format failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cw {
+
+/// Exception thrown on recoverable failures (file I/O, malformed input).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CW_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cw
+
+/// Precondition check that stays enabled in release builds. Sparse-matrix
+/// index corruption silently produces wrong numerics, so the cost of a branch
+/// is worth it everywhere outside the innermost kernels (which use
+/// CW_DCHECK).
+#define CW_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::cw::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CW_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream cw_os_;                                       \
+      cw_os_ << msg;                                                   \
+      ::cw::detail::check_failed(#cond, __FILE__, __LINE__, cw_os_.str()); \
+    }                                                                  \
+  } while (0)
+
+/// Debug-only check for hot loops.
+#ifndef NDEBUG
+#define CW_DCHECK(cond) CW_CHECK(cond)
+#else
+#define CW_DCHECK(cond) ((void)0)
+#endif

@@ -1,0 +1,57 @@
+// Thin OpenMP helpers. All kernels in the library parallelize over rows or
+// clusters with dynamic scheduling (SpGEMM row costs are highly skewed).
+#pragma once
+
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/types.hpp"
+
+namespace cw {
+
+/// Number of OpenMP threads the parallel regions will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Current thread id inside a parallel region (0 outside).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// parallel for over [0, n) with dynamic scheduling and a tunable chunk.
+/// `body(i)` must be safe to run concurrently for distinct i.
+template <typename Body>
+void parallel_for(index_t n, Body&& body, int chunk = 64) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (index_t i = 0; i < n; ++i) body(i);
+#else
+  (void)chunk;
+  for (index_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// parallel for with static scheduling for uniform-cost loops.
+template <typename Body>
+void parallel_for_static(index_t n, Body&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) body(i);
+#else
+  for (index_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+}  // namespace cw

@@ -1,0 +1,38 @@
+// Exclusive prefix sums — the workhorse for CSR construction (converting
+// per-row counts into row pointers).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+/// In-place exclusive prefix sum. On return, v[i] holds the sum of the first
+/// i original elements and the function returns the total.
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& v) {
+  T run = 0;
+  for (auto& x : v) {
+    T next = run + x;
+    x = run;
+    run = next;
+  }
+  return run;
+}
+
+/// Out-of-place exclusive prefix sum producing a pointer array of size
+/// counts.size() + 1 (CSR row_ptr convention: ptr[n] == total).
+template <typename T>
+std::vector<T> counts_to_pointers(const std::vector<T>& counts) {
+  std::vector<T> ptr(counts.size() + 1);
+  T run = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ptr[i] = run;
+    run += counts[i];
+  }
+  ptr[counts.size()] = run;
+  return ptr;
+}
+
+}  // namespace cw

@@ -1,0 +1,91 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All generators in this library are seeded explicitly so every experiment is
+// reproducible run-to-run. xoshiro256** is used instead of std::mt19937 for
+// speed in the synthetic-matrix generators.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t n) {
+    using u128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (-n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<u128>(x) * static_cast<u128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, n).
+  index_t index(index_t n) { return static_cast<index_t>(bounded(static_cast<std::uint64_t>(n))); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Fisher–Yates shuffle with our Rng (std::shuffle has unspecified results
+/// across standard libraries; this keeps outputs identical everywhere).
+template <typename Vec>
+void shuffle(Vec& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.bounded(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace cw

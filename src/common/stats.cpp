@@ -1,0 +1,92 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    CW_CHECK_MSG(x > 0.0, "geomean requires positive samples, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  CW_CHECK(!xs.empty());
+  CW_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+BoxSummary box_summary(const std::vector<double>& xs) {
+  BoxSummary b;
+  if (xs.empty()) return b;
+  b.n = xs.size();
+  b.min = percentile(xs, 0);
+  b.q1 = percentile(xs, 25);
+  b.median = percentile(xs, 50);
+  b.q3 = percentile(xs, 75);
+  b.max = percentile(xs, 100);
+  return b;
+}
+
+SpeedupSummary summarize_speedups(const std::vector<double>& speedups) {
+  SpeedupSummary s;
+  s.n = speedups.size();
+  if (speedups.empty()) return s;
+  s.gm = geomean(speedups);
+  std::vector<double> pos;
+  for (double x : speedups)
+    if (x > 1.0) pos.push_back(x);
+  s.pos_pct = 100.0 * static_cast<double>(pos.size()) /
+              static_cast<double>(speedups.size());
+  s.pos_gm = pos.empty() ? 0.0 : geomean(pos);
+  return s;
+}
+
+std::vector<double> profile_curve(const std::vector<double>& samples,
+                                  const std::vector<double>& grid) {
+  std::vector<double> curve;
+  curve.reserve(grid.size());
+  if (samples.empty()) {
+    curve.assign(grid.size(), 0.0);
+    return curve;
+  }
+  for (double x : grid) {
+    std::size_t count = 0;
+    for (double s : samples)
+      if (s <= x) ++count;
+    curve.push_back(static_cast<double>(count) /
+                    static_cast<double>(samples.size()));
+  }
+  return curve;
+}
+
+std::string to_string(const BoxSummary& b) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << b.min << "/" << b.q1 << "/" << b.median << "/" << b.q3
+     << "/" << b.max << " (n=" << b.n << ")";
+  return os.str();
+}
+
+}  // namespace cw

@@ -1,0 +1,47 @@
+// Summary statistics used throughout the evaluation section:
+// geometric means, positive-fraction metrics (Table 2), box-plot quartile
+// summaries (Figs. 2–3) and performance-profile curves (Fig. 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cw {
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+double geomean(const std::vector<double>& xs);
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) via linear interpolation on a copy of xs.
+double percentile(std::vector<double> xs, double p);
+
+/// Five-number summary used to print the paper's box plots as text.
+struct BoxSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t n = 0;
+};
+BoxSummary box_summary(const std::vector<double>& xs);
+
+/// Table-2 style aggregate of a set of speedups:
+///   gm   — geometric mean over all samples,
+///   pos  — fraction (%) of samples with speedup > 1,
+///   pos_gm — geometric mean over only the positive samples.
+struct SpeedupSummary {
+  double gm = 0;
+  double pos_pct = 0;
+  double pos_gm = 0;
+  std::size_t n = 0;
+};
+SpeedupSummary summarize_speedups(const std::vector<double>& speedups);
+
+/// Performance-profile curve (Fig. 10): for each threshold x in `grid`,
+/// the fraction of samples with value <= x.
+std::vector<double> profile_curve(const std::vector<double>& samples,
+                                  const std::vector<double>& grid);
+
+/// Render a BoxSummary as "min/q1/med/q3/max (n=..)".
+std::string to_string(const BoxSummary& b);
+
+}  // namespace cw

@@ -1,0 +1,26 @@
+#include "common/timer.hpp"
+
+#include <sstream>
+
+namespace cw {
+
+void PhaseTimings::add(const std::string& label, double seconds) {
+  phases_.emplace_back(label, seconds);
+}
+
+double PhaseTimings::total() const {
+  double t = 0.0;
+  for (const auto& [label, s] : phases_) t += s;
+  return t;
+}
+
+std::string PhaseTimings::summary() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (i) os << ", ";
+    os << phases_[i].first << "=" << phases_[i].second * 1e3 << "ms";
+  }
+  return os.str();
+}
+
+}  // namespace cw

@@ -1,0 +1,71 @@
+// Wall-clock timing utilities used by the evaluation harness.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cw {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `reps` times and returns the *minimum* wall time in seconds —
+/// the conventional estimator for kernel benchmarking (least noise).
+/// A single warm-up execution happens first and is not counted.
+template <typename Fn>
+double time_best_of(int reps, Fn&& fn) {
+  fn();  // warm-up
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Mean wall time over `reps` runs (after one warm-up). The paper reports the
+/// average of 10 runs; the harness uses this when CW_REPS >= 2.
+template <typename Fn>
+double time_mean_of(int reps, Fn&& fn) {
+  fn();  // warm-up
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    total += t.seconds();
+  }
+  return total / reps;
+}
+
+/// Accumulates labelled timing phases (symbolic/numeric/preprocessing...).
+class PhaseTimings {
+ public:
+  void add(const std::string& label, double seconds);
+  [[nodiscard]] double total() const;
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace cw

@@ -1,0 +1,25 @@
+// Fundamental scalar types shared by every subsystem.
+//
+// The library uses 32-bit row/column indices (sufficient for the laptop-scale
+// suite; SuiteSparse matrices in the paper fit as well) and 64-bit offsets so
+// that nnz counts and intermediate-product counts (flops) never overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace cw {
+
+/// Row / column index of a sparse matrix.
+using index_t = std::int32_t;
+
+/// Offset into the col-id / value arrays (row pointers, nnz counts, flops).
+using offset_t = std::int64_t;
+
+/// Numeric value type. The paper's kernels are value-type agnostic; we follow
+/// the usual double-precision convention of sparse BLAS.
+using value_t = double;
+
+/// Sentinel for "no index" (parents, matches, cluster ids, ...).
+inline constexpr index_t kInvalidIndex = -1;
+
+}  // namespace cw

@@ -1,0 +1,67 @@
+// Preprocessing advisor — the paper's §5 future-work direction of
+// "predicting the best choice of reordering combined with the best
+// clustering scheme" from matrix structure.
+//
+// The advisor extracts cheap structural features (O(nnz), sampled) and maps
+// them through the decision rules the paper's evaluation supports:
+//   * consecutive rows already similar        → clustering without reordering
+//   * mesh/banded structure in scrambled order → RCM/GP-style reordering first
+//   * scattered similar rows                   → hierarchical clustering
+//   * heavy-tailed degree, no row similarity   → keep row-wise (reordering
+//     rarely pays; see the paper's webbase/wikipedia rows)
+// plus a budget knob reflecting the Fig. 10 amortization trade-off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// Structural features of a square sparse matrix (sampled where noted).
+struct MatrixFeatures {
+  index_t nrows = 0;
+  offset_t nnz = 0;
+  double avg_row_nnz = 0;
+  double max_row_nnz = 0;
+  /// Coefficient of variation of row nnz — heavy tail indicator.
+  double degree_cv = 0;
+  /// bandwidth / nrows: 1.0 ≈ fully scrambled, ~0 ≈ tightly banded.
+  double bandwidth_ratio = 0;
+  /// Mean Jaccard similarity of consecutive row pairs (sampled): high means
+  /// fixed/variable clustering will find clusters in place.
+  double consecutive_jaccard = 0;
+  /// Mean of each sampled row's best Jaccard among candidate partners from
+  /// A·Aᵀ (sampled): high while consecutive_jaccard is low means similar
+  /// rows exist but are scattered — hierarchical clustering's case.
+  double scattered_jaccard = 0;
+};
+
+/// Extract features; `sample` rows are inspected for the Jaccard statistics.
+MatrixFeatures extract_features(const Csr& a, index_t sample = 512,
+                                std::uint64_t seed = 7);
+
+/// How many SpGEMMs the preprocessing may amortize over (Fig. 10's x-axis).
+enum class ReuseBudget {
+  kSingle,    // one product: only near-free preprocessing is worth it
+  kTens,      // ~10–100 products: hierarchical clustering territory
+  kThousands  // BC-like reuse: expensive reorderings (GP/HP) pay off
+};
+
+struct Recommendation {
+  ReorderAlgo reorder = ReorderAlgo::kOriginal;
+  ClusterScheme scheme = ClusterScheme::kNone;
+  std::string rationale;
+  [[nodiscard]] PipelineOptions pipeline_options() const;
+};
+
+/// Rule-based recommendation; deterministic in the features.
+Recommendation advise(const MatrixFeatures& f,
+                      ReuseBudget budget = ReuseBudget::kTens);
+
+/// Convenience: extract + advise.
+Recommendation advise(const Csr& a, ReuseBudget budget = ReuseBudget::kTens);
+
+}  // namespace cw

@@ -1,0 +1,70 @@
+// The three cluster-construction strategies of §3.2–3.3.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr_cluster.hpp"
+#include "spgemm/topk.hpp"
+
+namespace cw {
+
+// --- fixed-length (§3.2) ----------------------------------------------------
+
+/// Group every `k` consecutive rows (last cluster may be shorter).
+Clustering fixed_length_clustering(index_t nrows, index_t k);
+
+/// Pick a fixed length from `candidates` by minimizing the CSR_Cluster
+/// padding ratio on a row sample — a cheap auto-tuner for matrices whose
+/// diagonal-block size is unknown (the paper notes "the number of rows per
+/// cluster may vary across matrices").
+index_t choose_fixed_length(const Csr& a,
+                            const std::vector<index_t>& candidates = {2, 4, 8});
+
+// --- variable-length (§3.2, Alg. 2) -----------------------------------------
+
+struct VariableClusterOptions {
+  double jaccard_threshold = 0.3;  // jacc_th, paper default
+  index_t max_cluster_size = 8;    // max_cluster_th, paper default
+};
+
+/// Alg. 2: scan consecutive rows; extend the current cluster while the
+/// Jaccard similarity to the cluster's *representative* (first) row stays
+/// above the threshold and the size cap is not hit.
+Clustering variable_length_clustering(const Csr& a,
+                                      const VariableClusterOptions& opt = {});
+
+// --- hierarchical (§3.3, Alg. 3) ---------------------------------------------
+
+struct HierarchicalOptions {
+  double jaccard_threshold = 0.3;
+  index_t max_cluster_size = 8;
+  index_t col_cap = 256;  // see TopKOptions::col_cap
+};
+
+/// Result of hierarchical clustering: a row order that places every cluster's
+/// members consecutively, plus the clustering expressed in the *new* order
+/// (ready for CsrCluster::build on a.permute_symmetric(order) /
+/// a.permute_rows(order)).
+struct HierarchicalResult {
+  Permutation order;      // order[new_pos] = old row id
+  Clustering clustering;  // consecutive ranges in the new order
+  // Preprocessing breakdown (for the Fig. 10 amortization study).
+  double topk_seconds = 0;
+  double merge_seconds = 0;
+  double build_order_seconds = 0;
+  std::size_t candidate_pairs = 0;
+  std::size_t merges = 0;
+  std::size_t rescored_pairs = 0;
+  [[nodiscard]] double total_seconds() const {
+    return topk_seconds + merge_seconds + build_order_seconds;
+  }
+};
+
+/// Alg. 3: candidate pairs via SpGEMM_TopK(A·Aᵀ), greedy merge through a
+/// max-heap with lazy re-scoring, size-capped union–find, then emit the
+/// cluster-ordered permutation (clusters sorted by their minimum original
+/// row id, members ascending — keeps whatever locality the input order had).
+HierarchicalResult hierarchical_clustering(const Csr& a,
+                                           const HierarchicalOptions& opt = {});
+
+}  // namespace cw

@@ -1,0 +1,229 @@
+#include "core/clusterwise_spgemm.hpp"
+
+#include "accumulator/cluster_accumulator.hpp"
+#include "accumulator/hash_accumulator.hpp"
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+#include "common/timer.hpp"
+
+namespace cw {
+
+const char* to_string(ClusterKernel k) {
+  switch (k) {
+    case ClusterKernel::kLaneAccumulator: return "lane";
+    case ClusterKernel::kPerRowAccumulators: return "per-row";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lane-accumulator variant: one probe per (cluster column, B entry).
+// ---------------------------------------------------------------------------
+
+void symbolic_lanes(const CsrCluster& a, const Csr& b,
+                    std::vector<offset_t>& nnz_per_row) {
+  const index_t ncl = a.num_clusters();
+  const Clustering& cl = a.clustering();
+#pragma omp parallel
+  {
+    ClusterAccumulator acc;
+    std::vector<offset_t> sizes;
+#pragma omp for schedule(dynamic, 16)
+    for (index_t c = 0; c < ncl; ++c) {
+      const index_t k = cl.size(c);
+      acc.configure(k);
+      for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
+           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1]; ++t) {
+        const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
+        const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
+        for (offset_t kb = b.row_ptr()[col]; kb < b.row_ptr()[col + 1]; ++kb) {
+          acc.add_symbolic(b.col_idx()[static_cast<std::size_t>(kb)], mask);
+        }
+      }
+      acc.lane_sizes(sizes);
+      const index_t row0 = cl.row_start(c);
+      for (index_t r = 0; r < k; ++r)
+        nnz_per_row[static_cast<std::size_t>(row0 + r)] =
+            sizes[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+void numeric_lanes(const CsrCluster& a, const Csr& b,
+                   const std::vector<offset_t>& c_row_ptr,
+                   std::vector<index_t>& c_cols, std::vector<value_t>& c_vals) {
+  const index_t ncl = a.num_clusters();
+  const Clustering& cl = a.clustering();
+#pragma omp parallel
+  {
+    ClusterAccumulator acc;
+#pragma omp for schedule(dynamic, 16)
+    for (index_t c = 0; c < ncl; ++c) {
+      const index_t k = cl.size(c);
+      acc.configure(k);
+      offset_t val_off = a.value_ptr()[static_cast<std::size_t>(c)];
+      // Alg. 1 lines 3–8: each B row is fetched once per cluster; the
+      // K-wide lane FMA applies it to every owning row.
+      for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
+           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1];
+           ++t, val_off += k) {
+        const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
+        const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
+        const value_t* avals = &a.values()[static_cast<std::size_t>(val_off)];
+        for (offset_t kb = b.row_ptr()[col]; kb < b.row_ptr()[col + 1]; ++kb) {
+          acc.add_scaled(b.col_idx()[static_cast<std::size_t>(kb)], mask, avals,
+                         b.values()[static_cast<std::size_t>(kb)]);
+        }
+      }
+      // One pass over the table writes every row's output segment directly
+      // (keys come out ascending per lane, matching CSR's sorted-row
+      // invariant).
+      const index_t row0 = cl.row_start(c);
+      offset_t cursor[CsrCluster::kMaxClusterSize];
+      for (index_t r = 0; r < k; ++r)
+        cursor[r] = c_row_ptr[static_cast<std::size_t>(row0 + r)];
+      acc.extract_all_sorted([&](index_t r, index_t key, value_t v) {
+        const offset_t dst = cursor[r]++;
+        c_cols[static_cast<std::size_t>(dst)] = key;
+        c_vals[static_cast<std::size_t>(dst)] = v;
+      });
+#ifndef NDEBUG
+      for (index_t r = 0; r < k; ++r)
+        CW_DCHECK(cursor[r] == c_row_ptr[static_cast<std::size_t>(row0 + r) + 1]);
+#endif
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-row-accumulator variant (Alg. 1 verbatim; ablation baseline).
+// ---------------------------------------------------------------------------
+
+void symbolic_per_row(const CsrCluster& a, const Csr& b,
+                      std::vector<offset_t>& nnz_per_row) {
+  const index_t ncl = a.num_clusters();
+  const Clustering& cl = a.clustering();
+  const index_t max_k = cl.max_size();
+#pragma omp parallel
+  {
+    std::vector<HashAccumulator> accs(static_cast<std::size_t>(max_k));
+#pragma omp for schedule(dynamic, 16)
+    for (index_t c = 0; c < ncl; ++c) {
+      const index_t k = cl.size(c);
+      for (index_t r = 0; r < k; ++r) accs[static_cast<std::size_t>(r)].reset();
+      for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
+           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1]; ++t) {
+        const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
+        const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
+        for (offset_t kb = b.row_ptr()[col]; kb < b.row_ptr()[col + 1]; ++kb) {
+          const index_t bj = b.col_idx()[static_cast<std::size_t>(kb)];
+          std::uint64_t m = mask;
+          while (m) {
+            const int r = __builtin_ctzll(m);
+            m &= m - 1;
+            accs[static_cast<std::size_t>(r)].add_symbolic(bj);
+          }
+        }
+      }
+      const index_t row0 = cl.row_start(c);
+      for (index_t r = 0; r < k; ++r)
+        nnz_per_row[static_cast<std::size_t>(row0 + r)] =
+            accs[static_cast<std::size_t>(r)].size();
+    }
+  }
+}
+
+void numeric_per_row(const CsrCluster& a, const Csr& b,
+                     const std::vector<offset_t>& c_row_ptr,
+                     std::vector<index_t>& c_cols,
+                     std::vector<value_t>& c_vals) {
+  const index_t ncl = a.num_clusters();
+  const Clustering& cl = a.clustering();
+  const index_t max_k = cl.max_size();
+#pragma omp parallel
+  {
+    std::vector<HashAccumulator> accs(static_cast<std::size_t>(max_k));
+    std::vector<index_t> cols_buf;
+    std::vector<value_t> vals_buf;
+#pragma omp for schedule(dynamic, 16)
+    for (index_t c = 0; c < ncl; ++c) {
+      const index_t k = cl.size(c);
+      for (index_t r = 0; r < k; ++r) accs[static_cast<std::size_t>(r)].reset();
+      offset_t val_off = a.value_ptr()[static_cast<std::size_t>(c)];
+      for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
+           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1];
+           ++t, val_off += k) {
+        const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
+        const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
+        for (offset_t kb = b.row_ptr()[col]; kb < b.row_ptr()[col + 1]; ++kb) {
+          const index_t bj = b.col_idx()[static_cast<std::size_t>(kb)];
+          const value_t bv = b.values()[static_cast<std::size_t>(kb)];
+          std::uint64_t m = mask;
+          while (m) {
+            const int r = __builtin_ctzll(m);
+            m &= m - 1;
+            accs[static_cast<std::size_t>(r)].add(
+                bj, a.values()[static_cast<std::size_t>(val_off + r)] * bv);
+          }
+        }
+      }
+      const index_t row0 = cl.row_start(c);
+      for (index_t r = 0; r < k; ++r) {
+        cols_buf.clear();
+        vals_buf.clear();
+        accs[static_cast<std::size_t>(r)].extract_sorted(cols_buf, vals_buf);
+        const offset_t dst = c_row_ptr[static_cast<std::size_t>(row0 + r)];
+        for (std::size_t u = 0; u < cols_buf.size(); ++u) {
+          c_cols[static_cast<std::size_t>(dst) + u] = cols_buf[u];
+          c_vals[static_cast<std::size_t>(dst) + u] = vals_buf[u];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<offset_t> clusterwise_symbolic(const CsrCluster& a, const Csr& b,
+                                           ClusterKernel kernel) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+  std::vector<offset_t> nnz_per_row(static_cast<std::size_t>(a.nrows()), 0);
+  if (kernel == ClusterKernel::kLaneAccumulator) {
+    symbolic_lanes(a, b, nnz_per_row);
+  } else {
+    symbolic_per_row(a, b, nnz_per_row);
+  }
+  return nnz_per_row;
+}
+
+Csr clusterwise_spgemm(const CsrCluster& a, const Csr& b, SpgemmStats* stats,
+                       ClusterKernel kernel) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+
+  Timer t_sym;
+  std::vector<offset_t> counts = clusterwise_symbolic(a, b, kernel);
+  std::vector<offset_t> c_row_ptr = counts_to_pointers(counts);
+  const double symbolic_s = t_sym.seconds();
+
+  Timer t_num;
+  std::vector<index_t> c_cols(static_cast<std::size_t>(c_row_ptr.back()));
+  std::vector<value_t> c_vals(static_cast<std::size_t>(c_row_ptr.back()));
+  if (kernel == ClusterKernel::kLaneAccumulator) {
+    numeric_lanes(a, b, c_row_ptr, c_cols, c_vals);
+  } else {
+    numeric_per_row(a, b, c_row_ptr, c_cols, c_vals);
+  }
+  const double numeric_s = t_num.seconds();
+
+  if (stats) {
+    stats->symbolic_seconds = symbolic_s;
+    stats->numeric_seconds = numeric_s;
+    stats->output_nnz = c_row_ptr.back();
+  }
+  return Csr(a.nrows(), b.ncols(), std::move(c_row_ptr), std::move(c_cols),
+             std::move(c_vals));
+}
+
+}  // namespace cw

@@ -1,0 +1,39 @@
+// Cluster-wise SpGEMM (Alg. 1): C = A_cluster × B.
+//
+// Iteration order per cluster: over the cluster's *distinct columns* (the
+// merged row of Fig. 5), then over B's row for that column, then over every
+// cluster row that owns the column. A row of B is therefore touched exactly
+// once per cluster and reused by all rows in it while cache-resident — the
+// locality improvement the paper builds on.
+//
+// Two kernel variants are provided:
+//   * kLaneAccumulator (default): one hash table per cluster whose slots
+//     carry `cluster_size` value lanes — a single probe per
+//     (cluster column, B entry) serves every row, so the cluster's reuse
+//     also saves hash work, not just B traffic.
+//   * kPerRowAccumulators: the literal reading of Alg. 1 with one
+//     independent hash accumulator per cluster row (ablation baseline).
+#pragma once
+
+#include "matrix/csr_cluster.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace cw {
+
+enum class ClusterKernel { kLaneAccumulator, kPerRowAccumulators };
+
+const char* to_string(ClusterKernel k);
+
+/// Symbolic phase: nnz of every row of C = A_cluster × B.
+std::vector<offset_t> clusterwise_symbolic(
+    const CsrCluster& a, const Csr& b,
+    ClusterKernel kernel = ClusterKernel::kLaneAccumulator);
+
+/// C = A_cluster × B with exact allocation; rows of C sorted. Identical
+/// output (pattern and values, up to FP addition order) to
+/// spgemm(a.to_csr(), b).
+Csr clusterwise_spgemm(const CsrCluster& a, const Csr& b,
+                       SpgemmStats* stats = nullptr,
+                       ClusterKernel kernel = ClusterKernel::kLaneAccumulator);
+
+}  // namespace cw

@@ -1,0 +1,41 @@
+#include "core/clusterwise_spmm.hpp"
+
+#include "common/error.hpp"
+
+namespace cw {
+
+Dense clusterwise_spmm(const CsrCluster& a, const Dense& b) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpMM");
+  const index_t m = b.ncols();
+  Dense c(a.nrows(), m);
+  const Clustering& cl = a.clustering();
+  const index_t ncl = a.num_clusters();
+
+#pragma omp parallel for schedule(dynamic, 16)
+  for (index_t cidx = 0; cidx < ncl; ++cidx) {
+    const index_t k = cl.size(cidx);
+    const index_t row0 = cl.row_start(cidx);
+    offset_t val_off = a.value_ptr()[static_cast<std::size_t>(cidx)];
+    for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(cidx)];
+         t < a.cluster_ptr()[static_cast<std::size_t>(cidx) + 1];
+         ++t, val_off += k) {
+      const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
+      const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
+      const value_t* avals = &a.values()[static_cast<std::size_t>(val_off)];
+      // B row `col` is streamed once; every owning cluster row consumes it
+      // while it sits in cache.
+      std::uint64_t msk = mask;
+      while (msk) {
+        const int r = __builtin_ctzll(msk);
+        msk &= msk - 1;
+        const value_t arv = avals[r];
+        value_t* crow = c.row_data(row0 + r);
+        const value_t* brow = b.row_data(col);
+        for (index_t j = 0; j < m; ++j) crow[j] += arv * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace cw

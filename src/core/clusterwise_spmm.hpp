@@ -1,0 +1,16 @@
+// Cluster-wise SpMM: the Alg. 1 dataflow applied to a dense B operand —
+// each dense B row is streamed once per cluster and fused into every owning
+// output row while resident (the SpMM analogue the hierarchical-clustering
+// lineage [32] started from).
+#pragma once
+
+#include "matrix/csr_cluster.hpp"
+#include "matrix/dense.hpp"
+
+namespace cw {
+
+/// C = A_cluster × B (dense). Identical result to spmm(a.to_csr(), b) up to
+/// FP addition order.
+Dense clusterwise_spmm(const CsrCluster& a, const Dense& b);
+
+}  // namespace cw

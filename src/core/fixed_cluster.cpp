@@ -1,0 +1,79 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/clustering_schemes.hpp"
+
+namespace cw {
+
+Clustering fixed_length_clustering(index_t nrows, index_t k) {
+  return Clustering::fixed(nrows, k);
+}
+
+namespace {
+
+/// Estimated CSR_Cluster slots for grouping rows [lo, lo+k) — distinct
+/// columns × k. Uses the same merge the real builder uses but only counts.
+offset_t padded_slots(const Csr& a, index_t lo, index_t k) {
+  // Count distinct columns via a k-way scan over the sorted rows.
+  offset_t distinct = 0;
+  std::vector<offset_t> cursor(static_cast<std::size_t>(k));
+  for (index_t r = 0; r < k; ++r)
+    cursor[static_cast<std::size_t>(r)] = a.row_ptr()[lo + r];
+  for (;;) {
+    index_t min_col = -1;
+    for (index_t r = 0; r < k; ++r) {
+      const offset_t cur = cursor[static_cast<std::size_t>(r)];
+      if (cur < a.row_ptr()[lo + r + 1]) {
+        const index_t c = a.col_idx()[static_cast<std::size_t>(cur)];
+        if (min_col < 0 || c < min_col) min_col = c;
+      }
+    }
+    if (min_col < 0) break;
+    ++distinct;
+    for (index_t r = 0; r < k; ++r) {
+      offset_t& cur = cursor[static_cast<std::size_t>(r)];
+      if (cur < a.row_ptr()[lo + r + 1] &&
+          a.col_idx()[static_cast<std::size_t>(cur)] == min_col)
+        ++cur;
+    }
+  }
+  return distinct * k;
+}
+
+}  // namespace
+
+index_t choose_fixed_length(const Csr& a, const std::vector<index_t>& candidates) {
+  CW_CHECK(!candidates.empty());
+  const index_t n = a.nrows();
+  // Sample up to 64 cluster-aligned windows spread over the matrix.
+  index_t best_k = candidates[0];
+  double best_ratio = 1e300;
+  for (index_t k : candidates) {
+    CW_CHECK(k >= 1 && k <= CsrCluster::kMaxClusterSize);
+    offset_t slots = 0, nnz = 0;
+    const index_t nwindows = std::max<index_t>(1, std::min<index_t>(64, n / std::max<index_t>(k, 1)));
+    for (index_t w = 0; w < nwindows; ++w) {
+      index_t lo = static_cast<index_t>(
+          (static_cast<offset_t>(w) * (n - k)) / std::max<index_t>(nwindows, 1));
+      // Align to a real cluster boundary: fixed-length clustering always
+      // starts clusters at multiples of k, so sampling must too.
+      lo = (lo / k) * k;
+      lo = std::min(lo, n - k);
+      if (lo < 0) break;
+      slots += padded_slots(a, lo, k);
+      nnz += a.row_ptr()[lo + k] - a.row_ptr()[lo];
+    }
+    if (nnz == 0) continue;
+    // Padding ratio per stored nonzero; smaller is better. Ties favour the
+    // larger k (more B-row reuse).
+    const double ratio = static_cast<double>(slots) / static_cast<double>(nnz);
+    if (ratio < best_ratio - 1e-12 ||
+        (std::abs(ratio - best_ratio) <= 1e-12 && k > best_k)) {
+      best_ratio = ratio;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace cw

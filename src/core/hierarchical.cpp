@@ -1,0 +1,124 @@
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/clustering_schemes.hpp"
+#include "core/jaccard.hpp"
+#include "core/union_find.hpp"
+
+namespace cw {
+
+namespace {
+
+/// Heap entry: highest Jaccard first; ties broken on (i, j) for determinism.
+struct HeapEntry {
+  double score;
+  index_t i, j;
+  bool operator<(const HeapEntry& o) const {
+    if (score != o.score) return score < o.score;
+    if (i != o.i) return i > o.i;
+    return j > o.j;
+  }
+};
+
+std::uint64_t pair_key(index_t i, index_t j) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(j));
+}
+
+}  // namespace
+
+HierarchicalResult hierarchical_clustering(const Csr& a,
+                                           const HierarchicalOptions& opt) {
+  CW_CHECK(opt.max_cluster_size >= 1 &&
+           opt.max_cluster_size <= CsrCluster::kMaxClusterSize);
+  const index_t n = a.nrows();
+  HierarchicalResult result;
+
+  // ---- Alg. 3 lines 1–3: candidate pairs via SpGEMM(A·Aᵀ) top-K. ----------
+  // Values are irrelevant for the overlap count (spgemm_topk works on the
+  // pattern), which is exactly the "reset all values in A to 1" step.
+  Timer t_topk;
+  TopKOptions topk_opt;
+  topk_opt.topk = std::max<index_t>(1, opt.max_cluster_size - 1);
+  topk_opt.jaccard_threshold = opt.jaccard_threshold;
+  topk_opt.col_cap = opt.col_cap;
+  std::vector<CandidatePair> candidates = spgemm_topk(a, topk_opt);
+  result.topk_seconds = t_topk.seconds();
+  result.candidate_pairs = candidates.size();
+
+  // ---- Alg. 3 lines 5–23: greedy merge with lazy re-scoring. --------------
+  Timer t_merge;
+  std::priority_queue<HeapEntry> sim_queue;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(candidates.size() * 2);
+  for (const CandidatePair& p : candidates) {
+    sim_queue.push({p.score, p.i, p.j});
+    seen.insert(pair_key(p.i, p.j));
+  }
+
+  UnionFind uf(n);
+  while (!sim_queue.empty()) {
+    const HeapEntry top = sim_queue.top();
+    sim_queue.pop();
+    index_t i = top.i, j = top.j;
+    if (uf.is_root(i) && uf.is_root(j)) {
+      if (uf.unite_capped(i, j, opt.max_cluster_size)) ++result.merges;
+    } else {
+      // One endpoint was absorbed: re-score the pair of current roots
+      // (Alg. 3 lines 13–20) and requeue it if still similar.
+      i = uf.find(i);
+      j = uf.find(j);
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      if (seen.insert(pair_key(i, j)).second) {
+        const double score = jaccard_similarity(a, i, j);
+        ++result.rescored_pairs;
+        if (score > opt.jaccard_threshold) sim_queue.push({score, i, j});
+      }
+    }
+  }
+  result.merge_seconds = t_merge.seconds();
+
+  // ---- Emit cluster-ordered permutation + clustering. ----------------------
+  // Members of each set, gathered per root in ascending row order; clusters
+  // ordered by minimum member (== first member since we scan ascending).
+  Timer t_build;
+  std::vector<index_t> head(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<index_t> next(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<index_t> tail(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<index_t> cluster_order;  // roots by first-seen (ascending row)
+  cluster_order.reserve(static_cast<std::size_t>(n));
+  for (index_t r = 0; r < n; ++r) {
+    const index_t root = uf.find(r);
+    if (head[static_cast<std::size_t>(root)] == kInvalidIndex) {
+      head[static_cast<std::size_t>(root)] = r;
+      tail[static_cast<std::size_t>(root)] = r;
+      cluster_order.push_back(root);
+    } else {
+      next[static_cast<std::size_t>(tail[static_cast<std::size_t>(root)])] = r;
+      tail[static_cast<std::size_t>(root)] = r;
+    }
+  }
+  result.order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> sizes;
+  sizes.reserve(cluster_order.size());
+  for (index_t root : cluster_order) {
+    index_t sz = 0;
+    for (index_t r = head[static_cast<std::size_t>(root)]; r != kInvalidIndex;
+         r = next[static_cast<std::size_t>(r)]) {
+      result.order.push_back(r);
+      ++sz;
+    }
+    sizes.push_back(sz);
+  }
+  result.clustering = Clustering::from_sizes(sizes);
+  result.build_order_seconds = t_build.seconds();
+
+  CW_DCHECK(is_permutation(result.order, n));
+  return result;
+}
+
+}  // namespace cw

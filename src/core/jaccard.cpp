@@ -1,0 +1,33 @@
+#include "core/jaccard.hpp"
+
+namespace cw {
+
+index_t row_overlap(const Csr& a, index_t i, index_t j) {
+  auto ci = a.row_cols(i);
+  auto cj = a.row_cols(j);
+  index_t overlap = 0;
+  std::size_t p = 0, q = 0;
+  while (p < ci.size() && q < cj.size()) {
+    if (ci[p] == cj[q]) {
+      ++overlap;
+      ++p;
+      ++q;
+    } else if (ci[p] < cj[q]) {
+      ++p;
+    } else {
+      ++q;
+    }
+  }
+  return overlap;
+}
+
+double jaccard_similarity(const Csr& a, index_t i, index_t j) {
+  const index_t ni = a.row_nnz(i);
+  const index_t nj = a.row_nnz(j);
+  if (ni == 0 && nj == 0) return 0.0;
+  const index_t inter = row_overlap(a, i, j);
+  const index_t uni = ni + nj - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace cw

@@ -1,0 +1,14 @@
+// Jaccard similarity between sparsity patterns of two CSR rows (§3.2).
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// |cols(i) ∩ cols(j)| / |cols(i) ∪ cols(j)|. Two empty rows score 0.
+double jaccard_similarity(const Csr& a, index_t i, index_t j);
+
+/// Intersection size of the (sorted) column sets of rows i and j.
+index_t row_overlap(const Csr& a, index_t i, index_t j);
+
+}  // namespace cw

@@ -1,0 +1,91 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace cw {
+
+const char* to_string(ClusterScheme scheme) {
+  switch (scheme) {
+    case ClusterScheme::kNone: return "row-wise";
+    case ClusterScheme::kFixed: return "fixed-length";
+    case ClusterScheme::kVariable: return "variable-length";
+    case ClusterScheme::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
+  CW_CHECK_MSG(a.nrows() == a.ncols(), "Pipeline requires a square matrix");
+  stats_.csr_bytes = a.memory_bytes();
+
+  // --- Step 1: explicit reordering (skipped for Original). -----------------
+  Timer t_reorder;
+  if (opt.reorder == ReorderAlgo::kOriginal) {
+    order_ = original_order(a);
+    a_ = a;
+  } else {
+    order_ = reorder(a, opt.reorder, opt.reorder_opt);
+    a_ = a.permute_symmetric(order_);
+  }
+  stats_.reorder_seconds = t_reorder.seconds();
+
+  // --- Step 2: clustering. --------------------------------------------------
+  Timer t_cluster;
+  switch (opt.scheme) {
+    case ClusterScheme::kNone:
+      clustering_ = Clustering::singletons(a_.nrows());
+      break;
+    case ClusterScheme::kFixed: {
+      index_t k = opt.fixed_length;
+      if (k <= 0) k = choose_fixed_length(a_);
+      clustering_ = fixed_length_clustering(a_.nrows(), k);
+      break;
+    }
+    case ClusterScheme::kVariable:
+      clustering_ = variable_length_clustering(a_, opt.variable_opt);
+      break;
+    case ClusterScheme::kHierarchical: {
+      HierarchicalResult h = hierarchical_clustering(a_, opt.hierarchical_opt);
+      // Hierarchical clustering reorders as a side effect (§3.3): compose
+      // its order with the explicit one and permute the matrix again.
+      a_ = a_.permute_symmetric(h.order);
+      Permutation composed(order_.size());
+      for (std::size_t i = 0; i < composed.size(); ++i)
+        composed[i] = order_[static_cast<std::size_t>(h.order[i])];
+      order_ = std::move(composed);
+      clustering_ = std::move(h.clustering);
+      break;
+    }
+  }
+  stats_.cluster_seconds = t_cluster.seconds();
+  stats_.num_clusters = clustering_.num_clusters();
+
+  // --- Step 3: clustered format. --------------------------------------------
+  Timer t_format;
+  if (opt.scheme != ClusterScheme::kNone) {
+    clustered_ = CsrCluster::build(a_, clustering_);
+    stats_.clustered_bytes = clustered_->memory_bytes();
+  }
+  stats_.format_seconds = t_format.seconds();
+}
+
+Csr Pipeline::multiply_square(SpgemmStats* kernel_stats) const {
+  if (clustered_) return clusterwise_spgemm(*clustered_, a_, kernel_stats);
+  return spgemm(a_, a_, opt_.accumulator, kernel_stats);
+}
+
+Csr Pipeline::multiply(const Csr& b, SpgemmStats* kernel_stats) const {
+  CW_CHECK_MSG(b.nrows() == a_.ncols(),
+               "B has " << b.nrows() << " rows, expected " << a_.ncols());
+  // A's columns were relabelled by order_, so B's rows must follow.
+  const Csr b_perm = b.permute_rows(order_);
+  if (clustered_) return clusterwise_spgemm(*clustered_, b_perm, kernel_stats);
+  return spgemm(a_, b_perm, opt_.accumulator, kernel_stats);
+}
+
+Csr Pipeline::unpermute_rows(const Csr& c) const {
+  return c.permute_rows(invert_permutation(order_));
+}
+
+}  // namespace cw

@@ -1,0 +1,95 @@
+// High-level public API: preprocess a square A once (reorder → cluster →
+// build CSR_Cluster), then run many SpGEMMs against it — the amortization
+// scenario (§4.5) the paper targets (e.g. BC's repeated frontier products).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/clustering_schemes.hpp"
+#include "core/clusterwise_spgemm.hpp"
+#include "matrix/csr_cluster.hpp"
+#include "reorder/reorder.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace cw {
+
+/// Which cluster-wise scheme to run (§3.2–3.3). kNone = row-wise baseline.
+enum class ClusterScheme { kNone, kFixed, kVariable, kHierarchical };
+
+const char* to_string(ClusterScheme scheme);
+
+struct PipelineOptions {
+  /// Reordering applied first (Original = keep input order). Ignored rows vs
+  /// columns: applied symmetrically, P·A·Pᵀ.
+  ReorderAlgo reorder = ReorderAlgo::kOriginal;
+  ReorderOptions reorder_opt = {};
+
+  ClusterScheme scheme = ClusterScheme::kHierarchical;
+  /// kFixed: rows per cluster; 0 = auto-tune via choose_fixed_length().
+  index_t fixed_length = 0;
+  VariableClusterOptions variable_opt = {};
+  HierarchicalOptions hierarchical_opt = {};
+
+  /// Accumulator for the row-wise path (cluster-wise always uses hash, as in
+  /// the paper).
+  Accumulator accumulator = Accumulator::kHash;
+};
+
+/// Preprocessing timings + format stats for the overhead study (§4.5).
+struct PipelineStats {
+  double reorder_seconds = 0;
+  double cluster_seconds = 0;  // clustering construction (Alg. 2 / Alg. 3)
+  double format_seconds = 0;   // CsrCluster::build
+  std::size_t csr_bytes = 0;
+  std::size_t clustered_bytes = 0;  // 0 when scheme == kNone
+  index_t num_clusters = 0;
+  [[nodiscard]] double preprocess_seconds() const {
+    return reorder_seconds + cluster_seconds + format_seconds;
+  }
+  [[nodiscard]] double memory_ratio() const {
+    return csr_bytes > 0 && clustered_bytes > 0
+               ? static_cast<double>(clustered_bytes) / static_cast<double>(csr_bytes)
+               : 1.0;
+  }
+};
+
+/// Preprocess-once / multiply-many context.
+class Pipeline {
+ public:
+  /// Preprocesses `a` according to `opt`. `a` must be square.
+  Pipeline(const Csr& a, const PipelineOptions& opt);
+
+  /// The row order in effect (order[new_pos] = original row). Hierarchical
+  /// clustering contributes its own reordering on top of opt.reorder.
+  [[nodiscard]] const Permutation& order() const { return order_; }
+
+  /// The preprocessed A (reordered symmetrically).
+  [[nodiscard]] const Csr& matrix() const { return a_; }
+
+  /// Cluster structure (singletons when scheme == kNone).
+  [[nodiscard]] const Clustering& clustering() const { return clustering_; }
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+
+  /// C = A' × A' in the preprocessed (permuted) space. Equal to P·A²·Pᵀ.
+  [[nodiscard]] Csr multiply_square(SpgemmStats* kernel_stats = nullptr) const;
+
+  /// C = A' × B where B's rows are given in the *original* index space;
+  /// they are permuted to match A's column order internally. The result's
+  /// rows are in the preprocessed order (use unpermute_rows to go back).
+  [[nodiscard]] Csr multiply(const Csr& b, SpgemmStats* kernel_stats = nullptr) const;
+
+  /// Undo the row permutation of a product computed in preprocessed space.
+  [[nodiscard]] Csr unpermute_rows(const Csr& c) const;
+
+ private:
+  PipelineOptions opt_;
+  Csr a_;                    // preprocessed matrix
+  Permutation order_;        // composition of reorder (+ hierarchical order)
+  Clustering clustering_;
+  std::optional<CsrCluster> clustered_;  // engaged unless scheme == kNone
+  PipelineStats stats_;
+};
+
+}  // namespace cw

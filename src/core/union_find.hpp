@@ -1,0 +1,66 @@
+// Union–find with union-by-size and path halving, plus the size-capped union
+// used by hierarchical clustering (merges that would exceed the maximum
+// cluster size are rejected, per §3.3).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cw {
+
+class UnionFind {
+ public:
+  explicit UnionFind(index_t n) : parent_(static_cast<std::size_t>(n)),
+                                  size_(static_cast<std::size_t>(n), 1) {
+    for (index_t i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+
+  /// Representative of x's set (path halving).
+  index_t find(index_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  /// True iff x is currently the representative of its set.
+  [[nodiscard]] bool is_root(index_t x) const {
+    return parent_[static_cast<std::size_t>(x)] == x;
+  }
+
+  /// Size of the set containing x.
+  index_t set_size(index_t x) { return size_[static_cast<std::size_t>(find(x))]; }
+
+  /// Merge the sets of a and b. Returns false if already joined.
+  bool unite(index_t a, index_t b) {
+    index_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)])
+      std::swap(ra, rb);
+    parent_[static_cast<std::size_t>(rb)] = ra;
+    size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+    return true;
+  }
+
+  /// Merge only if the combined size stays within `cap`. Returns whether a
+  /// merge happened.
+  bool unite_capped(index_t a, index_t b, index_t cap) {
+    index_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    if (size_[static_cast<std::size_t>(ra)] + size_[static_cast<std::size_t>(rb)] > cap)
+      return false;
+    return unite(ra, rb);
+  }
+
+  [[nodiscard]] index_t n() const { return static_cast<index_t>(parent_.size()); }
+
+ private:
+  std::vector<index_t> parent_;
+  std::vector<index_t> size_;
+};
+
+}  // namespace cw

@@ -1,0 +1,34 @@
+#include "common/error.hpp"
+#include "core/clustering_schemes.hpp"
+#include "core/jaccard.hpp"
+
+namespace cw {
+
+// Alg. 2 verbatim: the first row of each cluster is its representative;
+// consecutive rows join while their Jaccard similarity with the
+// representative exceeds jacc_th and the cluster is below max_cluster_th.
+Clustering variable_length_clustering(const Csr& a,
+                                      const VariableClusterOptions& opt) {
+  CW_CHECK(opt.max_cluster_size >= 1 &&
+           opt.max_cluster_size <= CsrCluster::kMaxClusterSize);
+  const index_t n = a.nrows();
+  std::vector<index_t> sizes;
+  if (n == 0) return Clustering::from_sizes(sizes);
+
+  index_t rep_row = 0;
+  index_t cluster_sz = 1;
+  for (index_t i = 1; i < n; ++i) {
+    const double j_score = jaccard_similarity(a, rep_row, i);
+    if (j_score < opt.jaccard_threshold || cluster_sz == opt.max_cluster_size) {
+      sizes.push_back(cluster_sz);
+      rep_row = i;
+      cluster_sz = 1;
+    } else {
+      ++cluster_sz;
+    }
+  }
+  sizes.push_back(cluster_sz);
+  return Clustering::from_sizes(sizes);
+}
+
+}  // namespace cw

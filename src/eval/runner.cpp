@@ -1,0 +1,78 @@
+#include "eval/runner.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/timer.hpp"
+
+namespace cw {
+
+RunConfig run_config_from_env() {
+  RunConfig cfg;
+  cfg.scale = suite_scale_from_env();
+  if (const char* reps = std::getenv("CW_REPS")) {
+    const int r = std::atoi(reps);
+    if (r >= 1) cfg.reps = r;
+  }
+  if (const char* filter = std::getenv("CW_DATASETS")) {
+    std::istringstream ss(filter);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) cfg.dataset_filter.push_back(tok);
+    }
+  }
+  return cfg;
+}
+
+bool dataset_selected(const RunConfig& cfg, const std::string& name) {
+  if (cfg.dataset_filter.empty()) return true;
+  for (const auto& f : cfg.dataset_filter)
+    if (f == name) return true;
+  return false;
+}
+
+double time_rowwise_square(const Csr& a, const RunConfig& cfg) {
+  return time_mean_of(cfg.reps, [&] {
+    Csr c = spgemm(a, a, Accumulator::kHash);
+    (void)c;
+  });
+}
+
+double time_pipeline_square(const Pipeline& pipeline, const RunConfig& cfg) {
+  return time_mean_of(cfg.reps, [&] {
+    Csr c = pipeline.multiply_square();
+    (void)c;
+  });
+}
+
+double time_rowwise(const Csr& a, const Csr& b, const RunConfig& cfg) {
+  return time_mean_of(cfg.reps, [&] {
+    Csr c = spgemm(a, b, Accumulator::kHash);
+    (void)c;
+  });
+}
+
+double time_pipeline(const Pipeline& pipeline, const Csr& b,
+                     const RunConfig& cfg) {
+  return time_mean_of(cfg.reps, [&] {
+    Csr c = pipeline.multiply(b);
+    (void)c;
+  });
+}
+
+SquareExperiment run_square_experiment(const std::string& dataset,
+                                       const Csr& a,
+                                       const PipelineOptions& opt,
+                                       double baseline_seconds,
+                                       const RunConfig& cfg) {
+  SquareExperiment e;
+  e.dataset = dataset;
+  e.baseline_seconds = baseline_seconds;
+  Pipeline pipeline(a, opt);
+  e.pipeline_stats = pipeline.stats();
+  e.preprocess_seconds = pipeline.stats().preprocess_seconds();
+  e.variant_seconds = time_pipeline_square(pipeline, cfg);
+  return e;
+}
+
+}  // namespace cw

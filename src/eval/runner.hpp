@@ -1,0 +1,66 @@
+// Shared experiment driver for every table/figure bench binary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+
+namespace cw {
+
+struct RunConfig {
+  SuiteScale scale = SuiteScale::kSmall;
+  int reps = 3;  // paper averages 10 runs; CW_REPS overrides
+  /// Optional comma-separated dataset filter (CW_DATASETS).
+  std::vector<std::string> dataset_filter;
+};
+
+/// CW_SUITE / CW_REPS / CW_DATASETS environment configuration.
+RunConfig run_config_from_env();
+
+/// True if `name` passes the dataset filter.
+bool dataset_selected(const RunConfig& cfg, const std::string& name);
+
+/// Mean seconds of row-wise SpGEMM A×A (hash accumulator) over cfg.reps runs.
+double time_rowwise_square(const Csr& a, const RunConfig& cfg);
+
+/// Mean seconds of the pipeline's A'×A' over cfg.reps runs (preprocessing
+/// excluded — it is reported separately via pipeline.stats()).
+double time_pipeline_square(const Pipeline& pipeline, const RunConfig& cfg);
+
+/// Mean seconds of row-wise A×B over cfg.reps runs.
+double time_rowwise(const Csr& a, const Csr& b, const RunConfig& cfg);
+
+/// Mean seconds of the pipeline's A'×B over cfg.reps runs.
+double time_pipeline(const Pipeline& pipeline, const Csr& b,
+                     const RunConfig& cfg);
+
+/// One dataset × one pipeline configuration, A² workload.
+struct SquareExperiment {
+  std::string dataset;
+  double baseline_seconds = 0;   // row-wise, original order
+  double variant_seconds = 0;    // configured pipeline
+  double preprocess_seconds = 0; // reorder + cluster + format build
+  PipelineStats pipeline_stats;
+  [[nodiscard]] double speedup() const {
+    return variant_seconds > 0 ? baseline_seconds / variant_seconds : 0.0;
+  }
+  /// SpGEMM iterations needed to amortize preprocessing (Fig. 10); infinity
+  /// when the variant is not faster.
+  [[nodiscard]] double amortization_iters() const {
+    const double gain = baseline_seconds - variant_seconds;
+    if (gain <= 0) return 1e18;
+    return preprocess_seconds / gain;
+  }
+};
+
+/// Run one configuration against a prebuilt baseline time.
+SquareExperiment run_square_experiment(const std::string& dataset,
+                                       const Csr& a,
+                                       const PipelineOptions& opt,
+                                       double baseline_seconds,
+                                       const RunConfig& cfg);
+
+}  // namespace cw

@@ -1,0 +1,65 @@
+#include "eval/tables.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace cw {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << "  ";
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      if (c == 0) {
+        os << cell << std::string(width[c] - cell.size(), ' ');
+      } else {
+        os << std::string(width[c] - cell.size(), ' ') << cell;
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double x, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << x;
+  return os.str();
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s < 1e-3) {
+    os << std::fixed << std::setprecision(1) << s * 1e6 << "us";
+  } else if (s < 1.0) {
+    os << std::fixed << std::setprecision(2) << s * 1e3 << "ms";
+  } else {
+    os << std::fixed << std::setprecision(2) << s << "s";
+  }
+  return os.str();
+}
+
+std::string fmt_speedup(double s) { return fmt_double(s, 2) + "x"; }
+
+}  // namespace cw

@@ -1,0 +1,29 @@
+// Fixed-width text table rendering for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cw {
+
+/// Simple left-aligned-first-column table with right-aligned numerics.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt_double(double x, int precision = 2);
+std::string fmt_seconds(double s);
+std::string fmt_speedup(double s);
+
+}  // namespace cw

@@ -1,0 +1,367 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matrix/coo.hpp"
+
+namespace cw {
+
+namespace {
+
+/// Uniform value in [0.5, 1.5) — keeps products well-conditioned.
+value_t rand_val(Rng& rng) { return 0.5 + rng.uniform(); }
+
+}  // namespace
+
+Csr gen_grid2d(index_t nx, index_t ny, int stencil) {
+  CW_CHECK(nx >= 1 && ny >= 1);
+  CW_CHECK(stencil == 5 || stencil == 9);
+  const index_t n = nx * ny;
+  Coo coo(n, n);
+  Rng rng(0x61d2d5eedULL + static_cast<std::uint64_t>(n));
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      coo.push(v, v, 4.0 + rng.uniform());
+      const int dx9[] = {-1, 1, 0, 0, -1, -1, 1, 1};
+      const int dy9[] = {0, 0, -1, 1, -1, 1, -1, 1};
+      const int nn = stencil == 5 ? 4 : 8;
+      for (int d = 0; d < nn; ++d) {
+        const index_t xx = x + dx9[d], yy = y + dy9[d];
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+        coo.push(v, id(xx, yy), -rand_val(rng));
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_grid3d(index_t nx, index_t ny, index_t nz, int stencil) {
+  CW_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  CW_CHECK(stencil == 7 || stencil == 27);
+  const index_t n = nx * ny * nz;
+  Coo coo(n, n);
+  Rng rng(0x3dULL + static_cast<std::uint64_t>(n));
+  auto id = [&](index_t x, index_t y, index_t z) { return (z * ny + y) * nx + x; };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = id(x, y, z);
+        coo.push(v, v, 6.0 + rng.uniform());
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (stencil == 7 && std::abs(dx) + std::abs(dy) + std::abs(dz) > 1)
+                continue;
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz)
+                continue;
+              coo.push(v, id(xx, yy, zz), -rand_val(rng));
+            }
+          }
+        }
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr block_expand(const Csr& a, index_t b, std::uint64_t seed) {
+  CW_CHECK(b >= 1);
+  Rng rng(seed);
+  const index_t n = a.nrows() * b;
+  Coo coo(n, a.ncols() * b);
+  coo.reserve(a.nnz() * b * b);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    for (index_t c : a.row_cols(r)) {
+      for (index_t br = 0; br < b; ++br) {
+        for (index_t bc = 0; bc < b; ++bc) {
+          coo.push(r * b + br, c * b + bc,
+                   r == c && br == bc ? 4.0 + rng.uniform() : rand_val(rng));
+        }
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_lattice4d(index_t nx, index_t ny, index_t nz, index_t nt) {
+  CW_CHECK(nx >= 2 && ny >= 2 && nz >= 2 && nt >= 2);
+  const index_t n = nx * ny * nz * nt;
+  Coo coo(n, n);
+  Rng rng(0x4dULL + static_cast<std::uint64_t>(n));
+  auto id = [&](index_t x, index_t y, index_t z, index_t t) {
+    return ((t * nz + z) * ny + y) * nx + x;
+  };
+  for (index_t t = 0; t < nt; ++t) {
+    for (index_t z = 0; z < nz; ++z) {
+      for (index_t y = 0; y < ny; ++y) {
+        for (index_t x = 0; x < nx; ++x) {
+          const index_t v = id(x, y, z, t);
+          coo.push(v, v, 8.0 + rng.uniform());
+          // Periodic axis neighbours in ±x, ±y, ±z, ±t.
+          coo.push(v, id((x + 1) % nx, y, z, t), rand_val(rng));
+          coo.push(v, id((x + nx - 1) % nx, y, z, t), rand_val(rng));
+          coo.push(v, id(x, (y + 1) % ny, z, t), rand_val(rng));
+          coo.push(v, id(x, (y + ny - 1) % ny, z, t), rand_val(rng));
+          coo.push(v, id(x, y, (z + 1) % nz, t), rand_val(rng));
+          coo.push(v, id(x, y, (z + nz - 1) % nz, t), rand_val(rng));
+          coo.push(v, id(x, y, z, (t + 1) % nt), rand_val(rng));
+          coo.push(v, id(x, y, z, (t + nt - 1) % nt), rand_val(rng));
+        }
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_tri_mesh(index_t nx, index_t ny, bool shuffled, std::uint64_t seed) {
+  CW_CHECK(nx >= 2 && ny >= 2);
+  const index_t n = nx * ny;
+  Rng rng(seed);
+  // Optional vertex relabeling destroys the natural grid order, which is how
+  // real unstructured meshes arrive (mesh generators emit irregular ids).
+  std::vector<index_t> label(static_cast<std::size_t>(n));
+  std::iota(label.begin(), label.end(), index_t{0});
+  if (shuffled) shuffle(label, rng);
+  auto id = [&](index_t x, index_t y) {
+    return label[static_cast<std::size_t>(y * nx + x)];
+  };
+  Coo coo(n, n);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      coo.push(v, v, 6.0 + rng.uniform());
+      if (x + 1 < nx) coo.push(v, id(x + 1, y), rand_val(rng));
+      if (x > 0) coo.push(v, id(x - 1, y), rand_val(rng));
+      if (y + 1 < ny) coo.push(v, id(x, y + 1), rand_val(rng));
+      if (y > 0) coo.push(v, id(x, y - 1), rand_val(rng));
+      // Triangulating diagonal.
+      if (x + 1 < nx && y + 1 < ny) coo.push(v, id(x + 1, y + 1), rand_val(rng));
+      if (x > 0 && y > 0) coo.push(v, id(x - 1, y - 1), rand_val(rng));
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_road_network(index_t n, index_t avg_degree, std::uint64_t seed) {
+  CW_CHECK(n >= 2 && avg_degree >= 1);
+  Rng rng(seed);
+  // Points on a unit square; connect to nearest neighbours found through a
+  // uniform grid of cells (~1 point per cell).
+  const auto side = static_cast<index_t>(std::sqrt(static_cast<double>(n)) + 1);
+  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> cell(
+      static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  for (index_t v = 0; v < n; ++v) {
+    px[static_cast<std::size_t>(v)] = rng.uniform();
+    py[static_cast<std::size_t>(v)] = rng.uniform();
+    const auto cx = std::min<index_t>(side - 1, static_cast<index_t>(px[static_cast<std::size_t>(v)] * side));
+    const auto cy = std::min<index_t>(side - 1, static_cast<index_t>(py[static_cast<std::size_t>(v)] * side));
+    cell[static_cast<std::size_t>(cy) * static_cast<std::size_t>(side) +
+         static_cast<std::size_t>(cx)]
+        .push_back(v);
+  }
+  Coo coo(n, n);
+  std::vector<std::pair<double, index_t>> nearest;
+  for (index_t v = 0; v < n; ++v) {
+    coo.push(v, v, 2.0 + rng.uniform());
+    const auto cx = std::min<index_t>(side - 1, static_cast<index_t>(px[static_cast<std::size_t>(v)] * side));
+    const auto cy = std::min<index_t>(side - 1, static_cast<index_t>(py[static_cast<std::size_t>(v)] * side));
+    nearest.clear();
+    for (index_t dy = -1; dy <= 1; ++dy) {
+      for (index_t dx = -1; dx <= 1; ++dx) {
+        const index_t xx = cx + dx, yy = cy + dy;
+        if (xx < 0 || xx >= side || yy < 0 || yy >= side) continue;
+        for (index_t u : cell[static_cast<std::size_t>(yy) * static_cast<std::size_t>(side) +
+                              static_cast<std::size_t>(xx)]) {
+          if (u == v) continue;
+          const double d2 = (px[static_cast<std::size_t>(u)] - px[static_cast<std::size_t>(v)]) *
+                                (px[static_cast<std::size_t>(u)] - px[static_cast<std::size_t>(v)]) +
+                            (py[static_cast<std::size_t>(u)] - py[static_cast<std::size_t>(v)]) *
+                                (py[static_cast<std::size_t>(u)] - py[static_cast<std::size_t>(v)]);
+          nearest.emplace_back(d2, u);
+        }
+      }
+    }
+    const auto want = static_cast<std::size_t>(avg_degree);
+    if (nearest.size() > want) {
+      std::nth_element(nearest.begin(),
+                       nearest.begin() + static_cast<std::ptrdiff_t>(want) - 1,
+                       nearest.end());
+      nearest.resize(want);
+    }
+    for (const auto& [d2, u] : nearest) {
+      const value_t w = rand_val(rng);
+      coo.push(v, u, w);
+      coo.push(u, v, w);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_rmat(index_t scale, index_t edge_factor, double a, double b, double c,
+             std::uint64_t seed, bool symmetric) {
+  CW_CHECK(scale >= 1 && scale <= 26);
+  const index_t n = index_t{1} << scale;
+  const offset_t m = static_cast<offset_t>(n) * edge_factor;
+  const double d = 1.0 - a - b - c;
+  CW_CHECK_MSG(d >= 0.0, "RMAT probabilities must sum to <= 1");
+  Rng rng(seed);
+  Coo coo(n, n);
+  coo.reserve(symmetric ? 2 * m + n : m + n);
+  for (index_t v = 0; v < n; ++v) coo.push(v, v, 1.0);  // keep diagonal
+  for (offset_t e = 0; e < m; ++e) {
+    index_t r = 0, col = 0;
+    for (index_t bit = n >> 1; bit > 0; bit >>= 1) {
+      const double p = rng.uniform();
+      if (p < a) {
+        // top-left quadrant
+      } else if (p < a + b) {
+        col |= bit;
+      } else if (p < a + b + c) {
+        r |= bit;
+      } else {
+        r |= bit;
+        col |= bit;
+      }
+    }
+    const value_t w = rand_val(rng);
+    coo.push(r, col, w);
+    if (symmetric && r != col) coo.push(col, r, w);
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_erdos_renyi(index_t n, index_t avg_degree, std::uint64_t seed) {
+  CW_CHECK(n >= 2 && avg_degree >= 1);
+  Rng rng(seed);
+  Coo coo(n, n);
+  const offset_t m = static_cast<offset_t>(n) * avg_degree / 2;
+  coo.reserve(2 * m + n);
+  for (index_t v = 0; v < n; ++v) coo.push(v, v, 1.0);
+  for (offset_t e = 0; e < m; ++e) {
+    const index_t u = rng.index(n);
+    const index_t v = rng.index(n);
+    if (u == v) continue;
+    const value_t w = rand_val(rng);
+    coo.push(u, v, w);
+    coo.push(v, u, w);
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_banded(index_t n, index_t bandwidth, double fill, std::uint64_t seed) {
+  CW_CHECK(n >= 1 && bandwidth >= 1);
+  CW_CHECK(fill > 0.0 && fill <= 1.0);
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t r = 0; r < n; ++r) {
+    coo.push(r, r, 4.0 + rng.uniform());
+    const index_t lo = std::max<index_t>(0, r - bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, r + bandwidth);
+    for (index_t col = lo; col <= hi; ++col) {
+      if (col == r) continue;
+      if (rng.uniform() < fill) coo.push(r, col, rand_val(rng));
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_block_diag(index_t n, index_t block, double coupling,
+                   std::uint64_t seed) {
+  CW_CHECK(n >= 1 && block >= 1);
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t b0 = 0; b0 < n; b0 += block) {
+    const index_t b1 = std::min<index_t>(n, b0 + block);
+    for (index_t r = b0; r < b1; ++r) {
+      for (index_t col = b0; col < b1; ++col) {
+        coo.push(r, col, r == col ? 4.0 + rng.uniform() : rand_val(rng));
+      }
+    }
+  }
+  // Sparse random coupling between blocks.
+  const auto extra = static_cast<offset_t>(coupling * static_cast<double>(n));
+  for (offset_t e = 0; e < extra; ++e) {
+    const index_t u = rng.index(n);
+    const index_t v = rng.index(n);
+    if (u == v) continue;
+    const value_t w = rand_val(rng);
+    coo.push(u, v, w);
+    coo.push(v, u, w);
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_kkt(index_t n_base, index_t border, index_t avg_degree,
+            std::uint64_t seed) {
+  CW_CHECK(n_base >= 2 && border >= 0);
+  Rng rng(seed);
+  const index_t n = n_base + border;
+  Coo coo(n, n);
+  // Sparse base block (short-range random couplings).
+  for (index_t v = 0; v < n_base; ++v) {
+    coo.push(v, v, 4.0 + rng.uniform());
+    for (index_t e = 0; e < avg_degree / 2; ++e) {
+      // Mostly local couplings with occasional long-range ones — KKT systems
+      // couple neighbouring variables plus a few global constraints.
+      index_t u;
+      if (rng.uniform() < 0.9) {
+        const index_t span = 32;
+        const auto delta = static_cast<index_t>(rng.bounded(2 * span + 1)) - span;
+        u = std::clamp<index_t>(v + delta, 0, n_base - 1);
+      } else {
+        u = rng.index(n_base);
+      }
+      if (u == v) continue;
+      const value_t w = rand_val(rng);
+      coo.push(v, u, w);
+      coo.push(u, v, w);
+    }
+  }
+  // Dense-ish constraint border rows/cols.
+  for (index_t b = 0; b < border; ++b) {
+    const index_t r = n_base + b;
+    coo.push(r, r, 1.0);
+    const index_t touches = std::max<index_t>(1, n_base / std::max<index_t>(border, 1) / 2);
+    for (index_t t = 0; t < touches; ++t) {
+      const index_t u = rng.index(n_base);
+      const value_t w = rand_val(rng);
+      coo.push(r, u, w);
+      coo.push(u, r, w);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr gen_citation(index_t n, index_t avg_degree, std::uint64_t seed) {
+  CW_CHECK(n >= 2 && avg_degree >= 1);
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t v = 1; v < n; ++v) {
+    const index_t cites = 1 + rng.index(2 * avg_degree - 1);
+    for (index_t e = 0; e < cites; ++e) {
+      // Preferential to recent vertices: quadratic bias toward v.
+      const double u01 = rng.uniform();
+      const auto target = static_cast<index_t>(
+          static_cast<double>(v) * (1.0 - u01 * u01));
+      coo.push(v, std::min<index_t>(target, v - 1), rand_val(rng));
+    }
+  }
+  for (index_t v = 0; v < n; ++v) coo.push(v, v, 1.0);
+  return Csr::from_coo(coo);
+}
+
+void randomize_values(Csr& a, std::uint64_t seed) {
+  Rng rng(seed);
+  for (value_t& v : a.values()) v = rand_val(rng);
+}
+
+}  // namespace cw

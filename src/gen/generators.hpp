@@ -1,0 +1,70 @@
+// Synthetic sparse-matrix generators covering the structural families of the
+// paper's 110-matrix SuiteSparse suite (see DESIGN.md for the substitution
+// rationale). All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// 2D nx×ny grid, 5-point (stencil=5) or 9-point (stencil=9) stencil,
+/// diagonal included. Models structured FEM/Poisson problems.
+Csr gen_grid2d(index_t nx, index_t ny, int stencil = 5);
+
+/// 3D nx×ny×nz grid, 7-point (stencil=7) or 27-point (stencil=27) stencil
+/// with diagonal (rma10/poisson3Da-like).
+Csr gen_grid3d(index_t nx, index_t ny, index_t nz, int stencil = 7);
+
+/// Expand every scalar entry (i,j) into a dense b×b block — the multi-DOF
+/// supernode structure of FEM/QCD matrices (conf5's 3-colour blocks, CFD
+/// velocity/pressure groups). Rows within a block share an identical
+/// sparsity pattern, which is what makes row clustering effective on these
+/// families (§3.2's "dense diagonal block pattern").
+Csr block_expand(const Csr& a, index_t b, std::uint64_t seed);
+
+/// 4D periodic lattice (torus) with 8 axis neighbours + diagonal — the QCD
+/// conf5_4-8x8-05 structure.
+Csr gen_lattice4d(index_t nx, index_t ny, index_t nz, index_t nt);
+
+/// Triangular 2D mesh: grid + one diagonal per cell, vertices jittered into
+/// random order optionally. Models the AS365/M6/NLR FEM meshes.
+Csr gen_tri_mesh(index_t nx, index_t ny, bool shuffled, std::uint64_t seed);
+
+/// Road-network-like random geometric graph: n points on a unit square,
+/// each connected to its few nearest neighbours via grid hashing
+/// (europe_osm / GAP-road style: huge diameter, degree ~2-4).
+Csr gen_road_network(index_t n, index_t avg_degree, std::uint64_t seed);
+
+/// RMAT power-law graph (Chakrabarti et al. parameters a,b,c,d). Models
+/// social/web graphs (com-LiveJournal, wikipedia, webbase).
+Csr gen_rmat(index_t scale, index_t edge_factor, double a, double b, double c,
+             std::uint64_t seed, bool symmetric = true);
+
+/// Erdős–Rényi with expected average degree; uniform structure.
+Csr gen_erdos_renyi(index_t n, index_t avg_degree, std::uint64_t seed);
+
+/// Random banded matrix: entries within `bandwidth` of the diagonal with
+/// density `fill`, diagonal always present (cage/pdb-like locality).
+Csr gen_banded(index_t n, index_t bandwidth, double fill, std::uint64_t seed);
+
+/// Dense diagonal blocks of size `block` (fully dense) plus sparse random
+/// coupling entries — the protein/optimization block structure (§3.2
+/// motivates fixed-length clustering with exactly this pattern).
+Csr gen_block_diag(index_t n, index_t block, double coupling,
+                   std::uint64_t seed);
+
+/// KKT-style bordered block system: sparse SPD-ish base + `border` dense
+/// rows/columns at the end (kkt_power-like).
+Csr gen_kkt(index_t n_base, index_t border, index_t avg_degree,
+            std::uint64_t seed);
+
+/// Citation-graph-like: DAG edges to earlier vertices, preferential towards
+/// recent ones (patents_main-like), symmetrized on request.
+Csr gen_citation(index_t n, index_t avg_degree, std::uint64_t seed);
+
+/// Random values in [0.5, 1.5) for every stored entry (in place).
+void randomize_values(Csr& a, std::uint64_t seed);
+
+}  // namespace cw

@@ -1,0 +1,201 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+
+namespace cw {
+
+SuiteScale suite_scale_from_env() {
+  const char* env = std::getenv("CW_SUITE");
+  if (!env) return SuiteScale::kSmall;
+  const std::string s(env);
+  if (s == "full") return SuiteScale::kFull;
+  if (s == "medium") return SuiteScale::kMedium;
+  return SuiteScale::kSmall;
+}
+
+const char* to_string(SuiteScale s) {
+  switch (s) {
+    case SuiteScale::kSmall: return "small";
+    case SuiteScale::kMedium: return "medium";
+    case SuiteScale::kFull: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Linear-dimension multiplier per scale.
+index_t dim(SuiteScale s, index_t base) {
+  switch (s) {
+    case SuiteScale::kSmall: return base;
+    case SuiteScale::kMedium: return base * 2;
+    case SuiteScale::kFull: return base * 3;
+  }
+  return base;
+}
+
+/// Vertex-count multiplier per scale (for generators taking n directly).
+index_t cnt(SuiteScale s, index_t base) {
+  switch (s) {
+    case SuiteScale::kSmall: return base;
+    case SuiteScale::kMedium: return base * 4;
+    case SuiteScale::kFull: return base * 8;
+  }
+  return base;
+}
+
+/// RMAT scale bump per suite scale.
+index_t rscale(SuiteScale s, index_t base) {
+  switch (s) {
+    case SuiteScale::kSmall: return base;
+    case SuiteScale::kMedium: return base + 2;
+    case SuiteScale::kFull: return base + 3;
+  }
+  return base;
+}
+
+struct Entry {
+  DatasetSpec spec;
+  std::function<Csr(SuiteScale)> make;
+};
+
+// Sizing: small-scale matrices target ~300k–1.5M stored nonzeros so the
+// B operand exceeds the 2 MiB L2 of the evaluation container — the cache
+// level whose reuse the paper's clustering improves. Multi-DOF families
+// (QCD, CFD, protein) use block_expand: rows within a block share their
+// sparsity pattern, the structure that makes row clustering effective.
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> entries = {
+      // --- the 10 representative datasets of Figs. 8–9 ----------------------
+      {{"cage12", "banded", "cage12 (DNA electrophoresis)"},
+       [](SuiteScale s) { return gen_banded(cnt(s, 20000), 48, 0.15, 101); }},
+      {{"poi3D", "mesh3d", "poisson3Da (3D Poisson, 27pt)"},
+       [](SuiteScale s) {
+         return gen_grid3d(dim(s, 24), dim(s, 24), dim(s, 24), 27);
+       }},
+      {{"conf5", "lattice4d", "conf5_4-8x8-05 (QCD, 3-colour blocks)"},
+       [](SuiteScale s) {
+         return block_expand(gen_lattice4d(8, 8, 8, dim(s, 8)), 3, 102);
+       }},
+      {{"pdb1", "block", "pdb1HYS (protein)"},
+       [](SuiteScale s) { return gen_block_diag(cnt(s, 12000), 24, 4.0, 103); }},
+      {{"rma10", "mesh3d", "rma10 (3D CFD, 3 DOF/node)"},
+       [](SuiteScale s) {
+         return block_expand(gen_grid3d(dim(s, 24), dim(s, 20), 10), 3, 104);
+       }},
+      {{"wb", "social", "webbase-1M (web crawl)"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 14), 5, 0.57, 0.19, 0.19, 105); }},
+      {{"AS365", "mesh2d", "AS365 (2D FEM mesh)"},
+       [](SuiteScale s) { return gen_tri_mesh(dim(s, 180), dim(s, 180), true, 106); }},
+      {{"huget", "mesh2d", "hugetric (2D mesh)"},
+       [](SuiteScale s) { return gen_tri_mesh(dim(s, 220), dim(s, 200), true, 107); }},
+      {{"M6", "mesh2d", "M6 (2D FEM mesh)"},
+       [](SuiteScale s) { return gen_tri_mesh(dim(s, 200), dim(s, 200), true, 108); }},
+      {{"NLR", "mesh2d", "NLR (2D FEM mesh)"},
+       [](SuiteScale s) { return gen_tri_mesh(dim(s, 230), dim(s, 230), true, 109); }},
+      // --- Tables 3–4 additions ---------------------------------------------
+      {{"webbase-1M", "social", "webbase-1M (web crawl)"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 14), 5, 0.57, 0.19, 0.19, 105); }},
+      {{"patents_main", "citation", "patents_main (citations)"},
+       [](SuiteScale s) { return gen_citation(cnt(s, 60000), 3, 110); }},
+      {{"com-LiveJournal", "social", "com-LiveJournal (social)"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 14), 10, 0.45, 0.22, 0.22, 111); }},
+      {{"europe_osm", "road", "europe_osm (road network)"},
+       [](SuiteScale s) { return gen_road_network(cnt(s, 120000), 2, 112); }},
+      {{"GAP-road", "road", "GAP-road (road network)"},
+       [](SuiteScale s) { return gen_road_network(cnt(s, 100000), 3, 113); }},
+      {{"kkt_power", "kkt", "kkt_power (optimization KKT)"},
+       [](SuiteScale s) { return gen_kkt(cnt(s, 80000), 300, 6, 114); }},
+      {{"wikipedia-20070206", "social", "wikipedia-20070206 (links)"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 14), 8, 0.55, 0.2, 0.15, 115); }},
+      // --- §4.3 crossover example -------------------------------------------
+      {{"torso1", "kkt", "torso1 (FEM with dense rows)"},
+       [](SuiteScale s) { return gen_kkt(cnt(s, 30000), 100, 20, 116); }},
+      // --- family fillers spanning the rest of the 110-matrix suite ---------
+      {{"poisson2D-5pt", "mesh2d", "structured 2D Poisson"},
+       [](SuiteScale s) { return gen_grid2d(dim(s, 220), dim(s, 220), 5); }},
+      {{"poisson2D-9pt", "mesh2d", "structured 2D Poisson (9pt)"},
+       [](SuiteScale s) { return gen_grid2d(dim(s, 180), dim(s, 180), 9); }},
+      {{"mesh-natural", "mesh2d", "FEM mesh in natural order"},
+       [](SuiteScale s) { return gen_tri_mesh(dim(s, 160), dim(s, 160), false, 117); }},
+      {{"fem-2dof", "block", "FEM mesh with 2 DOF per node"},
+       [](SuiteScale s) {
+         return block_expand(gen_tri_mesh(dim(s, 120), dim(s, 120), false, 118), 2, 118);
+       }},
+      {{"fem-3dof-shuffled", "block", "shuffled FEM mesh, 3 DOF per node"},
+       [](SuiteScale s) {
+         return block_expand(gen_grid2d(dim(s, 90), dim(s, 90), 9), 3, 119);
+       }},
+      {{"er-sparse", "uniform", "uniform random (DIMACS10-like)"},
+       [](SuiteScale s) { return gen_erdos_renyi(cnt(s, 50000), 8, 120); }},
+      {{"er-dense", "uniform", "uniform random, denser"},
+       [](SuiteScale s) { return gen_erdos_renyi(cnt(s, 25000), 16, 121); }},
+      {{"rmat-dense", "social", "dense power-law (SNAP-like)"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 12), 16, 0.5, 0.2, 0.2, 122); }},
+      {{"rmat-sym", "social", "balanced RMAT"},
+       [](SuiteScale s) { return gen_rmat(rscale(s, 14), 6, 0.45, 0.22, 0.22, 123); }},
+      {{"banded-wide", "banded", "wide sparse band"},
+       [](SuiteScale s) { return gen_banded(cnt(s, 15000), 150, 0.05, 124); }},
+      {{"banded-dense", "banded", "narrow dense band"},
+       [](SuiteScale s) { return gen_banded(cnt(s, 15000), 16, 0.5, 125); }},
+      {{"block-large", "block", "large dense diagonal blocks"},
+       [](SuiteScale s) { return gen_block_diag(cnt(s, 9000), 32, 1.0, 126); }},
+      {{"block-small", "block", "small dense diagonal blocks"},
+       [](SuiteScale s) { return gen_block_diag(cnt(s, 20000), 4, 4.0, 127); }},
+      {{"road-dense", "road", "denser road-like network"},
+       [](SuiteScale s) { return gen_road_network(cnt(s, 60000), 4, 128); }},
+      {{"lattice4d-8", "lattice4d", "QCD lattice variant (2-spin blocks)"},
+       [](SuiteScale s) {
+         return block_expand(gen_lattice4d(dim(s, 8), 8, 8, 10), 2, 129);
+       }},
+      {{"citation-dense", "citation", "denser citation DAG"},
+       [](SuiteScale s) { return gen_citation(cnt(s, 40000), 8, 130); }},
+  };
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& suite_specs() {
+  static const std::vector<DatasetSpec> specs = [] {
+    std::vector<DatasetSpec> s;
+    for (const Entry& e : registry()) s.push_back(e.spec);
+    return s;
+  }();
+  return specs;
+}
+
+const std::vector<std::string>& representative_datasets() {
+  static const std::vector<std::string> names = {
+      "cage12", "poi3D", "conf5", "pdb1", "rma10",
+      "wb",     "AS365", "huget", "M6",   "NLR"};
+  return names;
+}
+
+const std::vector<std::string>& tallskinny_datasets() {
+  static const std::vector<std::string> names = {
+      "webbase-1M", "patents_main", "AS365",     "com-LiveJournal",
+      "europe_osm", "GAP-road",     "kkt_power", "M6",
+      "NLR",        "wikipedia-20070206"};
+  return names;
+}
+
+Csr make_dataset(const std::string& name, SuiteScale scale) {
+  for (const Entry& e : registry()) {
+    if (e.spec.name == name) return e.make(scale);
+  }
+  throw Error("unknown dataset: " + name);
+}
+
+bool has_dataset(const std::string& name) {
+  return std::any_of(registry().begin(), registry().end(),
+                     [&](const Entry& e) { return e.spec.name == name; });
+}
+
+}  // namespace cw

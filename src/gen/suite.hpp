@@ -1,0 +1,44 @@
+// Named dataset registry — the SuiteSparse-collection substitute.
+//
+// Dataset names mirror the paper's representative matrices; each maps to a
+// generator reproducing the structural family at laptop scale (see
+// DESIGN.md). The registry drives every table/figure bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+enum class SuiteScale { kSmall, kMedium, kFull };
+
+/// Reads CW_SUITE=small|medium|full (default small).
+SuiteScale suite_scale_from_env();
+
+const char* to_string(SuiteScale s);
+
+struct DatasetSpec {
+  std::string name;
+  std::string family;       // mesh / lattice / road / social / banded / ...
+  std::string paper_match;  // which SuiteSparse matrix this stands in for
+};
+
+/// All datasets (the full evaluation suite).
+const std::vector<DatasetSpec>& suite_specs();
+
+/// The 10 representative datasets of Figs. 8–9.
+const std::vector<std::string>& representative_datasets();
+
+/// The 10 datasets of Tables 3–4 (tall-skinny workload).
+const std::vector<std::string>& tallskinny_datasets();
+
+/// Build a dataset by name at the given scale. Throws cw::Error for unknown
+/// names.
+Csr make_dataset(const std::string& name, SuiteScale scale);
+
+/// True iff `name` is in the registry.
+bool has_dataset(const std::string& name);
+
+}  // namespace cw

@@ -1,0 +1,76 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+std::vector<index_t> bfs_levels(const Csr& g, index_t src) {
+  CW_CHECK(src >= 0 && src < g.nrows());
+  std::vector<index_t> level(static_cast<std::size_t>(g.nrows()), kInvalidIndex);
+  std::vector<index_t> frontier{src}, next;
+  level[static_cast<std::size_t>(src)] = 0;
+  index_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (index_t u : frontier) {
+      for (index_t v : g.row_cols(u)) {
+        if (level[static_cast<std::size_t>(v)] == kInvalidIndex) {
+          level[static_cast<std::size_t>(v)] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+std::vector<index_t> bfs_order(const Csr& g, index_t src, bool sort_by_degree) {
+  CW_CHECK(src >= 0 && src < g.nrows());
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(g.nrows()), 0);
+  std::vector<index_t> order;
+  std::vector<index_t> frontier{src}, next;
+  visited[static_cast<std::size_t>(src)] = 1;
+  while (!frontier.empty()) {
+    order.insert(order.end(), frontier.begin(), frontier.end());
+    next.clear();
+    for (index_t u : frontier) {
+      for (index_t v : g.row_cols(u)) {
+        if (!visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    if (sort_by_degree) {
+      std::sort(next.begin(), next.end(), [&](index_t x, index_t y) {
+        const index_t dx = g.row_nnz(x), dy = g.row_nnz(y);
+        if (dx != dy) return dx < dy;
+        return x < y;
+      });
+    }
+    frontier.swap(next);
+  }
+  return order;
+}
+
+BfsFrontierInfo bfs_frontier_info(const Csr& g, index_t src) {
+  const std::vector<index_t> level = bfs_levels(g, src);
+  BfsFrontierInfo info;
+  for (index_t v = 0; v < g.nrows(); ++v) {
+    const index_t l = level[static_cast<std::size_t>(v)];
+    if (l == kInvalidIndex) continue;
+    ++info.visited;
+    info.eccentricity = std::max(info.eccentricity, l);
+  }
+  for (index_t v = 0; v < g.nrows(); ++v) {
+    if (level[static_cast<std::size_t>(v)] == info.eccentricity)
+      info.last_level.push_back(v);
+  }
+  return info;
+}
+
+}  // namespace cw

@@ -1,0 +1,27 @@
+// Breadth-first search over the (symmetric) pattern of a CSR matrix.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// Level of every vertex from `src` (-1 if unreachable). `g` is treated as an
+/// adjacency structure (values ignored).
+std::vector<index_t> bfs_levels(const Csr& g, index_t src);
+
+/// BFS visit order from `src` (only reachable vertices). Neighbors are
+/// visited in increasing-degree order when `sort_by_degree` is set — the
+/// Cuthill–McKee traversal rule.
+std::vector<index_t> bfs_order(const Csr& g, index_t src, bool sort_by_degree);
+
+/// Eccentricity (max finite level) and the set of last-level vertices.
+struct BfsFrontierInfo {
+  index_t eccentricity = 0;
+  std::vector<index_t> last_level;
+  index_t visited = 0;
+};
+BfsFrontierInfo bfs_frontier_info(const Csr& g, index_t src);
+
+}  // namespace cw

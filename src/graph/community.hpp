@@ -1,0 +1,32 @@
+// Modularity-driven community aggregation — one level of the hierarchical
+// merging that Rabbit Order (Arai et al., IPDPS'16) performs. reorder/rabbit
+// runs this level-by-level and orders vertices by DFS over the merge tree.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+struct AggregationLevel {
+  /// community[v] = coarse vertex id of v, 0..num_communities-1.
+  std::vector<index_t> community;
+  index_t num_communities = 0;
+  /// Coarse graph: community adjacency with summed edge weights.
+  Csr coarse;
+  /// Total vertex weight folded into each community.
+  std::vector<index_t> volume;
+};
+
+/// One pass of greedy modularity aggregation: every vertex (scanned in
+/// increasing degree order) joins the neighbouring community with the best
+/// positive modularity gain. Values of `g` are edge weights; `volume[v]` is
+/// the degree-volume each vertex carries (1-level: weighted degree).
+AggregationLevel aggregate_communities(const Csr& g,
+                                       const std::vector<index_t>& volume);
+
+/// Newman modularity of a community assignment on weighted graph g.
+double modularity(const Csr& g, const std::vector<index_t>& community);
+
+}  // namespace cw

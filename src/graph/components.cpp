@@ -1,0 +1,42 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+index_t Components::giant() const {
+  CW_CHECK(count > 0);
+  return static_cast<index_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components connected_components(const Csr& g) {
+  Components out;
+  const index_t n = g.nrows();
+  out.comp.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < n; ++s) {
+    if (out.comp[static_cast<std::size_t>(s)] != kInvalidIndex) continue;
+    const index_t id = out.count++;
+    index_t size = 0;
+    stack.push_back(s);
+    out.comp[static_cast<std::size_t>(s)] = id;
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (index_t v : g.row_cols(u)) {
+        if (out.comp[static_cast<std::size_t>(v)] == kInvalidIndex) {
+          out.comp[static_cast<std::size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+}  // namespace cw

@@ -1,0 +1,21 @@
+// Connected components of a symmetric CSR pattern.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+struct Components {
+  std::vector<index_t> comp;  // component id per vertex, 0..count-1
+  index_t count = 0;
+  /// Vertex count of every component.
+  std::vector<index_t> sizes;
+  /// Id of a largest component.
+  [[nodiscard]] index_t giant() const;
+};
+
+Components connected_components(const Csr& g);
+
+}  // namespace cw

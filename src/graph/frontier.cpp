@@ -1,0 +1,72 @@
+#include "graph/frontier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matrix/coo.hpp"
+
+namespace cw {
+
+std::vector<Csr> bc_frontiers(const Csr& g, const FrontierOptions& opt) {
+  CW_CHECK(g.nrows() == g.ncols());
+  CW_CHECK(opt.batch >= 1 && opt.num_frontiers >= 1);
+  const index_t n = g.nrows();
+
+  // Sample distinct sources with nonzero degree.
+  std::vector<index_t> candidates;
+  candidates.reserve(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v)
+    if (g.row_nnz(v) > 0) candidates.push_back(v);
+  CW_CHECK_MSG(!candidates.empty(), "graph has no edges");
+  Rng rng(opt.seed);
+  shuffle(candidates, rng);
+  const index_t batch =
+      std::min<index_t>(opt.batch, static_cast<index_t>(candidates.size()));
+  candidates.resize(static_cast<std::size_t>(batch));
+
+  // Per-frontier COO assembly.
+  std::vector<Coo> frontier_coo;
+  frontier_coo.reserve(static_cast<std::size_t>(opt.num_frontiers));
+  for (index_t i = 0; i < opt.num_frontiers; ++i)
+    frontier_coo.emplace_back(n, batch);
+
+  std::vector<index_t> level(static_cast<std::size_t>(n));
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < batch; ++s) {
+    std::fill(level.begin(), level.end(), kInvalidIndex);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    const index_t src = candidates[static_cast<std::size_t>(s)];
+    level[static_cast<std::size_t>(src)] = 0;
+    sigma[static_cast<std::size_t>(src)] = 1.0;
+    std::vector<index_t> frontier{src}, next;
+    index_t depth = 0;
+    while (!frontier.empty() && depth < opt.num_frontiers) {
+      ++depth;
+      next.clear();
+      for (index_t u : frontier) {
+        for (index_t v : g.row_cols(u)) {
+          if (level[static_cast<std::size_t>(v)] == kInvalidIndex) {
+            level[static_cast<std::size_t>(v)] = depth;
+            next.push_back(v);
+          }
+          if (level[static_cast<std::size_t>(v)] == depth) {
+            sigma[static_cast<std::size_t>(v)] += sigma[static_cast<std::size_t>(u)];
+          }
+        }
+      }
+      // Frontier matrix i (1-based) records this BFS's level-i vertices.
+      for (index_t v : next)
+        frontier_coo[static_cast<std::size_t>(depth - 1)].push(
+            v, s, sigma[static_cast<std::size_t>(v)]);
+      frontier.swap(next);
+    }
+  }
+
+  std::vector<Csr> out;
+  out.reserve(frontier_coo.size());
+  for (auto& coo : frontier_coo) out.push_back(Csr::from_coo(coo));
+  return out;
+}
+
+}  // namespace cw

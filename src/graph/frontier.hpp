@@ -1,0 +1,28 @@
+// Betweenness-centrality frontier generator — the CombBLAS substitute for
+// the §4.4 tall-skinny workload.
+//
+// BC's forward phase runs a batch of BFSs as repeated SpGEMMs: the square
+// matrix is the graph, each column of the tall-skinny B is one BFS frontier,
+// and values carry shortest-path counts (σ). We reproduce the series
+// directly: per source a level-synchronous BFS with σ accumulation, then
+// frontier matrix i holds column s = {(v, σ_s(v)) : level_s(v) == i}.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+struct FrontierOptions {
+  index_t batch = 64;        // number of simultaneous BFS sources (columns)
+  index_t num_frontiers = 10;  // the paper uses the first 10 forward frontiers
+  std::uint64_t seed = 42;   // source sampling seed
+};
+
+/// Tall-skinny frontier matrices F_1..F_num_frontiers (n × batch). F_i can be
+/// empty (0 nnz) for sources whose BFS already terminated. Sources are
+/// sampled uniformly from vertices with nonzero degree.
+std::vector<Csr> bc_frontiers(const Csr& g, const FrontierOptions& opt = {});
+
+}  // namespace cw

@@ -1,0 +1,33 @@
+#include "graph/peripheral.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/bfs.hpp"
+
+namespace cw {
+
+index_t pseudo_peripheral_node(const Csr& g, index_t seed) {
+  CW_CHECK(seed >= 0 && seed < g.nrows());
+  index_t current = seed;
+  index_t ecc = -1;
+  for (int iter = 0; iter < 16; ++iter) {  // converges in a few rounds
+    BfsFrontierInfo info = bfs_frontier_info(g, current);
+    if (info.eccentricity <= ecc) break;
+    ecc = info.eccentricity;
+    // Minimum-degree vertex of the last level.
+    index_t best = current;
+    index_t best_deg = g.nrows() + 1;
+    for (index_t v : info.last_level) {
+      const index_t d = g.row_nnz(v);
+      if (d < best_deg || (d == best_deg && v < best)) {
+        best_deg = d;
+        best = v;
+      }
+    }
+    current = best;
+  }
+  return current;
+}
+
+}  // namespace cw

@@ -1,0 +1,13 @@
+// George–Liu pseudo-peripheral node finder — the standard RCM starting
+// point.
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// Starting from `seed`, repeatedly BFS to a minimum-degree vertex of the
+/// last level until the eccentricity stops growing.
+index_t pseudo_peripheral_node(const Csr& g, index_t seed);
+
+}  // namespace cw

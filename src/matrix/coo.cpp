@@ -1,0 +1,79 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+void Coo::push(index_t r, index_t c, value_t v) {
+  CW_DCHECK(r >= 0 && r < nrows_);
+  CW_DCHECK(c >= 0 && c < ncols_);
+  rows_.push_back(r);
+  cols_.push_back(c);
+  vals_.push_back(v);
+}
+
+void Coo::reserve(offset_t n) {
+  rows_.reserve(static_cast<std::size_t>(n));
+  cols_.reserve(static_cast<std::size_t>(n));
+  vals_.reserve(static_cast<std::size_t>(n));
+}
+
+void Coo::sort() {
+  const std::size_t n = rows_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows_[a] != rows_[b]) return rows_[a] < rows_[b];
+    return cols_[a] < cols_[b];
+  });
+  std::vector<index_t> r(n), c(n);
+  std::vector<value_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = rows_[order[i]];
+    c[i] = cols_[order[i]];
+    v[i] = vals_[order[i]];
+  }
+  rows_ = std::move(r);
+  cols_ = std::move(c);
+  vals_ = std::move(v);
+}
+
+void Coo::sum_duplicates() {
+  if (rows_.empty()) return;
+  sort();
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i] == rows_[out] && cols_[i] == cols_[out]) {
+      vals_[out] += vals_[i];
+    } else {
+      ++out;
+      rows_[out] = rows_[i];
+      cols_[out] = cols_[i];
+      vals_[out] = vals_[i];
+    }
+  }
+  rows_.resize(out + 1);
+  cols_.resize(out + 1);
+  vals_.resize(out + 1);
+}
+
+void Coo::symmetrize() {
+  CW_CHECK_MSG(nrows_ == ncols_, "symmetrize requires a square matrix");
+  const std::size_t n = rows_.size();
+  rows_.reserve(2 * n);
+  cols_.reserve(2 * n);
+  vals_.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows_[i] != cols_[i]) {
+      rows_.push_back(cols_[i]);
+      cols_.push_back(rows_[i]);
+      vals_.push_back(vals_[i]);
+    }
+  }
+  sum_duplicates();
+}
+
+}  // namespace cw

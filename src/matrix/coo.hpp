@@ -1,0 +1,48 @@
+// Coordinate-format sparse matrix: the assembly format every generator and
+// file reader produces before conversion to CSR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+/// Unsorted triplet matrix. Duplicate (row, col) entries are allowed until
+/// sum_duplicates() is called; to_csr() handles both cases.
+class Coo {
+ public:
+  Coo() = default;
+  Coo(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const { return static_cast<offset_t>(rows_.size()); }
+
+  /// Append one entry. Bounds are validated.
+  void push(index_t r, index_t c, value_t v);
+
+  /// Reserve space for n entries.
+  void reserve(offset_t n);
+
+  /// Sort entries by (row, col). Stable with respect to duplicates.
+  void sort();
+
+  /// Sort and merge duplicate coordinates by adding their values.
+  void sum_duplicates();
+
+  /// Make the pattern symmetric: for every (r,c) ensure (c,r) exists
+  /// (values mirrored). Requires a square matrix. Duplicates are summed.
+  void symmetrize();
+
+  [[nodiscard]] const std::vector<index_t>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<index_t>& cols() const { return cols_; }
+  [[nodiscard]] const std::vector<value_t>& values() const { return vals_; }
+
+ private:
+  index_t nrows_ = 0, ncols_ = 0;
+  std::vector<index_t> rows_, cols_;
+  std::vector<value_t> vals_;
+};
+
+}  // namespace cw

@@ -1,0 +1,260 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+#include "matrix/coo.hpp"
+
+namespace cw {
+
+Permutation invert_permutation(const Permutation& order) {
+  Permutation inv(order.size(), kInvalidIndex);
+  for (index_t i = 0; i < static_cast<index_t>(order.size()); ++i) {
+    CW_DCHECK(order[i] >= 0 && order[i] < static_cast<index_t>(order.size()));
+    inv[order[i]] = i;
+  }
+  return inv;
+}
+
+bool is_permutation(const Permutation& order, index_t n) {
+  if (static_cast<index_t>(order.size()) != n) return false;
+  std::vector<bool> seen(n, false);
+  for (index_t x : order) {
+    if (x < 0 || x >= n || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+Csr::Csr(index_t nrows, index_t ncols, std::vector<offset_t> row_ptr,
+         std::vector<index_t> col_idx, std::vector<value_t> values)
+    : nrows_(nrows),
+      ncols_(ncols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  CW_CHECK(static_cast<index_t>(row_ptr_.size()) == nrows_ + 1);
+  CW_CHECK(col_idx_.size() == values_.size());
+  sort_rows_();
+#ifndef NDEBUG
+  validate();
+#endif
+}
+
+void Csr::sort_rows_() {
+  // Sort each row by column index if necessary. Rows produced by our own
+  // kernels are already sorted, so check before paying for a sort.
+  parallel_for(nrows_, [&](index_t r) {
+    const offset_t lo = row_ptr_[r], hi = row_ptr_[r + 1];
+    bool sorted = true;
+    for (offset_t k = lo + 1; k < hi; ++k) {
+      if (col_idx_[k - 1] >= col_idx_[k]) {
+        sorted = false;
+        break;
+      }
+    }
+    if (sorted) return;
+    const auto len = static_cast<std::size_t>(hi - lo);
+    std::vector<std::pair<index_t, value_t>> tmp(len);
+    for (std::size_t k = 0; k < len; ++k)
+      tmp[k] = {col_idx_[lo + static_cast<offset_t>(k)],
+                values_[lo + static_cast<offset_t>(k)]};
+    std::sort(tmp.begin(), tmp.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < len; ++k) {
+      col_idx_[lo + static_cast<offset_t>(k)] = tmp[k].first;
+      values_[lo + static_cast<offset_t>(k)] = tmp[k].second;
+    }
+  });
+}
+
+Csr Csr::from_coo(const Coo& coo_in) {
+  Coo coo = coo_in;  // sum_duplicates mutates
+  coo.sum_duplicates();
+  const index_t nrows = coo.nrows();
+  std::vector<offset_t> counts(static_cast<std::size_t>(nrows), 0);
+  for (index_t r : coo.rows()) counts[static_cast<std::size_t>(r)]++;
+  std::vector<offset_t> row_ptr = counts_to_pointers(counts);
+  // coo is sorted by (row, col) after sum_duplicates, so a straight copy works.
+  std::vector<index_t> col_idx(coo.cols());
+  std::vector<value_t> values(coo.values());
+  return Csr(nrows, coo.ncols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+Csr Csr::identity(index_t n) {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::iota(row_ptr.begin(), row_ptr.end(), offset_t{0});
+  std::vector<index_t> col_idx(static_cast<std::size_t>(n));
+  std::iota(col_idx.begin(), col_idx.end(), index_t{0});
+  std::vector<value_t> values(static_cast<std::size_t>(n), 1.0);
+  return Csr(n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+Csr Csr::transpose() const {
+  std::vector<offset_t> counts(static_cast<std::size_t>(ncols_), 0);
+  for (index_t c : col_idx_) counts[static_cast<std::size_t>(c)]++;
+  std::vector<offset_t> t_ptr = counts_to_pointers(counts);
+  std::vector<offset_t> cursor(t_ptr.begin(), t_ptr.end() - 1);
+  std::vector<index_t> t_col(col_idx_.size());
+  std::vector<value_t> t_val(values_.size());
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(col_idx_[k]);
+      const offset_t dst = cursor[c]++;
+      t_col[static_cast<std::size_t>(dst)] = r;
+      t_val[static_cast<std::size_t>(dst)] = values_[static_cast<std::size_t>(k)];
+    }
+  }
+  // Row-major traversal of A writes each transposed row in increasing
+  // original-row order, so rows of Aᵀ come out sorted already.
+  return Csr(ncols_, nrows_, std::move(t_ptr), std::move(t_col),
+             std::move(t_val));
+}
+
+Csr Csr::pattern_ones() const {
+  Csr out = *this;
+  std::fill(out.values_.begin(), out.values_.end(), 1.0);
+  return out;
+}
+
+Csr Csr::permute_rows(const Permutation& order) const {
+  CW_CHECK_MSG(is_permutation(order, nrows_), "invalid row permutation");
+  std::vector<offset_t> counts(static_cast<std::size_t>(nrows_));
+  for (index_t i = 0; i < nrows_; ++i)
+    counts[static_cast<std::size_t>(i)] = row_ptr_[order[i] + 1] - row_ptr_[order[i]];
+  std::vector<offset_t> new_ptr = counts_to_pointers(counts);
+  std::vector<index_t> new_col(col_idx_.size());
+  std::vector<value_t> new_val(values_.size());
+  parallel_for(nrows_, [&](index_t i) {
+    const index_t src = order[i];
+    const offset_t s = row_ptr_[src];
+    const offset_t d = new_ptr[i];
+    const offset_t len = row_ptr_[src + 1] - s;
+    for (offset_t k = 0; k < len; ++k) {
+      new_col[static_cast<std::size_t>(d + k)] = col_idx_[static_cast<std::size_t>(s + k)];
+      new_val[static_cast<std::size_t>(d + k)] = values_[static_cast<std::size_t>(s + k)];
+    }
+  });
+  return Csr(nrows_, ncols_, std::move(new_ptr), std::move(new_col),
+             std::move(new_val));
+}
+
+Csr Csr::permute_symmetric(const Permutation& order) const {
+  CW_CHECK_MSG(nrows_ == ncols_, "symmetric permutation requires square matrix");
+  CW_CHECK_MSG(is_permutation(order, nrows_), "invalid permutation");
+  const Permutation inv = invert_permutation(order);
+  std::vector<offset_t> counts(static_cast<std::size_t>(nrows_));
+  for (index_t i = 0; i < nrows_; ++i)
+    counts[static_cast<std::size_t>(i)] = row_ptr_[order[i] + 1] - row_ptr_[order[i]];
+  std::vector<offset_t> new_ptr = counts_to_pointers(counts);
+  std::vector<index_t> new_col(col_idx_.size());
+  std::vector<value_t> new_val(values_.size());
+  parallel_for(nrows_, [&](index_t i) {
+    const index_t src = order[i];
+    offset_t d = new_ptr[i];
+    for (offset_t k = row_ptr_[src]; k < row_ptr_[src + 1]; ++k, ++d) {
+      new_col[static_cast<std::size_t>(d)] = inv[col_idx_[static_cast<std::size_t>(k)]];
+      new_val[static_cast<std::size_t>(d)] = values_[static_cast<std::size_t>(k)];
+    }
+  });
+  // Column labels changed, so rows need re-sorting (the Csr ctor does it).
+  return Csr(nrows_, ncols_, std::move(new_ptr), std::move(new_col),
+             std::move(new_val));
+}
+
+Csr Csr::symmetrized() const {
+  CW_CHECK_MSG(nrows_ == ncols_, "symmetrized requires square matrix");
+  Coo coo(nrows_, ncols_);
+  coo.reserve(2 * nnz());
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      coo.push(r, col_idx_[static_cast<std::size_t>(k)],
+               values_[static_cast<std::size_t>(k)]);
+    }
+  }
+  coo.symmetrize();
+  return Csr::from_coo(coo);
+}
+
+Csr Csr::without_diagonal() const {
+  std::vector<offset_t> new_ptr(static_cast<std::size_t>(nrows_) + 1, 0);
+  std::vector<index_t> new_col;
+  std::vector<value_t> new_val;
+  new_col.reserve(col_idx_.size());
+  new_val.reserve(values_.size());
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const index_t c = col_idx_[static_cast<std::size_t>(k)];
+      if (c == r) continue;
+      new_col.push_back(c);
+      new_val.push_back(values_[static_cast<std::size_t>(k)]);
+    }
+    new_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(new_col.size());
+  }
+  return Csr(nrows_, ncols_, std::move(new_ptr), std::move(new_col),
+             std::move(new_val));
+}
+
+index_t Csr::bandwidth() const {
+  index_t bw = 0;
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      bw = std::max(bw, std::abs(r - col_idx_[static_cast<std::size_t>(k)]));
+    }
+  }
+  return bw;
+}
+
+std::vector<index_t> Csr::row_degrees() const {
+  std::vector<index_t> deg(static_cast<std::size_t>(nrows_));
+  for (index_t r = 0; r < nrows_; ++r) deg[static_cast<std::size_t>(r)] = row_nnz(r);
+  return deg;
+}
+
+std::size_t Csr::memory_bytes() const {
+  return row_ptr_.size() * sizeof(offset_t) +
+         col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(value_t);
+}
+
+bool Csr::operator==(const Csr& other) const {
+  return nrows_ == other.nrows_ && ncols_ == other.ncols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+bool Csr::approx_equal(const Csr& other, double tol) const {
+  if (nrows_ != other.nrows_ || ncols_ != other.ncols_) return false;
+  if (row_ptr_ != other.row_ptr_ || col_idx_ != other.col_idx_) return false;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    if (std::abs(values_[k] - other.values_[k]) > tol) return false;
+  }
+  return true;
+}
+
+void Csr::validate() const {
+  CW_CHECK(nrows_ >= 0 && ncols_ >= 0);
+  CW_CHECK(static_cast<index_t>(row_ptr_.size()) == nrows_ + 1);
+  CW_CHECK(row_ptr_[0] == 0);
+  for (index_t r = 0; r < nrows_; ++r) {
+    CW_CHECK_MSG(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr not monotone at row " << r);
+    for (offset_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const index_t c = col_idx_[static_cast<std::size_t>(k)];
+      CW_CHECK_MSG(c >= 0 && c < ncols_, "column out of range in row " << r);
+      if (k > row_ptr_[r]) {
+        CW_CHECK_MSG(col_idx_[static_cast<std::size_t>(k - 1)] < c,
+                     "row " << r << " not strictly sorted");
+      }
+    }
+  }
+  CW_CHECK(static_cast<offset_t>(col_idx_.size()) == row_ptr_[nrows_]);
+  CW_CHECK(col_idx_.size() == values_.size());
+}
+
+}  // namespace cw

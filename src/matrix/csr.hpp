@@ -1,0 +1,123 @@
+// Compressed Sparse Row matrix — the library's workhorse format (§2.1).
+//
+// Invariants maintained by every constructor and mutator:
+//   * row_ptr has nrows()+1 entries, is non-decreasing, row_ptr[0] == 0;
+//   * column indices within each row are strictly increasing (sorted, unique);
+//   * col_idx and values have row_ptr[nrows()] entries.
+// validate() checks all of them and is exercised heavily by the test suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+class Coo;
+
+/// Row order vector: order[new_position] = old_index. apply-side helpers
+/// live in Csr (permute_rows / permute_symmetric).
+using Permutation = std::vector<index_t>;
+
+/// Returns the inverse permutation: inv[old_index] = new_position.
+Permutation invert_permutation(const Permutation& order);
+
+/// True iff `order` is a permutation of 0..n-1.
+bool is_permutation(const Permutation& order, index_t n);
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of pre-built arrays. Rows are sorted/deduplicated if
+  /// needed; validate() is run in debug builds.
+  Csr(index_t nrows, index_t ncols, std::vector<offset_t> row_ptr,
+      std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  /// Conversion from COO (duplicates are summed).
+  static Csr from_coo(const Coo& coo);
+
+  /// Identity matrix.
+  static Csr identity(index_t n);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+
+  [[nodiscard]] const std::vector<offset_t>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<index_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
+  [[nodiscard]] std::vector<value_t>& values() { return values_; }
+
+  /// Number of nonzeros in row r.
+  [[nodiscard]] index_t row_nnz(index_t r) const {
+    return static_cast<index_t>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+
+  /// Column indices of row r (sorted ascending).
+  [[nodiscard]] std::span<const index_t> row_cols(index_t r) const {
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Values of row r, parallel to row_cols(r).
+  [[nodiscard]] std::span<const value_t> row_vals(index_t r) const {
+    return {values_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Transposed copy (CSC view materialized as CSR of Aᵀ). O(nnz).
+  [[nodiscard]] Csr transpose() const;
+
+  /// Copy with all stored values replaced by 1.0 — used by the hierarchical
+  /// clustering preprocessing (Alg. 3 resets values before A·Aᵀ).
+  [[nodiscard]] Csr pattern_ones() const;
+
+  /// Row permutation only: result row i = this row order[i]. Columns keep
+  /// their labels. Used when only the A-row traversal order changes.
+  [[nodiscard]] Csr permute_rows(const Permutation& order) const;
+
+  /// Symmetric permutation P·A·Pᵀ: rows reordered by `order` and column
+  /// labels relabelled with the inverse. This is how the reordering study
+  /// applies an ordering to a square matrix (§4).
+  [[nodiscard]] Csr permute_symmetric(const Permutation& order) const;
+
+  /// A + Aᵀ pattern (values summed); requires square. The reordering
+  /// algorithms operate on this symmetrized adjacency structure.
+  [[nodiscard]] Csr symmetrized() const;
+
+  /// Copy without diagonal entries.
+  [[nodiscard]] Csr without_diagonal() const;
+
+  /// Matrix bandwidth: max |i - j| over stored entries.
+  [[nodiscard]] index_t bandwidth() const;
+
+  /// Out-degree (row nnz) of every row.
+  [[nodiscard]] std::vector<index_t> row_degrees() const;
+
+  /// Bytes of the CSR arrays (row_ptr + col_idx + values) — the baseline for
+  /// the Fig. 11 memory comparison.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Structural + numerical equality.
+  bool operator==(const Csr& other) const;
+
+  /// Equality within absolute tolerance `tol` on values, exact on pattern.
+  [[nodiscard]] bool approx_equal(const Csr& other, double tol) const;
+
+  /// Check every invariant; throws cw::Error with a description on failure.
+  void validate() const;
+
+ private:
+  void sort_rows_();
+
+  index_t nrows_ = 0, ncols_ = 0;
+  std::vector<offset_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace cw

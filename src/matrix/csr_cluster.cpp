@@ -1,0 +1,256 @@
+#include "matrix/csr_cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace cw {
+
+// ---------------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------------
+
+Clustering Clustering::from_sizes(const std::vector<index_t>& sizes) {
+  Clustering c;
+  c.ptr_.resize(sizes.size() + 1);
+  c.ptr_[0] = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    CW_CHECK_MSG(sizes[i] >= 1, "cluster size must be >= 1");
+    c.ptr_[i + 1] = c.ptr_[i] + sizes[i];
+  }
+  return c;
+}
+
+Clustering Clustering::singletons(index_t nrows) {
+  Clustering c;
+  c.ptr_.resize(static_cast<std::size_t>(nrows) + 1);
+  for (index_t i = 0; i <= nrows; ++i) c.ptr_[static_cast<std::size_t>(i)] = i;
+  return c;
+}
+
+Clustering Clustering::fixed(index_t nrows, index_t k) {
+  CW_CHECK(k >= 1);
+  Clustering c;
+  c.ptr_.clear();
+  for (index_t start = 0; start < nrows; start += k) c.ptr_.push_back(start);
+  c.ptr_.push_back(nrows);
+  if (nrows == 0) c.ptr_ = {0};
+  return c;
+}
+
+index_t Clustering::max_size() const {
+  index_t m = 0;
+  for (index_t c = 0; c < num_clusters(); ++c) m = std::max(m, size(c));
+  return m;
+}
+
+std::vector<index_t> Clustering::sizes() const {
+  std::vector<index_t> s(static_cast<std::size_t>(num_clusters()));
+  for (index_t c = 0; c < num_clusters(); ++c) s[static_cast<std::size_t>(c)] = size(c);
+  return s;
+}
+
+void Clustering::validate(index_t expected_nrows) const {
+  CW_CHECK(!ptr_.empty() && ptr_[0] == 0);
+  for (std::size_t i = 1; i < ptr_.size(); ++i)
+    CW_CHECK_MSG(ptr_[i] > ptr_[i - 1], "empty cluster at index " << (i - 1));
+  CW_CHECK_MSG(ptr_.back() == expected_nrows,
+               "clustering covers " << ptr_.back() << " rows, expected "
+                                    << expected_nrows);
+}
+
+// ---------------------------------------------------------------------------
+// CsrCluster
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// K-way merge over the sorted rows of one cluster. Calls
+/// `emit(col, mask)` once per distinct column, in ascending column order,
+/// where bit r of `mask` is set iff row (row_start + r) holds `col`.
+template <typename Emit>
+void merge_cluster_columns(const Csr& a, index_t row_start, index_t k,
+                           Emit&& emit) {
+  constexpr index_t kInf = std::numeric_limits<index_t>::max();
+  offset_t cursor[CsrCluster::kMaxClusterSize];
+  offset_t row_end[CsrCluster::kMaxClusterSize];
+  for (index_t r = 0; r < k; ++r) {
+    cursor[r] = a.row_ptr()[row_start + r];
+    row_end[r] = a.row_ptr()[row_start + r + 1];
+  }
+  for (;;) {
+    index_t min_col = kInf;
+    for (index_t r = 0; r < k; ++r) {
+      if (cursor[r] < row_end[r])
+        min_col = std::min(min_col, a.col_idx()[static_cast<std::size_t>(cursor[r])]);
+    }
+    if (min_col == kInf) break;
+    std::uint64_t mask = 0;
+    for (index_t r = 0; r < k; ++r) {
+      if (cursor[r] < row_end[r] &&
+          a.col_idx()[static_cast<std::size_t>(cursor[r])] == min_col) {
+        mask |= std::uint64_t{1} << r;
+        ++cursor[r];
+      }
+    }
+    emit(min_col, mask);
+  }
+}
+
+}  // namespace
+
+CsrCluster CsrCluster::build(const Csr& a, const Clustering& clustering) {
+  clustering.validate(a.nrows());
+  CW_CHECK_MSG(clustering.max_size() <= kMaxClusterSize,
+               "cluster size exceeds kMaxClusterSize");
+  CsrCluster out;
+  out.nrows_ = a.nrows();
+  out.ncols_ = a.ncols();
+  out.nnz_ = a.nnz();
+  out.clustering_ = clustering;
+
+  const index_t ncl = clustering.num_clusters();
+
+  // Pass 1: distinct-column count per cluster.
+  std::vector<offset_t> col_counts(static_cast<std::size_t>(ncl), 0);
+  parallel_for(ncl, [&](index_t c) {
+    offset_t count = 0;
+    merge_cluster_columns(a, clustering.row_start(c), clustering.size(c),
+                          [&](index_t, std::uint64_t) { ++count; });
+    col_counts[static_cast<std::size_t>(c)] = count;
+  });
+
+  out.cluster_ptr_ = counts_to_pointers(col_counts);
+  // Value slots per cluster = distinct columns × cluster size.
+  std::vector<offset_t> slot_counts(static_cast<std::size_t>(ncl));
+  for (index_t c = 0; c < ncl; ++c)
+    slot_counts[static_cast<std::size_t>(c)] =
+        col_counts[static_cast<std::size_t>(c)] * clustering.size(c);
+  out.value_ptr_ = counts_to_pointers(slot_counts);
+
+  out.col_idx_.resize(static_cast<std::size_t>(out.cluster_ptr_.back()));
+  out.row_mask_.resize(static_cast<std::size_t>(out.cluster_ptr_.back()));
+  out.values_.assign(static_cast<std::size_t>(out.value_ptr_.back()), 0.0);
+
+  // Pass 2: fill columns, masks and (column-major) values.
+  parallel_for(ncl, [&](index_t c) {
+    const index_t row_start = clustering.row_start(c);
+    const index_t k = clustering.size(c);
+    offset_t col_off = out.cluster_ptr_[static_cast<std::size_t>(c)];
+    offset_t val_off = out.value_ptr_[static_cast<std::size_t>(c)];
+    // Per-row cursors advance in lockstep with the merge (rows are sorted, and
+    // the merge emits columns in ascending order).
+    offset_t cursor[kMaxClusterSize];
+    for (index_t r = 0; r < k; ++r) cursor[r] = a.row_ptr()[row_start + r];
+    merge_cluster_columns(a, row_start, k, [&](index_t col, std::uint64_t mask) {
+      out.col_idx_[static_cast<std::size_t>(col_off)] = col;
+      out.row_mask_[static_cast<std::size_t>(col_off)] = mask;
+      for (index_t r = 0; r < k; ++r) {
+        if (mask & (std::uint64_t{1} << r)) {
+          out.values_[static_cast<std::size_t>(val_off + r)] =
+              a.values()[static_cast<std::size_t>(cursor[r]++)];
+        }
+      }
+      ++col_off;
+      val_off += k;
+    });
+  });
+
+#ifndef NDEBUG
+  out.validate();
+#endif
+  return out;
+}
+
+Csr CsrCluster::to_csr() const {
+  const index_t ncl = num_clusters();
+  std::vector<offset_t> counts(static_cast<std::size_t>(nrows_), 0);
+  for (index_t c = 0; c < ncl; ++c) {
+    const index_t row_start = clustering_.row_start(c);
+    const index_t k = clustering_.size(c);
+    for (offset_t t = cluster_ptr_[static_cast<std::size_t>(c)];
+         t < cluster_ptr_[static_cast<std::size_t>(c) + 1]; ++t) {
+      const std::uint64_t mask = row_mask_[static_cast<std::size_t>(t)];
+      for (index_t r = 0; r < k; ++r) {
+        if (mask & (std::uint64_t{1} << r)) ++counts[static_cast<std::size_t>(row_start + r)];
+      }
+    }
+  }
+  std::vector<offset_t> row_ptr = counts_to_pointers(counts);
+  std::vector<offset_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(row_ptr.back()));
+  for (index_t c = 0; c < ncl; ++c) {
+    const index_t row_start = clustering_.row_start(c);
+    const index_t k = clustering_.size(c);
+    offset_t val_off = value_ptr_[static_cast<std::size_t>(c)];
+    for (offset_t t = cluster_ptr_[static_cast<std::size_t>(c)];
+         t < cluster_ptr_[static_cast<std::size_t>(c) + 1]; ++t, val_off += k) {
+      const index_t col = col_idx_[static_cast<std::size_t>(t)];
+      const std::uint64_t mask = row_mask_[static_cast<std::size_t>(t)];
+      for (index_t r = 0; r < k; ++r) {
+        if (mask & (std::uint64_t{1} << r)) {
+          const offset_t dst = cursor[static_cast<std::size_t>(row_start + r)]++;
+          col_idx[static_cast<std::size_t>(dst)] = col;
+          values[static_cast<std::size_t>(dst)] =
+              values_[static_cast<std::size_t>(val_off + r)];
+        }
+      }
+    }
+  }
+  // Columns are emitted in ascending order per cluster, hence per row.
+  return Csr(nrows_, ncols_, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+std::size_t CsrCluster::memory_bytes() const {
+  const index_t k = clustering_.max_size();
+  // Width a bit-packed production mask would need for this cluster bound.
+  std::size_t mask_bytes = k <= 8 ? 1 : k <= 16 ? 2 : k <= 32 ? 4 : 8;
+  std::size_t bytes = 0;
+  bytes += cluster_ptr_.size() * sizeof(offset_t);
+  bytes += value_ptr_.size() * sizeof(offset_t);
+  bytes += clustering_.ptr().size() * sizeof(index_t);  // cluster-sz array
+  bytes += col_idx_.size() * sizeof(index_t);
+  bytes += col_idx_.size() * mask_bytes;
+  bytes += values_.size() * sizeof(value_t);
+  return bytes;
+}
+
+void CsrCluster::validate() const {
+  clustering_.validate(nrows_);
+  const index_t ncl = num_clusters();
+  CW_CHECK(static_cast<index_t>(cluster_ptr_.size()) == ncl + 1);
+  CW_CHECK(static_cast<index_t>(value_ptr_.size()) == ncl + 1);
+  CW_CHECK(cluster_ptr_[0] == 0 && value_ptr_[0] == 0);
+  offset_t nnz_seen = 0;
+  for (index_t c = 0; c < ncl; ++c) {
+    const index_t k = clustering_.size(c);
+    const offset_t ncols_c = cluster_ptr_[static_cast<std::size_t>(c) + 1] -
+                             cluster_ptr_[static_cast<std::size_t>(c)];
+    CW_CHECK(value_ptr_[static_cast<std::size_t>(c) + 1] -
+                 value_ptr_[static_cast<std::size_t>(c)] ==
+             ncols_c * k);
+    for (offset_t t = cluster_ptr_[static_cast<std::size_t>(c)];
+         t < cluster_ptr_[static_cast<std::size_t>(c) + 1]; ++t) {
+      const index_t col = col_idx_[static_cast<std::size_t>(t)];
+      CW_CHECK(col >= 0 && col < ncols_);
+      if (t > cluster_ptr_[static_cast<std::size_t>(c)]) {
+        CW_CHECK_MSG(col_idx_[static_cast<std::size_t>(t - 1)] < col,
+                     "cluster " << c << " columns not strictly sorted");
+      }
+      const std::uint64_t mask = row_mask_[static_cast<std::size_t>(t)];
+      CW_CHECK_MSG(mask != 0, "empty presence mask in cluster " << c);
+      CW_CHECK_MSG(k == 64 || (mask >> k) == 0,
+                   "mask has bits beyond cluster size in cluster " << c);
+      nnz_seen += __builtin_popcountll(mask);
+    }
+  }
+  CW_CHECK_MSG(nnz_seen == nnz_, "mask popcount " << nnz_seen
+                                                  << " != nnz " << nnz_);
+}
+
+}  // namespace cw

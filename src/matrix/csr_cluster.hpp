@@ -1,0 +1,119 @@
+// CSR_Cluster — the clustered sparse-matrix format of §3.1 of the paper.
+//
+// Rows are grouped into clusters of *consecutive* rows (any reordering has
+// already been applied to the Csr before the format is built). Within a
+// cluster the nonzeros are stored column-major:
+//
+//   * col_idx holds the cluster's *distinct* column ids, sorted ascending;
+//   * for each such column there are `cluster_size` value slots, one per row
+//     of the cluster, stored contiguously (padding slots are 0.0);
+//   * a per-column presence bitmask records which rows actually own a
+//     nonzero, so the symbolic phase stays exact — padding never leaks into
+//     the output pattern. (The paper calls these "empty (or placeholder)
+//     positions" and leaves their encoding unspecified.)
+//
+// This layout is what lets cluster-wise SpGEMM (Alg. 1) fetch a row of B once
+// and apply it to every row of the A-cluster while it is cache-resident.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// A partition of rows 0..nrows-1 into consecutive ranges.
+/// Cluster c covers rows [row_start(c), row_start(c+1)).
+class Clustering {
+ public:
+  Clustering() = default;
+
+  /// Build from per-cluster sizes (must sum to nrows, all >= 1).
+  static Clustering from_sizes(const std::vector<index_t>& sizes);
+
+  /// One row per cluster (the row-wise baseline expressed as clustering).
+  static Clustering singletons(index_t nrows);
+
+  /// Equal-size clusters of `k` rows (last cluster may be shorter) — the
+  /// fixed-length scheme of §3.2.
+  static Clustering fixed(index_t nrows, index_t k);
+
+  [[nodiscard]] index_t num_clusters() const {
+    return static_cast<index_t>(ptr_.size()) - 1;
+  }
+  [[nodiscard]] index_t nrows() const { return ptr_.empty() ? 0 : ptr_.back(); }
+  [[nodiscard]] index_t row_start(index_t c) const { return ptr_[c]; }
+  [[nodiscard]] index_t size(index_t c) const { return ptr_[c + 1] - ptr_[c]; }
+  [[nodiscard]] index_t max_size() const;
+  [[nodiscard]] const std::vector<index_t>& ptr() const { return ptr_; }
+
+  /// Cluster sizes array (the cluster-sz array of Fig. 6(b)).
+  [[nodiscard]] std::vector<index_t> sizes() const;
+
+  void validate(index_t expected_nrows) const;
+
+ private:
+  std::vector<index_t> ptr_{0};  // size num_clusters()+1, ptr_[0] == 0
+};
+
+/// The clustered matrix. Build once per (matrix, clustering); reuse across
+/// many SpGEMM invocations (the amortization scenario of §4.5).
+class CsrCluster {
+ public:
+  /// Maximum supported rows per cluster (presence masks are 64-bit).
+  static constexpr index_t kMaxClusterSize = 64;
+
+  CsrCluster() = default;
+
+  /// Build from a CSR matrix whose rows are already in cluster order.
+  static CsrCluster build(const Csr& a, const Clustering& clustering);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] index_t num_clusters() const { return clustering_.num_clusters(); }
+  [[nodiscard]] const Clustering& clustering() const { return clustering_; }
+
+  /// Number of stored nonzeros of the underlying matrix (excludes padding).
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+
+  /// Total value slots including padding; padding ratio = slots / nnz.
+  [[nodiscard]] offset_t value_slots() const {
+    return static_cast<offset_t>(values_.size());
+  }
+
+  // --- raw arrays for the kernel ------------------------------------------
+  [[nodiscard]] const std::vector<offset_t>& cluster_ptr() const { return cluster_ptr_; }
+  [[nodiscard]] const std::vector<offset_t>& value_ptr() const { return value_ptr_; }
+  [[nodiscard]] const std::vector<index_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& row_mask() const { return row_mask_; }
+  [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
+
+  /// Distinct columns of cluster c.
+  [[nodiscard]] index_t cluster_ncols(index_t c) const {
+    return static_cast<index_t>(cluster_ptr_[c + 1] - cluster_ptr_[c]);
+  }
+
+  /// Reconstruct the CSR matrix (test/debug path; exact round trip).
+  [[nodiscard]] Csr to_csr() const;
+
+  /// Bytes of the format for the Fig. 11 memory comparison. Presence masks
+  /// are accounted at the bit-packed width a production build would use for
+  /// this cluster-size bound (1 byte for <=8 rows — the paper's setting).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  void validate() const;
+
+ private:
+  index_t nrows_ = 0, ncols_ = 0;
+  offset_t nnz_ = 0;
+  Clustering clustering_;
+  std::vector<offset_t> cluster_ptr_;  // per cluster: offset into col_idx_/row_mask_
+  std::vector<offset_t> value_ptr_;    // per cluster: offset into values_
+  std::vector<index_t> col_idx_;       // distinct columns per cluster, sorted
+  std::vector<std::uint64_t> row_mask_;  // bit r => row (start+r) present
+  std::vector<value_t> values_;        // column-major inside a cluster
+};
+
+}  // namespace cw

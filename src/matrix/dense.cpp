@@ -1,0 +1,53 @@
+#include "matrix/dense.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+Dense Dense::from_csr(const Csr& a) {
+  Dense d(a.nrows(), a.ncols());
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) d.at(r, cols[k]) += vals[k];
+  }
+  return d;
+}
+
+Csr Dense::to_csr(double drop_tol) const {
+  Coo coo(nrows_, ncols_);
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (index_t c = 0; c < ncols_; ++c) {
+      const value_t v = at(r, c);
+      if (std::abs(v) > drop_tol) coo.push(r, c, v);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Dense Dense::multiply(const Dense& b) const {
+  CW_CHECK(ncols_ == b.nrows());
+  Dense c(nrows_, b.ncols());
+  for (index_t i = 0; i < nrows_; ++i) {
+    for (index_t k = 0; k < ncols_; ++k) {
+      const value_t aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < b.ncols(); ++j) c.at(i, j) += aik * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+bool Dense::approx_equal(const Dense& other, double tol) const {
+  if (nrows_ != other.nrows_ || ncols_ != other.ncols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace cw

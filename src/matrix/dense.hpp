@@ -1,0 +1,56 @@
+// Small row-major dense matrix used as the brute-force reference in tests
+// (never in benchmarked code paths).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw {
+
+class Csr;
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t nrows, index_t ncols)
+      : nrows_(nrows), ncols_(ncols),
+        data_(static_cast<std::size_t>(nrows) * static_cast<std::size_t>(ncols), 0.0) {}
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+
+  value_t& at(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] value_t at(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Contiguous row-major row pointer (rows are ncols() long).
+  [[nodiscard]] const value_t* row_data(index_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_);
+  }
+  value_t* row_data(index_t r) {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols_);
+  }
+
+  /// Densify a CSR matrix.
+  static Dense from_csr(const Csr& a);
+
+  /// Drop explicit zeros and return the CSR form.
+  [[nodiscard]] Csr to_csr(double drop_tol = 0.0) const;
+
+  /// Naive O(n·m·k) product, the ground truth for SpGEMM tests.
+  [[nodiscard]] Dense multiply(const Dense& b) const;
+
+  [[nodiscard]] bool approx_equal(const Dense& other, double tol) const;
+
+ private:
+  index_t nrows_ = 0, ncols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace cw

@@ -1,0 +1,98 @@
+#include "matrix/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "matrix/coo.hpp"
+
+namespace cw {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  CW_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw Error("missing %%MatrixMarket banner");
+  object = lower(object);
+  fmt = lower(fmt);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix") throw Error("unsupported object: " + object);
+  if (fmt != "coordinate") throw Error("only coordinate format is supported");
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer")
+    throw Error("unsupported field: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general")
+    throw Error("unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) throw Error("missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long nrows = 0, ncols = 0, nnz = 0;
+  size_line >> nrows >> ncols >> nnz;
+  if (nrows <= 0 || ncols <= 0 || nnz < 0) throw Error("bad size line: " + line);
+
+  Coo coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  coo.reserve((symmetric || skew) ? 2 * nnz : nnz);
+  for (long long e = 0; e < nnz; ++e) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw Error("truncated entry list");
+    if (!pattern) {
+      if (!(in >> v)) throw Error("truncated entry list (value)");
+    }
+    if (r < 1 || r > nrows || c < 1 || c > ncols)
+      throw Error("entry out of bounds");
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.push(ri, ci, v);
+    if ((symmetric || skew) && ri != ci) coo.push(ci, ri, skew ? -v : v);
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.nrows() << " " << a.ncols() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (r + 1) << " " << (cols[k] + 1) << " " << vals[k] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open " + path + " for writing");
+  write_matrix_market(f, a);
+}
+
+}  // namespace cw

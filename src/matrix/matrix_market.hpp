@@ -1,0 +1,25 @@
+// Matrix Market (.mtx) reader/writer so users can run the suite on real
+// SuiteSparse downloads. Supports coordinate real/integer/pattern matrices,
+// general and symmetric storage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// Parse a Matrix Market stream. Symmetric/skew-symmetric storage is
+/// expanded to general form. Throws cw::Error on malformed input.
+Csr read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper around the stream reader.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Write in "matrix coordinate real general" form with 1-based indices.
+void write_matrix_market(std::ostream& out, const Csr& a);
+
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace cw

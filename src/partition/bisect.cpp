@@ -1,0 +1,54 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace cw {
+
+// Vertex separator for nested dissection: refine an edge cut, then promote
+// the smaller set of boundary vertices to the separator so that no edge
+// connects the remaining left and right parts.
+Separator vertex_separator(const PGraph& g, std::uint64_t seed) {
+  Separator s;
+  if (g.nv == 0) return s;
+  if (g.nv == 1) {
+    s.left.push_back(0);
+    return s;
+  }
+  Rng rng(seed);
+  BisectOptions opt;
+  Bisection b = multilevel_bisect(g, opt, rng);
+
+  // Boundary vertices per side.
+  std::vector<std::uint8_t> boundary(static_cast<std::size_t>(g.nv), 0);
+  offset_t bw0 = 0, bw1 = 0;
+  for (index_t v = 0; v < g.nv; ++v) {
+    for (offset_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      const index_t u = g.adj[static_cast<std::size_t>(k)];
+      if (b.side[static_cast<std::size_t>(v)] != b.side[static_cast<std::size_t>(u)]) {
+        if (!boundary[static_cast<std::size_t>(v)]) {
+          boundary[static_cast<std::size_t>(v)] = 1;
+          (b.side[static_cast<std::size_t>(v)] == 0 ? bw0 : bw1) +=
+              g.vw[static_cast<std::size_t>(v)];
+        }
+        break;
+      }
+    }
+  }
+  // Promote the lighter boundary side: every cut edge has an endpoint there,
+  // so removing it disconnects the two sides.
+  const std::uint8_t promote = bw0 <= bw1 ? 0 : 1;
+  for (index_t v = 0; v < g.nv; ++v) {
+    if (boundary[static_cast<std::size_t>(v)] &&
+        b.side[static_cast<std::size_t>(v)] == promote) {
+      s.sep.push_back(v);
+    } else if (b.side[static_cast<std::size_t>(v)] == 0) {
+      s.left.push_back(v);
+    } else {
+      s.right.push_back(v);
+    }
+  }
+  return s;
+}
+
+}  // namespace cw

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+#include "partition/partition.hpp"
+
+namespace cw {
+
+std::vector<index_t> heavy_edge_matching(const PGraph& g, Rng& rng) {
+  std::vector<index_t> match(static_cast<std::size_t>(g.nv), kInvalidIndex);
+  std::vector<index_t> visit(static_cast<std::size_t>(g.nv));
+  std::iota(visit.begin(), visit.end(), index_t{0});
+  shuffle(visit, rng);
+  for (index_t v : visit) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    index_t best = kInvalidIndex;
+    index_t best_w = 0;
+    for (offset_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      const index_t u = g.adj[static_cast<std::size_t>(k)];
+      if (match[static_cast<std::size_t>(u)] != kInvalidIndex) continue;
+      const index_t w = g.adjw[static_cast<std::size_t>(k)];
+      if (w > best_w || (w == best_w && best != kInvalidIndex && u < best)) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best == kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = v;  // unmatched singleton
+    } else {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+  return match;
+}
+
+PGraph contract(const PGraph& g, const std::vector<index_t>& match,
+                std::vector<index_t>& coarse_of) {
+  CW_CHECK(static_cast<index_t>(match.size()) == g.nv);
+  coarse_of.assign(static_cast<std::size_t>(g.nv), kInvalidIndex);
+  index_t nc = 0;
+  for (index_t v = 0; v < g.nv; ++v) {
+    if (coarse_of[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    const index_t u = match[static_cast<std::size_t>(v)];
+    coarse_of[static_cast<std::size_t>(v)] = nc;
+    if (u != v) coarse_of[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+
+  PGraph out;
+  out.nv = nc;
+  out.vw.assign(static_cast<std::size_t>(nc), 0);
+  for (index_t v = 0; v < g.nv; ++v)
+    out.vw[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])] +=
+        g.vw[static_cast<std::size_t>(v)];
+
+  // Aggregate edges per coarse vertex with a scratch map keyed by neighbour.
+  std::vector<offset_t> counts(static_cast<std::size_t>(nc), 0);
+  std::vector<std::vector<std::pair<index_t, index_t>>> rows(
+      static_cast<std::size_t>(nc));
+  std::unordered_map<index_t, index_t> agg;
+  // Gather fine vertices per coarse vertex.
+  std::vector<std::vector<index_t>> members(static_cast<std::size_t>(nc));
+  for (index_t v = 0; v < g.nv; ++v)
+    members[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (index_t c = 0; c < nc; ++c) {
+    agg.clear();
+    for (index_t v : members[static_cast<std::size_t>(c)]) {
+      for (offset_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const index_t cu =
+            coarse_of[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(k)])];
+        if (cu == c) continue;  // contracted edge disappears
+        agg[cu] += g.adjw[static_cast<std::size_t>(k)];
+      }
+    }
+    auto& row = rows[static_cast<std::size_t>(c)];
+    row.assign(agg.begin(), agg.end());
+    std::sort(row.begin(), row.end());
+    counts[static_cast<std::size_t>(c)] = static_cast<offset_t>(row.size());
+  }
+  out.xadj = counts_to_pointers(counts);
+  out.adj.resize(static_cast<std::size_t>(out.xadj.back()));
+  out.adjw.resize(static_cast<std::size_t>(out.xadj.back()));
+  for (index_t c = 0; c < nc; ++c) {
+    offset_t dst = out.xadj[static_cast<std::size_t>(c)];
+    for (const auto& [u, w] : rows[static_cast<std::size_t>(c)]) {
+      out.adj[static_cast<std::size_t>(dst)] = u;
+      out.adjw[static_cast<std::size_t>(dst)] = w;
+      ++dst;
+    }
+  }
+  return out;
+}
+
+}  // namespace cw

@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace cw {
+
+namespace {
+
+struct PqEntry {
+  offset_t gain;
+  index_t v;
+  bool operator<(const PqEntry& o) const {
+    if (gain != o.gain) return gain < o.gain;
+    return v > o.v;
+  }
+};
+
+/// gain(v) = weight of edges to the other side − weight of edges to own side
+/// (positive gain ⇒ moving v reduces the cut by gain).
+offset_t vertex_gain(const PGraph& g, const std::vector<std::uint8_t>& side,
+                     index_t v) {
+  offset_t ext = 0, in = 0;
+  const std::uint8_t sv = side[static_cast<std::size_t>(v)];
+  for (offset_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+    const index_t u = g.adj[static_cast<std::size_t>(k)];
+    if (side[static_cast<std::size_t>(u)] == sv)
+      in += g.adjw[static_cast<std::size_t>(k)];
+    else
+      ext += g.adjw[static_cast<std::size_t>(k)];
+  }
+  return ext - in;
+}
+
+}  // namespace
+
+void fm_refine(const PGraph& g, Bisection& b, const BisectOptions& opt) {
+  const offset_t total = g.total_vw();
+  const double frac = opt.target_fraction;
+  const auto max0 = static_cast<offset_t>(
+      static_cast<double>(total) * frac * (1.0 + opt.imbalance)) + 1;
+  const auto max1 = static_cast<offset_t>(
+      static_cast<double>(total) * (1.0 - frac) * (1.0 + opt.imbalance)) + 1;
+
+  std::vector<offset_t> gain(static_cast<std::size_t>(g.nv));
+  std::vector<std::uint8_t> moved(static_cast<std::size_t>(g.nv));
+
+  for (int pass = 0; pass < opt.fm_passes; ++pass) {
+    const offset_t pass_start_cut = b.cut;
+    std::fill(moved.begin(), moved.end(), 0);
+    std::priority_queue<PqEntry> pq;
+    for (index_t v = 0; v < g.nv; ++v) {
+      gain[static_cast<std::size_t>(v)] = vertex_gain(g, b.side, v);
+      pq.push({gain[static_cast<std::size_t>(v)], v});
+    }
+
+    struct Move {
+      index_t v;
+      offset_t cut_after;
+    };
+    std::vector<Move> log;
+    offset_t cur_cut = b.cut;
+    offset_t w0 = b.weight0, w1 = b.weight1;
+    offset_t best_cut = b.cut;
+    std::ptrdiff_t best_prefix = -1;  // index into log of last kept move
+
+    while (!pq.empty()) {
+      const PqEntry e = pq.top();
+      pq.pop();
+      if (moved[static_cast<std::size_t>(e.v)]) continue;
+      if (e.gain != gain[static_cast<std::size_t>(e.v)]) continue;  // stale
+      const std::uint8_t sv = b.side[static_cast<std::size_t>(e.v)];
+      const offset_t vwv = g.vw[static_cast<std::size_t>(e.v)];
+      // Balance test: moving v from sv to 1-sv.
+      const bool src_over = (sv == 0 ? w0 > max0 : w1 > max1);
+      if (sv == 0) {
+        if (!src_over && w1 + vwv > max1) continue;
+      } else {
+        if (!src_over && w0 + vwv > max0) continue;
+      }
+      // Apply the move.
+      moved[static_cast<std::size_t>(e.v)] = 1;
+      b.side[static_cast<std::size_t>(e.v)] = static_cast<std::uint8_t>(1 - sv);
+      cur_cut -= e.gain;
+      if (sv == 0) {
+        w0 -= vwv;
+        w1 += vwv;
+      } else {
+        w1 -= vwv;
+        w0 += vwv;
+      }
+      log.push_back({e.v, cur_cut});
+      if (cur_cut < best_cut) {
+        best_cut = cur_cut;
+        best_prefix = static_cast<std::ptrdiff_t>(log.size()) - 1;
+      }
+      // Refresh neighbour gains.
+      for (offset_t k = g.xadj[e.v]; k < g.xadj[e.v + 1]; ++k) {
+        const index_t u = g.adj[static_cast<std::size_t>(k)];
+        if (moved[static_cast<std::size_t>(u)]) continue;
+        gain[static_cast<std::size_t>(u)] = vertex_gain(g, b.side, u);
+        pq.push({gain[static_cast<std::size_t>(u)], u});
+      }
+    }
+
+    // Roll back everything after the best prefix.
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(log.size()) - 1;
+         i > best_prefix; --i) {
+      const index_t v = log[static_cast<std::size_t>(i)].v;
+      b.side[static_cast<std::size_t>(v)] ^= 1;
+    }
+    // Recompute weights and cut from scratch (cheap relative to the pass).
+    b.weight0 = 0;
+    for (index_t v = 0; v < g.nv; ++v)
+      if (b.side[static_cast<std::size_t>(v)] == 0)
+        b.weight0 += g.vw[static_cast<std::size_t>(v)];
+    b.weight1 = total - b.weight0;
+    b.cut = g.cut(b.side);
+    CW_DCHECK(b.cut == best_cut);
+    if (b.cut >= pass_start_cut) break;  // no improvement this pass
+  }
+}
+
+Bisection multilevel_bisect(const PGraph& g, const BisectOptions& opt,
+                            Rng& rng) {
+  if (g.nv <= opt.coarsen_to || g.nv <= 2) {
+    Bisection b = g.nv >= 2 ? grow_bisection(g, opt, rng) : Bisection{};
+    if (g.nv < 2) {
+      b.side.assign(static_cast<std::size_t>(g.nv), 0);
+      b.weight0 = g.total_vw();
+      b.weight1 = 0;
+      b.cut = 0;
+      return b;
+    }
+    fm_refine(g, b, opt);
+    return b;
+  }
+
+  // Coarsen one level; bail out to direct bisection when matching stalls
+  // (e.g., star graphs where everything is already matched to one hub).
+  std::vector<index_t> match = heavy_edge_matching(g, rng);
+  std::vector<index_t> coarse_of;
+  PGraph coarse = contract(g, match, coarse_of);
+  if (coarse.nv > static_cast<index_t>(0.95 * static_cast<double>(g.nv))) {
+    Bisection b = grow_bisection(g, opt, rng);
+    fm_refine(g, b, opt);
+    return b;
+  }
+
+  Bisection cb = multilevel_bisect(coarse, opt, rng);
+
+  // Project to the fine level and refine.
+  Bisection b;
+  b.side.resize(static_cast<std::size_t>(g.nv));
+  for (index_t v = 0; v < g.nv; ++v)
+    b.side[static_cast<std::size_t>(v)] =
+        cb.side[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])];
+  b.weight0 = 0;
+  for (index_t v = 0; v < g.nv; ++v)
+    if (b.side[static_cast<std::size_t>(v)] == 0)
+      b.weight0 += g.vw[static_cast<std::size_t>(v)];
+  b.weight1 = g.total_vw() - b.weight0;
+  b.cut = g.cut(b.side);
+  fm_refine(g, b, opt);
+  return b;
+}
+
+}  // namespace cw

@@ -1,0 +1,93 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace cw {
+
+offset_t PGraph::total_vw() const {
+  offset_t t = 0;
+  for (index_t w : vw) t += w;
+  return t;
+}
+
+PGraph PGraph::from_csr_pattern(const Csr& a) {
+  CW_CHECK_MSG(a.nrows() == a.ncols(), "partitioning requires square matrix");
+  const Csr sym = a.symmetrized().without_diagonal();
+  PGraph g;
+  g.nv = sym.nrows();
+  g.xadj = sym.row_ptr();
+  g.adj = sym.col_idx();
+  g.adjw.assign(g.adj.size(), 1);
+  g.vw.assign(static_cast<std::size_t>(g.nv), 1);
+  return g;
+}
+
+PGraph PGraph::induced(const std::vector<index_t>& verts,
+                       std::vector<index_t>& global_of) const {
+  global_of = verts;
+  std::vector<index_t> local(static_cast<std::size_t>(nv), kInvalidIndex);
+  for (index_t i = 0; i < static_cast<index_t>(verts.size()); ++i)
+    local[static_cast<std::size_t>(verts[static_cast<std::size_t>(i)])] = i;
+
+  PGraph out;
+  out.nv = static_cast<index_t>(verts.size());
+  out.vw.resize(verts.size());
+  std::vector<offset_t> counts(verts.size(), 0);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    out.vw[i] = vw[static_cast<std::size_t>(verts[i])];
+    for (offset_t k = xadj[verts[i]]; k < xadj[verts[i] + 1]; ++k) {
+      if (local[static_cast<std::size_t>(adj[static_cast<std::size_t>(k)])] !=
+          kInvalidIndex)
+        ++counts[i];
+    }
+  }
+  out.xadj = counts_to_pointers(counts);
+  out.adj.resize(static_cast<std::size_t>(out.xadj.back()));
+  out.adjw.resize(static_cast<std::size_t>(out.xadj.back()));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    offset_t dst = out.xadj[i];
+    for (offset_t k = xadj[verts[i]]; k < xadj[verts[i] + 1]; ++k) {
+      const index_t l =
+          local[static_cast<std::size_t>(adj[static_cast<std::size_t>(k)])];
+      if (l == kInvalidIndex) continue;
+      out.adj[static_cast<std::size_t>(dst)] = l;
+      out.adjw[static_cast<std::size_t>(dst)] = adjw[static_cast<std::size_t>(k)];
+      ++dst;
+    }
+  }
+  return out;
+}
+
+offset_t PGraph::cut(const std::vector<std::uint8_t>& side) const {
+  CW_CHECK(static_cast<index_t>(side.size()) == nv);
+  offset_t c = 0;
+  for (index_t v = 0; v < nv; ++v) {
+    for (offset_t k = xadj[v]; k < xadj[v + 1]; ++k) {
+      const index_t u = adj[static_cast<std::size_t>(k)];
+      if (side[static_cast<std::size_t>(v)] != side[static_cast<std::size_t>(u)])
+        c += adjw[static_cast<std::size_t>(k)];
+    }
+  }
+  return c / 2;  // every cut edge visited from both endpoints
+}
+
+void PGraph::validate() const {
+  CW_CHECK(static_cast<index_t>(xadj.size()) == nv + 1);
+  CW_CHECK(xadj[0] == 0);
+  CW_CHECK(adj.size() == adjw.size());
+  CW_CHECK(static_cast<offset_t>(adj.size()) == xadj[static_cast<std::size_t>(nv)]);
+  CW_CHECK(static_cast<index_t>(vw.size()) == nv);
+  for (index_t v = 0; v < nv; ++v) {
+    for (offset_t k = xadj[v]; k < xadj[v + 1]; ++k) {
+      const index_t u = adj[static_cast<std::size_t>(k)];
+      CW_CHECK(u >= 0 && u < nv);
+      CW_CHECK_MSG(u != v, "self loop at vertex " << v);
+    }
+  }
+}
+
+}  // namespace cw

@@ -1,0 +1,40 @@
+// Weighted undirected graph for the multilevel partitioner (METIS
+// substitute). Vertices carry weights (folded fine vertices), edges carry
+// weights (folded parallel edges). No self loops.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+struct PGraph {
+  index_t nv = 0;
+  std::vector<offset_t> xadj;  // size nv+1
+  std::vector<index_t> adj;    // neighbour ids
+  std::vector<index_t> adjw;   // edge weights, parallel to adj
+  std::vector<index_t> vw;     // vertex weights, size nv
+
+  [[nodiscard]] offset_t ne() const { return static_cast<offset_t>(adj.size()); }
+  [[nodiscard]] offset_t total_vw() const;
+  [[nodiscard]] index_t degree(index_t v) const {
+    return static_cast<index_t>(xadj[v + 1] - xadj[v]);
+  }
+
+  /// Adjacency structure from a CSR pattern: symmetrized, diagonal dropped,
+  /// unit weights.
+  static PGraph from_csr_pattern(const Csr& a);
+
+  /// Subgraph induced by `verts` (ids relabelled 0..|verts|-1 in given
+  /// order). `global_of[i]` returns the original id of local vertex i.
+  [[nodiscard]] PGraph induced(const std::vector<index_t>& verts,
+                               std::vector<index_t>& global_of) const;
+
+  /// Edge-cut weight of a 2-way side assignment.
+  [[nodiscard]] offset_t cut(const std::vector<std::uint8_t>& side) const;
+
+  void validate() const;
+};
+
+}  // namespace cw

@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "partition/hypergraph.hpp"
+
+namespace cw {
+
+namespace {
+
+HpBisection hp_random_bisection(const Hypergraph& h, const HpOptions& opt,
+                                Rng& rng) {
+  HpBisection b;
+  b.side.assign(static_cast<std::size_t>(h.nv), 1);
+  const offset_t total = h.total_vw();
+  const auto target =
+      static_cast<offset_t>(static_cast<double>(total) * opt.target_fraction);
+  std::vector<index_t> order(static_cast<std::size_t>(h.nv));
+  std::iota(order.begin(), order.end(), index_t{0});
+  shuffle(order, rng);
+  offset_t w0 = 0;
+  for (index_t v : order) {
+    if (w0 >= target) break;
+    b.side[static_cast<std::size_t>(v)] = 0;
+    w0 += h.vw[static_cast<std::size_t>(v)];
+  }
+  b.weight0 = w0;
+  b.weight1 = total - w0;
+  b.cut = h.cut(b.side);
+  return b;
+}
+
+/// Induced sub-hypergraph over `verts`; nets restricted to kept pins and
+/// dropped when fewer than 2 pins remain.
+Hypergraph hp_induced(const Hypergraph& h, const std::vector<index_t>& verts) {
+  std::vector<index_t> local(static_cast<std::size_t>(h.nv), kInvalidIndex);
+  for (index_t i = 0; i < static_cast<index_t>(verts.size()); ++i)
+    local[static_cast<std::size_t>(verts[static_cast<std::size_t>(i)])] = i;
+  Hypergraph out;
+  out.nv = static_cast<index_t>(verts.size());
+  out.vw.resize(verts.size());
+  for (std::size_t i = 0; i < verts.size(); ++i)
+    out.vw[i] = h.vw[static_cast<std::size_t>(verts[i])];
+  out.nptr = {0};
+  std::vector<index_t> scratch;
+  for (index_t net = 0; net < h.nn; ++net) {
+    scratch.clear();
+    for (offset_t p = h.nptr[static_cast<std::size_t>(net)];
+         p < h.nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+      const index_t l =
+          local[static_cast<std::size_t>(h.npins[static_cast<std::size_t>(p)])];
+      if (l != kInvalidIndex) scratch.push_back(l);
+    }
+    if (scratch.size() < 2) continue;
+    out.npins.insert(out.npins.end(), scratch.begin(), scratch.end());
+    out.nptr.push_back(static_cast<offset_t>(out.npins.size()));
+    out.nw.push_back(h.nw[static_cast<std::size_t>(net)]);
+  }
+  out.nn = static_cast<index_t>(out.nw.size());
+  out.rebuild_vertex_incidence();
+  return out;
+}
+
+void hp_kway_recurse(const Hypergraph& h, const std::vector<index_t>& global_of,
+                     index_t k, index_t part_base, double imbalance, Rng& rng,
+                     std::vector<index_t>& part) {
+  if (k == 1 || h.nv <= 1) {
+    for (index_t v = 0; v < h.nv; ++v)
+      part[static_cast<std::size_t>(global_of[static_cast<std::size_t>(v)])] =
+          part_base;
+    return;
+  }
+  const index_t k_left = k / 2;
+  HpOptions opt;
+  opt.target_fraction = static_cast<double>(k_left) / static_cast<double>(k);
+  opt.imbalance = imbalance;
+  HpBisection b = hp_multilevel_bisect(h, opt, rng);
+
+  std::vector<index_t> lv, rv;
+  for (index_t v = 0; v < h.nv; ++v)
+    (b.side[static_cast<std::size_t>(v)] == 0 ? lv : rv).push_back(v);
+  if (lv.empty() || rv.empty()) {
+    auto& all = lv.empty() ? rv : lv;
+    const std::size_t half = all.size() / 2;
+    lv.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(half));
+    rv.assign(all.begin() + static_cast<std::ptrdiff_t>(half), all.end());
+    if (lv.empty()) std::swap(lv, rv);
+  }
+
+  std::vector<index_t> gl(lv.size()), gr(rv.size());
+  for (std::size_t i = 0; i < lv.size(); ++i)
+    gl[i] = global_of[static_cast<std::size_t>(lv[i])];
+  for (std::size_t i = 0; i < rv.size(); ++i)
+    gr[i] = global_of[static_cast<std::size_t>(rv[i])];
+  Hypergraph lh = hp_induced(h, lv);
+  Hypergraph rh = hp_induced(h, rv);
+  hp_kway_recurse(lh, gl, k_left, part_base, imbalance, rng, part);
+  hp_kway_recurse(rh, gr, k - k_left, part_base + k_left, imbalance, rng, part);
+}
+
+}  // namespace
+
+HpBisection hp_multilevel_bisect(const Hypergraph& h, const HpOptions& opt,
+                                 Rng& rng) {
+  if (h.nv <= opt.coarsen_to || h.nv <= 2) {
+    HpBisection b;
+    if (h.nv < 2) {
+      b.side.assign(static_cast<std::size_t>(h.nv), 0);
+      b.weight0 = h.total_vw();
+      return b;
+    }
+    b = hp_random_bisection(h, opt, rng);
+    hp_fm_refine(h, b, opt);
+    return b;
+  }
+  std::vector<index_t> match = hp_matching(h, opt, rng);
+  std::vector<index_t> coarse_of;
+  Hypergraph coarse = hp_contract(h, match, coarse_of);
+  if (coarse.nv > static_cast<index_t>(0.95 * static_cast<double>(h.nv))) {
+    HpBisection b = hp_random_bisection(h, opt, rng);
+    hp_fm_refine(h, b, opt);
+    return b;
+  }
+  HpBisection cb = hp_multilevel_bisect(coarse, opt, rng);
+  HpBisection b;
+  b.side.resize(static_cast<std::size_t>(h.nv));
+  for (index_t v = 0; v < h.nv; ++v)
+    b.side[static_cast<std::size_t>(v)] =
+        cb.side[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])];
+  b.weight0 = 0;
+  for (index_t v = 0; v < h.nv; ++v)
+    if (b.side[static_cast<std::size_t>(v)] == 0)
+      b.weight0 += h.vw[static_cast<std::size_t>(v)];
+  b.weight1 = h.total_vw() - b.weight0;
+  b.cut = h.cut(b.side);
+  hp_fm_refine(h, b, opt);
+  return b;
+}
+
+std::vector<index_t> hp_kway_partition(const Hypergraph& h, index_t k,
+                                       std::uint64_t seed, double imbalance) {
+  CW_CHECK(k >= 1);
+  std::vector<index_t> part(static_cast<std::size_t>(h.nv), 0);
+  std::vector<index_t> global_of(static_cast<std::size_t>(h.nv));
+  std::iota(global_of.begin(), global_of.end(), index_t{0});
+  Rng rng(seed);
+  hp_kway_recurse(h, global_of, std::min<index_t>(k, std::max<index_t>(h.nv, 1)),
+                  0, imbalance, rng, part);
+  return part;
+}
+
+}  // namespace cw

@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+#include "partition/hypergraph.hpp"
+
+namespace cw {
+
+std::vector<index_t> hp_matching(const Hypergraph& h, const HpOptions& opt,
+                                 Rng& rng) {
+  std::vector<index_t> match(static_cast<std::size_t>(h.nv), kInvalidIndex);
+  std::vector<index_t> visit(static_cast<std::size_t>(h.nv));
+  std::iota(visit.begin(), visit.end(), index_t{0});
+  shuffle(visit, rng);
+  std::unordered_map<index_t, index_t> shared;  // candidate -> #shared nets
+  for (index_t v : visit) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    shared.clear();
+    for (offset_t k = h.vptr[static_cast<std::size_t>(v)];
+         k < h.vptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const index_t net = h.vnets[static_cast<std::size_t>(k)];
+      const offset_t len = h.nptr[static_cast<std::size_t>(net) + 1] -
+                           h.nptr[static_cast<std::size_t>(net)];
+      if (len > opt.net_scan_cap) continue;  // hub net: too expensive
+      for (offset_t p = h.nptr[static_cast<std::size_t>(net)];
+           p < h.nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+        const index_t u = h.npins[static_cast<std::size_t>(p)];
+        if (u == v || match[static_cast<std::size_t>(u)] != kInvalidIndex)
+          continue;
+        ++shared[u];
+      }
+    }
+    index_t best = kInvalidIndex, best_count = 0;
+    for (const auto& [u, count] : shared) {
+      if (count > best_count || (count == best_count && best != kInvalidIndex && u < best)) {
+        best_count = count;
+        best = u;
+      }
+    }
+    if (best == kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+  return match;
+}
+
+Hypergraph hp_contract(const Hypergraph& h, const std::vector<index_t>& match,
+                       std::vector<index_t>& coarse_of) {
+  coarse_of.assign(static_cast<std::size_t>(h.nv), kInvalidIndex);
+  index_t nc = 0;
+  for (index_t v = 0; v < h.nv; ++v) {
+    if (coarse_of[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    const index_t u = match[static_cast<std::size_t>(v)];
+    coarse_of[static_cast<std::size_t>(v)] = nc;
+    if (u != v) coarse_of[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+
+  Hypergraph out;
+  out.nv = nc;
+  out.vw.assign(static_cast<std::size_t>(nc), 0);
+  for (index_t v = 0; v < h.nv; ++v)
+    out.vw[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])] +=
+        h.vw[static_cast<std::size_t>(v)];
+
+  // Contract nets: map pins to coarse ids, deduplicate, drop nets that end
+  // up with a single pin (never cuttable), merge identical nets implicitly by
+  // just keeping them (weights add up through the cut metric anyway).
+  std::vector<offset_t> keep_ptr{0};
+  std::vector<index_t> keep_pins;
+  std::vector<index_t> keep_w;
+  std::vector<index_t> scratch;
+  for (index_t net = 0; net < h.nn; ++net) {
+    scratch.clear();
+    for (offset_t p = h.nptr[static_cast<std::size_t>(net)];
+         p < h.nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+      scratch.push_back(
+          coarse_of[static_cast<std::size_t>(h.npins[static_cast<std::size_t>(p)])]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    if (scratch.size() < 2) continue;
+    keep_pins.insert(keep_pins.end(), scratch.begin(), scratch.end());
+    keep_ptr.push_back(static_cast<offset_t>(keep_pins.size()));
+    keep_w.push_back(h.nw[static_cast<std::size_t>(net)]);
+  }
+  out.nn = static_cast<index_t>(keep_w.size());
+  out.nptr = std::move(keep_ptr);
+  out.npins = std::move(keep_pins);
+  out.nw = std::move(keep_w);
+  out.rebuild_vertex_incidence();
+  return out;
+}
+
+}  // namespace cw

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "partition/hypergraph.hpp"
+
+namespace cw {
+
+namespace {
+
+struct PqEntry {
+  offset_t gain;
+  index_t v;
+  bool operator<(const PqEntry& o) const {
+    if (gain != o.gain) return gain < o.gain;
+    return v > o.v;
+  }
+};
+
+/// Cut-net gain of moving v to the other side, given per-net side pin counts.
+offset_t hp_gain(const Hypergraph& h, const std::vector<std::uint8_t>& side,
+                 const std::vector<index_t>& cnt0,
+                 const std::vector<index_t>& cnt1, index_t v) {
+  offset_t gain = 0;
+  const std::uint8_t sv = side[static_cast<std::size_t>(v)];
+  for (offset_t k = h.vptr[static_cast<std::size_t>(v)];
+       k < h.vptr[static_cast<std::size_t>(v) + 1]; ++k) {
+    const index_t net = h.vnets[static_cast<std::size_t>(k)];
+    const index_t c0 = cnt0[static_cast<std::size_t>(net)];
+    const index_t c1 = cnt1[static_cast<std::size_t>(net)];
+    const index_t own = sv == 0 ? c0 : c1;
+    const index_t other = sv == 0 ? c1 : c0;
+    if (own == 1 && other > 0) {
+      gain += h.nw[static_cast<std::size_t>(net)];  // net becomes uncut
+    } else if (other == 0 && own > 1) {
+      gain -= h.nw[static_cast<std::size_t>(net)];  // net becomes cut
+    }
+  }
+  return gain;
+}
+
+}  // namespace
+
+void hp_fm_refine(const Hypergraph& h, HpBisection& b, const HpOptions& opt) {
+  const offset_t total = h.total_vw();
+  const double frac = opt.target_fraction;
+  const auto max0 = static_cast<offset_t>(
+      static_cast<double>(total) * frac * (1.0 + opt.imbalance)) + 1;
+  const auto max1 = static_cast<offset_t>(
+      static_cast<double>(total) * (1.0 - frac) * (1.0 + opt.imbalance)) + 1;
+
+  std::vector<index_t> cnt0(static_cast<std::size_t>(h.nn));
+  std::vector<index_t> cnt1(static_cast<std::size_t>(h.nn));
+  std::vector<offset_t> gain(static_cast<std::size_t>(h.nv));
+  std::vector<std::uint8_t> moved(static_cast<std::size_t>(h.nv));
+
+  for (int pass = 0; pass < opt.fm_passes; ++pass) {
+    const offset_t pass_start_cut = b.cut;
+    // Per-net pin counts per side.
+    std::fill(cnt0.begin(), cnt0.end(), 0);
+    std::fill(cnt1.begin(), cnt1.end(), 0);
+    for (index_t net = 0; net < h.nn; ++net) {
+      for (offset_t p = h.nptr[static_cast<std::size_t>(net)];
+           p < h.nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+        const index_t v = h.npins[static_cast<std::size_t>(p)];
+        (b.side[static_cast<std::size_t>(v)] == 0 ? cnt0
+                                                  : cnt1)[static_cast<std::size_t>(net)]++;
+      }
+    }
+    std::fill(moved.begin(), moved.end(), 0);
+    std::priority_queue<PqEntry> pq;
+    for (index_t v = 0; v < h.nv; ++v) {
+      gain[static_cast<std::size_t>(v)] = hp_gain(h, b.side, cnt0, cnt1, v);
+      pq.push({gain[static_cast<std::size_t>(v)], v});
+    }
+
+    struct Move {
+      index_t v;
+    };
+    std::vector<Move> log;
+    offset_t cur_cut = b.cut;
+    offset_t w0 = b.weight0, w1 = b.weight1;
+    offset_t best_cut = b.cut;
+    std::ptrdiff_t best_prefix = -1;
+
+    while (!pq.empty()) {
+      const PqEntry e = pq.top();
+      pq.pop();
+      if (moved[static_cast<std::size_t>(e.v)]) continue;
+      if (e.gain != gain[static_cast<std::size_t>(e.v)]) continue;
+      const std::uint8_t sv = b.side[static_cast<std::size_t>(e.v)];
+      const offset_t vwv = h.vw[static_cast<std::size_t>(e.v)];
+      const bool src_over = (sv == 0 ? w0 > max0 : w1 > max1);
+      if (sv == 0) {
+        if (!src_over && w1 + vwv > max1) continue;
+      } else {
+        if (!src_over && w0 + vwv > max0) continue;
+      }
+      // Apply the move and update net counts + affected gains.
+      moved[static_cast<std::size_t>(e.v)] = 1;
+      b.side[static_cast<std::size_t>(e.v)] = static_cast<std::uint8_t>(1 - sv);
+      cur_cut -= e.gain;
+      if (sv == 0) {
+        w0 -= vwv;
+        w1 += vwv;
+      } else {
+        w1 -= vwv;
+        w0 += vwv;
+      }
+      for (offset_t k = h.vptr[static_cast<std::size_t>(e.v)];
+           k < h.vptr[static_cast<std::size_t>(e.v) + 1]; ++k) {
+        const index_t net = h.vnets[static_cast<std::size_t>(k)];
+        const offset_t net_pins = h.nptr[static_cast<std::size_t>(net) + 1] -
+                                  h.nptr[static_cast<std::size_t>(net)];
+        if (sv == 0) {
+          cnt0[static_cast<std::size_t>(net)]--;
+          cnt1[static_cast<std::size_t>(net)]++;
+        } else {
+          cnt1[static_cast<std::size_t>(net)]--;
+          cnt0[static_cast<std::size_t>(net)]++;
+        }
+        // Refresh gains of the net's unmoved pins. Hub nets (power-law
+        // columns) are skipped: refreshing their thousands of pins per move
+        // is quadratic, and a hub net's cut state almost never flips from a
+        // single move, so its pins' gains are unaffected in practice. Their
+        // contribution stays exact in the cut recomputation at pass end.
+        if (net_pins > opt.net_scan_cap * 2) continue;
+        for (offset_t p = h.nptr[static_cast<std::size_t>(net)];
+             p < h.nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+          const index_t u = h.npins[static_cast<std::size_t>(p)];
+          if (moved[static_cast<std::size_t>(u)]) continue;
+          gain[static_cast<std::size_t>(u)] = hp_gain(h, b.side, cnt0, cnt1, u);
+          pq.push({gain[static_cast<std::size_t>(u)], u});
+        }
+      }
+      log.push_back({e.v});
+      if (cur_cut < best_cut) {
+        best_cut = cur_cut;
+        best_prefix = static_cast<std::ptrdiff_t>(log.size()) - 1;
+      }
+    }
+
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(log.size()) - 1;
+         i > best_prefix; --i) {
+      b.side[static_cast<std::size_t>(log[static_cast<std::size_t>(i)].v)] ^= 1;
+    }
+    b.weight0 = 0;
+    for (index_t v = 0; v < h.nv; ++v)
+      if (b.side[static_cast<std::size_t>(v)] == 0)
+        b.weight0 += h.vw[static_cast<std::size_t>(v)];
+    b.weight1 = total - b.weight0;
+    b.cut = h.cut(b.side);
+    if (b.cut >= pass_start_cut) break;
+  }
+}
+
+}  // namespace cw

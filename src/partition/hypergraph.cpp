@@ -1,0 +1,80 @@
+#include "partition/hypergraph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace cw {
+
+offset_t Hypergraph::total_vw() const {
+  offset_t t = 0;
+  for (index_t w : vw) t += w;
+  return t;
+}
+
+Hypergraph Hypergraph::column_net(const Csr& a) {
+  Hypergraph h;
+  h.nv = a.nrows();
+  h.nn = a.ncols();
+  h.vw.assign(static_cast<std::size_t>(h.nv), 1);
+  h.nw.assign(static_cast<std::size_t>(h.nn), 1);
+
+  // net -> pins is the transpose pattern of A.
+  std::vector<offset_t> counts(static_cast<std::size_t>(h.nn), 0);
+  for (index_t c : a.col_idx()) ++counts[static_cast<std::size_t>(c)];
+  h.nptr = counts_to_pointers(counts);
+  h.npins.resize(static_cast<std::size_t>(h.nptr.back()));
+  std::vector<offset_t> cursor(h.nptr.begin(), h.nptr.end() - 1);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    for (index_t c : a.row_cols(r)) {
+      h.npins[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] = r;
+    }
+  }
+  h.rebuild_vertex_incidence();
+  return h;
+}
+
+void Hypergraph::rebuild_vertex_incidence() {
+  std::vector<offset_t> counts(static_cast<std::size_t>(nv), 0);
+  for (index_t v : npins) ++counts[static_cast<std::size_t>(v)];
+  vptr = counts_to_pointers(counts);
+  vnets.resize(static_cast<std::size_t>(vptr.back()));
+  std::vector<offset_t> cursor(vptr.begin(), vptr.end() - 1);
+  for (index_t net = 0; net < nn; ++net) {
+    for (offset_t p = nptr[static_cast<std::size_t>(net)];
+         p < nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+      const index_t v = npins[static_cast<std::size_t>(p)];
+      vnets[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = net;
+    }
+  }
+}
+
+offset_t Hypergraph::cut(const std::vector<std::uint8_t>& side) const {
+  CW_CHECK(static_cast<index_t>(side.size()) == nv);
+  offset_t c = 0;
+  for (index_t net = 0; net < nn; ++net) {
+    bool s0 = false, s1 = false;
+    for (offset_t p = nptr[static_cast<std::size_t>(net)];
+         p < nptr[static_cast<std::size_t>(net) + 1]; ++p) {
+      (side[static_cast<std::size_t>(npins[static_cast<std::size_t>(p)])] == 0
+           ? s0
+           : s1) = true;
+      if (s0 && s1) break;
+    }
+    if (s0 && s1) c += nw[static_cast<std::size_t>(net)];
+  }
+  return c;
+}
+
+void Hypergraph::validate() const {
+  CW_CHECK(static_cast<index_t>(vptr.size()) == nv + 1);
+  CW_CHECK(static_cast<index_t>(nptr.size()) == nn + 1);
+  CW_CHECK(static_cast<index_t>(vw.size()) == nv);
+  CW_CHECK(static_cast<index_t>(nw.size()) == nn);
+  CW_CHECK(vnets.size() == npins.size());
+  for (index_t v : npins) CW_CHECK(v >= 0 && v < nv);
+  for (index_t n : vnets) CW_CHECK(n >= 0 && n < nn);
+}
+
+}  // namespace cw

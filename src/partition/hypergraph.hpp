@@ -1,0 +1,79 @@
+// Multilevel hypergraph partitioning (PaToH substitute) with the cut-net
+// metric, used by the HP reordering.
+//
+// Column-net model (Çatalyürek–Aykanat): matrix rows are vertices, matrix
+// columns are nets, and net j connects every row with a nonzero in column j.
+// Minimizing cut nets groups rows that touch the same columns — exactly the
+// B-row-reuse structure SpGEMM benefits from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+struct Hypergraph {
+  index_t nv = 0;  // vertices
+  index_t nn = 0;  // nets
+  std::vector<offset_t> vptr;   // vertex -> incident nets
+  std::vector<index_t> vnets;
+  std::vector<offset_t> nptr;   // net -> pins
+  std::vector<index_t> npins;
+  std::vector<index_t> vw;      // vertex weights
+  std::vector<index_t> nw;      // net weights
+
+  [[nodiscard]] offset_t pins() const { return static_cast<offset_t>(npins.size()); }
+  [[nodiscard]] offset_t total_vw() const;
+
+  /// Column-net model of a sparse matrix (nets with <2 pins are kept; they
+  /// simply can never be cut).
+  static Hypergraph column_net(const Csr& a);
+
+  /// Rebuild vertex->net incidence from the net->pin lists.
+  void rebuild_vertex_incidence();
+
+  /// Cut-net objective of a 2-way assignment: total weight of nets with pins
+  /// on both sides.
+  [[nodiscard]] offset_t cut(const std::vector<std::uint8_t>& side) const;
+
+  void validate() const;
+};
+
+struct HpOptions {
+  double target_fraction = 0.5;
+  double imbalance = 0.05;
+  index_t coarsen_to = 128;
+  int fm_passes = 6;
+  index_t net_scan_cap = 256;  // skip huge nets during matching
+};
+
+struct HpBisection {
+  std::vector<std::uint8_t> side;
+  offset_t cut = 0;
+  offset_t weight0 = 0, weight1 = 0;
+};
+
+/// Heavy-connectivity matching for one coarsening level.
+std::vector<index_t> hp_matching(const Hypergraph& h, const HpOptions& opt,
+                                 Rng& rng);
+
+/// Contract a matching; fills coarse_of (fine vertex -> coarse vertex).
+Hypergraph hp_contract(const Hypergraph& h, const std::vector<index_t>& match,
+                       std::vector<index_t>& coarse_of);
+
+/// FM refinement on the cut-net metric.
+void hp_fm_refine(const Hypergraph& h, HpBisection& b, const HpOptions& opt);
+
+/// Full multilevel 2-way partition.
+HpBisection hp_multilevel_bisect(const Hypergraph& h, const HpOptions& opt,
+                                 Rng& rng);
+
+/// k-way via recursive bisection; part id per vertex.
+std::vector<index_t> hp_kway_partition(const Hypergraph& h, index_t k,
+                                       std::uint64_t seed,
+                                       double imbalance = 0.05);
+
+}  // namespace cw

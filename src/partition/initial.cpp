@@ -1,0 +1,66 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace cw {
+
+namespace {
+
+/// Grow side 0 by BFS from `seed` until it holds ~target_fraction of the
+/// total vertex weight.
+Bisection grow_once(const PGraph& g, const BisectOptions& opt, index_t seed) {
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(g.nv), 1);
+  const offset_t total = g.total_vw();
+  const auto target =
+      static_cast<offset_t>(static_cast<double>(total) * opt.target_fraction);
+  offset_t w0 = 0;
+
+  std::vector<index_t> frontier{seed}, next;
+  b.side[static_cast<std::size_t>(seed)] = 0;
+  w0 += g.vw[static_cast<std::size_t>(seed)];
+  while (w0 < target && !frontier.empty()) {
+    next.clear();
+    for (index_t u : frontier) {
+      for (offset_t k = g.xadj[u]; k < g.xadj[u + 1] && w0 < target; ++k) {
+        const index_t v = g.adj[static_cast<std::size_t>(k)];
+        if (b.side[static_cast<std::size_t>(v)] == 1) {
+          b.side[static_cast<std::size_t>(v)] = 0;
+          w0 += g.vw[static_cast<std::size_t>(v)];
+          next.push_back(v);
+        }
+      }
+      if (w0 >= target) break;
+    }
+    frontier.swap(next);
+  }
+  // Disconnected graphs: BFS may stall before reaching the target; top up
+  // with arbitrary side-1 vertices.
+  for (index_t v = 0; v < g.nv && w0 < target; ++v) {
+    if (b.side[static_cast<std::size_t>(v)] == 1) {
+      b.side[static_cast<std::size_t>(v)] = 0;
+      w0 += g.vw[static_cast<std::size_t>(v)];
+    }
+  }
+  b.weight0 = w0;
+  b.weight1 = total - w0;
+  b.cut = g.cut(b.side);
+  return b;
+}
+
+}  // namespace
+
+Bisection grow_bisection(const PGraph& g, const BisectOptions& opt, Rng& rng) {
+  CW_CHECK(g.nv >= 2);
+  Bisection best;
+  best.cut = -1;
+  for (int t = 0; t < std::max(1, opt.initial_tries); ++t) {
+    const index_t seed = rng.index(g.nv);
+    Bisection b = grow_once(g, opt, seed);
+    if (best.cut < 0 || b.cut < best.cut) best = std::move(b);
+  }
+  return best;
+}
+
+}  // namespace cw

@@ -1,0 +1,62 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace cw {
+
+namespace {
+
+void kway_recurse(const PGraph& g, const std::vector<index_t>& global_of,
+                  index_t k, index_t part_base, double imbalance, Rng& rng,
+                  std::vector<index_t>& part) {
+  if (k == 1 || g.nv <= 1) {
+    for (index_t v = 0; v < g.nv; ++v)
+      part[static_cast<std::size_t>(global_of[static_cast<std::size_t>(v)])] =
+          part_base;
+    return;
+  }
+  const index_t k_left = k / 2;
+  BisectOptions opt;
+  opt.target_fraction = static_cast<double>(k_left) / static_cast<double>(k);
+  opt.imbalance = imbalance;
+  Bisection b = multilevel_bisect(g, opt, rng);
+
+  std::vector<index_t> left_verts, right_verts;
+  for (index_t v = 0; v < g.nv; ++v) {
+    (b.side[static_cast<std::size_t>(v)] == 0 ? left_verts : right_verts)
+        .push_back(v);
+  }
+  // Degenerate splits (all weight on one side) still need progress.
+  if (left_verts.empty() || right_verts.empty()) {
+    auto& all = left_verts.empty() ? right_verts : left_verts;
+    const std::size_t half = all.size() / 2;
+    left_verts.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(half));
+    right_verts.assign(all.begin() + static_cast<std::ptrdiff_t>(half), all.end());
+    if (left_verts.empty()) std::swap(left_verts, right_verts);
+  }
+
+  std::vector<index_t> gl, gr;
+  PGraph lg = g.induced(left_verts, gl);
+  PGraph rg = g.induced(right_verts, gr);
+  for (auto& v : gl) v = global_of[static_cast<std::size_t>(v)];
+  for (auto& v : gr) v = global_of[static_cast<std::size_t>(v)];
+  kway_recurse(lg, gl, k_left, part_base, imbalance, rng, part);
+  kway_recurse(rg, gr, k - k_left, part_base + k_left, imbalance, rng, part);
+}
+
+}  // namespace
+
+std::vector<index_t> kway_partition(const PGraph& g, index_t k,
+                                    std::uint64_t seed, double imbalance) {
+  CW_CHECK(k >= 1);
+  std::vector<index_t> part(static_cast<std::size_t>(g.nv), 0);
+  std::vector<index_t> global_of(static_cast<std::size_t>(g.nv));
+  for (index_t v = 0; v < g.nv; ++v) global_of[static_cast<std::size_t>(v)] = v;
+  Rng rng(seed);
+  kway_recurse(g, global_of, std::min<index_t>(k, std::max<index_t>(g.nv, 1)),
+               0, imbalance, rng, part);
+  return part;
+}
+
+}  // namespace cw

@@ -1,0 +1,61 @@
+// Multilevel graph partitioning public API (METIS substitute).
+//
+// Pipeline: heavy-edge-matching coarsening until the graph is small, a
+// region-growing initial bisection, then FM refinement projected back up the
+// hierarchy. k-way partitions come from recursive bisection; nested
+// dissection extracts a vertex separator from the refined edge cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/graph.hpp"
+
+namespace cw {
+
+struct BisectOptions {
+  double target_fraction = 0.5;  // weight fraction of side 0
+  double imbalance = 0.05;       // allowed relative deviation from the target
+  index_t coarsen_to = 128;      // stop coarsening at this many vertices
+  int initial_tries = 4;         // region-growing restarts
+  int fm_passes = 8;             // FM pass cap per level
+};
+
+struct Bisection {
+  std::vector<std::uint8_t> side;  // 0 or 1 per vertex
+  offset_t cut = 0;
+  offset_t weight0 = 0, weight1 = 0;
+};
+
+/// One level of heavy-edge matching. match[v] = partner (or v if unmatched).
+std::vector<index_t> heavy_edge_matching(const PGraph& g, Rng& rng);
+
+/// Contract a matching: returns the coarse graph and fills coarse_of
+/// (fine vertex -> coarse vertex).
+PGraph contract(const PGraph& g, const std::vector<index_t>& match,
+                std::vector<index_t>& coarse_of);
+
+/// Region-growing (greedy BFS) bisection used on the coarsest graph.
+Bisection grow_bisection(const PGraph& g, const BisectOptions& opt, Rng& rng);
+
+/// Fiduccia–Mattheyses refinement of an existing bisection (in place).
+void fm_refine(const PGraph& g, Bisection& b, const BisectOptions& opt);
+
+/// Full multilevel 2-way partition.
+Bisection multilevel_bisect(const PGraph& g, const BisectOptions& opt, Rng& rng);
+
+/// k-way partition via recursive bisection. Returns part id (0..k-1) per
+/// vertex; parts have near-equal vertex weight.
+std::vector<index_t> kway_partition(const PGraph& g, index_t k,
+                                    std::uint64_t seed,
+                                    double imbalance = 0.05);
+
+/// Vertex separator derived from a refined edge cut: the smaller boundary
+/// side is promoted to the separator (used by nested dissection).
+struct Separator {
+  std::vector<index_t> left, right, sep;
+};
+Separator vertex_separator(const PGraph& g, std::uint64_t seed);
+
+}  // namespace cw

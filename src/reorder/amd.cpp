@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+// Approximate minimum degree (Amestoy–Davis–Duff style, simplified):
+// quotient-graph elimination where each eliminated pivot becomes an
+// *element* whose member list stands in for the clique its elimination
+// would create. Degrees are the classical AMD upper bound
+//   d(v) ≈ |A_v| + Σ_{live elements e ∋ v} |L_e|
+// maintained lazily through a priority heap. Two standard engineering
+// guards are included: element absorption (elements merged into a new pivot
+// are marked dead and skipped lazily) and dense-vertex postponement
+// (vertices with huge initial degree are ordered last, as real AMD codes do
+// — they would otherwise drag quadratic work into the quotient graph).
+Permutation amd_order(const Csr& a) {
+  const Csr g = a.symmetrized().without_diagonal();
+  const index_t n = g.nrows();
+
+  // Mutable variable adjacency + element membership.
+  std::vector<std::vector<index_t>> var_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_members(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    auto cols = g.row_cols(v);
+    var_adj[static_cast<std::size_t>(v)].assign(cols.begin(), cols.end());
+  }
+
+  enum class State : std::uint8_t { kVariable, kEliminated, kDense };
+  std::vector<State> state(static_cast<std::size_t>(n), State::kVariable);
+  std::vector<std::uint8_t> elem_dead(static_cast<std::size_t>(n), 0);
+  std::vector<offset_t> degree(static_cast<std::size_t>(n));
+
+  // Dense-vertex postponement threshold.
+  const double avg_deg = n > 0 ? static_cast<double>(g.nnz()) / n : 0.0;
+  const auto dense_th = static_cast<offset_t>(
+      std::max(64.0, 10.0 * avg_deg + 16.0));
+  std::vector<index_t> dense_rows;
+  for (index_t v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<offset_t>(var_adj[static_cast<std::size_t>(v)].size());
+    if (degree[static_cast<std::size_t>(v)] > dense_th) {
+      state[static_cast<std::size_t>(v)] = State::kDense;
+      dense_rows.push_back(v);
+    }
+  }
+
+  struct HeapEntry {
+    offset_t deg;
+    index_t v;
+    bool operator>(const HeapEntry& o) const {
+      if (deg != o.deg) return deg > o.deg;
+      return v > o.v;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (index_t v = 0; v < n; ++v)
+    if (state[static_cast<std::size_t>(v)] == State::kVariable)
+      heap.push({degree[static_cast<std::size_t>(v)], v});
+
+  std::vector<index_t> stamp(static_cast<std::size_t>(n), -1);
+  index_t stamp_gen = 0;
+  Permutation order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> lp;  // L_p scratch
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const index_t p = top.v;
+    if (state[static_cast<std::size_t>(p)] != State::kVariable) continue;
+    if (top.deg != degree[static_cast<std::size_t>(p)]) continue;  // stale
+
+    // --- Eliminate p: build L_p = live variables adjacent through A_p and
+    // through p's live elements. ---
+    ++stamp_gen;
+    lp.clear();
+    auto absorb = [&](index_t v) {
+      if (v == p) return;
+      if (state[static_cast<std::size_t>(v)] != State::kVariable) return;
+      if (stamp[static_cast<std::size_t>(v)] == stamp_gen) return;
+      stamp[static_cast<std::size_t>(v)] = stamp_gen;
+      lp.push_back(v);
+    };
+    for (index_t v : var_adj[static_cast<std::size_t>(p)]) absorb(v);
+    for (index_t e : elem_adj[static_cast<std::size_t>(p)]) {
+      if (elem_dead[static_cast<std::size_t>(e)]) continue;
+      for (index_t v : elem_members[static_cast<std::size_t>(e)]) absorb(v);
+      elem_dead[static_cast<std::size_t>(e)] = 1;  // absorbed into element p
+      elem_members[static_cast<std::size_t>(e)].clear();
+      elem_members[static_cast<std::size_t>(e)].shrink_to_fit();
+    }
+    state[static_cast<std::size_t>(p)] = State::kEliminated;
+    order.push_back(p);
+    var_adj[static_cast<std::size_t>(p)].clear();
+    var_adj[static_cast<std::size_t>(p)].shrink_to_fit();
+    elem_adj[static_cast<std::size_t>(p)].clear();
+    elem_adj[static_cast<std::size_t>(p)].shrink_to_fit();
+    elem_members[static_cast<std::size_t>(p)] = lp;
+
+    // --- Update every v ∈ L_p. ---
+    for (index_t v : lp) {
+      // Prune A_v: drop p, eliminated vertices, and members of L_p (their
+      // coupling is now represented by element p).
+      auto& av = var_adj[static_cast<std::size_t>(v)];
+      std::size_t out = 0;
+      for (index_t w : av) {
+        if (w == p) continue;
+        if (state[static_cast<std::size_t>(w)] != State::kVariable &&
+            state[static_cast<std::size_t>(w)] != State::kDense)
+          continue;
+        if (stamp[static_cast<std::size_t>(w)] == stamp_gen) continue;
+        av[out++] = w;
+      }
+      av.resize(out);
+      // Compact element list (drop absorbed) and append element p.
+      auto& ev = elem_adj[static_cast<std::size_t>(v)];
+      out = 0;
+      for (index_t e : ev) {
+        if (!elem_dead[static_cast<std::size_t>(e)]) ev[out++] = e;
+      }
+      ev.resize(out);
+      ev.push_back(p);
+      // AMD approximate degree.
+      offset_t d = static_cast<offset_t>(av.size());
+      for (index_t e : ev)
+        d += static_cast<offset_t>(elem_members[static_cast<std::size_t>(e)].size()) - 1;
+      degree[static_cast<std::size_t>(v)] = d;
+      heap.push({d, v});
+    }
+  }
+
+  // Postponed dense vertices: ascending current degree, ties by id.
+  std::sort(dense_rows.begin(), dense_rows.end(), [&](index_t x, index_t y) {
+    if (degree[static_cast<std::size_t>(x)] != degree[static_cast<std::size_t>(y)])
+      return degree[static_cast<std::size_t>(x)] < degree[static_cast<std::size_t>(y)];
+    return x < y;
+  });
+  order.insert(order.end(), dense_rows.begin(), dense_rows.end());
+  CW_CHECK(is_permutation(order, n));
+  return order;
+}
+
+}  // namespace cw

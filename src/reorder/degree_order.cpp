@@ -1,0 +1,20 @@
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+// Descending-degree packing: high-degree rows first so hub rows share cache
+// lines (Table 1: "Reorder in descending order of degrees").
+Permutation degree_order(const Csr& a) {
+  const Csr sym = a.symmetrized();
+  Permutation p(static_cast<std::size_t>(a.nrows()));
+  std::iota(p.begin(), p.end(), index_t{0});
+  std::stable_sort(p.begin(), p.end(), [&](index_t x, index_t y) {
+    return sym.row_nnz(x) > sym.row_nnz(y);
+  });
+  return p;
+}
+
+}  // namespace cw

@@ -1,0 +1,27 @@
+#include <algorithm>
+#include <numeric>
+
+#include "partition/hypergraph.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+// Hypergraph-partitioning reordering (PaToH cut-net objective in the paper):
+// column-net model, k-way partition, rows ordered by part. Minimizing cut
+// nets directly groups rows that touch the same columns of B.
+Permutation hp_order(const Csr& a, const ReorderOptions& opt) {
+  const index_t n = a.nrows();
+  const index_t k = std::max<index_t>(
+      2, (n + opt.rows_per_part - 1) / std::max<index_t>(opt.rows_per_part, 1));
+  const Hypergraph h = Hypergraph::column_net(a);
+  const std::vector<index_t> part = hp_kway_partition(h, k, opt.seed);
+
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  std::stable_sort(p.begin(), p.end(), [&](index_t x, index_t y) {
+    return part[static_cast<std::size_t>(x)] < part[static_cast<std::size_t>(y)];
+  });
+  return p;
+}
+
+}  // namespace cw

@@ -1,0 +1,54 @@
+#include <algorithm>
+#include <numeric>
+
+#include "graph/community.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+// Rabbit Order (Arai et al. [5]): hierarchical community aggregation, then
+// new ids assigned so each community's vertices are consecutive at every
+// level of the hierarchy. We run aggregation levels until they stop merging,
+// remember each vertex's community id per level, and sort vertices by the
+// (coarsest, ..., finest) label tuple — the DFS order of the dendrogram.
+Permutation rabbit_order(const Csr& a) {
+  const Csr g0 = a.symmetrized().without_diagonal();
+  const index_t n = g0.nrows();
+
+  // labels[l][v] = community of v at level l (composed down to vertices).
+  std::vector<std::vector<index_t>> labels;
+  Csr g = g0.pattern_ones();
+  std::vector<index_t> volume(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) volume[static_cast<std::size_t>(v)] = g.row_nnz(v);
+  std::vector<index_t> to_fine(static_cast<std::size_t>(n));  // coarse id of each fine vertex
+  std::iota(to_fine.begin(), to_fine.end(), index_t{0});
+
+  for (int level = 0; level < 16; ++level) {
+    AggregationLevel agg = aggregate_communities(g, volume);
+    if (agg.num_communities >= g.nrows()) break;  // nothing merged
+    // Compose to fine vertices.
+    std::vector<index_t> composed(static_cast<std::size_t>(n));
+    for (index_t v = 0; v < n; ++v)
+      composed[static_cast<std::size_t>(v)] =
+          agg.community[static_cast<std::size_t>(to_fine[static_cast<std::size_t>(v)])];
+    labels.push_back(composed);
+    to_fine = std::move(composed);
+    volume = std::move(agg.volume);
+    g = std::move(agg.coarse);
+    if (g.nrows() <= 1) break;
+  }
+
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  std::sort(p.begin(), p.end(), [&](index_t x, index_t y) {
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      const index_t lx = (*it)[static_cast<std::size_t>(x)];
+      const index_t ly = (*it)[static_cast<std::size_t>(y)];
+      if (lx != ly) return lx < ly;
+    }
+    return x < y;
+  });
+  return p;
+}
+
+}  // namespace cw

@@ -1,0 +1,16 @@
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+Permutation random_order(const Csr& a, std::uint64_t seed) {
+  Permutation p(static_cast<std::size_t>(a.nrows()));
+  std::iota(p.begin(), p.end(), index_t{0});
+  Rng rng(seed);
+  shuffle(p, rng);
+  return p;
+}
+
+}  // namespace cw

@@ -1,0 +1,62 @@
+#include "reorder/reorder.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+const char* to_string(ReorderAlgo algo) {
+  switch (algo) {
+    case ReorderAlgo::kOriginal: return "Original";
+    case ReorderAlgo::kRandom: return "Shuffled";
+    case ReorderAlgo::kRCM: return "RCM";
+    case ReorderAlgo::kAMD: return "AMD";
+    case ReorderAlgo::kND: return "ND";
+    case ReorderAlgo::kGP: return "GP";
+    case ReorderAlgo::kHP: return "HP";
+    case ReorderAlgo::kGray: return "Gray";
+    case ReorderAlgo::kRabbit: return "Rabbit";
+    case ReorderAlgo::kDegree: return "Degree";
+    case ReorderAlgo::kSlashBurn: return "SlashBurn";
+  }
+  return "?";
+}
+
+const std::vector<ReorderAlgo>& all_reorder_algos() {
+  static const std::vector<ReorderAlgo> algos = {
+      ReorderAlgo::kOriginal, ReorderAlgo::kRandom,  ReorderAlgo::kRCM,
+      ReorderAlgo::kAMD,      ReorderAlgo::kND,      ReorderAlgo::kGP,
+      ReorderAlgo::kHP,       ReorderAlgo::kGray,    ReorderAlgo::kRabbit,
+      ReorderAlgo::kDegree,   ReorderAlgo::kSlashBurn};
+  return algos;
+}
+
+Permutation original_order(const Csr& a) {
+  Permutation p(static_cast<std::size_t>(a.nrows()));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return p;
+}
+
+Permutation reorder(const Csr& a, ReorderAlgo algo, const ReorderOptions& opt) {
+  CW_CHECK_MSG(a.nrows() == a.ncols(),
+               "reordering expects a square matrix (got " << a.nrows() << "x"
+                                                          << a.ncols() << ")");
+  switch (algo) {
+    case ReorderAlgo::kOriginal: return original_order(a);
+    case ReorderAlgo::kRandom: return random_order(a, opt.seed);
+    case ReorderAlgo::kRCM: return rcm_order(a);
+    case ReorderAlgo::kAMD: return amd_order(a);
+    case ReorderAlgo::kND: return nd_order(a, opt);
+    case ReorderAlgo::kGP: return gp_order(a, opt);
+    case ReorderAlgo::kHP: return hp_order(a, opt);
+    case ReorderAlgo::kGray: return gray_order(a, opt);
+    case ReorderAlgo::kRabbit: return rabbit_order(a);
+    case ReorderAlgo::kDegree: return degree_order(a);
+    case ReorderAlgo::kSlashBurn: return slashburn_order(a, opt);
+  }
+  CW_CHECK_MSG(false, "unknown reorder algorithm");
+  return {};
+}
+
+}  // namespace cw

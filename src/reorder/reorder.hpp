@@ -1,0 +1,66 @@
+// The 10 row-reordering algorithms of Table 1, behind one dispatch.
+//
+// Every algorithm returns a Permutation (order[new_pos] = old row id) meant
+// to be applied symmetrically (P·A·Pᵀ) to a square matrix. All of them work
+// on the symmetrized pattern of A, matching the SpMV-reordering practice the
+// paper inherits its implementations from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+enum class ReorderAlgo {
+  kOriginal,   // identity
+  kRandom,     // random shuffle (the paper's extreme baseline)
+  kRCM,        // reverse Cuthill–McKee
+  kAMD,        // approximate minimum degree
+  kND,         // nested dissection
+  kGP,         // graph partitioning (METIS substitute)
+  kHP,         // hypergraph partitioning (PaToH substitute)
+  kGray,       // Gray-code ordering (Zhao et al.)
+  kRabbit,     // community-based reordering (Arai et al.)
+  kDegree,     // descending degree
+  kSlashBurn,  // hubs-and-spokes (Lim et al.)
+};
+
+const char* to_string(ReorderAlgo algo);
+
+/// All algorithms in Table-1 order (Original first).
+const std::vector<ReorderAlgo>& all_reorder_algos();
+
+struct ReorderOptions {
+  std::uint64_t seed = 1;
+  /// GP/HP: rows per part; the part count is ceil(n / rows_per_part).
+  index_t rows_per_part = 4096;
+  /// ND: subgraphs at or below this size are ordered directly.
+  index_t nd_leaf_size = 64;
+  /// SlashBurn: hub fraction removed per iteration (k = max(1, frac·n)).
+  double slashburn_hub_fraction = 0.005;
+  /// Gray: rows with nnz above this many are "dense" and ordered first;
+  /// 0 = auto (2× average row nnz, min 16).
+  index_t gray_dense_threshold = 0;
+};
+
+/// Dispatch. Throws cw::Error for non-square inputs.
+Permutation reorder(const Csr& a, ReorderAlgo algo,
+                    const ReorderOptions& opt = {});
+
+// Individual algorithms (same contract as reorder()).
+Permutation original_order(const Csr& a);
+Permutation random_order(const Csr& a, std::uint64_t seed);
+Permutation rcm_order(const Csr& a);
+Permutation amd_order(const Csr& a);
+Permutation nd_order(const Csr& a, const ReorderOptions& opt);
+Permutation gp_order(const Csr& a, const ReorderOptions& opt);
+Permutation hp_order(const Csr& a, const ReorderOptions& opt);
+Permutation gray_order(const Csr& a, const ReorderOptions& opt);
+Permutation rabbit_order(const Csr& a);
+Permutation degree_order(const Csr& a);
+Permutation slashburn_order(const Csr& a, const ReorderOptions& opt);
+
+}  // namespace cw

@@ -1,0 +1,127 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/components.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw {
+
+// SlashBurn (Lim, Kang, Faloutsos [37]): repeatedly "slash" the k highest-
+// degree hubs to the front of the ordering, then "burn": every connected
+// component of the remainder except the giant one (the spokes) moves to the
+// back; recursion continues on the giant component. Hubs end up first,
+// spokes last, exposing the dense core in the middle.
+Permutation slashburn_order(const Csr& a, const ReorderOptions& opt) {
+  const Csr g = a.symmetrized().without_diagonal();
+  const index_t n = g.nrows();
+  const index_t k = std::max<index_t>(
+      1, static_cast<index_t>(opt.slashburn_hub_fraction * static_cast<double>(n)));
+
+  std::vector<index_t> front, back;  // back is built reversed
+  front.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), index_t{0});
+  // Degrees maintained on the shrinking active set.
+  std::vector<index_t> degree(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> in_active(static_cast<std::size_t>(n), 1);
+  for (index_t v = 0; v < n; ++v) degree[static_cast<std::size_t>(v)] = g.row_nnz(v);
+
+  while (static_cast<index_t>(active.size()) > k) {
+    // Slash: k highest-degree active vertices to the front.
+    std::vector<index_t> hubs = active;
+    std::nth_element(hubs.begin(), hubs.begin() + (k - 1), hubs.end(),
+                     [&](index_t x, index_t y) {
+                       if (degree[static_cast<std::size_t>(x)] !=
+                           degree[static_cast<std::size_t>(y)])
+                         return degree[static_cast<std::size_t>(x)] >
+                                degree[static_cast<std::size_t>(y)];
+                       return x < y;
+                     });
+    hubs.resize(static_cast<std::size_t>(k));
+    std::sort(hubs.begin(), hubs.end(), [&](index_t x, index_t y) {
+      if (degree[static_cast<std::size_t>(x)] != degree[static_cast<std::size_t>(y)])
+        return degree[static_cast<std::size_t>(x)] > degree[static_cast<std::size_t>(y)];
+      return x < y;
+    });
+    for (index_t h : hubs) {
+      front.push_back(h);
+      in_active[static_cast<std::size_t>(h)] = 0;
+    }
+    // Update degrees of the hubs' neighbours.
+    for (index_t h : hubs) {
+      for (index_t u : g.row_cols(h)) {
+        if (in_active[static_cast<std::size_t>(u)])
+          --degree[static_cast<std::size_t>(u)];
+      }
+    }
+    // Burn: components of the remainder. Label via DFS restricted to active.
+    std::vector<index_t> remaining;
+    remaining.reserve(active.size() - static_cast<std::size_t>(k));
+    for (index_t v : active)
+      if (in_active[static_cast<std::size_t>(v)]) remaining.push_back(v);
+    if (remaining.empty()) break;
+
+    std::vector<index_t> comp(static_cast<std::size_t>(n), kInvalidIndex);
+    std::vector<std::vector<index_t>> members;
+    std::vector<index_t> stack;
+    for (index_t s : remaining) {
+      if (comp[static_cast<std::size_t>(s)] != kInvalidIndex) continue;
+      const auto id = static_cast<index_t>(members.size());
+      members.emplace_back();
+      comp[static_cast<std::size_t>(s)] = id;
+      stack.push_back(s);
+      while (!stack.empty()) {
+        const index_t u = stack.back();
+        stack.pop_back();
+        members[static_cast<std::size_t>(id)].push_back(u);
+        for (index_t w : g.row_cols(u)) {
+          if (in_active[static_cast<std::size_t>(w)] &&
+              comp[static_cast<std::size_t>(w)] == kInvalidIndex) {
+            comp[static_cast<std::size_t>(w)] = id;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    // Giant component continues; spokes (all others) go to the back, larger
+    // components closer to the core, vertices within a spoke by id.
+    std::size_t giant = 0;
+    for (std::size_t c = 1; c < members.size(); ++c)
+      if (members[c].size() > members[giant].size()) giant = c;
+    std::vector<std::size_t> spokes;
+    for (std::size_t c = 0; c < members.size(); ++c)
+      if (c != giant) spokes.push_back(c);
+    std::sort(spokes.begin(), spokes.end(), [&](std::size_t x, std::size_t y) {
+      if (members[x].size() != members[y].size())
+        return members[x].size() < members[y].size();
+      return members[x][0] < members[y][0];
+    });
+    // back is reversed at the end, so push smallest spokes first (they end up
+    // last in the final ordering).
+    for (std::size_t c : spokes) {
+      std::vector<index_t> verts = members[c];
+      std::sort(verts.begin(), verts.end());
+      for (auto it = verts.rbegin(); it != verts.rend(); ++it) {
+        back.push_back(*it);
+        in_active[static_cast<std::size_t>(*it)] = 0;
+      }
+    }
+    active = std::move(members[giant]);
+    std::sort(active.begin(), active.end());
+  }
+
+  // Remainder (≤ k vertices): by degree descending after the hubs.
+  std::sort(active.begin(), active.end(), [&](index_t x, index_t y) {
+    if (degree[static_cast<std::size_t>(x)] != degree[static_cast<std::size_t>(y)])
+      return degree[static_cast<std::size_t>(x)] > degree[static_cast<std::size_t>(y)];
+    return x < y;
+  });
+  Permutation p = std::move(front);
+  p.insert(p.end(), active.begin(), active.end());
+  p.insert(p.end(), back.rbegin(), back.rend());
+  CW_CHECK(is_permutation(p, n));
+  return p;
+}
+
+}  // namespace cw

@@ -1,0 +1,46 @@
+#include "spgemm/reference.hpp"
+
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace cw {
+
+Csr spgemm_reference(const Csr& a, const Csr& b) {
+  CW_CHECK(a.ncols() == b.nrows());
+  const index_t n = a.nrows();
+  const index_t m = b.ncols();
+
+  std::vector<offset_t> counts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> pattern(static_cast<std::size_t>(m));
+  std::vector<value_t> row_vals(static_cast<std::size_t>(m));
+  std::vector<offset_t> row_ptr;
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  row_ptr.push_back(0);
+
+  for (index_t i = 0; i < n; ++i) {
+    std::fill(pattern.begin(), pattern.end(), 0);
+    std::fill(row_vals.begin(), row_vals.end(), 0.0);
+    for (offset_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+      const index_t k = a.col_idx()[static_cast<std::size_t>(ka)];
+      const value_t aik = a.values()[static_cast<std::size_t>(ka)];
+      for (offset_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1]; ++kb) {
+        const index_t j = b.col_idx()[static_cast<std::size_t>(kb)];
+        pattern[static_cast<std::size_t>(j)] = 1;
+        row_vals[static_cast<std::size_t>(j)] +=
+            aik * b.values()[static_cast<std::size_t>(kb)];
+      }
+    }
+    for (index_t j = 0; j < m; ++j) {
+      if (pattern[static_cast<std::size_t>(j)]) {
+        cols.push_back(j);
+        vals.push_back(row_vals[static_cast<std::size_t>(j)]);
+      }
+    }
+    row_ptr.push_back(static_cast<offset_t>(cols.size()));
+  }
+  return Csr(n, m, std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+}  // namespace cw

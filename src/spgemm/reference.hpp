@@ -1,0 +1,16 @@
+// Brute-force SpGEMM — ground truth for tests only.
+//
+// The sparse kernels keep every *structural* output entry, even when values
+// cancel to exactly 0. The reference reproduces that: the pattern comes from
+// a symbolic pass over patterns, values from dense accumulation.
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// C = A×B computed via dense pattern + dense values. O(n·m) memory — tests
+/// only.
+Csr spgemm_reference(const Csr& a, const Csr& b);
+
+}  // namespace cw

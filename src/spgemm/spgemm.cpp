@@ -1,0 +1,105 @@
+#include "spgemm/spgemm.hpp"
+
+#include "accumulator/dense_accumulator.hpp"
+#include "accumulator/hash_accumulator.hpp"
+#include "accumulator/sort_accumulator.hpp"
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+#include "common/timer.hpp"
+
+namespace cw {
+
+const char* to_string(Accumulator acc) {
+  switch (acc) {
+    case Accumulator::kHash: return "hash";
+    case Accumulator::kDense: return "dense";
+    case Accumulator::kSort: return "sort";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Numeric phase: row_ptr of C is already known; each thread fills its rows'
+/// column/value segments directly (sorted at extraction).
+template <typename MakeAcc>
+void numeric_rows(const Csr& a, const Csr& b,
+                  const std::vector<offset_t>& c_row_ptr,
+                  std::vector<index_t>& c_cols, std::vector<value_t>& c_vals,
+                  MakeAcc make_acc) {
+#pragma omp parallel
+  {
+    auto acc = make_acc();
+    std::vector<index_t> cols_buf;
+    std::vector<value_t> vals_buf;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      acc.reset();
+      for (offset_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+        const index_t k = a.col_idx()[static_cast<std::size_t>(ka)];
+        const value_t aik = a.values()[static_cast<std::size_t>(ka)];
+        for (offset_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1]; ++kb) {
+          acc.add(b.col_idx()[static_cast<std::size_t>(kb)],
+                  aik * b.values()[static_cast<std::size_t>(kb)]);
+        }
+      }
+      cols_buf.clear();
+      vals_buf.clear();
+      acc.extract_sorted(cols_buf, vals_buf);
+      CW_DCHECK(static_cast<offset_t>(cols_buf.size()) ==
+                c_row_ptr[static_cast<std::size_t>(i) + 1] -
+                    c_row_ptr[static_cast<std::size_t>(i)]);
+      const offset_t dst = c_row_ptr[static_cast<std::size_t>(i)];
+      for (std::size_t t = 0; t < cols_buf.size(); ++t) {
+        c_cols[static_cast<std::size_t>(dst) + t] = cols_buf[t];
+        c_vals[static_cast<std::size_t>(dst) + t] = vals_buf[t];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Csr spgemm(const Csr& a, const Csr& b, Accumulator acc, SpgemmStats* stats) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+
+  Timer t_sym;
+  std::vector<offset_t> counts = spgemm_symbolic(a, b, acc);
+  std::vector<offset_t> c_row_ptr = counts_to_pointers(counts);
+  const double symbolic_s = t_sym.seconds();
+
+  Timer t_num;
+  std::vector<index_t> c_cols(static_cast<std::size_t>(c_row_ptr.back()));
+  std::vector<value_t> c_vals(static_cast<std::size_t>(c_row_ptr.back()));
+  switch (acc) {
+    case Accumulator::kHash:
+      numeric_rows(a, b, c_row_ptr, c_cols, c_vals,
+                   [] { return HashAccumulator(); });
+      break;
+    case Accumulator::kDense:
+      numeric_rows(a, b, c_row_ptr, c_cols, c_vals,
+                   [&] { return DenseAccumulator(b.ncols()); });
+      break;
+    case Accumulator::kSort:
+      numeric_rows(a, b, c_row_ptr, c_cols, c_vals,
+                   [] { return SortAccumulator(); });
+      break;
+  }
+  const double numeric_s = t_num.seconds();
+
+  if (stats) {
+    stats->symbolic_seconds = symbolic_s;
+    stats->numeric_seconds = numeric_s;
+    const offset_t products = spgemm_products(a, b);
+    stats->flops = 2 * products;
+    stats->output_nnz = c_row_ptr.back();
+    stats->compression_ratio =
+        stats->output_nnz > 0
+            ? static_cast<double>(products) / static_cast<double>(stats->output_nnz)
+            : 0.0;
+  }
+  return Csr(a.nrows(), b.ncols(), std::move(c_row_ptr), std::move(c_cols),
+             std::move(c_vals));
+}
+
+}  // namespace cw

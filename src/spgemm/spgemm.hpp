@@ -1,0 +1,47 @@
+// Row-wise Gustavson SpGEMM (§2.2): the baseline kernel of the paper.
+//
+// Two-phase execution: a symbolic pass counts each output row's nonzeros
+// (so C can be allocated exactly), then the numeric pass computes values.
+// Both phases parallelize over rows of A with one reusable accumulator per
+// thread.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// Sparse accumulator selection (§2.2 uses the hash table; the others are
+/// kept for the ablation benches).
+enum class Accumulator { kHash, kDense, kSort };
+
+const char* to_string(Accumulator acc);
+
+/// Optional instrumentation filled by spgemm().
+struct SpgemmStats {
+  double symbolic_seconds = 0;
+  double numeric_seconds = 0;
+  offset_t flops = 0;          // 2 × intermediate products
+  offset_t output_nnz = 0;
+  double compression_ratio = 0;  // intermediate products / output nnz [40]
+};
+
+/// Number of intermediate products of A×B (half the conventional flop count).
+offset_t spgemm_products(const Csr& a, const Csr& b);
+
+/// Symbolic phase: nnz of every row of C = A×B.
+std::vector<offset_t> spgemm_symbolic(const Csr& a, const Csr& b,
+                                      Accumulator acc = Accumulator::kHash);
+
+/// C = A × B with exact allocation. Rows of C are sorted.
+Csr spgemm(const Csr& a, const Csr& b, Accumulator acc = Accumulator::kHash,
+           SpgemmStats* stats = nullptr);
+
+/// Convenience: A².
+inline Csr spgemm_square(const Csr& a, Accumulator acc = Accumulator::kHash,
+                         SpgemmStats* stats = nullptr) {
+  return spgemm(a, a, acc, stats);
+}
+
+}  // namespace cw

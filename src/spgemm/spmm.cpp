@@ -1,0 +1,47 @@
+#include "spgemm/spmm.hpp"
+
+#include "common/error.hpp"
+
+namespace cw {
+
+Dense spmm(const Csr& a, const Dense& b) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpMM");
+  const index_t n = a.nrows();
+  const index_t m = b.ncols();
+  Dense c(n, m);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const index_t k = cols[t];
+      const value_t aik = vals[t];
+      for (index_t j = 0; j < m; ++j) c.at(i, j) += aik * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+Csr sddmm(const Csr& s, const Dense& u, const Dense& v) {
+  CW_CHECK_MSG(u.nrows() == s.nrows(), "U rows must match S rows");
+  CW_CHECK_MSG(v.nrows() == s.ncols(), "V rows must match S cols");
+  CW_CHECK_MSG(u.ncols() == v.ncols(), "U/V inner dimensions must match");
+  const index_t k = u.ncols();
+  std::vector<offset_t> row_ptr = s.row_ptr();
+  std::vector<index_t> col_idx = s.col_idx();
+  std::vector<value_t> values(col_idx.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < s.nrows(); ++i) {
+    for (offset_t t = s.row_ptr()[i]; t < s.row_ptr()[i + 1]; ++t) {
+      const index_t j = s.col_idx()[static_cast<std::size_t>(t)];
+      value_t dot = 0;
+      for (index_t d = 0; d < k; ++d) dot += u.at(i, d) * v.at(j, d);
+      values[static_cast<std::size_t>(t)] =
+          s.values()[static_cast<std::size_t>(t)] * dot;
+    }
+  }
+  return Csr(s.nrows(), s.ncols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+}  // namespace cw

@@ -1,0 +1,23 @@
+// Sparse × dense kernels: SpMM and SDDMM.
+//
+// The original hierarchical-clustering work (Jiang et al. [32], §1 of the
+// paper) targeted exactly these kernels; they are included so the clustered
+// format can be exercised on every sparse BLAS-3 shape the paper discusses,
+// not just SpGEMM.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace cw {
+
+/// C = A × B with sparse A (CSR) and dense row-major B. C is dense
+/// nrows(A) × ncols(B).
+Dense spmm(const Csr& a, const Dense& b);
+
+/// SDDMM: out(i,j) = s(i,j) · (U·Vᵀ)(i,j) for every stored entry of the
+/// sampling matrix S. U is nrows(S) × k, V is ncols(S) × k (both dense,
+/// row-major). The result has exactly S's pattern.
+Csr sddmm(const Csr& s, const Dense& u, const Dense& v);
+
+}  // namespace cw

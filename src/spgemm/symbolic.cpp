@@ -1,0 +1,65 @@
+#include "accumulator/dense_accumulator.hpp"
+#include "accumulator/hash_accumulator.hpp"
+#include "accumulator/sort_accumulator.hpp"
+#include "common/error.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace cw {
+
+namespace {
+
+template <typename Acc>
+void symbolic_rows(const Csr& a, const Csr& b, std::vector<offset_t>& out,
+                   Acc make_acc) {
+#pragma omp parallel
+  {
+    auto acc = make_acc();
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      acc.reset();
+      for (offset_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+        const index_t k = a.col_idx()[static_cast<std::size_t>(ka)];
+        for (offset_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1]; ++kb) {
+          acc.add_symbolic(b.col_idx()[static_cast<std::size_t>(kb)]);
+        }
+      }
+      out[static_cast<std::size_t>(i)] = acc.size();
+    }
+  }
+}
+
+}  // namespace
+
+offset_t spgemm_products(const Csr& a, const Csr& b) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+  offset_t products = 0;
+#pragma omp parallel for schedule(static) reduction(+ : products)
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    for (offset_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+      const index_t k = a.col_idx()[static_cast<std::size_t>(ka)];
+      products += b.row_ptr()[k + 1] - b.row_ptr()[k];
+    }
+  }
+  return products;
+}
+
+std::vector<offset_t> spgemm_symbolic(const Csr& a, const Csr& b,
+                                      Accumulator acc) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+  std::vector<offset_t> nnz_per_row(static_cast<std::size_t>(a.nrows()), 0);
+  switch (acc) {
+    case Accumulator::kHash:
+      symbolic_rows(a, b, nnz_per_row, [] { return HashAccumulator(); });
+      break;
+    case Accumulator::kDense:
+      symbolic_rows(a, b, nnz_per_row,
+                    [&] { return DenseAccumulator(b.ncols()); });
+      break;
+    case Accumulator::kSort:
+      symbolic_rows(a, b, nnz_per_row, [] { return SortAccumulator(); });
+      break;
+  }
+  return nnz_per_row;
+}
+
+}  // namespace cw

@@ -1,0 +1,76 @@
+#include "spgemm/tiled.hpp"
+
+#include <algorithm>
+
+#include "accumulator/hash_accumulator.hpp"
+#include "common/error.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace cw {
+
+namespace {
+
+/// B restricted to columns [lo, hi): same row structure, entries filtered.
+/// Column ids keep their global labels so the output needs no relabeling.
+Csr column_slice(const Csr& b, index_t lo, index_t hi) {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(b.nrows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (index_t r = 0; r < b.nrows(); ++r) {
+    auto rc = b.row_cols(r);
+    auto rv = b.row_vals(r);
+    // Rows are sorted: binary-search the tile's span.
+    const auto first = std::lower_bound(rc.begin(), rc.end(), lo) - rc.begin();
+    const auto last = std::lower_bound(rc.begin(), rc.end(), hi) - rc.begin();
+    for (auto t = first; t < last; ++t) {
+      cols.push_back(rc[static_cast<std::size_t>(t)]);
+      vals.push_back(rv[static_cast<std::size_t>(t)]);
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<offset_t>(cols.size());
+  }
+  return Csr(b.nrows(), b.ncols(), std::move(row_ptr), std::move(cols),
+             std::move(vals));
+}
+
+}  // namespace
+
+Csr spgemm_tiled(const Csr& a, const Csr& b, const TiledOptions& opt) {
+  CW_CHECK_MSG(a.ncols() == b.nrows(), "dimension mismatch in SpGEMM");
+  CW_CHECK(opt.tile_cols >= 1);
+  if (b.ncols() <= opt.tile_cols) return spgemm(a, b, opt.accumulator);
+
+  // Per-tile products. Each tile's output occupies a disjoint column range,
+  // so per-row concatenation of the tile results is already sorted.
+  std::vector<Csr> tiles;
+  for (index_t lo = 0; lo < b.ncols(); lo += opt.tile_cols) {
+    const index_t hi = std::min<index_t>(b.ncols(), lo + opt.tile_cols);
+    const Csr b_tile = column_slice(b, lo, hi);
+    tiles.push_back(spgemm(a, b_tile, opt.accumulator));
+  }
+
+  // Stitch: row r of C = concat over tiles of row r.
+  const index_t n = a.nrows();
+  std::vector<offset_t> counts(static_cast<std::size_t>(n), 0);
+  for (const Csr& t : tiles)
+    for (index_t r = 0; r < n; ++r)
+      counts[static_cast<std::size_t>(r)] += t.row_nnz(r);
+  std::vector<offset_t> row_ptr = counts_to_pointers(counts);
+  std::vector<index_t> cols(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<value_t> vals(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<offset_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (const Csr& t : tiles) {
+    for (index_t r = 0; r < n; ++r) {
+      auto rc = t.row_cols(r);
+      auto rv = t.row_vals(r);
+      offset_t& dst = cursor[static_cast<std::size_t>(r)];
+      for (std::size_t u = 0; u < rc.size(); ++u, ++dst) {
+        cols[static_cast<std::size_t>(dst)] = rc[u];
+        vals[static_cast<std::size_t>(dst)] = rv[u];
+      }
+    }
+  }
+  return Csr(n, b.ncols(), std::move(row_ptr), std::move(cols),
+             std::move(vals));
+}
+
+}  // namespace cw

@@ -1,0 +1,25 @@
+// Column-tiled row-wise SpGEMM — the "alternative SpGEMM scheme based on
+// tiling" the paper's §5 names as future work for reordering studies.
+//
+// B's columns are split into tiles of `tile_cols`; the kernel runs one
+// row-wise pass per tile, restricted to B entries inside the tile. Each
+// pass's accumulator footprint is bounded by the tile width, trading extra
+// passes over A for a smaller, cache-resident accumulator — the classic
+// locality/work trade-off tiling exposes (and the reason reordering
+// interacts with it differently than with the row-wise baseline).
+#pragma once
+
+#include "spgemm/spgemm.hpp"
+
+namespace cw {
+
+struct TiledOptions {
+  index_t tile_cols = 4096;  // B columns per tile
+  Accumulator accumulator = Accumulator::kHash;
+};
+
+/// C = A × B, identical output to spgemm(a, b) (pattern and values, up to FP
+/// addition order within a tile).
+Csr spgemm_tiled(const Csr& a, const Csr& b, const TiledOptions& opt = {});
+
+}  // namespace cw

@@ -1,0 +1,101 @@
+#include "spgemm/topk.hpp"
+
+#include <algorithm>
+
+#include "accumulator/hash_accumulator.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace cw {
+
+std::vector<CandidatePair> spgemm_topk(const Csr& a, const TopKOptions& opt) {
+  CW_CHECK(opt.topk >= 1);
+  const index_t n = a.nrows();
+  const Csr at = a.transpose();
+
+  // Per-thread candidate buffers merged at the end.
+  std::vector<std::vector<CandidatePair>> per_thread;
+#pragma omp parallel
+  {
+#pragma omp single
+    per_thread.resize(static_cast<std::size_t>(
+#ifdef _OPENMP
+        omp_get_num_threads()
+#else
+        1
+#endif
+        ));
+  }
+
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    auto& local = per_thread[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+    auto& local = per_thread[0];
+#endif
+    HashAccumulator overlap;
+    std::vector<CandidatePair> row_best;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      const index_t nnz_i = a.row_nnz(i);
+      if (nnz_i == 0) continue;
+      overlap.reset();
+      // Expand row i of A·Aᵀ: every row j sharing a column k with row i.
+      for (offset_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+        const index_t k = a.col_idx()[static_cast<std::size_t>(ka)];
+        const offset_t col_len = at.row_ptr()[k + 1] - at.row_ptr()[k];
+        if (opt.col_cap > 0 && col_len > opt.col_cap) continue;
+        for (offset_t kt = at.row_ptr()[k]; kt < at.row_ptr()[k + 1]; ++kt) {
+          const index_t j = at.col_idx()[static_cast<std::size_t>(kt)];
+          if (j == i) continue;
+          overlap.add(j, 1.0);
+        }
+      }
+      // Score and keep the row's top-K.
+      row_best.clear();
+      overlap.for_each([&](index_t j, value_t count) {
+        const index_t nnz_j = a.row_nnz(j);
+        const double inter = count;
+        const double uni = static_cast<double>(nnz_i) +
+                           static_cast<double>(nnz_j) - inter;
+        const double jac = uni > 0 ? inter / uni : 0.0;
+        if (jac > opt.jaccard_threshold) {
+          row_best.push_back({std::min(i, j), std::max(i, j), jac});
+        }
+      });
+      if (static_cast<index_t>(row_best.size()) > opt.topk) {
+        // Ties (common with identical rows) prefer nearby partners: merging
+        // neighbours spreads candidates evenly instead of funnelling every
+        // row at the same few targets, which the size-capped union would
+        // then reject.
+        std::nth_element(row_best.begin(), row_best.begin() + opt.topk,
+                         row_best.end(), [](const auto& x, const auto& y) {
+                           if (x.score != y.score) return x.score > y.score;
+                           return x.j - x.i < y.j - y.i;
+                         });
+        row_best.resize(static_cast<std::size_t>(opt.topk));
+      }
+      local.insert(local.end(), row_best.begin(), row_best.end());
+    }
+  }
+
+  // Merge and deduplicate (each pair can appear from both endpoints).
+  std::vector<CandidatePair> all;
+  std::size_t total = 0;
+  for (const auto& v : per_thread) total += v.size();
+  all.reserve(total);
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const auto& x, const auto& y) {
+                          return x.i == y.i && x.j == y.j;
+                        }),
+            all.end());
+  return all;
+}
+
+}  // namespace cw

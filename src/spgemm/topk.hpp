@@ -1,0 +1,37 @@
+// SpGEMM_TopK (Alg. 3, line 3): similar-row candidate generation.
+//
+// Conceptually this is the SpGEMM A·Aᵀ with all values reset to 1 — output
+// entry (i, j) then counts overlapping nonzero columns of rows i and j. We
+// never materialize the full product: per row we accumulate overlap counts in
+// a hash accumulator, convert them to exact Jaccard similarity
+// |i ∩ j| / |i ∪ j|, and keep only the top-K partners above the threshold.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw {
+
+/// A scored candidate pair (i < j) for hierarchical clustering.
+struct CandidatePair {
+  index_t i = 0;
+  index_t j = 0;
+  double score = 0.0;  // exact Jaccard similarity of rows i and j
+};
+
+struct TopKOptions {
+  index_t topk = 7;           // max_cluster_th - 1 (paper default 8-1)
+  double jaccard_threshold = 0.3;  // paper default
+  /// Columns of A with more than col_cap entries are skipped when expanding
+  /// A·Aᵀ — an engineering guard against quadratic blowup on dense columns
+  /// (hub columns would otherwise pair every incident row with every other).
+  /// Set to 0 to disable (tests do, for exactness).
+  index_t col_cap = 256;
+};
+
+/// Generate candidate pairs via the A·Aᵀ overlap trick. The result is
+/// deduplicated (i < j) and unsorted; Alg. 3 heapifies it.
+std::vector<CandidatePair> spgemm_topk(const Csr& a, const TopKOptions& opt);
+
+}  // namespace cw

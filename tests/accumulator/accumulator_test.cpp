@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "accumulator/cluster_accumulator.hpp"
+#include "accumulator/dense_accumulator.hpp"
+#include "accumulator/hash_accumulator.hpp"
+#include "accumulator/sort_accumulator.hpp"
+#include "common/rng.hpp"
+
+namespace cw {
+namespace {
+
+template <typename Acc>
+void check_basic(Acc& acc) {
+  acc.add(5, 1.0);
+  acc.add(2, 2.0);
+  acc.add(5, 3.0);  // accumulate into existing key
+  EXPECT_EQ(acc.size(), 2);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_sorted(cols, vals);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 2);
+  EXPECT_EQ(cols[1], 5);
+  EXPECT_DOUBLE_EQ(vals[0], 2.0);
+  EXPECT_DOUBLE_EQ(vals[1], 4.0);
+}
+
+TEST(HashAccumulator, Basic) {
+  HashAccumulator acc;
+  check_basic(acc);
+}
+TEST(DenseAccumulator, Basic) {
+  DenseAccumulator acc(10);
+  check_basic(acc);
+}
+TEST(SortAccumulator, Basic) {
+  SortAccumulator acc;
+  check_basic(acc);
+}
+
+template <typename Acc>
+void check_reset(Acc& acc) {
+  acc.add(1, 1.0);
+  acc.reset();
+  EXPECT_EQ(acc.size(), 0);
+  acc.add(1, 7.0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_sorted(cols, vals);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 7.0);  // no leakage across resets
+}
+
+TEST(HashAccumulator, ResetClears) {
+  HashAccumulator acc;
+  check_reset(acc);
+}
+TEST(DenseAccumulator, ResetClears) {
+  DenseAccumulator acc(4);
+  check_reset(acc);
+}
+TEST(SortAccumulator, ResetClears) {
+  SortAccumulator acc;
+  check_reset(acc);
+}
+
+TEST(HashAccumulator, GrowsUnderLoad) {
+  HashAccumulator acc;
+  const std::size_t initial_cap = acc.capacity();
+  for (index_t k = 0; k < 1000; ++k) acc.add(k * 7, 1.0);
+  EXPECT_EQ(acc.size(), 1000);
+  EXPECT_GT(acc.capacity(), initial_cap);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_sorted(cols, vals);
+  for (index_t k = 0; k < 1000; ++k) EXPECT_EQ(cols[static_cast<std::size_t>(k)], k * 7);
+}
+
+TEST(HashAccumulator, ReserveAvoidsMidRowRehash) {
+  HashAccumulator acc;
+  acc.reserve(512);
+  const std::size_t cap = acc.capacity();
+  for (index_t k = 0; k < 512; ++k) acc.add(k, 1.0);
+  EXPECT_EQ(acc.capacity(), cap);
+}
+
+TEST(HashAccumulator, CollidingKeys) {
+  // Keys that collide under power-of-two masking still resolve.
+  HashAccumulator acc;
+  for (index_t k = 0; k < 64; ++k) acc.add(k * 16, 1.0);
+  EXPECT_EQ(acc.size(), 64);
+}
+
+TEST(HashAccumulator, SymbolicCountsDistinct) {
+  HashAccumulator acc;
+  acc.add_symbolic(3);
+  acc.add_symbolic(3);
+  acc.add_symbolic(9);
+  EXPECT_EQ(acc.size(), 2);
+}
+
+TEST(AllAccumulators, AgreeOnRandomWorkload) {
+  Rng rng(1234);
+  HashAccumulator h;
+  DenseAccumulator d(200);
+  SortAccumulator s;
+  std::map<index_t, value_t> ref;
+  for (int i = 0; i < 5000; ++i) {
+    const index_t key = rng.index(200);
+    const value_t v = rng.uniform() - 0.5;
+    h.add(key, v);
+    d.add(key, v);
+    s.add(key, v);
+    ref[key] += v;
+  }
+  std::vector<index_t> hc, dc, sc;
+  std::vector<value_t> hv, dv, sv;
+  h.extract_sorted(hc, hv);
+  d.extract_sorted(dc, dv);
+  s.extract_sorted(sc, sv);
+  ASSERT_EQ(hc.size(), ref.size());
+  EXPECT_EQ(hc, dc);
+  EXPECT_EQ(hc, sc);
+  std::size_t i = 0;
+  for (const auto& [key, v] : ref) {
+    EXPECT_EQ(hc[i], key);
+    EXPECT_NEAR(hv[i], v, 1e-9);
+    EXPECT_NEAR(dv[i], v, 1e-9);
+    EXPECT_NEAR(sv[i], v, 1e-9);
+    ++i;
+  }
+}
+
+TEST(ClusterAccumulator, LaneSemantics) {
+  ClusterAccumulator acc(4);
+  // Column 7 owned by lanes 0 and 2 with A values {2, 0(pad), 3, 0(pad)}.
+  const value_t avals[4] = {2.0, 0.0, 3.0, 0.0};
+  acc.add_scaled(7, 0b0101u, avals, 10.0);
+  acc.add_scaled(7, 0b0101u, avals, 1.0);
+  EXPECT_EQ(acc.size(), 1);
+  EXPECT_EQ(acc.lane_size(0), 1);
+  EXPECT_EQ(acc.lane_size(1), 0);  // padding lane: value accumulated but masked out
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(0, cols, vals);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 22.0);
+  cols.clear();
+  vals.clear();
+  acc.extract_lane_sorted(2, cols, vals);
+  EXPECT_DOUBLE_EQ(vals[0], 33.0);
+  cols.clear();
+  vals.clear();
+  acc.extract_lane_sorted(1, cols, vals);
+  EXPECT_TRUE(vals.empty());
+}
+
+TEST(ClusterAccumulator, ExtractionSortedAndResetWorks) {
+  ClusterAccumulator acc(2);
+  const value_t avals[2] = {1.0, 1.0};
+  for (index_t key : {9, 3, 27, 1}) acc.add_scaled(key, 0b11u, avals, 1.0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(0, cols, vals);
+  EXPECT_EQ(cols, (std::vector<index_t>{1, 3, 9, 27}));
+  acc.reset();
+  EXPECT_EQ(acc.size(), 0);
+  acc.add_scaled(3, 0b01u, avals, 5.0);
+  cols.clear();
+  vals.clear();
+  acc.extract_lane_sorted(0, cols, vals);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 5.0);  // no leakage across reset
+}
+
+TEST(ClusterAccumulator, GrowsPreservingLanes) {
+  ClusterAccumulator acc(8);
+  value_t avals[8];
+  for (int r = 0; r < 8; ++r) avals[r] = r + 1.0;
+  for (index_t key = 0; key < 500; ++key) acc.add_scaled(key, 0xFFu, avals, 1.0);
+  EXPECT_EQ(acc.size(), 500);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(4, cols, vals);
+  ASSERT_EQ(vals.size(), 500u);
+  for (value_t v : vals) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(ClusterAccumulator, ConfigureChangesLaneCount) {
+  ClusterAccumulator acc(2);
+  const value_t a2[2] = {1.0, 2.0};
+  acc.add_scaled(1, 0b11u, a2, 1.0);
+  acc.configure(5);
+  EXPECT_EQ(acc.size(), 0);
+  EXPECT_EQ(acc.lanes(), 5);
+  const value_t a5[5] = {1, 2, 3, 4, 5};
+  acc.add_scaled(2, 0b10000u, a5, 2.0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(4, cols, vals);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 10.0);
+}
+
+TEST(ClusterAccumulator, SymbolicMasksUnion) {
+  ClusterAccumulator acc(3);
+  acc.add_symbolic(4, 0b001u);
+  acc.add_symbolic(4, 0b100u);
+  acc.add_symbolic(9, 0b010u);
+  EXPECT_EQ(acc.lane_size(0), 1);
+  EXPECT_EQ(acc.lane_size(1), 1);
+  EXPECT_EQ(acc.lane_size(2), 1);
+  EXPECT_EQ(acc.size(), 2);
+}
+
+TEST(AllAccumulators, ReuseAcrossManyRows) {
+  // Simulates kernel usage: one accumulator across thousands of short rows.
+  HashAccumulator h;
+  DenseAccumulator d(64);
+  Rng rng(99);
+  for (int row = 0; row < 2000; ++row) {
+    h.reset();
+    d.reset();
+    const int len = 1 + static_cast<int>(rng.bounded(8));
+    for (int k = 0; k < len; ++k) {
+      const index_t key = rng.index(64);
+      h.add(key, 1.0);
+      d.add(key, 1.0);
+    }
+    EXPECT_EQ(h.size(), d.size());
+  }
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,32 @@
+#include "common/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cw {
+namespace {
+
+TEST(PrefixSum, ExclusiveInPlace) {
+  std::vector<int> v = {3, 1, 4, 1, 5};
+  const int total = exclusive_prefix_sum(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, ExclusiveEmpty) {
+  std::vector<long long> v;
+  EXPECT_EQ(exclusive_prefix_sum(v), 0);
+}
+
+TEST(PrefixSum, CountsToPointers) {
+  const std::vector<offset_t> counts = {2, 0, 3};
+  const std::vector<offset_t> ptr = counts_to_pointers(counts);
+  EXPECT_EQ(ptr, (std::vector<offset_t>{0, 2, 2, 5}));
+}
+
+TEST(PrefixSum, CountsToPointersEmpty) {
+  const std::vector<offset_t> ptr = counts_to_pointers(std::vector<offset_t>{});
+  EXPECT_EQ(ptr, (std::vector<offset_t>{0}));
+}
+
+}  // namespace
+}  // namespace cw

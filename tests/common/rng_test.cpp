@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cw {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.bounded(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.05);  // spread sanity
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Rng rng(11);
+  shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> v1 = {1, 2, 3, 4, 5}, v2 = {1, 2, 3, 4, 5};
+  Rng a(3), b(3);
+  shuffle(v1, a);
+  shuffle(v2, b);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t x = rng.index(3);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 3);
+  }
+}
+
+}  // namespace
+}  // namespace cw

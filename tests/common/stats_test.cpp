@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Stats, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  EXPECT_THROW(geomean({1.0, 0.0}), Error);
+  EXPECT_THROW(geomean({-1.0}), Error);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 50), 15.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(Stats, BoxSummary) {
+  BoxSummary b = box_summary({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_EQ(b.n, 5u);
+  BoxSummary empty = box_summary({});
+  EXPECT_EQ(empty.n, 0u);
+}
+
+TEST(Stats, SummarizeSpeedups) {
+  SpeedupSummary s = summarize_speedups({2.0, 0.5, 1.0});
+  EXPECT_NEAR(s.gm, 1.0, 1e-12);
+  // Only 2.0 is strictly > 1.
+  EXPECT_NEAR(s.pos_pct, 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.pos_gm, 2.0, 1e-12);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(Stats, SummarizeSpeedupsAllNegative) {
+  SpeedupSummary s = summarize_speedups({0.5, 0.9});
+  EXPECT_DOUBLE_EQ(s.pos_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.pos_gm, 0.0);
+}
+
+TEST(Stats, ProfileCurveMonotone) {
+  std::vector<double> samples = {1, 2, 5, 20};
+  std::vector<double> grid = {0, 1, 3, 10, 100};
+  std::vector<double> curve = profile_curve(samples, grid);
+  ASSERT_EQ(curve.size(), grid.size());
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+  EXPECT_DOUBLE_EQ(curve[1], 0.25);
+  EXPECT_DOUBLE_EQ(curve[2], 0.5);
+  EXPECT_DOUBLE_EQ(curve[3], 0.75);
+  EXPECT_DOUBLE_EQ(curve[4], 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+TEST(Stats, ProfileCurveEmptySamples) {
+  std::vector<double> curve = profile_curve({}, {1.0, 2.0});
+  EXPECT_EQ(curve, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(Stats, BoxToString) {
+  const std::string s = to_string(box_summary({1, 2, 3}));
+  EXPECT_NE(s.find("(n=3)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,49 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cw {
+namespace {
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.millis(), 9.0);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.millis(), 10.0);
+}
+
+TEST(Timer, BestOfRunsWarmupPlusReps) {
+  int calls = 0;
+  const double best = time_best_of(3, [&] { ++calls; });
+  EXPECT_EQ(calls, 4);  // 1 warm-up + 3 timed
+  EXPECT_GE(best, 0.0);
+}
+
+TEST(Timer, MeanOfRunsWarmupPlusReps) {
+  int calls = 0;
+  const double avg = time_mean_of(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 6);
+  EXPECT_GE(avg, 0.0);
+}
+
+TEST(PhaseTimings, TotalsAndSummary) {
+  PhaseTimings pt;
+  pt.add("symbolic", 0.25);
+  pt.add("numeric", 0.5);
+  EXPECT_DOUBLE_EQ(pt.total(), 0.75);
+  const std::string s = pt.summary();
+  EXPECT_NE(s.find("symbolic"), std::string::npos);
+  EXPECT_NE(s.find("numeric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw

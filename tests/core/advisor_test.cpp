@@ -1,0 +1,128 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Features, BasicCounts) {
+  const Csr a = test::paper_figure1();
+  const MatrixFeatures f = extract_features(a);
+  EXPECT_EQ(f.nrows, 6);
+  EXPECT_EQ(f.nnz, 17);
+  EXPECT_NEAR(f.avg_row_nnz, 17.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.max_row_nnz, 3.0);
+}
+
+TEST(Features, BandwidthRatioDetectsScrambling) {
+  const Csr band = gen_banded(400, 5, 0.5, 1);
+  const MatrixFeatures fb = extract_features(band);
+  EXPECT_LT(fb.bandwidth_ratio, 0.1);
+  const Csr scrambled =
+      band.permute_symmetric(random_order(band, 3));
+  const MatrixFeatures fs = extract_features(scrambled);
+  EXPECT_GT(fs.bandwidth_ratio, 0.5);
+}
+
+TEST(Features, DegreeCvDetectsHeavyTail) {
+  const Csr uniform = gen_grid2d(20, 20, 5);
+  const Csr power = gen_rmat(9, 8, 0.6, 0.15, 0.15, 2);
+  EXPECT_LT(extract_features(uniform).degree_cv, 0.5);
+  EXPECT_GT(extract_features(power).degree_cv, 1.0);
+}
+
+TEST(Features, ConsecutiveJaccardOnBlockMatrix) {
+  const Csr block = gen_block_diag(160, 8, 0.0, 3);
+  const MatrixFeatures f = extract_features(block);
+  // 7 of 8 consecutive pairs are identical rows.
+  EXPECT_GT(f.consecutive_jaccard, 0.6);
+}
+
+TEST(Features, ScatteredJaccardSeesNonAdjacentTwins) {
+  // Identical rows spread apart: consecutive similarity ~0 but the
+  // scattered statistic must see the twins.
+  Coo coo(60, 60);
+  for (index_t r = 0; r < 60; ++r) {
+    if (r % 10 == 0) {
+      for (index_t c = 20; c < 26; ++c) coo.push(r, c, 1.0);
+    } else {
+      coo.push(r, r, 1.0);
+    }
+  }
+  const Csr a = Csr::from_coo(coo);
+  const MatrixFeatures f = extract_features(a);
+  EXPECT_LT(f.consecutive_jaccard, 0.2);
+  EXPECT_GT(f.scattered_jaccard, 0.05);
+}
+
+TEST(Advise, BlockMatrixGetsInPlaceClustering) {
+  const Csr block = gen_block_diag(240, 8, 0.5, 4);
+  const Recommendation rec = advise(block);
+  EXPECT_EQ(rec.scheme, ClusterScheme::kVariable);
+  EXPECT_EQ(rec.reorder, ReorderAlgo::kOriginal);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(Advise, ScrambledMeshGetsReordering) {
+  const Csr mesh = gen_tri_mesh(24, 24, true, 5);
+  MatrixFeatures f = extract_features(mesh);
+  f.consecutive_jaccard = 0.0;  // pin the branch under test
+  f.scattered_jaccard = 0.0;
+  f.degree_cv = 0.3;
+  f.bandwidth_ratio = 0.9;
+  EXPECT_EQ(advise(f, ReuseBudget::kTens).reorder, ReorderAlgo::kRCM);
+  EXPECT_EQ(advise(f, ReuseBudget::kThousands).reorder, ReorderAlgo::kHP);
+  EXPECT_EQ(advise(f, ReuseBudget::kSingle).reorder, ReorderAlgo::kOriginal);
+}
+
+TEST(Advise, HeavyTailWithoutSimilarityStaysRowwise) {
+  MatrixFeatures f;
+  f.degree_cv = 4.0;
+  f.scattered_jaccard = 0.05;
+  f.consecutive_jaccard = 0.02;
+  const Recommendation rec = advise(f);
+  EXPECT_EQ(rec.scheme, ClusterScheme::kNone);
+}
+
+TEST(Advise, ScatteredSimilarityGetsHierarchical) {
+  MatrixFeatures f;
+  f.degree_cv = 0.5;
+  f.consecutive_jaccard = 0.1;
+  f.scattered_jaccard = 0.6;
+  const Recommendation rec = advise(f, ReuseBudget::kTens);
+  EXPECT_EQ(rec.scheme, ClusterScheme::kHierarchical);
+  EXPECT_EQ(advise(f, ReuseBudget::kThousands).reorder, ReorderAlgo::kHP);
+}
+
+TEST(Advise, WellOrderedDissimilarMatrixKeepsBaseline) {
+  const Csr grid = gen_grid2d(24, 24, 5);
+  const Recommendation rec = advise(grid);
+  // A natural-order 5-point grid: no similar rows, tight band → row-wise.
+  EXPECT_EQ(rec.scheme, ClusterScheme::kNone);
+  EXPECT_EQ(rec.reorder, ReorderAlgo::kOriginal);
+}
+
+TEST(Advise, PipelineOptionsRoundTrip) {
+  Recommendation rec;
+  rec.reorder = ReorderAlgo::kRCM;
+  rec.scheme = ClusterScheme::kVariable;
+  const PipelineOptions opt = rec.pipeline_options();
+  EXPECT_EQ(opt.reorder, ReorderAlgo::kRCM);
+  EXPECT_EQ(opt.scheme, ClusterScheme::kVariable);
+}
+
+TEST(Advise, RecommendationIsRunnable) {
+  // End-to-end: whatever the advisor says must execute correctly.
+  const Csr a = gen_block_diag(120, 6, 1.0, 6);
+  const Recommendation rec = advise(a);
+  Pipeline p(a, rec.pipeline_options());
+  const Csr got = p.multiply_square();
+  const Csr expected = spgemm(a, a).permute_symmetric(p.order());
+  EXPECT_TRUE(got.approx_equal(expected, 1e-9));
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/clustering_schemes.hpp"
+#include "core/jaccard.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+/// 64 rows of fully dense 8×8 diagonal blocks (block-aligned structure).
+Csr gen_block_like() {
+  Coo coo(64, 64);
+  for (index_t b = 0; b < 64; b += 8)
+    for (index_t r = b; r < b + 8; ++r)
+      for (index_t c = b; c < b + 8; ++c) coo.push(r, c, 1.0);
+  return Csr::from_coo(coo);
+}
+
+TEST(FixedCluster, BasicShapes) {
+  const Clustering c = fixed_length_clustering(10, 4);
+  EXPECT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.size(0), 4);
+  EXPECT_EQ(c.size(2), 2);
+}
+
+TEST(FixedCluster, ChooseLengthPrefersBlockSize) {
+  // Dense 8-row diagonal blocks: k=8 aligns with blocks, so padding is
+  // minimal there and the auto-tuner must pick it over 2 and 4... all of
+  // which also align. Compare against a misaligned candidate instead.
+  const Csr a = gen_block_like();
+  const index_t k = choose_fixed_length(a, {3, 8});
+  EXPECT_EQ(k, 8);
+}
+
+TEST(FixedCluster, ChooseLengthValidRange) {
+  const Csr a = test::random_csr(64, 64, 0.1, 5);
+  const index_t k = choose_fixed_length(a);
+  EXPECT_GE(k, 2);
+  EXPECT_LE(k, 8);
+}
+
+TEST(VariableCluster, PaperWalkthrough) {
+  // §3.2: thresholds 0.3 / max 8 on the Fig. 5 matrix give {0–2},{3–4},{5}.
+  const Csr a = test::paper_figure5();
+  VariableClusterOptions opt;
+  opt.jaccard_threshold = 0.3;
+  opt.max_cluster_size = 8;
+  const Clustering c = variable_length_clustering(a, opt);
+  ASSERT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.size(0), 3);
+  EXPECT_EQ(c.size(1), 2);
+  EXPECT_EQ(c.size(2), 1);
+}
+
+TEST(VariableCluster, MaxSizeCapSplits) {
+  // 20 identical rows: without the cap one cluster; with cap 8 → 8+8+4.
+  Coo coo(20, 10);
+  for (index_t r = 0; r < 20; ++r)
+    for (index_t c = 0; c < 5; ++c) coo.push(r, c, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  VariableClusterOptions opt;
+  opt.max_cluster_size = 8;
+  const Clustering c = variable_length_clustering(a, opt);
+  ASSERT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.size(0), 8);
+  EXPECT_EQ(c.size(1), 8);
+  EXPECT_EQ(c.size(2), 4);
+}
+
+TEST(VariableCluster, DissimilarRowsStaySingletons) {
+  // Rows with disjoint columns never cluster.
+  Coo coo(6, 12);
+  for (index_t r = 0; r < 6; ++r) {
+    coo.push(r, 2 * r, 1.0);
+    coo.push(r, 2 * r + 1, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  const Clustering c = variable_length_clustering(a, {});
+  EXPECT_EQ(c.num_clusters(), 6);
+  EXPECT_EQ(c.max_size(), 1);
+}
+
+TEST(VariableCluster, ThresholdOneMeansSingletonsUnlessIdentical) {
+  const Csr a = test::paper_figure5();
+  VariableClusterOptions opt;
+  opt.jaccard_threshold = 0.99;
+  const Clustering c = variable_length_clustering(a, opt);
+  EXPECT_EQ(c.num_clusters(), 6);
+}
+
+TEST(VariableCluster, ThresholdZeroMergesEverythingUpToCap) {
+  const Csr a = test::random_csr(16, 16, 0.5, 6);
+  VariableClusterOptions opt;
+  opt.jaccard_threshold = -1.0;  // always pass
+  opt.max_cluster_size = 8;
+  const Clustering c = variable_length_clustering(a, opt);
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_EQ(c.max_size(), 8);
+}
+
+TEST(VariableCluster, CoversAllRows) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr a = test::random_csr(64, 64, 0.08, seed);
+    const Clustering c = variable_length_clustering(a, {});
+    c.validate(64);
+  }
+}
+
+TEST(VariableCluster, EmptyMatrix) {
+  Coo coo(0, 0);
+  const Csr a = Csr::from_coo(coo);
+  const Clustering c = variable_length_clustering(a, {});
+  EXPECT_EQ(c.num_clusters(), 0);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,143 @@
+#include "core/clusterwise_spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/clustering_schemes.hpp"
+#include "spgemm/reference.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(ClusterwiseSpgemm, PaperExampleMatchesRowwise) {
+  const Csr a = test::paper_figure5();
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(6, 3));
+  const Csr c = clusterwise_spgemm(cc, a);
+  EXPECT_TRUE(c.approx_equal(spgemm(a, a), 1e-12));
+}
+
+TEST(ClusterwiseSpgemm, SingletonClustersEqualRowwise) {
+  const Csr a = test::random_csr(32, 32, 0.12, 1);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::singletons(32));
+  EXPECT_TRUE(clusterwise_spgemm(cc, a).approx_equal(spgemm(a, a), 1e-10));
+}
+
+TEST(ClusterwiseSpgemm, SymbolicMatchesNumeric) {
+  const Csr a = test::random_csr(40, 40, 0.1, 2);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(40, 4));
+  const std::vector<offset_t> counts = clusterwise_symbolic(cc, a);
+  const Csr c = clusterwise_spgemm(cc, a);
+  for (index_t r = 0; r < 40; ++r)
+    EXPECT_EQ(counts[static_cast<std::size_t>(r)], c.row_nnz(r));
+}
+
+TEST(ClusterwiseSpgemm, PaddingDoesNotLeakIntoPattern) {
+  // Two rows with disjoint patterns clustered together: the padding zeros
+  // must not create output entries that row-wise SpGEMM would not produce.
+  Coo coo(2, 2);
+  coo.push(0, 0, 2.0);
+  coo.push(1, 1, 3.0);
+  const Csr a = Csr::from_coo(coo);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(2, 2));
+  const Csr c = clusterwise_spgemm(cc, a);
+  const Csr ref = spgemm(a, a);
+  EXPECT_EQ(c.nnz(), ref.nnz());
+  EXPECT_TRUE(c.approx_equal(ref, 1e-12));
+  EXPECT_EQ(c.row_nnz(0), 1);  // no phantom entry from padding
+}
+
+TEST(ClusterwiseSpgemm, RectangularB) {
+  const Csr a = test::random_csr(30, 30, 0.15, 3);
+  const Csr b = test::random_csr(30, 7, 0.25, 4);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(30, 5));
+  EXPECT_TRUE(clusterwise_spgemm(cc, b).approx_equal(spgemm(a, b), 1e-10));
+}
+
+TEST(ClusterwiseSpgemm, StatsPopulated) {
+  const Csr a = test::random_csr(25, 25, 0.2, 5);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(25, 4));
+  SpgemmStats stats;
+  const Csr c = clusterwise_spgemm(cc, a, &stats);
+  EXPECT_EQ(stats.output_nnz, c.nnz());
+  EXPECT_GE(stats.symbolic_seconds, 0.0);
+}
+
+TEST(ClusterwiseSpgemm, DimensionMismatchThrows) {
+  const Csr a = test::random_csr(10, 10, 0.3, 6);
+  const Csr b = test::random_csr(11, 4, 0.3, 7);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(10, 2));
+  EXPECT_THROW(clusterwise_spgemm(cc, b), Error);
+}
+
+// Property sweep: cluster-wise SpGEMM must equal row-wise SpGEMM for every
+// clustering scheme × cluster size × matrix shape.
+struct ClusterCase {
+  index_t n;
+  double density;
+  index_t fixed_k;
+  std::uint64_t seed;
+};
+
+class ClusterwiseEquivalence : public ::testing::TestWithParam<ClusterCase> {};
+
+TEST_P(ClusterwiseEquivalence, FixedLengthMatchesRowwise) {
+  const ClusterCase& p = GetParam();
+  const Csr a = test::random_csr(p.n, p.n, p.density, p.seed);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(p.n, p.fixed_k));
+  EXPECT_TRUE(clusterwise_spgemm(cc, a).approx_equal(spgemm(a, a), 1e-9));
+}
+
+TEST_P(ClusterwiseEquivalence, VariableLengthMatchesRowwise) {
+  const ClusterCase& p = GetParam();
+  const Csr a = test::random_csr(p.n, p.n, p.density, p.seed + 1000);
+  const Clustering cl = variable_length_clustering(a, {});
+  const CsrCluster cc = CsrCluster::build(a, cl);
+  EXPECT_TRUE(clusterwise_spgemm(cc, a).approx_equal(spgemm(a, a), 1e-9));
+}
+
+TEST_P(ClusterwiseEquivalence, HierarchicalMatchesPermutedRowwise) {
+  const ClusterCase& p = GetParam();
+  const Csr a = test::random_csr(p.n, p.n, p.density, p.seed + 2000);
+  HierarchicalOptions opt;
+  opt.col_cap = 0;
+  const HierarchicalResult r = hierarchical_clustering(a, opt);
+  const Csr ap = a.permute_symmetric(r.order);
+  const CsrCluster cc = CsrCluster::build(ap, r.clustering);
+  EXPECT_TRUE(clusterwise_spgemm(cc, ap).approx_equal(spgemm(ap, ap), 1e-9));
+}
+
+TEST_P(ClusterwiseEquivalence, BothKernelVariantsAgree) {
+  const ClusterCase& p = GetParam();
+  const Csr a = test::random_csr(p.n, p.n, p.density, p.seed + 3000);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(p.n, p.fixed_k));
+  const Csr lane = clusterwise_spgemm(cc, a, nullptr,
+                                      ClusterKernel::kLaneAccumulator);
+  const Csr per_row = clusterwise_spgemm(cc, a, nullptr,
+                                         ClusterKernel::kPerRowAccumulators);
+  EXPECT_TRUE(lane.approx_equal(per_row, 1e-9));
+  EXPECT_TRUE(lane.approx_equal(spgemm(a, a), 1e-9));
+}
+
+TEST_P(ClusterwiseEquivalence, SymbolicVariantsAgree) {
+  const ClusterCase& p = GetParam();
+  const Csr a = test::random_csr(p.n, p.n, p.density, p.seed + 4000);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(p.n, p.fixed_k));
+  EXPECT_EQ(clusterwise_symbolic(cc, a, ClusterKernel::kLaneAccumulator),
+            clusterwise_symbolic(cc, a, ClusterKernel::kPerRowAccumulators));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ClusterwiseEquivalence,
+    ::testing::Values(ClusterCase{8, 0.3, 2, 1}, ClusterCase{16, 0.2, 3, 2},
+                      ClusterCase{33, 0.1, 4, 3}, ClusterCase{64, 0.05, 8, 4},
+                      ClusterCase{64, 0.15, 5, 5}, ClusterCase{100, 0.03, 8, 6},
+                      ClusterCase{41, 0.25, 7, 7}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.fixed_k) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cw

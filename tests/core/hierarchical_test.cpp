@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/clustering_schemes.hpp"
+#include "core/jaccard.hpp"
+#include "core/union_find.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(UnionFind, Basics) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.is_root(3));
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_EQ(uf.set_size(0), 2);
+  EXPECT_EQ(uf.set_size(2), 1);
+}
+
+TEST(UnionFind, CappedUnionRejectsOversize) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite_capped(0, 1, 3));
+  EXPECT_TRUE(uf.unite_capped(0, 2, 3));      // size 3 == cap
+  EXPECT_FALSE(uf.unite_capped(0, 3, 3));     // would be 4
+  EXPECT_TRUE(uf.unite_capped(3, 4, 3));
+  EXPECT_FALSE(uf.unite_capped(0, 4, 3));     // 3 + 2 > 3
+  EXPECT_EQ(uf.set_size(0), 3);
+  EXPECT_EQ(uf.set_size(3), 2);
+}
+
+TEST(Hierarchical, OrderIsPermutationAndClusteringCovers) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr a = test::random_csr(80, 80, 0.08, seed);
+    const HierarchicalResult r = hierarchical_clustering(a, {});
+    EXPECT_TRUE(is_permutation(r.order, 80)) << "seed " << seed;
+    r.clustering.validate(80);
+    EXPECT_LE(r.clustering.max_size(), 8);
+  }
+}
+
+TEST(Hierarchical, GroupsScatteredIdenticalRows) {
+  // Identical rows scattered far apart: variable-length clustering cannot
+  // see them (non-consecutive), hierarchical clustering must group them —
+  // the exact scenario motivating §3.3.
+  Coo coo(40, 40);
+  const std::vector<index_t> twins = {3, 17, 31};
+  for (index_t r = 0; r < 40; ++r) {
+    if (std::find(twins.begin(), twins.end(), r) != twins.end()) {
+      for (index_t c = 10; c < 15; ++c) coo.push(r, c, 1.0);
+    } else {
+      coo.push(r, r, 1.0);  // otherwise diagonal only
+    }
+  }
+  const Csr a = Csr::from_coo(coo);
+
+  VariableClusterOptions vopt;
+  const Clustering vl = variable_length_clustering(a, vopt);
+  EXPECT_EQ(vl.num_clusters(), 40);  // consecutive scan finds nothing
+
+  HierarchicalOptions hopt;
+  hopt.col_cap = 0;
+  const HierarchicalResult hr = hierarchical_clustering(a, hopt);
+  // The three twins must land in one cluster: find their new positions and
+  // check they are consecutive inside a single cluster.
+  const Permutation inv = invert_permutation(hr.order);
+  std::set<index_t> positions;
+  for (index_t t : twins) positions.insert(inv[static_cast<std::size_t>(t)]);
+  const index_t first = *positions.begin();
+  const index_t last = *positions.rbegin();
+  EXPECT_EQ(last - first, 2) << "twins not consecutive after reordering";
+  // All inside one cluster:
+  index_t cluster_of_first = kInvalidIndex;
+  for (index_t c = 0; c < hr.clustering.num_clusters(); ++c) {
+    if (hr.clustering.row_start(c) <= first &&
+        first < hr.clustering.row_start(c) + hr.clustering.size(c)) {
+      cluster_of_first = c;
+      break;
+    }
+  }
+  ASSERT_NE(cluster_of_first, kInvalidIndex);
+  EXPECT_LE(hr.clustering.row_start(cluster_of_first), first);
+  EXPECT_GE(hr.clustering.row_start(cluster_of_first) +
+                hr.clustering.size(cluster_of_first),
+            last + 1);
+}
+
+TEST(Hierarchical, RespectsMaxClusterSize) {
+  // 30 identical rows: clusters must be chopped at the cap.
+  Coo coo(30, 10);
+  for (index_t r = 0; r < 30; ++r)
+    for (index_t c = 0; c < 5; ++c) coo.push(r, c, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  HierarchicalOptions opt;
+  opt.max_cluster_size = 4;
+  opt.col_cap = 0;
+  const HierarchicalResult r = hierarchical_clustering(a, opt);
+  EXPECT_LE(r.clustering.max_size(), 4);
+  // Identical rows should still mostly pair up: far fewer clusters than rows.
+  EXPECT_LT(r.clustering.num_clusters(), 15);
+}
+
+TEST(Hierarchical, NoSimilarRowsMeansSingletons) {
+  Coo coo(12, 24);
+  for (index_t r = 0; r < 12; ++r) {
+    coo.push(r, 2 * r, 1.0);
+    coo.push(r, 2 * r + 1, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  HierarchicalOptions opt;
+  opt.col_cap = 0;
+  const HierarchicalResult r = hierarchical_clustering(a, opt);
+  EXPECT_EQ(r.clustering.num_clusters(), 12);
+  // With nothing to merge, the order should be untouched (min-member rule).
+  Permutation identity(12);
+  std::iota(identity.begin(), identity.end(), index_t{0});
+  EXPECT_EQ(r.order, identity);
+}
+
+TEST(Hierarchical, StatsReported) {
+  const Csr a = test::random_csr(60, 60, 0.1, 3);
+  const HierarchicalResult r = hierarchical_clustering(a, {});
+  EXPECT_GE(r.topk_seconds, 0.0);
+  EXPECT_GE(r.merge_seconds, 0.0);
+  EXPECT_GE(r.total_seconds(), 0.0);
+  EXPECT_EQ(r.merges + r.clustering.num_clusters(),
+            static_cast<std::size_t>(60))
+      << "each merge reduces cluster count by exactly one";
+}
+
+TEST(Hierarchical, PreservesLocalityOfOriginalOrder) {
+  // Clusters are emitted by minimum original member: a matrix with no
+  // merges keeps identity order; with one merge of (5, 20), row 20 moves
+  // next to row 5 and everything else stays relatively ordered.
+  Coo coo(24, 24);
+  for (index_t r = 0; r < 24; ++r) coo.push(r, r, 1.0);
+  for (index_t c = 0; c < 4; ++c) {
+    coo.push(5, 12 + c, 1.0);
+    coo.push(20, 12 + c, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  HierarchicalOptions opt;
+  opt.col_cap = 0;
+  const HierarchicalResult r = hierarchical_clustering(a, opt);
+  // Expected order: 0..5,20,6..19,21..23
+  ASSERT_EQ(r.order.size(), 24u);
+  EXPECT_EQ(r.order[5], 5);
+  EXPECT_EQ(r.order[6], 20);
+  EXPECT_EQ(r.order[7], 6);
+}
+
+}  // namespace
+}  // namespace cw

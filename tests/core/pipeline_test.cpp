@@ -1,0 +1,96 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "spgemm/reference.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+PipelineOptions opts(ReorderAlgo r, ClusterScheme s) {
+  PipelineOptions o;
+  o.reorder = r;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  return o;
+}
+
+TEST(Pipeline, RowwiseOriginalIsPlainSpgemm) {
+  const Csr a = test::random_csr(30, 30, 0.12, 1);
+  Pipeline p(a, opts(ReorderAlgo::kOriginal, ClusterScheme::kNone));
+  EXPECT_TRUE(p.multiply_square().approx_equal(spgemm(a, a), 1e-10));
+  EXPECT_EQ(p.stats().num_clusters, 30);
+}
+
+TEST(Pipeline, SquareProductIsPermutedA2) {
+  // For any configuration, the pipeline result must equal P·A²·Pᵀ.
+  const Csr a = test::random_csr(36, 36, 0.1, 2);
+  const Csr a2 = spgemm(a, a);
+  for (ClusterScheme s : {ClusterScheme::kNone, ClusterScheme::kFixed,
+                          ClusterScheme::kVariable, ClusterScheme::kHierarchical}) {
+    Pipeline p(a, opts(ReorderAlgo::kRCM, s));
+    const Csr got = p.multiply_square();
+    const Csr expected = a2.permute_symmetric(p.order());
+    EXPECT_TRUE(got.approx_equal(expected, 1e-9)) << to_string(s);
+  }
+}
+
+TEST(Pipeline, TallSkinnyMultiplyMatchesUnpermuted) {
+  const Csr a = test::random_csr(40, 40, 0.1, 3);
+  const Csr b = test::random_csr(40, 6, 0.3, 4);
+  const Csr ab = spgemm(a, b);
+  for (ReorderAlgo r : {ReorderAlgo::kOriginal, ReorderAlgo::kRandom,
+                        ReorderAlgo::kDegree}) {
+    Pipeline p(a, opts(r, ClusterScheme::kHierarchical));
+    const Csr got = p.unpermute_rows(p.multiply(b));
+    EXPECT_TRUE(got.approx_equal(ab, 1e-9)) << to_string(r);
+  }
+}
+
+TEST(Pipeline, HierarchicalComposesOrderCorrectly) {
+  const Csr a = test::random_csr(32, 32, 0.15, 5);
+  Pipeline p(a, opts(ReorderAlgo::kRandom, ClusterScheme::kHierarchical));
+  // matrix() must equal A permuted by the reported composite order.
+  EXPECT_TRUE(p.matrix() == a.permute_symmetric(p.order()));
+  EXPECT_TRUE(is_permutation(p.order(), 32));
+}
+
+TEST(Pipeline, StatsAccounting) {
+  const Csr a = test::random_csr(48, 48, 0.1, 6);
+  Pipeline p(a, opts(ReorderAlgo::kRCM, ClusterScheme::kVariable));
+  const PipelineStats& st = p.stats();
+  EXPECT_GT(st.reorder_seconds, 0.0);
+  EXPECT_GE(st.cluster_seconds, 0.0);
+  EXPECT_GT(st.csr_bytes, 0u);
+  EXPECT_GT(st.clustered_bytes, 0u);
+  EXPECT_GT(st.memory_ratio(), 0.0);
+  EXPECT_EQ(st.num_clusters, p.clustering().num_clusters());
+  EXPECT_NEAR(st.preprocess_seconds(),
+              st.reorder_seconds + st.cluster_seconds + st.format_seconds,
+              1e-12);
+}
+
+TEST(Pipeline, FixedAutoTuneRuns) {
+  const Csr a = test::random_csr(64, 64, 0.1, 7);
+  PipelineOptions o = opts(ReorderAlgo::kOriginal, ClusterScheme::kFixed);
+  o.fixed_length = 0;  // auto
+  Pipeline p(a, o);
+  EXPECT_GE(p.clustering().max_size(), 2);
+  EXPECT_TRUE(p.multiply_square().approx_equal(spgemm(a, a), 1e-9));
+}
+
+TEST(Pipeline, RejectsNonSquare) {
+  const Csr a = test::random_csr(10, 12, 0.3, 8);
+  EXPECT_THROW(Pipeline(a, PipelineOptions{}), Error);
+}
+
+TEST(Pipeline, ClusterSchemeNames) {
+  EXPECT_STREQ(to_string(ClusterScheme::kNone), "row-wise");
+  EXPECT_STREQ(to_string(ClusterScheme::kHierarchical), "hierarchical");
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "gen/generators.hpp"
+
+namespace cw {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "123.45"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123.45"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Every line same length (alignment property).
+  std::size_t len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    const std::size_t row_len = next - pos;
+    if (len == std::string::npos) len = row_len;
+    EXPECT_EQ(row_len, len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt_double(1.234, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_speedup(1.5), "1.50x");
+}
+
+TEST(Fmt, Seconds) {
+  EXPECT_NE(fmt_seconds(0.5e-6).find("us"), std::string::npos);
+  EXPECT_NE(fmt_seconds(5e-3).find("ms"), std::string::npos);
+  EXPECT_NE(fmt_seconds(2.0).find("s"), std::string::npos);
+}
+
+TEST(RunConfig, ParsesEnvironment) {
+  setenv("CW_SUITE", "medium", 1);
+  setenv("CW_REPS", "7", 1);
+  setenv("CW_DATASETS", "a,bb,ccc", 1);
+  const RunConfig cfg = run_config_from_env();
+  EXPECT_EQ(cfg.scale, SuiteScale::kMedium);
+  EXPECT_EQ(cfg.reps, 7);
+  ASSERT_EQ(cfg.dataset_filter.size(), 3u);
+  EXPECT_EQ(cfg.dataset_filter[1], "bb");
+  EXPECT_TRUE(dataset_selected(cfg, "ccc"));
+  EXPECT_FALSE(dataset_selected(cfg, "zzz"));
+  unsetenv("CW_SUITE");
+  unsetenv("CW_REPS");
+  unsetenv("CW_DATASETS");
+}
+
+TEST(RunConfig, DefaultsWithoutEnv) {
+  unsetenv("CW_SUITE");
+  unsetenv("CW_REPS");
+  unsetenv("CW_DATASETS");
+  const RunConfig cfg = run_config_from_env();
+  EXPECT_EQ(cfg.scale, SuiteScale::kSmall);
+  EXPECT_EQ(cfg.reps, 3);
+  EXPECT_TRUE(dataset_selected(cfg, "anything"));
+}
+
+TEST(RunConfig, RejectsBadReps) {
+  setenv("CW_REPS", "0", 1);
+  EXPECT_EQ(run_config_from_env().reps, 3);  // keeps default
+  unsetenv("CW_REPS");
+}
+
+TEST(Runner, SquareExperimentProducesConsistentStats) {
+  const Csr a = gen_grid2d(24, 24, 5);
+  RunConfig cfg;
+  cfg.reps = 1;
+  const double baseline = time_rowwise_square(a, cfg);
+  PipelineOptions opt;
+  opt.scheme = ClusterScheme::kVariable;
+  const SquareExperiment e =
+      run_square_experiment("grid", a, opt, baseline, cfg);
+  EXPECT_GT(e.variant_seconds, 0.0);
+  EXPECT_GT(e.speedup(), 0.0);
+  EXPECT_GE(e.preprocess_seconds, 0.0);
+  EXPECT_EQ(e.dataset, "grid");
+}
+
+TEST(Runner, AmortizationInfinityWhenSlower) {
+  SquareExperiment e;
+  e.baseline_seconds = 1.0;
+  e.variant_seconds = 2.0;  // slower than baseline
+  e.preprocess_seconds = 5.0;
+  EXPECT_GT(e.amortization_iters(), 1e12);
+  e.variant_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(e.amortization_iters(), 10.0);
+}
+
+TEST(Runner, TallSkinnyTimersRun) {
+  const Csr a = gen_grid2d(16, 16, 5);
+  const Csr b = gen_erdos_renyi(256, 4, 1);
+  RunConfig cfg;
+  cfg.reps = 1;
+  EXPECT_GT(time_rowwise(a, b, cfg), 0.0);
+  PipelineOptions opt;
+  Pipeline p(a, opt);
+  EXPECT_GT(time_pipeline(p, b, cfg), 0.0);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,147 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Generators, Grid2dShapeAndDegrees) {
+  const Csr a = gen_grid2d(5, 4, 5);
+  a.validate();
+  EXPECT_EQ(a.nrows(), 20);
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    EXPECT_GE(a.row_nnz(r), 3);  // corner: self + 2 neighbours
+    EXPECT_LE(a.row_nnz(r), 5);  // interior: self + 4
+  }
+}
+
+TEST(Generators, Grid2dNinePoint) {
+  const Csr a = gen_grid2d(6, 6, 9);
+  for (index_t r = 0; r < a.nrows(); ++r) EXPECT_LE(a.row_nnz(r), 9);
+  EXPECT_GT(a.nnz(), gen_grid2d(6, 6, 5).nnz());
+}
+
+TEST(Generators, Grid3dInteriorDegree) {
+  const Csr a = gen_grid3d(4, 4, 4);
+  a.validate();
+  EXPECT_EQ(a.nrows(), 64);
+  index_t max_deg = 0;
+  for (index_t r = 0; r < 64; ++r) max_deg = std::max(max_deg, a.row_nnz(r));
+  EXPECT_EQ(max_deg, 7);  // self + 6 face neighbours
+}
+
+TEST(Generators, Lattice4dIsRegular) {
+  const Csr a = gen_lattice4d(3, 3, 3, 3);
+  a.validate();
+  EXPECT_EQ(a.nrows(), 81);
+  // Periodic 4D torus: every vertex has self + 8 neighbours (n>=3 so all
+  // neighbours are distinct).
+  for (index_t r = 0; r < a.nrows(); ++r) EXPECT_EQ(a.row_nnz(r), 9);
+}
+
+TEST(Generators, TriMeshConnected) {
+  const Csr a = gen_tri_mesh(8, 8, true, 1);
+  a.validate();
+  const Components c = connected_components(a.symmetrized().without_diagonal());
+  EXPECT_EQ(c.count, 1);
+}
+
+TEST(Generators, TriMeshShuffleChangesOrderNotStructure) {
+  const Csr nat = gen_tri_mesh(8, 8, false, 1);
+  const Csr shuf = gen_tri_mesh(8, 8, true, 1);
+  EXPECT_EQ(nat.nnz(), shuf.nnz());
+  EXPECT_GT(shuf.bandwidth(), nat.bandwidth());
+}
+
+TEST(Generators, RoadNetworkSparse) {
+  const Csr a = gen_road_network(500, 3, 2);
+  a.validate();
+  const double avg = static_cast<double>(a.nnz()) / a.nrows();
+  EXPECT_LT(avg, 10.0);
+  EXPECT_GT(avg, 1.5);
+}
+
+TEST(Generators, RmatIsPowerLawish) {
+  const Csr a = gen_rmat(10, 8, 0.57, 0.19, 0.19, 3);
+  a.validate();
+  EXPECT_EQ(a.nrows(), 1024);
+  // Degree skew: max degree should dwarf the average.
+  index_t max_deg = 0;
+  for (index_t r = 0; r < a.nrows(); ++r) max_deg = std::max(max_deg, a.row_nnz(r));
+  const double avg = static_cast<double>(a.nnz()) / a.nrows();
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg);
+}
+
+TEST(Generators, RmatSymmetricWhenAsked) {
+  const Csr a = gen_rmat(7, 6, 0.45, 0.22, 0.22, 4, true);
+  const Csr at = a.transpose();
+  EXPECT_EQ(a.col_idx(), at.col_idx());
+  EXPECT_EQ(a.row_ptr(), at.row_ptr());
+}
+
+TEST(Generators, ErdosRenyiAverageDegree) {
+  const Csr a = gen_erdos_renyi(2000, 10, 5);
+  const double avg = static_cast<double>(a.nnz()) / a.nrows();
+  EXPECT_NEAR(avg, 11.0, 2.0);  // +1 for the diagonal
+}
+
+TEST(Generators, BandedWithinBand) {
+  const index_t bw = 7;
+  const Csr a = gen_banded(100, bw, 0.4, 6);
+  EXPECT_LE(a.bandwidth(), bw);
+  for (index_t r = 0; r < 100; ++r) {
+    // Diagonal always present.
+    auto cols = a.row_cols(r);
+    EXPECT_TRUE(std::find(cols.begin(), cols.end(), r) != cols.end());
+  }
+}
+
+TEST(Generators, BlockDiagHasDenseBlocks) {
+  const Csr a = gen_block_diag(64, 8, 0.0, 7);
+  // Without coupling, each row has exactly 8 entries (its block).
+  for (index_t r = 0; r < 64; ++r) EXPECT_EQ(a.row_nnz(r), 8);
+}
+
+TEST(Generators, KktHasDenseBorder) {
+  const Csr a = gen_kkt(400, 8, 6, 8);
+  EXPECT_EQ(a.nrows(), 408);
+  // Border rows touch many base variables.
+  double border_avg = 0;
+  for (index_t r = 400; r < 408; ++r) border_avg += a.row_nnz(r);
+  border_avg /= 8;
+  double base_avg = 0;
+  for (index_t r = 0; r < 400; ++r) base_avg += a.row_nnz(r);
+  base_avg /= 400;
+  EXPECT_GT(border_avg, 2.0 * base_avg);
+}
+
+TEST(Generators, CitationIsLowerTriangularPlusDiagonal) {
+  const Csr a = gen_citation(300, 4, 9);
+  for (index_t r = 0; r < 300; ++r) {
+    for (index_t c : a.row_cols(r)) EXPECT_LE(c, r);
+  }
+}
+
+TEST(Generators, Deterministic) {
+  const Csr a = gen_rmat(8, 8, 0.5, 0.2, 0.2, 42);
+  const Csr b = gen_rmat(8, 8, 0.5, 0.2, 0.2, 42);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Generators, RandomizeValuesKeepsPattern) {
+  Csr a = gen_grid2d(6, 6, 5);
+  const std::vector<index_t> cols = a.col_idx();
+  randomize_values(a, 11);
+  EXPECT_EQ(a.col_idx(), cols);
+  for (value_t v : a.values()) {
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace cw

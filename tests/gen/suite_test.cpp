@@ -1,0 +1,69 @@
+#include "gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Suite, SpecsNonEmptyAndUnique) {
+  const auto& specs = suite_specs();
+  EXPECT_GE(specs.size(), 25u);
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    EXPECT_FALSE(s.family.empty());
+    EXPECT_FALSE(s.paper_match.empty());
+  }
+}
+
+TEST(Suite, RepresentativeDatasetsExist) {
+  ASSERT_EQ(representative_datasets().size(), 10u);
+  for (const auto& name : representative_datasets())
+    EXPECT_TRUE(has_dataset(name)) << name;
+}
+
+TEST(Suite, TallskinnyDatasetsExist) {
+  ASSERT_EQ(tallskinny_datasets().size(), 10u);
+  for (const auto& name : tallskinny_datasets())
+    EXPECT_TRUE(has_dataset(name)) << name;
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("no-such-matrix", SuiteScale::kSmall), Error);
+  EXPECT_FALSE(has_dataset("no-such-matrix"));
+}
+
+TEST(Suite, AllSmallDatasetsBuildAndValidate) {
+  for (const auto& spec : suite_specs()) {
+    const Csr a = make_dataset(spec.name, SuiteScale::kSmall);
+    a.validate();
+    EXPECT_EQ(a.nrows(), a.ncols()) << spec.name;
+    EXPECT_GT(a.nnz(), 0) << spec.name;
+    EXPECT_GE(a.nrows(), 500) << spec.name << " too small to be interesting";
+  }
+}
+
+TEST(Suite, MediumIsLargerThanSmall) {
+  const Csr s = make_dataset("poi3D", SuiteScale::kSmall);
+  const Csr m = make_dataset("poi3D", SuiteScale::kMedium);
+  EXPECT_GT(m.nnz(), s.nnz());
+}
+
+TEST(Suite, ScaleFromEnvDefaultsToSmall) {
+  // No env mutation here (tests run in parallel); just the default path.
+  EXPECT_STREQ(to_string(SuiteScale::kSmall), "small");
+  EXPECT_STREQ(to_string(SuiteScale::kFull), "full");
+}
+
+TEST(Suite, DatasetsAreDeterministic) {
+  const Csr a = make_dataset("cage12", SuiteScale::kSmall);
+  const Csr b = make_dataset("cage12", SuiteScale::kSmall);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "graph/community.hpp"
+#include "graph/components.hpp"
+#include "graph/peripheral.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+/// Path graph 0-1-2-...-(n-1).
+Csr path_graph(index_t n) {
+  Coo coo(n, n);
+  for (index_t v = 0; v + 1 < n; ++v) {
+    coo.push(v, v + 1, 1.0);
+    coo.push(v + 1, v, 1.0);
+  }
+  return Csr::from_coo(coo);
+}
+
+TEST(Bfs, LevelsOnPath) {
+  const Csr g = path_graph(6);
+  const std::vector<index_t> lv = bfs_levels(g, 0);
+  for (index_t v = 0; v < 6; ++v) EXPECT_EQ(lv[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Coo coo(4, 4);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 0, 1.0);
+  const Csr g = Csr::from_coo(coo);
+  const std::vector<index_t> lv = bfs_levels(g, 0);
+  EXPECT_EQ(lv[2], kInvalidIndex);
+  EXPECT_EQ(lv[3], kInvalidIndex);
+}
+
+TEST(Bfs, OrderVisitsAllReachable) {
+  const Csr g = path_graph(10);
+  const std::vector<index_t> order = bfs_order(g, 3, true);
+  EXPECT_EQ(order.size(), 10u);
+  EXPECT_EQ(order[0], 3);
+}
+
+TEST(Bfs, DegreeSortedTieBreak) {
+  // Star with one extra chain: neighbours of the centre should be visited
+  // lowest-degree first.
+  Coo coo(5, 5);
+  auto edge = [&](index_t a, index_t b) {
+    coo.push(a, b, 1.0);
+    coo.push(b, a, 1.0);
+  };
+  edge(0, 1);
+  edge(0, 2);
+  edge(2, 3);  // vertex 2 has degree 2, vertices 1 has degree 1
+  edge(3, 4);
+  const Csr g = Csr::from_coo(coo);
+  const std::vector<index_t> order = bfs_order(g, 0, true);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[1], 1);  // degree 1 before degree 2
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Bfs, FrontierInfoEccentricity) {
+  const Csr g = path_graph(7);
+  const BfsFrontierInfo info = bfs_frontier_info(g, 0);
+  EXPECT_EQ(info.eccentricity, 6);
+  ASSERT_EQ(info.last_level.size(), 1u);
+  EXPECT_EQ(info.last_level[0], 6);
+  EXPECT_EQ(info.visited, 7);
+}
+
+TEST(Components, SingleComponent) {
+  const Csr g = path_graph(5);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(c.sizes[0], 5);
+}
+
+TEST(Components, MultipleComponents) {
+  Coo coo(6, 6);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 0, 1.0);
+  coo.push(2, 3, 1.0);
+  coo.push(3, 2, 1.0);
+  // 4, 5 isolated
+  const Csr g = Csr::from_coo(coo);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_NE(c.comp[0], c.comp[2]);
+}
+
+TEST(Components, GiantDetection) {
+  Coo coo(7, 7);
+  for (index_t v = 0; v < 4; ++v) {
+    coo.push(v, (v + 1) % 5, 1.0);
+    coo.push((v + 1) % 5, v, 1.0);
+  }
+  const Csr g = Csr::from_coo(coo);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.sizes[c.giant()], 5);
+}
+
+TEST(Peripheral, EndOfPathIsPeripheral) {
+  const Csr g = path_graph(9);
+  const index_t p = pseudo_peripheral_node(g, 4);
+  EXPECT_TRUE(p == 0 || p == 8) << "got " << p;
+}
+
+TEST(Community, PathAggregatesNeighbours) {
+  const Csr g = path_graph(8).pattern_ones();
+  std::vector<index_t> volume(8, 0);
+  for (index_t v = 0; v < 8; ++v) volume[static_cast<std::size_t>(v)] = g.row_nnz(v);
+  const AggregationLevel agg = aggregate_communities(g, volume);
+  EXPECT_LT(agg.num_communities, 8);
+  EXPECT_GE(agg.num_communities, 1);
+  EXPECT_EQ(agg.coarse.nrows(), agg.num_communities);
+}
+
+TEST(Community, TwoCliquesSeparate) {
+  // Two 4-cliques joined by one edge: aggregation should keep them apart.
+  Coo coo(8, 8);
+  auto edge = [&](index_t a, index_t b) {
+    coo.push(a, b, 1.0);
+    coo.push(b, a, 1.0);
+  };
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = i + 1; j < 4; ++j) edge(i, j);
+  for (index_t i = 4; i < 8; ++i)
+    for (index_t j = i + 1; j < 8; ++j) edge(i, j);
+  edge(3, 4);
+  const Csr g = Csr::from_coo(coo);
+  std::vector<index_t> volume(8);
+  for (index_t v = 0; v < 8; ++v) volume[static_cast<std::size_t>(v)] = g.row_nnz(v);
+  const AggregationLevel agg = aggregate_communities(g, volume);
+  // No vertex from the first clique should share a community with one from
+  // the second (except possibly the bridge endpoints; allow the bridge).
+  int cross = 0;
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 4; j < 8; ++j)
+      if (agg.community[static_cast<std::size_t>(i)] ==
+          agg.community[static_cast<std::size_t>(j)])
+        ++cross;
+  EXPECT_LE(cross, 4);
+}
+
+TEST(Community, ModularityOfGoodSplitIsPositive) {
+  Coo coo(8, 8);
+  auto edge = [&](index_t a, index_t b) {
+    coo.push(a, b, 1.0);
+    coo.push(b, a, 1.0);
+  };
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = i + 1; j < 4; ++j) edge(i, j);
+  for (index_t i = 4; i < 8; ++i)
+    for (index_t j = i + 1; j < 8; ++j) edge(i, j);
+  edge(0, 7);
+  const Csr g = Csr::from_coo(coo);
+  std::vector<index_t> split(8, 0);
+  for (index_t v = 4; v < 8; ++v) split[static_cast<std::size_t>(v)] = 1;
+  std::vector<index_t> trivial(8, 0);
+  EXPECT_GT(modularity(g, split), modularity(g, trivial));
+}
+
+}  // namespace
+}  // namespace cw

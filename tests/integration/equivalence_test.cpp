@@ -1,0 +1,93 @@
+// Cross-module equivalence sweep: for every (dataset family × reordering ×
+// clustering scheme), the preprocessed SpGEMM must produce exactly the
+// permuted result of the baseline row-wise SpGEMM. This is the repository's
+// strongest end-to-end invariant — it exercises generators, reorderings,
+// partitioners, clustering, CSR_Cluster, and both kernels together.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+Csr small_matrix(const std::string& family) {
+  if (family == "grid") return gen_grid2d(10, 10, 5);
+  if (family == "mesh") return gen_tri_mesh(9, 9, true, 21);
+  if (family == "power") return gen_rmat(7, 6, 0.55, 0.2, 0.15, 22);
+  if (family == "block") return gen_block_diag(80, 8, 2.0, 23);
+  if (family == "road") return gen_road_network(120, 3, 24);
+  return test::random_csr(90, 90, 0.06, 25);
+}
+
+class EquivalenceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, ReorderAlgo, ClusterScheme>> {};
+
+TEST_P(EquivalenceSweep, PipelineEqualsPermutedBaseline) {
+  const auto& [family, algo, scheme] = GetParam();
+  const Csr a = small_matrix(family);
+  const Csr a2 = spgemm(a, a);
+
+  PipelineOptions opt;
+  opt.reorder = algo;
+  opt.scheme = scheme;
+  opt.fixed_length = 4;
+  opt.hierarchical_opt.col_cap = 0;
+  Pipeline p(a, opt);
+
+  const Csr got = p.multiply_square();
+  const Csr expected = a2.permute_symmetric(p.order());
+  EXPECT_TRUE(got.approx_equal(expected, 1e-9))
+      << family << " + " << to_string(algo) << " + " << to_string(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceSweep,
+    ::testing::Combine(
+        ::testing::Values("grid", "mesh", "power", "block", "road"),
+        ::testing::Values(ReorderAlgo::kOriginal, ReorderAlgo::kRandom,
+                          ReorderAlgo::kRCM, ReorderAlgo::kGP,
+                          ReorderAlgo::kHP, ReorderAlgo::kDegree),
+        ::testing::Values(ClusterScheme::kNone, ClusterScheme::kFixed,
+                          ClusterScheme::kVariable,
+                          ClusterScheme::kHierarchical)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             to_string(std::get<1>(info.param)) + "_" +
+             [&] {
+               switch (std::get<2>(info.param)) {
+                 case ClusterScheme::kNone: return "rowwise";
+                 case ClusterScheme::kFixed: return "fixed";
+                 case ClusterScheme::kVariable: return "variable";
+                 case ClusterScheme::kHierarchical: return "hier";
+               }
+               return "x";
+             }();
+    });
+
+// The remaining reorderings are slower (AMD/ND/SlashBurn/Rabbit/Gray); test
+// them on one family each to keep runtime in check.
+class EquivalenceSlowReorder : public ::testing::TestWithParam<ReorderAlgo> {};
+
+TEST_P(EquivalenceSlowReorder, PipelineEqualsPermutedBaseline) {
+  const Csr a = small_matrix("mesh");
+  const Csr a2 = spgemm(a, a);
+  PipelineOptions opt;
+  opt.reorder = GetParam();
+  opt.scheme = ClusterScheme::kVariable;
+  Pipeline p(a, opt);
+  EXPECT_TRUE(p.multiply_square().approx_equal(
+      a2.permute_symmetric(p.order()), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(SlowAlgos, EquivalenceSlowReorder,
+                         ::testing::Values(ReorderAlgo::kAMD, ReorderAlgo::kND,
+                                           ReorderAlgo::kSlashBurn,
+                                           ReorderAlgo::kRabbit,
+                                           ReorderAlgo::kGray),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,99 @@
+// End-to-end workload tests: the two evaluation workloads of §4 (A² and
+// square × tall-skinny BC frontiers) run through the full pipeline and are
+// checked against the plain row-wise baseline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/frontier.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Workload, TallSkinnyFrontierSeriesMatchesBaseline) {
+  const Csr g = gen_tri_mesh(10, 10, true, 31);
+  FrontierOptions fopt;
+  fopt.batch = 8;
+  fopt.num_frontiers = 4;
+  const std::vector<Csr> frontiers = bc_frontiers(g, fopt);
+
+  PipelineOptions opt;
+  opt.scheme = ClusterScheme::kHierarchical;
+  Pipeline p(g, opt);
+
+  for (std::size_t i = 0; i < frontiers.size(); ++i) {
+    const Csr baseline = spgemm(g, frontiers[i]);
+    const Csr got = p.unpermute_rows(p.multiply(frontiers[i]));
+    EXPECT_TRUE(got.approx_equal(baseline, 1e-9)) << "frontier " << i;
+  }
+}
+
+TEST(Workload, PreprocessOnceMultiplyMany) {
+  // The amortization scenario: one preprocessing, many products — results
+  // must stay exact across invocations (accumulator state is per-call).
+  const Csr g = gen_erdos_renyi(300, 8, 32);
+  PipelineOptions opt;
+  opt.scheme = ClusterScheme::kVariable;
+  opt.reorder = ReorderAlgo::kRCM;
+  Pipeline p(g, opt);
+  const Csr first = p.multiply_square();
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(p.multiply_square() == first);
+  }
+}
+
+TEST(Workload, SuiteDatasetThroughFullPipeline) {
+  // One real suite dataset end-to-end (small but not toy).
+  const Csr a = make_dataset("conf5", SuiteScale::kSmall);
+  PipelineOptions opt;
+  opt.scheme = ClusterScheme::kHierarchical;
+  Pipeline p(a, opt);
+  const Csr got = p.multiply_square();
+  const Csr expected = spgemm(a, a).permute_symmetric(p.order());
+  EXPECT_TRUE(got.approx_equal(expected, 1e-9));
+  // Preprocessing must be bounded relative to one SpGEMM at this scale —
+  // generous bound, just catching pathological blowups.
+  EXPECT_LT(p.stats().preprocess_seconds(), 120.0);
+}
+
+TEST(Workload, HierarchicalClusterQualityOnBlockMatrix) {
+  // On a matrix of identical scattered rows, hierarchical clustering should
+  // produce substantially fewer clusters than rows (i.e., it really merges).
+  Coo coo(96, 96);
+  Rng rng(5);
+  // 12 groups of 8 rows sharing a pattern, interleaved by stride 12.
+  for (index_t g = 0; g < 12; ++g) {
+    for (index_t m = 0; m < 8; ++m) {
+      const index_t r = m * 12 + g;
+      for (index_t c = 0; c < 6; ++c) coo.push(r, g * 8 + c, 1.0);
+    }
+  }
+  const Csr a = Csr::from_coo(coo);
+  HierarchicalOptions opt;
+  opt.col_cap = 0;
+  const HierarchicalResult h = hierarchical_clustering(a, opt);
+  EXPECT_LE(h.clustering.num_clusters(), 24)
+      << "expected ~12 clusters of 8 identical rows";
+  // And the clustered format should need far fewer column entries than CSR.
+  const Csr ap = a.permute_symmetric(h.order);
+  const CsrCluster cc = CsrCluster::build(ap, h.clustering);
+  EXPECT_LT(cc.col_idx().size(), static_cast<std::size_t>(a.nnz()) / 4);
+}
+
+TEST(Workload, MemoryRatioReportedForAllSchemes) {
+  const Csr a = make_dataset("pdb1", SuiteScale::kSmall);
+  for (ClusterScheme s : {ClusterScheme::kFixed, ClusterScheme::kVariable,
+                          ClusterScheme::kHierarchical}) {
+    PipelineOptions opt;
+    opt.scheme = s;
+    opt.fixed_length = 8;
+    Pipeline p(a, opt);
+    EXPECT_GT(p.stats().memory_ratio(), 0.05) << to_string(s);
+    EXPECT_LT(p.stats().memory_ratio(), 10.0) << to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,67 @@
+#include "matrix/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Coo, PushAndCounts) {
+  Coo coo(3, 4);
+  coo.push(0, 1, 1.0);
+  coo.push(2, 3, 2.0);
+  EXPECT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.nrows(), 3);
+  EXPECT_EQ(coo.ncols(), 4);
+}
+
+TEST(Coo, SortOrdersByRowThenCol) {
+  Coo coo(3, 3);
+  coo.push(2, 0, 1.0);
+  coo.push(0, 2, 2.0);
+  coo.push(0, 1, 3.0);
+  coo.sort();
+  EXPECT_EQ(coo.rows(), (std::vector<index_t>{0, 0, 2}));
+  EXPECT_EQ(coo.cols(), (std::vector<index_t>{1, 2, 0}));
+  EXPECT_EQ(coo.values(), (std::vector<value_t>{3.0, 2.0, 1.0}));
+}
+
+TEST(Coo, SumDuplicatesAddsValues) {
+  Coo coo(2, 2);
+  coo.push(0, 0, 1.0);
+  coo.push(0, 0, 2.5);
+  coo.push(1, 1, 1.0);
+  coo.sum_duplicates();
+  EXPECT_EQ(coo.nnz(), 2);
+  EXPECT_DOUBLE_EQ(coo.values()[0], 3.5);
+}
+
+TEST(Coo, SymmetrizeMirrorsOffDiagonal) {
+  Coo coo(3, 3);
+  coo.push(0, 1, 2.0);
+  coo.push(2, 2, 1.0);
+  coo.symmetrize();
+  const Csr a = Csr::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 3);  // (0,1), (1,0), (2,2)
+  EXPECT_EQ(a.row_cols(1).size(), 1u);
+  EXPECT_EQ(a.row_cols(1)[0], 0);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 2.0);
+}
+
+TEST(Coo, SymmetrizeRequiresSquare) {
+  Coo coo(2, 3);
+  EXPECT_THROW(coo.symmetrize(), Error);
+}
+
+TEST(Coo, EmptyRoundTrip) {
+  Coo coo(4, 4);
+  const Csr a = Csr::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.nrows(), 4);
+  a.validate();
+}
+
+}  // namespace
+}  // namespace cw

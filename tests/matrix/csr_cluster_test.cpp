@@ -1,0 +1,155 @@
+#include "matrix/csr_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Clustering, FromSizes) {
+  const Clustering c = Clustering::from_sizes({3, 2, 1});
+  EXPECT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.nrows(), 6);
+  EXPECT_EQ(c.row_start(0), 0);
+  EXPECT_EQ(c.row_start(1), 3);
+  EXPECT_EQ(c.size(2), 1);
+  EXPECT_EQ(c.max_size(), 3);
+  c.validate(6);
+}
+
+TEST(Clustering, Singletons) {
+  const Clustering c = Clustering::singletons(4);
+  EXPECT_EQ(c.num_clusters(), 4);
+  EXPECT_EQ(c.max_size(), 1);
+}
+
+TEST(Clustering, FixedWithRemainder) {
+  const Clustering c = Clustering::fixed(7, 3);
+  EXPECT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.size(0), 3);
+  EXPECT_EQ(c.size(2), 1);
+  c.validate(7);
+}
+
+TEST(Clustering, FixedExact) {
+  const Clustering c = Clustering::fixed(6, 2);
+  EXPECT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.max_size(), 2);
+}
+
+TEST(Clustering, ValidateRejectsWrongTotal) {
+  const Clustering c = Clustering::from_sizes({2, 2});
+  EXPECT_THROW(c.validate(5), Error);
+}
+
+TEST(Clustering, RejectsEmptyCluster) {
+  EXPECT_THROW(Clustering::from_sizes({2, 0, 1}), Error);
+}
+
+TEST(CsrCluster, BuildFigure5FixedLength) {
+  // Fig. 6(a): fixed-length clusters of 3 rows on the Fig. 5 matrix.
+  const Csr a = test::paper_figure5();
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(6, 3));
+  cc.validate();
+  EXPECT_EQ(cc.num_clusters(), 2);
+  EXPECT_EQ(cc.nnz(), 17);
+  // Cluster 0 (rows {0,1,2} with cols {0,1,2},{0,1,3},{1,2,4}):
+  // distinct columns {0,1,2,3,4}.
+  EXPECT_EQ(cc.cluster_ncols(0), 5);
+  // Value slots = distinct cols × cluster size.
+  EXPECT_EQ(cc.value_ptr()[1] - cc.value_ptr()[0], 5 * 3);
+}
+
+TEST(CsrCluster, RoundTripExact) {
+  const Csr a = test::paper_figure5();
+  for (index_t k : {1, 2, 3, 4, 6}) {
+    const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(6, k));
+    EXPECT_TRUE(cc.to_csr() == a) << "k=" << k;
+  }
+}
+
+TEST(CsrCluster, RoundTripRandomMatrices) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Csr a = test::random_csr(50, 40, 0.1, seed);
+    const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(50, 8));
+    cc.validate();
+    EXPECT_TRUE(cc.to_csr() == a) << "seed=" << seed;
+  }
+}
+
+TEST(CsrCluster, VariableSizesRoundTrip) {
+  const Csr a = test::random_csr(20, 20, 0.2, 9);
+  const Clustering cl = Clustering::from_sizes({1, 4, 2, 8, 3, 2});
+  const CsrCluster cc = CsrCluster::build(a, cl);
+  cc.validate();
+  EXPECT_TRUE(cc.to_csr() == a);
+  EXPECT_EQ(cc.num_clusters(), 6);
+}
+
+TEST(CsrCluster, SingletonClusteringMatchesCsr) {
+  const Csr a = test::random_csr(30, 30, 0.15, 11);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::singletons(30));
+  // With singleton clusters there is no padding at all.
+  EXPECT_EQ(cc.value_slots(), a.nnz());
+  EXPECT_TRUE(cc.to_csr() == a);
+}
+
+TEST(CsrCluster, MasksAreExact) {
+  const Csr a = test::paper_figure5();
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(6, 3));
+  // Column 3 of cluster 0 is owned only by row 1 (local bit 1).
+  // Find it in the cluster's column list.
+  bool found = false;
+  for (offset_t t = cc.cluster_ptr()[0]; t < cc.cluster_ptr()[1]; ++t) {
+    if (cc.col_idx()[static_cast<std::size_t>(t)] == 3) {
+      EXPECT_EQ(cc.row_mask()[static_cast<std::size_t>(t)], 0b010u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CsrCluster, PaddingCountsAgainstMemory) {
+  // Two rows with disjoint patterns: clustering them doubles value slots.
+  Coo coo(2, 4);
+  coo.push(0, 0, 1.0);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 2, 1.0);
+  coo.push(1, 3, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(2, 2));
+  EXPECT_EQ(cc.value_slots(), 8);  // 4 distinct cols × 2 rows
+  EXPECT_EQ(cc.nnz(), 4);
+}
+
+TEST(CsrCluster, SharedColumnsSaveMemory) {
+  // Identical rows: a cluster stores each column id once instead of k times,
+  // so at any non-toy size CSR_Cluster beats CSR (Fig. 11's "below 1.0"
+  // cases).
+  Coo simple(64, 16);
+  for (index_t r = 0; r < 64; ++r)
+    for (index_t c = 0; c < 16; ++c) simple.push(r, c, 1.0);
+  const Csr a = Csr::from_coo(simple);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(64, 8));
+  EXPECT_EQ(cc.cluster_ncols(0), 16);
+  EXPECT_EQ(cc.value_slots(), a.nnz());  // no padding
+  EXPECT_LT(cc.memory_bytes(), a.memory_bytes());
+}
+
+TEST(CsrCluster, RejectsOversizeCluster) {
+  const Csr a = test::random_csr(70, 70, 0.05, 3);
+  EXPECT_THROW(CsrCluster::build(a, Clustering::from_sizes({65, 5})), Error);
+}
+
+TEST(CsrCluster, EmptyMatrix) {
+  Coo coo(4, 4);
+  const Csr a = Csr::from_coo(coo);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(4, 2));
+  EXPECT_EQ(cc.nnz(), 0);
+  EXPECT_TRUE(cc.to_csr() == a);
+}
+
+}  // namespace
+}  // namespace cw

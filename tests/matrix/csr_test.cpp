@@ -1,0 +1,174 @@
+#include "matrix/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "matrix/dense.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Csr, FromCooMatchesFigure4) {
+  // The paper's Fig. 4 CSR encoding of the Fig. 1 matrix.
+  const Csr a = test::paper_figure1();
+  EXPECT_EQ(a.nnz(), 17);
+  const std::vector<offset_t> expected_ptr = {0, 3, 6, 9, 12, 15, 17};
+  EXPECT_EQ(a.row_ptr(), expected_ptr);
+  const std::vector<index_t> expected_cols = {0, 1, 2, 1, 2, 5, 0, 1, 5,
+                                              3, 4, 5, 2, 4, 5, 0, 3};
+  EXPECT_EQ(a.col_idx(), expected_cols);
+}
+
+TEST(Csr, Identity) {
+  const Csr id = Csr::identity(4);
+  EXPECT_EQ(id.nnz(), 4);
+  for (index_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(id.row_nnz(r), 1);
+    EXPECT_EQ(id.row_cols(r)[0], r);
+    EXPECT_DOUBLE_EQ(id.row_vals(r)[0], 1.0);
+  }
+}
+
+TEST(Csr, CtorSortsUnsortedRows) {
+  std::vector<offset_t> ptr = {0, 3};
+  std::vector<index_t> cols = {2, 0, 1};
+  std::vector<value_t> vals = {2.0, 0.5, 1.0};
+  const Csr a(1, 3, std::move(ptr), std::move(cols), std::move(vals));
+  EXPECT_EQ(a.col_idx(), (std::vector<index_t>{0, 1, 2}));
+  EXPECT_EQ(a.values(), (std::vector<value_t>{0.5, 1.0, 2.0}));
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const Csr a = test::random_csr(20, 31, 0.15, 99);
+  const Csr att = a.transpose().transpose();
+  EXPECT_TRUE(a == att);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  const Csr a = test::random_csr(13, 7, 0.3, 5);
+  const Csr at = a.transpose();
+  EXPECT_EQ(at.nrows(), 7);
+  EXPECT_EQ(at.ncols(), 13);
+  const Dense da = Dense::from_csr(a);
+  const Dense dat = Dense::from_csr(at);
+  for (index_t r = 0; r < 13; ++r)
+    for (index_t c = 0; c < 7; ++c)
+      EXPECT_DOUBLE_EQ(da.at(r, c), dat.at(c, r));
+}
+
+TEST(Csr, PatternOnes) {
+  const Csr a = test::random_csr(10, 10, 0.2, 3);
+  const Csr p = a.pattern_ones();
+  EXPECT_EQ(p.col_idx(), a.col_idx());
+  for (value_t v : p.values()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Csr, PermuteRowsReordersOnly) {
+  const Csr a = test::paper_figure1();
+  const Permutation order = {5, 4, 3, 2, 1, 0};
+  const Csr p = a.permute_rows(order);
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(std::vector<index_t>(p.row_cols(i).begin(), p.row_cols(i).end()),
+              std::vector<index_t>(a.row_cols(5 - i).begin(),
+                                   a.row_cols(5 - i).end()));
+  }
+}
+
+TEST(Csr, PermuteSymmetricPreservesStructureUpToRelabeling) {
+  const Csr a = test::random_csr(15, 15, 0.2, 7);
+  const Permutation order = {14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const Csr p = a.permute_symmetric(order);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  // Entry (i, j) of A appears at (inv[i], inv[j]) in P·A·Pᵀ.
+  const Permutation inv = invert_permutation(order);
+  const Dense da = Dense::from_csr(a);
+  const Dense dp = Dense::from_csr(p);
+  for (index_t i = 0; i < 15; ++i)
+    for (index_t j = 0; j < 15; ++j)
+      EXPECT_DOUBLE_EQ(da.at(i, j), dp.at(inv[i], inv[j]));
+}
+
+TEST(Csr, PermuteIdentityIsNoop) {
+  const Csr a = test::random_csr(12, 12, 0.25, 8);
+  Permutation id(12);
+  for (index_t i = 0; i < 12; ++i) id[static_cast<std::size_t>(i)] = i;
+  EXPECT_TRUE(a.permute_symmetric(id) == a);
+  EXPECT_TRUE(a.permute_rows(id) == a);
+}
+
+TEST(Csr, PermuteRejectsInvalid) {
+  const Csr a = test::random_csr(5, 5, 0.3, 2);
+  EXPECT_THROW(a.permute_rows({0, 1, 2, 3, 3}), Error);
+  EXPECT_THROW(a.permute_symmetric({0, 1, 2}), Error);
+}
+
+TEST(Csr, InvertPermutation) {
+  const Permutation order = {2, 0, 3, 1};
+  const Permutation inv = invert_permutation(order);
+  EXPECT_EQ(inv, (Permutation{1, 3, 0, 2}));
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(order[inv[i]], i);
+}
+
+TEST(Csr, IsPermutation) {
+  EXPECT_TRUE(is_permutation({1, 0, 2}, 3));
+  EXPECT_FALSE(is_permutation({1, 1, 2}, 3));
+  EXPECT_FALSE(is_permutation({0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));
+}
+
+TEST(Csr, SymmetrizedContainsBothDirections) {
+  Coo coo(3, 3);
+  coo.push(0, 2, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  const Csr s = a.symmetrized();
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_EQ(s.row_cols(2)[0], 0);
+}
+
+TEST(Csr, WithoutDiagonal) {
+  const Csr a = Csr::identity(4);
+  EXPECT_EQ(a.without_diagonal().nnz(), 0);
+  const Csr b = test::paper_figure1();
+  const Csr nd = b.without_diagonal();
+  for (index_t r = 0; r < nd.nrows(); ++r)
+    for (index_t c : nd.row_cols(r)) EXPECT_NE(c, r);
+}
+
+TEST(Csr, Bandwidth) {
+  const Csr id = Csr::identity(5);
+  EXPECT_EQ(id.bandwidth(), 0);
+  EXPECT_EQ(test::paper_figure1().bandwidth(), 5);  // entry (5,0)
+}
+
+TEST(Csr, MemoryBytesPositive) {
+  const Csr a = test::random_csr(10, 10, 0.2, 1);
+  EXPECT_GT(a.memory_bytes(),
+            static_cast<std::size_t>(a.nnz()) * (sizeof(index_t) + sizeof(value_t)));
+}
+
+TEST(Csr, ApproxEqualTolerance) {
+  Csr a = test::random_csr(8, 8, 0.3, 4);
+  Csr b = a;
+  b.values()[0] += 1e-12;
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  b.values()[0] += 1.0;
+  EXPECT_FALSE(a.approx_equal(b, 1e-9));
+}
+
+TEST(Csr, ValidateCatchesBadColumn) {
+  std::vector<offset_t> ptr = {0, 1};
+  std::vector<index_t> cols = {0};
+  std::vector<value_t> vals = {1.0};
+  Csr a(1, 1, std::move(ptr), std::move(cols), std::move(vals));
+  a.validate();  // fine
+}
+
+TEST(Csr, RowDegrees) {
+  const Csr a = test::paper_figure1();
+  const std::vector<index_t> deg = a.row_degrees();
+  EXPECT_EQ(deg, (std::vector<index_t>{3, 3, 3, 3, 3, 2}));
+}
+
+}  // namespace
+}  // namespace cw

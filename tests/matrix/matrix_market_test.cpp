@@ -1,0 +1,97 @@
+#include "matrix/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  const Csr a = test::random_csr(12, 9, 0.2, 77);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Csr b = read_matrix_market(ss);
+  EXPECT_TRUE(a.approx_equal(b, 1e-12));
+}
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "2 3 2\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.nrows(), 2);
+  EXPECT_EQ(a.ncols(), 3);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], -2.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 3);  // (1,0), (0,1), (2,2)
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 4.0);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(1)[0], 3.0);   // (1,0)
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], -3.0);  // (0,1) mirrored negated
+}
+
+TEST(MatrixMarket, ReadsPattern) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_vals(0)[0], 1.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBounds) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncated) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,130 @@
+#include "partition/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Hypergraph, ColumnNetModel) {
+  const Csr a = test::paper_figure1();
+  const Hypergraph h = Hypergraph::column_net(a);
+  h.validate();
+  EXPECT_EQ(h.nv, 6);
+  EXPECT_EQ(h.nn, 6);
+  EXPECT_EQ(h.pins(), 17);
+  // Net 0 (column 0) connects rows {0, 2, 5}.
+  std::set<index_t> net0(h.npins.begin() + h.nptr[0],
+                         h.npins.begin() + h.nptr[1]);
+  EXPECT_EQ(net0, (std::set<index_t>{0, 2, 5}));
+}
+
+TEST(Hypergraph, CutNetMetric) {
+  const Csr a = test::paper_figure1();
+  const Hypergraph h = Hypergraph::column_net(a);
+  // All on one side: no cut.
+  std::vector<std::uint8_t> side(6, 0);
+  EXPECT_EQ(h.cut(side), 0);
+  // Rows {0,1,2} vs {3,4,5}: columns with pins on both sides are cut.
+  for (index_t v = 3; v < 6; ++v) side[static_cast<std::size_t>(v)] = 1;
+  // col0: rows {0,2,5} → cut; col1: {0,1,2} → uncut; col2: {0,1,4} → cut;
+  // col3: {3,5} → uncut(side1 only)? rows 3,5 both side1 → uncut;
+  // col4: {3,4} → uncut; col5: {1,2,3,4} → cut. Total = 3.
+  EXPECT_EQ(h.cut(side), 3);
+}
+
+TEST(HpMatching, ValidMatching) {
+  const Csr a = gen_grid2d(8, 8, 5);
+  const Hypergraph h = Hypergraph::column_net(a);
+  HpOptions opt;
+  Rng rng(1);
+  const std::vector<index_t> match = hp_matching(h, opt, rng);
+  for (index_t v = 0; v < h.nv; ++v) {
+    const index_t u = match[static_cast<std::size_t>(v)];
+    ASSERT_NE(u, kInvalidIndex);
+    EXPECT_EQ(match[static_cast<std::size_t>(u)], v);
+  }
+}
+
+TEST(HpContract, ReducesAndConservesWeight) {
+  const Csr a = gen_grid2d(8, 8, 5);
+  const Hypergraph h = Hypergraph::column_net(a);
+  HpOptions opt;
+  Rng rng(2);
+  const std::vector<index_t> match = hp_matching(h, opt, rng);
+  std::vector<index_t> coarse_of;
+  const Hypergraph c = hp_contract(h, match, coarse_of);
+  c.validate();
+  EXPECT_LT(c.nv, h.nv);
+  EXPECT_EQ(c.total_vw(), h.total_vw());
+  // Every surviving net has >= 2 pins.
+  for (index_t net = 0; net < c.nn; ++net)
+    EXPECT_GE(c.nptr[static_cast<std::size_t>(net) + 1] -
+                  c.nptr[static_cast<std::size_t>(net)],
+              2);
+}
+
+TEST(HpFm, DoesNotWorsenCut) {
+  const Csr a = gen_grid2d(10, 10, 5);
+  const Hypergraph h = Hypergraph::column_net(a);
+  HpOptions opt;
+  Rng rng(3);
+  // Random start.
+  HpBisection b;
+  b.side.assign(static_cast<std::size_t>(h.nv), 0);
+  for (index_t v = 0; v < h.nv; ++v)
+    b.side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(rng.bounded(2));
+  b.weight0 = 0;
+  for (index_t v = 0; v < h.nv; ++v)
+    if (!b.side[static_cast<std::size_t>(v)]) b.weight0 += 1;
+  b.weight1 = h.total_vw() - b.weight0;
+  b.cut = h.cut(b.side);
+  const offset_t before = b.cut;
+  hp_fm_refine(h, b, opt);
+  EXPECT_LE(b.cut, before);
+  EXPECT_EQ(b.cut, h.cut(b.side));
+}
+
+TEST(HpBisect, MultilevelBeatsRandom) {
+  const Csr a = gen_grid2d(12, 12, 5);
+  const Hypergraph h = Hypergraph::column_net(a);
+  HpOptions opt;
+  Rng rng(4);
+  const HpBisection b = hp_multilevel_bisect(h, opt, rng);
+  // Random bisection of a 12×12 grid column-net cuts ~half the nets (~72);
+  // multilevel should do far better.
+  EXPECT_LT(b.cut, 60);
+  const double bal =
+      static_cast<double>(b.weight0) / static_cast<double>(h.total_vw());
+  EXPECT_NEAR(bal, 0.5, 0.15);
+}
+
+TEST(HpKway, CoversAllParts) {
+  const Csr a = gen_grid2d(12, 12, 5);
+  const Hypergraph h = Hypergraph::column_net(a);
+  const std::vector<index_t> part = hp_kway_partition(h, 4, 99);
+  std::set<index_t> used(part.begin(), part.end());
+  EXPECT_EQ(used.size(), 4u);
+  std::vector<index_t> sizes(4, 0);
+  for (index_t p : part) ++sizes[static_cast<std::size_t>(p)];
+  for (index_t s : sizes) EXPECT_GT(s, 10);
+}
+
+TEST(Hypergraph, RebuildVertexIncidenceConsistent) {
+  const Csr a = test::random_csr(20, 15, 0.2, 5);
+  Hypergraph h = Hypergraph::column_net(a);
+  // vnets of v must equal the columns of row v.
+  for (index_t v = 0; v < h.nv; ++v) {
+    std::set<index_t> nets(h.vnets.begin() + h.vptr[static_cast<std::size_t>(v)],
+                           h.vnets.begin() + h.vptr[static_cast<std::size_t>(v) + 1]);
+    auto cols = a.row_cols(v);
+    EXPECT_EQ(nets, std::set<index_t>(cols.begin(), cols.end()));
+  }
+}
+
+}  // namespace
+}  // namespace cw

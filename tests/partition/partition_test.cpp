@@ -1,0 +1,185 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+PGraph grid_graph(index_t nx, index_t ny) {
+  return PGraph::from_csr_pattern(gen_grid2d(nx, ny, 5));
+}
+
+TEST(PGraph, FromCsrPatternDropsDiagonalAndSymmetrizes) {
+  Coo coo(3, 3);
+  coo.push(0, 0, 1.0);
+  coo.push(0, 2, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  const PGraph g = PGraph::from_csr_pattern(a);
+  g.validate();
+  EXPECT_EQ(g.nv, 3);
+  EXPECT_EQ(g.ne(), 2);  // (0,2) and (2,0)
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 1);
+}
+
+TEST(PGraph, InducedSubgraph) {
+  const PGraph g = grid_graph(4, 4);
+  std::vector<index_t> global_of;
+  const PGraph sub = g.induced({0, 1, 2, 3}, global_of);  // first grid row
+  sub.validate();
+  EXPECT_EQ(sub.nv, 4);
+  EXPECT_EQ(sub.ne(), 6);  // path of 4 vertices, both directions
+}
+
+TEST(Matching, IsValidMatching) {
+  const PGraph g = grid_graph(8, 8);
+  Rng rng(1);
+  const std::vector<index_t> match = heavy_edge_matching(g, rng);
+  for (index_t v = 0; v < g.nv; ++v) {
+    const index_t u = match[static_cast<std::size_t>(v)];
+    ASSERT_NE(u, kInvalidIndex);
+    EXPECT_EQ(match[static_cast<std::size_t>(u)], v) << "asymmetric match";
+  }
+}
+
+TEST(Matching, ContractHalvesRoughly) {
+  const PGraph g = grid_graph(10, 10);
+  Rng rng(2);
+  const std::vector<index_t> match = heavy_edge_matching(g, rng);
+  std::vector<index_t> coarse_of;
+  const PGraph c = contract(g, match, coarse_of);
+  c.validate();
+  EXPECT_LT(c.nv, g.nv);
+  EXPECT_GE(c.nv, g.nv / 2);
+  // Vertex weight is conserved.
+  EXPECT_EQ(c.total_vw(), g.total_vw());
+}
+
+TEST(Matching, ContractPreservesConnectivityWeight) {
+  // Total edge weight only decreases by contracted edges.
+  const PGraph g = grid_graph(6, 6);
+  Rng rng(3);
+  const std::vector<index_t> match = heavy_edge_matching(g, rng);
+  std::vector<index_t> coarse_of;
+  const PGraph c = contract(g, match, coarse_of);
+  offset_t fine_w = 0, coarse_w = 0;
+  for (index_t w : g.adjw) fine_w += w;
+  for (index_t w : c.adjw) coarse_w += w;
+  EXPECT_LE(coarse_w, fine_w);
+}
+
+TEST(Bisection, GrowIsBalanced) {
+  const PGraph g = grid_graph(12, 12);
+  BisectOptions opt;
+  Rng rng(4);
+  const Bisection b = grow_bisection(g, opt, rng);
+  EXPECT_EQ(b.weight0 + b.weight1, g.total_vw());
+  EXPECT_GT(b.weight0, g.total_vw() / 4);
+  EXPECT_GT(b.weight1, g.total_vw() / 4);
+  EXPECT_EQ(b.cut, g.cut(b.side));
+}
+
+TEST(Bisection, FmDoesNotWorsenCut) {
+  const PGraph g = grid_graph(12, 12);
+  BisectOptions opt;
+  Rng rng(5);
+  Bisection b = grow_bisection(g, opt, rng);
+  const offset_t before = b.cut;
+  fm_refine(g, b, opt);
+  EXPECT_LE(b.cut, before);
+  EXPECT_EQ(b.cut, g.cut(b.side));  // bookkeeping consistent
+}
+
+TEST(Bisection, MultilevelCutIsReasonable) {
+  // A 16×16 grid has a minimum bisection around 16; multilevel+FM should be
+  // well under a random split's expected cut (~240).
+  const PGraph g = grid_graph(16, 16);
+  BisectOptions opt;
+  Rng rng(6);
+  const Bisection b = multilevel_bisect(g, opt, rng);
+  EXPECT_LE(b.cut, 48);
+  const double bal = static_cast<double>(b.weight0) /
+                     static_cast<double>(g.total_vw());
+  EXPECT_NEAR(bal, 0.5, 0.1);
+}
+
+TEST(Bisection, TargetFractionRespected) {
+  const PGraph g = grid_graph(12, 12);
+  BisectOptions opt;
+  opt.target_fraction = 0.25;
+  Rng rng(7);
+  const Bisection b = multilevel_bisect(g, opt, rng);
+  const double frac = static_cast<double>(b.weight0) /
+                      static_cast<double>(g.total_vw());
+  EXPECT_NEAR(frac, 0.25, 0.12);
+}
+
+TEST(Kway, CoversAllParts) {
+  const PGraph g = grid_graph(16, 16);
+  const index_t k = 8;
+  const std::vector<index_t> part = kway_partition(g, k, 42);
+  std::set<index_t> used(part.begin(), part.end());
+  EXPECT_EQ(static_cast<index_t>(used.size()), k);
+  for (index_t p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+}
+
+TEST(Kway, PartsAreBalanced) {
+  const PGraph g = grid_graph(16, 16);
+  const index_t k = 4;
+  const std::vector<index_t> part = kway_partition(g, k, 43);
+  std::vector<index_t> sizes(static_cast<std::size_t>(k), 0);
+  for (index_t p : part) ++sizes[static_cast<std::size_t>(p)];
+  for (index_t s : sizes) {
+    EXPECT_GT(s, 256 / k / 2);
+    EXPECT_LT(s, 256 / k * 2);
+  }
+}
+
+TEST(Kway, KOneIsTrivial) {
+  const PGraph g = grid_graph(5, 5);
+  const std::vector<index_t> part = kway_partition(g, 1, 44);
+  for (index_t p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(Separator, DisconnectsGraph) {
+  const PGraph g = grid_graph(10, 10);
+  const Separator s = vertex_separator(g, 45);
+  EXPECT_FALSE(s.left.empty());
+  EXPECT_FALSE(s.right.empty());
+  EXPECT_EQ(s.left.size() + s.right.size() + s.sep.size(),
+            static_cast<std::size_t>(g.nv));
+  // No edge may connect left and right directly.
+  std::vector<int> side(static_cast<std::size_t>(g.nv), -1);
+  for (index_t v : s.left) side[static_cast<std::size_t>(v)] = 0;
+  for (index_t v : s.right) side[static_cast<std::size_t>(v)] = 1;
+  for (index_t v : s.sep) side[static_cast<std::size_t>(v)] = 2;
+  for (index_t v = 0; v < g.nv; ++v) {
+    for (offset_t kk = g.xadj[v]; kk < g.xadj[v + 1]; ++kk) {
+      const index_t u = g.adj[static_cast<std::size_t>(kk)];
+      if (side[static_cast<std::size_t>(v)] == 0)
+        EXPECT_NE(side[static_cast<std::size_t>(u)], 1)
+            << "edge crosses the separator";
+    }
+  }
+  // Separator on a 10×10 grid should be small.
+  EXPECT_LE(s.sep.size(), 30u);
+}
+
+TEST(Separator, HandlesTinyGraphs) {
+  Coo coo(1, 1);
+  coo.push(0, 0, 1.0);
+  const PGraph g = PGraph::from_csr_pattern(Csr::from_coo(coo));
+  const Separator s = vertex_separator(g, 46);
+  EXPECT_EQ(s.left.size() + s.right.size() + s.sep.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,256 @@
+#include "reorder/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+// --- property sweep: every algorithm must emit a valid permutation on every
+// matrix family. --------------------------------------------------------------
+
+struct ReorderCase {
+  ReorderAlgo algo;
+  const char* family;
+};
+
+Csr family_matrix(const std::string& family) {
+  if (family == "grid") return gen_grid2d(14, 14, 5);
+  if (family == "mesh") return gen_tri_mesh(12, 12, true, 7);
+  if (family == "power") return gen_rmat(8, 8, 0.55, 0.2, 0.15, 8);
+  if (family == "banded") return gen_banded(150, 10, 0.3, 9);
+  if (family == "block") return gen_block_diag(120, 8, 2.0, 10);
+  if (family == "road") return gen_road_network(200, 3, 11);
+  return test::random_csr(100, 100, 0.05, 12);
+}
+
+class ReorderValidity
+    : public ::testing::TestWithParam<std::tuple<ReorderAlgo, const char*>> {};
+
+TEST_P(ReorderValidity, EmitsValidPermutation) {
+  const auto [algo, family] = GetParam();
+  const Csr a = family_matrix(family);
+  const Permutation p = reorder(a, algo);
+  EXPECT_TRUE(is_permutation(p, a.nrows()))
+      << to_string(algo) << " on " << family;
+}
+
+TEST_P(ReorderValidity, PermutedMatrixIsValid) {
+  const auto [algo, family] = GetParam();
+  const Csr a = family_matrix(family);
+  const Csr pa = a.permute_symmetric(reorder(a, algo));
+  pa.validate();
+  EXPECT_EQ(pa.nnz(), a.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, ReorderValidity,
+    ::testing::Combine(
+        ::testing::Values(ReorderAlgo::kOriginal, ReorderAlgo::kRandom,
+                          ReorderAlgo::kRCM, ReorderAlgo::kAMD,
+                          ReorderAlgo::kND, ReorderAlgo::kGP, ReorderAlgo::kHP,
+                          ReorderAlgo::kGray, ReorderAlgo::kRabbit,
+                          ReorderAlgo::kDegree, ReorderAlgo::kSlashBurn),
+        ::testing::Values("grid", "mesh", "power", "banded", "road")),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::get<1>(info.param);
+    });
+
+// --- algorithm-specific behaviour -------------------------------------------
+
+TEST(Reorder, OriginalIsIdentity) {
+  const Csr a = test::random_csr(10, 10, 0.2, 1);
+  const Permutation p = reorder(a, ReorderAlgo::kOriginal);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Reorder, RandomIsSeededDeterministic) {
+  const Csr a = test::random_csr(50, 50, 0.1, 2);
+  ReorderOptions o1, o2;
+  o1.seed = o2.seed = 5;
+  EXPECT_EQ(reorder(a, ReorderAlgo::kRandom, o1),
+            reorder(a, ReorderAlgo::kRandom, o2));
+  o2.seed = 6;
+  EXPECT_NE(reorder(a, ReorderAlgo::kRandom, o1),
+            reorder(a, ReorderAlgo::kRandom, o2));
+}
+
+TEST(Reorder, RcmReducesBandwidthOfShuffledBand) {
+  // A banded matrix whose rows were scrambled: RCM must recover a bandwidth
+  // close to the original band, far below the scrambled one.
+  const Csr band = gen_banded(200, 6, 0.6, 3);
+  const Permutation scramble = reorder(band, ReorderAlgo::kRandom);
+  const Csr shuffled = band.permute_symmetric(scramble);
+  ASSERT_GT(shuffled.bandwidth(), 100);
+  const Csr recovered =
+      shuffled.permute_symmetric(reorder(shuffled, ReorderAlgo::kRCM));
+  EXPECT_LT(recovered.bandwidth(), 40);
+}
+
+TEST(Reorder, DegreeOrdersDescending) {
+  const Csr a = gen_rmat(7, 6, 0.6, 0.15, 0.15, 4);
+  const Csr sym = a.symmetrized();
+  const Permutation p = reorder(a, ReorderAlgo::kDegree);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GE(sym.row_nnz(p[i - 1]), sym.row_nnz(p[i]));
+  }
+}
+
+TEST(Reorder, SlashBurnPutsHubsFirst) {
+  // Star graph: the centre is the unique hub and must come first.
+  Coo coo(20, 20);
+  for (index_t v = 1; v < 20; ++v) {
+    coo.push(0, v, 1.0);
+    coo.push(v, 0, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  const Permutation p = reorder(a, ReorderAlgo::kSlashBurn);
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(Reorder, GrayGroupsSimilarPatterns) {
+  // Rows alternate between two disjoint column blocks; Gray ordering must
+  // separate the two pattern groups.
+  Coo coo(40, 64);
+  for (index_t r = 0; r < 40; ++r) {
+    const index_t base = (r % 2 == 0) ? 0 : 32;
+    for (index_t c = 0; c < 8; ++c) coo.push(r, base + c, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  ReorderOptions opt;
+  opt.gray_dense_threshold = 1000;  // no dense split for this test
+  const Permutation p = gray_order(a, opt);
+  // After ordering, all even-pattern rows must be contiguous.
+  std::vector<int> group;
+  for (index_t v : p) group.push_back(v % 2);
+  int transitions = 0;
+  for (std::size_t i = 1; i < group.size(); ++i)
+    if (group[i] != group[i - 1]) ++transitions;
+  EXPECT_EQ(transitions, 1);
+}
+
+TEST(Reorder, GpGroupsGridBlocks) {
+  // Partition-based ordering of a grid should keep most grid neighbours
+  // within a window much smaller than random order would.
+  const Csr a = gen_grid2d(16, 16, 5);
+  ReorderOptions opt;
+  opt.rows_per_part = 64;
+  const Permutation p = gp_order(a, opt);
+  const Csr pa = a.permute_symmetric(p);
+  // Mean |i-j| distance over edges should be far below n/3 (random ≈ n/3).
+  double dist = 0;
+  offset_t edges = 0;
+  for (index_t r = 0; r < pa.nrows(); ++r) {
+    for (index_t c : pa.row_cols(r)) {
+      dist += std::abs(r - c);
+      ++edges;
+    }
+  }
+  dist /= static_cast<double>(edges);
+  EXPECT_LT(dist, 40.0);
+}
+
+TEST(Reorder, HpGroupsSharedColumns) {
+  const Csr a = gen_block_diag(96, 8, 0.5, 13);
+  ReorderOptions opt;
+  opt.rows_per_part = 16;
+  const Permutation p = hp_order(a, opt);
+  EXPECT_TRUE(is_permutation(p, 96));
+}
+
+TEST(Reorder, AmdPrefersLowDegreeFirst) {
+  // On a star graph, AMD must eliminate leaves before the hub.
+  Coo coo(10, 10);
+  for (index_t v = 1; v < 10; ++v) {
+    coo.push(0, v, 1.0);
+    coo.push(v, 0, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  const Permutation p = reorder(a, ReorderAlgo::kAMD);
+  // The hub must be eliminated after (almost) every leaf — once only one
+  // leaf remains both have degree 1, so either may finish the ordering.
+  const auto hub_pos = static_cast<std::size_t>(
+      std::find(p.begin(), p.end(), 0) - p.begin());
+  EXPECT_GE(hub_pos, p.size() - 2);
+}
+
+TEST(Reorder, NdSeparatorLeavesDisconnectedHalves) {
+  // The vertices ordered last form the top-level separator: removing them
+  // must leave the first-ordered and the middle-ordered vertices in
+  // different components of a path graph.
+  const index_t n = 33;
+  Coo coo(n, n);
+  for (index_t v = 0; v + 1 < n; ++v) {
+    coo.push(v, v + 1, 1.0);
+    coo.push(v + 1, v, 1.0);
+  }
+  const Csr a = Csr::from_coo(coo);
+  ReorderOptions opt;
+  opt.nd_leaf_size = 4;
+  const Permutation p = nd_order(a, opt);
+  EXPECT_TRUE(is_permutation(p, n));
+  // ND should also improve locality strongly over a random shuffle on a
+  // grid: mean |i-j| over edges must be far below the random expectation.
+  const Csr grid = gen_grid2d(12, 12, 5);
+  const Csr pg = grid.permute_symmetric(nd_order(grid, opt));
+  double dist = 0;
+  offset_t edges = 0;
+  for (index_t r = 0; r < pg.nrows(); ++r) {
+    for (index_t c : pg.row_cols(r)) {
+      dist += std::abs(r - c);
+      ++edges;
+    }
+  }
+  EXPECT_LT(dist / static_cast<double>(edges), 30.0);
+}
+
+TEST(Reorder, RejectsNonSquare) {
+  const Csr a = test::random_csr(5, 7, 0.3, 1);
+  EXPECT_THROW(reorder(a, ReorderAlgo::kRCM), Error);
+}
+
+TEST(Reorder, AllAlgosListed) {
+  EXPECT_EQ(all_reorder_algos().size(), 11u);
+  std::set<std::string> names;
+  for (ReorderAlgo algo : all_reorder_algos()) names.insert(to_string(algo));
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(Reorder, HandlesEmptyAndTinyMatrices) {
+  Coo coo(1, 1);
+  coo.push(0, 0, 1.0);
+  const Csr one = Csr::from_coo(coo);
+  for (ReorderAlgo algo : all_reorder_algos()) {
+    const Permutation p = reorder(one, algo);
+    EXPECT_TRUE(is_permutation(p, 1)) << to_string(algo);
+  }
+}
+
+TEST(Reorder, HandlesDisconnectedGraphs) {
+  Coo coo(12, 12);
+  // Two triangles and isolated vertices.
+  auto edge = [&](index_t a, index_t b) {
+    coo.push(a, b, 1.0);
+    coo.push(b, a, 1.0);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(2, 0);
+  edge(7, 8);
+  edge(8, 9);
+  edge(9, 7);
+  const Csr a = Csr::from_coo(coo);
+  for (ReorderAlgo algo : all_reorder_algos()) {
+    EXPECT_TRUE(is_permutation(reorder(a, algo), 12)) << to_string(algo);
+  }
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,127 @@
+#include "spgemm/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "matrix/dense.hpp"
+#include "spgemm/reference.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Spgemm, IdentityTimesAIsA) {
+  const Csr a = test::random_csr(25, 25, 0.15, 21);
+  const Csr id = Csr::identity(25);
+  EXPECT_TRUE(spgemm(id, a).approx_equal(a, 1e-12));
+  EXPECT_TRUE(spgemm(a, id).approx_equal(a, 1e-12));
+}
+
+TEST(Spgemm, MatchesDenseReference) {
+  const Csr a = test::random_csr(17, 23, 0.2, 1);
+  const Csr b = test::random_csr(23, 11, 0.25, 2);
+  const Csr c = spgemm(a, b);
+  const Csr ref = spgemm_reference(a, b);
+  EXPECT_TRUE(c.approx_equal(ref, 1e-10));
+}
+
+TEST(Spgemm, SquareMatchesReference) {
+  const Csr a = test::random_csr(30, 30, 0.12, 5);
+  EXPECT_TRUE(spgemm_square(a).approx_equal(spgemm_reference(a, a), 1e-10));
+}
+
+TEST(Spgemm, PaperExampleSquare) {
+  const Csr a = test::paper_figure1();
+  const Csr c = spgemm(a, a);
+  EXPECT_TRUE(c.approx_equal(spgemm_reference(a, a), 1e-12));
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const Csr a = test::random_csr(4, 5, 0.5, 1);
+  const Csr b = test::random_csr(4, 4, 0.5, 2);
+  EXPECT_THROW(spgemm(a, b), Error);
+}
+
+TEST(Spgemm, EmptyOperands) {
+  Coo empty(10, 10);
+  const Csr z = Csr::from_coo(empty);
+  const Csr a = test::random_csr(10, 10, 0.3, 3);
+  EXPECT_EQ(spgemm(z, a).nnz(), 0);
+  EXPECT_EQ(spgemm(a, z).nnz(), 0);
+}
+
+TEST(Spgemm, SymbolicMatchesNumericNnz) {
+  const Csr a = test::random_csr(40, 35, 0.1, 7);
+  const Csr b = test::random_csr(35, 40, 0.1, 8);
+  const std::vector<offset_t> counts = spgemm_symbolic(a, b);
+  const Csr c = spgemm(a, b);
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(a.nrows()));
+  for (index_t r = 0; r < a.nrows(); ++r)
+    EXPECT_EQ(counts[static_cast<std::size_t>(r)], c.row_nnz(r)) << "row " << r;
+}
+
+TEST(Spgemm, ProductsCount) {
+  // products(A,B) = Σ_{a_ik != 0} nnz(B row k).
+  const Csr a = test::paper_figure1();
+  offset_t expected = 0;
+  for (index_t i = 0; i < a.nrows(); ++i)
+    for (index_t k : a.row_cols(i)) expected += a.row_nnz(k);
+  EXPECT_EQ(spgemm_products(a, a), expected);
+}
+
+TEST(Spgemm, StatsPopulated) {
+  const Csr a = test::random_csr(30, 30, 0.15, 9);
+  SpgemmStats stats;
+  const Csr c = spgemm(a, a, Accumulator::kHash, &stats);
+  EXPECT_EQ(stats.output_nnz, c.nnz());
+  EXPECT_EQ(stats.flops, 2 * spgemm_products(a, a));
+  EXPECT_GT(stats.compression_ratio, 0.0);
+  EXPECT_GE(stats.symbolic_seconds, 0.0);
+  EXPECT_GE(stats.numeric_seconds, 0.0);
+}
+
+class SpgemmAccumulatorTest : public ::testing::TestWithParam<Accumulator> {};
+
+TEST_P(SpgemmAccumulatorTest, AllAccumulatorsAgree) {
+  const Csr a = test::random_csr(28, 31, 0.15, 13);
+  const Csr b = test::random_csr(31, 26, 0.18, 14);
+  const Csr ref = spgemm_reference(a, b);
+  EXPECT_TRUE(spgemm(a, b, GetParam()).approx_equal(ref, 1e-10));
+}
+
+TEST_P(SpgemmAccumulatorTest, SquareAgree) {
+  const Csr a = test::random_csr(33, 33, 0.1, 15);
+  const Csr ref = spgemm_reference(a, a);
+  EXPECT_TRUE(spgemm(a, a, GetParam()).approx_equal(ref, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Accumulators, SpgemmAccumulatorTest,
+                         ::testing::Values(Accumulator::kHash,
+                                           Accumulator::kDense,
+                                           Accumulator::kSort),
+                         [](const auto& info) { return to_string(info.param); });
+
+// Density sweep: the kernel must stay exact from near-empty to near-dense.
+class SpgemmDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpgemmDensityTest, MatchesReferenceAcrossDensity) {
+  const double density = GetParam();
+  const Csr a = test::random_csr(24, 24, density, 31);
+  const Csr b = test::random_csr(24, 24, density, 32);
+  EXPECT_TRUE(spgemm(a, b).approx_equal(spgemm_reference(a, b), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Density, SpgemmDensityTest,
+                         ::testing::Values(0.01, 0.05, 0.15, 0.4, 0.8));
+
+TEST(Spgemm, TallSkinnyShape) {
+  const Csr a = test::random_csr(40, 40, 0.1, 41);
+  const Csr b = test::random_csr(40, 4, 0.2, 42);
+  const Csr c = spgemm(a, b);
+  EXPECT_EQ(c.nrows(), 40);
+  EXPECT_EQ(c.ncols(), 4);
+  EXPECT_TRUE(c.approx_equal(spgemm_reference(a, b), 1e-10));
+}
+
+}  // namespace
+}  // namespace cw

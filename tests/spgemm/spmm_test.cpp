@@ -1,0 +1,103 @@
+#include "spgemm/spmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/clusterwise_spmm.hpp"
+#include "core/clustering_schemes.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+Dense random_dense(index_t nrows, index_t ncols, std::uint64_t seed) {
+  Rng rng(seed);
+  Dense d(nrows, ncols);
+  for (index_t r = 0; r < nrows; ++r)
+    for (index_t c = 0; c < ncols; ++c) d.at(r, c) = rng.uniform() - 0.5;
+  return d;
+}
+
+TEST(Spmm, MatchesDenseReference) {
+  const Csr a = test::random_csr(15, 20, 0.2, 1);
+  const Dense b = random_dense(20, 7, 2);
+  const Dense c = spmm(a, b);
+  const Dense ref = Dense::from_csr(a).multiply(b);
+  EXPECT_TRUE(c.approx_equal(ref, 1e-10));
+}
+
+TEST(Spmm, IdentityIsNoop) {
+  const Dense b = random_dense(10, 4, 3);
+  const Dense c = spmm(Csr::identity(10), b);
+  EXPECT_TRUE(c.approx_equal(b, 1e-12));
+}
+
+TEST(Spmm, DimensionMismatchThrows) {
+  const Csr a = test::random_csr(5, 6, 0.5, 4);
+  const Dense b = random_dense(5, 3, 5);
+  EXPECT_THROW(spmm(a, b), Error);
+}
+
+TEST(ClusterwiseSpmm, MatchesRowwiseSpmm) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Csr a = test::random_csr(40, 40, 0.1, seed);
+    const Dense b = random_dense(40, 8, seed + 10);
+    const Dense ref = spmm(a, b);
+    for (index_t k : {1, 3, 8}) {
+      const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(40, k));
+      EXPECT_TRUE(clusterwise_spmm(cc, b).approx_equal(ref, 1e-9))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(ClusterwiseSpmm, HierarchicalClusteringPath) {
+  const Csr a = test::paper_figure5();
+  HierarchicalOptions opt;
+  opt.col_cap = 0;
+  const HierarchicalResult h = hierarchical_clustering(a, opt);
+  const Csr ap = a.permute_symmetric(h.order);
+  const CsrCluster cc = CsrCluster::build(ap, h.clustering);
+  const Dense b = random_dense(6, 5, 6);
+  EXPECT_TRUE(clusterwise_spmm(cc, b).approx_equal(spmm(ap, b), 1e-10));
+}
+
+TEST(Sddmm, MatchesBruteForce) {
+  const Csr s = test::random_csr(12, 9, 0.3, 7);
+  const Dense u = random_dense(12, 4, 8);
+  const Dense v = random_dense(9, 4, 9);
+  const Csr out = sddmm(s, u, v);
+  EXPECT_EQ(out.row_ptr(), s.row_ptr());
+  EXPECT_EQ(out.col_idx(), s.col_idx());
+  for (index_t i = 0; i < s.nrows(); ++i) {
+    auto cols = s.row_cols(i);
+    auto sv = s.row_vals(i);
+    auto ov = out.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      value_t dot = 0;
+      for (index_t d = 0; d < 4; ++d) dot += u.at(i, d) * v.at(cols[t], d);
+      EXPECT_NEAR(ov[t], sv[t] * dot, 1e-10);
+    }
+  }
+}
+
+TEST(Sddmm, PatternPreservedEvenWithZeroDots) {
+  // Orthogonal factors: dots are 0 but the output pattern must equal S's.
+  const Csr s = test::paper_figure1();
+  Dense u(6, 2), v(6, 2);
+  for (index_t i = 0; i < 6; ++i) u.at(i, 0) = 1.0;  // only dim 0
+  for (index_t j = 0; j < 6; ++j) v.at(j, 1) = 1.0;  // only dim 1
+  const Csr out = sddmm(s, u, v);
+  EXPECT_EQ(out.nnz(), s.nnz());
+  for (value_t x : out.values()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Sddmm, DimensionChecks) {
+  const Csr s = test::random_csr(4, 5, 0.5, 10);
+  EXPECT_THROW(sddmm(s, random_dense(3, 2, 1), random_dense(5, 2, 2)), Error);
+  EXPECT_THROW(sddmm(s, random_dense(4, 2, 1), random_dense(4, 2, 2)), Error);
+  EXPECT_THROW(sddmm(s, random_dense(4, 2, 1), random_dense(5, 3, 2)), Error);
+}
+
+}  // namespace
+}  // namespace cw

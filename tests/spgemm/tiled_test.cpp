@@ -1,0 +1,55 @@
+#include "spgemm/tiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spgemm/reference.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(TiledSpgemm, SingleTileEqualsPlain) {
+  const Csr a = test::random_csr(20, 20, 0.2, 1);
+  TiledOptions opt;
+  opt.tile_cols = 64;  // >= ncols → one tile
+  EXPECT_TRUE(spgemm_tiled(a, a, opt) == spgemm(a, a));
+}
+
+TEST(TiledSpgemm, ManyTilesMatchReference) {
+  const Csr a = test::random_csr(30, 25, 0.15, 2);
+  const Csr b = test::random_csr(25, 40, 0.15, 3);
+  const Csr ref = spgemm_reference(a, b);
+  for (index_t tile : {1, 3, 7, 16, 39, 40}) {
+    TiledOptions opt;
+    opt.tile_cols = tile;
+    EXPECT_TRUE(spgemm_tiled(a, b, opt).approx_equal(ref, 1e-10))
+        << "tile " << tile;
+  }
+}
+
+class TiledSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(TiledSweep, SquareMatchesPlainAcrossTileWidths) {
+  const Csr a = test::random_csr(48, 48, 0.1, 4);
+  TiledOptions opt;
+  opt.tile_cols = GetParam();
+  const Csr plain = spgemm(a, a);
+  EXPECT_TRUE(spgemm_tiled(a, a, opt).approx_equal(plain, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(TileWidths, TiledSweep,
+                         ::testing::Values(2, 5, 12, 24, 47, 48, 100));
+
+TEST(TiledSpgemm, EmptyTilesHandled) {
+  // B with all entries in the first tile: later tiles are empty slices.
+  Coo coo(10, 100);
+  for (index_t r = 0; r < 10; ++r) coo.push(r, r, 1.0);
+  const Csr b = Csr::from_coo(coo);
+  const Csr a = test::random_csr(10, 10, 0.4, 5);
+  TiledOptions opt;
+  opt.tile_cols = 16;
+  EXPECT_TRUE(spgemm_tiled(a, b, opt).approx_equal(spgemm(a, b), 1e-10));
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,128 @@
+#include "spgemm/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/jaccard.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+/// Brute-force candidate set: all pairs (i<j) with Jaccard > threshold.
+std::map<std::pair<index_t, index_t>, double> brute_force_pairs(const Csr& a,
+                                                                double th) {
+  std::map<std::pair<index_t, index_t>, double> out;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    for (index_t j = i + 1; j < a.nrows(); ++j) {
+      const double jac = jaccard_similarity(a, i, j);
+      if (jac > th) out[{i, j}] = jac;
+    }
+  }
+  return out;
+}
+
+TEST(TopK, FindsAllPairsWithLargeK) {
+  const Csr a = test::random_csr(30, 20, 0.2, 55);
+  TopKOptions opt;
+  opt.topk = 30;  // no per-row truncation
+  opt.jaccard_threshold = 0.3;
+  opt.col_cap = 0;  // exact
+  const auto got = spgemm_topk(a, opt);
+  const auto expected = brute_force_pairs(a, 0.3);
+  EXPECT_EQ(got.size(), expected.size());
+  for (const auto& p : got) {
+    auto it = expected.find({p.i, p.j});
+    ASSERT_NE(it, expected.end()) << "unexpected pair " << p.i << "," << p.j;
+    EXPECT_NEAR(p.score, it->second, 1e-12);
+  }
+}
+
+TEST(TopK, PaperExampleSimilarities) {
+  const Csr a = test::paper_figure5();
+  TopKOptions opt;
+  opt.topk = 7;
+  opt.jaccard_threshold = 0.3;
+  opt.col_cap = 0;
+  const auto pairs = spgemm_topk(a, opt);
+  // The §3.2 worked example: J(0,1)=J(0,2)=0.5 and J(3,4)=0.5 must appear.
+  auto find = [&](index_t i, index_t j) -> const CandidatePair* {
+    for (const auto& p : pairs)
+      if (p.i == i && p.j == j) return &p;
+    return nullptr;
+  };
+  ASSERT_NE(find(0, 1), nullptr);
+  EXPECT_NEAR(find(0, 1)->score, 0.5, 1e-12);
+  ASSERT_NE(find(0, 2), nullptr);
+  ASSERT_NE(find(3, 4), nullptr);
+  EXPECT_NEAR(find(3, 4)->score, 0.5, 1e-12);
+  // J(3,5)=0.25 is below threshold and must be absent.
+  EXPECT_EQ(find(3, 5), nullptr);
+}
+
+TEST(TopK, RespectsPerRowK) {
+  // A block of 6 identical rows: each row pairs with 5 others at J=1, but
+  // topk=2 caps candidates per row; the union over rows dedups to <= 15.
+  Coo coo(6, 8);
+  for (index_t r = 0; r < 6; ++r)
+    for (index_t c = 0; c < 4; ++c) coo.push(r, c, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  TopKOptions opt;
+  opt.topk = 2;
+  opt.jaccard_threshold = 0.3;
+  opt.col_cap = 0;
+  const auto pairs = spgemm_topk(a, opt);
+  EXPECT_LE(pairs.size(), 12u);  // 6 rows × topk (before dedup)
+  for (const auto& p : pairs) EXPECT_NEAR(p.score, 1.0, 1e-12);
+}
+
+TEST(TopK, PairsAreNormalizedAndUnique) {
+  const Csr a = test::random_csr(40, 25, 0.15, 77);
+  TopKOptions opt;
+  opt.col_cap = 0;
+  const auto pairs = spgemm_topk(a, opt);
+  std::set<std::pair<index_t, index_t>> seen;
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.i, p.j);
+    EXPECT_TRUE(seen.insert({p.i, p.j}).second) << "duplicate pair";
+    EXPECT_GT(p.score, opt.jaccard_threshold);
+    EXPECT_LE(p.score, 1.0 + 1e-12);
+  }
+}
+
+TEST(TopK, ColCapSkipsDenseColumns) {
+  // One column shared by every row would produce O(n²) candidates; with the
+  // cap it is skipped and rows with no other overlap produce none.
+  Coo coo(50, 10);
+  for (index_t r = 0; r < 50; ++r) coo.push(r, 0, 1.0);
+  const Csr a = Csr::from_coo(coo);
+  TopKOptions opt;
+  opt.col_cap = 16;
+  EXPECT_TRUE(spgemm_topk(a, opt).empty());
+  opt.col_cap = 0;  // exact mode sees all pairs at J=1
+  EXPECT_FALSE(spgemm_topk(a, opt).empty());
+}
+
+TEST(TopK, EmptyMatrix) {
+  Coo coo(5, 5);
+  const Csr a = Csr::from_coo(coo);
+  EXPECT_TRUE(spgemm_topk(a, {}).empty());
+}
+
+TEST(Jaccard, PairBasics) {
+  const Csr a = test::paper_figure5();
+  EXPECT_NEAR(jaccard_similarity(a, 0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(jaccard_similarity(a, 0, 3), 0.0, 1e-12);
+  EXPECT_NEAR(jaccard_similarity(a, 3, 5), 0.25, 1e-12);
+  EXPECT_NEAR(jaccard_similarity(a, 2, 2), 1.0, 1e-12);
+}
+
+TEST(Jaccard, OverlapCount) {
+  const Csr a = test::paper_figure5();
+  EXPECT_EQ(row_overlap(a, 0, 1), 2);  // {0,1}
+  EXPECT_EQ(row_overlap(a, 0, 3), 0);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,48 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace cw::test {
+
+/// Random sparse square matrix with expected `density` fill per entry.
+inline Csr random_csr(index_t nrows, index_t ncols, double density,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(nrows, ncols);
+  for (index_t r = 0; r < nrows; ++r) {
+    for (index_t c = 0; c < ncols; ++c) {
+      if (rng.uniform() < density) coo.push(r, c, 0.5 + rng.uniform());
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+/// The 6×6 example matrix of Fig. 1 / Fig. 4 of the paper (values all 1).
+///   row 0: {0,1,2}   row 1: {1,2,5}  row 2: {0,1,5}
+///   row 3: {3,4,5}   row 4: {2,4,5}  row 5: {0,3}
+inline Csr paper_figure1() {
+  Coo coo(6, 6);
+  const index_t rows[] = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5};
+  const index_t cols[] = {0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3};
+  for (std::size_t i = 0; i < 17; ++i) coo.push(rows[i], cols[i], 1.0);
+  return Csr::from_coo(coo);
+}
+
+/// A 6×6 matrix with the §3.2 worked-example similarity structure:
+///   J(0,1) = J(0,2) = 0.5, J(0,3) = 0, J(3,4) = 0.5, J(3,5) = 0.25,
+/// so variable-length clustering at threshold 0.3 yields clusters
+/// {0,1,2}, {3,4}, {5} exactly as the paper walks through for Fig. 5(b).
+inline Csr paper_figure5() {
+  Coo coo(6, 6);
+  const index_t rows[] = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5};
+  const index_t cols[] = {0, 1, 2, 0, 1, 3, 1, 2, 4, 3, 4, 5, 0, 3, 4, 0, 3};
+  for (std::size_t i = 0; i < 17; ++i) coo.push(rows[i], cols[i], 1.0);
+  return Csr::from_coo(coo);
+}
+
+}  // namespace cw::test
