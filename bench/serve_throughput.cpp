@@ -1,0 +1,120 @@
+// Serving-layer throughput study: how the prepared-matrix engine scales
+// request throughput with workers, how request coalescing pays off, and what
+// the registry's hit path costs versus re-preprocessing.
+//
+//   ./serve_throughput [dataset] [requests]     (default: conf5, 64)
+//
+// Three experiments:
+//   1. snapshot economics — preprocess vs save vs load wall time;
+//   2. engine scaling — requests/s for 1..max workers at 4 client threads;
+//   3. registry amortization — get_or_build hit path vs rebuild per request.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/advisor.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/snapshot.hpp"
+
+namespace {
+
+using namespace cw;
+
+void run_engine(const std::shared_ptr<const Pipeline>& p,
+                const std::vector<Csr>& payloads, int workers, int clients) {
+  serve::EngineOptions opt;
+  opt.num_workers = workers;
+  serve::ServeEngine engine(opt);
+  const int requests = static_cast<int>(payloads.size());
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  engine.drain();
+  const double wall = t.seconds();
+  const serve::EngineStats st = engine.stats();
+  std::printf(
+      "  %2d workers  %8.1f ms  %7.0f req/s  p50 %6.2f ms  p99 %6.2f ms  "
+      "%llu batches\n",
+      workers, wall * 1e3, requests / wall, st.latency_p50_ms,
+      st.latency_p99_ms, static_cast<unsigned long long>(st.batches));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "conf5";
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 64;
+  const Csr a = make_dataset(name, suite_scale_from_env());
+  std::printf("dataset %s: %d x %d, %lld nnz\n", name.c_str(), a.nrows(),
+              a.ncols(), static_cast<long long>(a.nnz()));
+
+  const Recommendation rec = advise(a, ReuseBudget::kThousands);
+
+  // --- 1. snapshot economics ------------------------------------------------
+  Timer t_prep;
+  auto p = std::make_shared<const Pipeline>(a, rec.pipeline_options());
+  const double prep_s = t_prep.seconds();
+  std::stringstream buf;
+  Timer t_save;
+  serve::save(buf, *p);
+  const double save_s = t_save.seconds();
+  Timer t_load;
+  const Pipeline reloaded = serve::load_pipeline(buf);
+  const double load_s = t_load.seconds();
+  std::printf("\nsnapshot economics (%s + %s)\n", to_string(rec.reorder),
+              to_string(rec.scheme));
+  std::printf("  preprocess %8.1f ms\n", prep_s * 1e3);
+  std::printf("  save       %8.1f ms (%.2f MB)\n", save_s * 1e3,
+              static_cast<double>(buf.str().size()) / 1e6);
+  std::printf("  load       %8.1f ms (%.1fx cheaper than preprocessing)\n",
+              load_s * 1e3, load_s > 0 ? prep_s / load_s : 0.0);
+
+  // --- 2. engine scaling ----------------------------------------------------
+  std::vector<Csr> payloads;
+  for (int i = 0; i < requests; ++i)
+    payloads.push_back(gen_request_payload(a.nrows(), 32, 3,
+                                           7000 + static_cast<std::uint64_t>(i)));
+  std::printf("\nengine scaling (%d requests, 4 client threads)\n", requests);
+  const int max_workers =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int w = 1; w <= max_workers; w *= 2)
+    run_engine(p, payloads, w, 4);
+
+  // --- 3. registry amortization --------------------------------------------
+  serve::PipelineRegistry registry(std::size_t{1} << 30);
+  const serve::Fingerprint key = serve::fingerprint(a);
+  auto build = [&] {
+    return std::make_shared<const Pipeline>(a, rec.pipeline_options());
+  };
+  Timer t_cold;
+  (void)registry.get_or_build(key, build);
+  const double cold_s = t_cold.seconds();
+  const int probes = 1000;
+  Timer t_hot;
+  for (int i = 0; i < probes; ++i) (void)registry.get_or_build(key, build);
+  const double hot_s = t_hot.seconds() / probes;
+  const serve::RegistryStats rst = registry.stats();
+  std::printf("\nregistry amortization\n");
+  std::printf("  cold get_or_build %10.3f ms (preprocess + insert)\n",
+              cold_s * 1e3);
+  std::printf("  hot  get_or_build %10.6f ms (%.0fx cheaper)\n", hot_s * 1e3,
+              hot_s > 0 ? cold_s / hot_s : 0.0);
+  std::printf("  hit rate          %10.1f %% (%llu hits, %llu misses)\n",
+              rst.hit_rate() * 100,
+              static_cast<unsigned long long>(rst.hits),
+              static_cast<unsigned long long>(rst.misses));
+  return 0;
+}

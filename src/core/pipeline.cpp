@@ -60,6 +60,7 @@ Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
   }
   stats_.cluster_seconds = t_cluster.seconds();
   stats_.num_clusters = clustering_.num_clusters();
+  inv_order_ = invert_permutation(order_);
 
   // --- Step 3: clustered format. --------------------------------------------
   Timer t_format;
@@ -68,6 +69,31 @@ Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
     stats_.clustered_bytes = clustered_->memory_bytes();
   }
   stats_.format_seconds = t_format.seconds();
+}
+
+Pipeline Pipeline::restore(PipelineOptions opt, Csr a, Permutation order,
+                           Clustering clustering,
+                           std::optional<CsrCluster> clustered,
+                           PipelineStats stats) {
+  CW_CHECK_MSG(a.nrows() == a.ncols(), "Pipeline requires a square matrix");
+  CW_CHECK_MSG(is_permutation(order, a.nrows()),
+               "restore: order is not a permutation of the matrix rows");
+  clustering.validate(a.nrows());
+  CW_CHECK_MSG(clustered.has_value() == (opt.scheme != ClusterScheme::kNone),
+               "restore: clustered format must be present iff scheme != kNone");
+  if (clustered) {
+    CW_CHECK_MSG(clustered->nrows() == a.nrows() && clustered->nnz() == a.nnz(),
+                 "restore: clustered format does not match the matrix");
+  }
+  Pipeline p;
+  p.opt_ = opt;
+  p.a_ = std::move(a);
+  p.order_ = std::move(order);
+  p.inv_order_ = invert_permutation(p.order_);
+  p.clustering_ = std::move(clustering);
+  p.clustered_ = std::move(clustered);
+  p.stats_ = stats;
+  return p;
 }
 
 Csr Pipeline::multiply_square(SpgemmStats* kernel_stats) const {
@@ -85,7 +111,7 @@ Csr Pipeline::multiply(const Csr& b, SpgemmStats* kernel_stats) const {
 }
 
 Csr Pipeline::unpermute_rows(const Csr& c) const {
-  return c.permute_rows(invert_permutation(order_));
+  return c.permute_rows(inv_order_);
 }
 
 }  // namespace cw

@@ -60,6 +60,16 @@ class Pipeline {
   /// Preprocesses `a` according to `opt`. `a` must be square.
   Pipeline(const Csr& a, const PipelineOptions& opt);
 
+  /// Reassemble a pipeline from previously computed parts without redoing any
+  /// preprocessing — the snapshot-loading path (serve/snapshot.hpp), which is
+  /// what lets the §4.5 amortization span processes. `clustered` must be
+  /// engaged iff opt.scheme != kNone, and all parts must be mutually
+  /// consistent (a already permuted by order, clustering covering a's rows).
+  static Pipeline restore(PipelineOptions opt, Csr a, Permutation order,
+                          Clustering clustering,
+                          std::optional<CsrCluster> clustered,
+                          PipelineStats stats);
+
   /// The row order in effect (order[new_pos] = original row). Hierarchical
   /// clustering contributes its own reordering on top of opt.reorder.
   [[nodiscard]] const Permutation& order() const { return order_; }
@@ -71,6 +81,14 @@ class Pipeline {
   [[nodiscard]] const Clustering& clustering() const { return clustering_; }
 
   [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+
+  /// The options the pipeline was preprocessed with.
+  [[nodiscard]] const PipelineOptions& options() const { return opt_; }
+
+  /// Clustered format (engaged unless scheme == kNone).
+  [[nodiscard]] const std::optional<CsrCluster>& clustered() const {
+    return clustered_;
+  }
 
   /// C = A' × A' in the preprocessed (permuted) space. Equal to P·A²·Pᵀ.
   [[nodiscard]] Csr multiply_square(SpgemmStats* kernel_stats = nullptr) const;
@@ -84,9 +102,13 @@ class Pipeline {
   [[nodiscard]] Csr unpermute_rows(const Csr& c) const;
 
  private:
+  Pipeline() = default;  // used by restore()
+
   PipelineOptions opt_;
   Csr a_;                    // preprocessed matrix
   Permutation order_;        // composition of reorder (+ hierarchical order)
+  Permutation inv_order_;    // cached inverse: serving calls unpermute_rows
+                             // per request, so it must not be O(n) rebuilt
   Clustering clustering_;
   std::optional<CsrCluster> clustered_;  // engaged unless scheme == kNone
   PipelineStats stats_;

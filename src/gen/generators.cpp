@@ -364,4 +364,16 @@ void randomize_values(Csr& a, std::uint64_t seed) {
   for (value_t& v : a.values()) v = rand_val(rng);
 }
 
+Csr gen_request_payload(index_t nrows, index_t ncols, index_t max_row_nnz,
+                        std::uint64_t seed) {
+  CW_CHECK(nrows >= 1 && ncols >= 1 && max_row_nnz >= 1);
+  Rng rng(seed);
+  Coo coo(nrows, ncols);
+  for (index_t r = 0; r < nrows; ++r) {
+    const index_t k = 1 + rng.index(max_row_nnz);
+    for (index_t j = 0; j < k; ++j) coo.push(r, rng.index(ncols), rand_val(rng));
+  }
+  return Csr::from_coo(coo);
+}
+
 }  // namespace cw

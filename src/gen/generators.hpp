@@ -67,4 +67,10 @@ Csr gen_citation(index_t n, index_t avg_degree, std::uint64_t seed);
 /// Random values in [0.5, 1.5) for every stored entry (in place).
 void randomize_values(Csr& a, std::uint64_t seed);
 
+/// Random tall-skinny request payload: every row holds 1..max_row_nnz
+/// entries at uniform columns — the B-matrix shape of the serving workload
+/// (BC frontiers, AMG interpolation operators).
+Csr gen_request_payload(index_t nrows, index_t ncols, index_t max_row_nnz,
+                        std::uint64_t seed);
+
 }  // namespace cw

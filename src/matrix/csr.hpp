@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace cw {
@@ -52,9 +53,14 @@ class Csr {
   [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
   [[nodiscard]] std::vector<value_t>& values() { return values_; }
 
-  /// Number of nonzeros in row r.
+  /// Number of nonzeros in row r. The cast cannot narrow for a valid matrix
+  /// (a row holds at most ncols_ <= INT32_MAX unique columns); the debug
+  /// check guards against corrupted row pointers reaching callers as a
+  /// silently wrapped count.
   [[nodiscard]] index_t row_nnz(index_t r) const {
-    return static_cast<index_t>(row_ptr_[r + 1] - row_ptr_[r]);
+    const offset_t d = row_ptr_[r + 1] - row_ptr_[r];
+    CW_DCHECK(d >= 0 && d <= static_cast<offset_t>(ncols_));
+    return static_cast<index_t>(d);
   }
 
   /// Column indices of row r (sorted ascending).

@@ -102,6 +102,50 @@ void merge_cluster_columns(const Csr& a, index_t row_start, index_t k,
 
 }  // namespace
 
+CsrCluster CsrCluster::from_parts(index_t nrows, index_t ncols, offset_t nnz,
+                                  Clustering clustering,
+                                  std::vector<offset_t> cluster_ptr,
+                                  std::vector<offset_t> value_ptr,
+                                  std::vector<index_t> col_idx,
+                                  std::vector<std::uint64_t> row_mask,
+                                  std::vector<value_t> values) {
+  CW_CHECK_MSG(clustering.max_size() <= kMaxClusterSize,
+               "cluster size exceeds kMaxClusterSize");
+  CW_CHECK(col_idx.size() == row_mask.size());
+  // Bounds-check the pointer arrays against the data arrays BEFORE
+  // validate() runs: validate() indexes col_idx/row_mask/values by raw
+  // cluster_ptr/value_ptr entries, so untrusted (e.g. snapshot-loaded)
+  // offsets must be proven in range first.
+  const index_t ncl = clustering.num_clusters();
+  CW_CHECK_MSG(cluster_ptr.size() == static_cast<std::size_t>(ncl) + 1 &&
+                   value_ptr.size() == static_cast<std::size_t>(ncl) + 1,
+               "from_parts: pointer array length mismatch");
+  CW_CHECK_MSG(cluster_ptr.front() == 0 && value_ptr.front() == 0,
+               "from_parts: pointer arrays must start at 0");
+  CW_CHECK_MSG(cluster_ptr.back() == static_cast<offset_t>(col_idx.size()) &&
+                   value_ptr.back() == static_cast<offset_t>(values.size()),
+               "from_parts: pointer arrays do not cover the data arrays");
+  for (index_t c = 0; c < ncl; ++c) {
+    CW_CHECK_MSG(cluster_ptr[static_cast<std::size_t>(c)] <=
+                         cluster_ptr[static_cast<std::size_t>(c) + 1] &&
+                     value_ptr[static_cast<std::size_t>(c)] <=
+                         value_ptr[static_cast<std::size_t>(c) + 1],
+                 "from_parts: pointer arrays are not non-decreasing");
+  }
+  CsrCluster out;
+  out.nrows_ = nrows;
+  out.ncols_ = ncols;
+  out.nnz_ = nnz;
+  out.clustering_ = std::move(clustering);
+  out.cluster_ptr_ = std::move(cluster_ptr);
+  out.value_ptr_ = std::move(value_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.row_mask_ = std::move(row_mask);
+  out.values_ = std::move(values);
+  out.validate();
+  return out;
+}
+
 CsrCluster CsrCluster::build(const Csr& a, const Clustering& clustering) {
   clustering.validate(a.nrows());
   CW_CHECK_MSG(clustering.max_size() <= kMaxClusterSize,

@@ -70,6 +70,17 @@ class CsrCluster {
   /// Build from a CSR matrix whose rows are already in cluster order.
   static CsrCluster build(const Csr& a, const Clustering& clustering);
 
+  /// Reassemble from previously built raw arrays (snapshot loading). The
+  /// parts must describe a format that CsrCluster::build could have produced;
+  /// validate() is run on the result.
+  static CsrCluster from_parts(index_t nrows, index_t ncols, offset_t nnz,
+                               Clustering clustering,
+                               std::vector<offset_t> cluster_ptr,
+                               std::vector<offset_t> value_ptr,
+                               std::vector<index_t> col_idx,
+                               std::vector<std::uint64_t> row_mask,
+                               std::vector<value_t> values);
+
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
   [[nodiscard]] index_t num_clusters() const { return clustering_.num_clusters(); }
@@ -90,9 +101,13 @@ class CsrCluster {
   [[nodiscard]] const std::vector<std::uint64_t>& row_mask() const { return row_mask_; }
   [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
 
-  /// Distinct columns of cluster c.
+  /// Distinct columns of cluster c. Like Csr::row_nnz, the cast cannot
+  /// narrow for a valid format (a cluster has at most ncols_ distinct
+  /// columns); the debug check catches corrupted pointers.
   [[nodiscard]] index_t cluster_ncols(index_t c) const {
-    return static_cast<index_t>(cluster_ptr_[c + 1] - cluster_ptr_[c]);
+    const offset_t d = cluster_ptr_[c + 1] - cluster_ptr_[c];
+    CW_DCHECK(d >= 0 && d <= static_cast<offset_t>(ncols_));
+    return static_cast<index_t>(d);
   }
 
   /// Reconstruct the CSR matrix (test/debug path; exact round trip).

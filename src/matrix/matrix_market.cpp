@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -50,6 +51,11 @@ Csr read_matrix_market(std::istream& in) {
   long long nrows = 0, ncols = 0, nnz = 0;
   size_line >> nrows >> ncols >> nnz;
   if (nrows <= 0 || ncols <= 0 || nnz < 0) throw Error("bad size line: " + line);
+  // The library uses 32-bit indices; reject files whose dimensions would
+  // silently wrap in the index_t casts below.
+  constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
+  if (nrows > kMaxDim || ncols > kMaxDim)
+    throw Error("matrix dimensions exceed 32-bit index range: " + line);
 
   Coo coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
   coo.reserve((symmetric || skew) ? 2 * nnz : nnz);

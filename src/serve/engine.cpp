@@ -1,0 +1,185 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cw::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count() * 1e3;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(EngineOptions opt)
+    : opt_(opt), start_(Clock::now()) {
+  CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
+  CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
+  CW_CHECK_MSG(opt_.latency_window >= 1, "engine: latency_window must be >= 1");
+  latencies_ms_.resize(opt_.latency_window, 0.0);
+  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
+  for (int w = 0; w < opt_.num_workers; ++w)
+    workers_.emplace_back([this] { worker_loop_(); });
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
+                                     Csr b) {
+  CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
+  Job job;
+  job.b = std::move(b);
+  job.enqueued = Clock::now();
+  std::future<Csr> result = job.result.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
+    const Pipeline* key = pipeline.get();
+    Group& group = groups_[key];
+    if (!group.pipeline) group.pipeline = std::move(pipeline);
+    // A group enters the round-robin only when it transitions empty→pending;
+    // a worker re-queues it after a pickup if jobs remain.
+    if (group.jobs.empty()) ready_.push_back(key);
+    group.jobs.push_back(std::move(job));
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+  return result;
+}
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return ready_.empty() && in_flight_ == 0 &&
+           completed_ + failed_ == submitted_;
+  });
+}
+
+void ServeEngine::shutdown() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+EngineStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.batches = batches_;
+  s.coalesced = coalesced_;
+  s.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  s.busy_seconds = busy_seconds_;
+  s.throughput_rps = s.elapsed_seconds > 0
+                         ? static_cast<double>(s.completed) / s.elapsed_seconds
+                         : 0;
+  if (latency_count_ > 0) {
+    const std::vector<double> window(latencies_ms_.begin(),
+                                     latencies_ms_.begin() +
+                                         static_cast<std::ptrdiff_t>(latency_count_));
+    s.latency_p50_ms = percentile(window, 50);
+    s.latency_p95_ms = percentile(window, 95);
+    s.latency_p99_ms = percentile(window, 99);
+    s.latency_max_ms = latency_max_ms_;
+  }
+  return s;
+}
+
+void ServeEngine::worker_loop_() {
+  for (;;) {
+    std::shared_ptr<const Pipeline> pipeline;
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping, queue fully drained
+      const Pipeline* key = ready_.front();
+      ready_.pop_front();
+      Group& group = groups_.at(key);
+      pipeline = group.pipeline;
+      const auto take = std::min<std::size_t>(
+          group.jobs.size(), static_cast<std::size_t>(opt_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(group.jobs.front()));
+        group.jobs.pop_front();
+      }
+      if (!group.jobs.empty()) {
+        ready_.push_back(key);  // round-robin re-queue
+      } else {
+        // Drop the empty group so the map does not accumulate one slot per
+        // pipeline ever served (we hold our own shared_ptr for the batch).
+        groups_.erase(key);
+      }
+      in_flight_ += batch.size();
+    }
+
+    const Clock::time_point batch_start = Clock::now();
+    struct Outcome {
+      std::optional<Csr> value;
+      std::exception_ptr error;
+    };
+    std::uint64_t ok = 0, bad = 0;
+    std::vector<Outcome> outcomes(batch.size());
+    std::vector<double> done_ms;
+    done_ms.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        Csr c = pipeline->multiply(batch[i].b);
+        if (opt_.unpermute_results) c = pipeline->unpermute_rows(c);
+        outcomes[i].value = std::move(c);
+        ++ok;
+      } catch (...) {
+        outcomes[i].error = std::current_exception();
+        ++bad;
+      }
+      done_ms.push_back(ms_between(batch[i].enqueued, Clock::now()));
+    }
+    const double busy =
+        std::chrono::duration<double>(Clock::now() - batch_start).count();
+
+    // Commit the counters BEFORE fulfilling the promises: a client that has
+    // seen its future resolve must also see itself in stats().
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += ok;
+      failed_ += bad;
+      ++batches_;
+      if (batch.size() > 1) coalesced_ += batch.size();
+      busy_seconds_ += busy;
+      for (const double ms : done_ms) {
+        latencies_ms_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
+        latency_count_ = std::min(latency_count_ + 1, latencies_ms_.size());
+        latency_max_ms_ = std::max(latency_max_ms_, ms);
+      }
+      in_flight_ -= batch.size();
+      idle = ready_.empty() && in_flight_ == 0;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (outcomes[i].error)
+        batch[i].result.set_exception(outcomes[i].error);
+      else
+        batch[i].result.set_value(std::move(*outcomes[i].value));
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace cw::serve

@@ -1,0 +1,126 @@
+// Concurrent multiply engine — the serving subsystem's compute frontend.
+//
+// A fixed pool of worker threads drains a queue of multiply requests
+// `(prepared A, B)`. Requests are grouped by prepared matrix: a worker that
+// picks up a group takes a *batch* of its pending requests and runs them
+// back-to-back, so the clustered representation of A stays cache-resident
+// across the whole batch (the same locality argument as cluster-wise SpGEMM
+// itself, lifted to the request level). Groups are scheduled round-robin so
+// one hot matrix cannot starve the others.
+//
+// Results are delivered through std::future; by default the engine
+// unpermutes product rows back to the caller's original index space, so
+// clients never see the preprocessing permutation. Latency (enqueue →
+// completion) is recorded per request and summarized as percentiles via
+// common/stats.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace cw::serve {
+
+struct EngineOptions {
+  /// Worker threads draining the queue. Each runs whole multiplies; the
+  /// kernels' own OpenMP parallelism composes with this (set OMP threads
+  /// low when workers are many).
+  int num_workers = 4;
+  /// Max requests coalesced into one batch per group pickup.
+  index_t max_batch = 16;
+  /// Return products with rows in the original (pre-reordering) index space.
+  bool unpermute_results = true;
+  /// Latency samples retained for the percentile report (ring buffer over
+  /// the most recent requests, so a long-lived engine stays O(1) memory).
+  std::size_t latency_window = 4096;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  // requests whose multiply threw
+  std::uint64_t batches = 0;
+  /// Requests that shared their batch with at least one other request —
+  /// the coalescing win counter.
+  std::uint64_t coalesced = 0;
+  double elapsed_seconds = 0;  // since engine construction
+  double busy_seconds = 0;     // summed worker compute time
+  double throughput_rps = 0;   // completed / elapsed
+  /// Percentiles over the most recent EngineOptions::latency_window
+  /// requests; max is over the engine's whole lifetime.
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(EngineOptions opt = {});
+  ~ServeEngine();  // drains the queue, then joins the workers
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueue C = A'×B against the prepared `pipeline`. B's rows are in the
+  /// original index space (Pipeline::multiply permutes them internally).
+  /// The future yields the product, or rethrows the multiply's exception.
+  std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline, Csr b);
+
+  /// Block until every submitted request has completed.
+  void drain();
+
+  /// drain(), then stop and join the workers. Further submits throw.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Csr b;
+    std::promise<Csr> result;
+    Clock::time_point enqueued;
+  };
+  struct Group {
+    std::shared_ptr<const Pipeline> pipeline;
+    std::deque<Job> jobs;
+  };
+
+  void worker_loop_();
+
+  const EngineOptions opt_;
+  const Clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when ready_ gains a group
+  std::condition_variable idle_cv_;  // signalled when the engine goes idle
+  std::unordered_map<const Pipeline*, Group> groups_;
+  std::deque<const Pipeline*> ready_;  // round-robin order; one slot per group
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  // All guarded by mu_.
+  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, batches_ = 0,
+                coalesced_ = 0;
+  double busy_seconds_ = 0;
+  double latency_max_ms_ = 0;
+  std::vector<double> latencies_ms_;  // ring buffer of size latency_window
+  std::size_t latency_next_ = 0;      // ring cursor
+  std::size_t latency_count_ = 0;     // valid entries (<= latency_window)
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cw::serve

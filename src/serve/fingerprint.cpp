@@ -1,0 +1,76 @@
+#include "serve/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace cw::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+Fingerprint fingerprint(const Csr& a, index_t sample_rows) {
+  Fingerprint fp;
+  fp.nrows = a.nrows();
+  fp.ncols = a.ncols();
+  fp.nnz = a.nnz();
+
+  std::uint64_t h = kFnvBasis;
+  mix(h, static_cast<std::uint64_t>(fp.nrows));
+  mix(h, static_cast<std::uint64_t>(fp.ncols));
+  mix(h, static_cast<std::uint64_t>(fp.nnz));
+
+  const index_t n = a.nrows();
+  if (n > 0) {
+    const index_t samples = std::clamp<index_t>(sample_rows, 1, n);
+    // Evenly spaced rows, endpoints always included (r = i*(n-1)/(s-1)).
+    for (index_t i = 0; i < samples; ++i) {
+      const index_t r =
+          samples == 1 ? 0
+                       : static_cast<index_t>(
+                             (static_cast<offset_t>(i) * (n - 1)) / (samples - 1));
+      mix(h, static_cast<std::uint64_t>(a.row_ptr()[r]));
+      mix(h, static_cast<std::uint64_t>(a.row_ptr()[r + 1]));
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_vals(r);
+      // First and last few entries of the row — cheap, and sensitive to both
+      // pattern and numeric edits anywhere a sampled row reaches.
+      const std::size_t k = std::min<std::size_t>(cols.size(), 4);
+      for (std::size_t j = 0; j < k; ++j) {
+        mix(h, static_cast<std::uint64_t>(cols[j]));
+        mix(h, std::bit_cast<std::uint64_t>(vals[j]));
+        mix(h, static_cast<std::uint64_t>(cols[cols.size() - 1 - j]));
+        mix(h, std::bit_cast<std::uint64_t>(vals[vals.size() - 1 - j]));
+      }
+    }
+  }
+  fp.digest = h;
+  return fp;
+}
+
+std::string to_string(const Fingerprint& fp) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%dx%d, nnz=%lld, digest=%016llx", fp.nrows,
+                fp.ncols, static_cast<long long>(fp.nnz),
+                static_cast<unsigned long long>(fp.digest));
+  return buf;
+}
+
+std::size_t FingerprintHasher::operator()(const Fingerprint& fp) const noexcept {
+  // The digest already mixes dims and nnz; fold it to size_t.
+  return static_cast<std::size_t>(fp.digest ^ (fp.digest >> 32));
+}
+
+}  // namespace cw::serve

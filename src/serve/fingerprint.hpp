@@ -1,0 +1,43 @@
+// Cheap structural fingerprint of a CSR matrix — the serving cache key.
+//
+// The registry (serve/registry.hpp) must recognize "the same A came in
+// again" without holding a copy of every A it has ever prepared. The
+// fingerprint combines the exact dimensions and nnz with a 64-bit FNV-1a
+// digest over a bounded sample of row_ptr / col_idx / value entries, so
+// computing it is O(sample) regardless of matrix size. Two matrices with
+// equal fingerprints are treated as identical by the serving layer; the
+// sampled digest makes accidental collisions between *different* workload
+// matrices astronomically unlikely (dims and nnz must already agree).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace cw::serve {
+
+struct Fingerprint {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  offset_t nnz = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+/// Fingerprint `a`, hashing at most `sample_rows` evenly spaced rows (their
+/// row_ptr extents plus the first/last few column ids and values of each).
+/// The first and last row are always included.
+Fingerprint fingerprint(const Csr& a, index_t sample_rows = 64);
+
+/// "nrows x ncols, nnz=…, digest=…" (digest in hex).
+std::string to_string(const Fingerprint& fp);
+
+/// Hasher for unordered containers keyed by Fingerprint.
+struct FingerprintHasher {
+  std::size_t operator()(const Fingerprint& fp) const noexcept;
+};
+
+}  // namespace cw::serve

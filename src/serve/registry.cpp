@@ -1,0 +1,108 @@
+#include "serve/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace cw::serve {
+
+std::size_t pipeline_memory_bytes(const Pipeline& p) {
+  std::size_t bytes = sizeof(Pipeline);
+  bytes += p.matrix().memory_bytes();
+  bytes += p.order().size() * sizeof(index_t);
+  bytes += p.clustering().ptr().size() * sizeof(index_t);
+  if (p.clustered()) bytes += p.clustered()->memory_bytes();
+  return bytes;
+}
+
+PipelineRegistry::PipelineRegistry(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  stats_.capacity_bytes = capacity_bytes;
+}
+
+std::shared_ptr<const Pipeline> PipelineRegistry::find(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  touch_(it->second);
+  return it->second->pipeline;
+}
+
+std::shared_ptr<const Pipeline> PipelineRegistry::insert(
+    const Fingerprint& key, std::shared_ptr<const Pipeline> p) {
+  CW_CHECK_MSG(p != nullptr, "registry: cannot insert a null pipeline");
+  const std::size_t bytes = pipeline_memory_bytes(*p);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    // Racing builder lost: keep the incumbent so both callers share one copy.
+    touch_(it->second);
+    return it->second->pipeline;
+  }
+  if (bytes > capacity_) {
+    ++stats_.oversize_rejects;
+    return p;  // usable by the caller, just not cached
+  }
+  evict_until_(capacity_ - bytes);
+  lru_.push_front(Entry{key, std::move(p), bytes});
+  map_[key] = lru_.begin();
+  stats_.bytes_used += bytes;
+  ++stats_.insertions;
+  return lru_.front().pipeline;
+}
+
+std::shared_ptr<const Pipeline> PipelineRegistry::get_or_build(
+    const Fingerprint& key,
+    const std::function<std::shared_ptr<const Pipeline>()>& build) {
+  if (auto hit = find(key)) return hit;
+  // Build outside the lock: preprocessing can take seconds and must not
+  // block lookups or unrelated builds.
+  std::shared_ptr<const Pipeline> built = build();
+  CW_CHECK_MSG(built != nullptr, "registry: build callback returned null");
+  return insert(key, std::move(built));
+}
+
+void PipelineRegistry::erase(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  stats_.bytes_used -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void PipelineRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  stats_.bytes_used = 0;
+}
+
+RegistryStats PipelineRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryStats s = stats_;
+  s.entries = map_.size();
+  return s;
+}
+
+std::size_t PipelineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void PipelineRegistry::touch_(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void PipelineRegistry::evict_until_(std::size_t budget) {
+  while (stats_.bytes_used > budget && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes_used -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cw::serve

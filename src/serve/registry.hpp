@@ -1,0 +1,102 @@
+// Thread-safe LRU registry of prepared pipelines — the serving cache.
+//
+// Serving processes see the same handful of workload matrices over and over
+// (the §4.5 amortization scenario at fleet scale). The registry keeps their
+// prepared `Pipeline`s hot in memory, keyed by structural fingerprint and
+// bounded by a byte budget: inserting past the budget evicts
+// least-recently-used entries. Entries are handed out as
+// `shared_ptr<const Pipeline>`, so an evicted pipeline stays alive until the
+// last in-flight request using it finishes — eviction never invalidates a
+// running multiply.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace cw::serve {
+
+/// Approximate resident bytes of a prepared pipeline (matrix + order +
+/// clustering + clustered format) — the unit the registry budget is
+/// expressed in.
+std::size_t pipeline_memory_bytes(const Pipeline& p);
+
+struct RegistryStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Inserts refused because a single entry exceeded the whole budget.
+  std::uint64_t oversize_rejects = 0;
+  std::size_t bytes_used = 0;
+  std::size_t capacity_bytes = 0;
+  std::size_t entries = 0;
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class PipelineRegistry {
+ public:
+  explicit PipelineRegistry(std::size_t capacity_bytes);
+
+  PipelineRegistry(const PipelineRegistry&) = delete;
+  PipelineRegistry& operator=(const PipelineRegistry&) = delete;
+
+  /// Lookup; marks the entry most-recently-used. Null on miss.
+  std::shared_ptr<const Pipeline> find(const Fingerprint& key);
+
+  /// Insert and return the cached entry, evicting LRU entries until the
+  /// budget holds. First insert wins: if the key is already present (e.g. a
+  /// racing builder got there first) the incumbent is kept and returned, so
+  /// all callers share one copy. To force a rebuild, erase() first. An entry
+  /// bigger than the whole budget is returned but not cached.
+  std::shared_ptr<const Pipeline> insert(const Fingerprint& key,
+                                         std::shared_ptr<const Pipeline> p);
+
+  /// find(), or build-and-insert on miss. `build` runs outside the registry
+  /// lock, so concurrent get_or_build calls for *different* keys never
+  /// serialize; two racing calls for the same key may both build, in which
+  /// case the first insert wins and both callers get that entry.
+  std::shared_ptr<const Pipeline> get_or_build(
+      const Fingerprint& key,
+      const std::function<std::shared_ptr<const Pipeline>()>& build);
+
+  /// Remove one entry (no-op if absent).
+  void erase(const Fingerprint& key);
+
+  /// Drop all entries (stat counters survive).
+  void clear();
+
+  [[nodiscard]] RegistryStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    std::shared_ptr<const Pipeline> pipeline;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  // Both require mu_ held.
+  void touch_(LruList::iterator it);
+  void evict_until_(std::size_t budget);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHasher> map_;
+  RegistryStats stats_{};
+};
+
+}  // namespace cw::serve

@@ -1,0 +1,83 @@
+// Snapshot persistence for prepared matrices — the serving subsystem's
+// on-disk format.
+//
+// The paper's economic argument is preprocess-once / multiply-many (§4.5):
+// reordering + clustering overhead amortizes across repeated SpGEMMs.
+// Snapshots extend that amortization across *processes*: a `Pipeline`
+// prepared by an offline job can be saved, shipped, and reloaded by any
+// number of serving processes without redoing the preprocessing.
+//
+// Format: a fixed little-header (magic, version, endianness tag, scalar-type
+// widths, payload kind, dims) followed by tagged sections of raw
+// fixed-width arrays. Loading verifies magic/version/endianness/widths up
+// front, bounds-checks every index/pointer array before it is dereferenced,
+// and runs the target type's validate() on the reassembled object, so a
+// truncated file or corrupted *structure* fails loudly with cw::Error
+// instead of producing wrong numerics. Corruption of free-form numeric
+// fields (stored values, timing stats) has no invariant to violate and is
+// not detected — a payload checksum is a ROADMAP item. The format is not
+// interchangeable between machines of different endianness (by design —
+// serving fleets are homogeneous; a portable export can convert offline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/csr_cluster.hpp"
+
+namespace cw::serve {
+
+/// Current snapshot format version. Bump on any layout change; load rejects
+/// mismatches.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// What a snapshot file contains.
+enum class SnapshotKind : std::uint32_t {
+  kCsr = 1,
+  kClustering = 2,
+  kCsrCluster = 3,
+  kPipeline = 4,
+};
+
+const char* to_string(SnapshotKind kind);
+
+/// Header summary readable without parsing the payload (`cwtool snapshot
+/// info`). For kClustering, nrows is the row count and nnz the cluster count.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  SnapshotKind kind = SnapshotKind::kCsr;
+  index_t nrows = 0;
+  index_t ncols = 0;
+  offset_t nnz = 0;
+};
+
+// --- stream API -------------------------------------------------------------
+
+void save(std::ostream& out, const Csr& a);
+void save(std::ostream& out, const Clustering& clustering);
+void save(std::ostream& out, const CsrCluster& clustered);
+void save(std::ostream& out, const Pipeline& pipeline);
+
+Csr load_csr(std::istream& in);
+Clustering load_clustering(std::istream& in);
+CsrCluster load_csr_cluster(std::istream& in);
+Pipeline load_pipeline(std::istream& in);
+
+/// Read and verify only the header, leaving the stream positioned at the
+/// payload.
+SnapshotInfo read_info(std::istream& in);
+
+// --- file API ---------------------------------------------------------------
+
+void save_csr_file(const std::string& path, const Csr& a);
+void save_pipeline_file(const std::string& path, const Pipeline& pipeline);
+
+Csr load_csr_file(const std::string& path);
+Pipeline load_pipeline_file(const std::string& path);
+
+/// Header summary of a snapshot file (any kind).
+SnapshotInfo read_info_file(const std::string& path);
+
+}  // namespace cw::serve

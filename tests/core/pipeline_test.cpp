@@ -50,6 +50,45 @@ TEST(Pipeline, TallSkinnyMultiplyMatchesUnpermuted) {
   }
 }
 
+TEST(Pipeline, RectangularBAllSchemesAndShapes) {
+  // multiply() must handle any B column count — skinny, square-ish and wide —
+  // under every clustering scheme, matching the direct product after
+  // unpermutation.
+  const Csr a = test::random_csr(40, 40, 0.12, 20);
+  for (index_t bcols : {1, 3, 40, 90}) {
+    const Csr b = test::random_csr(40, bcols, 0.25, 21 + bcols);
+    const Csr ab = spgemm(a, b);
+    for (ClusterScheme s : {ClusterScheme::kNone, ClusterScheme::kFixed,
+                            ClusterScheme::kVariable,
+                            ClusterScheme::kHierarchical}) {
+      Pipeline p(a, opts(ReorderAlgo::kRCM, s));
+      const Csr got = p.unpermute_rows(p.multiply(b));
+      EXPECT_TRUE(got.approx_equal(ab, 1e-9))
+          << to_string(s) << " with " << bcols << " columns";
+    }
+  }
+}
+
+TEST(Pipeline, UnpermuteRowsRoundTrip) {
+  // unpermute_rows must be the exact inverse of the row permutation the
+  // pipeline applies: permuted product == direct product after unpermutation,
+  // and re-permuting restores the permuted-space result bit for bit.
+  const Csr a = test::random_csr(36, 36, 0.15, 22);
+  const Csr b = test::random_csr(36, 9, 0.3, 23);
+  Pipeline p(a, opts(ReorderAlgo::kRandom, ClusterScheme::kHierarchical));
+  const Csr permuted = p.multiply(b);
+  const Csr unpermuted = p.unpermute_rows(permuted);
+  EXPECT_TRUE(unpermuted.approx_equal(spgemm(a, b), 1e-9));
+  EXPECT_TRUE(unpermuted.permute_rows(p.order()) == permuted);
+}
+
+TEST(Pipeline, MultiplyRejectsWrongRowCount) {
+  const Csr a = test::random_csr(30, 30, 0.15, 24);
+  Pipeline p(a, opts(ReorderAlgo::kOriginal, ClusterScheme::kFixed));
+  EXPECT_THROW(p.multiply(test::random_csr(29, 5, 0.3, 25)), Error);
+  EXPECT_THROW(p.multiply(test::random_csr(31, 5, 0.3, 26)), Error);
+}
+
 TEST(Pipeline, HierarchicalComposesOrderCorrectly) {
   const Csr a = test::random_csr(32, 32, 0.15, 5);
   Pipeline p(a, opts(ReorderAlgo::kRandom, ClusterScheme::kHierarchical));

@@ -1,0 +1,188 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "serve/snapshot.hpp"
+#include "spgemm/spgemm.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a, ClusterScheme s) {
+  PipelineOptions o;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  o.reorder = ReorderAlgo::kRCM;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+TEST(Engine, SingleRequestMatchesDirectSpgemm) {
+  const Csr a = test::random_csr(40, 40, 0.12, 1);
+  const Csr b = test::random_csr(40, 10, 0.3, 2);
+  auto p = make_pipeline(a, ClusterScheme::kHierarchical);
+
+  ServeEngine engine({.num_workers = 2});
+  Csr c = engine.submit(p, b).get();
+  // Deterministic reference: the same pipeline computation, single-threaded.
+  EXPECT_TRUE(c == p->unpermute_rows(p->multiply(b)));
+  // And numerically the direct product.
+  EXPECT_TRUE(c.approx_equal(spgemm(a, b), 1e-9));
+}
+
+TEST(Engine, FourConcurrentClientsIdenticalToSingleThreaded) {
+  // The acceptance scenario: >= 4 concurrent clients, every result identical
+  // to the single-threaded computation.
+  const Csr a = test::random_csr(60, 60, 0.1, 3);
+  auto p = make_pipeline(a, ClusterScheme::kHierarchical);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 6;
+  std::vector<Csr> bs;
+  std::vector<Csr> expected;
+  for (int i = 0; i < kClients * kRequestsEach; ++i) {
+    bs.push_back(test::random_csr(60, 7, 0.25, 100 + i));
+    expected.push_back(p->unpermute_rows(p->multiply(bs.back())));
+  }
+
+  ServeEngine engine({.num_workers = 4});
+  std::vector<std::future<Csr>> futures(bs.size());
+  std::vector<std::thread> clients;
+  for (int cl = 0; cl < kClients; ++cl) {
+    clients.emplace_back([&, cl] {
+      for (int r = 0; r < kRequestsEach; ++r) {
+        const int i = cl * kRequestsEach + r;
+        futures[static_cast<std::size_t>(i)] =
+            engine.submit(p, bs[static_cast<std::size_t>(i)]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(futures[i].get() == expected[i]) << "request " << i;
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, bs.size());
+  EXPECT_EQ(st.completed, bs.size());
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(Engine, CoalescesRequestsForTheSameMatrix) {
+  const Csr a = test::random_csr(40, 40, 0.12, 4);
+  auto p = make_pipeline(a, ClusterScheme::kFixed);
+
+  // One worker and a burst of requests: after the first pickup the rest of
+  // the queue must be coalesced into multi-request batches.
+  ServeEngine engine({.num_workers = 1, .max_batch = 8});
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < 24; ++i)
+    futures.push_back(engine.submit(p, test::random_csr(40, 5, 0.3, 300 + i)));
+  for (auto& f : futures) f.get();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_LT(st.batches, 24u);   // strictly fewer pickups than requests
+  EXPECT_GT(st.coalesced, 0u);  // some requests shared a batch
+}
+
+TEST(Engine, RoundRobinAcrossDistinctMatrices) {
+  const Csr a1 = test::random_csr(36, 36, 0.12, 5);
+  const Csr a2 = test::random_csr(44, 44, 0.1, 6);
+  auto p1 = make_pipeline(a1, ClusterScheme::kVariable);
+  auto p2 = make_pipeline(a2, ClusterScheme::kHierarchical);
+
+  ServeEngine engine({.num_workers = 2, .max_batch = 4});
+  std::vector<std::future<Csr>> f1, f2;
+  std::vector<Csr> b1, b2;
+  for (int i = 0; i < 10; ++i) {
+    b1.push_back(test::random_csr(36, 6, 0.3, 400 + i));
+    b2.push_back(test::random_csr(44, 6, 0.3, 500 + i));
+    f1.push_back(engine.submit(p1, b1.back()));
+    f2.push_back(engine.submit(p2, b2.back()));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(f1[static_cast<std::size_t>(i)].get() ==
+                p1->unpermute_rows(p1->multiply(b1[static_cast<std::size_t>(i)])));
+    EXPECT_TRUE(f2[static_cast<std::size_t>(i)].get() ==
+                p2->unpermute_rows(p2->multiply(b2[static_cast<std::size_t>(i)])));
+  }
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST(Engine, PropagatesMultiplyErrorsThroughTheFuture) {
+  const Csr a = test::random_csr(30, 30, 0.15, 7);
+  auto p = make_pipeline(a, ClusterScheme::kFixed);
+  ServeEngine engine({.num_workers = 2});
+  // B with the wrong row count: Pipeline::multiply throws, the future
+  // rethrows, and the engine keeps serving.
+  auto bad = engine.submit(p, test::random_csr(13, 5, 0.3, 8));
+  EXPECT_THROW(bad.get(), Error);
+  const Csr b = test::random_csr(30, 5, 0.3, 9);
+  EXPECT_TRUE(engine.submit(p, b).get() ==
+              p->unpermute_rows(p->multiply(b)));
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(Engine, ServesReloadedSnapshotIdentically) {
+  // Snapshot → engine: the full serving path. A pipeline reloaded from disk
+  // must serve bit-identical products to the original object.
+  const Csr a = test::random_csr(40, 40, 0.12, 10);
+  const Csr b = test::random_csr(40, 8, 0.3, 11);
+  auto original = make_pipeline(a, ClusterScheme::kHierarchical);
+  const std::string path = ::testing::TempDir() + "/cw_engine_snapshot.cwsnap";
+  save_pipeline_file(path, *original);
+  auto reloaded =
+      std::make_shared<const Pipeline>(load_pipeline_file(path));
+  std::remove(path.c_str());
+
+  ServeEngine engine({.num_workers = 2});
+  const Csr from_original = engine.submit(original, b).get();
+  const Csr from_reloaded = engine.submit(reloaded, b).get();
+  EXPECT_TRUE(from_original == from_reloaded);
+}
+
+TEST(Engine, StatsReportLatencyAndThroughput) {
+  const Csr a = test::random_csr(40, 40, 0.12, 12);
+  auto p = make_pipeline(a, ClusterScheme::kFixed);
+  ServeEngine engine({.num_workers = 2});
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < 12; ++i)
+    futures.push_back(engine.submit(p, test::random_csr(40, 5, 0.3, 600 + i)));
+  for (auto& f : futures) f.get();
+  engine.drain();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.completed, 12u);
+  EXPECT_GT(st.throughput_rps, 0.0);
+  EXPECT_GT(st.latency_p50_ms, 0.0);
+  EXPECT_GE(st.latency_p95_ms, st.latency_p50_ms);
+  EXPECT_GE(st.latency_p99_ms, st.latency_p95_ms);
+  EXPECT_GE(st.latency_max_ms, st.latency_p99_ms);
+  EXPECT_GT(st.busy_seconds, 0.0);
+}
+
+TEST(Engine, SubmitAfterShutdownThrows) {
+  const Csr a = test::random_csr(20, 20, 0.2, 13);
+  auto p = make_pipeline(a, ClusterScheme::kNone);
+  ServeEngine engine({.num_workers = 1});
+  engine.submit(p, test::random_csr(20, 3, 0.3, 14)).get();
+  engine.shutdown();
+  EXPECT_THROW(engine.submit(p, test::random_csr(20, 3, 0.3, 15)), Error);
+}
+
+TEST(Engine, PermutedSpaceResultsWhenUnpermuteDisabled) {
+  const Csr a = test::random_csr(30, 30, 0.15, 16);
+  const Csr b = test::random_csr(30, 4, 0.3, 17);
+  auto p = make_pipeline(a, ClusterScheme::kHierarchical);
+  ServeEngine engine({.num_workers = 1, .unpermute_results = false});
+  EXPECT_TRUE(engine.submit(p, b).get() == p->multiply(b));
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -1,0 +1,79 @@
+#include "serve/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+TEST(Fingerprint, DeterministicForEqualMatrices) {
+  const Csr a = test::random_csr(50, 50, 0.1, 1);
+  const Csr b = test::random_csr(50, 50, 0.1, 1);  // same seed → same matrix
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_EQ(fingerprint(a).digest, fingerprint(a).digest);
+}
+
+TEST(Fingerprint, CarriesExactDims) {
+  const Csr a = test::random_csr(33, 47, 0.1, 2);
+  const Fingerprint fp = fingerprint(a);
+  EXPECT_EQ(fp.nrows, 33);
+  EXPECT_EQ(fp.ncols, 47);
+  EXPECT_EQ(fp.nnz, a.nnz());
+}
+
+TEST(Fingerprint, DistinguishesDifferentMatrices) {
+  const Csr a = test::random_csr(50, 50, 0.1, 3);
+  const Csr b = test::random_csr(50, 50, 0.1, 4);   // different pattern
+  const Csr c = test::random_csr(60, 60, 0.1, 3);   // different dims
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(Fingerprint, SensitiveToValueEdits) {
+  const Csr a = test::random_csr(40, 40, 0.15, 5);
+  Csr edited = a;
+  edited.values()[0] += 1.0;  // first entry of row 0 — always sampled
+  EXPECT_NE(fingerprint(a), fingerprint(edited));
+}
+
+TEST(Fingerprint, SensitiveToPermutation) {
+  const Csr a = test::paper_figure1();
+  Permutation order = {5, 4, 3, 2, 1, 0};
+  const Csr p = a.permute_symmetric(order);
+  EXPECT_NE(fingerprint(a), fingerprint(p));
+}
+
+TEST(Fingerprint, EmptyAndTinyMatrices) {
+  EXPECT_EQ(fingerprint(Csr()).nnz, 0);
+  const Csr id1 = Csr::identity(1);
+  const Csr id2 = Csr::identity(2);
+  EXPECT_NE(fingerprint(id1), fingerprint(id2));
+}
+
+TEST(Fingerprint, SampleBudgetDoesNotChangeSmallMatrices) {
+  // With fewer rows than the sample budget every row is hashed, so any
+  // budget >= nrows yields the same digest.
+  const Csr a = test::random_csr(20, 20, 0.2, 6);
+  EXPECT_EQ(fingerprint(a, 20), fingerprint(a, 64));
+  EXPECT_EQ(fingerprint(a, 64), fingerprint(a, 1000));
+}
+
+TEST(Fingerprint, HasherWorksInUnorderedContainers) {
+  std::unordered_set<Fingerprint, FingerprintHasher> set;
+  for (int s = 0; s < 10; ++s)
+    set.insert(fingerprint(test::random_csr(30, 30, 0.1, 100 + s)));
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_TRUE(set.contains(fingerprint(test::random_csr(30, 30, 0.1, 105))));
+}
+
+TEST(Fingerprint, ToStringMentionsDims) {
+  const std::string s = to_string(fingerprint(Csr::identity(7)));
+  EXPECT_NE(s.find("7x7"), std::string::npos);
+  EXPECT_NE(s.find("digest="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -1,0 +1,164 @@
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kFixed;
+  o.fixed_length = 4;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+TEST(Registry, MissThenHit) {
+  PipelineRegistry reg(std::size_t{64} << 20);
+  const Csr a = test::random_csr(30, 30, 0.1, 1);
+  const Fingerprint key = fingerprint(a);
+
+  EXPECT_EQ(reg.find(key), nullptr);
+  auto p = reg.insert(key, make_pipeline(a));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reg.find(key), p);
+
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_GT(st.bytes_used, 0u);
+}
+
+TEST(Registry, InsertRaceKeepsIncumbent) {
+  PipelineRegistry reg(std::size_t{64} << 20);
+  const Csr a = test::random_csr(30, 30, 0.1, 2);
+  const Fingerprint key = fingerprint(a);
+  auto first = reg.insert(key, make_pipeline(a));
+  auto second = reg.insert(key, make_pipeline(a));  // losing racer
+  EXPECT_EQ(first, second);  // both callers share one cached copy
+  EXPECT_EQ(reg.stats().insertions, 1u);
+}
+
+TEST(Registry, EvictsLeastRecentlyUsed) {
+  const Csr m0 = test::random_csr(40, 40, 0.1, 10);
+  const Csr m1 = test::random_csr(40, 40, 0.1, 11);
+  const Csr m2 = test::random_csr(40, 40, 0.1, 12);
+  auto p0 = make_pipeline(m0);
+  auto p1 = make_pipeline(m1);
+  auto p2 = make_pipeline(m2);
+  // Budget for exactly two of the three.
+  const std::size_t budget =
+      pipeline_memory_bytes(*p0) + pipeline_memory_bytes(*p1) +
+      pipeline_memory_bytes(*p2) / 2;
+  PipelineRegistry reg(budget);
+  reg.insert(fingerprint(m0), p0);
+  reg.insert(fingerprint(m1), p1);
+  EXPECT_NE(reg.find(fingerprint(m0)), nullptr);  // m0 now most recent
+  reg.insert(fingerprint(m2), p2);                // evicts LRU = m1
+
+  EXPECT_EQ(reg.find(fingerprint(m1)), nullptr);
+  EXPECT_NE(reg.find(fingerprint(m0)), nullptr);
+  EXPECT_NE(reg.find(fingerprint(m2)), nullptr);
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_LE(st.bytes_used, budget);
+}
+
+TEST(Registry, EvictedPipelineSurvivesWhileHeld) {
+  const Csr m0 = test::random_csr(40, 40, 0.1, 13);
+  const Csr m1 = test::random_csr(40, 40, 0.1, 14);
+  auto p0 = make_pipeline(m0);
+  PipelineRegistry reg(pipeline_memory_bytes(*p0) + 64);
+  auto held = reg.insert(fingerprint(m0), p0);
+  reg.insert(fingerprint(m1), make_pipeline(m1));  // evicts m0
+  EXPECT_EQ(reg.find(fingerprint(m0)), nullptr);
+  // The handle we kept is still fully usable (shared_ptr semantics).
+  EXPECT_EQ(held->matrix().nrows(), 40);
+  EXPECT_GT(held->multiply_square().nnz(), 0);
+}
+
+TEST(Registry, OversizeEntryIsReturnedButNotCached) {
+  PipelineRegistry reg(16);  // absurdly small budget
+  const Csr a = test::random_csr(30, 30, 0.1, 15);
+  auto p = reg.insert(fingerprint(a), make_pipeline(a));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.stats().oversize_rejects, 1u);
+}
+
+TEST(Registry, GetOrBuildBuildsOnceThenHits) {
+  PipelineRegistry reg(std::size_t{64} << 20);
+  const Csr a = test::random_csr(30, 30, 0.1, 16);
+  const Fingerprint key = fingerprint(a);
+  int builds = 0;
+  auto factory = [&] {
+    ++builds;
+    return make_pipeline(a);
+  };
+  auto p1 = reg.get_or_build(key, factory);
+  auto p2 = reg.get_or_build(key, factory);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Registry, EraseAndClear) {
+  PipelineRegistry reg(std::size_t{64} << 20);
+  const Csr a = test::random_csr(20, 20, 0.2, 17);
+  reg.insert(fingerprint(a), make_pipeline(a));
+  reg.erase(fingerprint(a));
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.stats().bytes_used, 0u);
+  reg.insert(fingerprint(a), make_pipeline(a));
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.stats().bytes_used, 0u);
+}
+
+TEST(Registry, ConcurrentGetOrBuildIsConsistent) {
+  PipelineRegistry reg(std::size_t{256} << 20);
+  constexpr int kMatrices = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  std::vector<Csr> matrices;
+  std::vector<Fingerprint> keys;
+  for (int m = 0; m < kMatrices; ++m) {
+    matrices.push_back(test::random_csr(32, 32, 0.12, 200 + m));
+    keys.push_back(fingerprint(matrices.back()));
+  }
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int m = (t + i) % kMatrices;
+        auto p = reg.get_or_build(
+            keys[static_cast<std::size_t>(m)],
+            [&] { return make_pipeline(matrices[static_cast<std::size_t>(m)]); });
+        // Every handle must be a pipeline for the *right* matrix.
+        if (p->matrix().nnz() != matrices[static_cast<std::size_t>(m)].nnz())
+          ++wrong;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kMatrices));
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  // Duplicate concurrent builds are allowed, but every miss resolves to a
+  // usable entry and the cache converges to one entry per matrix.
+  EXPECT_GE(st.hits, 1u);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -1,0 +1,153 @@
+#include "serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/clustering_schemes.hpp"
+#include "spgemm/spgemm.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+PipelineOptions opts(ReorderAlgo r, ClusterScheme s) {
+  PipelineOptions o;
+  o.reorder = r;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  return o;
+}
+
+TEST(Snapshot, CsrRoundTripIsBitIdentical) {
+  const Csr a = test::random_csr(40, 35, 0.15, 1);
+  std::stringstream buf;
+  save(buf, a);
+  const Csr back = load_csr(buf);
+  EXPECT_TRUE(back == a);  // exact pattern + exact values
+}
+
+TEST(Snapshot, EmptyAndPatternEdgeCases) {
+  for (const Csr& a :
+       {Csr(), Csr::identity(5), test::random_csr(8, 8, 0.0, 2)}) {
+    std::stringstream buf;
+    save(buf, a);
+    EXPECT_TRUE(load_csr(buf) == a);
+  }
+}
+
+TEST(Snapshot, ClusteringRoundTrip) {
+  const Clustering c = Clustering::from_sizes({3, 1, 4, 2, 6});
+  std::stringstream buf;
+  save(buf, c);
+  const Clustering back = load_clustering(buf);
+  EXPECT_EQ(back.ptr(), c.ptr());
+}
+
+TEST(Snapshot, CsrClusterRoundTrip) {
+  const Csr a = test::random_csr(32, 32, 0.2, 3);
+  const CsrCluster cc = CsrCluster::build(a, Clustering::fixed(32, 4));
+  std::stringstream buf;
+  save(buf, cc);
+  const CsrCluster back = load_csr_cluster(buf);
+  EXPECT_EQ(back.nnz(), cc.nnz());
+  EXPECT_EQ(back.cluster_ptr(), cc.cluster_ptr());
+  EXPECT_EQ(back.value_ptr(), cc.value_ptr());
+  EXPECT_EQ(back.col_idx(), cc.col_idx());
+  EXPECT_EQ(back.row_mask(), cc.row_mask());
+  EXPECT_EQ(back.values(), cc.values());
+  EXPECT_TRUE(back.to_csr() == a);
+}
+
+TEST(Snapshot, PipelineRoundTripProductsBitIdentical) {
+  const Csr a = test::random_csr(48, 48, 0.12, 4);
+  const Csr b = test::random_csr(48, 8, 0.3, 5);
+  for (ClusterScheme s : {ClusterScheme::kNone, ClusterScheme::kFixed,
+                          ClusterScheme::kVariable, ClusterScheme::kHierarchical}) {
+    const Pipeline original(a, opts(ReorderAlgo::kRCM, s));
+    std::stringstream buf;
+    save(buf, original);
+    const Pipeline loaded = load_pipeline(buf);
+
+    EXPECT_TRUE(loaded.matrix() == original.matrix()) << to_string(s);
+    EXPECT_EQ(loaded.order(), original.order()) << to_string(s);
+    EXPECT_EQ(loaded.clustering().ptr(), original.clustering().ptr());
+    // The whole point: multiplies through the reloaded pipeline are
+    // bit-identical to the original's (same arrays, same kernel).
+    EXPECT_TRUE(loaded.multiply_square() == original.multiply_square())
+        << to_string(s);
+    EXPECT_TRUE(loaded.unpermute_rows(loaded.multiply(b)) ==
+                original.unpermute_rows(original.multiply(b)))
+        << to_string(s);
+  }
+}
+
+TEST(Snapshot, PipelineRoundTripPreservesOptionsAndStats) {
+  const Csr a = test::random_csr(30, 30, 0.15, 6);
+  PipelineOptions o = opts(ReorderAlgo::kDegree, ClusterScheme::kVariable);
+  o.variable_opt.jaccard_threshold = 0.4;
+  o.variable_opt.max_cluster_size = 6;
+  const Pipeline original(a, o);
+  std::stringstream buf;
+  save(buf, original);
+  const Pipeline loaded = load_pipeline(buf);
+  EXPECT_EQ(loaded.options().reorder, ReorderAlgo::kDegree);
+  EXPECT_EQ(loaded.options().scheme, ClusterScheme::kVariable);
+  EXPECT_DOUBLE_EQ(loaded.options().variable_opt.jaccard_threshold, 0.4);
+  EXPECT_EQ(loaded.options().variable_opt.max_cluster_size, 6);
+  EXPECT_EQ(loaded.stats().num_clusters, original.stats().num_clusters);
+  EXPECT_EQ(loaded.stats().csr_bytes, original.stats().csr_bytes);
+  EXPECT_DOUBLE_EQ(loaded.stats().reorder_seconds,
+                   original.stats().reorder_seconds);
+}
+
+TEST(Snapshot, InfoReportsKindAndDims) {
+  const Csr a = test::random_csr(20, 20, 0.2, 7);
+  const Pipeline p(a, opts(ReorderAlgo::kOriginal, ClusterScheme::kFixed));
+  std::stringstream buf;
+  save(buf, p);
+  const SnapshotInfo info = read_info(buf);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.kind, SnapshotKind::kPipeline);
+  EXPECT_EQ(info.nrows, 20);
+  EXPECT_EQ(info.ncols, 20);
+  EXPECT_EQ(info.nnz, a.nnz());
+}
+
+TEST(Snapshot, RejectsBadMagicWrongKindAndTruncation) {
+  std::stringstream junk("not a snapshot at all........................");
+  EXPECT_THROW(load_csr(junk), Error);
+
+  const Csr a = test::random_csr(10, 10, 0.3, 8);
+  std::stringstream buf;
+  save(buf, a);
+  EXPECT_THROW(load_pipeline(buf), Error);  // kind mismatch
+
+  std::stringstream full;
+  save(full, a);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(load_csr(cut), Error);  // truncated payload
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cw_snapshot_test.cwsnap";
+  const Csr a = test::random_csr(25, 25, 0.2, 9);
+  const Pipeline p(a, opts(ReorderAlgo::kRCM, ClusterScheme::kHierarchical));
+  save_pipeline_file(path, p);
+  const SnapshotInfo info = read_info_file(path);
+  EXPECT_EQ(info.kind, SnapshotKind::kPipeline);
+  const Pipeline loaded = load_pipeline_file(path);
+  EXPECT_TRUE(loaded.multiply_square() == p.multiply_square());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  EXPECT_THROW(load_pipeline_file("/nonexistent/dir/x.cwsnap"), Error);
+  EXPECT_THROW(read_info_file("/nonexistent/dir/x.cwsnap"), Error);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -4,19 +4,35 @@
 //   cwtool reorder <input> <algo> <out>    write the symmetrically permuted matrix
 //   cwtool advise  <input> [budget]        preprocessing recommendation
 //   cwtool bench   <input>                 time row-wise vs recommended setup
+//   cwtool snapshot save <input> <out.cwsnap> [algo] [scheme]
+//                                          preprocess once, persist the pipeline
+//   cwtool snapshot info <file.cwsnap>     header + pipeline summary
+//   cwtool snapshot load <file.cwsnap>     reload and time one multiply
+//   cwtool serve-bench <input> [clients] [requests] [workers]
+//                                          concurrent-engine throughput run
 //
 // <input> is either a Matrix Market file or `dataset:<name>` from the
 // built-in suite. <algo> is one of: shuffled rcm amd nd gp hp gray rabbit
-// degree slashburn. [budget] is single|tens|thousands.
+// degree slashburn. [budget] is single|tens|thousands. [scheme] is one of:
+// none fixed variable hierarchical.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/advisor.hpp"
+#include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "matrix/matrix_market.hpp"
+#include "serve/engine.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/snapshot.hpp"
 
 namespace {
 
@@ -103,6 +119,129 @@ int cmd_bench(const std::string& input) {
   return 0;
 }
 
+ClusterScheme parse_scheme(const std::string& s) {
+  if (s == "none") return ClusterScheme::kNone;
+  if (s == "fixed") return ClusterScheme::kFixed;
+  if (s == "variable") return ClusterScheme::kVariable;
+  if (s == "hierarchical" || s == "hier") return ClusterScheme::kHierarchical;
+  throw Error("unknown cluster scheme: " + s);
+}
+
+int cmd_snapshot_save(const std::string& input, const std::string& out_path,
+                      int argc, char** argv) {
+  const Csr a = load_input(input);
+  PipelineOptions opt;
+  if (argc > 5) {
+    opt.reorder = parse_algo(argv[5]);
+    opt.scheme = argc > 6 ? parse_scheme(argv[6]) : ClusterScheme::kHierarchical;
+  } else {
+    opt = advise(a).pipeline_options();
+    std::fprintf(stderr, "using advisor setup: %s + %s\n",
+                 to_string(opt.reorder), to_string(opt.scheme));
+  }
+  Timer t_prep;
+  const Pipeline p(a, opt);
+  const double prep_s = t_prep.seconds();
+  Timer t_save;
+  serve::save_pipeline_file(out_path, p);
+  std::fprintf(stderr,
+               "prepared %s in %.1f ms (reorder %.1f, cluster %.1f, format %.1f)\n",
+               input.c_str(), prep_s * 1e3, p.stats().reorder_seconds * 1e3,
+               p.stats().cluster_seconds * 1e3, p.stats().format_seconds * 1e3);
+  std::fprintf(stderr, "wrote %s in %.1f ms (%zu clusters)\n", out_path.c_str(),
+               t_save.seconds() * 1e3, static_cast<std::size_t>(p.stats().num_clusters));
+  return 0;
+}
+
+int cmd_snapshot_info(const std::string& path) {
+  const serve::SnapshotInfo info = serve::read_info_file(path);
+  std::printf("kind       %s (format v%u)\n", to_string(info.kind), info.version);
+  std::printf("rows/cols  %d x %d\n", info.nrows, info.ncols);
+  std::printf("nnz        %lld\n", static_cast<long long>(info.nnz));
+  if (info.kind == serve::SnapshotKind::kPipeline) {
+    const Pipeline p = serve::load_pipeline_file(path);
+    std::printf("reorder    %s\n", to_string(p.options().reorder));
+    std::printf("scheme     %s\n", to_string(p.options().scheme));
+    std::printf("clusters   %d\n", p.stats().num_clusters);
+    std::printf("preprocess %.1f ms (amortized away at load time)\n",
+                p.stats().preprocess_seconds() * 1e3);
+    std::printf("memory     %.2f MB csr, %.2f MB clustered\n",
+                static_cast<double>(p.stats().csr_bytes) / 1e6,
+                static_cast<double>(p.stats().clustered_bytes) / 1e6);
+  }
+  return 0;
+}
+
+int cmd_snapshot_load(const std::string& path) {
+  Timer t_load;
+  const Pipeline p = serve::load_pipeline_file(path);
+  const double load_s = t_load.seconds();
+  Timer t_mul;
+  const Csr c = p.multiply_square();
+  const double mul_s = t_mul.seconds();
+  std::printf("loaded pipeline    %.1f ms (vs %.1f ms preprocessing)\n",
+              load_s * 1e3, p.stats().preprocess_seconds() * 1e3);
+  std::printf("A^2 multiply       %.1f ms, %lld nnz\n", mul_s * 1e3,
+              static_cast<long long>(c.nnz()));
+  return 0;
+}
+
+int cmd_serve_bench(const std::string& input, int clients, int requests,
+                    int workers) {
+  const Csr a = load_input(input);
+  const Recommendation rec = advise(a, ReuseBudget::kThousands);
+  Timer t_prep;
+  auto p = std::make_shared<const Pipeline>(a, rec.pipeline_options());
+  std::fprintf(stderr, "prepared %s + %s in %.1f ms; fingerprint %s\n",
+               to_string(rec.reorder), to_string(rec.scheme),
+               t_prep.seconds() * 1e3,
+               serve::to_string(serve::fingerprint(a)).c_str());
+
+  // Request payloads are generated up front so the run times serving only.
+  const index_t bcols = 32;
+  std::vector<Csr> payloads;
+  for (int i = 0; i < requests; ++i)
+    payloads.push_back(gen_request_payload(a.nrows(), bcols, 3,
+                                           1000 + static_cast<std::uint64_t>(i)));
+
+  // Sequential baseline: the same requests, one after another, including the
+  // unpermute step the engine performs per request (same work both sides).
+  Timer t_seq;
+  for (const Csr& b : payloads) (void)p->unpermute_rows(p->multiply(b));
+  const double seq_s = t_seq.seconds();
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = workers;
+  serve::ServeEngine engine(eopt);
+  Timer t_engine;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.drain();
+  const double engine_s = t_engine.seconds();
+  const serve::EngineStats st = engine.stats();
+
+  std::printf("requests           %d (B is %d-column tall-skinny)\n", requests,
+              bcols);
+  std::printf("sequential         %.1f ms (%.0f req/s)\n", seq_s * 1e3,
+              requests / seq_s);
+  std::printf("engine (%d clients, %d workers)\n", clients, workers);
+  std::printf("  wall             %.1f ms (%.0f req/s)\n", engine_s * 1e3,
+              requests / engine_s);
+  std::printf("  batches          %llu (%llu requests coalesced)\n",
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.coalesced));
+  std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
+              st.latency_max_ms);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -110,6 +249,10 @@ int usage() {
                "  cwtool reorder <input> <algo> <out.mtx>\n"
                "  cwtool advise  <input> [single|tens|thousands]\n"
                "  cwtool bench   <input>\n"
+               "  cwtool snapshot save <input> <out.cwsnap> [algo] [scheme]\n"
+               "  cwtool snapshot info <file.cwsnap>\n"
+               "  cwtool snapshot load <file.cwsnap>\n"
+               "  cwtool serve-bench <input> [clients] [requests] [workers]\n"
                "<input> = file.mtx | dataset:<name>\n");
   return 2;
 }
@@ -125,6 +268,21 @@ int main(int argc, char** argv) {
     if (cmd == "reorder" && argc >= 5) return cmd_reorder(input, argv[3], argv[4]);
     if (cmd == "advise") return cmd_advise(input, argc > 3 ? argv[3] : "tens");
     if (cmd == "bench") return cmd_bench(input);
+    if (cmd == "snapshot") {
+      // here `input` is the snapshot sub-verb: save | info | load
+      if (input == "save" && argc >= 5)
+        return cmd_snapshot_save(argv[3], argv[4], argc, argv);
+      if (input == "info" && argc >= 4) return cmd_snapshot_info(argv[3]);
+      if (input == "load" && argc >= 4) return cmd_snapshot_load(argv[3]);
+      return usage();
+    }
+    if (cmd == "serve-bench") {
+      const int clients = argc > 3 ? std::atoi(argv[3]) : 4;
+      const int requests = argc > 4 ? std::atoi(argv[4]) : 64;
+      const int workers = argc > 5 ? std::atoi(argv[5]) : 4;
+      if (clients < 1 || requests < 1 || workers < 1) return usage();
+      return cmd_serve_bench(input, clients, requests, workers);
+    }
   } catch (const cw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
