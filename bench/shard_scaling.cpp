@@ -1,0 +1,98 @@
+// Sharding scaling study: how row-block sharding behaves as the shard count
+// grows, and what the nnz-balanced split buys over the naive equal-rows cut.
+//
+//   ./shard_scaling [dataset] [requests] [workers]   (default: conf5, 32, 4)
+//
+// For every strategy (naive, balanced, locality) and K = 1..16 it reports
+//   * plan balance (max shard nnz / ideal),
+//   * prepare time (summed per-shard preprocessing),
+//   * one-shot scatter/gather multiply latency, and
+//   * sustained throughput over a request batch through the ShardedEngine.
+//
+// The headline the sweep demonstrates: multiply cost stays flat while the
+// unit of registry admission (max shard bytes) shrinks by ~K, and the
+// balanced split keeps the shard fan-out's critical path near ideal where
+// the naive cut lets one fat shard dominate.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "serve/registry.hpp"
+#include "shard/engine.hpp"
+#include "shard/sharded_pipeline.hpp"
+
+namespace {
+
+using namespace cw;
+
+std::size_t max_shard_bytes(const shard::ShardedPipeline& sp) {
+  std::size_t worst = 0;
+  for (index_t s = 0; s < sp.num_shards(); ++s)
+    worst = std::max(worst, serve::pipeline_memory_bytes(*sp.shard(s)));
+  return worst;
+}
+
+void run_config(const Csr& a, shard::SplitStrategy strategy, index_t k,
+                const std::vector<Csr>& payloads, int workers) {
+  shard::PlanOptions popt;
+  popt.num_shards = k;
+  popt.strategy = strategy;
+  PipelineOptions opt;
+  opt.scheme = ClusterScheme::kHierarchical;
+
+  Timer t_prep;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(a, popt, opt);
+  const double prep_s = t_prep.seconds();
+
+  shard::ShardedEngineOptions eopt;
+  eopt.num_workers = workers;
+  shard::ShardedEngine engine(eopt);
+
+  // One-shot latency first (cold caches), then sustained throughput.
+  Timer t_one;
+  (void)engine.submit(sp, payloads.front()).get();
+  const double one_s = t_one.seconds();
+
+  Timer t_all;
+  for (const Csr& b : payloads) (void)engine.submit(sp, b);
+  engine.drain();
+  const double all_s = t_all.seconds();
+
+  std::printf(
+      "  %-8s K=%-3d balance %5.2f  prepare %8.1f ms  multiply %7.2f ms  "
+      "%6.0f req/s  max shard %6.2f MB\n",
+      to_string(strategy), k, sp->plan().balance(a), prep_s * 1e3, one_s * 1e3,
+      static_cast<double>(payloads.size()) / all_s,
+      static_cast<double>(max_shard_bytes(*sp)) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "conf5";
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 4;
+  const Csr a = make_dataset(name, suite_scale_from_env());
+  std::printf("dataset %s: %d x %d, %lld nnz (%d requests, %d workers)\n",
+              name.c_str(), a.nrows(), a.ncols(),
+              static_cast<long long>(a.nnz()), requests, workers);
+
+  std::vector<Csr> payloads;
+  for (int i = 0; i < requests; ++i)
+    payloads.push_back(gen_request_payload(a.nrows(), 32, 3,
+                                           9000 + static_cast<std::uint64_t>(i)));
+
+  for (const shard::SplitStrategy strategy :
+       {shard::SplitStrategy::kNaive, shard::SplitStrategy::kBalanced,
+        shard::SplitStrategy::kLocality}) {
+    std::printf("\n%s split\n", to_string(strategy));
+    for (index_t k : {1, 2, 4, 8, 16}) run_config(a, strategy, k, payloads, workers);
+  }
+  return 0;
+}

@@ -21,6 +21,28 @@ inline int num_threads() {
 #endif
 }
 
+/// Cap the number of threads OpenMP parallel regions started by the
+/// *calling* thread will use (the nthreads ICV is per-thread, so an engine
+/// worker can budget its own kernels without affecting other workers).
+/// No-op in serial builds or for n <= 0.
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Threads the hardware offers to OpenMP regardless of the current cap —
+/// the basis for dividing a machine between engine workers.
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
 /// Current thread id inside a parallel region (0 outside).
 inline int thread_id() {
 #ifdef _OPENMP

@@ -44,4 +44,30 @@ std::vector<double> profile_curve(const std::vector<double>& samples,
 /// Render a BoxSummary as "min/q1/med/q3/max (n=..)".
 std::string to_string(const BoxSummary& b);
 
+/// Fixed-size ring of latency samples with percentile reporting — the
+/// shared sampler of the serving engines (serve::ServeEngine,
+/// shard::ShardedEngine). Keeps the most recent `window` samples so a
+/// long-lived engine stays O(1) memory; max is over the whole lifetime.
+/// Not internally synchronized: callers guard it with their own mutex.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t window);
+
+  void record(double ms);
+
+  /// p-th percentile over the retained window; 0 with no samples yet.
+  [[nodiscard]] double window_percentile(double p) const;
+
+  /// Largest sample ever recorded.
+  [[nodiscard]] double max_ms() const { return max_ms_; }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  std::vector<double> ring_;  // size = window
+  std::size_t next_ = 0;      // ring cursor
+  std::size_t count_ = 0;     // valid entries (<= window)
+  double max_ms_ = 0;
+};
+
 }  // namespace cw

@@ -15,41 +15,69 @@ const char* to_string(ClusterScheme scheme) {
   return "?";
 }
 
+const char* to_string(PermutationMode mode) {
+  switch (mode) {
+    case PermutationMode::kSymmetric: return "symmetric";
+    case PermutationMode::kRowsOnly: return "rows-only";
+  }
+  return "?";
+}
+
 Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
   CW_CHECK_MSG(a.nrows() == a.ncols(), "Pipeline requires a square matrix");
+  build_(a);
+}
+
+Pipeline Pipeline::prepare_rows(const Csr& a, const PipelineOptions& opt) {
+  CW_CHECK_MSG(opt.reorder == ReorderAlgo::kOriginal,
+               "prepare_rows: explicit reorderings require a square symmetric "
+               "adjacency; rows-only pipelines take kOriginal");
+  Pipeline p;
+  p.opt_ = opt;
+  p.mode_ = PermutationMode::kRowsOnly;
+  p.build_(a);
+  return p;
+}
+
+void Pipeline::build_(const Csr& a) {
   stats_.csr_bytes = a.memory_bytes();
 
   // --- Step 1: explicit reordering (skipped for Original). -----------------
   Timer t_reorder;
-  if (opt.reorder == ReorderAlgo::kOriginal) {
+  if (mode_ == PermutationMode::kSymmetric &&
+      opt_.reorder != ReorderAlgo::kOriginal) {
+    order_ = reorder(a, opt_.reorder, opt_.reorder_opt);
+    a_ = a.permute_symmetric(order_);
+  } else {
     order_ = original_order(a);
     a_ = a;
-  } else {
-    order_ = reorder(a, opt.reorder, opt.reorder_opt);
-    a_ = a.permute_symmetric(order_);
   }
   stats_.reorder_seconds = t_reorder.seconds();
 
   // --- Step 2: clustering. --------------------------------------------------
   Timer t_cluster;
-  switch (opt.scheme) {
+  switch (opt_.scheme) {
     case ClusterScheme::kNone:
       clustering_ = Clustering::singletons(a_.nrows());
       break;
     case ClusterScheme::kFixed: {
-      index_t k = opt.fixed_length;
+      index_t k = opt_.fixed_length;
       if (k <= 0) k = choose_fixed_length(a_);
       clustering_ = fixed_length_clustering(a_.nrows(), k);
       break;
     }
     case ClusterScheme::kVariable:
-      clustering_ = variable_length_clustering(a_, opt.variable_opt);
+      clustering_ = variable_length_clustering(a_, opt_.variable_opt);
       break;
     case ClusterScheme::kHierarchical: {
-      HierarchicalResult h = hierarchical_clustering(a_, opt.hierarchical_opt);
+      HierarchicalResult h = hierarchical_clustering(a_, opt_.hierarchical_opt);
       // Hierarchical clustering reorders as a side effect (§3.3): compose
-      // its order with the explicit one and permute the matrix again.
-      a_ = a_.permute_symmetric(h.order);
+      // its order with the explicit one and permute the matrix again. In
+      // rows-only mode the columns keep their labels (B must stay shared
+      // across shards), so only the rows move.
+      a_ = mode_ == PermutationMode::kSymmetric
+               ? a_.permute_symmetric(h.order)
+               : a_.permute_rows(h.order);
       Permutation composed(order_.size());
       for (std::size_t i = 0; i < composed.size(); ++i)
         composed[i] = order_[static_cast<std::size_t>(h.order[i])];
@@ -64,7 +92,7 @@ Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
 
   // --- Step 3: clustered format. --------------------------------------------
   Timer t_format;
-  if (opt.scheme != ClusterScheme::kNone) {
+  if (opt_.scheme != ClusterScheme::kNone) {
     clustered_ = CsrCluster::build(a_, clustering_);
     stats_.clustered_bytes = clustered_->memory_bytes();
   }
@@ -74,8 +102,9 @@ Pipeline::Pipeline(const Csr& a, const PipelineOptions& opt) : opt_(opt) {
 Pipeline Pipeline::restore(PipelineOptions opt, Csr a, Permutation order,
                            Clustering clustering,
                            std::optional<CsrCluster> clustered,
-                           PipelineStats stats) {
-  CW_CHECK_MSG(a.nrows() == a.ncols(), "Pipeline requires a square matrix");
+                           PipelineStats stats, PermutationMode mode) {
+  CW_CHECK_MSG(mode == PermutationMode::kRowsOnly || a.nrows() == a.ncols(),
+               "Pipeline requires a square matrix");
   CW_CHECK_MSG(is_permutation(order, a.nrows()),
                "restore: order is not a permutation of the matrix rows");
   clustering.validate(a.nrows());
@@ -87,6 +116,7 @@ Pipeline Pipeline::restore(PipelineOptions opt, Csr a, Permutation order,
   }
   Pipeline p;
   p.opt_ = opt;
+  p.mode_ = mode;
   p.a_ = std::move(a);
   p.order_ = std::move(order);
   p.inv_order_ = invert_permutation(p.order_);
@@ -97,6 +127,9 @@ Pipeline Pipeline::restore(PipelineOptions opt, Csr a, Permutation order,
 }
 
 Csr Pipeline::multiply_square(SpgemmStats* kernel_stats) const {
+  CW_CHECK_MSG(mode_ == PermutationMode::kSymmetric,
+               "multiply_square: rows-only pipelines are not their own column "
+               "space; use multiply(b)");
   if (clustered_) return clusterwise_spgemm(*clustered_, a_, kernel_stats);
   return spgemm(a_, a_, opt_.accumulator, kernel_stats);
 }
@@ -104,7 +137,12 @@ Csr Pipeline::multiply_square(SpgemmStats* kernel_stats) const {
 Csr Pipeline::multiply(const Csr& b, SpgemmStats* kernel_stats) const {
   CW_CHECK_MSG(b.nrows() == a_.ncols(),
                "B has " << b.nrows() << " rows, expected " << a_.ncols());
-  // A's columns were relabelled by order_, so B's rows must follow.
+  // Symmetric mode relabelled A's columns with order_, so B's rows must
+  // follow. Rows-only mode never touched the columns; B is used as-is.
+  if (mode_ == PermutationMode::kRowsOnly) {
+    if (clustered_) return clusterwise_spgemm(*clustered_, b, kernel_stats);
+    return spgemm(a_, b, opt_.accumulator, kernel_stats);
+  }
   const Csr b_perm = b.permute_rows(order_);
   if (clustered_) return clusterwise_spgemm(*clustered_, b_perm, kernel_stats);
   return spgemm(a_, b_perm, opt_.accumulator, kernel_stats);

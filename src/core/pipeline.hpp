@@ -1,6 +1,15 @@
 // High-level public API: preprocess a square A once (reorder → cluster →
 // build CSR_Cluster), then run many SpGEMMs against it — the amortization
 // scenario (§4.5) the paper targets (e.g. BC's repeated frontier products).
+//
+// Two permutation modes exist. The symmetric mode is the paper's setting:
+// a square A reordered as P·A·Pᵀ, so B's rows must be permuted to match the
+// relabelled columns on every multiply. The rows-only mode backs the
+// sharding subsystem (src/shard): a *row block* of a larger matrix keeps its
+// original column labels (so one shared B serves every shard unchanged) and
+// only its rows may be reordered — by hierarchical clustering's implicit
+// order, never by an explicit reordering (those assume a square symmetric
+// adjacency).
 #pragma once
 
 #include <optional>
@@ -18,6 +27,14 @@ namespace cw {
 enum class ClusterScheme { kNone, kFixed, kVariable, kHierarchical };
 
 const char* to_string(ClusterScheme scheme);
+
+/// How the pipeline's row order relates to the matrix it was built from.
+/// kSymmetric: order applied as P·A·Pᵀ (columns relabelled; B is permuted on
+/// multiply). kRowsOnly: order applied as row shuffle only (columns keep
+/// their labels; B is used as-is) — the row-block/shard setting.
+enum class PermutationMode : std::uint8_t { kSymmetric = 0, kRowsOnly = 1 };
+
+const char* to_string(PermutationMode mode);
 
 struct PipelineOptions {
   /// Reordering applied first (Original = keep input order). Ignored rows vs
@@ -57,24 +74,44 @@ struct PipelineStats {
 /// Preprocess-once / multiply-many context.
 class Pipeline {
  public:
-  /// Preprocesses `a` according to `opt`. `a` must be square.
+  /// Preprocesses `a` according to `opt` in symmetric mode. `a` must be
+  /// square.
   Pipeline(const Csr& a, const PipelineOptions& opt);
+
+  /// Preprocess a (possibly rectangular) row block in rows-only mode:
+  /// clustering runs as usual, but any row reordering (hierarchical's
+  /// implicit one) shuffles rows without relabelling columns, so multiply()
+  /// takes B unchanged. Requires opt.reorder == kOriginal — the explicit
+  /// reorderings assume a square symmetric adjacency that a row block does
+  /// not have (the sharding layer captures locality in its global plan
+  /// order instead).
+  static Pipeline prepare_rows(const Csr& a, const PipelineOptions& opt);
 
   /// Reassemble a pipeline from previously computed parts without redoing any
   /// preprocessing — the snapshot-loading path (serve/snapshot.hpp), which is
   /// what lets the §4.5 amortization span processes. `clustered` must be
   /// engaged iff opt.scheme != kNone, and all parts must be mutually
   /// consistent (a already permuted by order, clustering covering a's rows).
+  /// Symmetric mode additionally requires a square matrix.
   static Pipeline restore(PipelineOptions opt, Csr a, Permutation order,
                           Clustering clustering,
                           std::optional<CsrCluster> clustered,
-                          PipelineStats stats);
+                          PipelineStats stats,
+                          PermutationMode mode = PermutationMode::kSymmetric);
+
+  /// The permutation mode the pipeline was prepared in.
+  [[nodiscard]] PermutationMode mode() const { return mode_; }
 
   /// The row order in effect (order[new_pos] = original row). Hierarchical
   /// clustering contributes its own reordering on top of opt.reorder.
   [[nodiscard]] const Permutation& order() const { return order_; }
 
-  /// The preprocessed A (reordered symmetrically).
+  /// Cached inverse of order() (inv[original row] = new position) — the
+  /// per-request unpermute path must not rebuild it.
+  [[nodiscard]] const Permutation& inverse_order() const { return inv_order_; }
+
+  /// The preprocessed A (reordered symmetrically, or rows-only in kRowsOnly
+  /// mode).
   [[nodiscard]] const Csr& matrix() const { return a_; }
 
   /// Cluster structure (singletons when scheme == kNone).
@@ -91,20 +128,28 @@ class Pipeline {
   }
 
   /// C = A' × A' in the preprocessed (permuted) space. Equal to P·A²·Pᵀ.
+  /// Symmetric mode only (a rows-only block is not its own column space).
   [[nodiscard]] Csr multiply_square(SpgemmStats* kernel_stats = nullptr) const;
 
-  /// C = A' × B where B's rows are given in the *original* index space;
-  /// they are permuted to match A's column order internally. The result's
-  /// rows are in the preprocessed order (use unpermute_rows to go back).
+  /// C = A' × B. Symmetric mode: B's rows are given in the *original* index
+  /// space and permuted internally to match A's relabelled columns.
+  /// Rows-only mode: columns were never relabelled, so B is used as-is.
+  /// Either way the result's rows are in the preprocessed order (use
+  /// unpermute_rows to go back).
   [[nodiscard]] Csr multiply(const Csr& b, SpgemmStats* kernel_stats = nullptr) const;
 
   /// Undo the row permutation of a product computed in preprocessed space.
   [[nodiscard]] Csr unpermute_rows(const Csr& c) const;
 
  private:
-  Pipeline() = default;  // used by restore()
+  Pipeline() = default;  // used by restore() / prepare_rows()
+
+  /// Shared preprocessing body: reorder (symmetric mode only) → cluster →
+  /// clustered format.
+  void build_(const Csr& a);
 
   PipelineOptions opt_;
+  PermutationMode mode_ = PermutationMode::kSymmetric;
   Csr a_;                    // preprocessed matrix
   Permutation order_;        // composition of reorder (+ hierarchical order)
   Permutation inv_order_;    // cached inverse: serving calls unpermute_rows

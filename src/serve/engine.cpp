@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace cw::serve {
@@ -18,11 +19,9 @@ double ms_between(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 ServeEngine::ServeEngine(EngineOptions opt)
-    : opt_(opt), start_(Clock::now()) {
+    : opt_(opt), start_(Clock::now()), latencies_(opt.latency_window) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
   CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
-  CW_CHECK_MSG(opt_.latency_window >= 1, "engine: latency_window must be >= 1");
-  latencies_ms_.resize(opt_.latency_window, 0.0);
   workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
   for (int w = 0; w < opt_.num_workers; ++w)
     workers_.emplace_back([this] { worker_loop_(); });
@@ -32,7 +31,14 @@ ServeEngine::~ServeEngine() { shutdown(); }
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
                                      Csr b) {
+  return submit(std::move(pipeline),
+                std::make_shared<const Csr>(std::move(b)));
+}
+
+std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
+                                     std::shared_ptr<const Csr> b) {
   CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
+  CW_CHECK_MSG(b != nullptr, "engine: null request payload");
   Job job;
   job.b = std::move(b);
   job.enqueued = Clock::now();
@@ -88,19 +94,20 @@ EngineStats ServeEngine::stats() const {
   s.throughput_rps = s.elapsed_seconds > 0
                          ? static_cast<double>(s.completed) / s.elapsed_seconds
                          : 0;
-  if (latency_count_ > 0) {
-    const std::vector<double> window(latencies_ms_.begin(),
-                                     latencies_ms_.begin() +
-                                         static_cast<std::ptrdiff_t>(latency_count_));
-    s.latency_p50_ms = percentile(window, 50);
-    s.latency_p95_ms = percentile(window, 95);
-    s.latency_p99_ms = percentile(window, 99);
-    s.latency_max_ms = latency_max_ms_;
+  if (latencies_.count() > 0) {
+    s.latency_p50_ms = latencies_.window_percentile(50);
+    s.latency_p95_ms = latencies_.window_percentile(95);
+    s.latency_p99_ms = latencies_.window_percentile(99);
+    s.latency_max_ms = latencies_.max_ms();
   }
   return s;
 }
 
 void ServeEngine::worker_loop_() {
+  // The nthreads ICV is per OS thread, so capping it here budgets every
+  // batch this worker will ever run without touching the other workers or
+  // the caller's threads.
+  set_num_threads(opt_.omp_threads_per_worker);
   for (;;) {
     std::shared_ptr<const Pipeline> pipeline;
     std::vector<Job> batch;
@@ -140,7 +147,7 @@ void ServeEngine::worker_loop_() {
     done_ms.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       try {
-        Csr c = pipeline->multiply(batch[i].b);
+        Csr c = pipeline->multiply(*batch[i].b);
         if (opt_.unpermute_results) c = pipeline->unpermute_rows(c);
         outcomes[i].value = std::move(c);
         ++ok;
@@ -163,12 +170,7 @@ void ServeEngine::worker_loop_() {
       ++batches_;
       if (batch.size() > 1) coalesced_ += batch.size();
       busy_seconds_ += busy;
-      for (const double ms : done_ms) {
-        latencies_ms_[latency_next_] = ms;
-        latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
-        latency_count_ = std::min(latency_count_ + 1, latencies_ms_.size());
-        latency_max_ms_ = std::max(latency_max_ms_, ms);
-      }
+      for (const double ms : done_ms) latencies_.record(ms);
       in_flight_ -= batch.size();
       idle = ready_.empty() && in_flight_ == 0;
     }

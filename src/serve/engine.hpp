@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/pipeline.hpp"
 
 namespace cw::serve {
@@ -37,6 +38,11 @@ struct EngineOptions {
   int num_workers = 4;
   /// Max requests coalesced into one batch per group pickup.
   index_t max_batch = 16;
+  /// Per-batch OpenMP thread cap for the kernels a worker runs: each worker
+  /// thread's parallel regions are limited to this many threads, so
+  /// num_workers × wide kernels cannot oversubscribe the machine. 0 =
+  /// inherit the global OpenMP setting (the pre-budgeting behaviour).
+  int omp_threads_per_worker = 0;
   /// Return products with rows in the original (pre-reordering) index space.
   bool unpermute_results = true;
   /// Latency samples retained for the percentile report (ring buffer over
@@ -76,6 +82,11 @@ class ServeEngine {
   /// The future yields the product, or rethrows the multiply's exception.
   std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline, Csr b);
 
+  /// Same, but B is shared: the scatter path (shard/engine.hpp) fans one B
+  /// out to K per-shard requests without K copies.
+  std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline,
+                          std::shared_ptr<const Csr> b);
+
   /// Block until every submitted request has completed.
   void drain();
 
@@ -89,7 +100,7 @@ class ServeEngine {
   using Clock = std::chrono::steady_clock;
 
   struct Job {
-    Csr b;
+    std::shared_ptr<const Csr> b;
     std::promise<Csr> result;
     Clock::time_point enqueued;
   };
@@ -115,10 +126,7 @@ class ServeEngine {
   std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, batches_ = 0,
                 coalesced_ = 0;
   double busy_seconds_ = 0;
-  double latency_max_ms_ = 0;
-  std::vector<double> latencies_ms_;  // ring buffer of size latency_window
-  std::size_t latency_next_ = 0;      // ring cursor
-  std::size_t latency_count_ = 0;     // valid entries (<= latency_window)
+  LatencyRecorder latencies_;
 
   std::vector<std::thread> workers_;
 };

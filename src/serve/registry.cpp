@@ -8,6 +8,9 @@ std::size_t pipeline_memory_bytes(const Pipeline& p) {
   std::size_t bytes = sizeof(Pipeline);
   bytes += p.matrix().memory_bytes();
   bytes += p.order().size() * sizeof(index_t);
+  // The cached inverse permutation is resident too; omitting it once made
+  // byte-bounded LRU limits undercount every entry by a full index array.
+  bytes += p.inverse_order().size() * sizeof(index_t);
   bytes += p.clustering().ptr().size() * sizeof(index_t);
   if (p.clustered()) bytes += p.clustered()->memory_bytes();
   return bytes;
@@ -31,8 +34,10 @@ std::shared_ptr<const Pipeline> PipelineRegistry::find(const Fingerprint& key) {
 }
 
 std::shared_ptr<const Pipeline> PipelineRegistry::insert(
-    const Fingerprint& key, std::shared_ptr<const Pipeline> p) {
+    const Fingerprint& key, std::shared_ptr<const Pipeline> p,
+    bool* admitted) {
   CW_CHECK_MSG(p != nullptr, "registry: cannot insert a null pipeline");
+  if (admitted) *admitted = false;
   const std::size_t bytes = pipeline_memory_bytes(*p);
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
@@ -44,6 +49,7 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     ++stats_.oversize_rejects;
     return p;  // usable by the caller, just not cached
   }
+  if (admitted) *admitted = true;
   evict_until_(capacity_ - bytes);
   lru_.push_front(Entry{key, std::move(p), bytes});
   map_[key] = lru_.begin();

@@ -58,9 +58,14 @@ class PipelineRegistry {
   /// budget holds. First insert wins: if the key is already present (e.g. a
   /// racing builder got there first) the incumbent is kept and returned, so
   /// all callers share one copy. To force a rebuild, erase() first. An entry
-  /// bigger than the whole budget is returned but not cached.
+  /// bigger than the whole budget is returned but not cached. `admitted`
+  /// (optional) is set to whether THIS call cached its entry — the returned
+  /// handle alone cannot distinguish admitted / incumbent-kept /
+  /// oversize-rejected, and a registry-wide counter delta would race other
+  /// inserters.
   std::shared_ptr<const Pipeline> insert(const Fingerprint& key,
-                                         std::shared_ptr<const Pipeline> p);
+                                         std::shared_ptr<const Pipeline> p,
+                                         bool* admitted = nullptr);
 
   /// find(), or build-and-insert on miss. `build` runs outside the registry
   /// lock, so concurrent get_or_build calls for *different* keys never

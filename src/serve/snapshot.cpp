@@ -17,114 +17,34 @@ constexpr std::uint32_t kEndianTag = 0x01020304u;
 
 // Section tags let a truncated/garbled payload fail with a named section
 // instead of a silent misparse.
-enum class Section : std::uint32_t {
-  kOptions = 0x4F505453,     // "OPTS"
-  kStats = 0x53544154,       // "STAT"
-  kOrder = 0x4F524452,       // "ORDR"
-  kCsr = 0x43535220,         // "CSR "
-  kClustering = 0x434C5553,  // "CLUS"
-  kCsrCluster = 0x43434C55,  // "CCLU"
+enum Section : std::uint32_t {
+  kSecOptions = 0x4F505453,     // "OPTS"
+  kSecStats = 0x53544154,       // "STAT"
+  kSecMode = 0x4D4F4445,        // "MODE" (v2+)
+  kSecOrder = 0x4F524452,       // "ORDR"
+  kSecCsr = 0x43535220,         // "CSR "
+  kSecClustering = 0x434C5553,  // "CLUS"
+  kSecCsrCluster = 0x43434C55,  // "CCLU"
 };
-
-// --- primitive writers/readers ----------------------------------------------
-
-void write_bytes(std::ostream& out, const void* data, std::size_t n) {
-  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  if (!out) throw Error("snapshot: write failed");
-}
-
-template <typename T>
-void write_pod(std::ostream& out, T v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  write_bytes(out, &v, sizeof(T));
-}
-
-template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  write_pod<std::uint64_t>(out, v.size());
-  if (!v.empty()) write_bytes(out, v.data(), v.size() * sizeof(T));
-}
-
-void read_bytes(std::istream& in, void* data, std::size_t n) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(in.gcount()) != n)
-    throw Error("snapshot: truncated file");
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T v;
-  read_bytes(in, &v, sizeof(T));
-  return v;
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto count = read_pod<std::uint64_t>(in);
-  // Guard against allocating absurd sizes from a corrupted count field.
-  if (count > (std::uint64_t{1} << 40) / sizeof(T))
-    throw Error("snapshot: implausible array length (corrupted file?)");
-  std::vector<T> v(static_cast<std::size_t>(count));
-  if (count > 0) read_bytes(in, v.data(), v.size() * sizeof(T));
-  return v;
-}
-
-void write_section(std::ostream& out, Section s) {
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s));
-}
-
-void expect_section(std::istream& in, Section s, const char* name) {
-  const auto got = read_pod<std::uint32_t>(in);
-  if (got != static_cast<std::uint32_t>(s))
-    throw Error(std::string("snapshot: expected section ") + name);
-}
-
-// --- header -----------------------------------------------------------------
-
-void write_header(std::ostream& out, SnapshotKind kind, index_t nrows,
-                  index_t ncols, offset_t nnz) {
-  write_bytes(out, kMagic, sizeof(kMagic));
-  write_pod<std::uint32_t>(out, kSnapshotVersion);
-  write_pod<std::uint32_t>(out, kEndianTag);
-  write_pod<std::uint8_t>(out, sizeof(index_t));
-  write_pod<std::uint8_t>(out, sizeof(offset_t));
-  write_pod<std::uint8_t>(out, sizeof(value_t));
-  write_pod<std::uint8_t>(out, 0);  // reserved
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(kind));
-  write_pod<index_t>(out, nrows);
-  write_pod<index_t>(out, ncols);
-  write_pod<offset_t>(out, nnz);
-}
-
-SnapshotKind expect_header(std::istream& in, SnapshotKind want) {
-  const SnapshotInfo info = read_info(in);
-  if (info.kind != want)
-    throw Error(std::string("snapshot: file holds a ") + to_string(info.kind) +
-                ", expected a " + to_string(want));
-  return info.kind;
-}
 
 // --- payloads ---------------------------------------------------------------
 
-void write_csr_payload(std::ostream& out, const Csr& a) {
-  write_section(out, Section::kCsr);
-  write_pod<index_t>(out, a.nrows());
-  write_pod<index_t>(out, a.ncols());
-  write_vec(out, a.row_ptr());
-  write_vec(out, a.col_idx());
-  write_vec(out, a.values());
+void write_csr_payload(io::Writer& w, const Csr& a) {
+  w.section(kSecCsr);
+  w.pod<index_t>(a.nrows());
+  w.pod<index_t>(a.ncols());
+  w.vec(a.row_ptr());
+  w.vec(a.col_idx());
+  w.vec(a.values());
 }
 
-Csr read_csr_payload(std::istream& in) {
-  expect_section(in, Section::kCsr, "CSR");
-  const auto nrows = read_pod<index_t>(in);
-  const auto ncols = read_pod<index_t>(in);
-  auto row_ptr = read_vec<offset_t>(in);
-  auto col_idx = read_vec<index_t>(in);
-  auto values = read_vec<value_t>(in);
+Csr read_csr_payload(io::Reader& r) {
+  r.expect_section(kSecCsr, "CSR");
+  const auto nrows = r.pod<index_t>();
+  const auto ncols = r.pod<index_t>();
+  auto row_ptr = r.vec<offset_t>();
+  auto col_idx = r.vec<index_t>();
+  auto values = r.vec<value_t>();
   // Fully validate the raw arrays BEFORE handing them to the Csr
   // constructor: in release builds the constructor trusts row_ptr when it
   // scans rows, so corrupted offsets must never reach it.
@@ -135,8 +55,8 @@ Csr read_csr_payload(std::istream& in) {
       row_ptr.back() != static_cast<offset_t>(col_idx.size()) ||
       col_idx.size() != values.size())
     throw Error("snapshot: CSR array lengths do not match row pointers");
-  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r)
-    if (row_ptr[r] > row_ptr[r + 1])
+  for (std::size_t r2 = 0; r2 + 1 < row_ptr.size(); ++r2)
+    if (row_ptr[r2] > row_ptr[r2 + 1])
       throw Error("snapshot: CSR row pointers are not non-decreasing");
   for (const index_t c : col_idx)
     if (c < 0 || c >= ncols)
@@ -147,14 +67,14 @@ Csr read_csr_payload(std::istream& in) {
   return a;
 }
 
-void write_clustering_payload(std::ostream& out, const Clustering& clustering) {
-  write_section(out, Section::kClustering);
-  write_vec(out, clustering.ptr());
+void write_clustering_payload(io::Writer& w, const Clustering& clustering) {
+  w.section(kSecClustering);
+  w.vec(clustering.ptr());
 }
 
-Clustering read_clustering_payload(std::istream& in) {
-  expect_section(in, Section::kClustering, "CLUS");
-  const auto ptr = read_vec<index_t>(in);
+Clustering read_clustering_payload(io::Reader& r) {
+  r.expect_section(kSecClustering, "CLUS");
+  const auto ptr = r.vec<index_t>();
   if (ptr.empty() || ptr.front() != 0)
     throw Error("snapshot: malformed clustering pointer array");
   std::vector<index_t> sizes(ptr.size() - 1);
@@ -166,30 +86,30 @@ Clustering read_clustering_payload(std::istream& in) {
   return Clustering::from_sizes(sizes);
 }
 
-void write_csr_cluster_payload(std::ostream& out, const CsrCluster& cc) {
-  write_section(out, Section::kCsrCluster);
-  write_pod<index_t>(out, cc.nrows());
-  write_pod<index_t>(out, cc.ncols());
-  write_pod<offset_t>(out, cc.nnz());
-  write_clustering_payload(out, cc.clustering());
-  write_vec(out, cc.cluster_ptr());
-  write_vec(out, cc.value_ptr());
-  write_vec(out, cc.col_idx());
-  write_vec(out, cc.row_mask());
-  write_vec(out, cc.values());
+void write_csr_cluster_payload(io::Writer& w, const CsrCluster& cc) {
+  w.section(kSecCsrCluster);
+  w.pod<index_t>(cc.nrows());
+  w.pod<index_t>(cc.ncols());
+  w.pod<offset_t>(cc.nnz());
+  write_clustering_payload(w, cc.clustering());
+  w.vec(cc.cluster_ptr());
+  w.vec(cc.value_ptr());
+  w.vec(cc.col_idx());
+  w.vec(cc.row_mask());
+  w.vec(cc.values());
 }
 
-CsrCluster read_csr_cluster_payload(std::istream& in) {
-  expect_section(in, Section::kCsrCluster, "CCLU");
-  const auto nrows = read_pod<index_t>(in);
-  const auto ncols = read_pod<index_t>(in);
-  const auto nnz = read_pod<offset_t>(in);
-  Clustering clustering = read_clustering_payload(in);
-  auto cluster_ptr = read_vec<offset_t>(in);
-  auto value_ptr = read_vec<offset_t>(in);
-  auto col_idx = read_vec<index_t>(in);
-  auto row_mask = read_vec<std::uint64_t>(in);
-  auto values = read_vec<value_t>(in);
+CsrCluster read_csr_cluster_payload(io::Reader& r) {
+  r.expect_section(kSecCsrCluster, "CCLU");
+  const auto nrows = r.pod<index_t>();
+  const auto ncols = r.pod<index_t>();
+  const auto nnz = r.pod<offset_t>();
+  Clustering clustering = read_clustering_payload(r);
+  auto cluster_ptr = r.vec<offset_t>();
+  auto value_ptr = r.vec<offset_t>();
+  auto col_idx = r.vec<index_t>();
+  auto row_mask = r.vec<std::uint64_t>();
+  auto values = r.vec<value_t>();
   // from_parts runs CsrCluster::validate() on the result.
   return CsrCluster::from_parts(nrows, ncols, nnz, std::move(clustering),
                                 std::move(cluster_ptr), std::move(value_ptr),
@@ -197,72 +117,72 @@ CsrCluster read_csr_cluster_payload(std::istream& in) {
                                 std::move(values));
 }
 
-void write_options_payload(std::ostream& out, const PipelineOptions& o) {
-  write_section(out, Section::kOptions);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(o.reorder));
-  write_pod<std::uint64_t>(out, o.reorder_opt.seed);
-  write_pod<index_t>(out, o.reorder_opt.rows_per_part);
-  write_pod<index_t>(out, o.reorder_opt.nd_leaf_size);
-  write_pod<double>(out, o.reorder_opt.slashburn_hub_fraction);
-  write_pod<index_t>(out, o.reorder_opt.gray_dense_threshold);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(o.scheme));
-  write_pod<index_t>(out, o.fixed_length);
-  write_pod<double>(out, o.variable_opt.jaccard_threshold);
-  write_pod<index_t>(out, o.variable_opt.max_cluster_size);
-  write_pod<double>(out, o.hierarchical_opt.jaccard_threshold);
-  write_pod<index_t>(out, o.hierarchical_opt.max_cluster_size);
-  write_pod<index_t>(out, o.hierarchical_opt.col_cap);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(o.accumulator));
+void write_options_payload(io::Writer& w, const PipelineOptions& o) {
+  w.section(kSecOptions);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(o.reorder));
+  w.pod<std::uint64_t>(o.reorder_opt.seed);
+  w.pod<index_t>(o.reorder_opt.rows_per_part);
+  w.pod<index_t>(o.reorder_opt.nd_leaf_size);
+  w.pod<double>(o.reorder_opt.slashburn_hub_fraction);
+  w.pod<index_t>(o.reorder_opt.gray_dense_threshold);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(o.scheme));
+  w.pod<index_t>(o.fixed_length);
+  w.pod<double>(o.variable_opt.jaccard_threshold);
+  w.pod<index_t>(o.variable_opt.max_cluster_size);
+  w.pod<double>(o.hierarchical_opt.jaccard_threshold);
+  w.pod<index_t>(o.hierarchical_opt.max_cluster_size);
+  w.pod<index_t>(o.hierarchical_opt.col_cap);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(o.accumulator));
 }
 
-PipelineOptions read_options_payload(std::istream& in) {
-  expect_section(in, Section::kOptions, "OPTS");
+PipelineOptions read_options_payload(io::Reader& r) {
+  r.expect_section(kSecOptions, "OPTS");
   PipelineOptions o;
-  const auto reorder = read_pod<std::uint32_t>(in);
+  const auto reorder = r.pod<std::uint32_t>();
   if (reorder > static_cast<std::uint32_t>(ReorderAlgo::kSlashBurn))
     throw Error("snapshot: unknown reorder algorithm id");
   o.reorder = static_cast<ReorderAlgo>(reorder);
-  o.reorder_opt.seed = read_pod<std::uint64_t>(in);
-  o.reorder_opt.rows_per_part = read_pod<index_t>(in);
-  o.reorder_opt.nd_leaf_size = read_pod<index_t>(in);
-  o.reorder_opt.slashburn_hub_fraction = read_pod<double>(in);
-  o.reorder_opt.gray_dense_threshold = read_pod<index_t>(in);
-  const auto scheme = read_pod<std::uint32_t>(in);
+  o.reorder_opt.seed = r.pod<std::uint64_t>();
+  o.reorder_opt.rows_per_part = r.pod<index_t>();
+  o.reorder_opt.nd_leaf_size = r.pod<index_t>();
+  o.reorder_opt.slashburn_hub_fraction = r.pod<double>();
+  o.reorder_opt.gray_dense_threshold = r.pod<index_t>();
+  const auto scheme = r.pod<std::uint32_t>();
   if (scheme > static_cast<std::uint32_t>(ClusterScheme::kHierarchical))
     throw Error("snapshot: unknown cluster scheme id");
   o.scheme = static_cast<ClusterScheme>(scheme);
-  o.fixed_length = read_pod<index_t>(in);
-  o.variable_opt.jaccard_threshold = read_pod<double>(in);
-  o.variable_opt.max_cluster_size = read_pod<index_t>(in);
-  o.hierarchical_opt.jaccard_threshold = read_pod<double>(in);
-  o.hierarchical_opt.max_cluster_size = read_pod<index_t>(in);
-  o.hierarchical_opt.col_cap = read_pod<index_t>(in);
-  const auto acc = read_pod<std::uint32_t>(in);
+  o.fixed_length = r.pod<index_t>();
+  o.variable_opt.jaccard_threshold = r.pod<double>();
+  o.variable_opt.max_cluster_size = r.pod<index_t>();
+  o.hierarchical_opt.jaccard_threshold = r.pod<double>();
+  o.hierarchical_opt.max_cluster_size = r.pod<index_t>();
+  o.hierarchical_opt.col_cap = r.pod<index_t>();
+  const auto acc = r.pod<std::uint32_t>();
   if (acc > static_cast<std::uint32_t>(Accumulator::kSort))
     throw Error("snapshot: unknown accumulator id");
   o.accumulator = static_cast<Accumulator>(acc);
   return o;
 }
 
-void write_stats_payload(std::ostream& out, const PipelineStats& s) {
-  write_section(out, Section::kStats);
-  write_pod<double>(out, s.reorder_seconds);
-  write_pod<double>(out, s.cluster_seconds);
-  write_pod<double>(out, s.format_seconds);
-  write_pod<std::uint64_t>(out, s.csr_bytes);
-  write_pod<std::uint64_t>(out, s.clustered_bytes);
-  write_pod<index_t>(out, s.num_clusters);
+void write_stats_payload(io::Writer& w, const PipelineStats& s) {
+  w.section(kSecStats);
+  w.pod<double>(s.reorder_seconds);
+  w.pod<double>(s.cluster_seconds);
+  w.pod<double>(s.format_seconds);
+  w.pod<std::uint64_t>(s.csr_bytes);
+  w.pod<std::uint64_t>(s.clustered_bytes);
+  w.pod<index_t>(s.num_clusters);
 }
 
-PipelineStats read_stats_payload(std::istream& in) {
-  expect_section(in, Section::kStats, "STAT");
+PipelineStats read_stats_payload(io::Reader& r) {
+  r.expect_section(kSecStats, "STAT");
   PipelineStats s;
-  s.reorder_seconds = read_pod<double>(in);
-  s.cluster_seconds = read_pod<double>(in);
-  s.format_seconds = read_pod<double>(in);
-  s.csr_bytes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  s.clustered_bytes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  s.num_clusters = read_pod<index_t>(in);
+  s.reorder_seconds = r.pod<double>();
+  s.cluster_seconds = r.pod<double>();
+  s.format_seconds = r.pod<double>();
+  s.csr_bytes = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  s.clustered_bytes = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  s.num_clusters = r.pod<index_t>();
   return s;
 }
 
@@ -274,102 +194,189 @@ const char* to_string(SnapshotKind kind) {
     case SnapshotKind::kClustering: return "clustering";
     case SnapshotKind::kCsrCluster: return "csr-cluster";
     case SnapshotKind::kPipeline: return "pipeline";
+    case SnapshotKind::kShardedPipeline: return "sharded-pipeline";
   }
   return "?";
 }
 
 SnapshotInfo read_info(std::istream& in) {
+  // The header predates any Reader: it tells us which format version the
+  // payload reader must speak. All reads here are raw (no digest).
+  io::Reader raw(in, kMinSnapshotVersion);
   char magic[sizeof(kMagic)];
-  read_bytes(in, magic, sizeof(magic));
+  raw.raw_bytes(magic, sizeof(magic));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw Error("snapshot: bad magic (not a CWSNAP file)");
   SnapshotInfo info;
-  info.version = read_pod<std::uint32_t>(in);
-  if (info.version != kSnapshotVersion)
+  raw.raw_bytes(&info.version, sizeof(info.version));
+  if (info.version < kMinSnapshotVersion || info.version > kSnapshotVersion)
     throw Error("snapshot: unsupported version " + std::to_string(info.version) +
-                " (this build reads version " +
+                " (this build reads versions " +
+                std::to_string(kMinSnapshotVersion) + ".." +
                 std::to_string(kSnapshotVersion) + ")");
-  if (read_pod<std::uint32_t>(in) != kEndianTag)
+  std::uint32_t endian;
+  raw.raw_bytes(&endian, sizeof(endian));
+  if (endian != kEndianTag)
     throw Error("snapshot: written on a machine with different endianness");
-  const auto iw = read_pod<std::uint8_t>(in);
-  const auto ow = read_pod<std::uint8_t>(in);
-  const auto vw = read_pod<std::uint8_t>(in);
-  (void)read_pod<std::uint8_t>(in);  // reserved
-  if (iw != sizeof(index_t) || ow != sizeof(offset_t) || vw != sizeof(value_t))
+  std::uint8_t widths[4];
+  raw.raw_bytes(widths, sizeof(widths));  // index, offset, value, reserved
+  if (widths[0] != sizeof(index_t) || widths[1] != sizeof(offset_t) ||
+      widths[2] != sizeof(value_t))
     throw Error("snapshot: scalar type widths do not match this build");
-  const auto kind = read_pod<std::uint32_t>(in);
+  std::uint32_t kind;
+  raw.raw_bytes(&kind, sizeof(kind));
   if (kind < static_cast<std::uint32_t>(SnapshotKind::kCsr) ||
-      kind > static_cast<std::uint32_t>(SnapshotKind::kPipeline))
+      kind > static_cast<std::uint32_t>(SnapshotKind::kShardedPipeline))
     throw Error("snapshot: unknown payload kind");
   info.kind = static_cast<SnapshotKind>(kind);
-  info.nrows = read_pod<index_t>(in);
-  info.ncols = read_pod<index_t>(in);
-  info.nnz = read_pod<offset_t>(in);
+  raw.raw_bytes(&info.nrows, sizeof(info.nrows));
+  raw.raw_bytes(&info.ncols, sizeof(info.ncols));
+  raw.raw_bytes(&info.nnz, sizeof(info.nnz));
   return info;
 }
+
+namespace detail {
+
+void write_header(io::Writer& w, SnapshotKind kind, index_t nrows,
+                  index_t ncols, offset_t nnz) {
+  w.raw_bytes(kMagic, sizeof(kMagic));
+  w.raw_pod<std::uint32_t>(kSnapshotVersion);
+  w.raw_pod<std::uint32_t>(kEndianTag);
+  w.raw_pod<std::uint8_t>(sizeof(index_t));
+  w.raw_pod<std::uint8_t>(sizeof(offset_t));
+  w.raw_pod<std::uint8_t>(sizeof(value_t));
+  w.raw_pod<std::uint8_t>(0);  // reserved
+  w.raw_pod<std::uint32_t>(static_cast<std::uint32_t>(kind));
+  w.raw_pod<index_t>(nrows);
+  w.raw_pod<index_t>(ncols);
+  w.raw_pod<offset_t>(nnz);
+}
+
+void write_pipeline_payload(io::Writer& w, const Pipeline& pipeline) {
+  write_options_payload(w, pipeline.options());
+  write_stats_payload(w, pipeline.stats());
+  w.section(kSecMode);
+  w.pod<std::uint8_t>(static_cast<std::uint8_t>(pipeline.mode()));
+  w.section(kSecOrder);
+  w.vec(pipeline.order());
+  write_csr_payload(w, pipeline.matrix());
+  write_clustering_payload(w, pipeline.clustering());
+  w.pod<std::uint8_t>(pipeline.clustered().has_value() ? 1 : 0);
+  if (pipeline.clustered())
+    write_csr_cluster_payload(w, *pipeline.clustered());
+}
+
+void write_pipeline_options(io::Writer& w, const PipelineOptions& options) {
+  write_options_payload(w, options);
+}
+
+PipelineOptions read_pipeline_options(io::Reader& r) {
+  return read_options_payload(r);
+}
+
+Pipeline read_pipeline_payload(io::Reader& r) {
+  PipelineOptions opt = read_options_payload(r);
+  PipelineStats stats = read_stats_payload(r);
+  // Version 1 predates rows-only pipelines; its records are all symmetric.
+  PermutationMode mode = PermutationMode::kSymmetric;
+  if (r.version() >= 2) {
+    r.expect_section(kSecMode, "MODE");
+    const auto m = r.pod<std::uint8_t>();
+    if (m > static_cast<std::uint8_t>(PermutationMode::kRowsOnly))
+      throw Error("snapshot: unknown permutation mode");
+    mode = static_cast<PermutationMode>(m);
+  }
+  r.expect_section(kSecOrder, "ORDR");
+  auto order = r.vec<index_t>();
+  Csr a = read_csr_payload(r);
+  Clustering clustering = read_clustering_payload(r);
+  const auto has_clustered = r.pod<std::uint8_t>();
+  std::optional<CsrCluster> clustered;
+  if (has_clustered) clustered = read_csr_cluster_payload(r);
+  // restore() cross-checks order/clustering/clustered against the matrix.
+  return Pipeline::restore(opt, std::move(a), std::move(order),
+                           std::move(clustering), std::move(clustered), stats,
+                           mode);
+}
+
+}  // namespace detail
+
+namespace {
+
+SnapshotInfo expect_header(std::istream& in, SnapshotKind want) {
+  const SnapshotInfo info = read_info(in);
+  if (info.kind != want)
+    throw Error(std::string("snapshot: file holds a ") + to_string(info.kind) +
+                ", expected a " + to_string(want));
+  return info;
+}
+
+}  // namespace
 
 // --- top-level save/load ----------------------------------------------------
 
 void save(std::ostream& out, const Csr& a) {
-  write_header(out, SnapshotKind::kCsr, a.nrows(), a.ncols(), a.nnz());
-  write_csr_payload(out, a);
+  io::Writer w(out);
+  detail::write_header(w, SnapshotKind::kCsr, a.nrows(), a.ncols(), a.nnz());
+  write_csr_payload(w, a);
+  w.checksum();
 }
 
 void save(std::ostream& out, const Clustering& clustering) {
-  write_header(out, SnapshotKind::kClustering, clustering.nrows(), 0,
-               clustering.num_clusters());
-  write_clustering_payload(out, clustering);
+  io::Writer w(out);
+  detail::write_header(w, SnapshotKind::kClustering, clustering.nrows(), 0,
+                       clustering.num_clusters());
+  write_clustering_payload(w, clustering);
+  w.checksum();
 }
 
 void save(std::ostream& out, const CsrCluster& clustered) {
-  write_header(out, SnapshotKind::kCsrCluster, clustered.nrows(),
-               clustered.ncols(), clustered.nnz());
-  write_csr_cluster_payload(out, clustered);
+  io::Writer w(out);
+  detail::write_header(w, SnapshotKind::kCsrCluster, clustered.nrows(),
+                       clustered.ncols(), clustered.nnz());
+  write_csr_cluster_payload(w, clustered);
+  w.checksum();
 }
 
 void save(std::ostream& out, const Pipeline& pipeline) {
   const Csr& a = pipeline.matrix();
-  write_header(out, SnapshotKind::kPipeline, a.nrows(), a.ncols(), a.nnz());
-  write_options_payload(out, pipeline.options());
-  write_stats_payload(out, pipeline.stats());
-  write_section(out, Section::kOrder);
-  write_vec(out, pipeline.order());
-  write_csr_payload(out, a);
-  write_clustering_payload(out, pipeline.clustering());
-  write_pod<std::uint8_t>(out, pipeline.clustered().has_value() ? 1 : 0);
-  if (pipeline.clustered())
-    write_csr_cluster_payload(out, *pipeline.clustered());
+  io::Writer w(out);
+  detail::write_header(w, SnapshotKind::kPipeline, a.nrows(), a.ncols(),
+                       a.nnz());
+  detail::write_pipeline_payload(w, pipeline);
+  w.checksum();
 }
 
 Csr load_csr(std::istream& in) {
-  expect_header(in, SnapshotKind::kCsr);
-  return read_csr_payload(in);
+  const SnapshotInfo info = expect_header(in, SnapshotKind::kCsr);
+  io::Reader r(in, info.version);
+  Csr a = read_csr_payload(r);
+  r.checksum("CSR");
+  return a;
 }
 
 Clustering load_clustering(std::istream& in) {
-  expect_header(in, SnapshotKind::kClustering);
-  return read_clustering_payload(in);
+  const SnapshotInfo info = expect_header(in, SnapshotKind::kClustering);
+  io::Reader r(in, info.version);
+  Clustering c = read_clustering_payload(r);
+  r.checksum("clustering");
+  return c;
 }
 
 CsrCluster load_csr_cluster(std::istream& in) {
-  expect_header(in, SnapshotKind::kCsrCluster);
-  return read_csr_cluster_payload(in);
+  const SnapshotInfo info = expect_header(in, SnapshotKind::kCsrCluster);
+  io::Reader r(in, info.version);
+  CsrCluster cc = read_csr_cluster_payload(r);
+  r.checksum("csr-cluster");
+  return cc;
 }
 
 Pipeline load_pipeline(std::istream& in) {
-  expect_header(in, SnapshotKind::kPipeline);
-  PipelineOptions opt = read_options_payload(in);
-  PipelineStats stats = read_stats_payload(in);
-  expect_section(in, Section::kOrder, "ORDR");
-  auto order = read_vec<index_t>(in);
-  Csr a = read_csr_payload(in);
-  Clustering clustering = read_clustering_payload(in);
-  const auto has_clustered = read_pod<std::uint8_t>(in);
-  std::optional<CsrCluster> clustered;
-  if (has_clustered) clustered = read_csr_cluster_payload(in);
-  // restore() cross-checks order/clustering/clustered against the matrix.
-  return Pipeline::restore(opt, std::move(a), std::move(order),
-                           std::move(clustering), std::move(clustered), stats);
+  const SnapshotInfo info = expect_header(in, SnapshotKind::kPipeline);
+  io::Reader r(in, info.version);
+  Pipeline p = detail::read_pipeline_payload(r);
+  r.checksum("pipeline");
+  return p;
 }
 
 // --- file wrappers ----------------------------------------------------------

@@ -7,16 +7,17 @@
 // prepared by an offline job can be saved, shipped, and reloaded by any
 // number of serving processes without redoing the preprocessing.
 //
-// Format: a fixed little-header (magic, version, endianness tag, scalar-type
-// widths, payload kind, dims) followed by tagged sections of raw
-// fixed-width arrays. Loading verifies magic/version/endianness/widths up
+// Format (version 2): a fixed little-header (magic, version, endianness tag,
+// scalar-type widths, payload kind, dims) followed by tagged sections of raw
+// fixed-width arrays, closed by an FNV-1a checksum over the payload bytes
+// (snapshot_io.hpp). Loading verifies magic/version/endianness/widths up
 // front, bounds-checks every index/pointer array before it is dereferenced,
-// and runs the target type's validate() on the reassembled object, so a
-// truncated file or corrupted *structure* fails loudly with cw::Error
-// instead of producing wrong numerics. Corruption of free-form numeric
-// fields (stored values, timing stats) has no invariant to violate and is
-// not detected — a payload checksum is a ROADMAP item. The format is not
-// interchangeable between machines of different endianness (by design —
+// runs the target type's validate() on the reassembled object, and compares
+// the payload digest — so a truncated file, corrupted structure, or flipped
+// bits inside free-form numerics (stored values, timing stats) all fail
+// loudly with cw::Error instead of producing wrong numbers. Version-1 files
+// (no checksums, pipelines always symmetric-mode) still load. The format is
+// not interchangeable between machines of different endianness (by design —
 // serving fleets are homogeneous; a portable export can convert offline).
 #pragma once
 
@@ -26,12 +27,16 @@
 #include "core/pipeline.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/csr_cluster.hpp"
+#include "serve/snapshot_io.hpp"
 
 namespace cw::serve {
 
-/// Current snapshot format version. Bump on any layout change; load rejects
-/// mismatches.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current snapshot format version. Bump on any layout change; load accepts
+/// this and every older version it can still parse (currently 1).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+
+/// Oldest version load still understands.
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 /// What a snapshot file contains.
 enum class SnapshotKind : std::uint32_t {
@@ -39,6 +44,9 @@ enum class SnapshotKind : std::uint32_t {
   kClustering = 2,
   kCsrCluster = 3,
   kPipeline = 4,
+  /// Row-block sharded pipeline: a shard manifest followed by one embedded
+  /// pipeline record per shard (written/read by shard/snapshot.hpp).
+  kShardedPipeline = 5,
 };
 
 const char* to_string(SnapshotKind kind);
@@ -79,5 +87,26 @@ Pipeline load_pipeline_file(const std::string& path);
 
 /// Header summary of a snapshot file (any kind).
 SnapshotInfo read_info_file(const std::string& path);
+
+// --- record building blocks (shard/snapshot.cpp) ----------------------------
+
+namespace detail {
+
+/// Write the fixed header (not covered by any payload checksum).
+void write_header(io::Writer& w, SnapshotKind kind, index_t nrows,
+                  index_t ncols, offset_t nnz);
+
+/// Write/read one pipeline payload (options, stats, mode, order, matrix,
+/// clustering, clustered format) WITHOUT the closing checksum — the caller
+/// decides the record boundary.
+void write_pipeline_payload(io::Writer& w, const Pipeline& pipeline);
+Pipeline read_pipeline_payload(io::Reader& r);
+
+/// Write/read one OPTS section (the sharded manifest stores the overall
+/// pipeline options with the same encoding as a pipeline record).
+void write_pipeline_options(io::Writer& w, const PipelineOptions& options);
+PipelineOptions read_pipeline_options(io::Reader& r);
+
+}  // namespace detail
 
 }  // namespace cw::serve

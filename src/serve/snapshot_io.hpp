@@ -1,0 +1,169 @@
+// Low-level snapshot stream primitives shared by the serve and shard
+// snapshot records (serve/snapshot.cpp, shard/snapshot.cpp).
+//
+// Writer and Reader wrap a binary stream and fold every payload byte that
+// passes through them into a running FNV-1a digest. A record writer calls
+// checksum() after its payload; the emitted CSUM section stores the digest
+// and resets the running hash, so one stream can carry several
+// independently-verifiable records (the sharded snapshot stores one per
+// shard). Readers mirror the fold on the bytes they consume and compare in
+// checksum(); version-1 streams predate checksums, so a Reader constructed
+// with version 1 skips both the fold comparison and the CSUM section.
+//
+// The digest covers payload bytes only — the fixed header is fully
+// cross-checked field-by-field by read_info and needs no hash.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cw::serve::io {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Section tag of the checksum record that closes a checksummed payload.
+inline constexpr std::uint32_t kChecksumTag = 0x4353554D;  // "CSUM"
+
+inline std::uint64_t fnv1a(std::uint64_t digest, const void* data,
+                           std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    digest ^= bytes[i];
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    if (!out_) throw Error("snapshot: write failed");
+    digest_ = fnv1a(digest_, data, n);
+  }
+
+  template <typename T>
+  void pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod<std::uint64_t>(v.size());
+    if (!v.empty()) bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void section(std::uint32_t tag) { pod<std::uint32_t>(tag); }
+
+  /// Emit the CSUM section for everything written since construction or the
+  /// previous checksum() and reset the running digest. The CSUM bytes
+  /// themselves are excluded from any digest.
+  void checksum() {
+    const std::uint64_t d = digest_;
+    raw_pod<std::uint32_t>(kChecksumTag);
+    raw_pod<std::uint64_t>(d);
+    digest_ = kFnvOffsetBasis;
+  }
+
+  /// Write without folding into the digest (header bytes).
+  void raw_bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    if (!out_) throw Error("snapshot: write failed");
+  }
+
+  template <typename T>
+  void raw_pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw_bytes(&v, sizeof(T));
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t digest_ = kFnvOffsetBasis;
+};
+
+class Reader {
+ public:
+  Reader(std::istream& in, std::uint32_t version)
+      : in_(in), version_(version) {}
+
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] bool checksummed() const { return version_ >= 2; }
+
+  void bytes(void* data, std::size_t n) {
+    raw_bytes(data, n);
+    digest_ = fnv1a(digest_, data, n);
+  }
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    bytes(&v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = pod<std::uint64_t>();
+    // Guard against allocating absurd sizes from a corrupted count field.
+    if (count > (std::uint64_t{1} << 40) / sizeof(T))
+      throw Error("snapshot: implausible array length (corrupted file?)");
+    std::vector<T> v(static_cast<std::size_t>(count));
+    if (count > 0) bytes(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  void expect_section(std::uint32_t tag, const char* name) {
+    const auto got = pod<std::uint32_t>();
+    if (got != tag)
+      throw Error(std::string("snapshot: expected section ") + name);
+  }
+
+  /// Verify the CSUM section closing the record read since construction or
+  /// the previous checksum(), then reset the running digest. No-op on
+  /// checksum-less version-1 streams.
+  void checksum(const char* what) {
+    if (!checksummed()) return;
+    const std::uint64_t computed = digest_;
+    std::uint32_t tag;
+    raw_bytes(&tag, sizeof(tag));
+    if (tag != kChecksumTag)
+      throw Error(std::string("snapshot: expected checksum after ") + what);
+    std::uint64_t stored;
+    raw_bytes(&stored, sizeof(stored));
+    if (stored != computed)
+      throw Error(std::string("snapshot: checksum mismatch in ") + what +
+                  " payload (stored bits do not match their digest — "
+                  "corrupted file?)");
+    digest_ = kFnvOffsetBasis;
+  }
+
+  /// Read without folding into the digest (CSUM records).
+  void raw_bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw Error("snapshot: truncated file");
+  }
+
+ private:
+  std::istream& in_;
+  std::uint32_t version_;
+  std::uint64_t digest_ = kFnvOffsetBasis;
+};
+
+}  // namespace cw::serve::io

@@ -1,0 +1,181 @@
+#include "shard/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+
+namespace cw::shard {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count() * 1e3;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
+    : opt_(opt), start_(Clock::now()), latencies_(opt.latency_window) {
+  CW_CHECK_MSG(opt_.num_workers >= 1, "sharded engine: need >= 1 worker");
+  CW_CHECK_MSG(opt_.gather_workers >= 1,
+               "sharded engine: need >= 1 gather worker");
+  serve::EngineOptions eopt;
+  eopt.num_workers = opt_.num_workers;
+  eopt.max_batch = opt_.max_batch;
+  // Shard results are gathered in block-local order, so the inner engine
+  // performs the per-shard unpermute.
+  eopt.unpermute_results = true;
+  eopt.omp_threads_per_worker =
+      opt_.omp_threads_per_worker > 0
+          ? opt_.omp_threads_per_worker
+          : std::max(1, hardware_threads() / opt_.num_workers);
+  shard_engine_ = std::make_unique<serve::ServeEngine>(eopt);
+
+  gatherers_.reserve(static_cast<std::size_t>(opt_.gather_workers));
+  for (int g = 0; g < opt_.gather_workers; ++g)
+    gatherers_.emplace_back([this] { gather_loop_(); });
+}
+
+ShardedEngine::~ShardedEngine() { shutdown(); }
+
+std::future<Csr> ShardedEngine::submit(
+    std::shared_ptr<const ShardedPipeline> pipeline, Csr b) {
+  CW_CHECK_MSG(pipeline != nullptr, "sharded engine: null pipeline handle");
+  Request req;
+  req.pipeline = std::move(pipeline);
+  req.b = std::make_shared<const Csr>(std::move(b));
+  req.enqueued = Clock::now();
+  std::future<Csr> result = req.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CW_CHECK_MSG(!stopping_, "sharded engine: submit after shutdown");
+    queue_.push_back(std::move(req));
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+  return result;
+}
+
+void ShardedEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && in_flight_ == 0 &&
+           completed_ + failed_ == submitted_;
+  });
+}
+
+void ShardedEngine::shutdown() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : gatherers_) t.join();
+  gatherers_.clear();
+  shard_engine_->shutdown();
+}
+
+ShardedEngineStats ShardedEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardedEngineStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.shard_multiplies = shard_multiplies_;
+  s.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  s.throughput_rps = s.elapsed_seconds > 0
+                         ? static_cast<double>(s.completed) / s.elapsed_seconds
+                         : 0;
+  if (latencies_.count() > 0) {
+    s.latency_p50_ms = latencies_.window_percentile(50);
+    s.latency_p95_ms = latencies_.window_percentile(95);
+    s.latency_p99_ms = latencies_.window_percentile(99);
+    s.latency_max_ms = latencies_.max_ms();
+  }
+  return s;
+}
+
+serve::EngineStats ShardedEngine::shard_engine_stats() const {
+  return shard_engine_->stats();
+}
+
+void ShardedEngine::gather_loop_() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue fully drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const ShardedPipeline& sp = *req.pipeline;
+    const index_t k = sp.num_shards();
+
+    // Scatter: one sub-request per shard, all sharing one B. The submit may
+    // itself throw (e.g. after an engine shutdown race); treat that as a
+    // request failure, not a crash.
+    std::vector<std::future<Csr>> futures;
+    std::exception_ptr error;
+    try {
+      futures.reserve(static_cast<std::size_t>(k));
+      for (index_t s = 0; s < k; ++s)
+        futures.push_back(shard_engine_->submit(sp.shard(s), req.b));
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    // Gather: wait on every launched shard even after a failure (abandoning
+    // a future would discard an in-flight shard result mid-drain), keeping
+    // the first error for the caller.
+    std::vector<Csr> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) {
+      try {
+        results.push_back(f.get());
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+
+    bool idle = false;
+    std::exception_ptr final_error = error;
+    std::optional<Csr> final_value;
+    if (!final_error) {
+      try {
+        final_value.emplace(sp.gather(results));
+      } catch (...) {
+        final_error = std::current_exception();
+      }
+    }
+    const double ms = ms_between(req.enqueued, Clock::now());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (final_error)
+        ++failed_;
+      else
+        ++completed_;
+      shard_multiplies_ += static_cast<std::uint64_t>(futures.size());
+      latencies_.record(ms);
+      --in_flight_;
+      idle = queue_.empty() && in_flight_ == 0;
+    }
+    if (final_error)
+      req.result.set_exception(final_error);
+    else
+      req.result.set_value(std::move(*final_value));
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace cw::shard

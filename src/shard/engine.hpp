@@ -1,0 +1,119 @@
+// Scatter/gather multiply engine for sharded pipelines.
+//
+// A request (sharded pipeline, B) fans out into one sub-request per shard
+// against an inner ServeEngine: every shard worker runs a clusterwise
+// multiply of its row block against the *shared* B (shards never relabel
+// columns, so B is scattered by reference, not copied). A small pool of
+// gather workers waits on the K shard futures, stitches the row-block
+// products back into original row order, and fulfils the request's future.
+//
+// Thread budget: shard workers × wide kernels would oversubscribe the
+// machine, so the inner engine gets a per-worker OpenMP cap
+// (EngineOptions::omp_threads_per_worker) — by default the hardware threads
+// divided evenly among the shard workers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/engine.hpp"
+#include "shard/sharded_pipeline.hpp"
+
+namespace cw::shard {
+
+struct ShardedEngineOptions {
+  /// Shard-multiply workers of the inner ServeEngine.
+  int num_workers = 4;
+  /// Concurrent sharded requests in flight (each occupies one gather worker
+  /// while its shard fan-out completes).
+  int gather_workers = 2;
+  /// OpenMP thread cap per shard worker; 0 = hardware threads divided
+  /// evenly among the shard workers (never below 1).
+  int omp_threads_per_worker = 0;
+  /// Max shard sub-requests coalesced per worker pickup (the inner engine
+  /// groups them by shard pipeline).
+  index_t max_batch = 8;
+  /// Latency samples retained for the percentile report.
+  std::size_t latency_window = 4096;
+};
+
+struct ShardedEngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  // requests with at least one failed shard
+  std::uint64_t shard_multiplies = 0;
+  double elapsed_seconds = 0;
+  double throughput_rps = 0;
+  /// End-to-end request latency (submit → gathered), over the most recent
+  /// latency_window requests; max over the engine's lifetime.
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions opt = {});
+  ~ShardedEngine();  // drains the queue, then joins all workers
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Enqueue C = A×B against the sharded `pipeline`. B's rows are in A's
+  /// original column space; the future yields C with rows in the original
+  /// row order, or rethrows the first failed shard's exception.
+  std::future<Csr> submit(std::shared_ptr<const ShardedPipeline> pipeline,
+                          Csr b);
+
+  /// Block until every submitted request has been gathered.
+  void drain();
+
+  /// drain(), then stop and join. Further submits throw. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ShardedEngineStats stats() const;
+
+  /// Inner shard-multiply engine counters (batching, coalescing, …).
+  [[nodiscard]] serve::EngineStats shard_engine_stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::shared_ptr<const ShardedPipeline> pipeline;
+    std::shared_ptr<const Csr> b;
+    std::promise<Csr> result;
+    Clock::time_point enqueued;
+  };
+
+  void gather_loop_();
+
+  const ShardedEngineOptions opt_;
+  const Clock::time_point start_;
+  std::unique_ptr<serve::ServeEngine> shard_engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Request> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  // All guarded by mu_.
+  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0,
+                shard_multiplies_ = 0;
+  LatencyRecorder latencies_;
+
+  std::vector<std::thread> gatherers_;
+};
+
+}  // namespace cw::shard

@@ -1,0 +1,237 @@
+#include "shard/plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+#include "reorder/reorder.hpp"
+
+namespace cw::shard {
+
+const char* to_string(SplitStrategy strategy) {
+  switch (strategy) {
+    case SplitStrategy::kNaive: return "naive";
+    case SplitStrategy::kBalanced: return "balanced";
+    case SplitStrategy::kLocality: return "locality";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<index_t> naive_cuts(index_t nrows, index_t k) {
+  std::vector<index_t> ptr(static_cast<std::size_t>(k) + 1);
+  for (index_t s = 0; s <= k; ++s)
+    ptr[static_cast<std::size_t>(s)] = static_cast<index_t>(
+        static_cast<std::int64_t>(s) * nrows / k);
+  return ptr;
+}
+
+/// Blocks needed to pack `work` into contiguous chunks of sum <= cap
+/// (infinite if any single element exceeds cap — callers choose cap >= max).
+index_t blocks_needed(const std::vector<offset_t>& work, offset_t cap) {
+  index_t blocks = 1;
+  offset_t acc = 0;
+  for (const offset_t x : work) {
+    if (acc + x > cap) {
+      ++blocks;
+      acc = 0;
+    }
+    acc += x;
+  }
+  return blocks;
+}
+
+/// Optimal contiguous bottleneck partition (chains-on-chains): binary search
+/// the smallest cap for which greedy packing needs <= k blocks, then cut.
+std::vector<index_t> balanced_cuts(const std::vector<offset_t>& work,
+                                   index_t k) {
+  const index_t n = static_cast<index_t>(work.size());
+  const offset_t total = std::accumulate(work.begin(), work.end(), offset_t{0});
+  if (total == 0) return naive_cuts(n, k);
+  offset_t lo = std::max<offset_t>((total + k - 1) / k,
+                                   *std::max_element(work.begin(), work.end()));
+  offset_t hi = total;
+  while (lo < hi) {
+    const offset_t mid = lo + (hi - lo) / 2;
+    if (blocks_needed(work, mid) <= k)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  std::vector<index_t> ptr;
+  ptr.reserve(static_cast<std::size_t>(k) + 1);
+  ptr.push_back(0);
+  offset_t acc = 0;
+  for (index_t r = 0; r < n; ++r) {
+    if (acc + work[static_cast<std::size_t>(r)] > lo) {
+      ptr.push_back(r);
+      acc = 0;
+    }
+    acc += work[static_cast<std::size_t>(r)];
+  }
+  // Greedy may use fewer than k blocks; the surplus trails empty.
+  while (static_cast<index_t>(ptr.size()) <= k) ptr.push_back(n);
+  return ptr;
+}
+
+}  // namespace
+
+RowBlockPlan RowBlockPlan::build(const Csr& a, const PlanOptions& opt) {
+  CW_CHECK_MSG(opt.num_shards >= 1, "shard plan: need at least one shard");
+  const index_t k = opt.num_shards;
+
+  RowBlockPlan plan;
+  plan.nrows_ = a.nrows();
+  plan.ncols_ = a.ncols();
+  plan.nnz_ = a.nnz();
+  plan.strategy_ = opt.strategy;
+
+  switch (opt.strategy) {
+    case SplitStrategy::kNaive:
+      plan.order_ = original_order(a);
+      plan.block_ptr_ = naive_cuts(a.nrows(), k);
+      break;
+    case SplitStrategy::kBalanced: {
+      plan.order_ = original_order(a);
+      std::vector<offset_t> work(static_cast<std::size_t>(a.nrows()));
+      for (index_t r = 0; r < a.nrows(); ++r)
+        work[static_cast<std::size_t>(r)] = a.row_nnz(r);
+      plan.block_ptr_ = balanced_cuts(work, k);
+      break;
+    }
+    case SplitStrategy::kLocality: {
+      CW_CHECK_MSG(a.nrows() == a.ncols(),
+                   "shard plan: locality split partitions the symmetrized "
+                   "pattern and requires a square matrix");
+      if (a.nrows() == 0 || a.nnz() == 0) {
+        // Nothing to cluster; degenerate to the naive cut.
+        plan.order_ = original_order(a);
+        plan.block_ptr_ = naive_cuts(a.nrows(), k);
+        break;
+      }
+      PGraph g = PGraph::from_csr_pattern(a);
+      // Balance shards by work, not row count: a vertex weighs its nnz.
+      for (index_t v = 0; v < g.nv; ++v)
+        g.vw[static_cast<std::size_t>(v)] = 1 + a.row_nnz(v);
+      const index_t k_eff = std::min(k, a.nrows());
+      const std::vector<index_t> part =
+          kway_partition(g, k_eff, opt.seed, opt.imbalance);
+      // Stable counting sort by part id keeps each part's rows in input
+      // order, preserving whatever locality the rows already had.
+      std::vector<index_t> count(static_cast<std::size_t>(k_eff) + 1, 0);
+      for (const index_t p : part) ++count[static_cast<std::size_t>(p) + 1];
+      for (index_t s = 0; s < k_eff; ++s)
+        count[static_cast<std::size_t>(s) + 1] +=
+            count[static_cast<std::size_t>(s)];
+      plan.block_ptr_.assign(count.begin(), count.end());
+      plan.order_.resize(static_cast<std::size_t>(a.nrows()));
+      std::vector<index_t> cursor(count.begin(), count.end() - 1);
+      for (index_t r = 0; r < a.nrows(); ++r) {
+        const index_t p = part[static_cast<std::size_t>(r)];
+        plan.order_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(p)]++)] = r;
+      }
+      while (static_cast<index_t>(plan.block_ptr_.size()) <= k)
+        plan.block_ptr_.push_back(a.nrows());
+      break;
+    }
+  }
+
+  plan.inv_order_ = invert_permutation(plan.order_);
+  plan.validate();
+  return plan;
+}
+
+RowBlockPlan RowBlockPlan::from_parts(index_t nrows, index_t ncols,
+                                      offset_t nnz, SplitStrategy strategy,
+                                      Permutation order,
+                                      std::vector<index_t> block_ptr) {
+  RowBlockPlan plan;
+  plan.nrows_ = nrows;
+  plan.ncols_ = ncols;
+  plan.nnz_ = nnz;
+  plan.strategy_ = strategy;
+  plan.order_ = std::move(order);
+  plan.block_ptr_ = std::move(block_ptr);
+  plan.validate();
+  plan.inv_order_ = invert_permutation(plan.order_);
+  return plan;
+}
+
+index_t RowBlockPlan::shard_of_row(index_t original_row) const {
+  CW_CHECK_MSG(original_row >= 0 && original_row < nrows_,
+               "shard plan: row out of range");
+  const index_t p = inv_order_[static_cast<std::size_t>(original_row)];
+  // First cut strictly past p, minus one — robust to empty blocks (repeated
+  // cut values).
+  const auto it =
+      std::upper_bound(block_ptr_.begin(), block_ptr_.end(), p);
+  return static_cast<index_t>(it - block_ptr_.begin()) - 1;
+}
+
+Csr RowBlockPlan::extract_block(const Csr& a, index_t s) const {
+  CW_CHECK_MSG(a.nrows() == nrows_ && a.ncols() == ncols_ && a.nnz() == nnz_,
+               "shard plan: matrix does not match the plan");
+  CW_CHECK_MSG(s >= 0 && s < num_shards(), "shard plan: shard out of range");
+  const index_t begin = block_ptr_[static_cast<std::size_t>(s)];
+  const index_t rows = block_rows(s);
+
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t i = 0; i < rows; ++i)
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        a.row_nnz(order_[static_cast<std::size_t>(begin + i)]);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(row_ptr.back()));
+  for (index_t i = 0; i < rows; ++i) {
+    const index_t src = order_[static_cast<std::size_t>(begin + i)];
+    const auto cols = a.row_cols(src);
+    const auto vals = a.row_vals(src);
+    std::copy(cols.begin(), cols.end(),
+              col_idx.begin() + row_ptr[static_cast<std::size_t>(i)]);
+    std::copy(vals.begin(), vals.end(),
+              values.begin() + row_ptr[static_cast<std::size_t>(i)]);
+  }
+  return Csr(rows, ncols_, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+std::vector<BlockSummary> RowBlockPlan::summarize(const Csr& a) const {
+  CW_CHECK_MSG(a.nrows() == nrows_ && a.ncols() == ncols_ && a.nnz() == nnz_,
+               "shard plan: matrix does not match the plan");
+  std::vector<BlockSummary> out(static_cast<std::size_t>(num_shards()));
+  for (index_t s = 0; s < num_shards(); ++s) {
+    BlockSummary& b = out[static_cast<std::size_t>(s)];
+    b.rows = block_rows(s);
+    for (index_t i = block_ptr_[static_cast<std::size_t>(s)];
+         i < block_ptr_[static_cast<std::size_t>(s) + 1]; ++i)
+      b.nnz += a.row_nnz(order_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+double RowBlockPlan::balance(const Csr& a) const {
+  if (nnz_ == 0) return 1.0;
+  offset_t worst = 0;
+  for (const BlockSummary& b : summarize(a)) worst = std::max(worst, b.nnz);
+  const double ideal =
+      static_cast<double>(nnz_) / static_cast<double>(num_shards());
+  return static_cast<double>(worst) / ideal;
+}
+
+void RowBlockPlan::validate() const {
+  CW_CHECK_MSG(nrows_ >= 0 && ncols_ >= 0 && nnz_ >= 0,
+               "shard plan: negative dimensions");
+  CW_CHECK_MSG(is_permutation(order_, nrows_),
+               "shard plan: order is not a permutation of the rows");
+  CW_CHECK_MSG(block_ptr_.size() >= 2, "shard plan: need at least one block");
+  CW_CHECK_MSG(block_ptr_.front() == 0 && block_ptr_.back() == nrows_,
+               "shard plan: block pointers must span all rows");
+  for (std::size_t s = 0; s + 1 < block_ptr_.size(); ++s)
+    CW_CHECK_MSG(block_ptr_[s] <= block_ptr_[s + 1],
+                 "shard plan: block pointers must be non-decreasing");
+}
+
+}  // namespace cw::shard

@@ -1,0 +1,124 @@
+// Row-block sharding plan — how a matrix too large for one registry is cut
+// into per-shard pieces.
+//
+// A plan is a row permutation plus K contiguous cut points over the
+// permuted rows: shard s serves permuted rows [block_ptr[s], block_ptr[s+1])
+// with ALL columns, so C = A×B decomposes exactly into K independent
+// row-slice products against one shared B (scatter), stitched back in
+// original row order (gather). Three split strategies:
+//
+//   * kNaive    — equal row counts, identity order. The baseline the bench
+//                 sweep compares against.
+//   * kBalanced — contiguous cuts minimizing the bottleneck shard's nnz
+//                 (binary search over the bottleneck + greedy packing —
+//                 optimal for contiguous splits), identity order. Balanced
+//                 work per shard is what makes the scatter fan-out finish
+//                 together instead of waiting on one fat shard.
+//   * kLocality — rows are first permuted so that graph-partition clusters
+//                 land in the same shard (src/partition k-way on the
+//                 symmetrized pattern, vertex weight = row nnz), then cut at
+//                 part boundaries. Keeps dense row neighbourhoods intact
+//                 inside one shard so per-shard clustering still finds them.
+//
+// The permutation is rows-only: column labels never change, which is what
+// lets every shard share one unpermuted B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace cw::shard {
+
+enum class SplitStrategy : std::uint32_t {
+  kNaive = 0,
+  kBalanced = 1,
+  kLocality = 2,
+};
+
+const char* to_string(SplitStrategy strategy);
+
+struct PlanOptions {
+  /// Number of row blocks (shards), >= 1. May exceed nrows; the surplus
+  /// blocks are empty.
+  index_t num_shards = 4;
+  SplitStrategy strategy = SplitStrategy::kBalanced;
+  /// kLocality: partitioner seed and balance tolerance.
+  std::uint64_t seed = 1;
+  double imbalance = 0.05;
+};
+
+/// Per-shard summary for reporting (cwtool shard plan, bench sweep).
+struct BlockSummary {
+  index_t rows = 0;
+  offset_t nnz = 0;
+};
+
+class RowBlockPlan {
+ public:
+  RowBlockPlan() = default;
+
+  /// Plan a K-way row-block split of `a`. kLocality requires a square
+  /// matrix (the partitioner works on the symmetrized pattern); the other
+  /// strategies accept any shape.
+  static RowBlockPlan build(const Csr& a, const PlanOptions& opt);
+
+  /// Reassemble a plan from stored parts (snapshot loading); validates.
+  static RowBlockPlan from_parts(index_t nrows, index_t ncols, offset_t nnz,
+                                 SplitStrategy strategy, Permutation order,
+                                 std::vector<index_t> block_ptr);
+
+  [[nodiscard]] index_t num_shards() const {
+    return static_cast<index_t>(block_ptr_.size()) - 1;
+  }
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] SplitStrategy strategy() const { return strategy_; }
+
+  /// Row order (order[permuted_pos] = original row). Identity for kNaive
+  /// and kBalanced.
+  [[nodiscard]] const Permutation& order() const { return order_; }
+
+  /// Cached inverse (inverse_order[original row] = permuted position).
+  [[nodiscard]] const Permutation& inverse_order() const { return inv_order_; }
+
+  /// Cut points over permuted rows; size num_shards()+1, front 0, back nrows.
+  [[nodiscard]] const std::vector<index_t>& block_ptr() const {
+    return block_ptr_;
+  }
+
+  [[nodiscard]] index_t block_rows(index_t s) const {
+    return block_ptr_[static_cast<std::size_t>(s) + 1] -
+           block_ptr_[static_cast<std::size_t>(s)];
+  }
+
+  /// Which shard serves `original_row`.
+  [[nodiscard]] index_t shard_of_row(index_t original_row) const;
+
+  /// Materialize shard s's row block of `a`: block_rows(s) × ncols, row i =
+  /// a's row order()[block_ptr[s] + i]. `a` must be the matrix the plan was
+  /// built for (dims + nnz are checked).
+  [[nodiscard]] Csr extract_block(const Csr& a, index_t s) const;
+
+  /// Rows + nnz of every block of `a` (one O(nrows) pass).
+  [[nodiscard]] std::vector<BlockSummary> summarize(const Csr& a) const;
+
+  /// Bottleneck ratio: max block nnz / ideal(= nnz/K). 1.0 is perfect;
+  /// reported by the bench sweep. Returns 1.0 for nnz == 0.
+  [[nodiscard]] double balance(const Csr& a) const;
+
+  /// Check every invariant; throws cw::Error on failure.
+  void validate() const;
+
+ private:
+  index_t nrows_ = 0, ncols_ = 0;
+  offset_t nnz_ = 0;
+  SplitStrategy strategy_ = SplitStrategy::kBalanced;
+  Permutation order_;      // size nrows_
+  Permutation inv_order_;  // cached inverse of order_
+  std::vector<index_t> block_ptr_{0};
+};
+
+}  // namespace cw::shard

@@ -1,0 +1,150 @@
+#include "shard/sharded_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cw::shard {
+
+ShardedPipeline::ShardedPipeline(const Csr& a, const PlanOptions& plan_opt,
+                                 const PipelineOptions& opt)
+    : plan_(RowBlockPlan::build(a, plan_opt)), opt_(opt) {
+  CW_CHECK_MSG(opt.reorder == ReorderAlgo::kOriginal,
+               "sharded pipeline: shards are rows-only pipelines and take no "
+               "explicit reordering; use SplitStrategy::kLocality for a "
+               "locality-restoring global order");
+  const index_t k = plan_.num_shards();
+  shards_.reserve(static_cast<std::size_t>(k));
+  fingerprints_.reserve(static_cast<std::size_t>(k));
+  for (index_t s = 0; s < k; ++s) {
+    const Csr block = plan_.extract_block(a, s);
+    PipelineOptions sopt = opt;
+    // An empty block has nothing to cluster; kNone keeps its pipeline from
+    // exercising cluster construction on zero rows.
+    if (block.nrows() == 0) sopt.scheme = ClusterScheme::kNone;
+    auto p = std::make_shared<const Pipeline>(Pipeline::prepare_rows(block, sopt));
+    // Keyed by the *prepared* block so restore() (which no longer has the
+    // raw extraction) derives identical keys.
+    fingerprints_.push_back(serve::fingerprint(p->matrix()));
+    shards_.push_back(std::move(p));
+  }
+}
+
+ShardedPipeline ShardedPipeline::restore(
+    RowBlockPlan plan, PipelineOptions opt,
+    std::vector<std::shared_ptr<const Pipeline>> shards) {
+  CW_CHECK_MSG(static_cast<index_t>(shards.size()) == plan.num_shards(),
+               "sharded restore: shard count does not match the plan");
+  offset_t total_nnz = 0;
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    const auto& p = shards[static_cast<std::size_t>(s)];
+    CW_CHECK_MSG(p != nullptr, "sharded restore: null shard pipeline");
+    CW_CHECK_MSG(p->mode() == PermutationMode::kRowsOnly,
+                 "sharded restore: shard " << s << " is not a rows-only "
+                 "pipeline");
+    CW_CHECK_MSG(p->matrix().nrows() == plan.block_rows(s) &&
+                     p->matrix().ncols() == plan.ncols(),
+                 "sharded restore: shard " << s << " does not match its row "
+                 "block");
+    total_nnz += p->matrix().nnz();
+  }
+  CW_CHECK_MSG(total_nnz == plan.nnz(),
+               "sharded restore: shard nnz does not sum to the plan's");
+  ShardedPipeline sp;
+  sp.plan_ = std::move(plan);
+  sp.opt_ = opt;
+  sp.shards_ = std::move(shards);
+  sp.fingerprints_.reserve(sp.shards_.size());
+  for (const auto& p : sp.shards_)
+    sp.fingerprints_.push_back(serve::fingerprint(p->matrix()));
+  return sp;
+}
+
+index_t ShardedPipeline::admit(serve::PipelineRegistry& registry) const {
+  index_t admitted_count = 0;
+  for (index_t s = 0; s < num_shards(); ++s) {
+    bool admitted = false;
+    registry.insert(fingerprints_[static_cast<std::size_t>(s)],
+                    shards_[static_cast<std::size_t>(s)], &admitted);
+    if (admitted) ++admitted_count;
+  }
+  return admitted_count;
+}
+
+Csr ShardedPipeline::multiply(const Csr& b) const {
+  CW_CHECK_MSG(b.nrows() == plan_.ncols(),
+               "sharded multiply: B has " << b.nrows() << " rows, expected "
+               << plan_.ncols());
+  std::vector<Csr> results;
+  results.reserve(static_cast<std::size_t>(num_shards()));
+  for (index_t s = 0; s < num_shards(); ++s) {
+    const auto& p = shards_[static_cast<std::size_t>(s)];
+    results.push_back(p->unpermute_rows(p->multiply(b)));
+  }
+  return gather(results);
+}
+
+Csr ShardedPipeline::gather(const std::vector<Csr>& block_results) const {
+  CW_CHECK_MSG(static_cast<index_t>(block_results.size()) == num_shards(),
+               "gather: expected one product per shard");
+  const index_t ncols =
+      block_results.empty() ? 0 : block_results.front().ncols();
+  for (index_t s = 0; s < num_shards(); ++s) {
+    const Csr& c = block_results[static_cast<std::size_t>(s)];
+    CW_CHECK_MSG(c.nrows() == plan_.block_rows(s),
+                 "gather: shard " << s << " product has " << c.nrows()
+                 << " rows, expected " << plan_.block_rows(s));
+    CW_CHECK_MSG(c.ncols() == ncols,
+                 "gather: shard products disagree on column count");
+  }
+
+  const index_t nrows = plan_.nrows();
+  const Permutation& order = plan_.order();
+  const std::vector<index_t>& ptr = plan_.block_ptr();
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(nrows) + 1, 0);
+  for (index_t s = 0; s < num_shards(); ++s) {
+    const Csr& c = block_results[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < c.nrows(); ++i) {
+      const index_t orig =
+          order[static_cast<std::size_t>(ptr[static_cast<std::size_t>(s)] + i)];
+      row_ptr[static_cast<std::size_t>(orig) + 1] = c.row_nnz(i);
+    }
+  }
+  for (index_t r = 0; r < nrows; ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+
+  std::vector<index_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(row_ptr.back()));
+  for (index_t s = 0; s < num_shards(); ++s) {
+    const Csr& c = block_results[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < c.nrows(); ++i) {
+      const index_t orig =
+          order[static_cast<std::size_t>(ptr[static_cast<std::size_t>(s)] + i)];
+      const auto cols = c.row_cols(i);
+      const auto vals = c.row_vals(i);
+      std::copy(cols.begin(), cols.end(),
+                col_idx.begin() + row_ptr[static_cast<std::size_t>(orig)]);
+      std::copy(vals.begin(), vals.end(),
+                values.begin() + row_ptr[static_cast<std::size_t>(orig)]);
+    }
+  }
+  return Csr(nrows, ncols, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+double ShardedPipeline::prepare_seconds() const {
+  double total = 0;
+  for (const auto& p : shards_) total += p->stats().preprocess_seconds();
+  return total;
+}
+
+std::size_t ShardedPipeline::memory_bytes() const {
+  std::size_t bytes = sizeof(ShardedPipeline);
+  bytes += plan_.order().size() * sizeof(index_t) * 2;  // order + inverse
+  bytes += plan_.block_ptr().size() * sizeof(index_t);
+  for (const auto& p : shards_) bytes += serve::pipeline_memory_bytes(*p);
+  return bytes;
+}
+
+}  // namespace cw::shard

@@ -1,0 +1,88 @@
+// Sharded prepared-matrix context: K independently-prepared per-shard
+// Pipelines over a RowBlockPlan.
+//
+// Each shard owns a rows-only `Pipeline` (core/pipeline.hpp) for its row
+// block — individually snapshot-able (serve/snapshot + shard/snapshot),
+// fingerprint-keyed by its block's structure, and admissible into a
+// `PipelineRegistry` like any other prepared pipeline. That is the point of
+// sharding: a matrix whose single prepared pipeline would blow one
+// registry's byte budget becomes K registry-sized pieces, each still
+// amortizing its preprocessing across many multiplies (§4.5 at block
+// granularity).
+//
+// multiply() here is the sequential scatter/gather reference; the concurrent
+// fan-out lives in shard/engine.hpp. Both produce rows in the ORIGINAL index
+// space, bit-identical to an unsharded row-wise multiply (every output row's
+// dot products accumulate in ascending column order in either path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/registry.hpp"
+#include "shard/plan.hpp"
+
+namespace cw::shard {
+
+class ShardedPipeline {
+ public:
+  /// Plan the split of `a` and prepare all K shard pipelines. `opt.reorder`
+  /// must be kOriginal (rows-only pipelines take no explicit reordering;
+  /// use PlanOptions::kLocality for a locality-restoring global order).
+  ShardedPipeline(const Csr& a, const PlanOptions& plan_opt,
+                  const PipelineOptions& opt);
+
+  /// Reassemble from previously prepared parts (snapshot loading). Every
+  /// shard must be a rows-only pipeline matching its block's dims.
+  static ShardedPipeline restore(
+      RowBlockPlan plan, PipelineOptions opt,
+      std::vector<std::shared_ptr<const Pipeline>> shards);
+
+  [[nodiscard]] const RowBlockPlan& plan() const { return plan_; }
+  [[nodiscard]] index_t num_shards() const { return plan_.num_shards(); }
+  [[nodiscard]] const PipelineOptions& options() const { return opt_; }
+
+  /// Shard s's prepared pipeline (shareable with engines/registries).
+  [[nodiscard]] const std::shared_ptr<const Pipeline>& shard(index_t s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Structural fingerprint of shard s's row block — its registry key.
+  [[nodiscard]] const serve::Fingerprint& shard_fingerprint(index_t s) const {
+    return fingerprints_[static_cast<std::size_t>(s)];
+  }
+
+  /// Insert every shard into `registry` under its fingerprint. Returns how
+  /// many were newly admitted (an already-present or over-budget shard
+  /// counts as not admitted).
+  index_t admit(serve::PipelineRegistry& registry) const;
+
+  /// Sequential scatter/gather reference: C = A×B with C's rows in the
+  /// original index space. B's rows are the original column space of A
+  /// (shards never relabel columns, so B is shared unchanged).
+  [[nodiscard]] Csr multiply(const Csr& b) const;
+
+  /// Stitch per-shard products back into one matrix in original row order.
+  /// block_results[s] must hold shard s's product with rows in block-local
+  /// order (i.e. after Pipeline::unpermute_rows), as produced by
+  /// ServeEngine with unpermute_results on.
+  [[nodiscard]] Csr gather(const std::vector<Csr>& block_results) const;
+
+  /// Summed preprocessing time across shards (plan time excluded).
+  [[nodiscard]] double prepare_seconds() const;
+
+  /// Resident bytes across all shard pipelines + the plan arrays.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  ShardedPipeline() = default;
+
+  RowBlockPlan plan_;
+  PipelineOptions opt_;
+  std::vector<std::shared_ptr<const Pipeline>> shards_;
+  std::vector<serve::Fingerprint> fingerprints_;
+};
+
+}  // namespace cw::shard

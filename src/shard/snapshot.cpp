@@ -1,0 +1,145 @@
+#include "shard/snapshot.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace cw::shard {
+
+namespace {
+
+using serve::SnapshotInfo;
+using serve::SnapshotKind;
+
+// Section tags specific to the sharded record.
+constexpr std::uint32_t kSecManifest = 0x534D414E;  // "SMAN"
+constexpr std::uint32_t kSecShard = 0x53485244;     // "SHRD"
+
+SnapshotInfo expect_sharded_header(std::istream& in) {
+  const SnapshotInfo info = serve::read_info(in);
+  if (info.kind != SnapshotKind::kShardedPipeline)
+    throw Error(std::string("snapshot: file holds a ") + to_string(info.kind) +
+                ", expected a sharded-pipeline");
+  if (info.version < 2)
+    throw Error("snapshot: sharded pipelines require format version >= 2");
+  return info;
+}
+
+struct ManifestPayload {
+  SplitStrategy strategy = SplitStrategy::kBalanced;
+  PipelineOptions options;
+  Permutation order;
+  std::vector<index_t> block_ptr;
+};
+
+ManifestPayload read_manifest_payload(serve::io::Reader& r) {
+  r.expect_section(kSecManifest, "SMAN");
+  ManifestPayload m;
+  const auto strategy = r.pod<std::uint32_t>();
+  if (strategy > static_cast<std::uint32_t>(SplitStrategy::kLocality))
+    throw Error("snapshot: unknown shard split strategy");
+  m.strategy = static_cast<SplitStrategy>(strategy);
+  m.options = serve::detail::read_pipeline_options(r);
+  m.order = r.vec<index_t>();
+  m.block_ptr = r.vec<index_t>();
+  if (m.block_ptr.size() < 2)
+    throw Error("snapshot: sharded manifest holds no blocks");
+  r.checksum("shard manifest");
+  return m;
+}
+
+}  // namespace
+
+void save(std::ostream& out, const ShardedPipeline& sharded) {
+  const RowBlockPlan& plan = sharded.plan();
+  serve::io::Writer w(out);
+  serve::detail::write_header(w, SnapshotKind::kShardedPipeline, plan.nrows(),
+                              plan.ncols(), plan.nnz());
+  w.section(kSecManifest);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(plan.strategy()));
+  serve::detail::write_pipeline_options(w, sharded.options());
+  w.vec(plan.order());
+  w.vec(plan.block_ptr());
+  w.checksum();
+  for (index_t s = 0; s < sharded.num_shards(); ++s) {
+    w.section(kSecShard);
+    w.pod<index_t>(s);
+    serve::detail::write_pipeline_payload(w, *sharded.shard(s));
+    w.checksum();
+  }
+}
+
+ShardedPipeline load_sharded_pipeline(std::istream& in) {
+  const SnapshotInfo info = expect_sharded_header(in);
+  serve::io::Reader r(in, info.version);
+  ManifestPayload m = read_manifest_payload(r);
+  RowBlockPlan plan =
+      RowBlockPlan::from_parts(info.nrows, info.ncols, info.nnz, m.strategy,
+                               std::move(m.order), std::move(m.block_ptr));
+  std::vector<std::shared_ptr<const Pipeline>> shards;
+  shards.reserve(static_cast<std::size_t>(plan.num_shards()));
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    r.expect_section(kSecShard, "SHRD");
+    const auto stored = r.pod<index_t>();
+    if (stored != s)
+      throw Error("snapshot: shard records out of order (corrupted file?)");
+    Pipeline p = serve::detail::read_pipeline_payload(r);
+    r.checksum("shard pipeline");
+    shards.push_back(std::make_shared<const Pipeline>(std::move(p)));
+  }
+  // restore() cross-checks every shard against its row block.
+  return ShardedPipeline::restore(std::move(plan), m.options,
+                                  std::move(shards));
+}
+
+ShardManifest read_manifest(std::istream& in) {
+  const SnapshotInfo info = expect_sharded_header(in);
+  serve::io::Reader r(in, info.version);
+  const ManifestPayload m = read_manifest_payload(r);
+  ShardManifest out;
+  out.version = info.version;
+  out.strategy = m.strategy;
+  out.nrows = info.nrows;
+  out.ncols = info.ncols;
+  out.nnz = info.nnz;
+  out.block_ptr = m.block_ptr;
+  return out;
+}
+
+// --- file wrappers ----------------------------------------------------------
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("snapshot: cannot open " + path + " for writing");
+  return f;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("snapshot: cannot open " + path);
+  return f;
+}
+
+}  // namespace
+
+void save_sharded_pipeline_file(const std::string& path,
+                                const ShardedPipeline& sharded) {
+  auto f = open_out(path);
+  save(f, sharded);
+}
+
+ShardedPipeline load_sharded_pipeline_file(const std::string& path) {
+  auto f = open_in(path);
+  return load_sharded_pipeline(f);
+}
+
+ShardManifest read_manifest_file(const std::string& path) {
+  auto f = open_in(path);
+  return read_manifest(f);
+}
+
+}  // namespace cw::shard

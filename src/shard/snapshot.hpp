@@ -1,0 +1,53 @@
+// Snapshot persistence for sharded pipelines — snapshot format v2's
+// kShardedPipeline record.
+//
+// Layout: the common CWSNAP header (dims of the *source* matrix), then a
+// checksummed shard manifest (split strategy, overall pipeline options, the
+// plan's row order and block cut points), then one embedded pipeline
+// payload per shard, each closed by its own FNV-1a checksum — so a flipped
+// bit is reported against the specific shard it corrupted, and a loader
+// could in principle fetch shards selectively. Every shard record is the
+// same payload a standalone kPipeline snapshot carries; a shard saved
+// individually via serve::save(ostream, pipeline) remains loadable on its
+// own.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "shard/sharded_pipeline.hpp"
+
+namespace cw::shard {
+
+/// Manifest summary readable without parsing the shard payloads
+/// (`cwtool shard info`).
+struct ShardManifest {
+  std::uint32_t version = 0;
+  SplitStrategy strategy = SplitStrategy::kBalanced;
+  index_t nrows = 0;
+  index_t ncols = 0;
+  offset_t nnz = 0;
+  std::vector<index_t> block_ptr;  // num_shards()+1 cut points
+  [[nodiscard]] index_t num_shards() const {
+    return static_cast<index_t>(block_ptr.size()) - 1;
+  }
+};
+
+// --- stream API -------------------------------------------------------------
+
+void save(std::ostream& out, const ShardedPipeline& sharded);
+ShardedPipeline load_sharded_pipeline(std::istream& in);
+
+/// Read header + manifest only, leaving the stream at the first shard.
+ShardManifest read_manifest(std::istream& in);
+
+// --- file API ---------------------------------------------------------------
+
+void save_sharded_pipeline_file(const std::string& path,
+                                const ShardedPipeline& sharded);
+ShardedPipeline load_sharded_pipeline_file(const std::string& path);
+ShardManifest read_manifest_file(const std::string& path);
+
+}  // namespace cw::shard

@@ -75,17 +75,24 @@ TEST(Engine, CoalescesRequestsForTheSameMatrix) {
   const Csr a = test::random_csr(40, 40, 0.12, 4);
   auto p = make_pipeline(a, ClusterScheme::kFixed);
 
-  // One worker and a burst of requests: after the first pickup the rest of
-  // the queue must be coalesced into multi-request batches.
+  // Pin the single worker on one slow request first, so the burst below is
+  // guaranteed to be waiting in the queue when the worker comes back — the
+  // pickup after that must coalesce multi-request batches (without the
+  // pinned request the test would race the worker against the submitter).
+  const Csr slow_a = test::random_csr(900, 900, 0.05, 40);
+  auto slow_p = make_pipeline(slow_a, ClusterScheme::kFixed);
+
   ServeEngine engine({.num_workers = 1, .max_batch = 8});
   std::vector<std::future<Csr>> futures;
+  futures.push_back(
+      engine.submit(slow_p, test::random_csr(900, 16, 0.2, 41)));
   for (int i = 0; i < 24; ++i)
     futures.push_back(engine.submit(p, test::random_csr(40, 5, 0.3, 300 + i)));
   for (auto& f : futures) f.get();
 
   const EngineStats st = engine.stats();
-  EXPECT_EQ(st.completed, 24u);
-  EXPECT_LT(st.batches, 24u);   // strictly fewer pickups than requests
+  EXPECT_EQ(st.completed, 25u);
+  EXPECT_LT(st.batches, 25u);   // strictly fewer pickups than requests
   EXPECT_GT(st.coalesced, 0u);  // some requests shared a batch
 }
 

@@ -1,0 +1,170 @@
+#include "shard/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw::shard {
+namespace {
+
+PipelineOptions hier_opts() {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kHierarchical;
+  o.hierarchical_opt.col_cap = 0;
+  return o;
+}
+
+std::shared_ptr<const ShardedPipeline> make_sharded(const Csr& a, index_t k,
+                                                    SplitStrategy strategy) {
+  PlanOptions popt;
+  popt.num_shards = k;
+  popt.strategy = strategy;
+  return std::make_shared<const ShardedPipeline>(a, popt, hier_opts());
+}
+
+Csr reference_product(const Csr& a, const Csr& b) {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kNone;
+  const Pipeline p(a, o);
+  return p.unpermute_rows(p.multiply(b));
+}
+
+TEST(ShardedEngine, MatchesSequentialScatterGatherBitIdentical) {
+  Csr a = gen_block_diag(160, 8, 0.03, 51);
+  randomize_values(a, 52);
+  const Csr b = gen_request_payload(a.nrows(), 24, 3, 53);
+  const Csr ref = reference_product(a, b);
+  for (index_t k : {1, 2, 8}) {
+    auto sp = make_sharded(a, k, SplitStrategy::kBalanced);
+    ShardedEngineOptions eopt;
+    eopt.num_workers = 3;
+    eopt.gather_workers = 2;
+    ShardedEngine engine(eopt);
+    Csr c = engine.submit(sp, b).get();
+    EXPECT_TRUE(c == ref) << "k=" << k;
+    EXPECT_TRUE(c == sp->multiply(b)) << "k=" << k;
+    const ShardedEngineStats st = engine.stats();
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.shard_multiplies, static_cast<std::uint64_t>(k));
+  }
+}
+
+TEST(ShardedEngine, ConcurrentSubmissionsAllComplete) {
+  Csr a = gen_grid2d(16, 16, 9);
+  randomize_values(a, 54);
+  auto sp = make_sharded(a, 4, SplitStrategy::kLocality);
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<Csr> payloads;
+  std::vector<Csr> expected;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    payloads.push_back(
+        gen_request_payload(a.nrows(), 8, 3, 100 + static_cast<std::uint64_t>(i)));
+    expected.push_back(sp->multiply(payloads.back()));
+  }
+
+  ShardedEngineOptions eopt;
+  eopt.num_workers = 4;
+  eopt.gather_workers = 3;
+  ShardedEngine engine(eopt);
+  std::vector<std::future<Csr>> futures(payloads.size());
+  std::vector<std::thread> clients;
+  for (int cl = 0; cl < kClients; ++cl) {
+    clients.emplace_back([&, cl] {
+      for (int i = cl; i < kClients * kPerClient; i += kClients)
+        futures[static_cast<std::size_t>(i)] =
+            engine.submit(sp, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(futures[i].get() == expected[i]) << "request " << i;
+
+  const ShardedEngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.shard_multiplies, st.completed * 4);
+  EXPECT_GT(st.latency_p50_ms, 0.0);
+  EXPECT_GE(st.latency_max_ms, st.latency_p50_ms);
+  // The inner engine saw every shard sub-request.
+  EXPECT_EQ(engine.shard_engine_stats().completed, st.shard_multiplies);
+}
+
+TEST(ShardedEngine, FailedShardPropagatesThroughTheFuture) {
+  const Csr a = test::random_csr(20, 20, 0.3, 55);
+  auto sp = make_sharded(a, 2, SplitStrategy::kNaive);
+  ShardedEngine engine;
+  // Wrong B row count: every shard's multiply throws; the request's future
+  // rethrows instead of hanging or crashing the gather worker.
+  auto f = engine.submit(sp, test::random_csr(7, 4, 0.5, 56));
+  EXPECT_THROW(f.get(), Error);
+  engine.drain();
+  const ShardedEngineStats st = engine.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.completed, 0u);
+  // The engine stays usable after a failed request.
+  const Csr b = gen_request_payload(a.nrows(), 4, 2, 57);
+  EXPECT_TRUE(engine.submit(sp, b).get() == sp->multiply(b));
+}
+
+TEST(ShardedEngine, ThreadBudgetCapsAreAccepted) {
+  Csr a = gen_banded(60, 5, 0.5, 58);
+  auto sp = make_sharded(a, 3, SplitStrategy::kBalanced);
+  ShardedEngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.omp_threads_per_worker = 1;  // fully serial kernels
+  ShardedEngine engine(eopt);
+  const Csr b = gen_request_payload(a.nrows(), 8, 3, 59);
+  EXPECT_TRUE(engine.submit(sp, b).get() == sp->multiply(b));
+}
+
+TEST(ShardedEngine, DegenerateEmptyAndOvershardedInputs) {
+  // Empty matrix through the full engine path.
+  const Csr empty;
+  PlanOptions popt;
+  popt.num_shards = 3;
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kHierarchical;
+  auto sp = std::make_shared<const ShardedPipeline>(empty, popt, o);
+  ShardedEngine engine;
+  const Csr b0(0, 6, {0}, {}, {});
+  const Csr c0 = engine.submit(sp, b0).get();
+  EXPECT_EQ(c0.nrows(), 0);
+  EXPECT_EQ(c0.ncols(), 6);
+
+  // More shards than rows (empty blocks ride along).
+  Csr tiny = test::random_csr(3, 3, 0.9, 60);
+  auto sp2 = make_sharded(tiny, 9, SplitStrategy::kBalanced);
+  const Csr b1 = gen_request_payload(3, 5, 2, 61);
+  EXPECT_TRUE(engine.submit(sp2, b1).get() == sp2->multiply(b1));
+
+  // An all-zero row block.
+  Coo coo(12, 12);
+  for (index_t r = 0; r < 6; ++r) coo.push(r, r, 2.0);
+  const Csr half = Csr::from_coo(coo);
+  auto sp3 = make_sharded(half, 2, SplitStrategy::kNaive);
+  const Csr b2 = gen_request_payload(12, 4, 2, 62);
+  EXPECT_TRUE(engine.submit(sp3, b2).get() == sp3->multiply(b2));
+}
+
+TEST(ShardedEngine, ShutdownDrainsAndRejectsLateSubmits) {
+  Csr a = gen_grid2d(8, 8, 5);
+  auto sp = make_sharded(a, 2, SplitStrategy::kNaive);
+  ShardedEngine engine;
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(engine.submit(
+        sp, gen_request_payload(a.nrows(), 4, 2,
+                                200 + static_cast<std::uint64_t>(i))));
+  engine.shutdown();
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+  EXPECT_THROW((void)engine.submit(sp, gen_request_payload(a.nrows(), 4, 2, 299)),
+               Error);
+}
+
+}  // namespace
+}  // namespace cw::shard

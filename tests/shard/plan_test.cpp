@@ -1,0 +1,235 @@
+#include "shard/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+#include "test_utils.hpp"
+
+namespace cw::shard {
+namespace {
+
+offset_t max_block_nnz(const RowBlockPlan& plan, const Csr& a) {
+  offset_t worst = 0;
+  for (const BlockSummary& b : plan.summarize(a)) worst = std::max(worst, b.nnz);
+  return worst;
+}
+
+/// Reassemble the original matrix from its extracted blocks — the
+/// permutation round trip every strategy must survive.
+Csr reassemble(const RowBlockPlan& plan, const Csr& a) {
+  std::vector<Csr> blocks;
+  for (index_t s = 0; s < plan.num_shards(); ++s)
+    blocks.push_back(plan.extract_block(a, s));
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(plan.nrows()) + 1, 0);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> values(static_cast<std::size_t>(a.nnz()));
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    for (index_t i = 0; i < blocks[static_cast<std::size_t>(s)].nrows(); ++i) {
+      const index_t orig = plan.order()[static_cast<std::size_t>(
+          plan.block_ptr()[static_cast<std::size_t>(s)] + i)];
+      row_ptr[static_cast<std::size_t>(orig) + 1] =
+          blocks[static_cast<std::size_t>(s)].row_nnz(i);
+    }
+  }
+  for (index_t r = 0; r < plan.nrows(); ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] += row_ptr[static_cast<std::size_t>(r)];
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    const Csr& blk = blocks[static_cast<std::size_t>(s)];
+    for (index_t i = 0; i < blk.nrows(); ++i) {
+      const index_t orig = plan.order()[static_cast<std::size_t>(
+          plan.block_ptr()[static_cast<std::size_t>(s)] + i)];
+      const auto cols = blk.row_cols(i);
+      const auto vals = blk.row_vals(i);
+      std::copy(cols.begin(), cols.end(),
+                col_idx.begin() + row_ptr[static_cast<std::size_t>(orig)]);
+      std::copy(vals.begin(), vals.end(),
+                values.begin() + row_ptr[static_cast<std::size_t>(orig)]);
+    }
+  }
+  return Csr(plan.nrows(), plan.ncols(), std::move(row_ptr),
+             std::move(col_idx), std::move(values));
+}
+
+TEST(RowBlockPlan, NaiveSplitsRowsEvenly) {
+  const Csr a = test::random_csr(40, 40, 0.1, 1);
+  PlanOptions opt;
+  opt.num_shards = 4;
+  opt.strategy = SplitStrategy::kNaive;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  ASSERT_EQ(plan.num_shards(), 4);
+  for (index_t s = 0; s < 4; ++s) EXPECT_EQ(plan.block_rows(s), 10);
+  // Identity order.
+  for (index_t r = 0; r < 40; ++r)
+    EXPECT_EQ(plan.order()[static_cast<std::size_t>(r)], r);
+}
+
+TEST(RowBlockPlan, BalancedNeverWorseThanNaiveAndAtLeastIdeal) {
+  // Skewed nnz: a KKT-style matrix with a dense border concentrates work in
+  // a few rows, where the naive equal-rows cut is at its worst.
+  Csr a = gen_kkt(300, 12, 6, 7);
+  for (index_t k : {2, 4, 8, 16}) {
+    PlanOptions naive{k, SplitStrategy::kNaive, 1, 0.05};
+    PlanOptions balanced{k, SplitStrategy::kBalanced, 1, 0.05};
+    const RowBlockPlan pn = RowBlockPlan::build(a, naive);
+    const RowBlockPlan pb = RowBlockPlan::build(a, balanced);
+    const offset_t ideal = (a.nnz() + k - 1) / k;
+    EXPECT_LE(max_block_nnz(pb, a), max_block_nnz(pn, a)) << "k=" << k;
+    EXPECT_GE(max_block_nnz(pb, a), ideal) << "k=" << k;
+    EXPECT_GE(pb.balance(a), 1.0);
+    EXPECT_LE(pb.balance(a), pn.balance(a) + 1e-12);
+  }
+}
+
+TEST(RowBlockPlan, EveryStrategySurvivesThePermutationRoundTrip) {
+  const Csr a = gen_block_diag(96, 8, 0.02, 3);
+  for (SplitStrategy strategy : {SplitStrategy::kNaive, SplitStrategy::kBalanced,
+                                 SplitStrategy::kLocality}) {
+    PlanOptions opt;
+    opt.num_shards = 5;
+    opt.strategy = strategy;
+    const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+    EXPECT_TRUE(is_permutation(plan.order(), a.nrows()))
+        << to_string(strategy);
+    EXPECT_TRUE(reassemble(plan, a) == a) << to_string(strategy);
+    // inverse_order really is the inverse.
+    for (index_t r = 0; r < a.nrows(); ++r)
+      EXPECT_EQ(plan.order()[static_cast<std::size_t>(
+                    plan.inverse_order()[static_cast<std::size_t>(r)])],
+                r);
+  }
+}
+
+TEST(RowBlockPlan, ShardOfRowAgreesWithBlockRanges) {
+  const Csr a = gen_rmat(8, 8, 0.57, 0.19, 0.19, 11, true);
+  PlanOptions opt;
+  opt.num_shards = 6;
+  opt.strategy = SplitStrategy::kLocality;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  for (index_t s = 0; s < plan.num_shards(); ++s) {
+    for (index_t i = plan.block_ptr()[static_cast<std::size_t>(s)];
+         i < plan.block_ptr()[static_cast<std::size_t>(s) + 1]; ++i) {
+      EXPECT_EQ(plan.shard_of_row(plan.order()[static_cast<std::size_t>(i)]), s);
+    }
+  }
+}
+
+TEST(RowBlockPlan, LocalityKeepsDenseClustersTogether) {
+  // Pure block-diagonal structure: a perfect partitioner never splits one
+  // of the 8-row dense blocks across shards. Allow the multilevel heuristic
+  // a little slack but demand it beats the naive cut's edge cut.
+  const Csr a = gen_block_diag(128, 8, 0.0, 5);
+  PlanOptions opt;
+  opt.num_shards = 4;
+  opt.strategy = SplitStrategy::kLocality;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  index_t split_pairs = 0, total_pairs = 0;
+  for (index_t r = 0; r < a.nrows(); ++r) {
+    for (const index_t c : a.row_cols(r)) {
+      if (c == r) continue;
+      ++total_pairs;
+      if (plan.shard_of_row(r) != plan.shard_of_row(c)) ++split_pairs;
+    }
+  }
+  ASSERT_GT(total_pairs, 0);
+  // The naive cut at 32-row boundaries splits 0 blocks here only by luck of
+  // alignment; the partitioner must keep the overwhelming majority intact.
+  EXPECT_LT(static_cast<double>(split_pairs) / static_cast<double>(total_pairs),
+            0.15);
+}
+
+TEST(RowBlockPlan, DegenerateEmptyMatrix) {
+  const Csr a;  // 0 x 0
+  for (SplitStrategy strategy :
+       {SplitStrategy::kNaive, SplitStrategy::kBalanced}) {
+    PlanOptions opt;
+    opt.num_shards = 4;
+    opt.strategy = strategy;
+    const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+    EXPECT_EQ(plan.num_shards(), 4);
+    for (index_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(plan.block_rows(s), 0);
+      EXPECT_EQ(plan.extract_block(a, s).nrows(), 0);
+    }
+  }
+}
+
+TEST(RowBlockPlan, DegenerateMoreShardsThanRows) {
+  const Csr a = test::random_csr(3, 3, 0.5, 21);
+  for (SplitStrategy strategy : {SplitStrategy::kNaive, SplitStrategy::kBalanced,
+                                 SplitStrategy::kLocality}) {
+    PlanOptions opt;
+    opt.num_shards = 8;
+    opt.strategy = strategy;
+    const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+    EXPECT_EQ(plan.num_shards(), 8) << to_string(strategy);
+    index_t total = 0;
+    for (index_t s = 0; s < 8; ++s) total += plan.block_rows(s);
+    EXPECT_EQ(total, 3) << to_string(strategy);
+    EXPECT_TRUE(reassemble(plan, a) == a) << to_string(strategy);
+  }
+}
+
+TEST(RowBlockPlan, DegenerateSingleRowShards) {
+  const Csr a = test::random_csr(6, 6, 0.4, 22);
+  PlanOptions opt;
+  opt.num_shards = 6;
+  opt.strategy = SplitStrategy::kBalanced;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  EXPECT_TRUE(reassemble(plan, a) == a);
+}
+
+TEST(RowBlockPlan, DegenerateAllZeroRowBlock) {
+  // Rows 8..23 hold no entries at all: the balanced split packs them into
+  // one (or part of one) zero-work block, which must still round-trip.
+  Coo coo(24, 24);
+  for (index_t r = 0; r < 8; ++r)
+    for (index_t c = 0; c < 8; ++c) coo.push(r, c, 1.0 + r);
+  const Csr a = Csr::from_coo(coo);
+  PlanOptions opt;
+  opt.num_shards = 4;
+  opt.strategy = SplitStrategy::kBalanced;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  EXPECT_TRUE(reassemble(plan, a) == a);
+  const auto summary = plan.summarize(a);
+  offset_t total = 0;
+  for (const auto& b : summary) total += b.nnz;
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(RowBlockPlan, FromPartsValidates) {
+  const Csr a = test::random_csr(10, 10, 0.3, 23);
+  PlanOptions opt;
+  opt.num_shards = 3;
+  const RowBlockPlan plan = RowBlockPlan::build(a, opt);
+  const RowBlockPlan back = RowBlockPlan::from_parts(
+      plan.nrows(), plan.ncols(), plan.nnz(), plan.strategy(), plan.order(),
+      plan.block_ptr());
+  EXPECT_EQ(back.block_ptr(), plan.block_ptr());
+  EXPECT_EQ(back.order(), plan.order());
+
+  // Bad parts must throw, not mis-slice.
+  EXPECT_THROW(RowBlockPlan::from_parts(10, 10, plan.nnz(), plan.strategy(),
+                                        Permutation{0, 1, 2}, plan.block_ptr()),
+               Error);
+  EXPECT_THROW(RowBlockPlan::from_parts(10, 10, plan.nnz(), plan.strategy(),
+                                        plan.order(), {0, 4, 2, 10}),
+               Error);
+  EXPECT_THROW(RowBlockPlan::from_parts(10, 10, plan.nnz(), plan.strategy(),
+                                        plan.order(), {0, 4, 8}),
+               Error);
+}
+
+TEST(RowBlockPlan, LocalityRequiresSquare) {
+  const Csr a = test::random_csr(8, 12, 0.3, 24);
+  PlanOptions opt;
+  opt.strategy = SplitStrategy::kLocality;
+  EXPECT_THROW(RowBlockPlan::build(a, opt), Error);
+  opt.strategy = SplitStrategy::kBalanced;
+  EXPECT_NO_THROW(RowBlockPlan::build(a, opt));
+}
+
+}  // namespace
+}  // namespace cw::shard

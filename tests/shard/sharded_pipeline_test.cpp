@@ -1,0 +1,179 @@
+#include "shard/sharded_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "test_utils.hpp"
+
+namespace cw::shard {
+namespace {
+
+PipelineOptions shard_opts(ClusterScheme s) {
+  PipelineOptions o;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  return o;
+}
+
+/// The unsharded reference: a row-wise pipeline in the original order. Both
+/// paths accumulate every output row's dot products in ascending column
+/// order, so the comparison is exact (operator==), not approximate.
+Csr reference_product(const Csr& a, const Csr& b) {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kNone;
+  const Pipeline p(a, o);
+  return p.unpermute_rows(p.multiply(b));
+}
+
+TEST(ShardedPipeline, BitIdenticalToUnshardedAcrossShardCounts) {
+  // Generator-suite matrices with different structure; K ∈ {1, 2, 8} is the
+  // acceptance matrix of the sharding issue.
+  for (const char* name : {"conf5", "pdb1"}) {
+    Csr a = has_dataset(name) ? make_dataset(name, SuiteScale::kSmall)
+                              : gen_block_diag(192, 6, 0.05, 17);
+    randomize_values(a, 99);
+    const Csr b = gen_request_payload(a.nrows(), 32, 3, 1234);
+    const Csr ref = reference_product(a, b);
+    for (index_t k : {1, 2, 8}) {
+      for (SplitStrategy strategy :
+           {SplitStrategy::kNaive, SplitStrategy::kBalanced,
+            SplitStrategy::kLocality}) {
+        PlanOptions popt;
+        popt.num_shards = k;
+        popt.strategy = strategy;
+        const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kHierarchical));
+        EXPECT_TRUE(sp.multiply(b) == ref)
+            << name << " k=" << k << " " << to_string(strategy);
+      }
+    }
+  }
+}
+
+TEST(ShardedPipeline, BitIdenticalAcrossClusterSchemes) {
+  Csr a = gen_block_diag(128, 8, 0.03, 31);
+  randomize_values(a, 32);
+  const Csr b = gen_request_payload(a.nrows(), 16, 4, 33);
+  const Csr ref = reference_product(a, b);
+  for (ClusterScheme scheme :
+       {ClusterScheme::kNone, ClusterScheme::kFixed, ClusterScheme::kVariable,
+        ClusterScheme::kHierarchical}) {
+    PlanOptions popt;
+    popt.num_shards = 4;
+    popt.strategy = SplitStrategy::kBalanced;
+    const ShardedPipeline sp(a, popt, shard_opts(scheme));
+    EXPECT_TRUE(sp.multiply(b) == ref) << to_string(scheme);
+  }
+}
+
+TEST(ShardedPipeline, ShardsAreIndividuallyPreparedRowsOnly) {
+  const Csr a = gen_grid2d(12, 12, 5);
+  PlanOptions popt;
+  popt.num_shards = 3;
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kHierarchical));
+  ASSERT_EQ(sp.num_shards(), 3);
+  index_t rows = 0;
+  for (index_t s = 0; s < sp.num_shards(); ++s) {
+    const auto& p = sp.shard(s);
+    EXPECT_EQ(p->mode(), PermutationMode::kRowsOnly);
+    EXPECT_EQ(p->matrix().ncols(), a.ncols());  // full column space
+    EXPECT_EQ(p->matrix().nrows(), sp.plan().block_rows(s));
+    rows += p->matrix().nrows();
+  }
+  EXPECT_EQ(rows, a.nrows());
+}
+
+TEST(ShardedPipeline, ShardsAreRegistryAdmissible) {
+  const Csr a = gen_banded(80, 6, 0.6, 41);
+  PlanOptions popt;
+  popt.num_shards = 4;
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kFixed));
+  serve::PipelineRegistry registry(std::size_t{64} << 20);
+  EXPECT_EQ(sp.admit(registry), 4);
+  // Each shard is retrievable under its own fingerprint and is the same
+  // prepared object (no copies).
+  for (index_t s = 0; s < sp.num_shards(); ++s)
+    EXPECT_EQ(registry.find(sp.shard_fingerprint(s)), sp.shard(s));
+  // Re-admitting is idempotent.
+  EXPECT_EQ(sp.admit(registry), 0);
+}
+
+TEST(ShardedPipeline, DegenerateEmptyMatrix) {
+  const Csr a;  // 0 x 0
+  PlanOptions popt;
+  popt.num_shards = 3;
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kHierarchical));
+  const Csr b(0, 5, {0}, {}, {});
+  const Csr c = sp.multiply(b);
+  EXPECT_EQ(c.nrows(), 0);
+  EXPECT_EQ(c.ncols(), 5);
+}
+
+TEST(ShardedPipeline, DegenerateMoreShardsThanRows) {
+  Csr a = test::random_csr(3, 3, 0.8, 42);
+  const Csr b = gen_request_payload(3, 4, 2, 43);
+  PlanOptions popt;
+  popt.num_shards = 7;  // 4 shards end up empty
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kVariable));
+  EXPECT_TRUE(sp.multiply(b) == reference_product(a, b));
+}
+
+TEST(ShardedPipeline, DegenerateSingleRowShards) {
+  Csr a = test::random_csr(5, 5, 0.6, 44);
+  const Csr b = gen_request_payload(5, 3, 2, 45);
+  PlanOptions popt;
+  popt.num_shards = 5;
+  popt.strategy = SplitStrategy::kNaive;  // exactly one row per shard
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kHierarchical));
+  for (index_t s = 0; s < 5; ++s) EXPECT_EQ(sp.plan().block_rows(s), 1);
+  EXPECT_TRUE(sp.multiply(b) == reference_product(a, b));
+  // The nnz-balanced cut may pair light rows instead — still correct.
+  popt.strategy = SplitStrategy::kBalanced;
+  const ShardedPipeline sb(a, popt, shard_opts(ClusterScheme::kHierarchical));
+  EXPECT_TRUE(sb.multiply(b) == reference_product(a, b));
+}
+
+TEST(ShardedPipeline, DegenerateAllZeroRowBlock) {
+  // One shard's rows are entirely empty; its product contributes zero rows
+  // but must keep the gather's row accounting intact.
+  Coo coo(16, 16);
+  for (index_t r = 0; r < 8; ++r)
+    for (index_t c = 0; c < 4; ++c) coo.push(r, c, 0.5 + r + c);
+  const Csr a = Csr::from_coo(coo);
+  const Csr b = gen_request_payload(16, 8, 3, 46);
+  PlanOptions popt;
+  popt.num_shards = 2;
+  popt.strategy = SplitStrategy::kNaive;  // rows 8..15 = the all-zero block
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kFixed));
+  EXPECT_TRUE(sp.multiply(b) == reference_product(a, b));
+}
+
+TEST(ShardedPipeline, GatherRejectsMismatchedProducts) {
+  const Csr a = test::random_csr(12, 12, 0.4, 47);
+  PlanOptions popt;
+  popt.num_shards = 2;
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kNone));
+  EXPECT_THROW(sp.gather({Csr()}), Error);  // wrong count
+}
+
+TEST(ShardedPipeline, RejectsExplicitReordering) {
+  const Csr a = test::random_csr(10, 10, 0.4, 48);
+  PlanOptions popt;
+  PipelineOptions opt = shard_opts(ClusterScheme::kNone);
+  opt.reorder = ReorderAlgo::kRCM;
+  EXPECT_THROW(ShardedPipeline(a, popt, opt), Error);
+}
+
+TEST(ShardedPipeline, MemoryAndPrepareAccounting) {
+  const Csr a = gen_grid2d(10, 10, 5);
+  PlanOptions popt;
+  popt.num_shards = 2;
+  const ShardedPipeline sp(a, popt, shard_opts(ClusterScheme::kHierarchical));
+  EXPECT_GT(sp.memory_bytes(), a.memory_bytes());
+  EXPECT_GE(sp.prepare_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace cw::shard

@@ -10,11 +10,19 @@
 //   cwtool snapshot load <file.cwsnap>     reload and time one multiply
 //   cwtool serve-bench <input> [clients] [requests] [workers]
 //                                          concurrent-engine throughput run
+//   cwtool shard plan <input> [K] [strategy]
+//                                          print the row-block split
+//   cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]
+//                                          prepare + persist a sharded pipeline
+//   cwtool shard info <file.cwsnap>        sharded manifest summary
+//   cwtool shard multiply <file.cwsnap> [bcols] [workers]
+//                                          load + time one scatter/gather multiply
 //
 // <input> is either a Matrix Market file or `dataset:<name>` from the
 // built-in suite. <algo> is one of: shuffled rcm amd nd gp hp gray rabbit
 // degree slashburn. [budget] is single|tens|thousands. [scheme] is one of:
-// none fixed variable hierarchical.
+// none fixed variable hierarchical. [strategy] is one of: naive balanced
+// locality.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +41,8 @@
 #include "serve/engine.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/snapshot.hpp"
+#include "shard/engine.hpp"
+#include "shard/snapshot.hpp"
 
 namespace {
 
@@ -242,6 +252,100 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   return 0;
 }
 
+shard::SplitStrategy parse_strategy(const std::string& s) {
+  if (s == "naive") return shard::SplitStrategy::kNaive;
+  if (s == "balanced") return shard::SplitStrategy::kBalanced;
+  if (s == "locality") return shard::SplitStrategy::kLocality;
+  throw Error("unknown split strategy: " + s);
+}
+
+void print_plan(const shard::RowBlockPlan& plan, const Csr& a) {
+  std::printf("shards     %d (%s split)\n", plan.num_shards(),
+              to_string(plan.strategy()));
+  const auto blocks = plan.summarize(a);
+  for (std::size_t s = 0; s < blocks.size(); ++s)
+    std::printf("  shard %-3zu %8d rows  %10lld nnz\n", s, blocks[s].rows,
+                static_cast<long long>(blocks[s].nnz));
+  std::printf("balance    %.3f (max shard nnz / ideal)\n", plan.balance(a));
+}
+
+int cmd_shard_plan(const std::string& input, index_t k,
+                   const std::string& strategy) {
+  const Csr a = load_input(input);
+  shard::PlanOptions popt;
+  popt.num_shards = k;
+  popt.strategy = parse_strategy(strategy);
+  const shard::RowBlockPlan plan = shard::RowBlockPlan::build(a, popt);
+  std::printf("matrix     %d x %d, %lld nnz\n", a.nrows(), a.ncols(),
+              static_cast<long long>(a.nnz()));
+  print_plan(plan, a);
+  return 0;
+}
+
+int cmd_shard_save(const std::string& input, const std::string& out_path,
+                   index_t k, const std::string& strategy,
+                   const std::string& scheme) {
+  const Csr a = load_input(input);
+  shard::PlanOptions popt;
+  popt.num_shards = k;
+  popt.strategy = parse_strategy(strategy);
+  PipelineOptions opt;
+  opt.scheme = parse_scheme(scheme);
+  Timer t_prep;
+  const shard::ShardedPipeline sp(a, popt, opt);
+  const double prep_s = t_prep.seconds();
+  Timer t_save;
+  shard::save_sharded_pipeline_file(out_path, sp);
+  std::fprintf(stderr, "prepared %d shards (%s split, %s) in %.1f ms\n",
+               sp.num_shards(), to_string(popt.strategy),
+               to_string(opt.scheme), prep_s * 1e3);
+  std::fprintf(stderr, "wrote %s in %.1f ms (%.2f MB resident)\n",
+               out_path.c_str(), t_save.seconds() * 1e3,
+               static_cast<double>(sp.memory_bytes()) / 1e6);
+  return 0;
+}
+
+int cmd_shard_info(const std::string& path) {
+  const shard::ShardManifest m = shard::read_manifest_file(path);
+  std::printf("kind       sharded-pipeline (format v%u)\n", m.version);
+  std::printf("rows/cols  %d x %d\n", m.nrows, m.ncols);
+  std::printf("nnz        %lld\n", static_cast<long long>(m.nnz));
+  std::printf("shards     %d (%s split)\n", m.num_shards(),
+              to_string(m.strategy));
+  for (index_t s = 0; s < m.num_shards(); ++s)
+    std::printf("  shard %-3d rows [%d, %d)\n", s,
+                m.block_ptr[static_cast<std::size_t>(s)],
+                m.block_ptr[static_cast<std::size_t>(s) + 1]);
+  return 0;
+}
+
+int cmd_shard_multiply(const std::string& path, index_t bcols, int workers) {
+  Timer t_load;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(
+      shard::load_sharded_pipeline_file(path));
+  const double load_s = t_load.seconds();
+  const Csr b = gen_request_payload(sp->plan().ncols(), bcols, 3, 4242);
+
+  Timer t_seq;
+  const Csr c_seq = sp->multiply(b);
+  const double seq_s = t_seq.seconds();
+
+  shard::ShardedEngineOptions eopt;
+  eopt.num_workers = workers;
+  shard::ShardedEngine engine(eopt);
+  Timer t_mul;
+  const Csr c = engine.submit(sp, b).get();
+  const double mul_s = t_mul.seconds();
+  CW_CHECK_MSG(c == c_seq, "scatter/gather result mismatch");
+
+  std::printf("loaded %d shards      %.1f ms (vs %.1f ms preprocessing)\n",
+              sp->num_shards(), load_s * 1e3, sp->prepare_seconds() * 1e3);
+  std::printf("sequential multiply  %.1f ms\n", seq_s * 1e3);
+  std::printf("scatter/gather       %.1f ms (%d workers), %lld nnz\n",
+              mul_s * 1e3, workers, static_cast<long long>(c.nnz()));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -253,6 +357,10 @@ int usage() {
                "  cwtool snapshot info <file.cwsnap>\n"
                "  cwtool snapshot load <file.cwsnap>\n"
                "  cwtool serve-bench <input> [clients] [requests] [workers]\n"
+               "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
+               "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
+               "  cwtool shard info <file.cwsnap>\n"
+               "  cwtool shard multiply <file.cwsnap> [bcols] [workers]\n"
                "<input> = file.mtx | dataset:<name>\n");
   return 2;
 }
@@ -274,6 +382,29 @@ int main(int argc, char** argv) {
         return cmd_snapshot_save(argv[3], argv[4], argc, argv);
       if (input == "info" && argc >= 4) return cmd_snapshot_info(argv[3]);
       if (input == "load" && argc >= 4) return cmd_snapshot_load(argv[3]);
+      return usage();
+    }
+    if (cmd == "shard") {
+      // here `input` is the shard sub-verb: plan | save | info | multiply
+      if (input == "plan" && argc >= 4) {
+        const index_t k = argc > 4 ? std::atoi(argv[4]) : 4;
+        if (k < 1) return usage();
+        return cmd_shard_plan(argv[3], k, argc > 5 ? argv[5] : "balanced");
+      }
+      if (input == "save" && argc >= 5) {
+        const index_t k = argc > 5 ? std::atoi(argv[5]) : 4;
+        if (k < 1) return usage();
+        return cmd_shard_save(argv[3], argv[4], k,
+                              argc > 6 ? argv[6] : "balanced",
+                              argc > 7 ? argv[7] : "hierarchical");
+      }
+      if (input == "info" && argc >= 4) return cmd_shard_info(argv[3]);
+      if (input == "multiply" && argc >= 4) {
+        const index_t bcols = argc > 4 ? std::atoi(argv[4]) : 32;
+        const int workers = argc > 5 ? std::atoi(argv[5]) : 4;
+        if (bcols < 1 || workers < 1) return usage();
+        return cmd_shard_multiply(argv[3], bcols, workers);
+      }
       return usage();
     }
     if (cmd == "serve-bench") {
