@@ -1,0 +1,91 @@
+// Machine-readable bench output: every serving-layer bench appends records
+// and writes one BENCH_<bench>.json next to the working directory (override
+// the directory with CW_BENCH_JSON_DIR), so the perf trajectory is diffable
+// across PRs instead of living in scrollback.
+//
+// Schema: {"bench": <name>, "records": [{"name": ..., "params": {k: v, ...},
+// "ns_per_op": ..., "bytes_mapped": ..., "bytes_copied": ...}, ...]}
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cw::bench {
+
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+    double ns_per_op = 0;
+    std::uint64_t bytes_mapped = 0;
+    std::uint64_t bytes_copied = 0;
+  };
+
+  void add(Record r) { records_.push_back(std::move(r)); }
+
+  /// Convenience: numeric params stringify themselves.
+  static std::pair<std::string, std::string> param(const std::string& key,
+                                                   long long value) {
+    return {key, std::to_string(value)};
+  }
+  static std::pair<std::string, std::string> param(const std::string& key,
+                                                   const std::string& value) {
+    return {key, value};
+  }
+
+  /// Write BENCH_<bench>.json; returns the path (empty on failure — benches
+  /// must not die because the cwd is read-only).
+  std::string write() const {
+    const char* dir = std::getenv("CW_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        bench_name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return {};
+    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [", bench_name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n  {\"name\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", escape(r.name).c_str());
+      for (std::size_t p = 0; p < r.params.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", p == 0 ? "" : ", ",
+                     escape(r.params[p].first).c_str(),
+                     escape(r.params[p].second).c_str());
+      }
+      std::fprintf(f,
+                   "}, \"ns_per_op\": %.1f, \"bytes_mapped\": %llu, "
+                   "\"bytes_copied\": %llu}",
+                   r.ns_per_op,
+                   static_cast<unsigned long long>(r.bytes_mapped),
+                   static_cast<unsigned long long>(r.bytes_copied));
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // keep it simple
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
+
+}  // namespace cw::bench

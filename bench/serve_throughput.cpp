@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/timer.hpp"
 #include "core/advisor.hpp"
 #include "gen/generators.hpp"
@@ -28,7 +29,8 @@ namespace {
 using namespace cw;
 
 void run_engine(const std::shared_ptr<const Pipeline>& p,
-                const std::vector<Csr>& payloads, int workers, int clients) {
+                const std::vector<Csr>& payloads, int workers, int clients,
+                bench::JsonBenchWriter* json) {
   serve::EngineOptions opt;
   opt.num_workers = workers;
   serve::ServeEngine engine(opt);
@@ -50,6 +52,11 @@ void run_engine(const std::shared_ptr<const Pipeline>& p,
       "%llu batches\n",
       workers, wall * 1e3, requests / wall, st.latency_p50_ms,
       st.latency_p99_ms, static_cast<unsigned long long>(st.batches));
+  using W = bench::JsonBenchWriter;
+  json->add({"engine_scaling",
+             {W::param("workers", workers), W::param("clients", clients),
+              W::param("requests", requests)},
+             wall / requests * 1e9, 0, 0});
 }
 
 }  // namespace
@@ -60,6 +67,8 @@ int main(int argc, char** argv) {
   const Csr a = make_dataset(name, suite_scale_from_env());
   std::printf("dataset %s: %d x %d, %lld nnz\n", name.c_str(), a.nrows(),
               a.ncols(), static_cast<long long>(a.nnz()));
+  bench::JsonBenchWriter json("serve_throughput");
+  using W = bench::JsonBenchWriter;
 
   const Recommendation rec = advise(a, ReuseBudget::kThousands);
 
@@ -74,13 +83,21 @@ int main(int argc, char** argv) {
   Timer t_load;
   const Pipeline reloaded = serve::load_pipeline(buf);
   const double load_s = t_load.seconds();
+  // buf.str() copies the whole serialized snapshot; materialize its size
+  // once instead of three times.
+  const auto snap_bytes = static_cast<std::uint64_t>(buf.str().size());
   std::printf("\nsnapshot economics (%s + %s)\n", to_string(rec.reorder),
               to_string(rec.scheme));
   std::printf("  preprocess %8.1f ms\n", prep_s * 1e3);
   std::printf("  save       %8.1f ms (%.2f MB)\n", save_s * 1e3,
-              static_cast<double>(buf.str().size()) / 1e6);
+              static_cast<double>(snap_bytes) / 1e6);
   std::printf("  load       %8.1f ms (%.1fx cheaper than preprocessing)\n",
               load_s * 1e3, load_s > 0 ? prep_s / load_s : 0.0);
+  json.add({"snapshot_preprocess", {W::param("dataset", name)}, prep_s * 1e9, 0, 0});
+  json.add({"snapshot_save", {W::param("dataset", name)}, save_s * 1e9, 0,
+            snap_bytes});
+  json.add({"snapshot_copy_load", {W::param("dataset", name)}, load_s * 1e9, 0,
+            snap_bytes});
 
   // --- 2. engine scaling ----------------------------------------------------
   std::vector<Csr> payloads;
@@ -91,7 +108,7 @@ int main(int argc, char** argv) {
   const int max_workers =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   for (int w = 1; w <= max_workers; w *= 2)
-    run_engine(p, payloads, w, 4);
+    run_engine(p, payloads, w, 4, &json);
 
   // --- 3. registry amortization --------------------------------------------
   serve::PipelineRegistry registry(std::size_t{1} << 30);
@@ -116,5 +133,11 @@ int main(int argc, char** argv) {
               rst.hit_rate() * 100,
               static_cast<unsigned long long>(rst.hits),
               static_cast<unsigned long long>(rst.misses));
+  json.add({"registry_cold_get_or_build", {W::param("dataset", name)},
+            cold_s * 1e9, 0, 0});
+  json.add({"registry_hot_get_or_build", {W::param("dataset", name)},
+            hot_s * 1e9, 0, 0});
+  const std::string json_path = json.write();
+  if (!json_path.empty()) std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

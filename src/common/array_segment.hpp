@@ -1,0 +1,134 @@
+// ArraySegment<T> — owned-or-borrowed array storage for the sparse formats.
+//
+// Every bulk array in Csr / Clustering / CsrCluster is one of these. Two
+// states:
+//
+//   * owned    — backed by a private std::vector<T> (the default; everything
+//                built in-process is owned);
+//   * borrowed — a read-only view into a shared MmapRegion (a snapshot-v3
+//                file mapped by serve/snapshot.hpp). The segment keeps the
+//                region alive, so "load" means "point at the page cache" and
+//                N processes share one physical copy of the arrays.
+//
+// The read API is vector-like (data/size/operator[]/iteration) and identical
+// in both states, so kernels never know the difference. Mutation goes
+// through mutate(), which first materializes a private owned copy when the
+// storage is borrowed (copy-on-write) — mapped snapshot bytes are PROT_READ
+// and must never be written through. Owned reads always delegate to the
+// vector, so mutation through mutate() can never leave a stale view.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/mmap_region.hpp"
+
+namespace cw {
+
+template <typename T>
+class ArraySegment {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "segments hold raw fixed-width data");
+
+ public:
+  ArraySegment() = default;
+
+  /// Owned storage (implicit: segments assign seamlessly from vectors).
+  ArraySegment(std::vector<T> v) : vec_(std::move(v)) {}
+
+  ArraySegment(std::initializer_list<T> init) : vec_(init) {}
+
+  /// Borrowed storage: `count` elements at `data`, which must lie inside
+  /// `region` (the caller — SegmentTable in snapshot_io.hpp — has
+  /// bounds-checked that). The segment shares ownership of the mapping.
+  static ArraySegment borrowed(const T* data, std::size_t count,
+                               std::shared_ptr<const MmapRegion> region) {
+    ArraySegment s;
+    if (count == 0) return s;  // empty segments need no region
+    s.region_ = std::move(region);
+    s.data_ = data;
+    s.size_ = count;
+    return s;
+  }
+
+  // Default copy/move are correct in both states: an owned copy deep-copies
+  // the vector (and reads through it), a borrowed copy shares the mapping.
+  // A moved-from segment reads as empty owned.
+
+  // --- read API (both states) ----------------------------------------------
+
+  [[nodiscard]] const T* data() const {
+    return region_ ? data_ : vec_.data();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return region_ ? size_ : vec_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t size_bytes() const { return size() * sizeof(T); }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+  [[nodiscard]] const T& back() const { return data()[size() - 1]; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size(); }
+  [[nodiscard]] std::span<const T> span() const { return {data(), size()}; }
+
+  /// True when backed by a private vector; false when borrowed from a
+  /// mapped region (the registry charges these differently — registry.hpp).
+  [[nodiscard]] bool owned() const { return region_ == nullptr; }
+
+  [[nodiscard]] const std::shared_ptr<const MmapRegion>& region() const {
+    return region_;
+  }
+
+  [[nodiscard]] std::vector<T> to_vector() const {
+    return std::vector<T>(data(), data() + size());
+  }
+
+  // --- mutate API ----------------------------------------------------------
+
+  /// Mutable access to the underlying vector, materializing a private copy
+  /// first if the storage is borrowed (mapped bytes are read-only).
+  std::vector<T>& mutate() {
+    if (region_) {
+      vec_.assign(data_, data_ + size_);
+      region_.reset();
+      data_ = nullptr;
+      size_ = 0;
+    }
+    return vec_;
+  }
+
+  /// Element-wise mutable span over owned (materialized) storage.
+  [[nodiscard]] std::span<T> mutable_span() {
+    std::vector<T>& v = mutate();
+    return {v.data(), v.size()};
+  }
+
+  /// Element-wise equality with the element type's own == (matching the
+  /// std::vector comparison this storage replaced — so +0.0 == -0.0 and
+  /// NaN != NaN for floating T, exactly as before).
+  bool operator==(const ArraySegment& other) const {
+    if (size() != other.size()) return false;
+    return std::equal(begin(), end(), other.begin());
+  }
+
+  bool operator==(const std::vector<T>& v) const {
+    if (size() != v.size()) return false;
+    return std::equal(begin(), end(), v.begin());
+  }
+
+ private:
+  std::vector<T> vec_;                        // owned state (region_ null)
+  std::shared_ptr<const MmapRegion> region_;  // borrowed state (non-null)
+  const T* data_ = nullptr;                   // borrowed view
+  std::size_t size_ = 0;                      // borrowed view
+};
+
+}  // namespace cw

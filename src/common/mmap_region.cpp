@@ -1,0 +1,93 @@
+#include "common/mmap_region.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+
+namespace cw {
+
+#ifndef _WIN32
+
+std::uint64_t MmapRegion::query_file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0)
+    throw Error("mmap: cannot stat " + path + ": " + std::strerror(errno));
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::shared_ptr<const MmapRegion> MmapRegion::map_file(const std::string& path,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t length) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw Error("mmap: cannot open " + path + ": " + std::strerror(errno));
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("mmap: fstat failed for " + path + ": " + std::strerror(err));
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  if (offset > file_size ||
+      (length > 0 && length > file_size - offset)) {
+    ::close(fd);
+    throw Error("mmap: requested range exceeds " + path + " (" +
+                std::to_string(file_size) + " bytes) — truncated file?");
+  }
+  if (length == 0) length = file_size - offset;
+
+  auto region = std::shared_ptr<MmapRegion>(new MmapRegion());
+  region->size_ = length;
+  region->file_offset_ = offset;
+  region->file_size_ = file_size;
+
+  if (length > 0) {
+    const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    const std::uint64_t page_floor = offset - offset % page;
+    const std::uint64_t map_len = (offset - page_floor) + length;
+    void* base = ::mmap(nullptr, static_cast<std::size_t>(map_len), PROT_READ,
+                        MAP_PRIVATE, fd, static_cast<off_t>(page_floor));
+    if (base == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("mmap: mapping " + path + " failed: " + std::strerror(err));
+    }
+    region->map_base_ = base;
+    region->map_len_ = static_cast<std::size_t>(map_len);
+    region->data_ =
+        static_cast<const std::byte*>(base) + (offset - page_floor);
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return region;
+}
+
+MmapRegion::~MmapRegion() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+}
+
+#else  // _WIN32
+
+std::uint64_t MmapRegion::query_file_size(const std::string& path) {
+  throw Error("mmap: not supported on this platform (" + path + ")");
+}
+
+std::shared_ptr<const MmapRegion> MmapRegion::map_file(const std::string& path,
+                                                       std::uint64_t, std::uint64_t) {
+  throw Error("mmap: not supported on this platform (load " + path +
+              " through the copying path instead)");
+}
+
+MmapRegion::~MmapRegion() = default;
+
+#endif
+
+}  // namespace cw

@@ -1,0 +1,88 @@
+// Read-only memory-mapped file region — the storage substrate of snapshot
+// format v3's zero-copy load path (serve/snapshot.hpp).
+//
+// A region maps a byte range [offset, offset+size) of a file with PROT_READ.
+// mmap requires page-aligned file offsets, so the region maps from the
+// containing page boundary internally and exposes `data()` at the *requested*
+// offset; callers address bytes by absolute file offset through `at()`, which
+// bounds-checks every access. Regions are handed around as
+// `shared_ptr<const MmapRegion>` and borrowed into `ArraySegment`s
+// (common/array_segment.hpp), so the mapping stays alive exactly as long as
+// any array still points into it — destruction munmaps.
+//
+// Why mmap instead of read(): N serving processes loading the same prepared
+// snapshot share ONE page-cache copy of the arrays, and load time is O(pages
+// touched) instead of O(file size) — the kernel faults in only the rows a
+// process actually multiplies with. The flip side: bytes are re-read from the
+// mapping on every access, so corruption checks are opt-in (see the
+// verify-on-demand flags in serve/snapshot.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+class MmapRegion {
+ public:
+  /// Map [offset, offset+length) of `path` read-only. length == 0 means "to
+  /// end of file". Throws cw::Error if the file cannot be opened, the range
+  /// exceeds the file, or the platform has no mmap.
+  static std::shared_ptr<const MmapRegion> map_file(const std::string& path,
+                                                    std::uint64_t offset = 0,
+                                                    std::uint64_t length = 0);
+
+  /// Size of `path` in bytes without mapping anything (selective loaders
+  /// size their windows from this).
+  static std::uint64_t query_file_size(const std::string& path);
+
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+  ~MmapRegion();
+
+  /// First mapped byte — the byte at file offset file_offset().
+  [[nodiscard]] const std::byte* data() const { return data_; }
+
+  /// Mapped length in bytes (the requested range, not the page-rounded one).
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  /// Absolute file offset of data()[0].
+  [[nodiscard]] std::uint64_t file_offset() const { return file_offset_; }
+
+  /// Total size of the underlying file at map time.
+  [[nodiscard]] std::uint64_t file_size() const { return file_size_; }
+
+  /// True iff [file_off, file_off+len) lies inside the mapped range.
+  [[nodiscard]] bool contains(std::uint64_t file_off, std::uint64_t len) const {
+    return file_off >= file_offset_ && len <= size_ &&
+           file_off - file_offset_ <= size_ - len;
+  }
+
+  /// Pointer to absolute file offset `file_off`, valid for `len` bytes.
+  /// Throws cw::Error when the range falls outside the mapping (a truncated
+  /// or lying snapshot file must never turn into a wild pointer).
+  [[nodiscard]] const std::byte* at(std::uint64_t file_off,
+                                    std::uint64_t len) const {
+    if (!contains(file_off, len))
+      throw Error("mmap: range [" + std::to_string(file_off) + ", +" +
+                  std::to_string(len) + ") outside mapped region (truncated "
+                  "file?)");
+    return data_ + (file_off - file_offset_);
+  }
+
+ private:
+  MmapRegion() = default;
+
+  void* map_base_ = nullptr;  // page-aligned mmap return value
+  std::size_t map_len_ = 0;   // page-rounded mapped length
+  const std::byte* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::uint64_t file_offset_ = 0;
+  std::uint64_t file_size_ = 0;
+};
+
+}  // namespace cw

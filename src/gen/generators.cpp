@@ -361,7 +361,7 @@ Csr gen_citation(index_t n, index_t avg_degree, std::uint64_t seed) {
 
 void randomize_values(Csr& a, std::uint64_t seed) {
   Rng rng(seed);
-  for (value_t& v : a.values()) v = rand_val(rng);
+  for (value_t& v : a.mutable_values()) v = rand_val(rng);
 }
 
 Csr gen_request_payload(index_t nrows, index_t ncols, index_t max_row_nnz,

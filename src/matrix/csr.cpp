@@ -48,12 +48,16 @@ Csr::Csr(index_t nrows, index_t ncols, std::vector<offset_t> row_ptr,
 
 void Csr::sort_rows_() {
   // Sort each row by column index if necessary. Rows produced by our own
-  // kernels are already sorted, so check before paying for a sort.
+  // kernels are already sorted, so check before paying for a sort. Only the
+  // constructor calls this, so the storage is always owned here.
+  std::vector<index_t>& col_idx = col_idx_.mutate();
+  std::vector<value_t>& values = values_.mutate();
   parallel_for(nrows_, [&](index_t r) {
     const offset_t lo = row_ptr_[r], hi = row_ptr_[r + 1];
     bool sorted = true;
     for (offset_t k = lo + 1; k < hi; ++k) {
-      if (col_idx_[k - 1] >= col_idx_[k]) {
+      if (col_idx[static_cast<std::size_t>(k - 1)] >=
+          col_idx[static_cast<std::size_t>(k)]) {
         sorted = false;
         break;
       }
@@ -62,15 +66,43 @@ void Csr::sort_rows_() {
     const auto len = static_cast<std::size_t>(hi - lo);
     std::vector<std::pair<index_t, value_t>> tmp(len);
     for (std::size_t k = 0; k < len; ++k)
-      tmp[k] = {col_idx_[lo + static_cast<offset_t>(k)],
-                values_[lo + static_cast<offset_t>(k)]};
+      tmp[k] = {col_idx[static_cast<std::size_t>(lo) + k],
+                values[static_cast<std::size_t>(lo) + k]};
     std::sort(tmp.begin(), tmp.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (std::size_t k = 0; k < len; ++k) {
-      col_idx_[lo + static_cast<offset_t>(k)] = tmp[k].first;
-      values_[lo + static_cast<offset_t>(k)] = tmp[k].second;
+      col_idx[static_cast<std::size_t>(lo) + k] = tmp[k].first;
+      values[static_cast<std::size_t>(lo) + k] = tmp[k].second;
     }
   });
+}
+
+Csr Csr::from_segments(index_t nrows, index_t ncols,
+                       ArraySegment<offset_t> row_ptr,
+                       ArraySegment<index_t> col_idx,
+                       ArraySegment<value_t> values, bool deep_validate) {
+  if (nrows < 0 || ncols < 0 ||
+      row_ptr.size() != static_cast<std::size_t>(nrows) + 1)
+    throw Error("csr segments: inconsistent dimensions");
+  if (row_ptr.front() != 0 ||
+      row_ptr.back() != static_cast<offset_t>(col_idx.size()) ||
+      col_idx.size() != values.size())
+    throw Error("csr segments: array lengths do not match row pointers");
+  // Monotone row pointers bound every row's span inside col_idx/values, so
+  // this O(nrows) scan is what makes skipping the O(nnz) checks safe for the
+  // matrix's OWN arrays (column values are only range-checked when
+  // deep_validate is set — see serve/snapshot.hpp on trust).
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r)
+    if (row_ptr[r] > row_ptr[r + 1])
+      throw Error("csr segments: row pointers are not non-decreasing");
+  Csr a;
+  a.nrows_ = nrows;
+  a.ncols_ = ncols;
+  a.row_ptr_ = std::move(row_ptr);
+  a.col_idx_ = std::move(col_idx);
+  a.values_ = std::move(values);
+  if (deep_validate) a.validate();
+  return a;
 }
 
 Csr Csr::from_coo(const Coo& coo_in) {
@@ -119,7 +151,8 @@ Csr Csr::transpose() const {
 
 Csr Csr::pattern_ones() const {
   Csr out = *this;
-  std::fill(out.values_.begin(), out.values_.end(), 1.0);
+  std::vector<value_t>& vals = out.values_.mutate();
+  std::fill(vals.begin(), vals.end(), 1.0);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/array_segment.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 
@@ -42,16 +43,33 @@ class Csr {
   /// Identity matrix.
   static Csr identity(index_t n);
 
+  /// Adopt prebuilt storage without copying — the snapshot-v3 zero-copy load
+  /// path, where the segments point into a mapped file. Cheap invariants
+  /// (array lengths, row_ptr monotone and covering the data arrays) are
+  /// always enforced so no kernel can index out of this matrix's own arrays;
+  /// `deep_validate` additionally runs the full O(nnz) validate() (column
+  /// range + sortedness), which the copying load path always does and the
+  /// mmap path does on demand. Rows must already be sorted (never mutates).
+  static Csr from_segments(index_t nrows, index_t ncols,
+                           ArraySegment<offset_t> row_ptr,
+                           ArraySegment<index_t> col_idx,
+                           ArraySegment<value_t> values, bool deep_validate);
+
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
   [[nodiscard]] offset_t nnz() const {
     return row_ptr_.empty() ? 0 : row_ptr_.back();
   }
 
-  [[nodiscard]] const std::vector<offset_t>& row_ptr() const { return row_ptr_; }
-  [[nodiscard]] const std::vector<index_t>& col_idx() const { return col_idx_; }
-  [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
-  [[nodiscard]] std::vector<value_t>& values() { return values_; }
+  [[nodiscard]] const ArraySegment<offset_t>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const ArraySegment<index_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const ArraySegment<value_t>& values() const { return values_; }
+
+  /// Mutable value access; materializes a private copy first when the matrix
+  /// borrows its storage from a mapped snapshot (copy-on-write).
+  [[nodiscard]] std::span<value_t> mutable_values() {
+    return values_.mutable_span();
+  }
 
   /// Number of nonzeros in row r. The cast cannot narrow for a valid matrix
   /// (a row holds at most ncols_ <= INT32_MAX unique columns); the debug
@@ -121,9 +139,11 @@ class Csr {
   void sort_rows_();
 
   index_t nrows_ = 0, ncols_ = 0;
-  std::vector<offset_t> row_ptr_{0};
-  std::vector<index_t> col_idx_;
-  std::vector<value_t> values_;
+  // Owned vectors for anything built in-process; borrowed views into a
+  // shared MmapRegion when restored from a v3 snapshot (array_segment.hpp).
+  ArraySegment<offset_t> row_ptr_{0};
+  ArraySegment<index_t> col_idx_;
+  ArraySegment<value_t> values_;
 };
 
 }  // namespace cw

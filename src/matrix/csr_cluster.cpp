@@ -14,30 +14,44 @@ namespace cw {
 // ---------------------------------------------------------------------------
 
 Clustering Clustering::from_sizes(const std::vector<index_t>& sizes) {
-  Clustering c;
-  c.ptr_.resize(sizes.size() + 1);
-  c.ptr_[0] = 0;
+  std::vector<index_t> ptr(sizes.size() + 1);
+  ptr[0] = 0;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     CW_CHECK_MSG(sizes[i] >= 1, "cluster size must be >= 1");
-    c.ptr_[i + 1] = c.ptr_[i] + sizes[i];
+    ptr[i + 1] = ptr[i] + sizes[i];
   }
+  Clustering c;
+  c.ptr_ = std::move(ptr);
   return c;
 }
 
 Clustering Clustering::singletons(index_t nrows) {
+  std::vector<index_t> ptr(static_cast<std::size_t>(nrows) + 1);
+  for (index_t i = 0; i <= nrows; ++i) ptr[static_cast<std::size_t>(i)] = i;
   Clustering c;
-  c.ptr_.resize(static_cast<std::size_t>(nrows) + 1);
-  for (index_t i = 0; i <= nrows; ++i) c.ptr_[static_cast<std::size_t>(i)] = i;
+  c.ptr_ = std::move(ptr);
   return c;
 }
 
 Clustering Clustering::fixed(index_t nrows, index_t k) {
   CW_CHECK(k >= 1);
+  std::vector<index_t> ptr;
+  for (index_t start = 0; start < nrows; start += k) ptr.push_back(start);
+  ptr.push_back(nrows);
+  if (nrows == 0) ptr = {0};
   Clustering c;
-  c.ptr_.clear();
-  for (index_t start = 0; start < nrows; start += k) c.ptr_.push_back(start);
-  c.ptr_.push_back(nrows);
-  if (nrows == 0) c.ptr_ = {0};
+  c.ptr_ = std::move(ptr);
+  return c;
+}
+
+Clustering Clustering::from_ptr(ArraySegment<index_t> ptr) {
+  if (ptr.empty() || ptr.front() != 0)
+    throw Error("clustering segment: malformed pointer array");
+  for (std::size_t i = 1; i < ptr.size(); ++i)
+    if (ptr[i] <= ptr[i - 1])
+      throw Error("clustering segment: pointers not strictly increasing");
+  Clustering c;
+  c.ptr_ = std::move(ptr);
   return c;
 }
 
@@ -109,14 +123,33 @@ CsrCluster CsrCluster::from_parts(index_t nrows, index_t ncols, offset_t nnz,
                                   std::vector<index_t> col_idx,
                                   std::vector<std::uint64_t> row_mask,
                                   std::vector<value_t> values) {
+  return from_segments(nrows, ncols, nnz, std::move(clustering),
+                       std::move(cluster_ptr), std::move(value_ptr),
+                       std::move(col_idx), std::move(row_mask),
+                       std::move(values), /*deep_validate=*/true);
+}
+
+CsrCluster CsrCluster::from_segments(index_t nrows, index_t ncols, offset_t nnz,
+                                     Clustering clustering,
+                                     ArraySegment<offset_t> cluster_ptr,
+                                     ArraySegment<offset_t> value_ptr,
+                                     ArraySegment<index_t> col_idx,
+                                     ArraySegment<std::uint64_t> row_mask,
+                                     ArraySegment<value_t> values,
+                                     bool deep_validate) {
   CW_CHECK_MSG(clustering.max_size() <= kMaxClusterSize,
                "cluster size exceeds kMaxClusterSize");
   CW_CHECK(col_idx.size() == row_mask.size());
-  // Bounds-check the pointer arrays against the data arrays BEFORE
-  // validate() runs: validate() indexes col_idx/row_mask/values by raw
-  // cluster_ptr/value_ptr entries, so untrusted (e.g. snapshot-loaded)
-  // offsets must be proven in range first.
+  // Bounds-check the pointer arrays against the data arrays BEFORE anything
+  // dereferences through them: the kernels (and validate() itself) index
+  // col_idx/row_mask/values by raw cluster_ptr/value_ptr entries, so
+  // untrusted (snapshot-loaded) offsets must be proven in range first. The
+  // per-cluster slot equation pins every pointer exactly, which is why these
+  // O(num_clusters) checks suffice to make the O(slots) ones optional.
   const index_t ncl = clustering.num_clusters();
+  CW_CHECK_MSG(clustering.nrows() == nrows,
+               "from_parts: clustering covers " << clustering.nrows()
+                                                << " rows, expected " << nrows);
   CW_CHECK_MSG(cluster_ptr.size() == static_cast<std::size_t>(ncl) + 1 &&
                    value_ptr.size() == static_cast<std::size_t>(ncl) + 1,
                "from_parts: pointer array length mismatch");
@@ -126,11 +159,14 @@ CsrCluster CsrCluster::from_parts(index_t nrows, index_t ncols, offset_t nnz,
                    value_ptr.back() == static_cast<offset_t>(values.size()),
                "from_parts: pointer arrays do not cover the data arrays");
   for (index_t c = 0; c < ncl; ++c) {
-    CW_CHECK_MSG(cluster_ptr[static_cast<std::size_t>(c)] <=
-                         cluster_ptr[static_cast<std::size_t>(c) + 1] &&
-                     value_ptr[static_cast<std::size_t>(c)] <=
-                         value_ptr[static_cast<std::size_t>(c) + 1],
-                 "from_parts: pointer arrays are not non-decreasing");
+    const offset_t ncols_c = cluster_ptr[static_cast<std::size_t>(c) + 1] -
+                             cluster_ptr[static_cast<std::size_t>(c)];
+    CW_CHECK_MSG(ncols_c >= 0, "from_parts: pointer arrays are not non-decreasing");
+    CW_CHECK_MSG(value_ptr[static_cast<std::size_t>(c) + 1] -
+                         value_ptr[static_cast<std::size_t>(c)] ==
+                     ncols_c * clustering.size(c),
+                 "from_parts: value slots do not match distinct columns × "
+                 "cluster size");
   }
   CsrCluster out;
   out.nrows_ = nrows;
@@ -142,7 +178,7 @@ CsrCluster CsrCluster::from_parts(index_t nrows, index_t ncols, offset_t nnz,
   out.col_idx_ = std::move(col_idx);
   out.row_mask_ = std::move(row_mask);
   out.values_ = std::move(values);
-  out.validate();
+  if (deep_validate) out.validate();
   return out;
 }
 
@@ -167,34 +203,34 @@ CsrCluster CsrCluster::build(const Csr& a, const Clustering& clustering) {
     col_counts[static_cast<std::size_t>(c)] = count;
   });
 
-  out.cluster_ptr_ = counts_to_pointers(col_counts);
+  std::vector<offset_t> cluster_ptr = counts_to_pointers(col_counts);
   // Value slots per cluster = distinct columns × cluster size.
   std::vector<offset_t> slot_counts(static_cast<std::size_t>(ncl));
   for (index_t c = 0; c < ncl; ++c)
     slot_counts[static_cast<std::size_t>(c)] =
         col_counts[static_cast<std::size_t>(c)] * clustering.size(c);
-  out.value_ptr_ = counts_to_pointers(slot_counts);
+  std::vector<offset_t> value_ptr = counts_to_pointers(slot_counts);
 
-  out.col_idx_.resize(static_cast<std::size_t>(out.cluster_ptr_.back()));
-  out.row_mask_.resize(static_cast<std::size_t>(out.cluster_ptr_.back()));
-  out.values_.assign(static_cast<std::size_t>(out.value_ptr_.back()), 0.0);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(cluster_ptr.back()));
+  std::vector<std::uint64_t> row_mask(static_cast<std::size_t>(cluster_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(value_ptr.back()), 0.0);
 
   // Pass 2: fill columns, masks and (column-major) values.
   parallel_for(ncl, [&](index_t c) {
     const index_t row_start = clustering.row_start(c);
     const index_t k = clustering.size(c);
-    offset_t col_off = out.cluster_ptr_[static_cast<std::size_t>(c)];
-    offset_t val_off = out.value_ptr_[static_cast<std::size_t>(c)];
+    offset_t col_off = cluster_ptr[static_cast<std::size_t>(c)];
+    offset_t val_off = value_ptr[static_cast<std::size_t>(c)];
     // Per-row cursors advance in lockstep with the merge (rows are sorted, and
     // the merge emits columns in ascending order).
     offset_t cursor[kMaxClusterSize];
     for (index_t r = 0; r < k; ++r) cursor[r] = a.row_ptr()[row_start + r];
     merge_cluster_columns(a, row_start, k, [&](index_t col, std::uint64_t mask) {
-      out.col_idx_[static_cast<std::size_t>(col_off)] = col;
-      out.row_mask_[static_cast<std::size_t>(col_off)] = mask;
+      col_idx[static_cast<std::size_t>(col_off)] = col;
+      row_mask[static_cast<std::size_t>(col_off)] = mask;
       for (index_t r = 0; r < k; ++r) {
         if (mask & (std::uint64_t{1} << r)) {
-          out.values_[static_cast<std::size_t>(val_off + r)] =
+          values[static_cast<std::size_t>(val_off + r)] =
               a.values()[static_cast<std::size_t>(cursor[r]++)];
         }
       }
@@ -202,6 +238,12 @@ CsrCluster CsrCluster::build(const Csr& a, const Clustering& clustering) {
       val_off += k;
     });
   });
+
+  out.cluster_ptr_ = std::move(cluster_ptr);
+  out.value_ptr_ = std::move(value_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.row_mask_ = std::move(row_mask);
+  out.values_ = std::move(values);
 
 #ifndef NDEBUG
   out.validate();

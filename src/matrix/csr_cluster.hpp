@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/array_segment.hpp"
 #include "common/types.hpp"
 #include "matrix/csr.hpp"
 
@@ -40,6 +41,11 @@ class Clustering {
   /// fixed-length scheme of §3.2.
   static Clustering fixed(index_t nrows, index_t k);
 
+  /// Adopt a prebuilt pointer array without copying (snapshot-v3 zero-copy
+  /// loading; the segment may borrow from a mapped file). Always validates
+  /// the O(num_clusters) invariants: ptr[0] == 0, strictly increasing.
+  static Clustering from_ptr(ArraySegment<index_t> ptr);
+
   [[nodiscard]] index_t num_clusters() const {
     return static_cast<index_t>(ptr_.size()) - 1;
   }
@@ -47,7 +53,7 @@ class Clustering {
   [[nodiscard]] index_t row_start(index_t c) const { return ptr_[c]; }
   [[nodiscard]] index_t size(index_t c) const { return ptr_[c + 1] - ptr_[c]; }
   [[nodiscard]] index_t max_size() const;
-  [[nodiscard]] const std::vector<index_t>& ptr() const { return ptr_; }
+  [[nodiscard]] const ArraySegment<index_t>& ptr() const { return ptr_; }
 
   /// Cluster sizes array (the cluster-sz array of Fig. 6(b)).
   [[nodiscard]] std::vector<index_t> sizes() const;
@@ -55,7 +61,7 @@ class Clustering {
   void validate(index_t expected_nrows) const;
 
  private:
-  std::vector<index_t> ptr_{0};  // size num_clusters()+1, ptr_[0] == 0
+  ArraySegment<index_t> ptr_{0};  // size num_clusters()+1, ptr_[0] == 0
 };
 
 /// The clustered matrix. Build once per (matrix, clustering); reuse across
@@ -81,6 +87,21 @@ class CsrCluster {
                                std::vector<std::uint64_t> row_mask,
                                std::vector<value_t> values);
 
+  /// Adopt prebuilt storage without copying (snapshot-v3 zero-copy loading;
+  /// segments may borrow from a mapped file). The O(num_clusters) pointer
+  /// invariants (coverage of the data arrays, value slots == distinct
+  /// columns × cluster size) are always enforced so kernels cannot index out
+  /// of this format's own arrays; `deep_validate` additionally runs the full
+  /// O(slots) validate() (column range/sortedness, mask popcounts).
+  static CsrCluster from_segments(index_t nrows, index_t ncols, offset_t nnz,
+                                  Clustering clustering,
+                                  ArraySegment<offset_t> cluster_ptr,
+                                  ArraySegment<offset_t> value_ptr,
+                                  ArraySegment<index_t> col_idx,
+                                  ArraySegment<std::uint64_t> row_mask,
+                                  ArraySegment<value_t> values,
+                                  bool deep_validate);
+
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
   [[nodiscard]] index_t num_clusters() const { return clustering_.num_clusters(); }
@@ -95,11 +116,11 @@ class CsrCluster {
   }
 
   // --- raw arrays for the kernel ------------------------------------------
-  [[nodiscard]] const std::vector<offset_t>& cluster_ptr() const { return cluster_ptr_; }
-  [[nodiscard]] const std::vector<offset_t>& value_ptr() const { return value_ptr_; }
-  [[nodiscard]] const std::vector<index_t>& col_idx() const { return col_idx_; }
-  [[nodiscard]] const std::vector<std::uint64_t>& row_mask() const { return row_mask_; }
-  [[nodiscard]] const std::vector<value_t>& values() const { return values_; }
+  [[nodiscard]] const ArraySegment<offset_t>& cluster_ptr() const { return cluster_ptr_; }
+  [[nodiscard]] const ArraySegment<offset_t>& value_ptr() const { return value_ptr_; }
+  [[nodiscard]] const ArraySegment<index_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const ArraySegment<std::uint64_t>& row_mask() const { return row_mask_; }
+  [[nodiscard]] const ArraySegment<value_t>& values() const { return values_; }
 
   /// Distinct columns of cluster c. Like Csr::row_nnz, the cast cannot
   /// narrow for a valid format (a cluster has at most ncols_ distinct
@@ -124,11 +145,11 @@ class CsrCluster {
   index_t nrows_ = 0, ncols_ = 0;
   offset_t nnz_ = 0;
   Clustering clustering_;
-  std::vector<offset_t> cluster_ptr_;  // per cluster: offset into col_idx_/row_mask_
-  std::vector<offset_t> value_ptr_;    // per cluster: offset into values_
-  std::vector<index_t> col_idx_;       // distinct columns per cluster, sorted
-  std::vector<std::uint64_t> row_mask_;  // bit r => row (start+r) present
-  std::vector<value_t> values_;        // column-major inside a cluster
+  ArraySegment<offset_t> cluster_ptr_;  // per cluster: offset into col_idx_/row_mask_
+  ArraySegment<offset_t> value_ptr_;    // per cluster: offset into values_
+  ArraySegment<index_t> col_idx_;       // distinct columns per cluster, sorted
+  ArraySegment<std::uint64_t> row_mask_;  // bit r => row (start+r) present
+  ArraySegment<value_t> values_;        // column-major inside a cluster
 };
 
 }  // namespace cw

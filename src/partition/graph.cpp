@@ -19,8 +19,8 @@ PGraph PGraph::from_csr_pattern(const Csr& a) {
   const Csr sym = a.symmetrized().without_diagonal();
   PGraph g;
   g.nv = sym.nrows();
-  g.xadj = sym.row_ptr();
-  g.adj = sym.col_idx();
+  g.xadj = sym.row_ptr().to_vector();
+  g.adj = sym.col_idx().to_vector();
   g.adjw.assign(g.adj.size(), 1);
   g.vw.assign(static_cast<std::size_t>(g.nv), 1);
   return g;

@@ -37,6 +37,25 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
                                      std::shared_ptr<const Csr> b) {
+  auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true);
+  CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
+  return std::move(*result);
+}
+
+std::optional<std::future<Csr>> ServeEngine::try_submit(
+    std::shared_ptr<const Pipeline> pipeline, Csr b) {
+  return try_submit(std::move(pipeline),
+                    std::make_shared<const Csr>(std::move(b)));
+}
+
+std::optional<std::future<Csr>> ServeEngine::try_submit(
+    std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b) {
+  return enqueue_(std::move(pipeline), std::move(b), /*block=*/false);
+}
+
+std::optional<std::future<Csr>> ServeEngine::enqueue_(
+    std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
+    bool block) {
   CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
   CW_CHECK_MSG(b != nullptr, "engine: null request payload");
   Job job;
@@ -45,8 +64,21 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
   std::future<Csr> result = job.result.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
+    if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
+      if (!block) {
+        ++shed_;
+        return std::nullopt;
+      }
+      // Backpressure: park the caller until a worker drains the queue below
+      // the cap. shutdown() notifies too, so a blocked producer fails fast
+      // instead of deadlocking a stopping engine.
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queued_ < opt_.max_queue_depth;
+      });
+      CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
+    }
     const Pipeline* key = pipeline.get();
     Group& group = groups_[key];
     if (!group.pipeline) group.pipeline = std::move(pipeline);
@@ -55,6 +87,8 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
     if (group.jobs.empty()) ready_.push_back(key);
     group.jobs.push_back(std::move(job));
     ++submitted_;
+    ++queued_;
+    if (queued_ > max_queued_) max_queued_ = queued_;
   }
   work_cv_.notify_one();
   return result;
@@ -76,6 +110,7 @@ void ServeEngine::shutdown() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();  // wake any producer blocked on backpressure
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -86,6 +121,8 @@ EngineStats ServeEngine::stats() const {
   s.submitted = submitted_;
   s.completed = completed_;
   s.failed = failed_;
+  s.shed = shed_;
+  s.max_queued = max_queued_;
   s.batches = batches_;
   s.coalesced = coalesced_;
   s.elapsed_seconds =
@@ -133,8 +170,10 @@ void ServeEngine::worker_loop_() {
         // pipeline ever served (we hold our own shared_ptr for the batch).
         groups_.erase(key);
       }
+      queued_ -= batch.size();
       in_flight_ += batch.size();
     }
+    if (opt_.max_queue_depth > 0) space_cv_.notify_all();
 
     const Clock::time_point batch_start = Clock::now();
     struct Outcome {

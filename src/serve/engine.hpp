@@ -22,6 +22,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,12 @@ struct EngineOptions {
   int omp_threads_per_worker = 0;
   /// Return products with rows in the original (pre-reordering) index space.
   bool unpermute_results = true;
+  /// Backpressure: max requests waiting in the queue (not yet picked up by a
+  /// worker). 0 = unbounded (trusted callers only). When full, submit()
+  /// BLOCKS the caller until a worker drains below the cap, and try_submit()
+  /// refuses immediately — pick per client class: block batch producers,
+  /// shed interactive traffic.
+  std::size_t max_queue_depth = 0;
   /// Latency samples retained for the percentile report (ring buffer over
   /// the most recent requests, so a long-lived engine stays O(1) memory).
   std::size_t latency_window = 4096;
@@ -54,6 +61,11 @@ struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  // requests whose multiply threw
+  /// try_submit() calls refused because the queue was at max_queue_depth.
+  std::uint64_t shed = 0;
+  /// High-water mark of requests waiting in the queue — never exceeds
+  /// max_queue_depth when a cap is set.
+  std::uint64_t max_queued = 0;
   std::uint64_t batches = 0;
   /// Requests that shared their batch with at least one other request —
   /// the coalescing win counter.
@@ -87,6 +99,15 @@ class ServeEngine {
   std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline,
                           std::shared_ptr<const Csr> b);
 
+  /// Load-shedding submit: like submit(), but when the queue is at
+  /// max_queue_depth it refuses instead of blocking. Returns the future on
+  /// acceptance, std::nullopt when shed (counted in EngineStats::shed).
+  /// Always accepts when no cap is configured.
+  std::optional<std::future<Csr>> try_submit(
+      std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b);
+  std::optional<std::future<Csr>> try_submit(
+      std::shared_ptr<const Pipeline> pipeline, Csr b);
+
   /// Block until every submitted request has completed.
   void drain();
 
@@ -111,20 +132,28 @@ class ServeEngine {
 
   void worker_loop_();
 
+  /// Shared enqueue body. `block` selects submit()'s blocking behaviour over
+  /// try_submit()'s shedding; returns nullopt only when shedding.
+  std::optional<std::future<Csr>> enqueue_(
+      std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
+      bool block);
+
   const EngineOptions opt_;
   const Clock::time_point start_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signalled when ready_ gains a group
-  std::condition_variable idle_cv_;  // signalled when the engine goes idle
+  std::condition_variable work_cv_;   // signalled when ready_ gains a group
+  std::condition_variable idle_cv_;   // signalled when the engine goes idle
+  std::condition_variable space_cv_;  // signalled when the queue drains
   std::unordered_map<const Pipeline*, Group> groups_;
   std::deque<const Pipeline*> ready_;  // round-robin order; one slot per group
+  std::size_t queued_ = 0;    // jobs waiting in groups_ (not yet picked up)
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
 
   // All guarded by mu_.
-  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, batches_ = 0,
-                coalesced_ = 0;
+  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, shed_ = 0,
+                max_queued_ = 0, batches_ = 0, coalesced_ = 0;
   double busy_seconds_ = 0;
   LatencyRecorder latencies_;
 

@@ -4,16 +4,53 @@
 
 namespace cw::serve {
 
-std::size_t pipeline_memory_bytes(const Pipeline& p) {
-  std::size_t bytes = sizeof(Pipeline);
-  bytes += p.matrix().memory_bytes();
-  bytes += p.order().size() * sizeof(index_t);
+namespace {
+
+/// Add one array's bytes to the side of the footprint its storage lives on.
+/// `bytes` follows the historical accounting (CsrCluster::memory_bytes's
+/// bit-packed mask convention included) so fully-owned pipelines cost
+/// exactly what they always did.
+template <typename T>
+void account(PipelineFootprint* f, const ArraySegment<T>& seg,
+             std::size_t bytes) {
+  (seg.owned() ? f->anonymous_bytes : f->mapped_bytes) += bytes;
+}
+
+}  // namespace
+
+PipelineFootprint pipeline_footprint(const Pipeline& p) {
+  PipelineFootprint f;
+  f.anonymous_bytes += sizeof(Pipeline);
+  const Csr& a = p.matrix();
+  account(&f, a.row_ptr(), a.row_ptr().size_bytes());
+  account(&f, a.col_idx(), a.col_idx().size_bytes());
+  account(&f, a.values(), a.values().size_bytes());
+  f.anonymous_bytes += p.order().size() * sizeof(index_t);
   // The cached inverse permutation is resident too; omitting it once made
   // byte-bounded LRU limits undercount every entry by a full index array.
-  bytes += p.inverse_order().size() * sizeof(index_t);
-  bytes += p.clustering().ptr().size() * sizeof(index_t);
-  if (p.clustered()) bytes += p.clustered()->memory_bytes();
-  return bytes;
+  f.anonymous_bytes += p.inverse_order().size() * sizeof(index_t);
+  account(&f, p.clustering().ptr(), p.clustering().ptr().size_bytes());
+  if (p.clustered()) {
+    const CsrCluster& cc = *p.clustered();
+    const index_t k = cc.clustering().max_size();
+    const std::size_t mask_bytes = k <= 8 ? 1 : k <= 16 ? 2 : k <= 32 ? 4 : 8;
+    account(&f, cc.cluster_ptr(), cc.cluster_ptr().size_bytes());
+    account(&f, cc.value_ptr(), cc.value_ptr().size_bytes());
+    account(&f, cc.clustering().ptr(), cc.clustering().ptr().size_bytes());
+    account(&f, cc.col_idx(), cc.col_idx().size_bytes());
+    // Owned masks keep the historical bit-packed convention; a mapped mask
+    // segment occupies its actual on-disk width (8B/entry) of page cache,
+    // and mapped_bytes_used must state what is really mapped.
+    account(&f, cc.row_mask(),
+            cc.row_mask().owned() ? cc.col_idx().size() * mask_bytes
+                                  : cc.row_mask().size_bytes());
+    account(&f, cc.values(), cc.values().size_bytes());
+  }
+  return f;
+}
+
+std::size_t pipeline_memory_bytes(const Pipeline& p) {
+  return pipeline_footprint(p).total();
 }
 
 PipelineRegistry::PipelineRegistry(std::size_t capacity_bytes)
@@ -38,22 +75,25 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     bool* admitted) {
   CW_CHECK_MSG(p != nullptr, "registry: cannot insert a null pipeline");
   if (admitted) *admitted = false;
-  const std::size_t bytes = pipeline_memory_bytes(*p);
+  const PipelineFootprint footprint = pipeline_footprint(*p);
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
     // Racing builder lost: keep the incumbent so both callers share one copy.
     touch_(it->second);
     return it->second->pipeline;
   }
-  if (bytes > capacity_) {
+  // Only the private (anonymous) bytes compete for the budget; mapped bytes
+  // are shared page cache (see PipelineFootprint).
+  if (footprint.anonymous_bytes > capacity_) {
     ++stats_.oversize_rejects;
     return p;  // usable by the caller, just not cached
   }
   if (admitted) *admitted = true;
-  evict_until_(capacity_ - bytes);
-  lru_.push_front(Entry{key, std::move(p), bytes});
+  evict_until_(capacity_ - footprint.anonymous_bytes);
+  lru_.push_front(Entry{key, std::move(p), footprint});
   map_[key] = lru_.begin();
-  stats_.bytes_used += bytes;
+  stats_.bytes_used += footprint.anonymous_bytes;
+  stats_.mapped_bytes_used += footprint.mapped_bytes;
   ++stats_.insertions;
   return lru_.front().pipeline;
 }
@@ -73,7 +113,8 @@ void PipelineRegistry::erase(const Fingerprint& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return;
-  stats_.bytes_used -= it->second->bytes;
+  stats_.bytes_used -= it->second->footprint.anonymous_bytes;
+  stats_.mapped_bytes_used -= it->second->footprint.mapped_bytes;
   lru_.erase(it->second);
   map_.erase(it);
 }
@@ -83,6 +124,7 @@ void PipelineRegistry::clear() {
   lru_.clear();
   map_.clear();
   stats_.bytes_used = 0;
+  stats_.mapped_bytes_used = 0;
 }
 
 RegistryStats PipelineRegistry::stats() const {
@@ -104,7 +146,8 @@ void PipelineRegistry::touch_(LruList::iterator it) {
 void PipelineRegistry::evict_until_(std::size_t budget) {
   while (stats_.bytes_used > budget && !lru_.empty()) {
     const Entry& victim = lru_.back();
-    stats_.bytes_used -= victim.bytes;
+    stats_.bytes_used -= victim.footprint.anonymous_bytes;
+    stats_.mapped_bytes_used -= victim.footprint.mapped_bytes;
     map_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;

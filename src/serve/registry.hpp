@@ -23,9 +23,27 @@
 
 namespace cw::serve {
 
-/// Approximate resident bytes of a prepared pipeline (matrix + order +
-/// clustering + clustered format) — the unit the registry budget is
-/// expressed in.
+/// How a prepared pipeline's bytes are resident. Anonymous bytes are
+/// private heap memory this process alone pays for; mapped bytes are
+/// file-backed (a v3 snapshot mmap) — shared page cache the kernel can
+/// reclaim and re-fault at will, and shared across every process serving
+/// the same snapshot. The registry budget charges only anonymous bytes:
+/// counting mapped bytes against it would evict N-1 of N processes' worth
+/// of pipelines that in fact occupy one physical copy.
+struct PipelineFootprint {
+  std::size_t anonymous_bytes = 0;
+  std::size_t mapped_bytes = 0;
+  [[nodiscard]] std::size_t total() const {
+    return anonymous_bytes + mapped_bytes;
+  }
+};
+
+/// Per-array resident accounting of a prepared pipeline (matrix + order +
+/// clustering + clustered format), split by storage kind.
+PipelineFootprint pipeline_footprint(const Pipeline& p);
+
+/// Total approximate resident bytes (anonymous + mapped) — the historical
+/// single-number accounting; equals the old value for fully-owned pipelines.
 std::size_t pipeline_memory_bytes(const Pipeline& p);
 
 struct RegistryStats {
@@ -35,7 +53,11 @@ struct RegistryStats {
   std::uint64_t evictions = 0;
   /// Inserts refused because a single entry exceeded the whole budget.
   std::uint64_t oversize_rejects = 0;
+  /// Anonymous (private, budget-charged) bytes of the cached entries.
   std::size_t bytes_used = 0;
+  /// File-backed mmap bytes of the cached entries — tracked for honesty,
+  /// not charged against capacity (shared page cache; see PipelineFootprint).
+  std::size_t mapped_bytes_used = 0;
   std::size_t capacity_bytes = 0;
   std::size_t entries = 0;
   [[nodiscard]] double hit_rate() const {
@@ -89,7 +111,7 @@ class PipelineRegistry {
   struct Entry {
     Fingerprint key;
     std::shared_ptr<const Pipeline> pipeline;
-    std::size_t bytes = 0;
+    PipelineFootprint footprint;
   };
   using LruList = std::list<Entry>;
 

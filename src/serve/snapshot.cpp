@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/mmap_region.hpp"
 
 namespace cw::serve {
 
@@ -28,62 +29,46 @@ enum Section : std::uint32_t {
 };
 
 // --- payloads ---------------------------------------------------------------
+//
+// The same write/read functions serve every format version: seg() emits
+// inline arrays on v2 streams and segment references on v3 control blocks;
+// on read it resolves whichever the Reader was built over. The O(nnz)
+// structural checks run when Reader::deep_validate() says so — always on the
+// copying path, on demand on the mmap path (the cheap O(rows) invariants
+// that bound in-array indexing are unconditional; see Csr::from_segments).
 
 void write_csr_payload(io::Writer& w, const Csr& a) {
   w.section(kSecCsr);
   w.pod<index_t>(a.nrows());
   w.pod<index_t>(a.ncols());
-  w.vec(a.row_ptr());
-  w.vec(a.col_idx());
-  w.vec(a.values());
+  w.seg(a.row_ptr());
+  w.seg(a.col_idx());
+  w.seg(a.values());
 }
 
 Csr read_csr_payload(io::Reader& r) {
   r.expect_section(kSecCsr, "CSR");
   const auto nrows = r.pod<index_t>();
   const auto ncols = r.pod<index_t>();
-  auto row_ptr = r.vec<offset_t>();
-  auto col_idx = r.vec<index_t>();
-  auto values = r.vec<value_t>();
-  // Fully validate the raw arrays BEFORE handing them to the Csr
-  // constructor: in release builds the constructor trusts row_ptr when it
-  // scans rows, so corrupted offsets must never reach it.
-  if (nrows < 0 || ncols < 0 ||
-      row_ptr.size() != static_cast<std::size_t>(nrows) + 1)
-    throw Error("snapshot: inconsistent CSR dimensions");
-  if (row_ptr.front() != 0 ||
-      row_ptr.back() != static_cast<offset_t>(col_idx.size()) ||
-      col_idx.size() != values.size())
-    throw Error("snapshot: CSR array lengths do not match row pointers");
-  for (std::size_t r2 = 0; r2 + 1 < row_ptr.size(); ++r2)
-    if (row_ptr[r2] > row_ptr[r2 + 1])
-      throw Error("snapshot: CSR row pointers are not non-decreasing");
-  for (const index_t c : col_idx)
-    if (c < 0 || c >= ncols)
-      throw Error("snapshot: CSR column index out of range");
-  Csr a(nrows, ncols, std::move(row_ptr), std::move(col_idx),
-        std::move(values));
-  a.validate();
-  return a;
+  auto row_ptr = r.seg<offset_t>();
+  auto col_idx = r.seg<index_t>();
+  auto values = r.seg<value_t>();
+  // from_segments proves the arrays consistent before anything indexes
+  // through them; deep validation adds the O(nnz) column checks.
+  return Csr::from_segments(nrows, ncols, std::move(row_ptr),
+                            std::move(col_idx), std::move(values),
+                            r.deep_validate());
 }
 
 void write_clustering_payload(io::Writer& w, const Clustering& clustering) {
   w.section(kSecClustering);
-  w.vec(clustering.ptr());
+  w.seg(clustering.ptr());
 }
 
 Clustering read_clustering_payload(io::Reader& r) {
   r.expect_section(kSecClustering, "CLUS");
-  const auto ptr = r.vec<index_t>();
-  if (ptr.empty() || ptr.front() != 0)
-    throw Error("snapshot: malformed clustering pointer array");
-  std::vector<index_t> sizes(ptr.size() - 1);
-  for (std::size_t c = 0; c + 1 < ptr.size(); ++c) {
-    if (ptr[c + 1] <= ptr[c])
-      throw Error("snapshot: clustering pointers not strictly increasing");
-    sizes[c] = ptr[c + 1] - ptr[c];
-  }
-  return Clustering::from_sizes(sizes);
+  // from_ptr always validates the O(num_clusters) invariants.
+  return Clustering::from_ptr(r.seg<index_t>());
 }
 
 void write_csr_cluster_payload(io::Writer& w, const CsrCluster& cc) {
@@ -92,11 +77,11 @@ void write_csr_cluster_payload(io::Writer& w, const CsrCluster& cc) {
   w.pod<index_t>(cc.ncols());
   w.pod<offset_t>(cc.nnz());
   write_clustering_payload(w, cc.clustering());
-  w.vec(cc.cluster_ptr());
-  w.vec(cc.value_ptr());
-  w.vec(cc.col_idx());
-  w.vec(cc.row_mask());
-  w.vec(cc.values());
+  w.seg(cc.cluster_ptr());
+  w.seg(cc.value_ptr());
+  w.seg(cc.col_idx());
+  w.seg(cc.row_mask());
+  w.seg(cc.values());
 }
 
 CsrCluster read_csr_cluster_payload(io::Reader& r) {
@@ -105,16 +90,16 @@ CsrCluster read_csr_cluster_payload(io::Reader& r) {
   const auto ncols = r.pod<index_t>();
   const auto nnz = r.pod<offset_t>();
   Clustering clustering = read_clustering_payload(r);
-  auto cluster_ptr = r.vec<offset_t>();
-  auto value_ptr = r.vec<offset_t>();
-  auto col_idx = r.vec<index_t>();
-  auto row_mask = r.vec<std::uint64_t>();
-  auto values = r.vec<value_t>();
-  // from_parts runs CsrCluster::validate() on the result.
-  return CsrCluster::from_parts(nrows, ncols, nnz, std::move(clustering),
-                                std::move(cluster_ptr), std::move(value_ptr),
-                                std::move(col_idx), std::move(row_mask),
-                                std::move(values));
+  auto cluster_ptr = r.seg<offset_t>();
+  auto value_ptr = r.seg<offset_t>();
+  auto col_idx = r.seg<index_t>();
+  auto row_mask = r.seg<std::uint64_t>();
+  auto values = r.seg<value_t>();
+  return CsrCluster::from_segments(nrows, ncols, nnz, std::move(clustering),
+                                   std::move(cluster_ptr),
+                                   std::move(value_ptr), std::move(col_idx),
+                                   std::move(row_mask), std::move(values),
+                                   r.deep_validate());
 }
 
 void write_options_payload(io::Writer& w, const PipelineOptions& o) {
@@ -186,23 +171,7 @@ PipelineStats read_stats_payload(io::Reader& r) {
   return s;
 }
 
-}  // namespace
-
-const char* to_string(SnapshotKind kind) {
-  switch (kind) {
-    case SnapshotKind::kCsr: return "csr";
-    case SnapshotKind::kClustering: return "clustering";
-    case SnapshotKind::kCsrCluster: return "csr-cluster";
-    case SnapshotKind::kPipeline: return "pipeline";
-    case SnapshotKind::kShardedPipeline: return "sharded-pipeline";
-  }
-  return "?";
-}
-
-SnapshotInfo read_info(std::istream& in) {
-  // The header predates any Reader: it tells us which format version the
-  // payload reader must speak. All reads here are raw (no digest).
-  io::Reader raw(in, kMinSnapshotVersion);
+SnapshotInfo read_info_raw(io::Reader& raw) {
   char magic[sizeof(kMagic)];
   raw.raw_bytes(magic, sizeof(magic));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
@@ -235,12 +204,49 @@ SnapshotInfo read_info(std::istream& in) {
   return info;
 }
 
+}  // namespace
+
+const char* to_string(SnapshotKind kind) {
+  switch (kind) {
+    case SnapshotKind::kCsr: return "csr";
+    case SnapshotKind::kClustering: return "clustering";
+    case SnapshotKind::kCsrCluster: return "csr-cluster";
+    case SnapshotKind::kPipeline: return "pipeline";
+    case SnapshotKind::kShardedPipeline: return "sharded-pipeline";
+  }
+  return "?";
+}
+
+SnapshotInfo read_info(std::istream& in) {
+  // The header predates any Reader: it tells us which format version the
+  // payload reader must speak. All reads here are raw (no digest).
+  io::Reader raw(in, kMinSnapshotVersion);
+  return read_info_raw(raw);
+}
+
+SnapshotInfo read_info_region(const MmapRegion& region) {
+  const std::uint64_t len =
+      region.size() < kHeaderBytes ? region.size() : kHeaderBytes;
+  io::Reader raw(std::span<const std::byte>(region.data(),
+                                            static_cast<std::size_t>(len)),
+                 kMinSnapshotVersion, nullptr, true);
+  return read_info_raw(raw);
+}
+
 namespace detail {
 
+void check_save_version(std::uint32_t version) {
+  if (version < kMinWritableSnapshotVersion || version > kSnapshotVersion)
+    throw Error("snapshot: this build writes format versions " +
+                std::to_string(kMinWritableSnapshotVersion) + ".." +
+                std::to_string(kSnapshotVersion) + ", not " +
+                std::to_string(version));
+}
+
 void write_header(io::Writer& w, SnapshotKind kind, index_t nrows,
-                  index_t ncols, offset_t nnz) {
+                  index_t ncols, offset_t nnz, std::uint32_t version) {
   w.raw_bytes(kMagic, sizeof(kMagic));
-  w.raw_pod<std::uint32_t>(kSnapshotVersion);
+  w.raw_pod<std::uint32_t>(version);
   w.raw_pod<std::uint32_t>(kEndianTag);
   w.raw_pod<std::uint8_t>(sizeof(index_t));
   w.raw_pod<std::uint8_t>(sizeof(offset_t));
@@ -250,6 +256,7 @@ void write_header(io::Writer& w, SnapshotKind kind, index_t nrows,
   w.raw_pod<index_t>(nrows);
   w.raw_pod<index_t>(ncols);
   w.raw_pod<offset_t>(nnz);
+  if (version >= 3) w.raw_zeros(kFirstRecordOffset - kHeaderBytes);
 }
 
 void write_pipeline_payload(io::Writer& w, const Pipeline& pipeline) {
@@ -258,7 +265,7 @@ void write_pipeline_payload(io::Writer& w, const Pipeline& pipeline) {
   w.section(kSecMode);
   w.pod<std::uint8_t>(static_cast<std::uint8_t>(pipeline.mode()));
   w.section(kSecOrder);
-  w.vec(pipeline.order());
+  w.seg(pipeline.order());
   write_csr_payload(w, pipeline.matrix());
   write_clustering_payload(w, pipeline.clustering());
   w.pod<std::uint8_t>(pipeline.clustered().has_value() ? 1 : 0);
@@ -287,7 +294,7 @@ Pipeline read_pipeline_payload(io::Reader& r) {
     mode = static_cast<PermutationMode>(m);
   }
   r.expect_section(kSecOrder, "ORDR");
-  auto order = r.vec<index_t>();
+  Permutation order = r.seg<index_t>().to_vector();
   Csr a = read_csr_payload(r);
   Clustering clustering = read_clustering_payload(r);
   const auto has_clustered = r.pod<std::uint8_t>();
@@ -311,72 +318,123 @@ SnapshotInfo expect_header(std::istream& in, SnapshotKind want) {
   return info;
 }
 
+/// Save one single-record snapshot in whichever version `opt` selects.
+template <typename WritePayload>
+void save_record(std::ostream& out, SnapshotKind kind, index_t nrows,
+                 index_t ncols, offset_t nnz, const SaveOptions& opt,
+                 WritePayload&& write_payload) {
+  detail::check_save_version(opt.version);
+  io::Writer w(out);
+  detail::write_header(w, kind, nrows, ncols, nnz, opt.version);
+  if (opt.version == 2) {
+    write_payload(w);
+    w.checksum();
+    return;
+  }
+  io::V3RecordBuilder rec;
+  rec.build_meta([&](io::Writer& mw) { write_payload(mw); });
+  rec.layout(kFirstRecordOffset);
+  rec.emit(out);
+}
+
+/// Load the single v3 record of a stream positioned after the header.
+io::StreamRecord read_first_stream_record(std::istream& in) {
+  return io::read_v3_record(in, kHeaderBytes, kFirstRecordOffset);
+}
+
+/// Parse the single v3 record of a mapped file; `table_out` receives the
+/// segment table the payload Reader resolves references through.
+std::span<const std::byte> parse_first_region_record(
+    const std::shared_ptr<const MmapRegion>& region,
+    const MmapLoadOptions& opt, io::SegmentTable* table_out) {
+  io::V3Control ctrl = io::parse_v3_control(*region, kFirstRecordOffset);
+  *table_out = io::SegmentTable::mapped(std::move(ctrl.entries), region);
+  if (opt.verify_checksums) table_out->verify_checksums();
+  return ctrl.meta;
+}
+
+SnapshotInfo expect_mmap_header(const MmapRegion& region, SnapshotKind want,
+                                const std::string& path) {
+  const SnapshotInfo info = read_info_region(region);
+  if (info.kind != want)
+    throw Error(std::string("snapshot: ") + path + " holds a " +
+                to_string(info.kind) + ", expected a " + to_string(want));
+  if (info.version < 3)
+    throw Error("snapshot: " + path + " is format v" +
+                std::to_string(info.version) +
+                "; zero-copy loading requires v3 (use the copying path)");
+  return info;
+}
+
 }  // namespace
 
 // --- top-level save/load ----------------------------------------------------
 
-void save(std::ostream& out, const Csr& a) {
-  io::Writer w(out);
-  detail::write_header(w, SnapshotKind::kCsr, a.nrows(), a.ncols(), a.nnz());
-  write_csr_payload(w, a);
-  w.checksum();
+void save(std::ostream& out, const Csr& a, const SaveOptions& opt) {
+  save_record(out, SnapshotKind::kCsr, a.nrows(), a.ncols(), a.nnz(), opt,
+              [&](io::Writer& w) { write_csr_payload(w, a); });
 }
 
-void save(std::ostream& out, const Clustering& clustering) {
-  io::Writer w(out);
-  detail::write_header(w, SnapshotKind::kClustering, clustering.nrows(), 0,
-                       clustering.num_clusters());
-  write_clustering_payload(w, clustering);
-  w.checksum();
+void save(std::ostream& out, const Clustering& clustering,
+          const SaveOptions& opt) {
+  save_record(out, SnapshotKind::kClustering, clustering.nrows(), 0,
+              clustering.num_clusters(), opt,
+              [&](io::Writer& w) { write_clustering_payload(w, clustering); });
 }
 
-void save(std::ostream& out, const CsrCluster& clustered) {
-  io::Writer w(out);
-  detail::write_header(w, SnapshotKind::kCsrCluster, clustered.nrows(),
-                       clustered.ncols(), clustered.nnz());
-  write_csr_cluster_payload(w, clustered);
-  w.checksum();
+void save(std::ostream& out, const CsrCluster& clustered,
+          const SaveOptions& opt) {
+  save_record(out, SnapshotKind::kCsrCluster, clustered.nrows(),
+              clustered.ncols(), clustered.nnz(), opt, [&](io::Writer& w) {
+                write_csr_cluster_payload(w, clustered);
+              });
 }
 
-void save(std::ostream& out, const Pipeline& pipeline) {
+void save(std::ostream& out, const Pipeline& pipeline, const SaveOptions& opt) {
   const Csr& a = pipeline.matrix();
-  io::Writer w(out);
-  detail::write_header(w, SnapshotKind::kPipeline, a.nrows(), a.ncols(),
-                       a.nnz());
-  detail::write_pipeline_payload(w, pipeline);
-  w.checksum();
+  save_record(out, SnapshotKind::kPipeline, a.nrows(), a.ncols(), a.nnz(), opt,
+              [&](io::Writer& w) { detail::write_pipeline_payload(w, pipeline); });
 }
+
+namespace {
+
+template <typename ReadPayload>
+auto load_record(std::istream& in, SnapshotKind want, const char* what,
+                 ReadPayload&& read_payload) {
+  const SnapshotInfo info = expect_header(in, want);
+  if (info.version >= 3) {
+    io::StreamRecord rec = read_first_stream_record(in);
+    io::Reader r(std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(rec.meta.data()),
+                     rec.meta.size()),
+                 info.version, &rec.table, /*deep_validate=*/true);
+    return read_payload(r);
+  }
+  io::Reader r(in, info.version);
+  auto result = read_payload(r);
+  r.checksum(what);
+  return result;
+}
+
+}  // namespace
 
 Csr load_csr(std::istream& in) {
-  const SnapshotInfo info = expect_header(in, SnapshotKind::kCsr);
-  io::Reader r(in, info.version);
-  Csr a = read_csr_payload(r);
-  r.checksum("CSR");
-  return a;
+  return load_record(in, SnapshotKind::kCsr, "CSR", read_csr_payload);
 }
 
 Clustering load_clustering(std::istream& in) {
-  const SnapshotInfo info = expect_header(in, SnapshotKind::kClustering);
-  io::Reader r(in, info.version);
-  Clustering c = read_clustering_payload(r);
-  r.checksum("clustering");
-  return c;
+  return load_record(in, SnapshotKind::kClustering, "clustering",
+                     read_clustering_payload);
 }
 
 CsrCluster load_csr_cluster(std::istream& in) {
-  const SnapshotInfo info = expect_header(in, SnapshotKind::kCsrCluster);
-  io::Reader r(in, info.version);
-  CsrCluster cc = read_csr_cluster_payload(r);
-  r.checksum("csr-cluster");
-  return cc;
+  return load_record(in, SnapshotKind::kCsrCluster, "csr-cluster",
+                     read_csr_cluster_payload);
 }
 
 Pipeline load_pipeline(std::istream& in) {
-  const SnapshotInfo info = expect_header(in, SnapshotKind::kPipeline);
-  io::Reader r(in, info.version);
-  Pipeline p = detail::read_pipeline_payload(r);
-  r.checksum("pipeline");
-  return p;
+  return load_record(in, SnapshotKind::kPipeline, "pipeline",
+                     detail::read_pipeline_payload);
 }
 
 // --- file wrappers ----------------------------------------------------------
@@ -397,22 +455,46 @@ std::ifstream open_in(const std::string& path) {
 
 }  // namespace
 
-void save_csr_file(const std::string& path, const Csr& a) {
+void save_csr_file(const std::string& path, const Csr& a,
+                   const SaveOptions& opt) {
   auto f = open_out(path);
-  save(f, a);
+  save(f, a, opt);
 }
 
-void save_pipeline_file(const std::string& path, const Pipeline& pipeline) {
+void save_pipeline_file(const std::string& path, const Pipeline& pipeline,
+                        const SaveOptions& opt) {
   auto f = open_out(path);
-  save(f, pipeline);
+  save(f, pipeline, opt);
 }
 
-Csr load_csr_file(const std::string& path) {
+Csr load_csr_mmap(const std::string& path, const MmapLoadOptions& opt) {
+  auto region = MmapRegion::map_file(path);
+  expect_mmap_header(*region, SnapshotKind::kCsr, path);
+  io::SegmentTable table;
+  const auto meta = parse_first_region_record(region, opt, &table);
+  io::Reader r(meta, 3, &table, opt.deep_validate);
+  return read_csr_payload(r);
+}
+
+Pipeline load_pipeline_mmap(const std::string& path,
+                            const MmapLoadOptions& opt) {
+  auto region = MmapRegion::map_file(path);
+  expect_mmap_header(*region, SnapshotKind::kPipeline, path);
+  io::SegmentTable table;
+  const auto meta = parse_first_region_record(region, opt, &table);
+  io::Reader r(meta, 3, &table, opt.deep_validate);
+  return detail::read_pipeline_payload(r);
+}
+
+Csr load_csr_file(const std::string& path, const MmapLoadOptions& opt) {
+  if (read_info_file(path).version >= 3) return load_csr_mmap(path, opt);
   auto f = open_in(path);
   return load_csr(f);
 }
 
-Pipeline load_pipeline_file(const std::string& path) {
+Pipeline load_pipeline_file(const std::string& path,
+                            const MmapLoadOptions& opt) {
+  if (read_info_file(path).version >= 3) return load_pipeline_mmap(path, opt);
   auto f = open_in(path);
   return load_pipeline(f);
 }

@@ -7,18 +7,32 @@
 // prepared by an offline job can be saved, shipped, and reloaded by any
 // number of serving processes without redoing the preprocessing.
 //
-// Format (version 2): a fixed little-header (magic, version, endianness tag,
-// scalar-type widths, payload kind, dims) followed by tagged sections of raw
-// fixed-width arrays, closed by an FNV-1a checksum over the payload bytes
-// (snapshot_io.hpp). Loading verifies magic/version/endianness/widths up
-// front, bounds-checks every index/pointer array before it is dereferenced,
-// runs the target type's validate() on the reassembled object, and compares
-// the payload digest — so a truncated file, corrupted structure, or flipped
-// bits inside free-form numerics (stored values, timing stats) all fail
-// loudly with cw::Error instead of producing wrong numbers. Version-1 files
-// (no checksums, pipelines always symmetric-mode) still load. The format is
-// not interchangeable between machines of different endianness (by design —
-// serving fleets are homogeneous; a portable export can convert offline).
+// Format (version 3): a fixed little-header (magic, version, endianness tag,
+// scalar-type widths, payload kind, dims), then one v3 *record* per logical
+// object: a control block holding every scalar/section of the payload with
+// bulk arrays replaced by references into a segment directory (absolute
+// 64-byte-aligned file offsets + element counts/widths + per-segment FNV-1a
+// digests), followed by the raw arrays themselves. Two load paths:
+//
+//   * zero-copy (load_*_mmap, and load_*_file for v3 files): the file is
+//     mmapped and the loaded object's arrays BORROW the mapping
+//     (ArraySegment, common/array_segment.hpp) — load time is O(header +
+//     directory) instead of O(nnz), and N serving processes share one
+//     page-cache copy. The control block's digest is always verified;
+//     per-segment digests and the O(nnz) structural checks are on-demand
+//     (MmapLoadOptions) because reading every byte would defeat the point.
+//     Use the flags when the file crossed a trust boundary.
+//   * copying (the istream loads, and load_*_file for v1/v2 files): every
+//     array is read into owned memory with per-segment digests and full
+//     structural validation — the v2 behaviour, kept for archival files,
+//     cross-checking, and platforms without mmap.
+//
+// Version-2 files (inline checksummed stream) and version-1 files (no
+// checksums, pipelines always symmetric-mode) still load through the copying
+// path; save() can still emit v2 (SaveOptions) for fleets mid-upgrade. The
+// format is not interchangeable between machines of different endianness
+// (by design — serving fleets are homogeneous; a portable export can
+// convert offline).
 #pragma once
 
 #include <iosfwd>
@@ -33,10 +47,31 @@ namespace cw::serve {
 
 /// Current snapshot format version. Bump on any layout change; load accepts
 /// this and every older version it can still parse (currently 1).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Oldest version load still understands.
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
+
+/// Oldest version save can still emit (for fleets mid-upgrade).
+inline constexpr std::uint32_t kMinWritableSnapshotVersion = 2;
+
+/// Fixed header size; the first record of a v3 file starts at the next
+/// 64-byte boundary (kFirstRecordOffset).
+inline constexpr std::uint64_t kHeaderBytes =
+    8 + 4 + 4 + 4 + 4 + 2 * sizeof(index_t) + sizeof(offset_t);
+inline constexpr std::uint64_t kFirstRecordOffset = 64;
+
+struct SaveOptions {
+  /// Format version to emit: kSnapshotVersion (default) or 2.
+  std::uint32_t version = kSnapshotVersion;
+};
+
+struct MmapLoadOptions {
+  /// Verify every segment's FNV-1a digest (reads the whole mapping once).
+  bool verify_checksums = false;
+  /// Run the full O(nnz) structural validation the copying path always runs.
+  bool deep_validate = false;
+};
 
 /// What a snapshot file contains.
 enum class SnapshotKind : std::uint32_t {
@@ -63,11 +98,15 @@ struct SnapshotInfo {
 
 // --- stream API -------------------------------------------------------------
 
-void save(std::ostream& out, const Csr& a);
-void save(std::ostream& out, const Clustering& clustering);
-void save(std::ostream& out, const CsrCluster& clustered);
-void save(std::ostream& out, const Pipeline& pipeline);
+void save(std::ostream& out, const Csr& a, const SaveOptions& opt = {});
+void save(std::ostream& out, const Clustering& clustering,
+          const SaveOptions& opt = {});
+void save(std::ostream& out, const CsrCluster& clustered,
+          const SaveOptions& opt = {});
+void save(std::ostream& out, const Pipeline& pipeline,
+          const SaveOptions& opt = {});
 
+// Stream loads copy every array and fully verify (all format versions).
 Csr load_csr(std::istream& in);
 Clustering load_clustering(std::istream& in);
 CsrCluster load_csr_cluster(std::istream& in);
@@ -77,13 +116,27 @@ Pipeline load_pipeline(std::istream& in);
 /// payload.
 SnapshotInfo read_info(std::istream& in);
 
+/// Header summary parsed from a mapped file.
+SnapshotInfo read_info_region(const MmapRegion& region);
+
 // --- file API ---------------------------------------------------------------
 
-void save_csr_file(const std::string& path, const Csr& a);
-void save_pipeline_file(const std::string& path, const Pipeline& pipeline);
+void save_csr_file(const std::string& path, const Csr& a,
+                   const SaveOptions& opt = {});
+void save_pipeline_file(const std::string& path, const Pipeline& pipeline,
+                        const SaveOptions& opt = {});
 
-Csr load_csr_file(const std::string& path);
-Pipeline load_pipeline_file(const std::string& path);
+/// Zero-copy loads: mmap `path` (format v3 required) and return an object
+/// whose arrays borrow the mapping. O(header + directory) work.
+Csr load_csr_mmap(const std::string& path, const MmapLoadOptions& opt = {});
+Pipeline load_pipeline_mmap(const std::string& path,
+                            const MmapLoadOptions& opt = {});
+
+/// Auto-dispatching loads: v3 files take the zero-copy mmap path (with
+/// `opt`), v1/v2 files the fully-verified copying path.
+Csr load_csr_file(const std::string& path, const MmapLoadOptions& opt = {});
+Pipeline load_pipeline_file(const std::string& path,
+                            const MmapLoadOptions& opt = {});
 
 /// Header summary of a snapshot file (any kind).
 SnapshotInfo read_info_file(const std::string& path);
@@ -94,7 +147,7 @@ namespace detail {
 
 /// Write the fixed header (not covered by any payload checksum).
 void write_header(io::Writer& w, SnapshotKind kind, index_t nrows,
-                  index_t ncols, offset_t nnz);
+                  index_t ncols, offset_t nnz, std::uint32_t version);
 
 /// Write/read one pipeline payload (options, stats, mode, order, matrix,
 /// clustering, clustered format) WITHOUT the closing checksum — the caller
@@ -106,6 +159,9 @@ Pipeline read_pipeline_payload(io::Reader& r);
 /// pipeline options with the same encoding as a pipeline record).
 void write_pipeline_options(io::Writer& w, const PipelineOptions& options);
 PipelineOptions read_pipeline_options(io::Reader& r);
+
+/// Reject unsupported SaveOptions versions.
+void check_save_version(std::uint32_t version);
 
 }  // namespace detail
 

@@ -1,35 +1,63 @@
 // Low-level snapshot stream primitives shared by the serve and shard
 // snapshot records (serve/snapshot.cpp, shard/snapshot.cpp).
 //
-// Writer and Reader wrap a binary stream and fold every payload byte that
-// passes through them into a running FNV-1a digest. A record writer calls
-// checksum() after its payload; the emitted CSUM section stores the digest
-// and resets the running hash, so one stream can carry several
-// independently-verifiable records (the sharded snapshot stores one per
-// shard). Readers mirror the fold on the bytes they consume and compare in
-// checksum(); version-1 streams predate checksums, so a Reader constructed
-// with version 1 skips both the fold comparison and the CSUM section.
+// Two record layouts share one payload vocabulary:
 //
-// The digest covers payload bytes only — the fixed header is fully
-// cross-checked field-by-field by read_info and needs no hash.
+//   * v1/v2 — a single byte stream: sections, PODs and length-prefixed
+//     arrays interleaved, closed by an FNV-1a digest over the payload bytes
+//     (v2; v1 predates checksums). Loading copies every array.
+//   * v3 — a *control block* (the same section/POD metadata, but every bulk
+//     array replaced by a segment reference) followed by a segment directory
+//     (absolute file offset, element count/width, per-segment FNV-1a digest)
+//     and the raw arrays themselves at 64-byte-aligned file offsets. The
+//     control block + directory carry their own always-verified digest;
+//     segment digests are verified on demand (forced full-file reads would
+//     defeat zero-copy loading). Loading can either mmap the file and point
+//     ArraySegments straight at it, or stream-copy the segments (with full
+//     verification) when no mapping is possible or wanted.
+//
+// Writer and Reader speak both: payload code calls seg() for bulk arrays and
+// pod()/section() for scalars, and the same functions serialize v2 inline
+// streams, v3 control blocks, and parse all of v1/v2/v3. Checksums are
+// computed with the streaming Fnv1a hasher below — the digest folds over
+// bytes as they pass through; no payload is ever staged in a buffer to be
+// hashed (peak save memory stays O(1) regardless of matrix size).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
+#include <limits>
+#include <memory>
 #include <ostream>
+#include <span>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/array_segment.hpp"
 #include "common/error.hpp"
+#include "common/mmap_region.hpp"
 
 namespace cw::serve::io {
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
 inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-/// Section tag of the checksum record that closes a checksummed payload.
+/// Section tag of the checksum record that closes a checksummed payload
+/// (v2 streams) or a v3 control block.
 inline constexpr std::uint32_t kChecksumTag = 0x4353554D;  // "CSUM"
+
+/// Every v3 segment starts at a multiple of this within the file, so a
+/// mapped pointer is safely aligned for any scalar the library stores (and
+/// for cache-line-friendly kernel access).
+inline constexpr std::uint64_t kSegmentAlignment = 64;
+
+/// Sanity caps applied before trusting length fields from a file.
+inline constexpr std::uint64_t kMaxMetaBytes = std::uint64_t{1} << 22;
+inline constexpr std::uint64_t kMaxSegments = std::uint64_t{1} << 20;
+inline constexpr std::uint64_t kMaxSegmentBytes = std::uint64_t{1} << 40;
 
 inline std::uint64_t fnv1a(std::uint64_t digest, const void* data,
                            std::size_t n) {
@@ -41,15 +69,56 @@ inline std::uint64_t fnv1a(std::uint64_t digest, const void* data,
   return digest;
 }
 
+/// Streaming FNV-1a hasher: fold bytes as they are produced/consumed, read
+/// the digest at a record boundary, reset, repeat. The single checksum
+/// engine behind Writer, Reader and the v3 record builder/parsers.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t n) {
+    digest_ = fnv1a(digest_, data, n);
+  }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  void reset() { digest_ = kFnvOffsetBasis; }
+
+ private:
+  std::uint64_t digest_ = kFnvOffsetBasis;
+};
+
+inline std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) / a * a;
+}
+
+/// A bulk array queued for the segment area of a v3 record. Points at live
+/// caller memory; valid until the record is emitted.
+struct PendingSegment {
+  const void* data = nullptr;
+  std::uint64_t count = 0;
+  std::uint32_t elem_size = 0;
+};
+
+/// One v3 segment-directory entry as stored on disk (32 bytes).
+struct SegmentEntry {
+  std::uint64_t offset = 0;  // absolute file offset, 64-byte aligned; 0 if empty
+  std::uint64_t count = 0;   // elements
+  std::uint32_t elem_size = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t checksum = 0;  // FNV-1a over the segment bytes
+  [[nodiscard]] std::uint64_t bytes() const { return count * elem_size; }
+};
+static_assert(sizeof(SegmentEntry) == 32);
+
 class Writer {
  public:
-  explicit Writer(std::ostream& out) : out_(out) {}
+  /// Inline mode (v1/v2 streams, and v3 control blocks when `sink` is set:
+  /// seg() then defers arrays to the sink instead of writing them inline).
+  explicit Writer(std::ostream& out, std::vector<PendingSegment>* sink = nullptr)
+      : out_(out), sink_(sink) {}
 
   void bytes(const void* data, std::size_t n) {
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(n));
     if (!out_) throw Error("snapshot: write failed");
-    digest_ = fnv1a(digest_, data, n);
+    hash_.update(data, n);
   }
 
   template <typename T>
@@ -65,16 +134,38 @@ class Writer {
     if (!v.empty()) bytes(v.data(), v.size() * sizeof(T));
   }
 
+  /// Bulk array: inline (count + raw bytes, byte-identical to vec()) when no
+  /// sink is attached; otherwise a segment reference into the v3 directory.
+  template <typename T>
+  void seg(const ArraySegment<T>& v) {
+    seg_raw(v.data(), v.size(), sizeof(T));
+  }
+  template <typename T>
+  void seg(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    seg_raw(v.data(), v.size(), sizeof(T));
+  }
+
+  void seg_raw(const void* data, std::uint64_t count, std::uint32_t elem_size) {
+    if (sink_ == nullptr) {
+      pod<std::uint64_t>(count);
+      if (count > 0) bytes(data, static_cast<std::size_t>(count) * elem_size);
+      return;
+    }
+    pod<std::uint64_t>(sink_->size());  // directory index, covered by digest
+    sink_->push_back(PendingSegment{data, count, elem_size});
+  }
+
   void section(std::uint32_t tag) { pod<std::uint32_t>(tag); }
 
   /// Emit the CSUM section for everything written since construction or the
   /// previous checksum() and reset the running digest. The CSUM bytes
   /// themselves are excluded from any digest.
   void checksum() {
-    const std::uint64_t d = digest_;
+    const std::uint64_t d = hash_.digest();
     raw_pod<std::uint32_t>(kChecksumTag);
     raw_pod<std::uint64_t>(d);
-    digest_ = kFnvOffsetBasis;
+    hash_.reset();
   }
 
   /// Write without folding into the digest (header bytes).
@@ -90,22 +181,124 @@ class Writer {
     raw_bytes(&v, sizeof(T));
   }
 
+  void raw_zeros(std::size_t n) {
+    static const char zeros[64] = {};
+    while (n > 0) {
+      const std::size_t take = n < sizeof(zeros) ? n : sizeof(zeros);
+      raw_bytes(zeros, take);
+      n -= take;
+    }
+  }
+
  private:
   std::ostream& out_;
-  std::uint64_t digest_ = kFnvOffsetBasis;
+  std::vector<PendingSegment>* sink_;
+  Fnv1a hash_;
+};
+
+// --- segment sources --------------------------------------------------------
+
+/// Resolved segment directory of one v3 record, backed either by a mapped
+/// region (zero-copy: get() returns borrowed ArraySegments pointing into the
+/// file) or by buffers copied off a stream (get() returns owned segments).
+class SegmentTable {
+ public:
+  SegmentTable() = default;
+
+  static SegmentTable mapped(std::vector<SegmentEntry> entries,
+                             std::shared_ptr<const MmapRegion> region) {
+    SegmentTable t;
+    t.entries_ = std::move(entries);
+    t.region_ = std::move(region);
+    return t;
+  }
+
+  static SegmentTable buffered(std::vector<SegmentEntry> entries,
+                               std::vector<std::string> buffers) {
+    SegmentTable t;
+    t.entries_ = std::move(entries);
+    t.buffers_ = std::move(buffers);
+    return t;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<SegmentEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Verify every segment's stored digest against its bytes — the on-demand
+  /// full check for mapped tables. Buffered tables are verified by
+  /// construction (read_v3_record checks each segment while reading), so
+  /// this is a no-op for them.
+  void verify_checksums() const {
+    if (region_ == nullptr) return;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const SegmentEntry& e = entries_[i];
+      if (e.count == 0) continue;
+      const void* p = region_->at(e.offset, e.bytes());
+      if (fnv1a(kFnvOffsetBasis, p, static_cast<std::size_t>(e.bytes())) !=
+          e.checksum)
+        throw Error("snapshot: checksum mismatch in segment " +
+                    std::to_string(i) + " (stored bits do not match their "
+                    "digest — corrupted file?)");
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] ArraySegment<T> get(std::uint64_t index) const {
+    if (index >= entries_.size())
+      throw Error("snapshot: segment reference out of range");
+    const SegmentEntry& e = entries_[static_cast<std::size_t>(index)];
+    if (e.elem_size != sizeof(T))
+      throw Error("snapshot: segment element width does not match its use");
+    if (e.count == 0) return {};
+    const auto count = static_cast<std::size_t>(e.count);
+    if (region_) {
+      const std::byte* p = region_->at(e.offset, e.bytes());
+      return ArraySegment<T>::borrowed(reinterpret_cast<const T*>(p), count,
+                                       region_);
+    }
+    std::vector<T> v(count);
+    std::memcpy(v.data(), buffers_[static_cast<std::size_t>(index)].data(),
+                count * sizeof(T));
+    return ArraySegment<T>(std::move(v));
+  }
+
+ private:
+  std::vector<SegmentEntry> entries_;
+  std::shared_ptr<const MmapRegion> region_;  // mapped mode
+  std::vector<std::string> buffers_;          // buffered mode (per entry)
 };
 
 class Reader {
  public:
+  /// Stream source (v1/v2 payloads, and raw header reads).
   Reader(std::istream& in, std::uint32_t version)
-      : in_(in), version_(version) {}
+      : in_(&in), version_(version) {}
+
+  /// Memory source over a v3 control block, with the record's segment table
+  /// attached; seg() resolves directory references through it.
+  /// `deep_validate` tells payload readers whether to run the O(nnz)
+  /// structural checks (the copying path always does; the mmap path opts in).
+  Reader(std::span<const std::byte> meta, std::uint32_t version,
+         const SegmentTable* segments, bool deep_validate)
+      : mem_(meta.data()),
+        mem_size_(meta.size()),
+        version_(version),
+        segments_(segments),
+        deep_validate_(deep_validate) {}
 
   [[nodiscard]] std::uint32_t version() const { return version_; }
-  [[nodiscard]] bool checksummed() const { return version_ >= 2; }
+  [[nodiscard]] bool checksummed() const {
+    // v3 records close with per-segment + control digests instead of a
+    // trailing payload CSUM; only v2 streams carry the latter.
+    return version_ == 2;
+  }
+  [[nodiscard]] bool deep_validate() const { return deep_validate_; }
 
   void bytes(void* data, std::size_t n) {
     raw_bytes(data, n);
-    digest_ = fnv1a(digest_, data, n);
+    hash_.update(data, n);
   }
 
   template <typename T>
@@ -121,11 +314,19 @@ class Reader {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto count = pod<std::uint64_t>();
     // Guard against allocating absurd sizes from a corrupted count field.
-    if (count > (std::uint64_t{1} << 40) / sizeof(T))
+    if (count > kMaxSegmentBytes / sizeof(T))
       throw Error("snapshot: implausible array length (corrupted file?)");
     std::vector<T> v(static_cast<std::size_t>(count));
     if (count > 0) bytes(v.data(), v.size() * sizeof(T));
     return v;
+  }
+
+  /// Bulk array: resolves a v3 segment reference when a table is attached;
+  /// otherwise reads an inline (v1/v2) array into owned storage.
+  template <typename T>
+  [[nodiscard]] ArraySegment<T> seg() {
+    if (segments_ != nullptr) return segments_->get<T>(pod<std::uint64_t>());
+    return ArraySegment<T>(vec<T>());
   }
 
   void expect_section(std::uint32_t tag, const char* name) {
@@ -136,10 +337,11 @@ class Reader {
 
   /// Verify the CSUM section closing the record read since construction or
   /// the previous checksum(), then reset the running digest. No-op on
-  /// checksum-less version-1 streams.
+  /// checksum-less version-1 streams and on v3 records (whose digests live
+  /// in the control block / directory).
   void checksum(const char* what) {
     if (!checksummed()) return;
-    const std::uint64_t computed = digest_;
+    const std::uint64_t computed = hash_.digest();
     std::uint32_t tag;
     raw_bytes(&tag, sizeof(tag));
     if (tag != kChecksumTag)
@@ -150,20 +352,297 @@ class Reader {
       throw Error(std::string("snapshot: checksum mismatch in ") + what +
                   " payload (stored bits do not match their digest — "
                   "corrupted file?)");
-    digest_ = kFnvOffsetBasis;
+    hash_.reset();
   }
 
-  /// Read without folding into the digest (CSUM records).
+  /// Read without folding into the digest (CSUM records, headers).
   void raw_bytes(void* data, std::size_t n) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-    if (static_cast<std::size_t>(in_.gcount()) != n)
+    if (in_ != nullptr) {
+      in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+      if (static_cast<std::size_t>(in_->gcount()) != n)
+        throw Error("snapshot: truncated file");
+      return;
+    }
+    if (n > mem_size_ - mem_pos_)
       throw Error("snapshot: truncated file");
+    std::memcpy(data, mem_ + mem_pos_, n);
+    mem_pos_ += n;
   }
 
  private:
-  std::istream& in_;
+  std::istream* in_ = nullptr;         // stream source
+  const std::byte* mem_ = nullptr;     // memory source
+  std::size_t mem_size_ = 0, mem_pos_ = 0;
   std::uint32_t version_;
-  std::uint64_t digest_ = kFnvOffsetBasis;
+  const SegmentTable* segments_ = nullptr;
+  bool deep_validate_ = true;
+  Fnv1a hash_;
 };
+
+// --- v3 record building -----------------------------------------------------
+
+/// One v3 record: control block (metadata with segment references + segment
+/// directory + digest) followed by the 64-byte-aligned segment area.
+///
+///   [u64 meta_len][meta][u64 seg_count][seg_count × SegmentEntry]
+///   [u32 CSUM tag][u64 control digest]          <- digest over all of the above
+///   [padding][segment 0][padding][segment 1]...  <- absolute aligned offsets
+///
+/// Usage: build_meta() serializes the metadata (collecting segments through
+/// the Writer sink), layout(base) assigns absolute file offsets, emit()
+/// writes the bytes. layout() is separate so several records can be placed
+/// in one file (the sharded snapshot needs every record's extent before the
+/// manifest that indexes them is final).
+class V3RecordBuilder {
+ public:
+  template <typename Fn>
+  void build_meta(Fn&& fn) {
+    std::ostringstream os;
+    segments_.clear();
+    Writer w(os, &segments_);
+    fn(w);
+    meta_ = os.str();
+    if (meta_.size() > kMaxMetaBytes)
+      throw Error("snapshot: record metadata implausibly large");
+  }
+
+  [[nodiscard]] std::uint64_t control_bytes() const {
+    return 8 + meta_.size() + 8 + segments_.size() * sizeof(SegmentEntry) + 12;
+  }
+
+  /// Assign absolute offsets for a record starting at `base`; returns the
+  /// offset one past the record's last byte.
+  std::uint64_t layout(std::uint64_t base) {
+    base_ = base;
+    offsets_.assign(segments_.size(), 0);
+    std::uint64_t cursor = base + control_bytes();
+    end_ = cursor;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i].count == 0) continue;  // empty: offset 0 sentinel
+      cursor = align_up(cursor, kSegmentAlignment);
+      offsets_[i] = cursor;
+      cursor += segments_[i].count * segments_[i].elem_size;
+      end_ = cursor;
+    }
+    return end_;
+  }
+
+  /// Write the record; the stream must be positioned at the layout() base.
+  /// Segment digests are computed here in a streaming pass over the live
+  /// arrays (nothing is staged), then the bytes are written.
+  void emit(std::ostream& out) const {
+    // Directory with per-segment digests.
+    std::vector<SegmentEntry> entries(segments_.size());
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const PendingSegment& s = segments_[i];
+      entries[i].offset = offsets_[i];
+      entries[i].count = s.count;
+      entries[i].elem_size = s.elem_size;
+      entries[i].checksum =
+          s.count == 0
+              ? kFnvOffsetBasis
+              : fnv1a(kFnvOffsetBasis, s.data,
+                      static_cast<std::size_t>(s.count) * s.elem_size);
+    }
+    Fnv1a ctrl;
+    const auto put = [&](const void* data, std::size_t n) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(n));
+      if (!out) throw Error("snapshot: write failed");
+      ctrl.update(data, n);
+    };
+    const std::uint64_t meta_len = meta_.size();
+    put(&meta_len, sizeof(meta_len));
+    put(meta_.data(), meta_.size());
+    const std::uint64_t seg_count = entries.size();
+    put(&seg_count, sizeof(seg_count));
+    if (!entries.empty())
+      put(entries.data(), entries.size() * sizeof(SegmentEntry));
+    Writer w(out);
+    w.raw_pod<std::uint32_t>(kChecksumTag);
+    w.raw_pod<std::uint64_t>(ctrl.digest());
+
+    // Segment area.
+    std::uint64_t pos = base_ + control_bytes();
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i].count == 0) continue;
+      w.raw_zeros(static_cast<std::size_t>(offsets_[i] - pos));
+      const std::uint64_t nbytes = segments_[i].count * segments_[i].elem_size;
+      w.raw_bytes(segments_[i].data, static_cast<std::size_t>(nbytes));
+      pos = offsets_[i] + nbytes;
+    }
+  }
+
+ private:
+  std::string meta_;
+  std::vector<PendingSegment> segments_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t base_ = 0, end_ = 0;
+};
+
+// --- v3 record parsing ------------------------------------------------------
+
+/// Parsed control block of a v3 record inside a mapped region. `meta` points
+/// into the mapping; entries are validated (width, alignment, ordering, file
+/// bounds) and the control digest is verified — these checks are O(meta +
+/// directory), never O(payload).
+struct V3Control {
+  std::span<const std::byte> meta;
+  std::vector<SegmentEntry> entries;
+  std::uint64_t end = 0;  // file offset one past the record
+};
+
+inline void validate_entries(const std::vector<SegmentEntry>& entries,
+                             std::uint64_t ctrl_end, std::uint64_t file_size,
+                             std::uint64_t* record_end) {
+  std::uint64_t cursor = ctrl_end;
+  *record_end = ctrl_end;
+  for (const SegmentEntry& e : entries) {
+    if (e.elem_size != 1 && e.elem_size != 2 && e.elem_size != 4 &&
+        e.elem_size != 8)
+      throw Error("snapshot: segment directory holds an unsupported element "
+                  "width (corrupted file?)");
+    if (e.count == 0) continue;
+    if (e.count > kMaxSegmentBytes / e.elem_size)
+      throw Error("snapshot: implausible array length (corrupted file?)");
+    if (e.offset % kSegmentAlignment != 0)
+      throw Error("snapshot: misaligned segment offset (corrupted file?)");
+    if (e.offset < cursor)
+      throw Error("snapshot: overlapping segments (corrupted file?)");
+    if (e.offset > file_size || e.bytes() > file_size - e.offset)
+      throw Error("snapshot: truncated file (segment extends past the end)");
+    cursor = e.offset + e.bytes();
+    *record_end = cursor;
+  }
+}
+
+/// Parse + verify the control block of the record at `base`. The region must
+/// cover the control block; segment extents are checked against the file
+/// size (the caller maps them as needed — possibly selectively).
+inline V3Control parse_v3_control(const MmapRegion& region,
+                                  std::uint64_t base) {
+  V3Control c;
+  std::uint64_t meta_len;
+  std::memcpy(&meta_len, region.at(base, 8), 8);
+  if (meta_len > kMaxMetaBytes)
+    throw Error("snapshot: record metadata implausibly large (corrupted "
+                "file?)");
+  const std::byte* meta = region.at(base + 8, meta_len);
+  c.meta = {meta, static_cast<std::size_t>(meta_len)};
+  std::uint64_t seg_count;
+  std::memcpy(&seg_count, region.at(base + 8 + meta_len, 8), 8);
+  if (seg_count > kMaxSegments)
+    throw Error("snapshot: implausible segment count (corrupted file?)");
+  const std::uint64_t dir_off = base + 16 + meta_len;
+  const std::uint64_t dir_bytes = seg_count * sizeof(SegmentEntry);
+  c.entries.resize(static_cast<std::size_t>(seg_count));
+  if (seg_count > 0)
+    std::memcpy(c.entries.data(), region.at(dir_off, dir_bytes), dir_bytes);
+
+  // Control digest: everything from meta_len through the directory.
+  Fnv1a ctrl;
+  ctrl.update(region.at(base, 8 + meta_len), static_cast<std::size_t>(8 + meta_len));
+  ctrl.update(region.at(base + 8 + meta_len, 8 + dir_bytes),
+              static_cast<std::size_t>(8 + dir_bytes));
+  std::uint32_t tag;
+  std::memcpy(&tag, region.at(dir_off + dir_bytes, 4), 4);
+  std::uint64_t stored;
+  std::memcpy(&stored, region.at(dir_off + dir_bytes + 4, 8), 8);
+  if (tag != kChecksumTag || stored != ctrl.digest())
+    throw Error("snapshot: control checksum mismatch (corrupted file?)");
+
+  const std::uint64_t ctrl_end = dir_off + dir_bytes + 12;
+  validate_entries(c.entries, ctrl_end, region.file_size(), &c.end);
+  return c;
+}
+
+/// One v3 record copied off a stream: buffered segments (each verified
+/// against its directory digest while read — the copying path is the fully
+/// checked one) plus the metadata bytes.
+struct StreamRecord {
+  std::string meta;
+  SegmentTable table;
+  std::uint64_t end = 0;  // absolute offset one past the record
+};
+
+inline void stream_skip(std::istream& in, std::uint64_t n) {
+  char buf[4096];
+  while (n > 0) {
+    const auto take = static_cast<std::streamsize>(
+        n < sizeof(buf) ? n : sizeof(buf));
+    in.read(buf, take);
+    if (in.gcount() != take) throw Error("snapshot: truncated file");
+    n -= static_cast<std::uint64_t>(take);
+  }
+}
+
+/// Read the record at absolute offset `base`; the stream is currently at
+/// absolute offset `pos` (<= base; the gap is padding).
+inline StreamRecord read_v3_record(std::istream& in, std::uint64_t pos,
+                                   std::uint64_t base) {
+  if (base < pos)
+    throw Error("snapshot: records out of order (corrupted file?)");
+  stream_skip(in, base - pos);
+
+  Fnv1a ctrl;
+  const auto read_ctrl = [&](void* data, std::size_t n) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n)
+      throw Error("snapshot: truncated file");
+    ctrl.update(data, n);
+  };
+
+  StreamRecord rec;
+  std::uint64_t meta_len;
+  read_ctrl(&meta_len, 8);
+  if (meta_len > kMaxMetaBytes)
+    throw Error("snapshot: record metadata implausibly large (corrupted "
+                "file?)");
+  rec.meta.resize(static_cast<std::size_t>(meta_len));
+  if (meta_len > 0) read_ctrl(rec.meta.data(), rec.meta.size());
+  std::uint64_t seg_count;
+  read_ctrl(&seg_count, 8);
+  if (seg_count > kMaxSegments)
+    throw Error("snapshot: implausible segment count (corrupted file?)");
+  std::vector<SegmentEntry> entries(static_cast<std::size_t>(seg_count));
+  if (seg_count > 0)
+    read_ctrl(entries.data(), entries.size() * sizeof(SegmentEntry));
+  std::uint32_t tag;
+  std::uint64_t stored;
+  Reader raw(in, 3);
+  raw.raw_bytes(&tag, sizeof(tag));
+  raw.raw_bytes(&stored, sizeof(stored));
+  if (tag != kChecksumTag || stored != ctrl.digest())
+    throw Error("snapshot: control checksum mismatch (corrupted file?)");
+
+  const std::uint64_t ctrl_end =
+      base + 16 + meta_len + seg_count * sizeof(SegmentEntry) + 12;
+  std::uint64_t record_end = ctrl_end;
+  // Stream mode cannot know the file size; segment extents are implicitly
+  // checked by the reads below hitting EOF.
+  validate_entries(entries, ctrl_end,
+                   std::numeric_limits<std::uint64_t>::max(), &record_end);
+
+  std::vector<std::string> buffers(entries.size());
+  std::uint64_t cur = ctrl_end;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SegmentEntry& e = entries[i];
+    if (e.count == 0) continue;
+    stream_skip(in, e.offset - cur);
+    buffers[i].resize(static_cast<std::size_t>(e.bytes()));
+    in.read(buffers[i].data(), static_cast<std::streamsize>(e.bytes()));
+    if (static_cast<std::uint64_t>(in.gcount()) != e.bytes())
+      throw Error("snapshot: truncated file");
+    if (fnv1a(kFnvOffsetBasis, buffers[i].data(), buffers[i].size()) !=
+        e.checksum)
+      throw Error("snapshot: checksum mismatch in segment " +
+                  std::to_string(i) + " (stored bits do not match their "
+                  "digest — corrupted file?)");
+    cur = e.offset + e.bytes();
+  }
+  rec.table = SegmentTable::buffered(std::move(entries), std::move(buffers));
+  rec.end = record_end;
+  return rec;
+}
 
 }  // namespace cw::serve::io

@@ -1,10 +1,12 @@
 #include "shard/snapshot.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/mmap_region.hpp"
 
 namespace cw::shard {
 
@@ -30,8 +32,11 @@ SnapshotInfo expect_sharded_header(std::istream& in) {
 struct ManifestPayload {
   SplitStrategy strategy = SplitStrategy::kBalanced;
   PipelineOptions options;
-  Permutation order;
-  std::vector<index_t> block_ptr;
+  // Kept as segments so a selective loader can read the two cut points it
+  // needs without paging in the whole order array.
+  ArraySegment<index_t> order;
+  ArraySegment<index_t> block_ptr;
+  std::vector<ShardByteRange> ranges;  // v3+ only
 };
 
 ManifestPayload read_manifest_payload(serve::io::Reader& r) {
@@ -42,21 +47,49 @@ ManifestPayload read_manifest_payload(serve::io::Reader& r) {
     throw Error("snapshot: unknown shard split strategy");
   m.strategy = static_cast<SplitStrategy>(strategy);
   m.options = serve::detail::read_pipeline_options(r);
-  m.order = r.vec<index_t>();
-  m.block_ptr = r.vec<index_t>();
+  if (r.version() >= 3) {
+    const auto count = r.pod<std::uint64_t>();
+    if (count > serve::io::kMaxSegments)
+      throw Error("snapshot: implausible shard count (corrupted file?)");
+    m.ranges.resize(static_cast<std::size_t>(count));
+    for (ShardByteRange& rg : m.ranges) {
+      rg.offset = r.pod<std::uint64_t>();
+      rg.length = r.pod<std::uint64_t>();
+    }
+    m.order = r.seg<index_t>();
+    m.block_ptr = r.seg<index_t>();
+  } else {
+    m.order = ArraySegment<index_t>(r.vec<index_t>());
+    m.block_ptr = ArraySegment<index_t>(r.vec<index_t>());
+    r.checksum("shard manifest");
+  }
   if (m.block_ptr.size() < 2)
     throw Error("snapshot: sharded manifest holds no blocks");
-  r.checksum("shard manifest");
+  if (r.version() >= 3 && m.ranges.size() != m.block_ptr.size() - 1)
+    throw Error("snapshot: shard table does not match the block count");
   return m;
 }
 
-}  // namespace
+void write_manifest_meta(serve::io::Writer& w, const ShardedPipeline& sharded,
+                         const std::vector<ShardByteRange>& ranges) {
+  const RowBlockPlan& plan = sharded.plan();
+  w.section(kSecManifest);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(plan.strategy()));
+  serve::detail::write_pipeline_options(w, sharded.options());
+  w.pod<std::uint64_t>(ranges.size());
+  for (const ShardByteRange& rg : ranges) {
+    w.pod<std::uint64_t>(rg.offset);
+    w.pod<std::uint64_t>(rg.length);
+  }
+  w.seg(plan.order());
+  w.seg(plan.block_ptr());
+}
 
-void save(std::ostream& out, const ShardedPipeline& sharded) {
+void save_v2(std::ostream& out, const ShardedPipeline& sharded) {
   const RowBlockPlan& plan = sharded.plan();
   serve::io::Writer w(out);
   serve::detail::write_header(w, SnapshotKind::kShardedPipeline, plan.nrows(),
-                              plan.ncols(), plan.nnz());
+                              plan.ncols(), plan.nnz(), 2);
   w.section(kSecManifest);
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(plan.strategy()));
   serve::detail::write_pipeline_options(w, sharded.options());
@@ -71,41 +104,148 @@ void save(std::ostream& out, const ShardedPipeline& sharded) {
   }
 }
 
+Pipeline read_shard_record_payload(serve::io::Reader& r, index_t expected) {
+  r.expect_section(kSecShard, "SHRD");
+  const auto stored = r.pod<index_t>();
+  if (stored != expected)
+    throw Error("snapshot: shard records out of order (corrupted file?)");
+  return serve::detail::read_pipeline_payload(r);
+}
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+void save(std::ostream& out, const ShardedPipeline& sharded,
+          const serve::SaveOptions& opt) {
+  serve::detail::check_save_version(opt.version);
+  if (opt.version == 2) {
+    save_v2(out, sharded);
+    return;
+  }
+  const RowBlockPlan& plan = sharded.plan();
+  serve::io::Writer w(out);
+  serve::detail::write_header(w, SnapshotKind::kShardedPipeline, plan.nrows(),
+                              plan.ncols(), plan.nnz(), opt.version);
+
+  // Plan every shard record first: the manifest indexes them by byte range,
+  // so their extents must be final before the manifest is serialized.
+  const index_t num_shards = sharded.num_shards();
+  std::vector<serve::io::V3RecordBuilder> shard_recs(
+      static_cast<std::size_t>(num_shards));
+  for (index_t s = 0; s < num_shards; ++s) {
+    shard_recs[static_cast<std::size_t>(s)].build_meta(
+        [&](serve::io::Writer& mw) {
+          mw.section(kSecShard);
+          mw.pod<index_t>(s);
+          serve::detail::write_pipeline_payload(mw, *sharded.shard(s));
+        });
+  }
+
+  // The manifest's size depends only on the shard COUNT, not the range
+  // values, so build it once with placeholders to learn its extent, lay
+  // everything out, then rebuild with the real table.
+  std::vector<ShardByteRange> ranges(static_cast<std::size_t>(num_shards));
+  serve::io::V3RecordBuilder manifest;
+  manifest.build_meta(
+      [&](serve::io::Writer& mw) { write_manifest_meta(mw, sharded, ranges); });
+  const std::uint64_t manifest_end = manifest.layout(serve::kFirstRecordOffset);
+  std::uint64_t cursor =
+      serve::io::align_up(manifest_end, serve::io::kSegmentAlignment);
+  for (index_t s = 0; s < num_shards; ++s) {
+    const std::uint64_t end =
+        shard_recs[static_cast<std::size_t>(s)].layout(cursor);
+    ranges[static_cast<std::size_t>(s)] = {cursor, end - cursor};
+    cursor = serve::io::align_up(end, serve::io::kSegmentAlignment);
+  }
+  manifest.build_meta(
+      [&](serve::io::Writer& mw) { write_manifest_meta(mw, sharded, ranges); });
+  manifest.layout(serve::kFirstRecordOffset);
+
+  manifest.emit(out);
+  std::uint64_t pos = manifest_end;
+  for (index_t s = 0; s < num_shards; ++s) {
+    const ShardByteRange& rg = ranges[static_cast<std::size_t>(s)];
+    w.raw_zeros(static_cast<std::size_t>(rg.offset - pos));
+    shard_recs[static_cast<std::size_t>(s)].emit(out);
+    pos = rg.offset + rg.length;
+  }
+}
+
 ShardedPipeline load_sharded_pipeline(std::istream& in) {
   const SnapshotInfo info = expect_sharded_header(in);
-  serve::io::Reader r(in, info.version);
-  ManifestPayload m = read_manifest_payload(r);
-  RowBlockPlan plan =
-      RowBlockPlan::from_parts(info.nrows, info.ncols, info.nnz, m.strategy,
-                               std::move(m.order), std::move(m.block_ptr));
+  ManifestPayload m;
   std::vector<std::shared_ptr<const Pipeline>> shards;
-  shards.reserve(static_cast<std::size_t>(plan.num_shards()));
-  for (index_t s = 0; s < plan.num_shards(); ++s) {
-    r.expect_section(kSecShard, "SHRD");
-    const auto stored = r.pod<index_t>();
-    if (stored != s)
-      throw Error("snapshot: shard records out of order (corrupted file?)");
-    Pipeline p = serve::detail::read_pipeline_payload(r);
-    r.checksum("shard pipeline");
-    shards.push_back(std::make_shared<const Pipeline>(std::move(p)));
+  if (info.version >= 3) {
+    serve::io::StreamRecord man = serve::io::read_v3_record(
+        in, serve::kHeaderBytes, serve::kFirstRecordOffset);
+    serve::io::Reader mr(as_bytes(man.meta), info.version, &man.table,
+                         /*deep_validate=*/true);
+    m = read_manifest_payload(mr);
+    const index_t num_shards = static_cast<index_t>(m.ranges.size());
+    shards.reserve(m.ranges.size());
+    std::uint64_t pos = man.end;
+    for (index_t s = 0; s < num_shards; ++s) {
+      const ShardByteRange& rg = m.ranges[static_cast<std::size_t>(s)];
+      serve::io::StreamRecord rec = serve::io::read_v3_record(in, pos, rg.offset);
+      if (rec.end != rg.offset + rg.length)
+        throw Error("snapshot: shard record does not match its manifest "
+                    "byte range (corrupted file?)");
+      serve::io::Reader r(as_bytes(rec.meta), info.version, &rec.table,
+                          /*deep_validate=*/true);
+      shards.push_back(std::make_shared<const Pipeline>(
+          read_shard_record_payload(r, s)));
+      pos = rec.end;
+    }
+  } else {
+    serve::io::Reader r(in, info.version);
+    m = read_manifest_payload(r);
+    const index_t num_shards = static_cast<index_t>(m.block_ptr.size()) - 1;
+    shards.reserve(static_cast<std::size_t>(num_shards));
+    for (index_t s = 0; s < num_shards; ++s) {
+      Pipeline p = read_shard_record_payload(r, s);
+      r.checksum("shard pipeline");
+      shards.push_back(std::make_shared<const Pipeline>(std::move(p)));
+    }
   }
+  RowBlockPlan plan = RowBlockPlan::from_parts(
+      info.nrows, info.ncols, info.nnz, m.strategy, m.order.to_vector(),
+      m.block_ptr.to_vector());
   // restore() cross-checks every shard against its row block.
   return ShardedPipeline::restore(std::move(plan), m.options,
                                   std::move(shards));
 }
 
-ShardManifest read_manifest(std::istream& in) {
-  const SnapshotInfo info = expect_sharded_header(in);
-  serve::io::Reader r(in, info.version);
-  const ManifestPayload m = read_manifest_payload(r);
+namespace {
+
+ShardManifest manifest_from_payload(const SnapshotInfo& info,
+                                    const ManifestPayload& m) {
   ShardManifest out;
   out.version = info.version;
   out.strategy = m.strategy;
   out.nrows = info.nrows;
   out.ncols = info.ncols;
   out.nnz = info.nnz;
-  out.block_ptr = m.block_ptr;
+  out.block_ptr = m.block_ptr.to_vector();
+  out.shard_ranges = m.ranges;
   return out;
+}
+
+}  // namespace
+
+ShardManifest read_manifest(std::istream& in) {
+  const SnapshotInfo info = expect_sharded_header(in);
+  if (info.version >= 3) {
+    serve::io::StreamRecord man = serve::io::read_v3_record(
+        in, serve::kHeaderBytes, serve::kFirstRecordOffset);
+    serve::io::Reader mr(as_bytes(man.meta), info.version, &man.table,
+                         /*deep_validate=*/true);
+    return manifest_from_payload(info, read_manifest_payload(mr));
+  }
+  serve::io::Reader r(in, info.version);
+  return manifest_from_payload(info, read_manifest_payload(r));
 }
 
 // --- file wrappers ----------------------------------------------------------
@@ -124,17 +264,165 @@ std::ifstream open_in(const std::string& path) {
   return f;
 }
 
+SnapshotInfo expect_sharded_region(const MmapRegion& region,
+                                   const std::string& path) {
+  const SnapshotInfo info = serve::read_info_region(region);
+  if (info.kind != SnapshotKind::kShardedPipeline)
+    throw Error("snapshot: " + path + " holds a " + to_string(info.kind) +
+                ", expected a sharded-pipeline");
+  return info;
+}
+
+/// Map a window [0, end) of `path`, growing a previously mapped window.
+void grow_window(const std::string& path,
+                 std::shared_ptr<const MmapRegion>* region,
+                 std::uint64_t end) {
+  if (end > (*region)->file_size())
+    throw Error("snapshot: truncated file (manifest extends past the end of " +
+                path + ")");
+  if (end > (*region)->size()) *region = MmapRegion::map_file(path, 0, end);
+}
+
+/// Map just enough of `path` to cover the manifest record, and parse it.
+/// Starts from a small probe window and grows it to the exact extents the
+/// control block declares — shard records are never mapped here.
+ManifestPayload map_manifest(const std::string& path,
+                             std::shared_ptr<const MmapRegion>* region,
+                             serve::io::SegmentTable* table,
+                             SnapshotInfo* info,
+                             const serve::MmapLoadOptions& opt) {
+  const std::uint64_t file_size = MmapRegion::query_file_size(path);
+  constexpr std::uint64_t kProbe = 64 * 1024;
+  *region = MmapRegion::map_file(
+      path, 0, file_size < kProbe ? file_size : kProbe);
+  *info = expect_sharded_region(**region, path);
+  if (info->version < 3)
+    throw Error("snapshot: " + path + " is format v" +
+                std::to_string(info->version) +
+                "; selective/zero-copy loading requires v3");
+
+  const std::uint64_t base = serve::kFirstRecordOffset;
+  grow_window(path, region, base + 8);
+  std::uint64_t meta_len;
+  std::memcpy(&meta_len, (*region)->at(base, 8), 8);
+  if (meta_len > serve::io::kMaxMetaBytes)
+    throw Error("snapshot: record metadata implausibly large (corrupted "
+                "file?)");
+  grow_window(path, region, base + 8 + meta_len + 8);
+  std::uint64_t seg_count;
+  std::memcpy(&seg_count, (*region)->at(base + 8 + meta_len, 8), 8);
+  if (seg_count > serve::io::kMaxSegments)
+    throw Error("snapshot: implausible segment count (corrupted file?)");
+  grow_window(path, region,
+              base + 16 + meta_len +
+                  seg_count * sizeof(serve::io::SegmentEntry) + 12);
+  serve::io::V3Control ctrl = serve::io::parse_v3_control(**region, base);
+  if (ctrl.end > (*region)->size()) {
+    grow_window(path, region, ctrl.end);
+    ctrl = serve::io::parse_v3_control(**region, base);  // meta span moved
+  }
+  *table = serve::io::SegmentTable::mapped(std::move(ctrl.entries), *region);
+  if (opt.verify_checksums) table->verify_checksums();
+  serve::io::Reader mr(ctrl.meta, info->version, table, opt.deep_validate);
+  return read_manifest_payload(mr);
+}
+
 }  // namespace
 
 void save_sharded_pipeline_file(const std::string& path,
-                                const ShardedPipeline& sharded) {
+                                const ShardedPipeline& sharded,
+                                const serve::SaveOptions& opt) {
   auto f = open_out(path);
-  save(f, sharded);
+  save(f, sharded, opt);
 }
 
-ShardedPipeline load_sharded_pipeline_file(const std::string& path) {
-  auto f = open_in(path);
-  return load_sharded_pipeline(f);
+ShardedPipeline load_sharded_pipeline_file(const std::string& path,
+                                           const serve::MmapLoadOptions& opt) {
+  {
+    auto f = open_in(path);
+    const SnapshotInfo info = serve::read_info(f);
+    if (info.kind != SnapshotKind::kShardedPipeline)
+      throw Error("snapshot: " + path + " holds a " + to_string(info.kind) +
+                  ", expected a sharded-pipeline");
+    if (info.version < 3) {
+      f.seekg(0);
+      return load_sharded_pipeline(f);
+    }
+  }
+  // v3: one shared mapping; every shard's arrays borrow from it.
+  auto region = MmapRegion::map_file(path);
+  const SnapshotInfo info = expect_sharded_region(*region, path);
+  serve::io::V3Control mc =
+      serve::io::parse_v3_control(*region, serve::kFirstRecordOffset);
+  serve::io::SegmentTable mtable =
+      serve::io::SegmentTable::mapped(std::move(mc.entries), region);
+  if (opt.verify_checksums) mtable.verify_checksums();
+  serve::io::Reader mr(mc.meta, info.version, &mtable, opt.deep_validate);
+  ManifestPayload m = read_manifest_payload(mr);
+
+  std::vector<std::shared_ptr<const Pipeline>> shards;
+  shards.reserve(m.ranges.size());
+  for (index_t s = 0; s < static_cast<index_t>(m.ranges.size()); ++s) {
+    const ShardByteRange& rg = m.ranges[static_cast<std::size_t>(s)];
+    serve::io::V3Control sc = serve::io::parse_v3_control(*region, rg.offset);
+    if (sc.end != rg.offset + rg.length)
+      throw Error("snapshot: shard record does not match its manifest byte "
+                  "range (corrupted file?)");
+    serve::io::SegmentTable stable =
+        serve::io::SegmentTable::mapped(std::move(sc.entries), region);
+    if (opt.verify_checksums) stable.verify_checksums();
+    serve::io::Reader r(sc.meta, info.version, &stable, opt.deep_validate);
+    shards.push_back(
+        std::make_shared<const Pipeline>(read_shard_record_payload(r, s)));
+  }
+  RowBlockPlan plan = RowBlockPlan::from_parts(
+      info.nrows, info.ncols, info.nnz, m.strategy, m.order.to_vector(),
+      m.block_ptr.to_vector());
+  return ShardedPipeline::restore(std::move(plan), m.options,
+                                  std::move(shards));
+}
+
+ShardLoadResult load_shard_file(const std::string& path, index_t shard,
+                                const serve::MmapLoadOptions& opt) {
+  std::shared_ptr<const MmapRegion> manifest_region;
+  serve::io::SegmentTable manifest_table;
+  SnapshotInfo info;
+  const ManifestPayload m =
+      map_manifest(path, &manifest_region, &manifest_table, &info, opt);
+  const auto num_shards = static_cast<index_t>(m.ranges.size());
+  if (shard < 0 || shard >= num_shards)
+    throw Error("snapshot: shard " + std::to_string(shard) +
+                " out of range (file holds " + std::to_string(num_shards) +
+                ")");
+
+  // Touches exactly two block_ptr entries; the order array (and every other
+  // shard's record) stays unpaged.
+  ShardLoadResult out;
+  out.shard = shard;
+  out.row_begin = m.block_ptr[static_cast<std::size_t>(shard)];
+  out.row_end = m.block_ptr[static_cast<std::size_t>(shard) + 1];
+  if (out.row_begin < 0 || out.row_begin > out.row_end ||
+      out.row_end > info.nrows)
+    throw Error("snapshot: manifest block pointers are inconsistent "
+                "(corrupted file?)");
+
+  const ShardByteRange& rg = m.ranges[static_cast<std::size_t>(shard)];
+  auto region = MmapRegion::map_file(path, rg.offset, rg.length);
+  serve::io::V3Control sc = serve::io::parse_v3_control(*region, rg.offset);
+  if (sc.end != rg.offset + rg.length)
+    throw Error("snapshot: shard record does not match its manifest byte "
+                "range (corrupted file?)");
+  serve::io::SegmentTable table =
+      serve::io::SegmentTable::mapped(std::move(sc.entries), region);
+  if (opt.verify_checksums) table.verify_checksums();
+  serve::io::Reader r(sc.meta, info.version, &table, opt.deep_validate);
+  Pipeline p = read_shard_record_payload(r, shard);
+  if (p.matrix().nrows() != out.row_end - out.row_begin ||
+      p.matrix().ncols() != info.ncols)
+    throw Error("snapshot: shard pipeline does not match its row block "
+                "(corrupted file?)");
+  out.pipeline = std::make_shared<const Pipeline>(std::move(p));
+  return out;
 }
 
 ShardManifest read_manifest_file(const std::string& path) {

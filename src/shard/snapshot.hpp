@@ -1,18 +1,24 @@
-// Snapshot persistence for sharded pipelines — snapshot format v2's
-// kShardedPipeline record.
+// Snapshot persistence for sharded pipelines — the kShardedPipeline record.
 //
-// Layout: the common CWSNAP header (dims of the *source* matrix), then a
-// checksummed shard manifest (split strategy, overall pipeline options, the
-// plan's row order and block cut points), then one embedded pipeline
-// payload per shard, each closed by its own FNV-1a checksum — so a flipped
-// bit is reported against the specific shard it corrupted, and a loader
-// could in principle fetch shards selectively. Every shard record is the
-// same payload a standalone kPipeline snapshot carries; a shard saved
-// individually via serve::save(ostream, pipeline) remains loadable on its
-// own.
+// v3 layout: the common CWSNAP header (dims of the *source* matrix), then a
+// manifest record (split strategy, overall pipeline options, per-shard BYTE
+// RANGES, and the plan's row order / block cut points as segments), then one
+// v3 pipeline record per shard at a 64-byte-aligned offset. The manifest's
+// shard table is what makes loading selective: a node serving row block k
+// maps only the manifest and shard k's byte range (`load_shard_file`) — the
+// other shards' bytes are never read, mapped, or paged in.
+//
+// v2 layout (still read, still writable via SaveOptions): a checksummed
+// inline manifest followed by one embedded checksummed pipeline payload per
+// shard. A v2 loader must stream past every earlier shard; v3 seeks.
+//
+// Every shard record carries the same payload a standalone kPipeline
+// snapshot does, and each is independently digested — a flipped bit is
+// reported against the specific shard it corrupted.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +26,12 @@
 #include "shard/sharded_pipeline.hpp"
 
 namespace cw::shard {
+
+/// Byte extent of one shard's record inside a v3 sharded snapshot file.
+struct ShardByteRange {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
 
 /// Manifest summary readable without parsing the shard payloads
 /// (`cwtool shard info`).
@@ -30,14 +42,27 @@ struct ShardManifest {
   index_t ncols = 0;
   offset_t nnz = 0;
   std::vector<index_t> block_ptr;  // num_shards()+1 cut points
+  /// v3+: where each shard's record lives (empty for v2 files, which have
+  /// no offset table and can only be read front to back).
+  std::vector<ShardByteRange> shard_ranges;
   [[nodiscard]] index_t num_shards() const {
     return static_cast<index_t>(block_ptr.size()) - 1;
   }
 };
 
+/// One selectively loaded shard (load_shard_file): the prepared rows-only
+/// pipeline for permuted rows [row_begin, row_end) of the plan.
+struct ShardLoadResult {
+  index_t shard = 0;
+  index_t row_begin = 0;
+  index_t row_end = 0;
+  std::shared_ptr<const Pipeline> pipeline;
+};
+
 // --- stream API -------------------------------------------------------------
 
-void save(std::ostream& out, const ShardedPipeline& sharded);
+void save(std::ostream& out, const ShardedPipeline& sharded,
+          const serve::SaveOptions& opt = {});
 ShardedPipeline load_sharded_pipeline(std::istream& in);
 
 /// Read header + manifest only, leaving the stream at the first shard.
@@ -46,8 +71,21 @@ ShardManifest read_manifest(std::istream& in);
 // --- file API ---------------------------------------------------------------
 
 void save_sharded_pipeline_file(const std::string& path,
-                                const ShardedPipeline& sharded);
-ShardedPipeline load_sharded_pipeline_file(const std::string& path);
+                                const ShardedPipeline& sharded,
+                                const serve::SaveOptions& opt = {});
+
+/// Load every shard. v3 files take the zero-copy mmap path (shard arrays
+/// borrow one shared mapping, options as in serve::load_pipeline_mmap);
+/// v1/v2 files the fully-verified copying path.
+ShardedPipeline load_sharded_pipeline_file(
+    const std::string& path, const serve::MmapLoadOptions& opt = {});
+
+/// Selective zero-copy load of ONE shard from a v3 file: maps the manifest
+/// plus shard `shard`'s byte range only — O(manifest + that shard's
+/// directory) work and no paging of the other row blocks.
+ShardLoadResult load_shard_file(const std::string& path, index_t shard,
+                                const serve::MmapLoadOptions& opt = {});
+
 ShardManifest read_manifest_file(const std::string& path);
 
 }  // namespace cw::shard

@@ -27,8 +27,8 @@ Csr sddmm(const Csr& s, const Dense& u, const Dense& v) {
   CW_CHECK_MSG(v.nrows() == s.ncols(), "V rows must match S cols");
   CW_CHECK_MSG(u.ncols() == v.ncols(), "U/V inner dimensions must match");
   const index_t k = u.ncols();
-  std::vector<offset_t> row_ptr = s.row_ptr();
-  std::vector<index_t> col_idx = s.col_idx();
+  std::vector<offset_t> row_ptr = s.row_ptr().to_vector();
+  std::vector<index_t> col_idx = s.col_idx().to_vector();
   std::vector<value_t> values(col_idx.size());
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < s.nrows(); ++i) {

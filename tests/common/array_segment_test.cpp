@@ -1,0 +1,119 @@
+#include "common/array_segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mmap_region.hpp"
+
+namespace cw {
+namespace {
+
+std::string write_temp_file(const std::string& name,
+                            const std::vector<double>& payload) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size() * sizeof(double)));
+  return path;
+}
+
+TEST(ArraySegment, OwnedBehavesLikeAVector) {
+  ArraySegment<int> s(std::vector<int>{3, 1, 4, 1, 5});
+  EXPECT_TRUE(s.owned());
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.front(), 3);
+  EXPECT_EQ(s.back(), 5);
+  int sum = 0;
+  for (int x : s) sum += x;
+  EXPECT_EQ(sum, 14);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{3, 1, 4, 1, 5}));
+  EXPECT_TRUE(s == (std::vector<int>{3, 1, 4, 1, 5}));
+}
+
+TEST(ArraySegment, CopyAndMoveKeepTheViewConsistent) {
+  ArraySegment<int> a{1, 2, 3};
+  ArraySegment<int> b = a;           // copy re-points at its own vector
+  ArraySegment<int> c = std::move(a);
+  EXPECT_EQ(b.to_vector(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(c.to_vector(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(b == c);
+  b.mutate().push_back(4);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.back(), 4);
+  EXPECT_EQ(c.size(), 3u);  // deep copy: c unaffected
+}
+
+TEST(ArraySegment, BorrowedViewsAMappedFileAndKeepsItAlive) {
+  std::vector<double> payload(512);
+  std::iota(payload.begin(), payload.end(), 0.0);
+  const std::string path = write_temp_file("cw_seg_borrow.bin", payload);
+
+  ArraySegment<double> seg;
+  {
+    auto region = MmapRegion::map_file(path);
+    ASSERT_EQ(region->size(), payload.size() * sizeof(double));
+    seg = ArraySegment<double>::borrowed(
+        reinterpret_cast<const double*>(region->data()), payload.size(),
+        region);
+    // The local shared_ptr dies here; the segment must keep the mapping.
+  }
+  EXPECT_FALSE(seg.owned());
+  EXPECT_EQ(seg.size(), payload.size());
+  EXPECT_DOUBLE_EQ(seg[17], 17.0);
+  EXPECT_DOUBLE_EQ(seg.back(), 511.0);
+  EXPECT_TRUE(seg == payload);
+
+  // Copying a borrowed segment shares the mapping (no materialization).
+  ArraySegment<double> copy = seg;
+  EXPECT_FALSE(copy.owned());
+  EXPECT_EQ(copy.data(), seg.data());
+
+  // Mutation first materializes a private copy — mapped bytes are read-only.
+  copy.mutate()[0] = -1.0;
+  EXPECT_TRUE(copy.owned());
+  EXPECT_DOUBLE_EQ(copy[0], -1.0);
+  EXPECT_DOUBLE_EQ(seg[0], 0.0);  // original untouched
+
+  std::remove(path.c_str());
+}
+
+TEST(MmapRegion, RangeMappingAndBoundsChecks) {
+  std::vector<double> payload(1024);
+  std::iota(payload.begin(), payload.end(), 0.0);
+  const std::string path = write_temp_file("cw_region_range.bin", payload);
+
+  // A window that does not start on a page boundary still addresses bytes
+  // by absolute file offset.
+  const std::uint64_t offset = 24;
+  const std::uint64_t length = 160;
+  auto region = MmapRegion::map_file(path, offset, length);
+  EXPECT_EQ(region->file_offset(), offset);
+  EXPECT_EQ(region->size(), length);
+  EXPECT_EQ(region->file_size(), payload.size() * sizeof(double));
+  double x;
+  std::memcpy(&x, region->at(24, sizeof(double)), sizeof(double));
+  EXPECT_DOUBLE_EQ(x, 3.0);  // element 3 lives at byte 24
+
+  EXPECT_TRUE(region->contains(24, length));
+  EXPECT_FALSE(region->contains(0, 8));            // before the window
+  EXPECT_FALSE(region->contains(24 + length, 1));  // past the window
+  EXPECT_THROW(region->at(0, 8), Error);
+  EXPECT_THROW(region->at(24, length + 1), Error);
+
+  EXPECT_THROW(MmapRegion::map_file(path, 0, payload.size() * 8 + 1), Error);
+  EXPECT_THROW(MmapRegion::map_file("/nonexistent/x.bin"), Error);
+  EXPECT_EQ(MmapRegion::query_file_size(path), payload.size() * 8);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cw

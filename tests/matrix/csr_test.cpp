@@ -150,9 +150,9 @@ TEST(Csr, MemoryBytesPositive) {
 TEST(Csr, ApproxEqualTolerance) {
   Csr a = test::random_csr(8, 8, 0.3, 4);
   Csr b = a;
-  b.values()[0] += 1e-12;
+  b.mutable_values()[0] += 1e-12;
   EXPECT_TRUE(a.approx_equal(b, 1e-9));
-  b.values()[0] += 1.0;
+  b.mutable_values()[0] += 1.0;
   EXPECT_FALSE(a.approx_equal(b, 1e-9));
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 
 #include "common/error.hpp"
@@ -189,6 +192,117 @@ TEST(Engine, PermutedSpaceResultsWhenUnpermuteDisabled) {
   auto p = make_pipeline(a, ClusterScheme::kHierarchical);
   ServeEngine engine({.num_workers = 1, .unpermute_results = false});
   EXPECT_TRUE(engine.submit(p, b).get() == p->multiply(b));
+}
+
+TEST(Engine, BackpressureBoundsTheQueueUnderBlockingSubmit) {
+  // One worker, queue capped at 2, one producer firing 24 requests as fast
+  // as it can: submit() must block rather than queue without bound, so the
+  // high-water mark never exceeds the cap — and everything still completes
+  // with correct results.
+  const Csr a = test::random_csr(50, 50, 0.15, 30);
+  auto p = make_pipeline(a, ClusterScheme::kFixed);
+  ServeEngine engine(
+      {.num_workers = 1, .max_batch = 1, .max_queue_depth = 2});
+  constexpr int kRequests = 24;
+  std::vector<Csr> bs;
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    bs.push_back(test::random_csr(50, 6, 0.3, 300 + i));
+  for (int i = 0; i < kRequests; ++i) futures.push_back(engine.submit(p, bs[i]));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(futures[static_cast<std::size_t>(i)].get() ==
+                p->unpermute_rows(p->multiply(bs[static_cast<std::size_t>(i)])));
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_LE(st.max_queued, 2u);
+  EXPECT_EQ(st.shed, 0u);  // blocking submit never sheds
+}
+
+TEST(Engine, TrySubmitShedsWhenTheQueueIsFull) {
+  // Hold the single worker busy with heavy requests, fill the queue to the
+  // cap, then try_submit must refuse immediately instead of blocking.
+  const index_t n = 1000;
+  const Csr heavy_a = test::random_csr(n, n, 0.08, 31);
+  auto p = make_pipeline(heavy_a, ClusterScheme::kNone);
+  ServeEngine engine(
+      {.num_workers = 1, .max_batch = 1, .max_queue_depth = 2});
+  auto heavy_b =
+      std::make_shared<const Csr>(test::random_csr(n, 64, 0.5, 32));
+  std::future<Csr> busy = engine.submit(p, heavy_b);  // worker picks this up
+  // Queue to the cap (these block only transiently, until the worker takes
+  // the first job off the queue).
+  std::future<Csr> q1 = engine.submit(p, heavy_b);
+  std::future<Csr> q2 = engine.submit(p, heavy_b);
+  // The queue now holds 2 >= cap and every queued job is a multi-ms
+  // multiply; a microsecond-scale try loop cannot out-wait it. Each
+  // acceptance (if the worker slips a pickup in) refills the queue, so
+  // within 3 tries at least one must shed.
+  int sheds = 0;
+  std::vector<std::future<Csr>> accepted;
+  for (int i = 0; i < 3; ++i) {
+    auto r = engine.try_submit(p, heavy_b);
+    if (!r.has_value()) {
+      ++sheds;
+      break;
+    }
+    accepted.push_back(std::move(*r));
+  }
+  engine.drain();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(static_cast<int>(st.shed), sheds);
+  EXPECT_GT(sheds, 0) << "queue drained 3 slots before try_submit ran "
+                         "(astronomically unlikely)";
+  EXPECT_LE(st.max_queued, 2u);
+  (void)busy.get();
+  (void)q1.get();
+  (void)q2.get();
+  for (auto& f : accepted) (void)f.get();
+}
+
+TEST(Engine, TrySubmitAlwaysAcceptsWithoutACap) {
+  const Csr a = test::random_csr(20, 20, 0.2, 34);
+  auto p = make_pipeline(a, ClusterScheme::kNone);
+  ServeEngine engine({.num_workers = 1});
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < 16; ++i) {
+    auto r = engine.try_submit(p, test::random_csr(20, 3, 0.3, 400 + i));
+    ASSERT_TRUE(r.has_value());
+    futures.push_back(std::move(*r));
+  }
+  for (auto& f : futures) (void)f.get();
+  EXPECT_EQ(engine.stats().shed, 0u);
+}
+
+TEST(Engine, ShutdownWakesBlockedProducers) {
+  // A producer blocked on backpressure must fail fast when the engine stops,
+  // not deadlock. Fill the queue, block a producer thread, shut down.
+  const index_t n = 700;
+  const Csr heavy_a = test::random_csr(n, n, 0.05, 35);
+  auto p = make_pipeline(heavy_a, ClusterScheme::kNone);
+  auto engine = std::make_unique<ServeEngine>(
+      EngineOptions{.num_workers = 1, .max_batch = 1, .max_queue_depth = 1});
+  const Csr heavy_b = test::random_csr(n, 64, 0.5, 36);
+  std::future<Csr> busy = engine->submit(p, heavy_b);
+  std::future<Csr> queued = engine->submit(p, heavy_b);  // queue now full
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      (void)engine->submit(p, heavy_b);  // blocks (queue full), then throws
+    } catch (const Error&) {
+      threw = true;
+    }
+  });
+  // Give the producer a moment to park on the backpressure wait, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine->shutdown();
+  producer.join();
+  // Either it squeezed in before shutdown (worker drained a slot) or it was
+  // woken and threw; both are fine — the point is producer.join() returned.
+  (void)busy.get();
+  (void)queued.get();
+  SUCCEED() << (threw ? "producer woken by shutdown" : "producer won the race");
 }
 
 }  // namespace

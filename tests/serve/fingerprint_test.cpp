@@ -35,7 +35,7 @@ TEST(Fingerprint, DistinguishesDifferentMatrices) {
 TEST(Fingerprint, SensitiveToValueEdits) {
   const Csr a = test::random_csr(40, 40, 0.15, 5);
   Csr edited = a;
-  edited.values()[0] += 1.0;  // first entry of row 0 — always sampled
+  edited.mutable_values()[0] += 1.0;  // first entry of row 0 — always sampled
   EXPECT_NE(fingerprint(a), fingerprint(edited));
 }
 

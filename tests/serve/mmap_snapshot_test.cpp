@@ -1,0 +1,311 @@
+// Snapshot format v3 + zero-copy mmap loading (serve/snapshot.hpp).
+//
+// Covers: bit-identical products between mmap-loaded, stream-loaded and
+// freshly built pipelines; genuinely borrowed (zero-copy) storage; rejection
+// of truncated files, misaligned segment offsets, corrupted control blocks;
+// verify-on-demand checksums; registry accounting of mapped vs anonymous
+// bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/registry.hpp"
+#include "serve/snapshot.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+PipelineOptions opts(ClusterScheme s) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kOriginal;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  return o;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Locate the v3 segment directory of a single-record file: header is 40
+// bytes, record at 64 = [u64 meta_len][meta][u64 seg_count][entries...].
+struct DirLayout {
+  std::uint64_t meta_len = 0;
+  std::uint64_t seg_count = 0;
+  std::size_t entries_at = 0;  // byte offset of the first SegmentEntry
+};
+
+DirLayout dir_layout(const std::string& bytes) {
+  DirLayout d;
+  std::memcpy(&d.meta_len, bytes.data() + 64, 8);
+  std::memcpy(&d.seg_count, bytes.data() + 72 + d.meta_len, 8);
+  d.entries_at = static_cast<std::size_t>(80 + d.meta_len);
+  return d;
+}
+
+TEST(MmapSnapshot, CsrZeroCopyRoundTrip) {
+  const Csr a = test::random_csr(40, 35, 0.15, 11);
+  const std::string path = temp_path("cw_mmap_csr.cwsnap");
+  save_csr_file(path, a);
+
+  const SnapshotInfo info = read_info_file(path);
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.kind, SnapshotKind::kCsr);
+
+  const Csr loaded = load_csr_mmap(path);
+  EXPECT_TRUE(loaded == a);
+  // The whole point: the arrays BORROW the mapping, nothing was copied.
+  EXPECT_FALSE(loaded.row_ptr().owned());
+  EXPECT_FALSE(loaded.col_idx().owned());
+  EXPECT_FALSE(loaded.values().owned());
+  // Mapped pointers honour the 64-byte file alignment.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(loaded.values().data()) % 64, 0u);
+
+  // Auto-dispatch picks the mmap path for v3 files.
+  const Csr via_file = load_csr_file(path);
+  EXPECT_FALSE(via_file.row_ptr().owned());
+  EXPECT_TRUE(via_file == a);
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, EmptyAndPatternEdgeCases) {
+  for (const Csr& a :
+       {Csr(), Csr::identity(5), test::random_csr(8, 8, 0.0, 2)}) {
+    const std::string path = temp_path("cw_mmap_edge.cwsnap");
+    save_csr_file(path, a);
+    EXPECT_TRUE(load_csr_mmap(path) == a);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MmapSnapshot, PipelineProductsBitIdenticalAcrossAllLoadPaths) {
+  const Csr a = test::random_csr(48, 48, 0.12, 12);
+  const Csr b = test::random_csr(48, 8, 0.3, 13);
+  for (ClusterScheme s : {ClusterScheme::kNone, ClusterScheme::kFixed,
+                          ClusterScheme::kVariable, ClusterScheme::kHierarchical}) {
+    const Pipeline original(a, opts(s));
+    const std::string path = temp_path("cw_mmap_pipe.cwsnap");
+    save_pipeline_file(path, original);
+
+    const Pipeline mmapped = load_pipeline_mmap(path);
+    std::ifstream f(path, std::ios::binary);
+    const Pipeline copied = load_pipeline(f);  // v3 through the stream loader
+
+    // Acceptance bar: gathered products from mmap-loaded and copy-loaded
+    // pipelines are bit-identical (and match the freshly built pipeline).
+    const Csr want = original.unpermute_rows(original.multiply(b));
+    EXPECT_TRUE(mmapped.unpermute_rows(mmapped.multiply(b)) == want)
+        << to_string(s);
+    EXPECT_TRUE(copied.unpermute_rows(copied.multiply(b)) == want)
+        << to_string(s);
+    EXPECT_TRUE(mmapped.matrix() == original.matrix());
+    EXPECT_EQ(mmapped.order(), original.order());
+    EXPECT_TRUE(mmapped.multiply_square() == original.multiply_square());
+
+    // mmap path borrows; stream path owns.
+    EXPECT_FALSE(mmapped.matrix().values().owned());
+    EXPECT_TRUE(copied.matrix().values().owned());
+    if (s != ClusterScheme::kNone) {
+      ASSERT_TRUE(mmapped.clustered().has_value());
+      EXPECT_FALSE(mmapped.clustered()->values().owned());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MmapSnapshot, RowsOnlyPipelineKeepsItsMode) {
+  const Csr a = test::random_csr(12, 30, 0.2, 14);
+  const Csr b = test::random_csr(30, 7, 0.3, 15);
+  const Pipeline original =
+      Pipeline::prepare_rows(a, opts(ClusterScheme::kVariable));
+  const std::string path = temp_path("cw_mmap_rows.cwsnap");
+  save_pipeline_file(path, original);
+  const Pipeline loaded = load_pipeline_mmap(path);
+  EXPECT_EQ(loaded.mode(), PermutationMode::kRowsOnly);
+  EXPECT_TRUE(loaded.unpermute_rows(loaded.multiply(b)) ==
+              original.unpermute_rows(original.multiply(b)));
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, RejectsTruncatedFiles) {
+  const Csr a = test::random_csr(30, 30, 0.3, 16);
+  const std::string path = temp_path("cw_mmap_trunc.cwsnap");
+  save_csr_file(path, a);
+  const std::string bytes = file_bytes(path);
+  // Cut in the segment area, in the directory, and in the header.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() * 3 / 4, std::size_t{100},
+        std::size_t{20}}) {
+    write_bytes(path, bytes.substr(0, keep));
+    EXPECT_THROW((void)load_csr_mmap(path), Error) << "kept " << keep;
+    EXPECT_THROW((void)load_csr_file(path), Error) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, RejectsMisalignedSegmentOffsets) {
+  const Csr a = test::random_csr(30, 30, 0.3, 17);
+  const std::string path = temp_path("cw_mmap_misalign.cwsnap");
+  save_csr_file(path, a);
+  std::string bytes = file_bytes(path);
+  const DirLayout d = dir_layout(bytes);
+  ASSERT_EQ(d.seg_count, 3u);  // row_ptr, col_idx, values
+  // Nudge the first entry's offset off the 64-byte grid AND re-forge the
+  // control digest so only the alignment check can object.
+  bytes[d.entries_at] = static_cast<char>(bytes[d.entries_at] + 1);
+  std::uint64_t digest = io::kFnvOffsetBasis;
+  digest = io::fnv1a(digest, bytes.data() + 64,
+                     static_cast<std::size_t>(8 + d.meta_len) + 8 +
+                         static_cast<std::size_t>(d.seg_count) * 32);
+  const std::size_t digest_at = d.entries_at + d.seg_count * 32 + 4;
+  std::memcpy(bytes.data() + digest_at, &digest, 8);
+  write_bytes(path, bytes);
+  try {
+    (void)load_csr_mmap(path);
+    FAIL() << "misaligned segment loaded";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("misaligned"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, ControlBlockCorruptionAlwaysCaught) {
+  const Csr a = test::random_csr(30, 30, 0.3, 18);
+  const std::string path = temp_path("cw_mmap_ctrl.cwsnap");
+  save_csr_file(path, a);
+  std::string bytes = file_bytes(path);
+  bytes[70] = static_cast<char>(bytes[70] ^ 0x20);  // inside the metadata
+  write_bytes(path, bytes);
+  // Control digests are verified on EVERY load path, flags or not.
+  EXPECT_THROW((void)load_csr_mmap(path), Error);
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_THROW((void)load_csr(f), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, SegmentCorruptionCaughtOnDemand) {
+  Csr a = test::random_csr(24, 24, 0.3, 19);
+  const std::string path = temp_path("cw_mmap_seg.cwsnap");
+  save_csr_file(path, a);
+  std::string bytes = file_bytes(path);
+  // Flip a bit in the last stored value (the values segment ends the file).
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x01);
+  write_bytes(path, bytes);
+
+  // The default mmap load trusts segment bytes (that is the documented
+  // trade-off)...
+  const Csr tainted = load_csr_mmap(path);
+  EXPECT_FALSE(tainted == a);
+  // ...the verify-on-demand flag refuses them...
+  EXPECT_THROW((void)load_csr_mmap(path, {.verify_checksums = true}), Error);
+  // ...and the copying path always verifies.
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_THROW((void)load_csr(f), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, DeepValidateCatchesStructuralLies) {
+  const Csr a = test::random_csr(24, 24, 0.3, 20);
+  const std::string path = temp_path("cw_mmap_deep.cwsnap");
+  save_csr_file(path, a);
+  std::string bytes = file_bytes(path);
+  ASSERT_GT(a.nnz(), 4);
+  // Corrupt one column index inside the col_idx segment (second segment) to
+  // an out-of-range value, re-forging both its segment digest and the
+  // control digest: only structural validation can notice now.
+  const DirLayout d = dir_layout(bytes);
+  io::SegmentEntry entries[3];
+  std::memcpy(entries, bytes.data() + d.entries_at, sizeof(entries));
+  const index_t bad = 1000000;  // far past ncols
+  std::memcpy(bytes.data() + entries[1].offset, &bad, sizeof(bad));
+  entries[1].checksum = io::fnv1a(
+      io::kFnvOffsetBasis, bytes.data() + entries[1].offset,
+      static_cast<std::size_t>(entries[1].bytes()));
+  std::memcpy(bytes.data() + d.entries_at, entries, sizeof(entries));
+  std::uint64_t digest = io::fnv1a(
+      io::kFnvOffsetBasis, bytes.data() + 64,
+      static_cast<std::size_t>(16 + d.meta_len + d.seg_count * 32));
+  std::memcpy(bytes.data() + d.entries_at + d.seg_count * 32 + 4, &digest, 8);
+  write_bytes(path, bytes);
+
+  EXPECT_THROW((void)load_csr_mmap(path, {.deep_validate = true}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MmapSnapshot, MappingOutlivesTheLoadCallAndUnlink) {
+  // POSIX semantics: the pipeline stays usable after the file is unlinked —
+  // the mapping pins the inode. This is how fleets hot-swap snapshots.
+  const Csr a = test::random_csr(32, 32, 0.25, 21);
+  const Pipeline original(a, opts(ClusterScheme::kFixed));
+  const std::string path = temp_path("cw_mmap_unlink.cwsnap");
+  save_pipeline_file(path, original);
+  const Pipeline loaded = load_pipeline_mmap(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.multiply_square() == original.multiply_square());
+}
+
+TEST(MmapSnapshot, RegistryChargesAnonymousNotMappedBytes) {
+  const Csr a = test::random_csr(64, 64, 0.2, 22);
+  const Csr a2 = test::random_csr(64, 64, 0.2, 23);  // distinct fingerprint
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  const std::string path = temp_path("cw_mmap_registry.cwsnap");
+  save_pipeline_file(path, built);
+  auto mmapped = std::make_shared<const Pipeline>(load_pipeline_mmap(path));
+  auto owned =
+      std::make_shared<const Pipeline>(a2, opts(ClusterScheme::kFixed));
+
+  const PipelineFootprint fm = pipeline_footprint(*mmapped);
+  const PipelineFootprint fb = pipeline_footprint(built);
+  const PipelineFootprint fo = pipeline_footprint(*owned);
+  EXPECT_GT(fm.mapped_bytes, 0u);
+  EXPECT_LT(fm.anonymous_bytes, fb.anonymous_bytes);
+  EXPECT_EQ(fb.mapped_bytes, 0u);
+  // Same arrays, different residence: the mapped total can only exceed the
+  // owned one (mapped row_mask is charged at its real 8B/entry on-disk
+  // width, while owned masks keep the historical bit-packed convention).
+  EXPECT_GE(fm.total(), fb.total());
+  EXPECT_EQ(pipeline_memory_bytes(built), fb.total());
+
+  // A budget too small for an owned pipeline still admits the mmap-loaded
+  // one: the budget governs private bytes only.
+  PipelineRegistry reg(fm.anonymous_bytes + 64);
+  ASSERT_LT(fm.anonymous_bytes + 64, fo.anonymous_bytes);
+  bool admitted = false;
+  reg.insert(fingerprint(mmapped->matrix()), mmapped, &admitted);
+  EXPECT_TRUE(admitted);
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.bytes_used, fm.anonymous_bytes);
+  EXPECT_EQ(st.mapped_bytes_used, fm.mapped_bytes);
+  reg.insert(fingerprint(owned->matrix()), owned, &admitted);
+  EXPECT_FALSE(admitted);  // oversize for this budget
+  EXPECT_EQ(reg.stats().oversize_rejects, 1u);
+
+  reg.clear();
+  EXPECT_EQ(reg.stats().mapped_bytes_used, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/mmap_region.hpp"
 #include "gen/generators.hpp"
 #include "test_utils.hpp"
 
@@ -135,6 +137,76 @@ TEST(ShardSnapshot, TruncationAndWrongKindFail) {
   // And vice versa.
   std::stringstream again(bytes);
   EXPECT_THROW((void)serve::load_pipeline(again), Error);
+}
+
+TEST(ShardSnapshot, SelectiveShardLoadIsBitIdenticalToFullLoad) {
+  // The v3 offset table: loading one shard maps only the manifest and that
+  // shard's byte range, and must return exactly what the full load holds.
+  Csr a = gen_block_diag(96, 6, 0.05, 80);
+  randomize_values(a, 81);
+  const Csr b = gen_request_payload(a.nrows(), 12, 3, 82);
+  const ShardedPipeline sp =
+      make_sharded(a, 4, SplitStrategy::kBalanced, ClusterScheme::kHierarchical);
+  const std::string path = ::testing::TempDir() + "/cw_shard_selective.cwsnap";
+  save_sharded_pipeline_file(path, sp);
+
+  const ShardManifest m = read_manifest_file(path);
+  ASSERT_EQ(m.shard_ranges.size(), 4u);
+  const ShardedPipeline full = load_sharded_pipeline_file(path);
+  for (index_t s = 0; s < sp.num_shards(); ++s) {
+    const ShardLoadResult one = load_shard_file(path, s);
+    EXPECT_EQ(one.shard, s);
+    EXPECT_EQ(one.row_begin, m.block_ptr[static_cast<std::size_t>(s)]);
+    EXPECT_EQ(one.row_end, m.block_ptr[static_cast<std::size_t>(s) + 1]);
+    EXPECT_TRUE(one.pipeline->matrix() == full.shard(s)->matrix());
+    EXPECT_EQ(one.pipeline->mode(), PermutationMode::kRowsOnly);
+    // Zero-copy: the selectively loaded shard borrows its mapping.
+    if (one.pipeline->matrix().nnz() > 0)
+      EXPECT_FALSE(one.pipeline->matrix().values().owned());
+    // Bit-identical products against both the full load and the original.
+    EXPECT_TRUE(one.pipeline->unpermute_rows(one.pipeline->multiply(b)) ==
+                sp.shard(s)->unpermute_rows(sp.shard(s)->multiply(b)));
+  }
+  EXPECT_THROW((void)load_shard_file(path, 4), Error);
+  EXPECT_THROW((void)load_shard_file(path, -1), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ShardSnapshot, ManifestByteRangesTileTheFile) {
+  const Csr a = gen_grid2d(12, 12, 5);
+  const ShardedPipeline sp =
+      make_sharded(a, 3, SplitStrategy::kNaive, ClusterScheme::kFixed);
+  const std::string path = ::testing::TempDir() + "/cw_shard_ranges.cwsnap";
+  save_sharded_pipeline_file(path, sp);
+  const ShardManifest m = read_manifest_file(path);
+  ASSERT_EQ(m.shard_ranges.size(), 3u);
+  std::uint64_t prev_end = 64;  // first record offset
+  for (const ShardByteRange& rg : m.shard_ranges) {
+    EXPECT_GE(rg.offset, prev_end);
+    EXPECT_GT(rg.length, 0u);
+    EXPECT_EQ(rg.offset % 64, 0u);
+    prev_end = rg.offset + rg.length;
+  }
+  EXPECT_EQ(prev_end, MmapRegion::query_file_size(path));
+  std::remove(path.c_str());
+}
+
+TEST(ShardSnapshot, Version2ShardedFilesStillLoad) {
+  Csr a = gen_banded(40, 3, 0.7, 83);
+  randomize_values(a, 84);
+  const Csr b = gen_request_payload(a.nrows(), 8, 3, 85);
+  const ShardedPipeline sp =
+      make_sharded(a, 3, SplitStrategy::kBalanced, ClusterScheme::kFixed);
+  const std::string path = ::testing::TempDir() + "/cw_shard_v2.cwsnap";
+  save_sharded_pipeline_file(path, sp, serve::SaveOptions{.version = 2});
+  const ShardManifest m = read_manifest_file(path);
+  EXPECT_EQ(m.version, 2u);
+  EXPECT_TRUE(m.shard_ranges.empty());  // v2 has no offset table
+  const ShardedPipeline loaded = load_sharded_pipeline_file(path);
+  EXPECT_TRUE(loaded.multiply(b) == sp.multiply(b));
+  // ...but selective loading needs the v3 table.
+  EXPECT_THROW((void)load_shard_file(path, 0), Error);
+  std::remove(path.c_str());
 }
 
 TEST(ShardSnapshot, FileRoundTripWithDegenerateShards) {

@@ -4,10 +4,12 @@
 //   cwtool reorder <input> <algo> <out>    write the symmetrically permuted matrix
 //   cwtool advise  <input> [budget]        preprocessing recommendation
 //   cwtool bench   <input>                 time row-wise vs recommended setup
-//   cwtool snapshot save <input> <out.cwsnap> [algo] [scheme]
+//   cwtool snapshot save <input> <out.cwsnap> [algo] [scheme] [v2|v3]
 //                                          preprocess once, persist the pipeline
 //   cwtool snapshot info <file.cwsnap>     header + pipeline summary
-//   cwtool snapshot load <file.cwsnap>     reload and time one multiply
+//   cwtool snapshot load <file.cwsnap> [mmap|copy] [verify]
+//                                          reload and time one multiply
+//                                          (v3 defaults to zero-copy mmap)
 //   cwtool serve-bench <input> [clients] [requests] [workers]
 //                                          concurrent-engine throughput run
 //   cwtool shard plan <input> [K] [strategy]
@@ -17,6 +19,8 @@
 //   cwtool shard info <file.cwsnap>        sharded manifest summary
 //   cwtool shard multiply <file.cwsnap> [bcols] [workers]
 //                                          load + time one scatter/gather multiply
+//   cwtool shard load-shard <file.cwsnap> <k> [bcols]
+//                                          selectively map + serve one row block
 //
 // <input> is either a Matrix Market file or `dataset:<name>` from the
 // built-in suite. <algo> is one of: shuffled rcm amd nd gp hp gray rabbit
@@ -26,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -137,13 +142,21 @@ ClusterScheme parse_scheme(const std::string& s) {
   throw Error("unknown cluster scheme: " + s);
 }
 
+serve::SaveOptions parse_save_format(const std::string& s) {
+  if (s == "v2") return {.version = 2};
+  if (s == "v3") return {.version = 3};
+  throw Error("unknown snapshot format: " + s + " (expected v2 or v3)");
+}
+
 int cmd_snapshot_save(const std::string& input, const std::string& out_path,
                       int argc, char** argv) {
   const Csr a = load_input(input);
   PipelineOptions opt;
+  serve::SaveOptions save_opt;
   if (argc > 5) {
     opt.reorder = parse_algo(argv[5]);
     opt.scheme = argc > 6 ? parse_scheme(argv[6]) : ClusterScheme::kHierarchical;
+    if (argc > 7) save_opt = parse_save_format(argv[7]);
   } else {
     opt = advise(a).pipeline_options();
     std::fprintf(stderr, "using advisor setup: %s + %s\n",
@@ -153,7 +166,7 @@ int cmd_snapshot_save(const std::string& input, const std::string& out_path,
   const Pipeline p(a, opt);
   const double prep_s = t_prep.seconds();
   Timer t_save;
-  serve::save_pipeline_file(out_path, p);
+  serve::save_pipeline_file(out_path, p, save_opt);
   std::fprintf(stderr,
                "prepared %s in %.1f ms (reorder %.1f, cluster %.1f, format %.1f)\n",
                input.c_str(), prep_s * 1e3, p.stats().reorder_seconds * 1e3,
@@ -182,16 +195,34 @@ int cmd_snapshot_info(const std::string& path) {
   return 0;
 }
 
-int cmd_snapshot_load(const std::string& path) {
+int cmd_snapshot_load(const std::string& path, const std::string& mode,
+                      bool verify) {
+  const serve::SnapshotInfo info = serve::read_info_file(path);
+  serve::MmapLoadOptions mopt;
+  mopt.verify_checksums = verify;
+  mopt.deep_validate = verify;
+  const bool use_mmap = mode == "mmap" || (mode.empty() && info.version >= 3);
+  if (use_mmap && info.version < 3)
+    throw Error("snapshot: " + path + " is format v" +
+                std::to_string(info.version) + "; mmap loading requires v3");
   Timer t_load;
-  const Pipeline p = serve::load_pipeline_file(path);
+  Pipeline p = [&] {
+    if (use_mmap) return serve::load_pipeline_mmap(path, mopt);
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw Error("snapshot: cannot open " + path);
+    return serve::load_pipeline(f);
+  }();
   const double load_s = t_load.seconds();
   Timer t_mul;
-  const Csr c = p.multiply_square();
+  const Csr c = p.mode() == PermutationMode::kSymmetric
+                    ? p.multiply_square()
+                    : p.multiply(Csr::identity(p.matrix().ncols()));
   const double mul_s = t_mul.seconds();
-  std::printf("loaded pipeline    %.1f ms (vs %.1f ms preprocessing)\n",
-              load_s * 1e3, p.stats().preprocess_seconds() * 1e3);
-  std::printf("A^2 multiply       %.1f ms, %lld nnz\n", mul_s * 1e3,
+  std::printf("loaded pipeline    %.1f ms via %s%s (vs %.1f ms preprocessing)\n",
+              load_s * 1e3, use_mmap ? "mmap zero-copy" : "stream copy",
+              verify ? " + full verification" : "",
+              p.stats().preprocess_seconds() * 1e3);
+  std::printf("multiply           %.1f ms, %lld nnz\n", mul_s * 1e3,
               static_cast<long long>(c.nnz()));
   return 0;
 }
@@ -312,10 +343,40 @@ int cmd_shard_info(const std::string& path) {
   std::printf("nnz        %lld\n", static_cast<long long>(m.nnz));
   std::printf("shards     %d (%s split)\n", m.num_shards(),
               to_string(m.strategy));
-  for (index_t s = 0; s < m.num_shards(); ++s)
-    std::printf("  shard %-3d rows [%d, %d)\n", s,
+  for (index_t s = 0; s < m.num_shards(); ++s) {
+    std::printf("  shard %-3d rows [%d, %d)", s,
                 m.block_ptr[static_cast<std::size_t>(s)],
                 m.block_ptr[static_cast<std::size_t>(s) + 1]);
+    if (!m.shard_ranges.empty()) {
+      const auto& rg = m.shard_ranges[static_cast<std::size_t>(s)];
+      std::printf("  bytes [%llu, +%llu)",
+                  static_cast<unsigned long long>(rg.offset),
+                  static_cast<unsigned long long>(rg.length));
+    }
+    std::printf("\n");
+  }
+  if (!m.shard_ranges.empty())
+    std::printf("selective  yes (v3 offset table; `shard load-shard` maps "
+                "one block)\n");
+  return 0;
+}
+
+int cmd_shard_load_shard(const std::string& path, index_t k, index_t bcols) {
+  Timer t_load;
+  const shard::ShardLoadResult r = shard::load_shard_file(path, k);
+  const double load_s = t_load.seconds();
+  const Csr b =
+      gen_request_payload(r.pipeline->matrix().ncols(), bcols, 3, 4243);
+  Timer t_mul;
+  const Csr c = r.pipeline->unpermute_rows(r.pipeline->multiply(b));
+  const double mul_s = t_mul.seconds();
+  std::printf("shard %d            rows [%d, %d) of the plan\n", r.shard,
+              r.row_begin, r.row_end);
+  std::printf("selective load     %.2f ms (manifest + one shard record "
+              "mapped; other blocks untouched)\n",
+              load_s * 1e3);
+  std::printf("block multiply     %.2f ms, %lld nnz\n", mul_s * 1e3,
+              static_cast<long long>(c.nnz()));
   return 0;
 }
 
@@ -353,13 +414,14 @@ int usage() {
                "  cwtool reorder <input> <algo> <out.mtx>\n"
                "  cwtool advise  <input> [single|tens|thousands]\n"
                "  cwtool bench   <input>\n"
-               "  cwtool snapshot save <input> <out.cwsnap> [algo] [scheme]\n"
+               "  cwtool snapshot save <input> <out.cwsnap> [algo] [scheme] [v2|v3]\n"
                "  cwtool snapshot info <file.cwsnap>\n"
-               "  cwtool snapshot load <file.cwsnap>\n"
+               "  cwtool snapshot load <file.cwsnap> [mmap|copy] [verify]\n"
                "  cwtool serve-bench <input> [clients] [requests] [workers]\n"
                "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
                "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
                "  cwtool shard info <file.cwsnap>\n"
+               "  cwtool shard load-shard <file.cwsnap> <k> [bcols]\n"
                "  cwtool shard multiply <file.cwsnap> [bcols] [workers]\n"
                "<input> = file.mtx | dataset:<name>\n");
   return 2;
@@ -381,7 +443,17 @@ int main(int argc, char** argv) {
       if (input == "save" && argc >= 5)
         return cmd_snapshot_save(argv[3], argv[4], argc, argv);
       if (input == "info" && argc >= 4) return cmd_snapshot_info(argv[3]);
-      if (input == "load" && argc >= 4) return cmd_snapshot_load(argv[3]);
+      if (input == "load" && argc >= 4) {
+        std::string mode;
+        bool verify = false;
+        for (int i = 4; i < argc; ++i) {
+          const std::string arg = argv[i];
+          if (arg == "mmap" || arg == "copy") mode = arg;
+          else if (arg == "verify") verify = true;
+          else return usage();
+        }
+        return cmd_snapshot_load(argv[3], mode, verify);
+      }
       return usage();
     }
     if (cmd == "shard") {
@@ -399,6 +471,12 @@ int main(int argc, char** argv) {
                               argc > 7 ? argv[7] : "hierarchical");
       }
       if (input == "info" && argc >= 4) return cmd_shard_info(argv[3]);
+      if (input == "load-shard" && argc >= 5) {
+        const index_t k = std::atoi(argv[4]);
+        const index_t bcols = argc > 5 ? std::atoi(argv[5]) : 16;
+        if (k < 0 || bcols < 1) return usage();
+        return cmd_shard_load_shard(argv[3], k, bcols);
+      }
       if (input == "multiply" && argc >= 4) {
         const index_t bcols = argc > 4 ? std::atoi(argv[4]) : 32;
         const int workers = argc > 5 ? std::atoi(argv[5]) : 4;
