@@ -4,10 +4,12 @@
 //
 //   ./serve_throughput [dataset] [requests]     (default: conf5, 64)
 //
-// Three experiments:
+// Four experiments:
 //   1. snapshot economics — preprocess vs save vs load wall time;
 //   2. engine scaling — requests/s for 1..max workers at 4 client threads;
-//   3. registry amortization — get_or_build hit path vs rebuild per request.
+//   3. batch-window sweep — batched (column-stacked B) vs unbatched serving
+//      at 8 concurrent same-A clients, sweeping the latency budget;
+//   4. registry amortization — get_or_build hit path vs rebuild per request.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -56,6 +58,57 @@ void run_engine(const std::shared_ptr<const Pipeline>& p,
   json->add({"engine_scaling",
              {W::param("workers", workers), W::param("clients", clients),
               W::param("requests", requests)},
+             wall / requests * 1e9, 0, 0});
+}
+
+void run_batch_sweep(const std::shared_ptr<const Pipeline>& p,
+                     const std::vector<Csr>& payloads, int workers, int clients,
+                     int bcols, long window_us, bench::JsonBenchWriter* json) {
+  serve::EngineOptions opt;
+  opt.num_workers = workers;
+  opt.max_batch = 16;
+  opt.batch_window = std::chrono::microseconds(window_us);
+  serve::ServeEngine engine(opt);
+  const int requests = static_cast<int>(payloads.size());
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  engine.drain();
+  const double wall = t.seconds();
+  const serve::EngineStats st = engine.stats();
+  // Window hit rate: share of requests that actually rode a fused multiply.
+  const double hit_rate =
+      st.completed > 0
+          ? static_cast<double>(st.stacked_requests) / static_cast<double>(st.completed)
+          : 0;
+  std::printf(
+      "  %2d-col B  window %6ld us  %8.1f ms  %7.0f req/s  p99 %7.2f ms  "
+      "%llu fused (%llu reqs, %llu cols, %.0f%% hit)\n",
+      bcols, window_us, wall * 1e3, requests / wall, st.latency_p99_ms,
+      static_cast<unsigned long long>(st.stacked_batches),
+      static_cast<unsigned long long>(st.stacked_requests),
+      static_cast<unsigned long long>(st.fused_columns), hit_rate * 100);
+  using W = bench::JsonBenchWriter;
+  json->add({"batch_window_sweep",
+             {W::param("window_us", window_us), W::param("clients", clients),
+              W::param("workers", workers), W::param("requests", requests),
+              W::param("bcols", bcols),
+              W::param("stacked_batches",
+                       static_cast<long long>(st.stacked_batches)),
+              W::param("stacked_requests",
+                       static_cast<long long>(st.stacked_requests)),
+              W::param("fused_columns",
+                       static_cast<long long>(st.fused_columns)),
+              W::param("window_timeouts",
+                       static_cast<long long>(st.window_timeouts)),
+              W::param("window_hit_rate_pct",
+                       static_cast<long long>(hit_rate * 100))},
              wall / requests * 1e9, 0, 0});
 }
 
@@ -110,7 +163,25 @@ int main(int argc, char** argv) {
   for (int w = 1; w <= max_workers; w *= 2)
     run_engine(p, payloads, w, 4, &json);
 
-  // --- 3. registry amortization --------------------------------------------
+  // --- 3. batch-window sweep: batched vs unbatched same-A serving -----------
+  // >= 8 concurrent clients against one prepared A is exactly the scenario
+  // the second-level scheduler targets: stacking their tall-skinny Bs
+  // column-wise amortizes the A traversal (and the kernel launch) across the
+  // whole pickup. The win grows as B gets skinnier; wide Bs cross over once
+  // the fused panel's accumulator working set falls out of cache — which is
+  // what EngineOptions::max_stacked_cols caps in production.
+  std::printf("\nbatch-window sweep (%d requests, 8 clients, 2 workers)\n",
+              requests * 2);
+  for (const int bcols : {4, 32}) {
+    std::vector<Csr> sweep_payloads;
+    for (int i = 0; i < requests * 2; ++i)
+      sweep_payloads.push_back(gen_request_payload(
+          a.nrows(), bcols, 2, 9000 + static_cast<std::uint64_t>(i)));
+    for (const long window_us : {0L, 200L, 1000L})
+      run_batch_sweep(p, sweep_payloads, 2, 8, bcols, window_us, &json);
+  }
+
+  // --- 4. registry amortization --------------------------------------------
   serve::PipelineRegistry registry(std::size_t{1} << 30);
   const serve::Fingerprint key = serve::fingerprint(a);
   auto build = [&] {

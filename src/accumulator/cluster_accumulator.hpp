@@ -28,9 +28,16 @@ class ClusterAccumulator {
   void configure(index_t lanes) {
     lanes_ = std::max<index_t>(lanes, 1);
     if (capacity_ == 0) rehash_(kMinCapacity);
-    vals_.assign(capacity_ * static_cast<std::size_t>(lanes_), 0.0);
+    // slot_for() zero-fills a lane the moment its key is inserted, so stale
+    // values from earlier clusters are unreachable — only the backing
+    // array's size must track the lane count. A full O(capacity × lanes)
+    // clear here would tax every cluster with the table growth caused by
+    // the widest row of the run (column-stacked panels especially).
+    if (vals_.size() < capacity_ * static_cast<std::size_t>(lanes_))
+      vals_.resize(capacity_ * static_cast<std::size_t>(lanes_));
     for (std::uint32_t slot : occupied_) keys_[slot] = kEmpty;
     occupied_.clear();
+    sorted_ = true;
   }
 
   [[nodiscard]] index_t lanes() const { return lanes_; }

@@ -49,8 +49,12 @@ class SortAccumulator {
  private:
   void combine_() {
     if (combined_) return;
-    std::sort(buf_.begin(), buf_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Stable: duplicate keys must be summed in insertion order, so that a
+    // column's value is independent of which other columns share the row —
+    // the invariant the stacked-panel path (spgemm/stacked.hpp) relies on
+    // for bit-identity with per-request multiplies.
+    std::stable_sort(buf_.begin(), buf_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
     std::size_t out = 0;
     for (std::size_t i = 0; i < buf_.size(); ++i) {
       if (out > 0 && buf_[out - 1].first == buf_[i].first) {

@@ -148,6 +148,18 @@ Csr Pipeline::multiply(const Csr& b, SpgemmStats* kernel_stats) const {
   return spgemm(a_, b_perm, opt_.accumulator, kernel_stats);
 }
 
+std::vector<Csr> Pipeline::multiply_stacked(const std::vector<const Csr*>& bs,
+                                            SpgemmStats* kernel_stats) const {
+  if (bs.empty()) return {};
+  // Row permutation (multiply's symmetric-mode internal step) commutes with
+  // column stacking, so stacking the callers' Bs first and running the
+  // ordinary multiply is exactly the per-request computation — B rows are
+  // permuted once for the whole panel instead of once per request.
+  const ColumnStack stack = stack_columns(bs);
+  const Csr c = multiply(stack.panel, kernel_stats);
+  return split_columns(c, stack.offsets);
+}
+
 Csr Pipeline::unpermute_rows(const Csr& c) const {
   return c.permute_rows(inv_order_);
 }

@@ -20,6 +20,7 @@
 #include "matrix/csr_cluster.hpp"
 #include "reorder/reorder.hpp"
 #include "spgemm/spgemm.hpp"
+#include "spgemm/stacked.hpp"
 
 namespace cw {
 
@@ -137,6 +138,17 @@ class Pipeline {
   /// Either way the result's rows are in the preprocessed order (use
   /// unpermute_rows to go back).
   [[nodiscard]] Csr multiply(const Csr& b, SpgemmStats* kernel_stats = nullptr) const;
+
+  /// Batched multiply: C_k = A' × B_k for every request in one kernel launch.
+  /// The Bs (which must share A's column count as their row count; per-request
+  /// column counts are free) are gathered into one column-stacked panel, the
+  /// panel is multiplied once, and the product's column slices are scattered
+  /// back out — each returned product is bit-identical to multiply(*bs[k]).
+  /// This is the serving engine's second-level batching primitive
+  /// (serve/engine.hpp, EngineOptions::batch_window).
+  [[nodiscard]] std::vector<Csr> multiply_stacked(
+      const std::vector<const Csr*>& bs,
+      SpgemmStats* kernel_stats = nullptr) const;
 
   /// Undo the row permutation of a product computed in preprocessed space.
   [[nodiscard]] Csr unpermute_rows(const Csr& c) const;

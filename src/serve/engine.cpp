@@ -83,12 +83,19 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
     Group& group = groups_[key];
     if (!group.pipeline) group.pipeline = std::move(pipeline);
     // A group enters the round-robin only when it transitions empty→pending;
-    // a worker re-queues it after a pickup if jobs remain.
+    // a worker re-queues it after a pickup if jobs remain. A group whose
+    // batch window is open is owned by a parked worker instead: it is never
+    // in ready_ (jobs non-empty), and the arrival is signalled to the owner
+    // so it can re-check the max_batch cutoff.
     if (group.jobs.empty()) ready_.push_back(key);
     group.jobs.push_back(std::move(job));
     ++submitted_;
     ++queued_;
     if (queued_ > max_queued_) max_queued_ = queued_;
+    // Wake every parked window on any arrival: the owner of this group's
+    // window re-checks max_batch; other windows re-check whether they must
+    // yield to newly-ready groups or force-close at the queue cap.
+    if (open_windows_ > 0) window_cv_.notify_all();
   }
   work_cv_.notify_one();
   return result;
@@ -102,6 +109,14 @@ void ServeEngine::drain() {
   });
 }
 
+void ServeEngine::close_batch_windows() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++window_epoch_;
+  }
+  window_cv_.notify_all();
+}
+
 void ServeEngine::shutdown() {
   drain();
   {
@@ -110,7 +125,8 @@ void ServeEngine::shutdown() {
     stopping_ = true;
   }
   work_cv_.notify_all();
-  space_cv_.notify_all();  // wake any producer blocked on backpressure
+  space_cv_.notify_all();   // wake any producer blocked on backpressure
+  window_cv_.notify_all();  // wake any worker parked in a batch window
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -125,6 +141,15 @@ EngineStats ServeEngine::stats() const {
   s.max_queued = max_queued_;
   s.batches = batches_;
   s.coalesced = coalesced_;
+  s.stacked_batches = stacked_batches_;
+  s.stacked_requests = stacked_requests_;
+  s.fused_columns = fused_columns_;
+  s.windows_opened = windows_opened_;
+  s.window_timeouts = window_timeouts_;
+  s.window_filled = window_filled_;
+  s.window_forced = window_forced_;
+  s.window_yielded = window_yielded_;
+  s.open_windows = open_windows_;
   s.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_).count();
   s.busy_seconds = busy_seconds_;
@@ -140,6 +165,49 @@ EngineStats ServeEngine::stats() const {
   return s;
 }
 
+void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
+                                     Group& group) {
+  const Clock::time_point deadline = Clock::now() + opt_.batch_window;
+  const std::uint64_t epoch = window_epoch_;
+  ++open_windows_;
+  ++windows_opened_;
+  for (;;) {
+    if (group.jobs.size() >= static_cast<std::size_t>(opt_.max_batch)) {
+      ++window_filled_;  // max_batch cutoff: no point waiting further
+      break;
+    }
+    if (stopping_ || window_epoch_ != epoch) {
+      ++window_forced_;  // close_batch_windows() hook or shutdown
+      break;
+    }
+    if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
+      // Backpressure has the queue at the cap: every submit() is parked on
+      // space_cv_ and every try_submit() sheds, so no arrival can join this
+      // window — waiting out the budget would be pure dead time.
+      ++window_forced_;
+      break;
+    }
+    if (!ready_.empty() && idle_workers_ == 0) {
+      // Another pipeline's requests are waiting and every other worker is
+      // parked (in a window) or busy: holding this window open would tax a
+      // different group's latency, which the budget never licenses. Flush
+      // now and let this worker serve the ready queue.
+      ++window_yielded_;
+      break;
+    }
+    if (window_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // An arrival can race the deadline: classify the close by what the
+      // window actually gathered, not by which wakeup came last.
+      if (group.jobs.size() >= static_cast<std::size_t>(opt_.max_batch))
+        ++window_filled_;
+      else
+        ++window_timeouts_;
+      break;
+    }
+  }
+  --open_windows_;
+}
+
 void ServeEngine::worker_loop_() {
   // The nthreads ICV is per OS thread, so capping it here budgets every
   // batch this worker will ever run without touching the other workers or
@@ -150,12 +218,22 @@ void ServeEngine::worker_loop_() {
     std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
       work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      --idle_workers_;
       if (ready_.empty()) return;  // stopping, queue fully drained
       const Pipeline* key = ready_.front();
       ready_.pop_front();
       Group& group = groups_.at(key);
       pipeline = group.pipeline;
+      // Second-level scheduler: an under-filled pickup holds the group's
+      // batch window open, trading up to batch_window of latency for more
+      // same-A arrivals to stack. The group is out of ready_ the whole time,
+      // so this worker owns it; unordered_map references are node-stable, so
+      // `group` survives other groups' insertions while the lock is dropped.
+      if (opt_.batch_window.count() > 0 && !stopping_ &&
+          group.jobs.size() < static_cast<std::size_t>(opt_.max_batch))
+        wait_batch_window_(lock, group);
       const auto take = std::min<std::size_t>(
           group.jobs.size(), static_cast<std::size_t>(opt_.max_batch));
       batch.reserve(take);
@@ -165,6 +243,12 @@ void ServeEngine::worker_loop_() {
       }
       if (!group.jobs.empty()) {
         ready_.push_back(key);  // round-robin re-queue
+        // Leftovers exist only when arrivals outran max_batch — and if they
+        // landed during this worker's batch window, their enqueue-time
+        // notifications were consumed by idle workers that found ready_
+        // empty (the group was window-owned). Re-signal, or an idle worker
+        // sleeps through the re-queued work.
+        work_cv_.notify_one();
       } else {
         // Drop the empty group so the map does not accumulate one slot per
         // pipeline ever served (we hold our own shared_ptr for the batch).
@@ -172,6 +256,13 @@ void ServeEngine::worker_loop_() {
       }
       queued_ -= batch.size();
       in_flight_ += batch.size();
+      // This pickup may have consumed the last idle worker while groups
+      // remain in ready_ (several arrivals raced one idle worker, or the
+      // round-robin re-queue above left work behind): parked windows must
+      // re-check their yield condition now, not at an arrival that may
+      // never come.
+      if (open_windows_ > 0 && !ready_.empty() && idle_workers_ == 0)
+        window_cv_.notify_all();
     }
     if (opt_.max_queue_depth > 0) space_cv_.notify_all();
 
@@ -182,9 +273,61 @@ void ServeEngine::worker_loop_() {
     };
     std::uint64_t ok = 0, bad = 0;
     std::vector<Outcome> outcomes(batch.size());
-    std::vector<double> done_ms;
-    done_ms.reserve(batch.size());
+    std::vector<double> done_ms(batch.size(), 0.0);
+
+    // Fused stacked multiply: column-stack every compatible B (right row
+    // count, within the stacked-column cap) into one panel and run a single
+    // kernel launch for all of them — bit-identical per slice to the
+    // per-request path. Incompatible or oversized requests simply stay
+    // unfulfilled here and take the per-request loop below (where a wrong
+    // row count surfaces as that request's own error, exactly as before).
+    std::uint64_t stacked_batches = 0, stacked_requests = 0, fused_cols = 0;
+    if (opt_.batch_window.count() > 0 && batch.size() >= 2) {
+      const index_t want_rows = pipeline->matrix().ncols();
+      std::vector<std::size_t> stackable;
+      std::int64_t total_cols = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Csr& b = *batch[i].b;
+        if (b.nrows() != want_rows) continue;
+        if (opt_.max_stacked_cols > 0 &&
+            total_cols + b.ncols() > opt_.max_stacked_cols)
+          continue;
+        stackable.push_back(i);
+        total_cols += b.ncols();
+      }
+      if (stackable.size() >= 2) {
+        std::vector<const Csr*> bs;
+        bs.reserve(stackable.size());
+        for (const std::size_t i : stackable) bs.push_back(batch[i].b.get());
+        try {
+          std::vector<Csr> products = pipeline->multiply_stacked(bs);
+          // Unpermuting the slice == slicing the unpermuted panel: row
+          // permutations commute with column selection, so this matches the
+          // per-request path bit for bit. Finish every slice before
+          // committing any outcome, so a mid-loop throw leaves the whole
+          // fused attempt unfulfilled and the fallback below serves it.
+          if (opt_.unpermute_results)
+            for (Csr& c : products) c = pipeline->unpermute_rows(c);
+          for (std::size_t j = 0; j < stackable.size(); ++j) {
+            outcomes[stackable[j]].value = std::move(products[j]);
+            ++ok;
+          }
+          const Clock::time_point fused_done = Clock::now();
+          for (const std::size_t i : stackable)
+            done_ms[i] = ms_between(batch[i].enqueued, fused_done);
+          stacked_batches = 1;
+          stacked_requests = stackable.size();
+          fused_cols = static_cast<std::uint64_t>(total_cols);
+        } catch (...) {
+          // Fused path failed as a whole (e.g. panel allocation): fall back
+          // to per-request multiplies so one request's cost cannot take the
+          // others down with it.
+        }
+      }
+    }
+
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (outcomes[i].value.has_value()) continue;  // fulfilled by the panel
       try {
         Csr c = pipeline->multiply(*batch[i].b);
         if (opt_.unpermute_results) c = pipeline->unpermute_rows(c);
@@ -194,7 +337,7 @@ void ServeEngine::worker_loop_() {
         outcomes[i].error = std::current_exception();
         ++bad;
       }
-      done_ms.push_back(ms_between(batch[i].enqueued, Clock::now()));
+      done_ms[i] = ms_between(batch[i].enqueued, Clock::now());
     }
     const double busy =
         std::chrono::duration<double>(Clock::now() - batch_start).count();
@@ -208,6 +351,9 @@ void ServeEngine::worker_loop_() {
       failed_ += bad;
       ++batches_;
       if (batch.size() > 1) coalesced_ += batch.size();
+      stacked_batches_ += stacked_batches;
+      stacked_requests_ += stacked_requests;
+      fused_columns_ += fused_cols;
       busy_seconds_ += busy;
       for (const double ms : done_ms) latencies_.record(ms);
       in_flight_ -= batch.size();

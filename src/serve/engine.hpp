@@ -8,6 +8,16 @@
 // itself, lifted to the request level). Groups are scheduled round-robin so
 // one hot matrix cannot starve the others.
 //
+// A second-level scheduler batches *B* matrices too: when
+// EngineOptions::batch_window is non-zero, a worker that picks up a group
+// with fewer than max_batch pending requests holds a *batch window* open —
+// waiting up to the window (a latency budget) for more same-A arrivals —
+// then column-stacks the compatible Bs into one SpMM-shaped panel, runs one
+// fused multiply (spgemm/stacked.hpp), and splits the product back into
+// per-request futures. Stacked results are bit-identical to per-request
+// multiplies; incompatible (wrong row count) or oversized (max_stacked_cols)
+// requests fall back to the per-request path within the same pickup.
+//
 // Results are delivered through std::future; by default the engine
 // unpermutes product rows back to the caller's original index space, so
 // clients never see the preprocessing permutation. Latency (enqueue →
@@ -46,6 +56,19 @@ struct EngineOptions {
   int omp_threads_per_worker = 0;
   /// Return products with rows in the original (pre-reordering) index space.
   bool unpermute_results = true;
+  /// Latency budget for second-level request batching. 0 = disabled (today's
+  /// behaviour: every pickup runs per-request multiplies immediately). When
+  /// non-zero, a worker whose pickup finds fewer than max_batch pending
+  /// requests keeps the group's window open for up to this long, waiting for
+  /// more same-A arrivals; the window closes early when max_batch requests
+  /// have gathered. Everything batched inside one window is column-stacked
+  /// into a single fused multiply, so the knob trades per-request latency
+  /// (at most one window) for kernel-launch amortization under concurrency.
+  std::chrono::microseconds batch_window{0};
+  /// Cap on a fused panel's total stacked columns (and on any single
+  /// request's columns to be stacked at all). 0 = unlimited. Requests beyond
+  /// the cap run on the per-request path of the same pickup.
+  index_t max_stacked_cols = 0;
   /// Backpressure: max requests waiting in the queue (not yet picked up by a
   /// worker). 0 = unbounded (trusted callers only). When full, submit()
   /// BLOCKS the caller until a worker drains below the cap, and try_submit()
@@ -70,6 +93,28 @@ struct EngineStats {
   /// Requests that shared their batch with at least one other request —
   /// the coalescing win counter.
   std::uint64_t coalesced = 0;
+  /// Fused column-stacked multiplies run (each replaced >= 2 kernel
+  /// launches).
+  std::uint64_t stacked_batches = 0;
+  /// Requests fulfilled from a fused multiply — the stacking win counter.
+  std::uint64_t stacked_requests = 0;
+  /// Total stacked-panel columns across all fused multiplies.
+  std::uint64_t fused_columns = 0;
+  /// Batch windows opened (pickups that waited for more arrivals).
+  std::uint64_t windows_opened = 0;
+  /// Windows that closed on their latency-budget deadline.
+  std::uint64_t window_timeouts = 0;
+  /// Windows that closed early because max_batch requests gathered.
+  std::uint64_t window_filled = 0;
+  /// Windows force-closed (close_batch_windows() test hook, shutdown, or
+  /// backpressure at the queue cap making further arrivals impossible).
+  std::uint64_t window_forced = 0;
+  /// Windows closed early to serve another pipeline's pending work when no
+  /// idle worker was available to take it — one group's latency budget is
+  /// never allowed to tax a different group's latency.
+  std::uint64_t window_yielded = 0;
+  /// Windows currently open (gauge, not a counter).
+  std::uint64_t open_windows = 0;
   double elapsed_seconds = 0;  // since engine construction
   double busy_seconds = 0;     // summed worker compute time
   double throughput_rps = 0;   // completed / elapsed
@@ -111,6 +156,13 @@ class ServeEngine {
   /// Block until every submitted request has completed.
   void drain();
 
+  /// Force every open batch window to flush with whatever it has gathered,
+  /// without waiting out its latency budget. Deterministic-test hook (the
+  /// batch-window suite drives the scheduler's wait/flush logic with this
+  /// instead of real sleeps); harmless in production (a no-op when no window
+  /// is open).
+  void close_batch_windows();
+
   /// drain(), then stop and join the workers. Further submits throw.
   /// Idempotent; the destructor calls it.
   void shutdown();
@@ -125,12 +177,21 @@ class ServeEngine {
     std::promise<Csr> result;
     Clock::time_point enqueued;
   };
+  // A group whose batch window a worker is holding open is owned by that
+  // worker: it stays out of ready_ (jobs non-empty), and enqueue_ wakes all
+  // parked windows (window_cv_, gated on open_windows_) so the owner can
+  // re-check max_batch and other windows their yield/cap conditions.
   struct Group {
     std::shared_ptr<const Pipeline> pipeline;
     std::deque<Job> jobs;
   };
 
   void worker_loop_();
+
+  /// Batch-window wait (mu_ held): parks until max_batch requests gathered,
+  /// the latency budget expires, or the window is force-closed. Updates the
+  /// window counters.
+  void wait_batch_window_(std::unique_lock<std::mutex>& lock, Group& group);
 
   /// Shared enqueue body. `block` selects submit()'s blocking behaviour over
   /// try_submit()'s shedding; returns nullopt only when shedding.
@@ -145,15 +206,22 @@ class ServeEngine {
   std::condition_variable work_cv_;   // signalled when ready_ gains a group
   std::condition_variable idle_cv_;   // signalled when the engine goes idle
   std::condition_variable space_cv_;  // signalled when the queue drains
+  std::condition_variable window_cv_;  // arrivals into / closes of open windows
   std::unordered_map<const Pipeline*, Group> groups_;
   std::deque<const Pipeline*> ready_;  // round-robin order; one slot per group
   std::size_t queued_ = 0;    // jobs waiting in groups_ (not yet picked up)
   std::size_t in_flight_ = 0;
+  std::size_t open_windows_ = 0;
+  std::size_t idle_workers_ = 0;  // workers parked on work_cv_ (not windows)
+  std::uint64_t window_epoch_ = 0;  // bumped to force-close open windows
   bool stopping_ = false;
 
   // All guarded by mu_.
   std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, shed_ = 0,
-                max_queued_ = 0, batches_ = 0, coalesced_ = 0;
+                max_queued_ = 0, batches_ = 0, coalesced_ = 0,
+                stacked_batches_ = 0, stacked_requests_ = 0, fused_columns_ = 0,
+                windows_opened_ = 0, window_timeouts_ = 0, window_filled_ = 0,
+                window_forced_ = 0, window_yielded_ = 0;
   double busy_seconds_ = 0;
   LatencyRecorder latencies_;
 

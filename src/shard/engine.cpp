@@ -27,6 +27,8 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
   serve::EngineOptions eopt;
   eopt.num_workers = opt_.num_workers;
   eopt.max_batch = opt_.max_batch;
+  eopt.batch_window = opt_.batch_window;
+  eopt.max_stacked_cols = opt_.max_stacked_cols;
   // Shard results are gathered in block-local order, so the inner engine
   // performs the per-shard unpermute.
   eopt.unpermute_results = true;

@@ -41,6 +41,15 @@ struct ShardedEngineOptions {
   /// Max shard sub-requests coalesced per worker pickup (the inner engine
   /// groups them by shard pipeline).
   index_t max_batch = 8;
+  /// Second-level batching latency budget, forwarded to the inner engine
+  /// (serve::EngineOptions::batch_window): sub-requests of *different*
+  /// sharded requests that hit the same shard inside the window are
+  /// column-stacked into one fused multiply per shard — stacking composes
+  /// with scatter/gather, and results stay bit-identical. 0 = disabled.
+  std::chrono::microseconds batch_window{0};
+  /// Stacked-column cap per fused shard multiply (see
+  /// serve::EngineOptions::max_stacked_cols). 0 = unlimited.
+  index_t max_stacked_cols = 0;
   /// Latency samples retained for the percentile report.
   std::size_t latency_window = 4096;
 };
@@ -82,8 +91,12 @@ class ShardedEngine {
 
   [[nodiscard]] ShardedEngineStats stats() const;
 
-  /// Inner shard-multiply engine counters (batching, coalescing, …).
+  /// Inner shard-multiply engine counters (batching, coalescing, stacking…).
   [[nodiscard]] serve::EngineStats shard_engine_stats() const;
+
+  /// Force the inner engine's open batch windows to flush immediately —
+  /// deterministic-test hook (see serve::ServeEngine::close_batch_windows).
+  void close_batch_windows() { shard_engine_->close_batch_windows(); }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,127 @@
+#include "spgemm/stacked.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cw {
+
+ColumnStack stack_columns(const std::vector<const Csr*>& bs) {
+  CW_CHECK_MSG(!bs.empty(), "stack_columns: empty request list");
+  for (const Csr* b : bs)
+    CW_CHECK_MSG(b != nullptr, "stack_columns: null request matrix");
+  const index_t nrows = bs[0]->nrows();
+
+  ColumnStack out;
+  out.offsets.resize(bs.size() + 1);
+  out.offsets[0] = 0;
+  std::int64_t total_cols = 0;
+  offset_t total_nnz = 0;
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    CW_CHECK_MSG(bs[k]->nrows() == nrows,
+                 "stack_columns: request " << k << " has " << bs[k]->nrows()
+                                           << " rows, expected " << nrows);
+    total_cols += bs[k]->ncols();
+    CW_CHECK_MSG(total_cols <= std::numeric_limits<index_t>::max(),
+                 "stack_columns: stacked panel exceeds the index space");
+    out.offsets[k + 1] = static_cast<index_t>(total_cols);
+    total_nnz += bs[k]->nnz();
+  }
+
+  // Row r of the panel concatenates row r of every request in stack order;
+  // each request's columns are already sorted and the slices ascend, so the
+  // concatenation preserves the CSR sorted-row invariant.
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(nrows) + 1, 0);
+  for (const Csr* b : bs)
+    for (index_t r = 0; r < nrows; ++r)
+      row_ptr[static_cast<std::size_t>(r) + 1] += b->row_nnz(r);
+  for (index_t r = 0; r < nrows; ++r)
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+
+  std::vector<index_t> cols(static_cast<std::size_t>(total_nnz));
+  std::vector<value_t> vals(static_cast<std::size_t>(total_nnz));
+  for (index_t r = 0; r < nrows; ++r) {
+    std::size_t dst = static_cast<std::size_t>(row_ptr[r]);
+    for (std::size_t k = 0; k < bs.size(); ++k) {
+      const index_t off = out.offsets[k];
+      const auto rc = bs[k]->row_cols(r);
+      const auto rv = bs[k]->row_vals(r);
+      for (std::size_t t = 0; t < rc.size(); ++t, ++dst) {
+        cols[dst] = rc[t] + off;
+        vals[dst] = rv[t];
+      }
+    }
+  }
+  out.panel = Csr(nrows, static_cast<index_t>(total_cols), std::move(row_ptr),
+                  std::move(cols), std::move(vals));
+  return out;
+}
+
+std::vector<Csr> split_columns(const Csr& c,
+                               const std::vector<index_t>& offsets) {
+  CW_CHECK_MSG(offsets.size() >= 2 && offsets.front() == 0 &&
+                   offsets.back() == c.ncols(),
+               "split_columns: offsets must cover [0, ncols]");
+  const std::size_t num = offsets.size() - 1;
+  for (std::size_t k = 0; k < num; ++k)
+    CW_CHECK_MSG(offsets[k] <= offsets[k + 1],
+                 "split_columns: offsets must be non-decreasing");
+  const index_t nrows = c.nrows();
+
+  // Count each slice's per-row nonzeros. Rows are sorted, so a slice's
+  // entries are contiguous within a row and one forward walk buckets them.
+  std::vector<std::vector<offset_t>> row_ptrs(num);
+  for (std::size_t k = 0; k < num; ++k)
+    row_ptrs[k].assign(static_cast<std::size_t>(nrows) + 1, 0);
+  for (index_t r = 0; r < nrows; ++r) {
+    std::size_t k = 0;
+    for (const index_t col : c.row_cols(r)) {
+      while (col >= offsets[k + 1]) ++k;
+      ++row_ptrs[k][static_cast<std::size_t>(r) + 1];
+    }
+  }
+  std::vector<std::vector<index_t>> cols(num);
+  std::vector<std::vector<value_t>> vals(num);
+  for (std::size_t k = 0; k < num; ++k) {
+    for (index_t r = 0; r < nrows; ++r)
+      row_ptrs[k][static_cast<std::size_t>(r) + 1] +=
+          row_ptrs[k][static_cast<std::size_t>(r)];
+    cols[k].resize(static_cast<std::size_t>(row_ptrs[k].back()));
+    vals[k].resize(static_cast<std::size_t>(row_ptrs[k].back()));
+  }
+
+  std::vector<offset_t> cursor(num);
+  for (std::size_t k = 0; k < num; ++k) cursor[k] = 0;
+  for (index_t r = 0; r < nrows; ++r) {
+    std::size_t k = 0;
+    const auto rc = c.row_cols(r);
+    const auto rv = c.row_vals(r);
+    for (std::size_t t = 0; t < rc.size(); ++t) {
+      while (rc[t] >= offsets[k + 1]) ++k;
+      const auto dst = static_cast<std::size_t>(cursor[k]++);
+      cols[k][dst] = rc[t] - offsets[k];
+      vals[k][dst] = rv[t];
+    }
+  }
+
+  std::vector<Csr> out;
+  out.reserve(num);
+  for (std::size_t k = 0; k < num; ++k) {
+    out.emplace_back(nrows, offsets[k + 1] - offsets[k],
+                     std::move(row_ptrs[k]), std::move(cols[k]),
+                     std::move(vals[k]));
+  }
+  return out;
+}
+
+std::vector<Csr> stacked_spgemm(const Csr& a, const std::vector<const Csr*>& bs,
+                                Accumulator acc, SpgemmStats* stats) {
+  if (bs.empty()) return {};
+  const ColumnStack stack = stack_columns(bs);
+  const Csr c = spgemm(a, stack.panel, acc, stats);
+  return split_columns(c, stack.offsets);
+}
+
+}  // namespace cw

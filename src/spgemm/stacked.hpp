@@ -1,0 +1,51 @@
+// Column-stacked panel multiply — the serving layer's second amortization
+// level (after same-A request coalescing): K concurrent requests against one
+// prepared A each carry a tall-skinny B, and instead of K kernel launches
+// over n×c_k panels, the Bs are gathered column-wise into one n×(Σc_k)
+// panel, multiplied once, and the product's column slices scattered back out.
+//
+// The whole point is bit-identity: every per-request product extracted from
+// the stacked multiply must equal the product of an independent multiply,
+// bit for bit. That holds because (a) requests occupy disjoint column
+// ranges, so no accumulator key is shared across requests — each output
+// value is the sum of exactly the same products in exactly the same
+// A-traversal order as in the independent multiply; and (b) every
+// accumulator combines duplicate keys in insertion order (the sort
+// accumulator uses a stable sort for precisely this reason). The randomized
+// harness in tests/serve/batch_identity_test.cpp enforces this over the
+// shape/option space.
+#pragma once
+
+#include <vector>
+
+#include "spgemm/spgemm.hpp"
+
+namespace cw {
+
+/// A column-stacked panel plus the slice boundaries needed to undo it.
+struct ColumnStack {
+  /// nrows × (Σ ncols_k) panel; row r is the concatenation of every request's
+  /// row r with its columns shifted into the request's slice.
+  Csr panel;
+  /// K+1 non-decreasing column offsets; request k owns columns
+  /// [offsets[k], offsets[k+1]) of the panel.
+  std::vector<index_t> offsets;
+};
+
+/// Gather: stack the Bs column-wise. All must share a row count; column
+/// counts are free (0-column requests contribute an empty slice).
+ColumnStack stack_columns(const std::vector<const Csr*>& bs);
+
+/// Scatter: split a stacked product (or panel) back into per-slice matrices
+/// at `offsets` (K+1 entries covering exactly c's columns). Slice k's
+/// columns are rebased to start at 0. Bit-exact inverse of stacking a
+/// multiply: split_columns(A×stack(bs)) == {A×b : b in bs}.
+std::vector<Csr> split_columns(const Csr& c, const std::vector<index_t>& offsets);
+
+/// One-shot stacked entry point at the kernel level: gather, one SpGEMM
+/// launch, scatter. Bit-identical to calling spgemm(a, *b) per request.
+std::vector<Csr> stacked_spgemm(const Csr& a, const std::vector<const Csr*>& bs,
+                                Accumulator acc = Accumulator::kHash,
+                                SpgemmStats* stats = nullptr);
+
+}  // namespace cw

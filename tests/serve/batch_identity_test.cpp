@@ -1,0 +1,204 @@
+// Randomized bit-identity harness for second-level request batching: a
+// column-stacked batch multiply must produce, for every request, exactly the
+// bits an independent per-request multiply produces — across the whole
+// shape/option space (schemes, accumulators, permutation modes, unpermute
+// on/off, degenerate shapes). This property is what licenses the serving
+// engine to fuse concurrent same-A requests at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "spgemm/stacked.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+/// The per-request reference: what the engine computes today for one request.
+std::vector<Csr> per_request_products(const test::BatchCase& c,
+                                      const Pipeline& p) {
+  std::vector<Csr> out;
+  for (const Csr& b : c.bs) {
+    Csr prod = p.multiply(b);
+    if (c.unpermute) prod = p.unpermute_rows(prod);
+    out.push_back(std::move(prod));
+  }
+  return out;
+}
+
+std::vector<Csr> stacked_products(const test::BatchCase& c, const Pipeline& p) {
+  std::vector<const Csr*> bs;
+  for (const Csr& b : c.bs) bs.push_back(&b);
+  std::vector<Csr> out = p.multiply_stacked(bs);
+  if (c.unpermute)
+    for (Csr& prod : out) prod = p.unpermute_rows(prod);
+  return out;
+}
+
+TEST(BatchIdentity, StackedBitIdenticalAcross200SeededCases) {
+  for (std::uint64_t seed = 1; seed <= 220; ++seed) {
+    const test::BatchCase c = test::random_batch_case(seed);
+    auto p = test::build_case_pipeline(c);
+    const std::vector<Csr> expected = per_request_products(c, *p);
+    const std::vector<Csr> stacked = stacked_products(c, *p);
+    ASSERT_EQ(stacked.size(), expected.size()) << c.describe();
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_TRUE(stacked[k] == expected[k])
+          << c.describe() << " request " << k;
+      ASSERT_NO_THROW(stacked[k].validate()) << c.describe() << " request " << k;
+    }
+  }
+}
+
+TEST(BatchIdentity, KernelLevelStackedSpgemmMatchesPerRequest) {
+  // The spgemm-level entry point, every accumulator.
+  for (const Accumulator acc :
+       {Accumulator::kHash, Accumulator::kDense, Accumulator::kSort}) {
+    for (std::uint64_t seed = 500; seed < 520; ++seed) {
+      const Csr a = test::random_csr(30, 30, 0.15, seed);
+      std::vector<Csr> bs;
+      for (int k = 0; k < 4; ++k)
+        bs.push_back(test::random_csr(30, 3 + 4 * k, 0.3, seed ^ (77 + k)));
+      std::vector<const Csr*> ptrs;
+      for (const Csr& b : bs) ptrs.push_back(&b);
+      const std::vector<Csr> stacked = stacked_spgemm(a, ptrs, acc);
+      for (std::size_t k = 0; k < bs.size(); ++k) {
+        EXPECT_TRUE(stacked[k] == spgemm(a, bs[k], acc))
+            << "acc=" << to_string(acc) << " seed=" << seed << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BatchIdentity, DegenerateShapes) {
+  // 0-column B inside a batch.
+  {
+    const Csr a = test::random_csr(12, 12, 0.3, 900);
+    PipelineOptions o;
+    o.scheme = ClusterScheme::kHierarchical;
+    o.hierarchical_opt.col_cap = 0;
+    const Pipeline p(a, o);
+    const Csr b0 = test::random_csr(12, 0, 0.5, 901);
+    const Csr b1 = test::random_csr(12, 7, 0.4, 902);
+    const std::vector<Csr> stacked = p.multiply_stacked({&b0, &b1, &b0});
+    ASSERT_EQ(stacked.size(), 3u);
+    EXPECT_EQ(stacked[0].ncols(), 0);
+    EXPECT_EQ(stacked[0].nnz(), 0);
+    EXPECT_TRUE(stacked[0] == p.multiply(b0));
+    EXPECT_TRUE(stacked[1] == p.multiply(b1));
+    EXPECT_TRUE(stacked[2] == p.multiply(b0));
+  }
+  // 1-row A (rows-only mode keeps it rectangular).
+  {
+    const Csr a = test::random_csr(1, 9, 0.9, 903);
+    PipelineOptions o;
+    o.scheme = ClusterScheme::kFixed;
+    o.fixed_length = 1;
+    const Pipeline p = Pipeline::prepare_rows(a, o);
+    const Csr b0 = test::random_csr(9, 4, 0.5, 904);
+    const Csr b1 = test::random_csr(9, 2, 0.5, 905);
+    const std::vector<Csr> stacked = p.multiply_stacked({&b0, &b1});
+    EXPECT_TRUE(stacked[0] == p.multiply(b0));
+    EXPECT_TRUE(stacked[1] == p.multiply(b1));
+  }
+  // Single-request "batch": stacking one B is the identity transform.
+  {
+    const Csr a = test::random_csr(15, 15, 0.2, 906);
+    PipelineOptions o;
+    o.scheme = ClusterScheme::kNone;
+    const Pipeline p(a, o);
+    const Csr b = test::random_csr(15, 6, 0.4, 907);
+    const std::vector<Csr> stacked = p.multiply_stacked({&b});
+    ASSERT_EQ(stacked.size(), 1u);
+    EXPECT_TRUE(stacked[0] == p.multiply(b));
+  }
+  // Empty batch.
+  {
+    const Csr a = test::random_csr(5, 5, 0.5, 908);
+    PipelineOptions o;
+    o.scheme = ClusterScheme::kNone;
+    const Pipeline p(a, o);
+    EXPECT_TRUE(p.multiply_stacked({}).empty());
+  }
+}
+
+TEST(BatchIdentity, EngineWithBatchingServesBitIdenticalResults) {
+  // End-to-end through the engine with the batch window active: whatever mix
+  // of fused and per-request execution the scheduler lands on, every future
+  // must carry the per-request bits. Windows are force-flushed in a loop so
+  // the test never waits out a real latency budget.
+  for (std::uint64_t seed = 300; seed < 312; ++seed) {
+    const test::BatchCase c = test::random_batch_case(seed);
+    auto p = test::build_case_pipeline(c);
+    const std::vector<Csr> expected = per_request_products(c, *p);
+
+    EngineOptions opt;
+    opt.num_workers = 2;
+    opt.max_batch = 4;
+    opt.batch_window = std::chrono::microseconds(60'000'000);  // hook-closed
+    opt.unpermute_results = c.unpermute;
+    ServeEngine engine(opt);
+    std::vector<std::future<Csr>> futures;
+    for (const Csr& b : c.bs) futures.push_back(engine.submit(p, b));
+
+    std::atomic<bool> done{false};
+    std::thread closer([&] {
+      while (!done.load()) {
+        engine.close_batch_windows();
+        std::this_thread::yield();
+      }
+    });
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      EXPECT_TRUE(futures[k].get() == expected[k])
+          << c.describe() << " request " << k;
+    }
+    done = true;
+    closer.join();
+    const EngineStats st = engine.stats();
+    EXPECT_EQ(st.completed, c.bs.size()) << c.describe();
+    EXPECT_EQ(st.failed, 0u) << c.describe();
+  }
+}
+
+TEST(BatchIdentity, StackedColumnCapFallsBackBitIdentically) {
+  // Oversized requests must take the per-request path and still be exact.
+  const Csr a = test::random_csr(24, 24, 0.2, 950);
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kHierarchical;
+  o.hierarchical_opt.col_cap = 0;
+  auto p = std::make_shared<const Pipeline>(a, o);
+  std::vector<Csr> bs;
+  for (int i = 0; i < 6; ++i)
+    bs.push_back(test::random_csr(24, 5 + 3 * i, 0.3, 951 + i));
+
+  EngineOptions opt;
+  opt.num_workers = 1;
+  opt.max_batch = 8;
+  opt.batch_window = std::chrono::microseconds(60'000'000);
+  opt.max_stacked_cols = 12;  // only the small Bs can fuse
+  ServeEngine engine(opt);
+  std::vector<std::future<Csr>> futures;
+  for (const Csr& b : bs) futures.push_back(engine.submit(p, b));
+  std::atomic<bool> done{false};
+  std::thread closer([&] {
+    while (!done.load()) {
+      engine.close_batch_windows();
+      std::this_thread::yield();
+    }
+  });
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    EXPECT_TRUE(futures[k].get() ==
+                p->unpermute_rows(p->multiply(bs[k])))
+        << "request " << k;
+  }
+  done = true;
+  closer.join();
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+}  // namespace
+}  // namespace cw::serve

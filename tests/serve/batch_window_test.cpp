@@ -1,0 +1,181 @@
+// Deterministic coverage of the batch-window scheduler's wait/flush logic.
+// No fixed sleeps: the tests either hold a window open with an effectively
+// infinite latency budget and drive it with the close_batch_windows() hook,
+// or park on engine state (stats().open_windows) that the scheduler is
+// guaranteed to reach — so every assertion is on a forced outcome, not on a
+// timing coincidence.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+std::shared_ptr<const Pipeline> small_pipeline(std::uint64_t seed) {
+  const Csr a = test::random_csr(24, 24, 0.2, seed);
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kFixed;
+  o.fixed_length = 4;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+/// Spin (yield, no sleeps) until the engine reports an open batch window.
+/// The scheduler must reach this state: the sole submitted group has fewer
+/// than max_batch jobs and an un-expired window, so the picking worker parks.
+void wait_for_open_window(const ServeEngine& engine) {
+  while (engine.stats().open_windows == 0) std::this_thread::yield();
+}
+
+constexpr auto kForever = std::chrono::microseconds(60'000'000);
+
+TEST(BatchWindow, LateArrivalJoinsOpenWindowAndFusesOnClose) {
+  auto p = small_pipeline(1);
+  ServeEngine engine({.num_workers = 1, .max_batch = 8, .batch_window = kForever});
+  const Csr b1 = test::random_csr(24, 5, 0.3, 10);
+  const Csr b2 = test::random_csr(24, 9, 0.3, 11);
+
+  auto f1 = engine.submit(p, b1);
+  wait_for_open_window(engine);     // worker picked up {b1}, window open
+  auto f2 = engine.submit(p, b2);   // late arrival joins the open window
+  engine.close_batch_windows();     // manual flush — no latency budget waited
+
+  EXPECT_TRUE(f1.get() == p->unpermute_rows(p->multiply(b1)));
+  EXPECT_TRUE(f2.get() == p->unpermute_rows(p->multiply(b2)));
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.window_forced, 1u);
+  EXPECT_EQ(st.window_timeouts, 0u);
+  EXPECT_EQ(st.stacked_batches, 1u);   // both requests fused into one panel
+  EXPECT_EQ(st.stacked_requests, 2u);
+  EXPECT_EQ(st.fused_columns, 14u);    // 5 + 9 stacked columns
+  EXPECT_EQ(st.open_windows, 0u);
+}
+
+TEST(BatchWindow, MaxBatchCutoffClosesTheWindowWithoutTheBudget) {
+  auto p = small_pipeline(2);
+  ServeEngine engine({.num_workers = 1, .max_batch = 2, .batch_window = kForever});
+  const Csr b1 = test::random_csr(24, 4, 0.3, 20);
+  const Csr b2 = test::random_csr(24, 6, 0.3, 21);
+
+  auto f1 = engine.submit(p, b1);
+  wait_for_open_window(engine);
+  // The second arrival fills the window to max_batch: it must flush on its
+  // own, with the infinite budget never waited out and no manual close.
+  auto f2 = engine.submit(p, b2);
+  EXPECT_TRUE(f1.get() == p->unpermute_rows(p->multiply(b1)));
+  EXPECT_TRUE(f2.get() == p->unpermute_rows(p->multiply(b2)));
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.window_filled, 1u);
+  EXPECT_EQ(st.window_forced, 0u);
+  EXPECT_EQ(st.window_timeouts, 0u);
+  EXPECT_EQ(st.stacked_requests, 2u);
+}
+
+TEST(BatchWindow, WindowExpiringEmptyFallsBackToPerRequest) {
+  // A window that gathers no late arrivals: the single request must complete
+  // on the per-request path (nothing to stack) once the tiny budget expires.
+  auto p = small_pipeline(3);
+  ServeEngine engine({.num_workers = 1,
+                      .max_batch = 8,
+                      .batch_window = std::chrono::microseconds(200)});
+  const Csr b = test::random_csr(24, 5, 0.3, 30);
+  EXPECT_TRUE(engine.submit(p, b).get() ==
+              p->unpermute_rows(p->multiply(b)));
+  engine.drain();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.window_timeouts, 1u);
+  EXPECT_EQ(st.stacked_batches, 0u);  // a 1-request flush is never stacked
+  EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(BatchWindow, FullPickupSkipsTheWindowEntirely) {
+  // When a pickup already holds max_batch requests there is nothing to wait
+  // for: no window opens, the batch fuses immediately.
+  auto p = small_pipeline(4);
+  auto engine = std::make_unique<ServeEngine>(EngineOptions{
+      .num_workers = 1, .max_batch = 2, .batch_window = kForever});
+  // Pin the worker so both requests are queued before the pickup.
+  const Csr slow_a = test::random_csr(700, 700, 0.05, 40);
+  PipelineOptions slow_o;
+  slow_o.scheme = ClusterScheme::kNone;
+  auto slow_p = std::make_shared<const Pipeline>(slow_a, slow_o);
+  auto plug = engine->submit(slow_p, test::random_csr(700, 48, 0.4, 41));
+  wait_for_open_window(*engine);  // the plug's own single-job window
+  const Csr b1 = test::random_csr(24, 3, 0.3, 42);
+  const Csr b2 = test::random_csr(24, 4, 0.3, 43);
+  auto f1 = engine->submit(p, b1);
+  auto f2 = engine->submit(p, b2);
+  // Release the plug; by the time its multiply finishes, both requests are
+  // queued, so the next pickup is full (max_batch) and must skip the window.
+  engine->close_batch_windows();
+  (void)plug.get();
+  EXPECT_TRUE(f1.get() == p->unpermute_rows(p->multiply(b1)));
+  EXPECT_TRUE(f2.get() == p->unpermute_rows(p->multiply(b2)));
+  const EngineStats st = engine->stats();
+  // Exactly one window was ever opened (the plug's); the full two-request
+  // pickup went straight to the fused multiply.
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.stacked_batches, 1u);
+  EXPECT_EQ(st.stacked_requests, 2u);
+}
+
+TEST(BatchWindow, WindowYieldsToAnotherPipelineWhenNoWorkerIsIdle) {
+  // One worker, window open for pipeline A, then a request for pipeline B
+  // arrives: with nobody idle to serve B, A's window must flush immediately
+  // (a latency budget licenses delaying A's own requests, never B's).
+  auto pa = small_pipeline(6);
+  auto pb = small_pipeline(7);
+  ServeEngine engine({.num_workers = 1, .max_batch = 8, .batch_window = kForever});
+  const Csr ba = test::random_csr(24, 5, 0.3, 60);
+  const Csr bb = test::random_csr(24, 6, 0.3, 61);
+
+  auto fa = engine.submit(pa, ba);
+  wait_for_open_window(engine);   // worker parked in A's window
+  auto fb = engine.submit(pb, bb);  // B becomes ready; no idle worker
+  // A must complete without any manual close or budget expiry.
+  EXPECT_TRUE(fa.get() == pa->unpermute_rows(pa->multiply(ba)));
+  // B's own pickup opens a window of its own (nothing else is pending);
+  // flush it manually to finish the test.
+  std::atomic<bool> done{false};
+  std::thread closer([&] {
+    while (!done.load()) {
+      engine.close_batch_windows();
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_TRUE(fb.get() == pb->unpermute_rows(pb->multiply(bb)));
+  done = true;
+  closer.join();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.window_yielded, 1u);  // A's window, forced out by B
+  EXPECT_EQ(st.window_timeouts, 0u);
+  EXPECT_EQ(st.completed, 2u);
+}
+
+TEST(BatchWindow, ZeroWindowPreservesTodaysBehaviour) {
+  auto p = small_pipeline(5);
+  ServeEngine engine({.num_workers = 2, .max_batch = 4});  // batch_window = 0
+  std::vector<std::future<Csr>> futures;
+  std::vector<Csr> bs;
+  for (int i = 0; i < 12; ++i) {
+    bs.push_back(test::random_csr(24, 5, 0.3, 50 + i));
+    futures.push_back(engine.submit(p, bs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(futures[i].get() ==
+                p->unpermute_rows(p->multiply(bs[i])));
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.windows_opened, 0u);
+  EXPECT_EQ(st.stacked_batches, 0u);
+  EXPECT_EQ(st.open_windows, 0u);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -1,0 +1,177 @@
+// Concurrency stress for the serving engine with second-level batching
+// active: many producer threads hammering submit / try_submit / stats
+// against a small queue cap, while workers fuse what they can. Run under
+// ThreadSanitizer in CI (the dedicated tsan job builds this suite).
+//
+// Invariants checked:
+//   * no lost futures — every accepted request's future resolves, with the
+//     exact per-request product (which also rules out cross-request mix-ups
+//     from the scatter step);
+//   * no duplicate/phantom completions — completed + failed == submitted,
+//     and submitted + shed == attempts;
+//   * backpressure honoured — the queue high-water mark never exceeds the cap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+struct Workload {
+  std::shared_ptr<const Pipeline> pipeline;
+  std::vector<std::shared_ptr<const Csr>> payloads;
+  std::vector<Csr> expected;  // unpermuted per-request reference
+};
+
+Workload make_workload(index_t n, ClusterScheme scheme, std::uint64_t seed) {
+  Workload w;
+  PipelineOptions o;
+  o.scheme = scheme;
+  if (scheme == ClusterScheme::kFixed) o.fixed_length = 4;
+  if (scheme == ClusterScheme::kHierarchical) o.hierarchical_opt.col_cap = 0;
+  const Csr a = test::random_csr(n, n, 0.15, seed);
+  w.pipeline = std::make_shared<const Pipeline>(a, o);
+  for (int i = 0; i < 8; ++i) {
+    auto b = std::make_shared<const Csr>(
+        test::random_csr(n, 2 + i, 0.3, seed ^ (100 + i)));
+    w.expected.push_back(
+        w.pipeline->unpermute_rows(w.pipeline->multiply(*b)));
+    w.payloads.push_back(std::move(b));
+  }
+  return w;
+}
+
+TEST(EngineStress, ProducersBackpressureAndBatchingKeepEveryInvariant) {
+  const std::vector<Workload> workloads = {
+      make_workload(28, ClusterScheme::kHierarchical, 1),
+      make_workload(36, ClusterScheme::kFixed, 2),
+  };
+
+  EngineOptions opt;
+  opt.num_workers = 3;
+  opt.max_batch = 4;
+  opt.max_queue_depth = 3;  // small cap: backpressure constantly active
+  opt.batch_window = std::chrono::microseconds(150);
+  ServeEngine engine(opt);
+
+  constexpr int kProducers = 8;
+  constexpr int kAttemptsEach = 40;
+  struct Accepted {
+    std::future<Csr> future;
+    std::size_t workload;
+    std::size_t payload;
+  };
+  std::vector<std::vector<Accepted>> accepted(kProducers);
+  std::atomic<std::uint64_t> sheds{0};
+
+  std::atomic<bool> polling{true};
+  std::thread poller([&] {
+    // stats() must be safe to call concurrently with everything else.
+    while (polling.load()) {
+      const EngineStats st = engine.stats();
+      ASSERT_LE(st.completed + st.failed, st.submitted);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(9000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kAttemptsEach; ++i) {
+        const std::size_t w = rng.index(static_cast<index_t>(workloads.size()));
+        const std::size_t j =
+            rng.index(static_cast<index_t>(workloads[w].payloads.size()));
+        const Workload& wl = workloads[w];
+        if (rng.uniform() < 0.5) {
+          accepted[t].push_back(
+              {engine.submit(wl.pipeline, wl.payloads[j]), w, j});
+        } else {
+          auto r = engine.try_submit(wl.pipeline, wl.payloads[j]);
+          if (r.has_value())
+            accepted[t].push_back({std::move(*r), w, j});
+          else
+            sheds.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.drain();
+  polling = false;
+  poller.join();
+
+  std::uint64_t accepted_total = 0;
+  for (auto& per_thread : accepted) {
+    for (Accepted& a : per_thread) {
+      ++accepted_total;
+      // Every accepted future resolves with the exact per-request product.
+      ASSERT_TRUE(a.future.get() ==
+                  workloads[a.workload].expected[a.payload]);
+    }
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, accepted_total);
+  EXPECT_EQ(st.shed, sheds.load());
+  EXPECT_EQ(st.submitted + st.shed,
+            static_cast<std::uint64_t>(kProducers) * kAttemptsEach);
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_LE(st.max_queued, opt.max_queue_depth);
+  EXPECT_EQ(st.open_windows, 0u);
+}
+
+TEST(EngineStress, ConcurrentCloseWindowsRacesAreBenign) {
+  // close_batch_windows() fired at random from several threads while traffic
+  // flows: a pure liveness/correctness hammer for the window epoch logic.
+  const Workload wl = make_workload(30, ClusterScheme::kVariable, 7);
+  EngineOptions opt;
+  opt.num_workers = 2;
+  opt.max_batch = 8;
+  opt.batch_window = std::chrono::microseconds(60'000'000);  // only hook-closed
+  ServeEngine engine(opt);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 3; ++t) {
+    closers.emplace_back([&] {
+      while (!done.load()) {
+        engine.close_batch_windows();
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<Csr>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(500 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 30; ++i) {
+        const std::size_t j =
+            rng.index(static_cast<index_t>(wl.payloads.size()));
+        futures[t].push_back(engine.submit(wl.pipeline, wl.payloads[j]));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.drain();
+  done = true;
+  for (auto& t : closers) t.join();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, 120u);
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+  for (auto& per_thread : futures)
+    for (auto& f : per_thread) EXPECT_NO_THROW((void)f.get());
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/error.hpp"
@@ -149,6 +151,64 @@ TEST(ShardedEngine, DegenerateEmptyAndOvershardedInputs) {
   auto sp3 = make_sharded(half, 2, SplitStrategy::kNaive);
   const Csr b2 = gen_request_payload(12, 4, 2, 62);
   EXPECT_TRUE(engine.submit(sp3, b2).get() == sp3->multiply(b2));
+}
+
+TEST(ShardedEngine, BatchingBitIdenticalToUnshardedUnbatchedReference) {
+  // Second-level batching composes with scatter/gather: a ShardedEngine with
+  // the batch window active must serve every request bit-identical to the
+  // unsharded, unbatched reference on the same seeded inputs — whatever mix
+  // of fused and per-request shard multiplies the scheduler lands on.
+  Csr a = gen_block_diag(120, 6, 0.04, 70);
+  randomize_values(a, 71);
+  // Unsharded, unbatched reference (plain row-wise pipeline).
+  std::vector<Csr> payloads;
+  std::vector<Csr> expected;
+  for (int i = 0; i < 24; ++i) {
+    payloads.push_back(gen_request_payload(
+        a.nrows(), 4 + (i % 5) * 7, 3, 700 + static_cast<std::uint64_t>(i)));
+    expected.push_back(reference_product(a, payloads.back()));
+  }
+
+  for (index_t k : {2, 5}) {
+    auto sp = make_sharded(a, k, SplitStrategy::kLocality);
+    ShardedEngineOptions eopt;
+    eopt.num_workers = 3;
+    eopt.gather_workers = 3;
+    eopt.max_batch = 4;
+    eopt.batch_window = std::chrono::microseconds(60'000'000);  // hook-closed
+    ShardedEngine engine(eopt);
+    std::vector<std::future<Csr>> futures;
+    std::vector<std::thread> clients;
+    futures.resize(payloads.size());
+    for (int cl = 0; cl < 3; ++cl) {
+      clients.emplace_back([&, cl] {
+        for (std::size_t i = static_cast<std::size_t>(cl); i < payloads.size();
+             i += 3)
+          futures[i] = engine.submit(sp, payloads[i]);
+      });
+    }
+    for (auto& t : clients) t.join();
+    // Keep force-flushing the inner engine's windows until everything is
+    // gathered — drives the fused path without waiting out latency budgets.
+    std::atomic<bool> done{false};
+    std::thread closer([&] {
+      while (!done.load()) {
+        engine.close_batch_windows();
+        std::this_thread::yield();
+      }
+    });
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      EXPECT_TRUE(futures[i].get() == expected[i]) << "k=" << k << " request " << i;
+    done = true;
+    closer.join();
+
+    const ShardedEngineStats st = engine.stats();
+    EXPECT_EQ(st.completed, payloads.size());
+    EXPECT_EQ(st.failed, 0u);
+    const serve::EngineStats inner = engine.shard_engine_stats();
+    EXPECT_EQ(inner.completed, st.completed * static_cast<std::uint64_t>(k));
+    EXPECT_EQ(inner.open_windows, 0u);
+  }
 }
 
 TEST(ShardedEngine, ShutdownDrainsAndRejectsLateSubmits) {

@@ -1,0 +1,69 @@
+// Unit tests for the column-stack gather/scatter primitives that back the
+// serving engine's fused batch multiply (the bit-identity of full multiplies
+// is covered by tests/serve/batch_identity_test.cpp).
+#include "spgemm/stacked.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+TEST(Stacked, SplitInvertsStack) {
+  std::vector<Csr> bs;
+  bs.push_back(test::random_csr(10, 4, 0.4, 1));
+  bs.push_back(test::random_csr(10, 0, 0.4, 2));  // empty slice rides along
+  bs.push_back(test::random_csr(10, 9, 0.3, 3));
+  std::vector<const Csr*> ptrs;
+  for (const Csr& b : bs) ptrs.push_back(&b);
+
+  const ColumnStack stack = stack_columns(ptrs);
+  EXPECT_EQ(stack.panel.nrows(), 10);
+  EXPECT_EQ(stack.panel.ncols(), 13);
+  EXPECT_EQ(stack.panel.nnz(), bs[0].nnz() + bs[1].nnz() + bs[2].nnz());
+  ASSERT_NO_THROW(stack.panel.validate());
+  ASSERT_EQ(stack.offsets, (std::vector<index_t>{0, 4, 4, 13}));
+
+  const std::vector<Csr> back = split_columns(stack.panel, stack.offsets);
+  ASSERT_EQ(back.size(), bs.size());
+  for (std::size_t k = 0; k < bs.size(); ++k)
+    EXPECT_TRUE(back[k] == bs[k]) << "slice " << k;
+}
+
+TEST(Stacked, SingleMatrixStackIsIdentity) {
+  const Csr b = test::random_csr(8, 5, 0.5, 4);
+  const ColumnStack stack = stack_columns({&b});
+  EXPECT_TRUE(stack.panel == b);
+  const std::vector<Csr> back = split_columns(stack.panel, stack.offsets);
+  EXPECT_TRUE(back[0] == b);
+}
+
+TEST(Stacked, MismatchedRowCountsThrow) {
+  const Csr b1 = test::random_csr(8, 3, 0.5, 5);
+  const Csr b2 = test::random_csr(9, 3, 0.5, 6);
+  EXPECT_THROW((void)stack_columns({&b1, &b2}), Error);
+  EXPECT_THROW((void)stack_columns({}), Error);
+}
+
+TEST(Stacked, SplitRejectsBadOffsets) {
+  const Csr c = test::random_csr(6, 10, 0.5, 7);
+  EXPECT_THROW((void)split_columns(c, {0, 4}), Error);       // short of ncols
+  EXPECT_THROW((void)split_columns(c, {0, 7, 4, 10}), Error);  // decreasing
+  EXPECT_THROW((void)split_columns(c, {10}), Error);         // too few entries
+}
+
+TEST(Stacked, StackedSpgemmMatchesPerRequest) {
+  const Csr a = test::random_csr(20, 20, 0.2, 8);
+  const Csr b1 = test::random_csr(20, 6, 0.3, 9);
+  const Csr b2 = test::random_csr(20, 11, 0.3, 10);
+  const std::vector<Csr> fused = stacked_spgemm(a, {&b1, &b2});
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_TRUE(fused[0] == spgemm(a, b1));
+  EXPECT_TRUE(fused[1] == spgemm(a, b2));
+  EXPECT_TRUE(stacked_spgemm(a, {}).empty());
+}
+
+}  // namespace
+}  // namespace cw

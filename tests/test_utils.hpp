@@ -1,9 +1,13 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/pipeline.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 
@@ -43,6 +47,91 @@ inline Csr paper_figure5() {
   const index_t cols[] = {0, 1, 2, 0, 1, 3, 1, 2, 4, 3, 4, 5, 0, 3, 4, 0, 3};
   for (std::size_t i = 0; i < 17; ++i) coo.push(rows[i], cols[i], 1.0);
   return Csr::from_coo(coo);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded shape/option generator for the batched-multiply identity harness.
+// ---------------------------------------------------------------------------
+
+/// One randomized batching scenario: a prepared A (shape, clustering scheme,
+/// permutation mode, reordering) plus a batch of request Bs (per-request
+/// column counts, including degenerate 0-column ones) and the unpermute
+/// setting. Everything derives deterministically from the seed.
+struct BatchCase {
+  Csr a;
+  std::vector<Csr> bs;        // every B has a.ncols() rows
+  PipelineOptions opt;
+  bool rows_only = false;     // build via Pipeline::prepare_rows
+  bool unpermute = true;      // engine-style unpermute after multiply
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "seed=" << seed << " A=" << a.nrows() << "x" << a.ncols()
+       << " scheme=" << to_string(opt.scheme)
+       << " acc=" << to_string(opt.accumulator)
+       << " mode=" << (rows_only ? "rows-only" : "symmetric")
+       << " reorder=" << to_string(opt.reorder)
+       << " unpermute=" << (unpermute ? "on" : "off") << " bs=[";
+    for (std::size_t k = 0; k < bs.size(); ++k)
+      os << (k ? "," : "") << bs[k].ncols();
+    os << "]";
+    return os.str();
+  }
+};
+
+/// Draw a batching scenario from the shape/option space: 1..40-row As
+/// (including 1-row), every cluster scheme (with varying fixed cluster
+/// counts), both permutation modes, reordering on/off, unpermute on/off,
+/// 1..6 requests of 0..24 columns each.
+inline BatchCase random_batch_case(std::uint64_t seed) {
+  Rng rng(seed);
+  BatchCase c;
+  c.seed = seed;
+  const index_t nrows = 1 + static_cast<index_t>(rng.index(40));
+  c.rows_only = rng.uniform() < 0.3;
+  const index_t acols =
+      c.rows_only ? 1 + static_cast<index_t>(rng.index(40)) : nrows;
+  c.a = random_csr(nrows, acols, 0.05 + 0.25 * rng.uniform(), seed ^ 0xA11CE);
+
+  switch (rng.index(4)) {
+    case 0:
+      c.opt.scheme = ClusterScheme::kNone;
+      // The row-wise path honours the accumulator choice; exercise all
+      // three (the sort accumulator's stable combine is load-bearing here).
+      c.opt.accumulator = static_cast<Accumulator>(rng.index(3));
+      break;
+    case 1:
+      c.opt.scheme = ClusterScheme::kFixed;
+      c.opt.fixed_length = 1 + static_cast<index_t>(rng.index(8));
+      break;
+    case 2:
+      c.opt.scheme = ClusterScheme::kVariable;
+      break;
+    default:
+      c.opt.scheme = ClusterScheme::kHierarchical;
+      c.opt.hierarchical_opt.col_cap = 0;
+      break;
+  }
+  // Explicit reorderings require the symmetric mode (square adjacency).
+  if (!c.rows_only && rng.uniform() < 0.5) c.opt.reorder = ReorderAlgo::kRCM;
+  c.unpermute = rng.uniform() < 0.5;
+
+  const std::size_t num_requests = 1 + rng.index(6);
+  for (std::size_t k = 0; k < num_requests; ++k) {
+    const index_t bcols = static_cast<index_t>(rng.index(25));  // 0..24
+    c.bs.push_back(random_csr(acols, bcols, 0.1 + 0.3 * rng.uniform(),
+                              seed ^ (0xB000 + 31 * k)));
+  }
+  return c;
+}
+
+/// Build the case's pipeline in the mode it drew.
+inline std::shared_ptr<const Pipeline> build_case_pipeline(const BatchCase& c) {
+  return c.rows_only
+             ? std::make_shared<const Pipeline>(
+                   Pipeline::prepare_rows(c.a, c.opt))
+             : std::make_shared<const Pipeline>(c.a, c.opt);
 }
 
 }  // namespace cw::test

@@ -11,7 +11,10 @@
 //                                          reload and time one multiply
 //                                          (v3 defaults to zero-copy mmap)
 //   cwtool serve-bench <input> [clients] [requests] [workers]
-//                                          concurrent-engine throughput run
+//                      [--batch-window-us N]
+//                                          concurrent-engine throughput run;
+//                                          N > 0 enables second-level B-stacking
+//                                          with an N-microsecond latency budget
 //   cwtool shard plan <input> [K] [strategy]
 //                                          print the row-block split
 //   cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]
@@ -228,7 +231,7 @@ int cmd_snapshot_load(const std::string& path, const std::string& mode,
 }
 
 int cmd_serve_bench(const std::string& input, int clients, int requests,
-                    int workers) {
+                    int workers, long batch_window_us) {
   const Csr a = load_input(input);
   const Recommendation rec = advise(a, ReuseBudget::kThousands);
   Timer t_prep;
@@ -253,6 +256,7 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
 
   serve::EngineOptions eopt;
   eopt.num_workers = workers;
+  eopt.batch_window = std::chrono::microseconds(batch_window_us);
   serve::ServeEngine engine(eopt);
   Timer t_engine;
   std::vector<std::thread> threads;
@@ -277,6 +281,17 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   std::printf("  batches          %llu (%llu requests coalesced)\n",
               static_cast<unsigned long long>(st.batches),
               static_cast<unsigned long long>(st.coalesced));
+  if (batch_window_us > 0) {
+    std::printf(
+        "  stacking         %llu fused multiplies, %llu requests, %llu "
+        "columns (window %ld us: %llu opened, %llu timed out, %llu filled)\n",
+        static_cast<unsigned long long>(st.stacked_batches),
+        static_cast<unsigned long long>(st.stacked_requests),
+        static_cast<unsigned long long>(st.fused_columns), batch_window_us,
+        static_cast<unsigned long long>(st.windows_opened),
+        static_cast<unsigned long long>(st.window_timeouts),
+        static_cast<unsigned long long>(st.window_filled));
+  }
   std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
               st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
               st.latency_max_ms);
@@ -417,7 +432,8 @@ int usage() {
                "  cwtool snapshot save <input> <out.cwsnap> [algo] [scheme] [v2|v3]\n"
                "  cwtool snapshot info <file.cwsnap>\n"
                "  cwtool snapshot load <file.cwsnap> [mmap|copy] [verify]\n"
-               "  cwtool serve-bench <input> [clients] [requests] [workers]\n"
+               "  cwtool serve-bench <input> [clients] [requests] [workers]"
+               " [--batch-window-us N]\n"
                "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
                "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
                "  cwtool shard info <file.cwsnap>\n"
@@ -486,11 +502,26 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (cmd == "serve-bench") {
-      const int clients = argc > 3 ? std::atoi(argv[3]) : 4;
-      const int requests = argc > 4 ? std::atoi(argv[4]) : 64;
-      const int workers = argc > 5 ? std::atoi(argv[5]) : 4;
+      // Positional args first; --batch-window-us N may appear anywhere after
+      // the input.
+      std::vector<std::string> pos;
+      long batch_window_us = 0;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--batch-window-us") {
+          if (i + 1 >= argc) return usage();
+          batch_window_us = std::atol(argv[++i]);
+          if (batch_window_us < 0) return usage();
+        } else {
+          pos.push_back(arg);
+        }
+      }
+      const int clients = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
+      const int requests = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
+      const int workers = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
       if (clients < 1 || requests < 1 || workers < 1) return usage();
-      return cmd_serve_bench(input, clients, requests, workers);
+      return cmd_serve_bench(input, clients, requests, workers,
+                             batch_window_us);
     }
   } catch (const cw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
