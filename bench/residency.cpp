@@ -1,0 +1,231 @@
+// Residency-plane benchmark: what prefaulting, frequency-aware admission and
+// eviction-with-teeth are each worth.
+//
+//   ./residency [--smoke] [nrows]
+//
+// Three sweeps, one acceptance bar each:
+//
+//   (a) first-multiply latency, cold mmap vs prefaulted — a fresh (or
+//       DONTNEEDed) mapping pays one page fault per touched page inside its
+//       first multiply; warm_up() moves that cost out of the request path.
+//       Bar: prefaulted < cold, products bit-identical to the unwarmed path.
+//   (b) hot-pipeline hit rate under a scan flood, LRU vs TinyLFU — a stream
+//       of one-shot matrices evicts LRU's hot entry every round; TinyLFU's
+//       sketch lets the hot entry defend its slot. Bar: TinyLFU >= LRU.
+//   (c) resident mapped bytes across eviction with release enabled — v3
+//       eviction must return physical memory, not just forget a pointer.
+//       Bar: resident bytes drop after the entry is evicted.
+//
+// Emits BENCH_residency.json (bench_json.hpp) for cross-PR tracking.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/residency.hpp"
+#include "common/timer.hpp"
+#include "gen/generators.hpp"
+#include "serve/registry.hpp"
+#include "serve/snapshot.hpp"
+
+namespace {
+
+using namespace cw;
+
+double median_ms(std::vector<double> xs) {
+  std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  return xs[mid];
+}
+
+std::shared_ptr<const Pipeline> tiny_pipeline(std::uint64_t seed) {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kFixed;
+  o.fixed_length = 4;
+  Csr a = gen_banded(48, 6, 0.9, seed);
+  randomize_values(a, seed ^ 0x9E37);
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+struct FloodResult {
+  double hot_hit_rate = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// One hot pipeline queried every round, three fresh one-shot pipelines
+/// inserted between queries (the scan). The capacity holds ~3 entries.
+FloodResult run_scan_flood(serve::AdmissionKind kind, int rounds) {
+  auto hot = tiny_pipeline(1);
+  const serve::Fingerprint hot_key = serve::fingerprint(hot->matrix());
+  serve::RegistryOptions opt;
+  opt.capacity_bytes = 3 * serve::pipeline_footprint(*hot).anonymous_bytes +
+                       serve::pipeline_footprint(*hot).anonymous_bytes / 2;
+  opt.admission = kind;
+  serve::PipelineRegistry reg(opt);
+
+  std::uint64_t hot_hits = 0;
+  std::uint64_t cold_seed = 100;
+  for (int r = 0; r < rounds; ++r) {
+    auto cached = reg.find(hot_key);
+    if (cached != nullptr)
+      ++hot_hits;
+    else
+      reg.insert(hot_key, hot);
+    for (int c = 0; c < 3; ++c) {
+      auto one_shot = tiny_pipeline(cold_seed++);
+      const serve::Fingerprint k = serve::fingerprint(one_shot->matrix());
+      if (reg.find(k) == nullptr) reg.insert(k, std::move(one_shot));
+    }
+  }
+  FloodResult out;
+  // The first round is a compulsory miss for every policy; rate over the
+  // rounds that could have hit.
+  out.hot_hit_rate = rounds > 1
+                         ? static_cast<double>(hot_hits) /
+                               static_cast<double>(rounds - 1)
+                         : 0;
+  out.admission_rejects = reg.stats().admission_rejects;
+  out.evictions = reg.stats().evictions;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int argi = 1;
+  if (argc > argi && std::strcmp(argv[argi], "--smoke") == 0) {
+    smoke = true;
+    ++argi;
+  }
+  const index_t nrows =
+      argc > argi ? std::atoi(argv[argi]) : (smoke ? 3000 : 40000);
+  const int reps = smoke ? 3 : 7;
+  const int flood_rounds = smoke ? 16 : 64;
+
+  const std::string dir = []() -> std::string {
+    const char* t = std::getenv("TMPDIR");
+    return t != nullptr ? t : "/tmp";
+  }();
+  bench::JsonBenchWriter json("residency");
+  using W = bench::JsonBenchWriter;
+  if (!residency::supported())
+    std::printf("note: residency syscalls unavailable in this build; "
+                "prefault works by touch, probes read 0\n");
+
+  // --- (a) cold vs prefaulted first multiply -------------------------------
+  Csr a = gen_banded(nrows, 16, 0.8, 42);
+  randomize_values(a, 43);
+  PipelineOptions popt;
+  popt.scheme = ClusterScheme::kFixed;
+  popt.fixed_length = 8;
+  const Pipeline built(a, popt);
+  const std::string path = dir + "/cw_residency_bench.cwsnap";
+  serve::save_pipeline_file(path, built);
+  const Csr b = gen_request_payload(nrows, 4, 3, 44);
+  const Csr want = built.unpermute_rows(built.multiply(b));
+
+  auto mapped = std::make_shared<const Pipeline>(serve::load_pipeline_mmap(path));
+  const std::size_t mapped_bytes = mapped->residency().mapped_bytes;
+  std::vector<double> cold_ms, warm_ms;
+  for (int r = 0; r < reps; ++r) {
+    // Cold: every mapped page dropped, the multiply pays the faults.
+    mapped->release_residency();
+    Timer tc;
+    Csr c = mapped->unpermute_rows(mapped->multiply(b));
+    cold_ms.push_back(tc.seconds() * 1e3);
+    if (!(c == want)) {
+      std::fprintf(stderr, "FATAL: cold-mmap product differs\n");
+      return 1;
+    }
+    // Prefaulted: same starting state, faults paid by warm_up() instead.
+    mapped->release_residency();
+    mapped->warm_up();
+    Timer tw;
+    c = mapped->unpermute_rows(mapped->multiply(b));
+    warm_ms.push_back(tw.seconds() * 1e3);
+    if (!(c == want)) {
+      std::fprintf(stderr, "FATAL: prefaulted product differs\n");
+      return 1;
+    }
+  }
+  const double cold = median_ms(cold_ms);
+  const double warm = median_ms(warm_ms);
+  std::printf("first multiply (%.2f MB mapped, median of %d): "
+              "cold %.3f ms, prefaulted %.3f ms (%.2fx)\n",
+              static_cast<double>(mapped_bytes) / 1e6, reps, cold, warm,
+              warm > 0 ? cold / warm : 0);
+  json.add({"first_multiply",
+            {W::param("mode", "cold"), W::param("nrows", nrows)},
+            cold * 1e6, mapped_bytes, 0});
+  json.add({"first_multiply",
+            {W::param("mode", "prefaulted"), W::param("nrows", nrows)},
+            warm * 1e6, mapped_bytes, 0});
+
+  // --- (b) scan flood: hot-pipeline hit rate, LRU vs TinyLFU ---------------
+  const FloodResult lru =
+      run_scan_flood(serve::AdmissionKind::kAdmitAll, flood_rounds);
+  const FloodResult lfu =
+      run_scan_flood(serve::AdmissionKind::kTinyLfu, flood_rounds);
+  std::printf("scan flood (%d rounds): hot hit rate lru %.0f%% "
+              "(%llu evictions) vs tinylfu %.0f%% (%llu rejects)\n",
+              flood_rounds, lru.hot_hit_rate * 100,
+              static_cast<unsigned long long>(lru.evictions),
+              lfu.hot_hit_rate * 100,
+              static_cast<unsigned long long>(lfu.admission_rejects));
+  json.add({"scan_flood_hot_hit_rate",
+            {W::param("admission", "lru"), W::param("rounds", flood_rounds),
+             W::param("hit_rate_pct",
+                      static_cast<long long>(lru.hot_hit_rate * 100))},
+            0, 0, 0});
+  json.add({"scan_flood_hot_hit_rate",
+            {W::param("admission", "tinylfu"), W::param("rounds", flood_rounds),
+             W::param("hit_rate_pct",
+                      static_cast<long long>(lfu.hot_hit_rate * 100)),
+             W::param("admission_rejects",
+                      static_cast<long long>(lfu.admission_rejects))},
+            0, 0, 0});
+
+  // --- (c) eviction with teeth: resident mapped bytes drop -----------------
+  serve::RegistryOptions ropt;
+  auto filler0 = tiny_pipeline(7001);
+  ropt.capacity_bytes = serve::pipeline_footprint(*mapped).anonymous_bytes +
+                        serve::pipeline_footprint(*filler0).anonymous_bytes / 2;
+  ropt.release_mapped_on_evict = true;
+  serve::PipelineRegistry reg(ropt);
+  reg.insert(serve::fingerprint(mapped->matrix()), mapped);
+  mapped->warm_up();
+  const std::size_t resident_before = mapped->residency().resident_mapped_bytes;
+  // Two fillers exceed the budget: the mapped entry is the LRU victim.
+  reg.insert(serve::fingerprint(filler0->matrix()), filler0);
+  auto filler1 = tiny_pipeline(7002);
+  const serve::Fingerprint filler1_key = serve::fingerprint(filler1->matrix());
+  reg.insert(filler1_key, std::move(filler1));
+  const std::size_t resident_after = mapped->residency().resident_mapped_bytes;
+  std::printf("eviction with release: resident mapped %.2f MB -> %.2f MB "
+              "(registry released %.2f MB)\n",
+              static_cast<double>(resident_before) / 1e6,
+              static_cast<double>(resident_after) / 1e6,
+              static_cast<double>(reg.stats().released_bytes) / 1e6);
+  json.add({"eviction_release",
+            {W::param("stage", "before")}, 0, resident_before, 0});
+  json.add({"eviction_release",
+            {W::param("stage", "after")}, 0, resident_after, 0});
+
+  if (residency::supported() && resident_after >= resident_before &&
+      resident_before > 0) {
+    std::fprintf(stderr, "FATAL: eviction did not release mapped residency\n");
+    return 1;
+  }
+
+  const std::string out = json.write();
+  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
+  std::remove(path.c_str());
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/mmap_region.hpp"
+#include "common/residency.hpp"
 
 namespace cw {
 
@@ -89,6 +90,49 @@ class ArraySegment {
 
   [[nodiscard]] std::vector<T> to_vector() const {
     return std::vector<T>(data(), data() + size());
+  }
+
+  // --- residency (borrowed segments only) ----------------------------------
+  //
+  // A borrowed segment is a byte range of its region's file mapping, so
+  // higher layers (Pipeline::warm_up / the registry's eviction-with-teeth)
+  // can steer its physical residency per array. Owned segments live on the
+  // private heap — hints are meaningless there, and they are simply counted
+  // as fully resident.
+
+  /// madvise this segment's byte range; no-op (false) when owned or empty.
+  bool advise(residency::Advice a) const {
+    return !owned() && residency::advise(data_, size_ * sizeof(T), a);
+  }
+
+  /// mlock / munlock this segment's byte range; no-op (false) when owned.
+  bool lock_memory() const {
+    return !owned() && residency::lock(data_, size_ * sizeof(T));
+  }
+  bool unlock_memory() const {
+    return !owned() && residency::unlock(data_, size_ * sizeof(T));
+  }
+
+  /// Bytes of this segment in physical memory: the full size for owned
+  /// (heap) storage, a mincore probe for borrowed storage.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    if (owned()) return size_bytes();
+    return residency::resident_bytes(data_, size_ * sizeof(T));
+  }
+
+  /// Physically release a borrowed segment: unpin, drop this process's page
+  /// tables (DONTNEED), then drop the kernel's page-cache copies of the
+  /// backing file range — mincore stops reporting the bytes resident and the
+  /// machine gets its memory back. Next access re-reads from disk. Returns
+  /// the bytes released (0 for owned/empty segments or fallback builds).
+  std::size_t release() const {
+    if (owned() || size_ == 0) return 0;
+    unlock_memory();
+    const bool dropped = advise(residency::Advice::kDontNeed);
+    const auto off = static_cast<std::uint64_t>(
+        reinterpret_cast<const std::byte*>(data_) - region_->data());
+    region_->drop_cache(region_->file_offset() + off, size_ * sizeof(T));
+    return dropped ? size_bytes() : 0;
   }
 
   // --- mutate API ----------------------------------------------------------

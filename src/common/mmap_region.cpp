@@ -24,7 +24,10 @@ std::uint64_t MmapRegion::query_file_size(const std::string& path) {
 std::shared_ptr<const MmapRegion> MmapRegion::map_file(const std::string& path,
                                                        std::uint64_t offset,
                                                        std::uint64_t length) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  // CLOEXEC: the descriptor lives as long as the mapping (drop_cache needs
+  // it) and is strictly in-process — children must not inherit one fd per
+  // cached snapshot.
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0)
     throw Error("mmap: cannot open " + path + ": " + std::strerror(errno));
 
@@ -64,14 +67,17 @@ std::shared_ptr<const MmapRegion> MmapRegion::map_file(const std::string& path,
     region->data_ =
         static_cast<const std::byte*>(base) + (offset - page_floor);
   }
-  // The mapping holds its own reference to the file; the descriptor is no
-  // longer needed.
-  ::close(fd);
+  // The descriptor stays open for the region's lifetime: releasing an
+  // evicted snapshot's physical memory needs posix_fadvise on the file
+  // (drop_cache), and reopening by path would break once the file is
+  // renamed or unlinked underneath a live mapping.
+  region->fd_ = fd;
   return region;
 }
 
 MmapRegion::~MmapRegion() {
   if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 #else  // _WIN32

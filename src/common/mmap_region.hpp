@@ -18,12 +18,14 @@
 // verify-on-demand flags in serve/snapshot.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/residency.hpp"
 
 namespace cw {
 
@@ -74,11 +76,65 @@ class MmapRegion {
     return data_ + (file_off - file_offset_);
   }
 
+  // --- residency control (common/residency.hpp) -----------------------------
+  //
+  // Per-range variants address bytes by absolute file offset like at() (and
+  // share its bounds checking); the no-argument variants cover the whole
+  // mapping. All of them are advisory: false means "the kernel ignored us",
+  // and the mapping keeps working lazily.
+
+  /// madvise the given range (or the whole mapping).
+  bool advise(residency::Advice advice) const {
+    return size_ > 0 && residency::advise(data_, size_, advice);
+  }
+  bool advise(std::uint64_t file_off, std::uint64_t len,
+              residency::Advice advice) const {
+    return residency::advise(at(file_off, len), static_cast<std::size_t>(len),
+                             advice);
+  }
+
+  /// mlock / munlock the given range (or the whole mapping).
+  bool lock(std::uint64_t file_off, std::uint64_t len) const {
+    return residency::lock(at(file_off, len), static_cast<std::size_t>(len));
+  }
+  bool unlock(std::uint64_t file_off, std::uint64_t len) const {
+    return residency::unlock(at(file_off, len), static_cast<std::size_t>(len));
+  }
+
+  /// mincore probe: bytes of the range (or whole mapping) in RAM right now.
+  /// For a file mapping this reports page-cache residency — "accessible
+  /// without disk IO", shared across every process mapping the file.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return size_ > 0 ? residency::resident_bytes(data_, size_) : 0;
+  }
+  [[nodiscard]] std::uint64_t resident_bytes(std::uint64_t file_off,
+                                             std::uint64_t len) const {
+    return residency::resident_bytes(at(file_off, len),
+                                     static_cast<std::size_t>(len));
+  }
+
+  /// Drop the page-cache copies of the range (posix_fadvise DONTNEED on the
+  /// region's file descriptor, which stays open for the mapping's lifetime).
+  /// madvise(kDontNeed) only sheds this process's page tables; physically
+  /// freeing an evicted snapshot's memory takes this too. Bounds-checked
+  /// like at(); the dropped bytes re-read from disk on next access.
+  /// The first drop fsyncs the file once (fadvise skips dirty pages, and a
+  /// just-written snapshot is all dirty pages); the mapping is read-only,
+  /// so one flush per region covers every later call.
+  bool drop_cache(std::uint64_t file_off, std::uint64_t len) const {
+    (void)at(file_off, len);  // bounds check
+    if (!synced_.exchange(true, std::memory_order_relaxed))
+      residency::sync_file(fd_);
+    return residency::drop_file_cache(fd_, file_off, len);
+  }
+
  private:
   MmapRegion() = default;
 
   void* map_base_ = nullptr;  // page-aligned mmap return value
   std::size_t map_len_ = 0;   // page-rounded mapped length
+  int fd_ = -1;               // kept open so drop_cache can fadvise
+  mutable std::atomic<bool> synced_{false};  // one fsync per region suffices
   const std::byte* data_ = nullptr;
   std::uint64_t size_ = 0;
   std::uint64_t file_offset_ = 0;

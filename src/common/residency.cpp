@@ -1,0 +1,186 @@
+#include "common/residency.hpp"
+
+#include <cstdint>
+
+#if !defined(CW_NO_RESIDENCY_SYSCALLS) && !defined(_WIN32)
+#define CW_RESIDENCY_POSIX 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <vector>
+#endif
+
+namespace cw::residency {
+
+const char* to_string(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal: return "normal";
+    case Advice::kWillNeed: return "willneed";
+    case Advice::kDontNeed: return "dontneed";
+    case Advice::kSequential: return "sequential";
+    case Advice::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PageRange {
+  void* base = nullptr;
+  std::size_t len = 0;
+};
+
+/// Round [addr, addr+len) OUT to page boundaries. The page containing any
+/// byte of a live range is itself part of a live mapping, so widening never
+/// escapes the caller's mapping — it can only reach bytes that share a page
+/// with it. Only non-destructive hints may widen.
+PageRange page_widen(const void* addr, std::size_t len) {
+  const std::size_t page = page_size();
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t floor = a - a % page;
+  PageRange r;
+  r.base = reinterpret_cast<void*>(floor);
+  r.len = (a - floor) + len;
+  r.len = (r.len + page - 1) / page * page;
+  return r;
+}
+
+/// Shrink [addr, addr+len) IN to the pages it fully contains. Destructive
+/// operations (munlock, DONTNEED) must never touch a boundary page shared
+/// with a neighbouring 64B-aligned segment: widening there would unpin a
+/// still-locked neighbour's page (munlock does not reference-count) or make
+/// madvise fail with EINVAL on a range containing a VM_LOCKED page. A range
+/// containing no full page shrinks to empty — nothing destructive to do.
+PageRange page_shrink(const void* addr, std::size_t len) {
+  const std::size_t page = page_size();
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t begin = (a + page - 1) / page * page;
+  const std::uintptr_t end = (a + len) / page * page;
+  PageRange r;
+  r.base = reinterpret_cast<void*>(begin);
+  r.len = end > begin ? end - begin : 0;
+  return r;
+}
+
+}  // namespace
+
+#ifdef CW_RESIDENCY_POSIX
+
+bool supported() { return true; }
+
+std::size_t page_size() {
+  static const std::size_t page = [] {
+    const long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<std::size_t>(p) : std::size_t{4096};
+  }();
+  return page;
+}
+
+bool advise(const void* addr, std::size_t len, Advice advice) {
+  if (addr == nullptr || len == 0) return false;
+  int flag = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal: flag = MADV_NORMAL; break;
+    case Advice::kWillNeed: flag = MADV_WILLNEED; break;
+    case Advice::kDontNeed: flag = MADV_DONTNEED; break;
+    case Advice::kSequential: flag = MADV_SEQUENTIAL; break;
+    case Advice::kRandom: flag = MADV_RANDOM; break;
+  }
+  // DONTNEED destroys; everything else merely hints.
+  const PageRange r = advice == Advice::kDontNeed ? page_shrink(addr, len)
+                                                  : page_widen(addr, len);
+  if (r.len == 0) return true;  // no fully-contained page: vacuously done
+  return ::madvise(r.base, r.len, flag) == 0;
+}
+
+bool lock(const void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return false;
+  // Pin/unpin only fully-contained pages, symmetrically: the kernel widens
+  // mlock ranges itself, and a widened pin (or unpin) on a boundary page
+  // shared with a neighbouring segment would interfere with that
+  // neighbour's own locking.
+  const PageRange r = page_shrink(addr, len);
+  if (r.len == 0) return true;
+  return ::mlock(r.base, r.len) == 0;
+}
+
+bool unlock(const void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return false;
+  const PageRange r = page_shrink(addr, len);
+  if (r.len == 0) return true;
+  return ::munlock(r.base, r.len) == 0;
+}
+
+std::size_t resident_bytes(const void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return 0;
+  const std::size_t page = page_size();
+  const PageRange r = page_widen(addr, len);
+  const std::size_t npages = r.len / page;
+  std::vector<unsigned char> vec(npages);
+#if defined(__APPLE__)
+  if (::mincore(r.base, r.len, reinterpret_cast<char*>(vec.data())) != 0)
+    return 0;
+#else
+  if (::mincore(r.base, r.len, vec.data()) != 0) return 0;
+#endif
+  // Count only the overlap of each resident page with the requested range,
+  // so a probe over a small sub-range never reports more than `len`.
+  const auto begin = reinterpret_cast<std::uintptr_t>(addr);
+  const auto end = begin + len;
+  const auto base = reinterpret_cast<std::uintptr_t>(r.base);
+  std::size_t resident = 0;
+  for (std::size_t i = 0; i < npages; ++i) {
+    if ((vec[i] & 1) == 0) continue;
+    const std::uintptr_t page_begin = base + i * page;
+    const std::uintptr_t lo = page_begin > begin ? page_begin : begin;
+    const std::uintptr_t hi = page_begin + page < end ? page_begin + page : end;
+    if (hi > lo) resident += hi - lo;
+  }
+  return resident;
+}
+
+bool sync_file(int fd) { return fd >= 0 && ::fsync(fd) == 0; }
+
+bool drop_file_cache(int fd, std::uint64_t offset, std::uint64_t len) {
+  if (fd < 0 || len == 0) return false;
+  // The kernel itself applies fully-contained-pages semantics to DONTNEED
+  // (offset rounds up, end rounds down), which is exactly the destructive-
+  // op alignment rule above — pass the raw range.
+  return ::posix_fadvise(fd, static_cast<off_t>(offset),
+                         static_cast<off_t>(len), POSIX_FADV_DONTNEED) == 0;
+}
+
+#else  // no residency syscalls: hints vanish, probes read 0
+
+bool supported() { return false; }
+
+std::size_t page_size() { return 4096; }
+
+bool advise(const void*, std::size_t, Advice) { return false; }
+bool lock(const void*, std::size_t) { return false; }
+bool unlock(const void*, std::size_t) { return false; }
+std::size_t resident_bytes(const void*, std::size_t) { return 0; }
+bool sync_file(int) { return false; }
+bool drop_file_cache(int, std::uint64_t, std::uint64_t) { return false; }
+
+#endif
+
+namespace {
+// The touch pass must survive optimization: the reads feed a volatile sink,
+// so the compiler cannot prove them dead and elide the page faults.
+volatile unsigned char g_touch_sink = 0;
+}  // namespace
+
+std::size_t touch(const void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) return 0;
+  const std::size_t page = page_size();
+  const auto* bytes = static_cast<const unsigned char*>(addr);
+  unsigned char acc = 0;
+  for (std::size_t off = 0; off < len; off += page) acc ^= bytes[off];
+  acc ^= bytes[len - 1];
+  g_touch_sink = acc;
+  return len;
+}
+
+}  // namespace cw::residency

@@ -1,0 +1,85 @@
+// Physical-residency control for mapped memory — the syscall floor of the
+// serving stack's memory plane.
+//
+// Snapshot v3 made pipeline arrays file-backed (common/mmap_region.hpp):
+// load is O(directory) and the kernel pages data in on first touch. That
+// trades the *where* of the bytes for the *when* — first multiplies eat page
+// faults, eviction of a mapped pipeline frees no physical memory, and
+// nothing above the mapping can ask "how much of this is actually in RAM?".
+// This header is the vocabulary the layers above use to take that control
+// back:
+//
+//   * advise()          — madvise hints (WILLNEED prefetch, DONTNEED release,
+//                         SEQUENTIAL/RANDOM readahead shaping);
+//   * lock()/unlock()   — mlock pinning for latency-critical pipelines;
+//   * resident_bytes()  — mincore probe: how much of a range is in RAM now;
+//   * touch()           — a fault-in read pass (works on every platform).
+//
+// All functions page-align internally (the syscalls demand it) and accept
+// any range inside a live mapping. They return success/observations instead
+// of throwing: residency is *advisory* — a failed hint (e.g. mlock past
+// RLIMIT_MEMLOCK) must degrade to the lazy behaviour, never take serving
+// down. On platforms without the syscalls (or with CW_NO_RESIDENCY_SYSCALLS
+// defined, the CI fallback build), advise/lock report false, probes report
+// 0, and touch() still faults pages in — callers stay correct, just blind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cw::residency {
+
+/// Access-pattern hints, mapped onto madvise when available.
+enum class Advice {
+  kNormal,      // reset to default kernel readahead
+  kWillNeed,    // prefetch: fault the range in ahead of first use
+  kDontNeed,    // release: drop page tables / private copies now
+  kSequential,  // aggressive readahead, drop-behind
+  kRandom,      // disable readahead (pointer-chasing access)
+};
+
+const char* to_string(Advice advice);
+
+/// True when this build can actually reach madvise/mlock/mincore. The no-op
+/// fallback (CW_NO_RESIDENCY_SYSCALLS or non-POSIX) returns false; callers
+/// gate *expectations* on this, never correctness.
+bool supported();
+
+/// System page size (4096 when it cannot be queried).
+std::size_t page_size();
+
+/// Hint the kernel about [addr, addr+len); rounds to page boundaries
+/// internally. Returns true iff the hint was delivered.
+bool advise(const void* addr, std::size_t len, Advice advice);
+
+/// Pin / unpin the pages covering [addr, addr+len). Locking commonly fails
+/// for unprivileged processes (RLIMIT_MEMLOCK); callers must treat false as
+/// "stays pageable", not an error.
+bool lock(const void* addr, std::size_t len);
+bool unlock(const void* addr, std::size_t len);
+
+/// Bytes of [addr, addr+len) currently resident in physical memory
+/// (mincore; partial pages count only their overlap with the range).
+/// 0 when probing is unsupported.
+std::size_t resident_bytes(const void* addr, std::size_t len);
+
+/// Fault the range in by reading one byte per page (and the last byte).
+/// Pure loads — works in every build, returns len.
+std::size_t touch(const void* addr, std::size_t len);
+
+/// fsync `fd`. fadvise silently skips dirty pages, and a snapshot that was
+/// *just* written (offline prepare, then immediate serve) is all dirty
+/// pages — flush once before dropping so the drop actually drops. Linux
+/// allows fsync on read-only descriptors.
+bool sync_file(int fd);
+
+/// Drop the (clean) page-cache copies of file range [offset, offset+len) —
+/// posix_fadvise(DONTNEED), which only touches pages fully inside the
+/// range. madvise(DONTNEED) on a file-backed mapping only drops this
+/// process's page tables; the data stays cached in the kernel and mincore
+/// keeps reporting it resident. Evicting a mapped pipeline with real teeth
+/// needs both: drop the PTEs, then the cache. Pages still mapped elsewhere
+/// survive, and everything re-reads from disk correctly.
+bool drop_file_cache(int fd, std::uint64_t offset, std::uint64_t len);
+
+}  // namespace cw::residency

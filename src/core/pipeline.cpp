@@ -1,9 +1,37 @@
 #include "core/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "common/residency.hpp"
 #include "common/timer.hpp"
 
 namespace cw {
+
+namespace {
+
+/// Apply `fn(segment)` to every bulk array of the pipeline — the one place
+/// that knows which segments a prepared pipeline is made of, so the
+/// residency operations below can never drift out of sync with the storage
+/// layout. (The `order` arrays are std::vectors — always private heap — and
+/// are accounted separately in residency().)
+template <typename Fn>
+void for_each_segment(const Pipeline& p, Fn&& fn) {
+  const Csr& a = p.matrix();
+  fn(a.row_ptr());
+  fn(a.col_idx());
+  fn(a.values());
+  fn(p.clustering().ptr());
+  if (p.clustered()) {
+    const CsrCluster& cc = *p.clustered();
+    fn(cc.cluster_ptr());
+    fn(cc.value_ptr());
+    fn(cc.clustering().ptr());
+    fn(cc.col_idx());
+    fn(cc.row_mask());
+    fn(cc.values());
+  }
+}
+
+}  // namespace
 
 const char* to_string(ClusterScheme scheme) {
   switch (scheme) {
@@ -162,6 +190,59 @@ std::vector<Csr> Pipeline::multiply_stacked(const std::vector<const Csr*>& bs,
 
 Csr Pipeline::unpermute_rows(const Csr& c) const {
   return c.permute_rows(inv_order_);
+}
+
+std::size_t Pipeline::warm_up() const {
+  std::size_t warmed = 0;
+  for_each_segment(*this, [&](const auto& seg) {
+    if (seg.owned() || seg.empty()) return;
+    // Hint first so the kernel can batch the read-in, then touch so the
+    // pages are guaranteed faulted by the time we return (WILLNEED alone is
+    // asynchronous and, on fallback builds, a no-op).
+    seg.advise(residency::Advice::kWillNeed);
+    warmed += residency::touch(seg.data(), seg.size_bytes());
+  });
+  return warmed;
+}
+
+std::size_t Pipeline::release_residency() const {
+  std::size_t released = 0;
+  for_each_segment(*this,
+                   [&](const auto& seg) { released += seg.release(); });
+  return released;
+}
+
+std::size_t Pipeline::lock_residency(std::size_t max_bytes) const {
+  std::size_t locked = 0;
+  for_each_segment(*this, [&](const auto& seg) {
+    if (seg.owned() || seg.empty()) return;
+    if (seg.size_bytes() > max_bytes - locked) return;  // whole-segment-or-skip
+    if (seg.lock_memory()) locked += seg.size_bytes();
+  });
+  return locked;
+}
+
+std::size_t Pipeline::unlock_residency() const {
+  std::size_t unlocked = 0;
+  for_each_segment(*this, [&](const auto& seg) {
+    if (seg.owned() || seg.empty()) return;
+    if (seg.unlock_memory()) unlocked += seg.size_bytes();
+  });
+  return unlocked;
+}
+
+PipelineResidency Pipeline::residency() const {
+  PipelineResidency r;
+  for_each_segment(*this, [&](const auto& seg) {
+    if (seg.owned()) {
+      r.owned_bytes += seg.size_bytes();
+    } else {
+      r.mapped_bytes += seg.size_bytes();
+      r.resident_mapped_bytes += seg.resident_bytes();
+    }
+  });
+  r.owned_bytes += (order_.size() + inv_order_.size()) * sizeof(index_t);
+  return r;
 }
 
 }  // namespace cw

@@ -72,6 +72,16 @@ struct PipelineStats {
   }
 };
 
+/// Physical-memory placement of a pipeline's bulk arrays (residency()).
+/// Owned bytes are private heap (always resident); mapped bytes borrow a
+/// snapshot-v3 file mapping, of which only resident_mapped_bytes are in RAM
+/// right now — the rest fault in on first touch.
+struct PipelineResidency {
+  std::size_t owned_bytes = 0;
+  std::size_t mapped_bytes = 0;
+  std::size_t resident_mapped_bytes = 0;
+};
+
 /// Preprocess-once / multiply-many context.
 class Pipeline {
  public:
@@ -152,6 +162,36 @@ class Pipeline {
 
   /// Undo the row permutation of a product computed in preprocessed space.
   [[nodiscard]] Csr unpermute_rows(const Csr& c) const;
+
+  // --- residency control (common/residency.hpp) ----------------------------
+  //
+  // Only meaningful for mmap-loaded pipelines (borrowed segments); all four
+  // are no-ops returning 0 on fully owned pipelines, and every one leaves
+  // the pipeline's *values* untouched — products before and after any of
+  // them are bit-identical. They are const (and thread-safe) because they
+  // change where bytes live, never what they are.
+
+  /// Prefault: WILLNEED-advise every mapped segment, then fault it in with a
+  /// touch pass — a node can absorb the page-fault cost before taking
+  /// traffic instead of on its first multiplies. Returns mapped bytes warmed.
+  std::size_t warm_up() const;
+
+  /// Release: munlock + DONTNEED every mapped segment, dropping its physical
+  /// pages (they re-fault from the file on next use). This is what gives
+  /// registry eviction of mapped pipelines real teeth. Returns mapped bytes
+  /// released.
+  std::size_t release_residency() const;
+
+  /// Pin whole mapped segments greedily until adding the next would exceed
+  /// `max_bytes`. mlock failures (RLIMIT_MEMLOCK) skip the segment. Returns
+  /// the bytes actually locked.
+  std::size_t lock_residency(std::size_t max_bytes) const;
+
+  /// Unpin everything lock_residency() may have pinned.
+  std::size_t unlock_residency() const;
+
+  /// Probe where this pipeline's bytes physically live right now.
+  [[nodiscard]] PipelineResidency residency() const;
 
  private:
   Pipeline() = default;  // used by restore() / prepare_rows()

@@ -1,0 +1,128 @@
+#include "serve/admission.hpp"
+
+#include "common/error.hpp"
+
+namespace cw::serve {
+
+const char* to_string(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll: return "admit-all";
+    case AdmissionKind::kTinyLfu: return "tinylfu";
+  }
+  return "?";
+}
+
+AdmissionKind parse_admission_kind(const std::string& name) {
+  if (name == "lru" || name == "admit-all") return AdmissionKind::kAdmitAll;
+  if (name == "tinylfu") return AdmissionKind::kTinyLfu;
+  throw Error("unknown admission policy: " + name +
+              " (expected lru or tinylfu)");
+}
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the per-row probe positions from the
+/// single FingerprintHasher value the registry feeds in.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TinyLfuPolicy::TinyLfuPolicy(const TinyLfuOptions& opt) {
+  const std::uint32_t log2 =
+      opt.counters_log2 < 4 ? 4 : opt.counters_log2 > 28 ? 28 : opt.counters_log2;
+  const std::uint64_t counters = std::uint64_t{1} << log2;
+  counter_mask_ = counters - 1;
+  sample_size_ = opt.sample_size > 0 ? opt.sample_size : counters * 8;
+  table_.assign(kDepth * (counters / 16), 0);  // 16 4-bit counters per word
+  doorkeeper_.assign((counters + 63) / 64, 0);  // round up: log2 < 6 is legal
+}
+
+std::size_t TinyLfuPolicy::nibble_index_(std::uint32_t row,
+                                         std::uint64_t key_hash) const {
+  return static_cast<std::size_t>(mix64(key_hash + row * 0xC2B2AE3D27D4EB4Full) &
+                                  counter_mask_);
+}
+
+std::uint32_t TinyLfuPolicy::sketch_min_(std::uint64_t key_hash) const {
+  std::uint32_t freq = kMaxCount;
+  const std::size_t words_per_row = counter_mask_ / 16 + 1;
+  for (std::uint32_t row = 0; row < kDepth; ++row) {
+    const std::size_t idx = nibble_index_(row, key_hash);
+    const std::uint64_t word = table_[row * words_per_row + idx / 16];
+    const auto count =
+        static_cast<std::uint32_t>((word >> (4 * (idx % 16))) & 0xF);
+    if (count < freq) freq = count;
+  }
+  return freq;
+}
+
+void TinyLfuPolicy::record_access(std::uint64_t key_hash) {
+  // Doorkeeper: the first sighting of a key sets one bloom bit and stays out
+  // of the sketch, so the long tail of once-seen keys (the scan flood
+  // itself) cannot dilute the counters that track genuinely hot keys.
+  const std::size_t bit =
+      static_cast<std::size_t>(mix64(key_hash) & counter_mask_);
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  if ((doorkeeper_[bit / 64] & mask) == 0) {
+    doorkeeper_[bit / 64] |= mask;
+  } else {
+    // Conservative-update count-min: only bump the minimal counters, which
+    // tightens the estimate under hash collisions.
+    const std::uint32_t current = sketch_min_(key_hash);
+    if (current < kMaxCount) {
+      const std::size_t words_per_row = counter_mask_ / 16 + 1;
+      for (std::uint32_t row = 0; row < kDepth; ++row) {
+        const std::size_t idx = nibble_index_(row, key_hash);
+        std::uint64_t& word = table_[row * words_per_row + idx / 16];
+        const std::uint32_t shift = 4 * (idx % 16);
+        const auto count = static_cast<std::uint32_t>((word >> shift) & 0xF);
+        if (count == current)
+          word += std::uint64_t{1} << shift;  // nibble-local, cannot carry
+      }
+    }
+  }
+  if (++samples_ >= sample_size_) age_();
+}
+
+void TinyLfuPolicy::age_() {
+  // Halve every counter in place: shifting the whole word right by one and
+  // masking the bit that would leak across each nibble boundary halves all
+  // 16 counters at once. Recency matters — a key hot last epoch but silent
+  // since must decay below today's hot set.
+  for (std::uint64_t& word : table_)
+    word = (word >> 1) & 0x7777777777777777ull;
+  for (std::uint64_t& word : doorkeeper_) word = 0;
+  samples_ = 0;
+  ++agings_;
+}
+
+std::uint32_t TinyLfuPolicy::estimate(std::uint64_t key_hash) const {
+  const std::size_t bit =
+      static_cast<std::size_t>(mix64(key_hash) & counter_mask_);
+  const std::uint32_t door =
+      (doorkeeper_[bit / 64] >> (bit % 64)) & 1 ? 1u : 0u;
+  return sketch_min_(key_hash) + door;
+}
+
+bool TinyLfuPolicy::admit_over(std::uint64_t candidate_hash,
+                               std::uint64_t victim_hash) {
+  // Strictly greater: ties keep the incumbent (it at least proved itself
+  // once by being admitted; churn without evidence is pure cost).
+  return estimate(candidate_hash) > estimate(victim_hash);
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    AdmissionKind kind, const TinyLfuOptions& opt) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll: return std::make_unique<AdmitAllPolicy>();
+    case AdmissionKind::kTinyLfu: return std::make_unique<TinyLfuPolicy>(opt);
+  }
+  throw Error("unknown admission policy id");
+}
+
+}  // namespace cw::serve

@@ -1,0 +1,113 @@
+// Pluggable cache-admission policies for the pipeline registry.
+//
+// LRU answers "who leaves when space runs out?" but never "is the newcomer
+// worth the space at all?" — so a scan flood (many one-shot matrices arriving
+// back to back) evicts the hot pipelines that earn the cache its hit rate.
+// An AdmissionPolicy sits in front of eviction: before the registry evicts a
+// victim to make room, the candidate must prove it is more valuable.
+//
+// Two policies ship:
+//
+//   * AdmitAllPolicy — always yes: byte-for-byte the registry's historical
+//     admit-all LRU behaviour (and the default).
+//   * TinyLfuPolicy  — frequency-aware admission à la TinyLFU (Einziger et
+//     al.): a 4-bit count-min sketch estimates every key's recent access
+//     frequency in O(1) space, a doorkeeper bloom filter absorbs the long
+//     tail of once-seen keys before they cost sketch space, and periodic
+//     aging (halving all counters) keeps the estimates *recent*. A candidate
+//     displaces a victim only when its estimated frequency is strictly
+//     higher, so one-shot scan entries bounce off resident hot entries.
+//
+// Policies are driven entirely under the registry's mutex: given the same
+// operation sequence they make the same decisions (the determinism the
+// concurrent-admit tests pin down). Keys are pre-hashed 64-bit values (the
+// registry feeds FingerprintHasher output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cw::serve {
+
+enum class AdmissionKind : std::uint8_t {
+  kAdmitAll = 0,  // historical LRU behaviour
+  kTinyLfu = 1,   // frequency-aware (sketch + doorkeeper)
+};
+
+const char* to_string(AdmissionKind kind);
+
+/// Parse "lru" / "admit-all" / "tinylfu" (CLI flags). Throws on others.
+AdmissionKind parse_admission_kind(const std::string& name);
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// One access to `key_hash` (every registry lookup and insert attempt).
+  virtual void record_access(std::uint64_t key_hash) = 0;
+
+  /// Should `candidate` displace `victim`? Called once per prospective
+  /// eviction victim; the first false rejects the insertion.
+  [[nodiscard]] virtual bool admit_over(std::uint64_t candidate_hash,
+                                        std::uint64_t victim_hash) = 0;
+};
+
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "admit-all"; }
+  void record_access(std::uint64_t) override {}
+  [[nodiscard]] bool admit_over(std::uint64_t, std::uint64_t) override {
+    return true;
+  }
+};
+
+struct TinyLfuOptions {
+  /// log2 of the 4-bit counters per sketch row (default 8192 counters ×
+  /// 4 rows = 16 KiB of sketch). Size for ~10× the expected distinct keys.
+  std::uint32_t counters_log2 = 13;
+  /// Accesses between agings (halve every counter, clear the doorkeeper).
+  /// 0 = 8 × counters. Small values age aggressively (test hook).
+  std::uint64_t sample_size = 0;
+};
+
+class TinyLfuPolicy final : public AdmissionPolicy {
+ public:
+  explicit TinyLfuPolicy(const TinyLfuOptions& opt = {});
+
+  [[nodiscard]] const char* name() const override { return "tinylfu"; }
+  void record_access(std::uint64_t key_hash) override;
+  [[nodiscard]] bool admit_over(std::uint64_t candidate_hash,
+                                std::uint64_t victim_hash) override;
+
+  /// Current frequency estimate (doorkeeper + sketch minimum); max 16.
+  [[nodiscard]] std::uint32_t estimate(std::uint64_t key_hash) const;
+
+  /// Aging passes run so far (observability + the aging test).
+  [[nodiscard]] std::uint64_t agings() const { return agings_; }
+
+ private:
+  static constexpr std::uint32_t kDepth = 4;       // sketch rows
+  static constexpr std::uint32_t kMaxCount = 15;   // 4-bit saturation
+
+  [[nodiscard]] std::size_t nibble_index_(std::uint32_t row,
+                                          std::uint64_t key_hash) const;
+  [[nodiscard]] std::uint32_t sketch_min_(std::uint64_t key_hash) const;
+  void age_();
+
+  std::uint64_t counter_mask_ = 0;       // counters-per-row - 1
+  std::uint64_t sample_size_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t agings_ = 0;
+  std::vector<std::uint64_t> table_;      // kDepth rows × counters/16 words
+  std::vector<std::uint64_t> doorkeeper_;  // 1 bit per counter slot
+};
+
+/// Factory keyed by the registry option enum.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    AdmissionKind kind, const TinyLfuOptions& opt = {});
+
+}  // namespace cw::serve

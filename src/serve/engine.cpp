@@ -19,7 +19,12 @@ double ms_between(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 ServeEngine::ServeEngine(EngineOptions opt)
-    : opt_(opt), start_(Clock::now()), latencies_(opt.latency_window) {
+    : opt_(opt),
+      start_(Clock::now()),
+      registry_(opt.registry.capacity_bytes > 0
+                    ? std::make_unique<PipelineRegistry>(opt.registry)
+                    : nullptr),
+      latencies_(opt.latency_window) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
   CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
   workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
@@ -28,6 +33,12 @@ ServeEngine::ServeEngine(EngineOptions opt)
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
+
+std::shared_ptr<const Pipeline> ServeEngine::admit(
+    const Fingerprint& key, std::shared_ptr<const Pipeline> p) {
+  if (registry_ == nullptr) return p;
+  return registry_->insert(key, std::move(p));
+}
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
                                      Csr b) {
@@ -162,6 +173,7 @@ EngineStats ServeEngine::stats() const {
     s.latency_p99_ms = latencies_.window_percentile(99);
     s.latency_max_ms = latencies_.max_ms();
   }
+  if (registry_) s.registry = registry_->stats();
   return s;
 }
 

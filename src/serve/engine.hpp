@@ -39,6 +39,7 @@
 
 #include "common/stats.hpp"
 #include "core/pipeline.hpp"
+#include "serve/registry.hpp"
 
 namespace cw::serve {
 
@@ -78,6 +79,12 @@ struct EngineOptions {
   /// Latency samples retained for the percentile report (ring buffer over
   /// the most recent requests, so a long-lived engine stays O(1) memory).
   std::size_t latency_window = 4096;
+  /// Embedded pipeline registry (the serving cache): capacity_bytes == 0
+  /// (default) means no registry, today's behaviour. A non-zero capacity
+  /// gives the engine a fingerprint-keyed cache with the configured
+  /// admission policy and residency knobs (prefault_on_admit,
+  /// mlock_budget_bytes, release_mapped_on_evict) — see serve/registry.hpp.
+  RegistryOptions registry = {};
 };
 
 struct EngineStats {
@@ -124,6 +131,9 @@ struct EngineStats {
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
   double latency_max_ms = 0;
+  /// Embedded registry counters (hit rate, admission rejects, residency
+  /// bytes); all-zero when EngineOptions::registry is disabled.
+  RegistryStats registry = {};
 };
 
 class ServeEngine {
@@ -167,6 +177,16 @@ class ServeEngine {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
+  /// The embedded pipeline registry, or null when EngineOptions::registry
+  /// left capacity_bytes at 0.
+  [[nodiscard]] PipelineRegistry* registry() const { return registry_.get(); }
+
+  /// Cache `p` in the embedded registry under `key` (admission, prefault
+  /// and mlock applied per EngineOptions::registry) and return the cached
+  /// handle — or `p` unchanged when the engine has no registry.
+  std::shared_ptr<const Pipeline> admit(const Fingerprint& key,
+                                        std::shared_ptr<const Pipeline> p);
+
   [[nodiscard]] EngineStats stats() const;
 
  private:
@@ -201,6 +221,7 @@ class ServeEngine {
 
   const EngineOptions opt_;
   const Clock::time_point start_;
+  const std::unique_ptr<PipelineRegistry> registry_;  // null = no registry
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when ready_ gains a group

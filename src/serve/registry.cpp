@@ -54,12 +54,22 @@ std::size_t pipeline_memory_bytes(const Pipeline& p) {
 }
 
 PipelineRegistry::PipelineRegistry(std::size_t capacity_bytes)
-    : capacity_(capacity_bytes) {
-  stats_.capacity_bytes = capacity_bytes;
+    : PipelineRegistry(RegistryOptions{.capacity_bytes = capacity_bytes}) {}
+
+PipelineRegistry::PipelineRegistry(const RegistryOptions& opt)
+    : opt_(opt),
+      policy_(opt.admission == AdmissionKind::kAdmitAll
+                  ? nullptr  // admit-all needs no state or virtual calls
+                  : make_admission_policy(opt.admission, opt.tinylfu)) {
+  stats_.capacity_bytes = opt.capacity_bytes;
 }
 
 std::shared_ptr<const Pipeline> PipelineRegistry::find(const Fingerprint& key) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Misses are recorded too: a key that keeps being asked for must build up
+  // frequency *before* it is in the cache, or admission could never learn
+  // that the fleet wants it.
+  if (policy_) policy_->record_access(FingerprintHasher{}(key));
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -76,26 +86,98 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
   CW_CHECK_MSG(p != nullptr, "registry: cannot insert a null pipeline");
   if (admitted) *admitted = false;
   const PipelineFootprint footprint = pipeline_footprint(*p);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = map_.find(key); it != map_.end()) {
-    // Racing builder lost: keep the incumbent so both callers share one copy.
-    touch_(it->second);
-    return it->second->pipeline;
+  const std::uint64_t key_hash = FingerprintHasher{}(key);
+  std::shared_ptr<const Pipeline> cached;
+  std::size_t lock_quota = 0;
+  std::uint64_t lock_token = 0;
+  std::vector<Deferred> deferred;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_) policy_->record_access(key_hash);
+    if (auto it = map_.find(key); it != map_.end()) {
+      // Racing builder lost: keep the incumbent so both callers share one
+      // copy.
+      touch_(it->second);
+      return it->second->pipeline;
+    }
+    // Only the private (anonymous) bytes compete for the budget; mapped
+    // bytes are shared page cache (see PipelineFootprint).
+    if (footprint.anonymous_bytes > opt_.capacity_bytes) {
+      ++stats_.oversize_rejects;
+      return p;  // usable by the caller, just not cached
+    }
+    // Admission is decided over ALL prospective victims BEFORE anything is
+    // evicted: each one gets to defend its slot through the policy, and a
+    // rejected candidate must leave the cache exactly as it found it — a
+    // scan key that beats the coldest entry but loses to the next must not
+    // drain the cold tail on every retry while never being admitted.
+    std::vector<LruList::iterator> victims;
+    std::size_t freed = 0;
+    for (auto vit = lru_.end();
+         stats_.bytes_used - freed + footprint.anonymous_bytes >
+             opt_.capacity_bytes &&
+         vit != lru_.begin();) {
+      --vit;  // walk LRU-first (back to front)
+      if (policy_ && !policy_->admit_over(key_hash, vit->key_hash)) {
+        ++stats_.admission_rejects;
+        return p;
+      }
+      freed += vit->footprint.anonymous_bytes;
+      victims.push_back(vit);
+    }
+    for (LruList::iterator vit : victims) {
+      detach_(vit, &deferred);
+      ++stats_.evictions;
+    }
+    if (admitted) *admitted = true;
+    lru_.push_front(Entry{key, key_hash, std::move(p), footprint, 0, 0});
+    map_[key] = lru_.begin();
+    stats_.bytes_used += footprint.anonymous_bytes;
+    stats_.mapped_bytes_used += footprint.mapped_bytes;
+    ++stats_.insertions;
+    cached = lru_.front().pipeline;
+    if (footprint.mapped_bytes > 0 &&
+        opt_.mlock_budget_bytes > stats_.locked_bytes) {
+      // Reserve this entry's share of the mlock budget now (so concurrent
+      // admits cannot over-commit it) and true it up to what mlock actually
+      // pinned below, outside the lock.
+      lock_quota = opt_.mlock_budget_bytes - stats_.locked_bytes;
+      if (lock_quota > footprint.mapped_bytes)
+        lock_quota = footprint.mapped_bytes;
+      stats_.locked_bytes += lock_quota;
+      lru_.front().locked_bytes = lock_quota;
+      lock_token = ++next_lock_token_;
+      lru_.front().lock_token = lock_token;
+    }
   }
-  // Only the private (anonymous) bytes compete for the budget; mapped bytes
-  // are shared page cache (see PipelineFootprint).
-  if (footprint.anonymous_bytes > capacity_) {
-    ++stats_.oversize_rejects;
-    return p;  // usable by the caller, just not cached
+  // Residency work runs outside the lock: touching/pinning/releasing pages
+  // is O(mapped bytes) of kernel work, and lookups must not stall behind it.
+  finish_releases_(deferred);
+  if (footprint.mapped_bytes > 0) {
+    if (opt_.prefault_on_admit) {
+      const std::size_t warmed = cached->warm_up();
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.prefaulted_bytes += warmed;
+    }
+    if (lock_quota > 0) {
+      const std::size_t locked = cached->lock_residency(lock_quota);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      // The token proves the entry still carries THIS call's reservation —
+      // matching by key or pipeline pointer is not enough, because an
+      // erase-and-reinsert of the same pipeline in the window would make us
+      // adjust a stranger's (differently sized) reservation.
+      if (it != map_.end() && it->second->lock_token == lock_token) {
+        stats_.locked_bytes -= lock_quota - locked;  // locked <= lock_quota
+        it->second->locked_bytes = locked;
+      } else {
+        // A racer already evicted/replaced us (its eviction returned our
+        // reservation); drop the pins we just took.
+        cached->unlock_residency();
+      }
+    }
   }
-  if (admitted) *admitted = true;
-  evict_until_(capacity_ - footprint.anonymous_bytes);
-  lru_.push_front(Entry{key, std::move(p), footprint});
-  map_[key] = lru_.begin();
-  stats_.bytes_used += footprint.anonymous_bytes;
-  stats_.mapped_bytes_used += footprint.mapped_bytes;
-  ++stats_.insertions;
-  return lru_.front().pipeline;
+  return cached;
 }
 
 std::shared_ptr<const Pipeline> PipelineRegistry::get_or_build(
@@ -110,21 +192,23 @@ std::shared_ptr<const Pipeline> PipelineRegistry::get_or_build(
 }
 
 void PipelineRegistry::erase(const Fingerprint& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) return;
-  stats_.bytes_used -= it->second->footprint.anonymous_bytes;
-  stats_.mapped_bytes_used -= it->second->footprint.mapped_bytes;
-  lru_.erase(it->second);
-  map_.erase(it);
+  std::vector<Deferred> deferred;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    detach_(it->second, &deferred);
+  }
+  finish_releases_(deferred);
 }
 
 void PipelineRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  map_.clear();
-  stats_.bytes_used = 0;
-  stats_.mapped_bytes_used = 0;
+  std::vector<Deferred> deferred;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!lru_.empty()) detach_(lru_.begin(), &deferred);
+  }
+  finish_releases_(deferred);
 }
 
 RegistryStats PipelineRegistry::stats() const {
@@ -139,18 +223,53 @@ std::size_t PipelineRegistry::size() const {
   return map_.size();
 }
 
+std::size_t PipelineRegistry::resident_mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t resident = 0;
+  for (const Entry& entry : lru_)
+    if (entry.footprint.mapped_bytes > 0)
+      resident += entry.pipeline->residency().resident_mapped_bytes;
+  return resident;
+}
+
 void PipelineRegistry::touch_(LruList::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-void PipelineRegistry::evict_until_(std::size_t budget) {
-  while (stats_.bytes_used > budget && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    stats_.bytes_used -= victim.footprint.anonymous_bytes;
-    stats_.mapped_bytes_used -= victim.footprint.mapped_bytes;
-    map_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
+void PipelineRegistry::detach_(LruList::iterator it,
+                               std::vector<Deferred>* out) {
+  const Entry& entry = *it;
+  stats_.bytes_used -= entry.footprint.anonymous_bytes;
+  stats_.mapped_bytes_used -= entry.footprint.mapped_bytes;
+  stats_.locked_bytes -= entry.locked_bytes;
+  if (entry.footprint.mapped_bytes > 0 &&
+      (opt_.release_mapped_on_evict || entry.locked_bytes > 0))
+    out->push_back(
+        Deferred{entry.pipeline, entry.locked_bytes,
+                 opt_.release_mapped_on_evict});
+  map_.erase(entry.key);
+  lru_.erase(it);
+}
+
+void PipelineRegistry::finish_releases_(const std::vector<Deferred>& deferred) {
+  std::uint64_t released = 0, count = 0;
+  for (const Deferred& d : deferred) {
+    if (d.release_mapped) {
+      // Dropping a mapped entry must return memory, not just forget a
+      // pointer into page cache — DONTNEED its pages and their cache
+      // copies. Anyone still holding the shared_ptr (or a racer that
+      // re-admits the same pipeline meanwhile) stays correct, just
+      // re-faults.
+      released += d.pipeline->release_residency();
+      ++count;
+    } else if (d.locked_bytes > 0) {
+      d.pipeline->unlock_residency();
+    }
+  }
+  if (count > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.released_bytes += released;
+    stats_.released_evictions += count;
   }
 }
 

@@ -8,6 +8,18 @@
 // `shared_ptr<const Pipeline>`, so an evicted pipeline stays alive until the
 // last in-flight request using it finishes — eviction never invalidates a
 // running multiply.
+//
+// Two policy hooks refine the plain LRU:
+//
+//   * admission (serve/admission.hpp) — before an insertion may evict, the
+//     candidate must beat each prospective victim under the configured
+//     AdmissionPolicy. The default admit-all preserves the historical LRU
+//     behaviour exactly; TinyLFU protects hot pipelines from scan floods.
+//   * residency (common/residency.hpp) — mmap-loaded entries can be
+//     prefaulted on admit (warm before traffic) and pinned within an mlock
+//     budget; evicting one releases its physical pages (DONTNEED), so
+//     `mapped_bytes` eviction actually returns memory to the machine
+//     instead of just forgetting a pointer into page cache.
 #pragma once
 
 #include <cstddef>
@@ -17,8 +29,10 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "serve/admission.hpp"
 #include "serve/fingerprint.hpp"
 
 namespace cw::serve {
@@ -46,6 +60,27 @@ PipelineFootprint pipeline_footprint(const Pipeline& p);
 /// single-number accounting; equals the old value for fully-owned pipelines.
 std::size_t pipeline_memory_bytes(const Pipeline& p);
 
+struct RegistryOptions {
+  /// Anonymous-byte budget (mapped bytes are not charged; see
+  /// PipelineFootprint).
+  std::size_t capacity_bytes = 0;
+  /// Who may displace whom (serve/admission.hpp). kAdmitAll = the
+  /// historical LRU behaviour, exactly.
+  AdmissionKind admission = AdmissionKind::kAdmitAll;
+  /// Sketch sizing/aging when admission == kTinyLfu.
+  TinyLfuOptions tinylfu = {};
+  /// warm_up() newly admitted mmap-backed entries (WILLNEED + touch) so
+  /// their first multiplies pay no page faults.
+  bool prefault_on_admit = false;
+  /// mlock budget across all cached entries: admitted mapped entries are
+  /// pinned greedily (whole entry's worth of segments, or skip) until the
+  /// budget is spent. 0 = never lock.
+  std::size_t mlock_budget_bytes = 0;
+  /// DONTNEED a mapped entry's pages when it is evicted/erased, so dropping
+  /// it frees physical memory instead of only forgetting the mapping.
+  bool release_mapped_on_evict = true;
+};
+
 struct RegistryStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -53,11 +88,22 @@ struct RegistryStats {
   std::uint64_t evictions = 0;
   /// Inserts refused because a single entry exceeded the whole budget.
   std::uint64_t oversize_rejects = 0;
+  /// Inserts refused by the admission policy (a prospective victim was
+  /// hotter than the candidate).
+  std::uint64_t admission_rejects = 0;
+  /// Evictions/erases that released a mapped entry's physical pages.
+  std::uint64_t released_evictions = 0;
+  /// Cumulative mapped bytes DONTNEEDed by those releases.
+  std::uint64_t released_bytes = 0;
+  /// Cumulative mapped bytes prefaulted by prefault_on_admit.
+  std::uint64_t prefaulted_bytes = 0;
   /// Anonymous (private, budget-charged) bytes of the cached entries.
   std::size_t bytes_used = 0;
   /// File-backed mmap bytes of the cached entries — tracked for honesty,
   /// not charged against capacity (shared page cache; see PipelineFootprint).
   std::size_t mapped_bytes_used = 0;
+  /// Mapped bytes currently mlocked under RegistryOptions::mlock_budget.
+  std::size_t locked_bytes = 0;
   std::size_t capacity_bytes = 0;
   std::size_t entries = 0;
   [[nodiscard]] double hit_rate() const {
@@ -68,7 +114,10 @@ struct RegistryStats {
 
 class PipelineRegistry {
  public:
+  /// Historical constructor: admit-all LRU over `capacity_bytes`.
   explicit PipelineRegistry(std::size_t capacity_bytes);
+
+  explicit PipelineRegistry(const RegistryOptions& opt);
 
   PipelineRegistry(const PipelineRegistry&) = delete;
   PipelineRegistry& operator=(const PipelineRegistry&) = delete;
@@ -80,11 +129,12 @@ class PipelineRegistry {
   /// budget holds. First insert wins: if the key is already present (e.g. a
   /// racing builder got there first) the incumbent is kept and returned, so
   /// all callers share one copy. To force a rebuild, erase() first. An entry
-  /// bigger than the whole budget is returned but not cached. `admitted`
-  /// (optional) is set to whether THIS call cached its entry — the returned
-  /// handle alone cannot distinguish admitted / incumbent-kept /
-  /// oversize-rejected, and a registry-wide counter delta would race other
-  /// inserters.
+  /// bigger than the whole budget — or one the admission policy judges
+  /// colder than a prospective eviction victim — is returned but not
+  /// cached. `admitted` (optional) is set to whether THIS call cached its
+  /// entry — the returned handle alone cannot distinguish admitted /
+  /// incumbent-kept / rejected, and a registry-wide counter delta would
+  /// race other inserters.
   std::shared_ptr<const Pipeline> insert(const Fingerprint& key,
                                          std::shared_ptr<const Pipeline> p,
                                          bool* admitted = nullptr);
@@ -105,22 +155,50 @@ class PipelineRegistry {
 
   [[nodiscard]] RegistryStats stats() const;
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return opt_.capacity_bytes;
+  }
+  [[nodiscard]] const RegistryOptions& options() const { return opt_; }
+
+  /// Diagnostic probe: mincore the mapped bytes of every cached entry and
+  /// sum what is physically resident right now. O(cached mapped pages) under
+  /// the registry lock — an operator/bench observable, not a hot-path call.
+  [[nodiscard]] std::size_t resident_mapped_bytes() const;
 
  private:
   struct Entry {
     Fingerprint key;
+    std::uint64_t key_hash = 0;  // policy handle (FingerprintHasher output)
     std::shared_ptr<const Pipeline> pipeline;
     PipelineFootprint footprint;
+    std::size_t locked_bytes = 0;  // this entry's share of the mlock budget
+    /// Identifies the insert() call whose mlock reservation this is: the
+    /// true-up after the syscalls must not adjust a *different* entry that
+    /// re-inserted the same key (even the same pipeline) meanwhile.
+    std::uint64_t lock_token = 0;
   };
   using LruList = std::list<Entry>;
 
-  // Both require mu_ held.
-  void touch_(LruList::iterator it);
-  void evict_until_(std::size_t budget);
+  /// Residency syscalls owed for a detached entry, run after mu_ drops —
+  /// releasing a mapped pipeline is O(its pages) of kernel work and must
+  /// never stall concurrent lookups.
+  struct Deferred {
+    std::shared_ptr<const Pipeline> pipeline;
+    std::size_t locked_bytes = 0;
+    bool release_mapped = false;
+  };
 
-  const std::size_t capacity_;
+  // Require mu_ held.
+  void touch_(LruList::iterator it);
+  void detach_(LruList::iterator it, std::vector<Deferred>* out);
+
+  /// Perform the queued residency work; must be called WITHOUT mu_ held.
+  void finish_releases_(const std::vector<Deferred>& deferred);
+
+  const RegistryOptions opt_;
+  const std::unique_ptr<AdmissionPolicy> policy_;  // null = admit all
   mutable std::mutex mu_;
+  std::uint64_t next_lock_token_ = 0;
   LruList lru_;  // front = most recently used
   std::unordered_map<Fingerprint, LruList::iterator, FingerprintHasher> map_;
   RegistryStats stats_{};

@@ -504,4 +504,43 @@ SnapshotInfo read_info_file(const std::string& path) {
   return read_info(f);
 }
 
+SnapshotInfo convert_snapshot_file(const std::string& in_path,
+                                   const std::string& out_path,
+                                   const SaveOptions& opt) {
+  detail::check_save_version(opt.version);
+  auto in = open_in(in_path);
+  const SnapshotInfo info = read_info(in);
+  in.seekg(0);  // the loaders re-read the header themselves
+  switch (info.kind) {
+    case SnapshotKind::kCsr: {
+      const Csr a = load_csr(in);
+      save_csr_file(out_path, a, opt);
+      return info;
+    }
+    case SnapshotKind::kClustering: {
+      const Clustering c = load_clustering(in);
+      auto out = open_out(out_path);
+      save(out, c, opt);
+      return info;
+    }
+    case SnapshotKind::kCsrCluster: {
+      const CsrCluster cc = load_csr_cluster(in);
+      auto out = open_out(out_path);
+      save(out, cc, opt);
+      return info;
+    }
+    case SnapshotKind::kPipeline: {
+      const Pipeline p = load_pipeline(in);
+      save_pipeline_file(out_path, p, opt);
+      return info;
+    }
+    case SnapshotKind::kShardedPipeline:
+      // The sharded record lives a layer up; keep the error actionable.
+      throw Error("snapshot: " + in_path +
+                  " is a sharded-pipeline; convert it with `cwtool snapshot "
+                  "convert` (shard::convert_snapshot_file)");
+  }
+  throw Error("snapshot: unknown payload kind");
+}
+
 }  // namespace cw::serve

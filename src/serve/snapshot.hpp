@@ -141,6 +141,17 @@ Pipeline load_pipeline_file(const std::string& path,
 /// Header summary of a snapshot file (any kind).
 SnapshotInfo read_info_file(const std::string& path);
 
+/// Offline format conversion: read `in_path` through the fully-verified
+/// copying path (any readable version) and rewrite it at `out_path` in
+/// `opt.version` — v2→v3 upgrades a fleet's artifacts to zero-copy loading
+/// without re-preprocessing; v3→v2 is the rollback path. Conversions
+/// round-trip bit-identically (converting back reproduces the original file
+/// byte for byte). Handles every single-record kind; sharded files go
+/// through shard::convert_snapshot_file. Returns the input's header info.
+SnapshotInfo convert_snapshot_file(const std::string& in_path,
+                                   const std::string& out_path,
+                                   const SaveOptions& opt = {});
+
 // --- record building blocks (shard/snapshot.cpp) ----------------------------
 
 namespace detail {

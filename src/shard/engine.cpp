@@ -29,6 +29,7 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
   eopt.max_batch = opt_.max_batch;
   eopt.batch_window = opt_.batch_window;
   eopt.max_stacked_cols = opt_.max_stacked_cols;
+  eopt.registry = opt_.registry;
   // Shard results are gathered in block-local order, so the inner engine
   // performs the per-shard unpermute.
   eopt.unpermute_results = true;

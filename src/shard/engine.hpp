@@ -52,6 +52,11 @@ struct ShardedEngineOptions {
   index_t max_stacked_cols = 0;
   /// Latency samples retained for the percentile report.
   std::size_t latency_window = 4096;
+  /// Embedded per-shard pipeline registry, forwarded to the inner engine
+  /// (serve::EngineOptions::registry): capacity 0 = none. Shards are
+  /// registry-sized pieces by design (shard/sharded_pipeline.hpp), so
+  /// admission, prefault-on-admit and the mlock budget apply per shard.
+  serve::RegistryOptions registry = {};
 };
 
 struct ShardedEngineStats {
@@ -93,6 +98,19 @@ class ShardedEngine {
 
   /// Inner shard-multiply engine counters (batching, coalescing, stacking…).
   [[nodiscard]] serve::EngineStats shard_engine_stats() const;
+
+  /// The inner engine's embedded registry (null when
+  /// ShardedEngineOptions::registry is disabled).
+  [[nodiscard]] serve::PipelineRegistry* registry() const {
+    return shard_engine_->registry();
+  }
+
+  /// Admit every shard of `sp` into the embedded registry (admission,
+  /// prefault and mlock applied per shard). Returns how many shards were
+  /// newly cached; 0 without a registry.
+  index_t admit(const ShardedPipeline& sp) {
+    return registry() != nullptr ? sp.admit(*registry()) : 0;
+  }
 
   /// Force the inner engine's open batch windows to flush immediately —
   /// deterministic-test hook (see serve::ServeEngine::close_batch_windows).

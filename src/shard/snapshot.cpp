@@ -430,4 +430,19 @@ ShardManifest read_manifest_file(const std::string& path) {
   return read_manifest(f);
 }
 
+serve::SnapshotInfo convert_snapshot_file(const std::string& in_path,
+                                          const std::string& out_path,
+                                          const serve::SaveOptions& opt) {
+  serve::detail::check_save_version(opt.version);
+  const SnapshotInfo info = serve::read_info_file(in_path);
+  if (info.kind != SnapshotKind::kShardedPipeline)
+    return serve::convert_snapshot_file(in_path, out_path, opt);
+  // Copying (stream) load = full per-record verification before the rewrite
+  // touches anything — exactly what an offline fleet-upgrade job wants.
+  auto in = open_in(in_path);
+  const ShardedPipeline sharded = load_sharded_pipeline(in);
+  save_sharded_pipeline_file(out_path, sharded, opt);
+  return info;
+}
+
 }  // namespace cw::shard

@@ -88,4 +88,12 @@ ShardLoadResult load_shard_file(const std::string& path, index_t shard,
 
 ShardManifest read_manifest_file(const std::string& path);
 
+/// Offline format conversion for any snapshot kind: sharded files are
+/// re-written shard record by shard record; every other kind delegates to
+/// serve::convert_snapshot_file. Round-trips are bit-identical. This is the
+/// entry point `cwtool snapshot convert` uses.
+serve::SnapshotInfo convert_snapshot_file(const std::string& in_path,
+                                          const std::string& out_path,
+                                          const serve::SaveOptions& opt = {});
+
 }  // namespace cw::shard

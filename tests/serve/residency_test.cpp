@@ -1,0 +1,205 @@
+// Residency control across the serving stack: Pipeline::warm_up /
+// release_residency bit-identity, the residency report, and the registry's
+// prefault-on-admit, mlock budget and eviction-with-teeth behaviours
+// (serve/registry.hpp + common/residency.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/residency.hpp"
+#include "serve/registry.hpp"
+#include "serve/snapshot.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+PipelineOptions opts(ClusterScheme s) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kOriginal;
+  o.scheme = s;
+  o.hierarchical_opt.col_cap = 0;
+  if (s == ClusterScheme::kFixed) o.fixed_length = 4;
+  return o;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Save `built` as v3 and reload it zero-copy.
+std::shared_ptr<const Pipeline> mmap_copy(const Pipeline& built,
+                                          const char* name) {
+  const std::string path = temp_path(name);
+  save_pipeline_file(path, built);
+  auto p = std::make_shared<const Pipeline>(load_pipeline_mmap(path));
+  std::remove(path.c_str());  // the mapping (and its fd) keep the data alive
+  return p;
+}
+
+TEST(PipelineResidencyControl, WarmUpProductsBitIdentical) {
+  const Csr a = test::random_csr(60, 60, 0.15, 31);
+  const Csr b = test::random_csr(60, 9, 0.3, 32);
+  for (const ClusterScheme scheme :
+       {ClusterScheme::kNone, ClusterScheme::kFixed,
+        ClusterScheme::kHierarchical}) {
+    const Pipeline built(a, opts(scheme));
+    const Csr want = built.unpermute_rows(built.multiply(b));
+
+    auto mapped = mmap_copy(built, "cw_res_warm.cwsnap");
+    // Unwarmed (lazy) path first, then warmed, then released-and-rewarmed:
+    // every variant must be the same bits.
+    EXPECT_EQ(mapped->unpermute_rows(mapped->multiply(b)), want);
+    const std::size_t warmed = mapped->warm_up();
+    EXPECT_EQ(warmed, mapped->residency().mapped_bytes);
+    EXPECT_GT(warmed, 0u);
+    EXPECT_EQ(mapped->unpermute_rows(mapped->multiply(b)), want);
+    mapped->release_residency();
+    EXPECT_EQ(mapped->unpermute_rows(mapped->multiply(b)), want);
+
+    // Owned pipelines have nothing mapped: all four are no-ops that report 0.
+    EXPECT_EQ(built.warm_up(), 0u);
+    EXPECT_EQ(built.release_residency(), 0u);
+    EXPECT_EQ(built.lock_residency(1u << 30), 0u);
+    EXPECT_EQ(built.unlock_residency(), 0u);
+    EXPECT_EQ(built.unpermute_rows(built.multiply(b)), want);
+  }
+}
+
+TEST(PipelineResidencyControl, ResidencyReportMatchesFootprint) {
+  const Csr a = test::random_csr(50, 50, 0.2, 33);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  const PipelineResidency owned = built.residency();
+  EXPECT_EQ(owned.mapped_bytes, 0u);
+  EXPECT_EQ(owned.resident_mapped_bytes, 0u);
+  EXPECT_GT(owned.owned_bytes, 0u);
+
+  auto mapped = mmap_copy(built, "cw_res_report.cwsnap");
+  const PipelineResidency r = mapped->residency();
+  // The registry's byte accounting and the residency probe must agree on
+  // what is mapped — they walk the same segments.
+  EXPECT_EQ(r.mapped_bytes, pipeline_footprint(*mapped).mapped_bytes);
+  EXPECT_GT(r.mapped_bytes, 0u);
+  EXPECT_LE(r.resident_mapped_bytes, r.mapped_bytes);
+}
+
+TEST(PipelineResidencyControl, ReleaseThenWarmRestoresResidency) {
+  if (!residency::supported()) GTEST_SKIP() << "no residency syscalls";
+  const Csr a = test::random_csr(80, 80, 0.2, 34);
+  const Pipeline built(a, opts(ClusterScheme::kHierarchical));
+  auto mapped = mmap_copy(built, "cw_res_cycle.cwsnap");
+  const std::size_t total = mapped->residency().mapped_bytes;
+
+  EXPECT_EQ(mapped->release_residency(), total);
+  EXPECT_LT(mapped->residency().resident_mapped_bytes, total);
+  EXPECT_EQ(mapped->warm_up(), total);
+  EXPECT_EQ(mapped->residency().resident_mapped_bytes, total);
+}
+
+TEST(RegistryResidency, EvictionReleasesMappedResidency) {
+  if (!residency::supported()) GTEST_SKIP() << "no residency syscalls";
+  const Csr a = test::random_csr(90, 90, 0.25, 35);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  auto mapped = mmap_copy(built, "cw_res_evict.cwsnap");
+  auto filler = std::make_shared<const Pipeline>(
+      test::random_csr(90, 90, 0.25, 36), opts(ClusterScheme::kFixed));
+
+  RegistryOptions opt;
+  // Room for the (owned) filler but not for both entries: inserting the
+  // filler must evict the mapped pipeline, whose anonymous footprint is
+  // tiny (its bulk arrays are borrowed).
+  opt.capacity_bytes = pipeline_footprint(*filler).anonymous_bytes +
+                       pipeline_footprint(*mapped).anonymous_bytes / 2;
+  ASSERT_TRUE(opt.release_mapped_on_evict);  // the default has teeth
+  PipelineRegistry reg(opt);
+  reg.insert(fingerprint(mapped->matrix()), mapped);
+  mapped->warm_up();
+  const std::size_t before = mapped->residency().resident_mapped_bytes;
+  ASSERT_EQ(before, mapped->residency().mapped_bytes);
+
+  reg.insert(fingerprint(filler->matrix()), filler);  // evicts the LRU = mapped
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.released_evictions, 1u);
+  EXPECT_EQ(st.released_bytes, before);
+  EXPECT_LT(mapped->residency().resident_mapped_bytes, before);
+  EXPECT_EQ(st.mapped_bytes_used, 0u);
+}
+
+TEST(RegistryResidency, EraseReleasesToo) {
+  if (!residency::supported()) GTEST_SKIP() << "no residency syscalls";
+  const Csr a = test::random_csr(70, 70, 0.25, 37);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  auto mapped = mmap_copy(built, "cw_res_erase.cwsnap");
+  PipelineRegistry reg(std::size_t{64} << 20);
+  reg.insert(fingerprint(mapped->matrix()), mapped);
+  mapped->warm_up();
+  const std::size_t before = mapped->residency().resident_mapped_bytes;
+  reg.erase(fingerprint(mapped->matrix()));
+  EXPECT_LT(mapped->residency().resident_mapped_bytes, before);
+  EXPECT_GT(reg.stats().released_bytes, 0u);
+}
+
+TEST(RegistryResidency, ReleaseOnEvictCanBeDisabled) {
+  const Csr a = test::random_csr(70, 70, 0.25, 38);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  auto mapped = mmap_copy(built, "cw_res_noevict.cwsnap");
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  opt.release_mapped_on_evict = false;
+  PipelineRegistry reg(opt);
+  reg.insert(fingerprint(mapped->matrix()), mapped);
+  mapped->warm_up();
+  const std::size_t before = mapped->residency().resident_mapped_bytes;
+  reg.erase(fingerprint(mapped->matrix()));
+  const RegistryStats st = reg.stats();
+  EXPECT_EQ(st.released_evictions, 0u);
+  EXPECT_EQ(st.released_bytes, 0u);
+  if (residency::supported())
+    EXPECT_EQ(mapped->residency().resident_mapped_bytes, before);
+}
+
+TEST(RegistryResidency, PrefaultOnAdmitWarms) {
+  const Csr a = test::random_csr(80, 80, 0.25, 39);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  auto mapped = mmap_copy(built, "cw_res_prefault.cwsnap");
+  const std::size_t mapped_bytes = mapped->residency().mapped_bytes;
+  mapped->release_residency();  // start cold
+
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  opt.prefault_on_admit = true;
+  PipelineRegistry reg(opt);
+  bool admitted = false;
+  reg.insert(fingerprint(mapped->matrix()), mapped, &admitted);
+  ASSERT_TRUE(admitted);
+  EXPECT_EQ(reg.stats().prefaulted_bytes, mapped_bytes);
+  if (residency::supported()) {
+    EXPECT_EQ(mapped->residency().resident_mapped_bytes, mapped_bytes);
+    EXPECT_EQ(reg.resident_mapped_bytes(), mapped_bytes);
+  }
+}
+
+TEST(RegistryResidency, MlockBudgetIsReservedAndReturned) {
+  const Csr a = test::random_csr(80, 80, 0.25, 40);
+  const Pipeline built(a, opts(ClusterScheme::kFixed));
+  auto mapped = mmap_copy(built, "cw_res_mlock.cwsnap");
+
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  opt.mlock_budget_bytes = std::size_t{1} << 20;
+  PipelineRegistry reg(opt);
+  reg.insert(fingerprint(mapped->matrix()), mapped);
+  // mlock is allowed to fail (RLIMIT_MEMLOCK); the invariant is the budget,
+  // trued up to what the kernel actually pinned.
+  EXPECT_LE(reg.stats().locked_bytes, opt.mlock_budget_bytes);
+  reg.erase(fingerprint(mapped->matrix()));
+  EXPECT_EQ(reg.stats().locked_bytes, 0u);
+  // The pipeline stays fully usable either way.
+  EXPECT_GT(mapped->multiply(Csr::identity(mapped->matrix().ncols())).nnz(), 0);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -10,11 +10,23 @@
 //   cwtool snapshot load <file.cwsnap> [mmap|copy] [verify]
 //                                          reload and time one multiply
 //                                          (v3 defaults to zero-copy mmap)
-//   cwtool serve-bench <input> [clients] [requests] [workers]
-//                      [--batch-window-us N]
+//   cwtool snapshot convert <in.cwsnap> <out.cwsnap> [v2|v3]
+//                                          offline format rewrite (v2→v3
+//                                          upgrade, v3→v2 rollback); any kind,
+//                                          fully verified, bit-identical
+//                                          round trips
+//   cwtool snapshot warm <file.cwsnap>     prefault a v3 snapshot's mapped
+//                                          pages (WILLNEED + touch) and report
+//                                          resident bytes before/after — run
+//                                          before a node takes traffic
+//   cwtool serve-bench <input|file.cwsnap> [clients] [requests] [workers]
+//                      [--batch-window-us N] [--prefault]
+//                      [--admission lru|tinylfu]
 //                                          concurrent-engine throughput run;
 //                                          N > 0 enables second-level B-stacking
-//                                          with an N-microsecond latency budget
+//                                          with an N-microsecond latency budget;
+//                                          a .cwsnap input serves the prepared
+//                                          pipeline zero-copy from the file
 //   cwtool shard plan <input> [K] [strategy]
 //                                          print the row-block split
 //   cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]
@@ -41,6 +53,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/residency.hpp"
 #include "common/timer.hpp"
 #include "core/advisor.hpp"
 #include "gen/generators.hpp"
@@ -230,22 +243,40 @@ int cmd_snapshot_load(const std::string& path, const std::string& mode,
   return 0;
 }
 
+bool is_snapshot_path(const std::string& input) {
+  return input.ends_with(".cwsnap");
+}
+
 int cmd_serve_bench(const std::string& input, int clients, int requests,
-                    int workers, long batch_window_us) {
-  const Csr a = load_input(input);
-  const Recommendation rec = advise(a, ReuseBudget::kThousands);
-  Timer t_prep;
-  auto p = std::make_shared<const Pipeline>(a, rec.pipeline_options());
-  std::fprintf(stderr, "prepared %s + %s in %.1f ms; fingerprint %s\n",
-               to_string(rec.reorder), to_string(rec.scheme),
-               t_prep.seconds() * 1e3,
-               serve::to_string(serve::fingerprint(a)).c_str());
+                    int workers, long batch_window_us, bool prefault,
+                    serve::AdmissionKind admission) {
+  // A .cwsnap input serves the prepared pipeline zero-copy off the file —
+  // the setting where --prefault and the residency counters have teeth.
+  std::shared_ptr<const Pipeline> p;
+  if (is_snapshot_path(input)) {
+    Timer t_load;
+    p = std::make_shared<const Pipeline>(serve::load_pipeline_file(input));
+    std::fprintf(stderr, "loaded %s in %.1f ms; fingerprint %s\n",
+                 input.c_str(), t_load.seconds() * 1e3,
+                 serve::to_string(serve::fingerprint(p->matrix())).c_str());
+  } else {
+    const Csr a = load_input(input);
+    const Recommendation rec = advise(a, ReuseBudget::kThousands);
+    Timer t_prep;
+    p = std::make_shared<const Pipeline>(a, rec.pipeline_options());
+    std::fprintf(stderr, "prepared %s + %s in %.1f ms; fingerprint %s\n",
+                 to_string(rec.reorder), to_string(rec.scheme),
+                 t_prep.seconds() * 1e3,
+                 serve::to_string(serve::fingerprint(a)).c_str());
+  }
+  const serve::Fingerprint key = serve::fingerprint(p->matrix());
+  const index_t brows = p->matrix().ncols();
 
   // Request payloads are generated up front so the run times serving only.
   const index_t bcols = 32;
   std::vector<Csr> payloads;
   for (int i = 0; i < requests; ++i)
-    payloads.push_back(gen_request_payload(a.nrows(), bcols, 3,
+    payloads.push_back(gen_request_payload(brows, bcols, 3,
                                            1000 + static_cast<std::uint64_t>(i)));
 
   // Sequential baseline: the same requests, one after another, including the
@@ -257,19 +288,29 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   serve::EngineOptions eopt;
   eopt.num_workers = workers;
   eopt.batch_window = std::chrono::microseconds(batch_window_us);
+  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  eopt.registry.admission = admission;
+  eopt.registry.prefault_on_admit = prefault;
   serve::ServeEngine engine(eopt);
+  engine.admit(key, p);
   Timer t_engine;
   std::vector<std::thread> threads;
   for (int cl = 0; cl < clients; ++cl) {
     threads.emplace_back([&, cl] {
-      for (int i = cl; i < requests; i += clients)
-        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+      for (int i = cl; i < requests; i += clients) {
+        // Each request looks its pipeline up by fingerprint, the way a
+        // serving frontend would — the hit-rate line below is real traffic.
+        auto cached = engine.registry()->find(key);
+        (void)engine.submit(cached != nullptr ? std::move(cached) : p,
+                            payloads[static_cast<std::size_t>(i)]);
+      }
     });
   }
   for (auto& t : threads) t.join();
   engine.drain();
   const double engine_s = t_engine.seconds();
   const serve::EngineStats st = engine.stats();
+  const std::size_t resident = engine.registry()->resident_mapped_bytes();
 
   std::printf("requests           %d (B is %d-column tall-skinny)\n", requests,
               bcols);
@@ -295,6 +336,91 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
               st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
               st.latency_max_ms);
+  const serve::RegistryStats& rs = st.registry;
+  std::printf(
+      "  registry         %llu hits / %llu misses (%.1f%% hit rate), "
+      "%zu entries\n",
+      static_cast<unsigned long long>(rs.hits),
+      static_cast<unsigned long long>(rs.misses), rs.hit_rate() * 100.0,
+      rs.entries);
+  std::printf(
+      "                   %.2f MB anon + %.2f MB mapped (%.2f MB resident, "
+      "%.2f MB locked)\n",
+      static_cast<double>(rs.bytes_used) / 1e6,
+      static_cast<double>(rs.mapped_bytes_used) / 1e6,
+      static_cast<double>(resident) / 1e6,
+      static_cast<double>(rs.locked_bytes) / 1e6);
+  std::printf(
+      "                   admission %s: %llu rejects; prefaulted %.2f MB; "
+      "%llu evictions released %.2f MB\n",
+      to_string(engine.registry()->options().admission),
+      static_cast<unsigned long long>(rs.admission_rejects),
+      static_cast<double>(rs.prefaulted_bytes) / 1e6,
+      static_cast<unsigned long long>(rs.released_evictions),
+      static_cast<double>(rs.released_bytes) / 1e6);
+  return 0;
+}
+
+int cmd_snapshot_convert(const std::string& in_path,
+                         const std::string& out_path,
+                         const serve::SaveOptions& save_opt) {
+  Timer t;
+  const serve::SnapshotInfo info =
+      shard::convert_snapshot_file(in_path, out_path, save_opt);
+  std::printf("converted  %s (%s v%u) -> %s (v%u) in %.1f ms\n",
+              in_path.c_str(), to_string(info.kind), info.version,
+              out_path.c_str(), save_opt.version, t.seconds() * 1e3);
+  std::printf("bytes      %.2f MB -> %.2f MB\n",
+              static_cast<double>(MmapRegion::query_file_size(in_path)) / 1e6,
+              static_cast<double>(MmapRegion::query_file_size(out_path)) / 1e6);
+  return 0;
+}
+
+int cmd_snapshot_warm(const std::string& path) {
+  const serve::SnapshotInfo info = serve::read_info_file(path);
+  if (info.version < 3)
+    throw Error("snapshot: " + path + " is format v" +
+                std::to_string(info.version) +
+                "; warming applies to mmap-loaded (v3) snapshots");
+  if (!residency::supported())
+    std::fprintf(stderr, "note: residency syscalls unavailable in this "
+                         "build; warming by touch only, probes read 0\n");
+
+  // Collect the pipelines to warm (one, or one per shard) zero-copy.
+  std::vector<std::shared_ptr<const Pipeline>> pipelines;
+  if (info.kind == serve::SnapshotKind::kShardedPipeline) {
+    auto sp = shard::load_sharded_pipeline_file(path);
+    for (index_t s = 0; s < sp.num_shards(); ++s)
+      pipelines.push_back(sp.shard(s));
+    std::printf("kind       sharded-pipeline, %d shards\n", sp.num_shards());
+  } else if (info.kind == serve::SnapshotKind::kPipeline) {
+    pipelines.push_back(
+        std::make_shared<const Pipeline>(serve::load_pipeline_mmap(path)));
+    std::printf("kind       pipeline\n");
+  } else {
+    throw Error(std::string("snapshot: warming expects a pipeline or "
+                            "sharded-pipeline, got a ") +
+                to_string(info.kind));
+  }
+
+  std::size_t mapped = 0, before = 0, after = 0, warmed = 0;
+  for (const auto& p : pipelines) {
+    const PipelineResidency r = p->residency();
+    mapped += r.mapped_bytes;
+    before += r.resident_mapped_bytes;
+  }
+  Timer t_warm;
+  for (const auto& p : pipelines) warmed += p->warm_up();
+  const double warm_s = t_warm.seconds();
+  for (const auto& p : pipelines) after += p->residency().resident_mapped_bytes;
+
+  std::printf("mapped     %.2f MB across %zu pipeline(s)\n",
+              static_cast<double>(mapped) / 1e6, pipelines.size());
+  std::printf("resident   %.2f MB before -> %.2f MB after (touched %.2f MB "
+              "in %.1f ms)\n",
+              static_cast<double>(before) / 1e6,
+              static_cast<double>(after) / 1e6,
+              static_cast<double>(warmed) / 1e6, warm_s * 1e3);
   return 0;
 }
 
@@ -432,8 +558,12 @@ int usage() {
                "  cwtool snapshot save <input> <out.cwsnap> [algo] [scheme] [v2|v3]\n"
                "  cwtool snapshot info <file.cwsnap>\n"
                "  cwtool snapshot load <file.cwsnap> [mmap|copy] [verify]\n"
-               "  cwtool serve-bench <input> [clients] [requests] [workers]"
-               " [--batch-window-us N]\n"
+               "  cwtool snapshot convert <in.cwsnap> <out.cwsnap> [v2|v3]\n"
+               "  cwtool snapshot warm <file.cwsnap>\n"
+               "  cwtool serve-bench <input|file.cwsnap> [clients] [requests]"
+               " [workers]\n"
+               "                     [--batch-window-us N] [--prefault]"
+               " [--admission lru|tinylfu]\n"
                "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
                "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
                "  cwtool shard info <file.cwsnap>\n"
@@ -459,6 +589,12 @@ int main(int argc, char** argv) {
       if (input == "save" && argc >= 5)
         return cmd_snapshot_save(argv[3], argv[4], argc, argv);
       if (input == "info" && argc >= 4) return cmd_snapshot_info(argv[3]);
+      if (input == "convert" && argc >= 5) {
+        serve::SaveOptions save_opt;
+        if (argc > 5) save_opt = parse_save_format(argv[5]);
+        return cmd_snapshot_convert(argv[3], argv[4], save_opt);
+      }
+      if (input == "warm" && argc >= 4) return cmd_snapshot_warm(argv[3]);
       if (input == "load" && argc >= 4) {
         std::string mode;
         bool verify = false;
@@ -502,16 +638,23 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (cmd == "serve-bench") {
-      // Positional args first; --batch-window-us N may appear anywhere after
-      // the input.
+      // Positional args first; the -- flags may appear anywhere after the
+      // input.
       std::vector<std::string> pos;
       long batch_window_us = 0;
+      bool prefault = false;
+      serve::AdmissionKind admission = serve::AdmissionKind::kAdmitAll;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--batch-window-us") {
           if (i + 1 >= argc) return usage();
           batch_window_us = std::atol(argv[++i]);
           if (batch_window_us < 0) return usage();
+        } else if (arg == "--prefault") {
+          prefault = true;
+        } else if (arg == "--admission") {
+          if (i + 1 >= argc) return usage();
+          admission = serve::parse_admission_kind(argv[++i]);
         } else {
           pos.push_back(arg);
         }
@@ -521,7 +664,7 @@ int main(int argc, char** argv) {
       const int workers = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
       if (clients < 1 || requests < 1 || workers < 1) return usage();
       return cmd_serve_bench(input, clients, requests, workers,
-                             batch_window_us);
+                             batch_window_us, prefault, admission);
     }
   } catch (const cw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
