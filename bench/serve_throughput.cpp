@@ -4,12 +4,15 @@
 //
 //   ./serve_throughput [dataset] [requests]     (default: conf5, 64)
 //
-// Four experiments:
+// Five experiments:
 //   1. snapshot economics — preprocess vs save vs load wall time;
 //   2. engine scaling — requests/s for 1..max workers at 4 client threads;
 //   3. batch-window sweep — batched (column-stacked B) vs unbatched serving
 //      at 8 concurrent same-A clients, sweeping the latency budget;
-//   4. registry amortization — get_or_build hit path vs rebuild per request.
+//   4. tracing overhead — the same serving run at 0% / 1% / 100% request
+//      sampling, so the cost of the stage-trace plane is a measured number
+//      (production guidance: 1% should be within noise of off);
+//   5. registry amortization — get_or_build hit path vs rebuild per request.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -29,6 +32,13 @@
 namespace {
 
 using namespace cw;
+
+/// Millisecond value as a JSON-param string (3 decimals).
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
 
 void run_engine(const std::shared_ptr<const Pipeline>& p,
                 const std::vector<Csr>& payloads, int workers, int clients,
@@ -57,8 +67,57 @@ void run_engine(const std::shared_ptr<const Pipeline>& p,
   using W = bench::JsonBenchWriter;
   json->add({"engine_scaling",
              {W::param("workers", workers), W::param("clients", clients),
-              W::param("requests", requests)},
+              W::param("requests", requests),
+              W::param("latency_p50_ms", fmt_ms(st.latency_p50_ms)),
+              W::param("latency_p95_ms", fmt_ms(st.latency_p95_ms)),
+              W::param("latency_p99_ms", fmt_ms(st.latency_p99_ms)),
+              W::param("latency_max_ms", fmt_ms(st.latency_max_ms))},
              wall / requests * 1e9, 0, 0});
+}
+
+/// Experiment 5 worker: one serving run at the given trace sampling rate.
+/// Returns requests/s so the caller can report overhead vs sampling off.
+double run_trace_overhead(const std::shared_ptr<const Pipeline>& p,
+                          const std::vector<Csr>& payloads, int workers,
+                          int clients, double sample_rate, double base_rps,
+                          bench::JsonBenchWriter* json) {
+  serve::EngineOptions opt;
+  opt.num_workers = workers;
+  opt.trace_sample_rate = sample_rate;
+  serve::ServeEngine engine(opt);
+  const int requests = static_cast<int>(payloads.size());
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  engine.drain();
+  const double wall = t.seconds();
+  const double rps = requests / wall;
+  const std::uint64_t sampled =
+      engine.tracer() != nullptr ? engine.tracer()->sampled() : 0;
+  const std::size_t spans =
+      engine.tracer() != nullptr ? engine.tracer()->spans().size() : 0;
+  const double overhead_pct =
+      base_rps > 0 ? (base_rps / rps - 1.0) * 100.0 : 0.0;
+  std::printf("  sample %5.1f%%  %8.1f ms  %7.0f req/s  %+5.1f%% vs off  "
+              "(%llu traced, %zu spans)\n",
+              sample_rate * 100, wall * 1e3, rps, overhead_pct,
+              static_cast<unsigned long long>(sampled), spans);
+  using W = bench::JsonBenchWriter;
+  json->add({"tracing_overhead",
+             {W::param("sample_pct",
+                       static_cast<long long>(sample_rate * 100)),
+              W::param("workers", workers), W::param("clients", clients),
+              W::param("requests", requests),
+              W::param("sampled", static_cast<long long>(sampled)),
+              W::param("overhead_pct", fmt_ms(overhead_pct))},
+             wall / requests * 1e9, 0, 0});
+  return rps;
 }
 
 void run_batch_sweep(const std::shared_ptr<const Pipeline>& p,
@@ -181,7 +240,18 @@ int main(int argc, char** argv) {
       run_batch_sweep(p, sweep_payloads, 2, 8, bcols, window_us, &json);
   }
 
-  // --- 4. registry amortization --------------------------------------------
+  // --- 4. tracing overhead --------------------------------------------------
+  // Same workload three times: sampling off, the 1% production setting, and
+  // the everything-traced debugging setting. The first run's req/s anchors
+  // the overhead column.
+  std::printf("\ntracing overhead (%d requests, 4 clients, 4 workers)\n",
+              requests);
+  const double base_rps =
+      run_trace_overhead(p, payloads, 4, 4, 0.0, 0.0, &json);
+  run_trace_overhead(p, payloads, 4, 4, 0.01, base_rps, &json);
+  run_trace_overhead(p, payloads, 4, 4, 1.0, base_rps, &json);
+
+  // --- 5. registry amortization --------------------------------------------
   serve::PipelineRegistry registry(std::size_t{1} << 30);
   const serve::Fingerprint key = serve::fingerprint(a);
   auto build = [&] {

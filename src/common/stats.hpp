@@ -44,10 +44,15 @@ std::vector<double> profile_curve(const std::vector<double>& samples,
 /// Render a BoxSummary as "min/q1/med/q3/max (n=..)".
 std::string to_string(const BoxSummary& b);
 
-/// Fixed-size ring of latency samples with percentile reporting — the
-/// shared sampler of the serving engines (serve::ServeEngine,
-/// shard::ShardedEngine). Keeps the most recent `window` samples so a
-/// long-lived engine stays O(1) memory; max is over the whole lifetime.
+/// DEPRECATED — superseded by obs::Histogram (PR 6). The ring keeps only
+/// the most recent `window` samples, so under sustained load
+/// window_percentile() silently forgets every earlier sample: a burst of
+/// slow requests older than one window vanishes from the reported tail, and
+/// p99 under-reports exactly when it matters (the regression test in
+/// tests/obs/metrics_test.cpp pins this bias down against the histogram).
+/// The serving engines now record into log-bucketed histograms covering the
+/// FULL run; this class remains only for code that genuinely wants a
+/// moving-window estimate and accepts the bias.
 /// Not internally synchronized: callers guard it with their own mutex.
 class LatencyRecorder {
  public:

@@ -1,0 +1,149 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cw::obs {
+
+namespace {
+
+/// Deterministic number rendering: integral values print without a decimal
+/// point, everything else with 9 significant digits — stable across
+/// platforms for the golden-file test, precise enough for any scraper.
+std::string fmt(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Labels with one extra pair appended (the histogram `le` label).
+std::string labels_plus(const Labels& labels, const std::string& key,
+                        const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return render_labels(all);
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  std::string last_name;
+  for (const MetricsRegistry::Series& s : registry.series()) {
+    if (s.name != last_name) {
+      // One HELP/TYPE header per metric name, shared by its label series.
+      if (!s.help.empty()) os << "# HELP " << s.name << " " << s.help << "\n";
+      os << "# TYPE " << s.name << " " << to_string(s.kind) << "\n";
+      last_name = s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << s.name << render_labels(s.labels) << " " << s.counter->value()
+           << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << s.name << render_labels(s.labels) << " " << fmt(s.gauge->value())
+           << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot h = s.histogram->snapshot();
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (h.counts[i] == 0) continue;
+          cum += h.counts[i];
+          os << s.name << "_bucket"
+             << labels_plus(s.labels, "le", fmt(h.bounds[i])) << " " << cum
+             << "\n";
+        }
+        os << s.name << "_bucket" << labels_plus(s.labels, "le", "+Inf") << " "
+           << h.count << "\n";
+        os << s.name << "_sum" << render_labels(s.labels) << " " << fmt(h.sum)
+           << "\n";
+        os << s.name << "_count" << render_labels(s.labels) << " " << h.count
+           << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  return os.str();
+}
+
+namespace {
+
+void write_label_json(std::ostream& os, const Labels& labels) {
+  os << "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << labels[i].first << "\": \""
+       << labels[i].second << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const MetricsRegistry& registry) {
+  const std::vector<MetricsRegistry::Series> series = registry.series();
+  os << "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& s : series) {
+    if (s.kind != MetricKind::kCounter) continue;
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << s.name
+       << "\", \"labels\": ";
+    write_label_json(os, s.labels);
+    os << ", \"value\": " << s.counter->value() << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& s : series) {
+    if (s.kind != MetricKind::kGauge) continue;
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << s.name
+       << "\", \"labels\": ";
+    write_label_json(os, s.labels);
+    os << ", \"value\": " << fmt(s.gauge->value()) << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& s : series) {
+    if (s.kind != MetricKind::kHistogram) continue;
+    const HistogramSnapshot h = s.histogram->snapshot();
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << s.name
+       << "\", \"labels\": ";
+    write_label_json(os, s.labels);
+    os << ", \"count\": " << h.count << ", \"sum\": " << fmt(h.sum)
+       << ", \"max\": " << fmt(h.max) << ", \"p50\": " << fmt(h.percentile(50))
+       << ", \"p95\": " << fmt(h.percentile(95))
+       << ", \"p99\": " << fmt(h.percentile(99))
+       << ", \"p999\": " << fmt(h.percentile(99.9)) << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      os << (bfirst ? "" : ", ") << "{\"le\": " << fmt(h.bounds[i])
+         << ", \"count\": " << h.counts[i] << "}";
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_json(os, registry);
+  return os.str();
+}
+
+}  // namespace cw::obs

@@ -1,0 +1,26 @@
+// Exporters for the metrics registry: Prometheus text exposition (format
+// 0.0.4 — `# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}`
+// histograms) and a JSON dump of the whole registry. Both render from one
+// series() walk, so a scrape never blocks an incrementing hot path.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cw::obs {
+
+/// Prometheus text exposition of every registered series. Histograms emit
+/// only their occupied buckets (cumulative counts stay correct — Prometheus
+/// requires monotone `le` bounds, not a fixed grid) plus `_sum`, `_count`
+/// and the `+Inf` bucket.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON dump: {"counters": [...], "gauges": [...], "histograms": [...]}
+/// with per-histogram count/sum/max/p50/p95/p99/p999 and occupied buckets.
+void write_json(std::ostream& os, const MetricsRegistry& registry);
+std::string to_json(const MetricsRegistry& registry);
+
+}  // namespace cw::obs

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cw::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Relaxed running max over an atomic double.
+void atomic_max(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0)) return 0;  // negatives, zero, NaN: underflow bucket
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1) — so v's octave is exp-1 and
+  // the sub-bucket comes from the top bits of the mantissa.
+  const double m = std::frexp(v, &exp);
+  const int octave = exp - 1;
+  if (octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kBuckets - 1;
+  // m in [0.5, 1) → 2m-1 in [0, 1) → sub-bucket in [0, kSubBuckets).
+  const auto sub = static_cast<std::size_t>((2.0 * m - 1.0) * kSubBuckets);
+  return 1 +
+         static_cast<std::size_t>(octave - kMinExp) * kSubBuckets +
+         std::min<std::size_t>(sub, kSubBuckets - 1);
+}
+
+double Histogram::bucket_bound(std::size_t i) {
+  if (i == 0) return std::ldexp(1.0, kMinExp);  // underflow: (0, 2^kMinExp]
+  const std::size_t k = i - 1;
+  const int octave = kMinExp + static_cast<int>(k / kSubBuckets);
+  const auto sub = static_cast<double>(k % kSubBuckets);
+  return std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, octave);
+}
+
+void Histogram::record(double v) {
+  Shard& s = shards_[detail::shard_index()];
+  s.counts[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  // sum via CAS add (atomic<double>::fetch_add is C++20 but not universally
+  // lock-free; the CAS loop compiles to the same thing where it is).
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+  }
+  atomic_max(&s.max, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_)
+    for (const auto& c : s.counts) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      counts[i] += s.counts[i].load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.count += counts[i];
+    if (counts[i] > 0) last = i;
+  }
+  // Trim the (huge, mostly empty) bucket tail: exporters and percentile
+  // walks only ever need up to the last occupied bucket.
+  out.counts.assign(counts.begin(),
+                    counts.begin() + static_cast<std::ptrdiff_t>(last + 1));
+  out.bounds.resize(last + 1);
+  for (std::size_t i = 0; i <= last; ++i) out.bounds[i] = bucket_bound(i);
+  return out;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    if (static_cast<double>(cum + counts[i]) >= target) {
+      // Linear interpolation inside the bucket; clamp to the exact max so a
+      // tail bucket's upper bound never reports a latency that never
+      // happened.
+      const double frac = counts[i] > 0
+                              ? (target - static_cast<double>(cum)) /
+                                    static_cast<double>(counts[i])
+                              : 0.0;
+      return std::min(lo + frac * (hi - lo), max);
+    }
+    cum += counts[i];
+  }
+  return max;
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::intern_(const std::string& name,
+                                                      const std::string& help,
+                                                      const Labels& labels,
+                                                      MetricKind kind) {
+  const std::string key = name + render_labels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    CW_CHECK_MSG(it->second.kind == kind,
+                 "metrics: " << key << " already registered as a "
+                             << to_string(it->second.kind) << ", not a "
+                             << to_string(kind));
+    return it->second;
+  }
+  Instrument inst;
+  inst.help = help;
+  inst.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: inst.counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: inst.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      inst.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  keys_[key] = {name, labels};
+  return instruments_.emplace(key, std::move(inst)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *intern_(name, help, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *intern_(name, help, labels, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return *intern_(name, help, labels, MetricKind::kHistogram).histogram;
+}
+
+std::vector<MetricsRegistry::Series> MetricsRegistry::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Series> out;
+  out.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    const auto& [name, labels] = keys_.at(key);
+    Series s;
+    s.name = name;
+    s.help = inst.help;
+    s.labels = labels;
+    s.kind = inst.kind;
+    s.counter = inst.counter.get();
+    s.gauge = inst.gauge.get();
+    s.histogram = inst.histogram.get();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace cw::obs

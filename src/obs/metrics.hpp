@@ -1,0 +1,219 @@
+// Lock-light metrics plane for the serving stack — the continuous signal
+// source the self-tuning control plane (adaptive batch window, cost-model
+// stacking cap, online advisor) feeds on.
+//
+// Three instrument kinds, the same shapes production serving systems expose:
+//
+//   * Counter   — monotone event count. Sharded: each incrementing thread
+//     lands on its own cache-line-padded relaxed atomic, so the hot path is
+//     one uncontended fetch_add; value() sums the shards on read.
+//   * Gauge     — a level that goes up and down (queue depth, resident
+//     bytes). One atomic double; set() is a relaxed store.
+//   * Histogram — log-bucketed (HDR-style) value distribution. Buckets grow
+//     geometrically: kSubBuckets per power of two, so every bucket's width
+//     is a fixed fraction (1/kSubBuckets) of its magnitude and percentiles
+//     are exact to within one bucket over the FULL run — unlike a sample
+//     ring, which silently drops the oldest samples under load and
+//     under-reports the tail (the LatencyRecorder bias). record() is a
+//     handful of bit operations plus one relaxed increment in this thread's
+//     shard.
+//
+// A MetricsRegistry names the instruments. Creation (counter()/gauge()/
+// histogram()) takes a mutex and interns the instrument; callers keep the
+// returned reference and never touch the registry on the hot path.
+// Instruments are identified by (name, labels): the same pair always
+// returns the same instrument — including across engines sharing one
+// registry, whose counts then aggregate.
+//
+// Reads (snapshots, the exporters in obs/exposition.hpp) sum the shards
+// with relaxed loads: each individual count is exact, totals are
+// monotonically catching up — the standard monitoring contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cw::obs {
+
+/// Metric label set, e.g. {{"shard", "3"}}. Order is preserved into the
+/// exposition; keep it canonical at the call site.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+/// Shards for the per-thread striping. A power of two; more shards than
+/// this many concurrent incrementers simply share (correctly, just with
+/// occasional cache-line bouncing).
+inline constexpr std::size_t kShards = 16;
+
+/// This thread's stripe, assigned round-robin on first use.
+std::size_t shard_index();
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over the shards. Exact once all incrementers are quiesced (or
+  /// serialized by an external lock); monotone under concurrency.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedCount, detail::kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Aggregated histogram state: what snapshot() returns and the exporters
+/// consume. Buckets are cumulative-friendly raw counts with precomputed
+/// upper bounds.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double max = 0;
+  /// counts[i] = samples with bound(i-1) < v <= bound(i); parallel to
+  /// `bounds`. Only materialized up to the last non-empty bucket.
+  std::vector<std::uint64_t> counts;
+  std::vector<double> bounds;  // inclusive upper bounds
+
+  /// p-th percentile (0..100) by linear interpolation inside the owning
+  /// bucket — within one bucket (a 1/kSubBuckets relative slice) of the
+  /// exact order statistic, clamped to the recorded max.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class Histogram {
+ public:
+  /// Sub-buckets per power of two: bucket width is 1/8 of its magnitude
+  /// (~12.5% worst-case relative error before interpolation).
+  static constexpr std::uint32_t kSubBuckets = 8;
+  /// Smallest finite bucket bound is 2^kMinExp; values at or below it land
+  /// in bucket 0 ("underflow", lower bound 0). With ms-valued latencies
+  /// this resolves down to ~1 microsecond.
+  static constexpr int kMinExp = -10;
+  /// Values >= 2^kMaxExp saturate into the last bucket.
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 1;
+
+  /// Bucket index for a value (negatives and NaN clamp into bucket 0).
+  static std::size_t bucket_index(double v);
+  /// Inclusive upper bound of bucket i.
+  static double bucket_bound(std::size_t i);
+
+  void record(double v);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Shortcut: snapshot().percentile(p) — callers needing several
+  /// percentiles should take one snapshot instead.
+  [[nodiscard]] double percentile(double p) const {
+    return snapshot().percentile(p);
+  }
+
+  [[nodiscard]] std::uint64_t count() const;
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// One registered instrument, as the exporters see it.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-return the instrument registered under (name, labels).
+  /// References stay valid for the registry's lifetime. Registering the
+  /// same (name, labels) with a different kind throws.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       const Labels& labels = {});
+
+  /// Exporter view of one series.
+  struct Series {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Stable-ordered (by name, then label string) view of every series —
+  /// deterministic exposition output.
+  [[nodiscard]] std::vector<Series> series() const;
+
+ private:
+  struct Instrument {
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& intern_(const std::string& name, const std::string& help,
+                      const Labels& labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  // Key = name + rendered labels; std::map keeps exposition order stable.
+  std::map<std::string, Instrument> instruments_;
+  std::map<std::string, std::pair<std::string, Labels>> keys_;  // key → id
+};
+
+/// Render a label set as {k="v",...} (empty string for no labels) — the
+/// exposition format and the registry's interning key share this.
+std::string render_labels(const Labels& labels);
+
+}  // namespace cw::obs

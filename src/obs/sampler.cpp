@@ -1,0 +1,81 @@
+#include "obs/sampler.hpp"
+
+#include "common/error.hpp"
+
+namespace cw::obs {
+
+PeriodicSampler::PeriodicSampler(std::shared_ptr<MetricsRegistry> registry,
+                                 std::chrono::milliseconds interval)
+    : registry_(std::move(registry)), interval_(interval) {
+  CW_CHECK_MSG(registry_ != nullptr, "sampler: null metrics registry");
+  CW_CHECK_MSG(interval_.count() > 0, "sampler: interval must be positive");
+}
+
+PeriodicSampler::~PeriodicSampler() { stop(); }
+
+void PeriodicSampler::add_probe(const std::string& gauge_name,
+                                const std::string& help,
+                                std::function<double()> probe) {
+  CW_CHECK_MSG(probe != nullptr, "sampler: null probe");
+  Gauge& g = registry_->gauge(gauge_name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(Probe{&g, std::move(probe)});
+}
+
+void PeriodicSampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop_(); });
+}
+
+void PeriodicSampler::stop() {
+  // The thread handle is claimed under the lock, so two racing stop()
+  // calls cannot both join it — the loser sees running_ == false.
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    running_ = false;
+    t = std::move(thread_);
+  }
+  cv_.notify_all();
+  t.join();
+}
+
+void PeriodicSampler::sample_once() {
+  std::vector<Probe> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes = probes_;
+  }
+  // Probes run outside the sampler lock: one may be slow (mincore walks),
+  // and add_probe / stop must never wait on it.
+  for (const Probe& p : probes) p.gauge->set(p.fn());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_;
+}
+
+bool PeriodicSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::uint64_t PeriodicSampler::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+void PeriodicSampler::loop_() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    }
+    sample_once();
+  }
+}
+
+}  // namespace cw::obs

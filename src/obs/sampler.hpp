@@ -1,0 +1,79 @@
+// Background gauge sampler: polls registered probes (resident mapped
+// bytes, queue depth, open windows, admission-sketch occupancy, …) into
+// gauges at a fixed interval, so levels that only exist as "ask the kernel"
+// or "walk a structure" questions still show up in every scrape with
+// bounded staleness — and without ever putting a mincore() walk on a
+// serving thread.
+//
+// start()/stop() are idempotent; probes added while running are picked up
+// on the next tick. Probes run on the sampler thread: keep them
+// O(structure), not O(traffic), and stop the sampler before destroying
+// whatever they capture.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cw::obs {
+
+class PeriodicSampler {
+ public:
+  PeriodicSampler(std::shared_ptr<MetricsRegistry> registry,
+                  std::chrono::milliseconds interval);
+  ~PeriodicSampler();  // stop()
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// Register a probe feeding `gauge_name`. The gauge is created
+  /// immediately (so it appears in expositions even before the first tick).
+  void add_probe(const std::string& gauge_name, const std::string& help,
+                 std::function<double()> probe);
+
+  /// Launch the background thread. No-op if already running.
+  void start();
+
+  /// Join the background thread. No-op if not running. A stopped sampler
+  /// can be start()ed again.
+  void stop();
+
+  /// Run every probe once, inline, on the caller's thread — the "flush
+  /// right before export" hook, and how tests drive the sampler without
+  /// sleeping.
+  void sample_once();
+
+  [[nodiscard]] bool running() const;
+  /// Completed sampling sweeps (background + sample_once).
+  [[nodiscard]] std::uint64_t sweeps() const;
+  [[nodiscard]] std::chrono::milliseconds interval() const { return interval_; }
+
+ private:
+  struct Probe {
+    Gauge* gauge;
+    std::function<double()> fn;
+  };
+
+  void loop_();
+
+  const std::shared_ptr<MetricsRegistry> registry_;
+  const std::chrono::milliseconds interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Probe> probes_;
+  std::uint64_t sweeps_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cw::obs

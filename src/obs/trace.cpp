@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cw::obs {
+
+void TraceContext::add(const char* name, Clock::time_point begin,
+                       Clock::time_point end, const char* arg_name,
+                       std::int64_t arg) {
+  TraceSpan s;
+  s.name = name;
+  s.request_id = id_;
+  s.ts_us = std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  s.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  if (s.dur_us < 0) s.dur_us = 0;
+  s.arg_name = arg_name;
+  s.arg = arg;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(s);
+}
+
+namespace {
+
+std::uint64_t stride_for(double rate) {
+  if (!(rate > 0)) return 0;
+  if (rate >= 1) return 1;
+  return static_cast<std::uint64_t>(std::llround(1.0 / rate));
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(TraceOptions opt)
+    : opt_(opt), stride_(stride_for(opt.sample_rate)), epoch_(Clock::now()) {}
+
+std::shared_ptr<TraceContext> TraceCollector::maybe_sample() {
+  if (stride_ == 0) return nullptr;
+  const std::uint64_t n = submits_.fetch_add(1, std::memory_order_relaxed);
+  if (n % stride_ != 0) return nullptr;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<TraceContext>(
+      next_id_.fetch_add(1, std::memory_order_relaxed), epoch_);
+}
+
+void TraceCollector::commit(const std::shared_ptr<TraceContext>& ctx) {
+  if (ctx == nullptr) return;
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu_);
+    spans.swap(ctx->spans_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceSpan& s : spans) {
+    if (spans_.size() >= opt_.capacity_spans) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    spans_.push_back(s);
+  }
+}
+
+std::vector<TraceSpan> TraceCollector::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceSpan> spans = this->spans();
+  // Stable render order (by request, then time): diffs and golden checks
+  // should not depend on commit interleaving.
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.request_id != b.request_id)
+                return a.request_id < b.request_id;
+              return a.ts_us < b.ts_us;
+            });
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"name\": \"" << s.name << "\", \"cat\": \"serve\", "
+       << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.request_id
+       << ", \"ts\": " << s.ts_us << ", \"dur\": " << s.dur_us;
+    os << ", \"args\": {\"request\": " << s.request_id;
+    if (s.arg_name != nullptr)
+      os << ", \"" << s.arg_name << "\": " << s.arg;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace cw::obs

@@ -1,0 +1,117 @@
+// Per-request stage tracing for the serving stack.
+//
+// A sampled request carries a TraceContext through its whole life; each
+// serving layer stamps monotonic [begin, end) intervals into it — queue
+// enter → pickup, window park, batch fuse, multiply, per-shard scatter /
+// gather, unpermute — and the completing layer commits the context into the
+// engine's TraceCollector. The collector renders Chrome `trace_event` JSON
+// (the "X" complete-event form) loadable straight into about:tracing or
+// Perfetto: one timeline row per request (tid = request id), stages nested
+// by interval.
+//
+// Sampling is deterministic and cheap: rate r samples every round(1/r)-th
+// submit via one relaxed counter increment; r = 0 turns the plane off (the
+// per-request cost is then a null pointer check). The span buffer is
+// bounded — once full, new spans are dropped and counted, never reallocated
+// under traffic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cw::obs {
+
+/// One completed stage interval. `name`/`arg_name` point at static strings
+/// (stage names are compile-time constants throughout the serving stack).
+struct TraceSpan {
+  const char* name = "";
+  std::uint64_t request_id = 0;
+  double ts_us = 0;   // begin, microseconds since the collector's epoch
+  double dur_us = 0;  // duration, microseconds
+  const char* arg_name = nullptr;  // optional argument (e.g. "shard", "cols")
+  std::int64_t arg = 0;
+};
+
+/// Span sink of one sampled request. Thread-safe: a sharded request's
+/// per-shard sub-multiplies append from several workers concurrently.
+class TraceContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceContext(std::uint64_t id, Clock::time_point epoch)
+      : id_(id), epoch_(epoch) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  void add(const char* name, Clock::time_point begin, Clock::time_point end,
+           const char* arg_name = nullptr, std::int64_t arg = 0);
+
+ private:
+  friend class TraceCollector;
+
+  const std::uint64_t id_;
+  const Clock::time_point epoch_;
+  std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+struct TraceOptions {
+  /// Fraction of requests sampled: 0 = tracing off, 1 = every request,
+  /// 0.01 = every 100th. Sampling is deterministic (counter-based), so two
+  /// identical runs trace the same requests.
+  double sample_rate = 0;
+  /// Max spans retained; once full, further commits drop (counted).
+  std::size_t capacity_spans = 1 << 16;
+};
+
+class TraceCollector {
+ public:
+  using Clock = TraceContext::Clock;
+
+  explicit TraceCollector(TraceOptions opt = {});
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Sampling decision for one submit: a fresh context (with the next
+  /// request id) when sampled, null otherwise.
+  std::shared_ptr<TraceContext> maybe_sample();
+
+  /// Move a finished context's spans into the buffer (drop + count when
+  /// over capacity). The context is spent afterwards.
+  void commit(const std::shared_ptr<TraceContext>& ctx);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Clock::time_point epoch() const { return epoch_; }
+  [[nodiscard]] const TraceOptions& options() const { return opt_; }
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}), loadable in
+  /// about:tracing / Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  const TraceOptions opt_;
+  const std::uint64_t stride_;  // sample every stride-th submit; 0 = off
+  const Clock::time_point epoch_;
+  std::atomic<std::uint64_t> submits_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> sampled_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace cw::obs

@@ -109,6 +109,19 @@ std::uint32_t TinyLfuPolicy::estimate(std::uint64_t key_hash) const {
   return sketch_min_(key_hash) + door;
 }
 
+double TinyLfuPolicy::occupancy() const {
+  // Count nonzero nibbles word-by-word: OR each nibble's bits into its low
+  // bit, then popcount the low bits — O(words), no per-nibble loop.
+  std::uint64_t nonzero = 0;
+  for (std::uint64_t word : table_) {
+    std::uint64_t any = word | (word >> 1) | (word >> 2) | (word >> 3);
+    nonzero += static_cast<std::uint64_t>(
+        __builtin_popcountll(any & 0x1111111111111111ull));
+  }
+  const auto total = static_cast<double>(table_.size() * 16);
+  return total > 0 ? static_cast<double>(nonzero) / total : 0.0;
+}
+
 bool TinyLfuPolicy::admit_over(std::uint64_t candidate_hash,
                                std::uint64_t victim_hash) {
   // Strictly greater: ties keep the incumbent (it at least proved itself

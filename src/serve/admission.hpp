@@ -54,6 +54,11 @@ class AdmissionPolicy {
   /// eviction victim; the first false rejects the insertion.
   [[nodiscard]] virtual bool admit_over(std::uint64_t candidate_hash,
                                         std::uint64_t victim_hash) = 0;
+
+  /// Fraction of the policy's frequency state currently in use, in [0, 1] —
+  /// an observability signal (how full is the sketch between agings?), not
+  /// an admission input. Stateless policies report 0.
+  [[nodiscard]] virtual double occupancy() const { return 0.0; }
 };
 
 class AdmitAllPolicy final : public AdmissionPolicy {
@@ -85,6 +90,11 @@ class TinyLfuPolicy final : public AdmissionPolicy {
 
   /// Current frequency estimate (doorkeeper + sketch minimum); max 16.
   [[nodiscard]] std::uint32_t estimate(std::uint64_t key_hash) const;
+
+  /// Fraction of nonzero 4-bit sketch counters. Grows toward an aging,
+  /// collapses after it — sampled over time this exposes the sketch's duty
+  /// cycle (sized right, it stays well under 1 between agings).
+  [[nodiscard]] double occupancy() const override;
 
   /// Aging passes run so far (observability + the aging test).
   [[nodiscard]] std::uint64_t agings() const { return agings_; }

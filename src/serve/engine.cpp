@@ -5,7 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
-#include "common/stats.hpp"
+#include "obs/sampler.hpp"
 
 namespace cw::serve {
 
@@ -18,13 +18,60 @@ double ms_between(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
+ServeEngine::Metrics::Metrics(obs::MetricsRegistry& m)
+    : submitted(m.counter("cw_engine_submitted_total", "Requests accepted")),
+      completed(m.counter("cw_engine_completed_total",
+                          "Requests fulfilled with a product")),
+      failed(m.counter("cw_engine_failed_total",
+                       "Requests whose multiply threw")),
+      shed(m.counter("cw_engine_shed_total",
+                     "try_submit() refusals at the queue cap")),
+      batches(m.counter("cw_engine_batches_total", "Group pickups run")),
+      coalesced(m.counter("cw_engine_coalesced_requests_total",
+                          "Requests that shared their batch")),
+      stacked_batches(m.counter("cw_engine_stacked_batches_total",
+                                "Fused column-stacked multiplies run")),
+      stacked_requests(m.counter("cw_engine_stacked_requests_total",
+                                 "Requests fulfilled from a fused multiply")),
+      fused_columns(m.counter("cw_engine_fused_columns_total",
+                              "Stacked-panel columns across fused multiplies")),
+      windows_opened(m.counter("cw_engine_windows_opened_total",
+                               "Batch windows opened")),
+      window_timeouts(m.counter("cw_engine_window_timeouts_total",
+                                "Windows closed on their latency budget")),
+      window_filled(m.counter("cw_engine_window_filled_total",
+                              "Windows closed early at max_batch")),
+      window_forced(m.counter("cw_engine_window_forced_total",
+                              "Windows force-closed (shutdown/hook/cap)")),
+      window_yielded(m.counter("cw_engine_window_yielded_total",
+                               "Windows closed early to serve other groups")),
+      busy_seconds(m.gauge("cw_engine_busy_seconds",
+                           "Summed worker compute time")),
+      latency_ms(m.histogram("cw_engine_request_latency_ms",
+                             "Request latency, enqueue to completion")),
+      batch_size(m.histogram("cw_engine_batch_size",
+                             "Requests coalesced per group pickup")) {}
+
 ServeEngine::ServeEngine(EngineOptions opt)
-    : opt_(opt),
+    : opt_(std::move(opt)),
       start_(Clock::now()),
-      registry_(opt.registry.capacity_bytes > 0
-                    ? std::make_unique<PipelineRegistry>(opt.registry)
+      metrics_(opt_.metrics ? opt_.metrics
+                            : std::make_shared<obs::MetricsRegistry>()),
+      registry_(opt_.registry.capacity_bytes > 0
+                    ? std::make_unique<PipelineRegistry>([this] {
+                        // The embedded cache shares the engine's metrics
+                        // registry unless the caller wired its own.
+                        RegistryOptions r = opt_.registry;
+                        if (!r.metrics) r.metrics = metrics_;
+                        return r;
+                      }())
                     : nullptr),
-      latencies_(opt.latency_window) {
+      tracer_(opt_.trace ? opt_.trace
+              : opt_.trace_sample_rate > 0
+                  ? std::make_shared<obs::TraceCollector>(obs::TraceOptions{
+                        opt_.trace_sample_rate, std::size_t{1} << 16})
+                  : nullptr),
+      m_(*metrics_) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
   CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
   workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
@@ -48,7 +95,17 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
                                      std::shared_ptr<const Csr> b) {
-  auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true);
+  auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true,
+                         nullptr, -1, /*external_trace=*/false);
+  CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
+  return std::move(*result);
+}
+
+std::future<Csr> ServeEngine::submit_traced(
+    std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
+    std::shared_ptr<obs::TraceContext> trace, std::int64_t shard) {
+  auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true,
+                         std::move(trace), shard, /*external_trace=*/true);
   CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
   return std::move(*result);
 }
@@ -61,16 +118,27 @@ std::optional<std::future<Csr>> ServeEngine::try_submit(
 
 std::optional<std::future<Csr>> ServeEngine::try_submit(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b) {
-  return enqueue_(std::move(pipeline), std::move(b), /*block=*/false);
+  return enqueue_(std::move(pipeline), std::move(b), /*block=*/false, nullptr,
+                  -1, /*external_trace=*/false);
 }
 
 std::optional<std::future<Csr>> ServeEngine::enqueue_(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
-    bool block) {
+    bool block, std::shared_ptr<obs::TraceContext> trace,
+    std::int64_t trace_shard, bool external_trace) {
   CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
   CW_CHECK_MSG(b != nullptr, "engine: null request payload");
   Job job;
   job.b = std::move(b);
+  if (external_trace) {
+    // Scatter path: spans go into the parent request's context (which may
+    // be null — the parent went unsampled); never consult our own sampler.
+    job.trace = std::move(trace);
+    job.trace_shard = trace_shard;
+  } else if (tracer_) {
+    job.trace = tracer_->maybe_sample();
+    job.own_trace = job.trace != nullptr;
+  }
   job.enqueued = Clock::now();
   std::future<Csr> result = job.result.get_future();
 
@@ -79,7 +147,7 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
     CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
     if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
       if (!block) {
-        ++shed_;
+        m_.shed.inc();
         return std::nullopt;
       }
       // Backpressure: park the caller until a worker drains the queue below
@@ -100,7 +168,7 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
     // so it can re-check the max_batch cutoff.
     if (group.jobs.empty()) ready_.push_back(key);
     group.jobs.push_back(std::move(job));
-    ++submitted_;
+    m_.submitted.inc();
     ++queued_;
     if (queued_ > max_queued_) max_queued_ = queued_;
     // Wake every parked window on any arrival: the owner of this group's
@@ -114,9 +182,11 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
 
 void ServeEngine::drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  // The counter reads are consistent here: every increment happens under
+  // mu_, which we hold across the predicate.
   idle_cv_.wait(lock, [this] {
     return ready_.empty() && in_flight_ == 0 &&
-           completed_ + failed_ == submitted_;
+           m_.completed.value() + m_.failed.value() == m_.submitted.value();
   });
 }
 
@@ -145,36 +215,65 @@ void ServeEngine::shutdown() {
 EngineStats ServeEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineStats s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.failed = failed_;
-  s.shed = shed_;
+  s.submitted = m_.submitted.value();
+  s.completed = m_.completed.value();
+  s.failed = m_.failed.value();
+  s.shed = m_.shed.value();
   s.max_queued = max_queued_;
-  s.batches = batches_;
-  s.coalesced = coalesced_;
-  s.stacked_batches = stacked_batches_;
-  s.stacked_requests = stacked_requests_;
-  s.fused_columns = fused_columns_;
-  s.windows_opened = windows_opened_;
-  s.window_timeouts = window_timeouts_;
-  s.window_filled = window_filled_;
-  s.window_forced = window_forced_;
-  s.window_yielded = window_yielded_;
+  s.batches = m_.batches.value();
+  s.coalesced = m_.coalesced.value();
+  s.stacked_batches = m_.stacked_batches.value();
+  s.stacked_requests = m_.stacked_requests.value();
+  s.fused_columns = m_.fused_columns.value();
+  s.windows_opened = m_.windows_opened.value();
+  s.window_timeouts = m_.window_timeouts.value();
+  s.window_filled = m_.window_filled.value();
+  s.window_forced = m_.window_forced.value();
+  s.window_yielded = m_.window_yielded.value();
   s.open_windows = open_windows_;
   s.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_).count();
-  s.busy_seconds = busy_seconds_;
+  s.busy_seconds = m_.busy_seconds.value();
   s.throughput_rps = s.elapsed_seconds > 0
                          ? static_cast<double>(s.completed) / s.elapsed_seconds
                          : 0;
-  if (latencies_.count() > 0) {
-    s.latency_p50_ms = latencies_.window_percentile(50);
-    s.latency_p95_ms = latencies_.window_percentile(95);
-    s.latency_p99_ms = latencies_.window_percentile(99);
-    s.latency_max_ms = latencies_.max_ms();
+  const obs::HistogramSnapshot lat = m_.latency_ms.snapshot();
+  if (lat.count > 0) {
+    s.latency_p50_ms = lat.percentile(50);
+    s.latency_p95_ms = lat.percentile(95);
+    s.latency_p99_ms = lat.percentile(99);
+    s.latency_max_ms = lat.max;
   }
   if (registry_) s.registry = registry_->stats();
   return s;
+}
+
+std::size_t ServeEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+std::size_t ServeEngine::open_windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_windows_;
+}
+
+std::size_t ServeEngine::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void ServeEngine::register_probes(obs::PeriodicSampler& sampler) {
+  sampler.add_probe("cw_engine_queue_depth",
+                    "Requests waiting in the engine queue",
+                    [this] { return static_cast<double>(queue_depth()); });
+  sampler.add_probe("cw_engine_open_windows",
+                    "Batch windows currently held open",
+                    [this] { return static_cast<double>(open_windows()); });
+  sampler.add_probe("cw_engine_in_flight",
+                    "Requests being computed right now",
+                    [this] { return static_cast<double>(in_flight()); });
+  if (registry_) registry_->register_probes(sampler);
 }
 
 void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
@@ -182,21 +281,21 @@ void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
   const Clock::time_point deadline = Clock::now() + opt_.batch_window;
   const std::uint64_t epoch = window_epoch_;
   ++open_windows_;
-  ++windows_opened_;
+  m_.windows_opened.inc();
   for (;;) {
     if (group.jobs.size() >= static_cast<std::size_t>(opt_.max_batch)) {
-      ++window_filled_;  // max_batch cutoff: no point waiting further
+      m_.window_filled.inc();  // max_batch cutoff: no point waiting further
       break;
     }
     if (stopping_ || window_epoch_ != epoch) {
-      ++window_forced_;  // close_batch_windows() hook or shutdown
+      m_.window_forced.inc();  // close_batch_windows() hook or shutdown
       break;
     }
     if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
       // Backpressure has the queue at the cap: every submit() is parked on
       // space_cv_ and every try_submit() sheds, so no arrival can join this
       // window — waiting out the budget would be pure dead time.
-      ++window_forced_;
+      m_.window_forced.inc();
       break;
     }
     if (!ready_.empty() && idle_workers_ == 0) {
@@ -204,16 +303,16 @@ void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
       // parked (in a window) or busy: holding this window open would tax a
       // different group's latency, which the budget never licenses. Flush
       // now and let this worker serve the ready queue.
-      ++window_yielded_;
+      m_.window_yielded.inc();
       break;
     }
     if (window_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // An arrival can race the deadline: classify the close by what the
       // window actually gathered, not by which wakeup came last.
       if (group.jobs.size() >= static_cast<std::size_t>(opt_.max_batch))
-        ++window_filled_;
+        m_.window_filled.inc();
       else
-        ++window_timeouts_;
+        m_.window_timeouts.inc();
       break;
     }
   }
@@ -228,6 +327,8 @@ void ServeEngine::worker_loop_() {
   for (;;) {
     std::shared_ptr<const Pipeline> pipeline;
     std::vector<Job> batch;
+    bool windowed = false;
+    Clock::time_point window_begin{}, window_end{};
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++idle_workers_;
@@ -244,8 +345,12 @@ void ServeEngine::worker_loop_() {
       // so this worker owns it; unordered_map references are node-stable, so
       // `group` survives other groups' insertions while the lock is dropped.
       if (opt_.batch_window.count() > 0 && !stopping_ &&
-          group.jobs.size() < static_cast<std::size_t>(opt_.max_batch))
+          group.jobs.size() < static_cast<std::size_t>(opt_.max_batch)) {
+        window_begin = Clock::now();
         wait_batch_window_(lock, group);
+        window_end = Clock::now();
+        windowed = true;
+      }
       const auto take = std::min<std::size_t>(
           group.jobs.size(), static_cast<std::size_t>(opt_.max_batch));
       batch.reserve(take);
@@ -279,6 +384,24 @@ void ServeEngine::worker_loop_() {
     if (opt_.max_queue_depth > 0) space_cv_.notify_all();
 
     const Clock::time_point batch_start = Clock::now();
+    // Scheduler-stage spans for the sampled jobs of this pickup (outside
+    // mu_; the context carries its own lock). A job that arrived while the
+    // window was already open spent no time "waiting in queue" before it —
+    // clamp so spans never run backwards.
+    for (const Job& job : batch) {
+      if (!job.trace) continue;
+      const bool sub = job.trace_shard >= 0;
+      const char* tag = sub ? "shard" : nullptr;
+      if (windowed) {
+        const Clock::time_point qend = std::max(job.enqueued, window_begin);
+        job.trace->add("queue-wait", job.enqueued, qend, tag, job.trace_shard);
+        job.trace->add("window-park", std::max(job.enqueued, window_begin),
+                       window_end, tag, job.trace_shard);
+      } else {
+        job.trace->add("queue-wait", job.enqueued, batch_start, tag,
+                       job.trace_shard);
+      }
+    }
     struct Outcome {
       std::optional<Csr> value;
       std::exception_ptr error;
@@ -311,8 +434,10 @@ void ServeEngine::worker_loop_() {
         std::vector<const Csr*> bs;
         bs.reserve(stackable.size());
         for (const std::size_t i : stackable) bs.push_back(batch[i].b.get());
+        const Clock::time_point mul_begin = Clock::now();
         try {
           std::vector<Csr> products = pipeline->multiply_stacked(bs);
+          const Clock::time_point mul_end = Clock::now();
           // Unpermuting the slice == slicing the unpermuted panel: row
           // permutations commute with column selection, so this matches the
           // per-request path bit for bit. Finish every slice before
@@ -325,8 +450,23 @@ void ServeEngine::worker_loop_() {
             ++ok;
           }
           const Clock::time_point fused_done = Clock::now();
-          for (const std::size_t i : stackable)
+          for (const std::size_t i : stackable) {
             done_ms[i] = ms_between(batch[i].enqueued, fused_done);
+            if (!batch[i].trace) continue;
+            // Every stacked request shares the batch's fuse/multiply
+            // interval — that sharing IS what the timeline should show. The
+            // fuse span covers stackable selection (panel assembly happens
+            // inside the multiply). Sub-requests tag their shard; whole
+            // requests tag the panel width.
+            obs::TraceContext& t = *batch[i].trace;
+            const bool sub = batch[i].trace_shard >= 0;
+            const char* tag = sub ? "shard" : "cols";
+            const std::int64_t arg = sub ? batch[i].trace_shard : total_cols;
+            t.add("fuse", batch_start, mul_begin, tag, arg);
+            t.add("multiply", mul_begin, mul_end, tag, arg);
+            if (opt_.unpermute_results)
+              t.add("unpermute", mul_end, fused_done, tag, arg);
+          }
           stacked_batches = 1;
           stacked_requests = stackable.size();
           fused_cols = static_cast<std::uint64_t>(total_cols);
@@ -340,8 +480,13 @@ void ServeEngine::worker_loop_() {
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (outcomes[i].value.has_value()) continue;  // fulfilled by the panel
+      const bool traced = batch[i].trace != nullptr;
+      const Clock::time_point mul_begin =
+          traced ? Clock::now() : Clock::time_point{};
+      Clock::time_point mul_end{};
       try {
         Csr c = pipeline->multiply(*batch[i].b);
+        if (traced) mul_end = Clock::now();
         if (opt_.unpermute_results) c = pipeline->unpermute_rows(c);
         outcomes[i].value = std::move(c);
         ++ok;
@@ -349,25 +494,45 @@ void ServeEngine::worker_loop_() {
         outcomes[i].error = std::current_exception();
         ++bad;
       }
-      done_ms[i] = ms_between(batch[i].enqueued, Clock::now());
+      const Clock::time_point done = Clock::now();
+      done_ms[i] = ms_between(batch[i].enqueued, done);
+      if (traced) {
+        const bool sub = batch[i].trace_shard >= 0;
+        const char* tag = sub ? "shard" : nullptr;
+        obs::TraceContext& t = *batch[i].trace;
+        if (outcomes[i].error) {
+          // The failed multiply's span runs to the throw.
+          t.add("multiply", mul_begin, done, tag, batch[i].trace_shard);
+        } else {
+          t.add("multiply", mul_begin, mul_end, tag, batch[i].trace_shard);
+          if (opt_.unpermute_results)
+            t.add("unpermute", mul_end, done, tag, batch[i].trace_shard);
+        }
+      }
     }
     const double busy =
         std::chrono::duration<double>(Clock::now() - batch_start).count();
 
     // Commit the counters BEFORE fulfilling the promises: a client that has
-    // seen its future resolve must also see itself in stats().
+    // seen its future resolve must also see itself in stats(). The counters
+    // are atomics, but incrementing them under mu_ keeps the historical
+    // consistency contract (completed + failed never exceeds submitted from
+    // any observer's point of view).
     bool idle = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      completed_ += ok;
-      failed_ += bad;
-      ++batches_;
-      if (batch.size() > 1) coalesced_ += batch.size();
-      stacked_batches_ += stacked_batches;
-      stacked_requests_ += stacked_requests;
-      fused_columns_ += fused_cols;
-      busy_seconds_ += busy;
-      for (const double ms : done_ms) latencies_.record(ms);
+      m_.completed.inc(ok);
+      m_.failed.inc(bad);
+      m_.batches.inc();
+      if (batch.size() > 1) m_.coalesced.inc(batch.size());
+      if (stacked_batches > 0) {
+        m_.stacked_batches.inc(stacked_batches);
+        m_.stacked_requests.inc(stacked_requests);
+        m_.fused_columns.inc(fused_cols);
+      }
+      m_.busy_seconds.add(busy);
+      m_.batch_size.record(static_cast<double>(batch.size()));
+      for (const double ms : done_ms) m_.latency_ms.record(ms);
       in_flight_ -= batch.size();
       idle = ready_.empty() && in_flight_ == 0;
     }
@@ -377,6 +542,11 @@ void ServeEngine::worker_loop_() {
       else
         batch[i].result.set_value(std::move(*outcomes[i].value));
     }
+    // Engine-sampled timelines are complete once their promises resolved;
+    // scatter sub-requests leave the commit to the sharded engine, which
+    // still owes the parent its gather span.
+    for (const Job& job : batch)
+      if (job.own_trace) tracer_->commit(job.trace);
     if (idle) idle_cv_.notify_all();
   }
 }

@@ -20,9 +20,15 @@
 //
 // Results are delivered through std::future; by default the engine
 // unpermutes product rows back to the caller's original index space, so
-// clients never see the preprocessing permutation. Latency (enqueue →
-// completion) is recorded per request and summarized as percentiles via
-// common/stats.
+// clients never see the preprocessing permutation.
+//
+// Telemetry (src/obs): every counter the engine keeps is a registry-backed
+// metric (cw_engine_* series), per-request latency goes into a log-bucketed
+// histogram covering the FULL run (no sample-ring tail bias), and a
+// configurable fraction of requests carry a TraceContext through their
+// stages — queue-wait, window-park, fuse, multiply, unpermute — exported as
+// Chrome trace_event JSON. EngineStats remains as a compatibility snapshot
+// over the metrics.
 #pragma once
 
 #include <chrono>
@@ -37,8 +43,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/stats.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/registry.hpp"
 
 namespace cw::serve {
@@ -76,9 +83,22 @@ struct EngineOptions {
   /// refuses immediately — pick per client class: block batch producers,
   /// shed interactive traffic.
   std::size_t max_queue_depth = 0;
-  /// Latency samples retained for the percentile report (ring buffer over
-  /// the most recent requests, so a long-lived engine stays O(1) memory).
+  /// DEPRECATED and ignored since PR 6: percentiles come from a log-bucketed
+  /// histogram over the full run (O(1) memory regardless), so there is no
+  /// sample window to size — and no ring-eviction tail bias to suffer.
   std::size_t latency_window = 4096;
+  /// Metrics registry backing the cw_engine_* series. Forwarded to the
+  /// embedded pipeline registry too (unless registry.metrics is set), so one
+  /// scrape covers engine + cache + residency. Null = the engine creates a
+  /// private registry, reachable via metrics().
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Fraction of requests whose stage timeline is traced (see obs/trace.hpp);
+  /// 0 = off (an untraced submit costs one null check). Ignored when `trace`
+  /// is supplied — the collector's own rate governs then.
+  double trace_sample_rate = 0;
+  /// Trace collector for sampled requests. Null with a non-zero sample rate =
+  /// the engine creates its own, reachable via tracer().
+  std::shared_ptr<obs::TraceCollector> trace;
   /// Embedded pipeline registry (the serving cache): capacity_bytes == 0
   /// (default) means no registry, today's behaviour. A non-zero capacity
   /// gives the engine a fingerprint-keyed cache with the configured
@@ -87,6 +107,9 @@ struct EngineOptions {
   RegistryOptions registry = {};
 };
 
+/// Point-in-time view of the engine's telemetry. Since PR 6 this is a
+/// compatibility snapshot assembled from the registry-backed cw_engine_*
+/// metrics — exporters scrape those series directly without this struct.
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -125,8 +148,8 @@ struct EngineStats {
   double elapsed_seconds = 0;  // since engine construction
   double busy_seconds = 0;     // summed worker compute time
   double throughput_rps = 0;   // completed / elapsed
-  /// Percentiles over the most recent EngineOptions::latency_window
-  /// requests; max is over the engine's whole lifetime.
+  /// Percentiles from the full-run log-bucketed histogram (exact to within
+  /// one ~12.5%-wide bucket); max is the exact lifetime maximum.
   double latency_p50_ms = 0;
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
@@ -163,6 +186,18 @@ class ServeEngine {
   std::optional<std::future<Csr>> try_submit(
       std::shared_ptr<const Pipeline> pipeline, Csr b);
 
+  /// Scatter-path submit (shard/engine.hpp): like submit(), but this
+  /// request's stage spans land in the caller-owned `trace` context tagged
+  /// with `shard`, so K per-shard sub-multiplies appear inside the parent
+  /// request's single timeline. The engine's own sampler is bypassed either
+  /// way (a sharded request must yield one timeline, not K+1); a null
+  /// `trace` behaves exactly like submit() with tracing off. The caller
+  /// commits the context — the engine only writes spans into it.
+  std::future<Csr> submit_traced(std::shared_ptr<const Pipeline> pipeline,
+                                 std::shared_ptr<const Csr> b,
+                                 std::shared_ptr<obs::TraceContext> trace,
+                                 std::int64_t shard);
+
   /// Block until every submitted request has completed.
   void drain();
 
@@ -189,13 +224,42 @@ class ServeEngine {
 
   [[nodiscard]] EngineStats stats() const;
 
+  /// The metrics registry backing the cw_engine_* series (from
+  /// EngineOptions::metrics, or the private one created in its absence).
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// The trace collector, or null when tracing is off.
+  [[nodiscard]] const std::shared_ptr<obs::TraceCollector>& tracer() const {
+    return tracer_;
+  }
+
+  /// Live levels for the background sampler (and anyone else): requests
+  /// waiting in the queue, batch windows held open, requests being computed.
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t open_windows() const;
+  [[nodiscard]] std::size_t in_flight() const;
+
+  /// Register the engine's level probes (queue depth, open windows,
+  /// in-flight) — and the embedded registry's, when one exists — with a
+  /// background sampler. Stop the sampler before destroying the engine.
+  void register_probes(obs::PeriodicSampler& sampler);
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Job {
     std::shared_ptr<const Csr> b;
     std::promise<Csr> result;
-    Clock::time_point enqueued;
+    Clock::time_point enqueued;  // queue-enter; queue-wait span begin
+    /// Null for the (common) untraced request. Engine-sampled contexts are
+    /// committed by the completing worker (own_trace); scatter sub-requests
+    /// carry the parent's context (committed by the sharded engine) plus
+    /// their shard tag.
+    std::shared_ptr<obs::TraceContext> trace;
+    bool own_trace = false;
+    std::int64_t trace_shard = -1;  // >= 0 tags scatter sub-request spans
   };
   // A group whose batch window a worker is holding open is owned by that
   // worker: it stays out of ready_ (jobs non-empty), and enqueue_ wakes all
@@ -214,14 +278,44 @@ class ServeEngine {
   void wait_batch_window_(std::unique_lock<std::mutex>& lock, Group& group);
 
   /// Shared enqueue body. `block` selects submit()'s blocking behaviour over
-  /// try_submit()'s shedding; returns nullopt only when shedding.
+  /// try_submit()'s shedding; returns nullopt only when shedding. With
+  /// `external_trace`, `trace`/`trace_shard` attach the caller's context
+  /// (possibly null — then the request is simply untraced) instead of
+  /// consulting the engine's sampler.
   std::optional<std::future<Csr>> enqueue_(
       std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
-      bool block);
+      bool block, std::shared_ptr<obs::TraceContext> trace,
+      std::int64_t trace_shard, bool external_trace);
+
+  /// The cw_engine_* instruments, interned once at construction so the
+  /// serving paths never touch the metrics registry's lock again.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& failed;
+    obs::Counter& shed;
+    obs::Counter& batches;
+    obs::Counter& coalesced;
+    obs::Counter& stacked_batches;
+    obs::Counter& stacked_requests;
+    obs::Counter& fused_columns;
+    obs::Counter& windows_opened;
+    obs::Counter& window_timeouts;
+    obs::Counter& window_filled;
+    obs::Counter& window_forced;
+    obs::Counter& window_yielded;
+    obs::Gauge& busy_seconds;
+    obs::Histogram& latency_ms;
+    obs::Histogram& batch_size;
+  };
 
   const EngineOptions opt_;
   const Clock::time_point start_;
+  const std::shared_ptr<obs::MetricsRegistry> metrics_;
   const std::unique_ptr<PipelineRegistry> registry_;  // null = no registry
+  const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
+  Metrics m_;  // binds into *metrics_: keep declared after it
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when ready_ gains a group
@@ -237,14 +331,8 @@ class ServeEngine {
   std::uint64_t window_epoch_ = 0;  // bumped to force-close open windows
   bool stopping_ = false;
 
-  // All guarded by mu_.
-  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0, shed_ = 0,
-                max_queued_ = 0, batches_ = 0, coalesced_ = 0,
-                stacked_batches_ = 0, stacked_requests_ = 0, fused_columns_ = 0,
-                windows_opened_ = 0, window_timeouts_ = 0, window_filled_ = 0,
-                window_forced_ = 0, window_yielded_ = 0;
-  double busy_seconds_ = 0;
-  LatencyRecorder latencies_;
+  // Guarded by mu_ (a read-modify-write level, not a monotone counter).
+  std::uint64_t max_queued_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -1,10 +1,20 @@
 #include "serve/registry.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "obs/sampler.hpp"
 
 namespace cw::serve {
 
 namespace {
+
+/// Milliseconds elapsed since `t0` — residency syscall timing.
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// Add one array's bytes to the side of the footprint its storage lives on.
 /// `bytes` follows the historical accounting (CsrCluster::memory_bytes's
@@ -54,14 +64,57 @@ std::size_t pipeline_memory_bytes(const Pipeline& p) {
 }
 
 PipelineRegistry::PipelineRegistry(std::size_t capacity_bytes)
-    : PipelineRegistry(RegistryOptions{.capacity_bytes = capacity_bytes}) {}
+    : PipelineRegistry([capacity_bytes] {
+        RegistryOptions opt;
+        opt.capacity_bytes = capacity_bytes;
+        return opt;
+      }()) {}
+
+PipelineRegistry::Metrics::Metrics(obs::MetricsRegistry& m)
+    : hits(m.counter("cw_registry_hits_total", "Lookups served from cache")),
+      misses(m.counter("cw_registry_misses_total",
+                       "Lookups that found nothing")),
+      insertions(m.counter("cw_registry_insertions_total",
+                           "Entries admitted into the cache")),
+      evictions(m.counter("cw_registry_evictions_total",
+                          "Entries displaced to make room")),
+      oversize_rejects(
+          m.counter("cw_registry_oversize_rejects_total",
+                    "Inserts refused: entry bigger than the whole budget")),
+      admission_rejects(
+          m.counter("cw_registry_admission_rejects_total",
+                    "Inserts refused by the admission policy")),
+      released_evictions(
+          m.counter("cw_registry_released_evictions_total",
+                    "Evictions/erases that released mapped pages")),
+      released_bytes(m.counter("cw_registry_released_bytes_total",
+                               "Mapped bytes DONTNEEDed by those releases")),
+      prefaulted_bytes(m.counter("cw_registry_prefaulted_bytes_total",
+                                 "Mapped bytes prefaulted on admit")),
+      entries(m.gauge("cw_registry_entries", "Cached pipelines")),
+      bytes_used(m.gauge("cw_registry_anonymous_bytes",
+                         "Anonymous (budget-charged) bytes cached")),
+      mapped_bytes_used(m.gauge("cw_registry_mapped_bytes",
+                                "File-backed mmap bytes cached")),
+      locked_bytes(m.gauge("cw_registry_locked_bytes",
+                           "Mapped bytes pinned under the mlock budget")),
+      capacity(m.gauge("cw_registry_capacity_bytes",
+                       "Configured anonymous-byte budget")),
+      warmup_ms(m.histogram("cw_residency_warmup_ms",
+                            "warm_up() wall time per admitted mapped entry")),
+      release_ms(
+          m.histogram("cw_residency_release_ms",
+                      "release_residency() wall time per released entry")) {}
 
 PipelineRegistry::PipelineRegistry(const RegistryOptions& opt)
     : opt_(opt),
       policy_(opt.admission == AdmissionKind::kAdmitAll
                   ? nullptr  // admit-all needs no state or virtual calls
-                  : make_admission_policy(opt.admission, opt.tinylfu)) {
-  stats_.capacity_bytes = opt.capacity_bytes;
+                  : make_admission_policy(opt.admission, opt.tinylfu)),
+      metrics_(opt.metrics ? opt.metrics
+                           : std::make_shared<obs::MetricsRegistry>()),
+      m_(*metrics_) {
+  m_.capacity.set(static_cast<double>(opt.capacity_bytes));
 }
 
 std::shared_ptr<const Pipeline> PipelineRegistry::find(const Fingerprint& key) {
@@ -72,10 +125,10 @@ std::shared_ptr<const Pipeline> PipelineRegistry::find(const Fingerprint& key) {
   if (policy_) policy_->record_access(FingerprintHasher{}(key));
   auto it = map_.find(key);
   if (it == map_.end()) {
-    ++stats_.misses;
+    m_.misses.inc();
     return nullptr;
   }
-  ++stats_.hits;
+  m_.hits.inc();
   touch_(it->second);
   return it->second->pipeline;
 }
@@ -103,7 +156,7 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     // Only the private (anonymous) bytes compete for the budget; mapped
     // bytes are shared page cache (see PipelineFootprint).
     if (footprint.anonymous_bytes > opt_.capacity_bytes) {
-      ++stats_.oversize_rejects;
+      m_.oversize_rejects.inc();
       return p;  // usable by the caller, just not cached
     }
     // Admission is decided over ALL prospective victims BEFORE anything is
@@ -114,12 +167,12 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     std::vector<LruList::iterator> victims;
     std::size_t freed = 0;
     for (auto vit = lru_.end();
-         stats_.bytes_used - freed + footprint.anonymous_bytes >
+         bytes_used_ - freed + footprint.anonymous_bytes >
              opt_.capacity_bytes &&
          vit != lru_.begin();) {
       --vit;  // walk LRU-first (back to front)
       if (policy_ && !policy_->admit_over(key_hash, vit->key_hash)) {
-        ++stats_.admission_rejects;
+        m_.admission_rejects.inc();
         return p;
       }
       freed += vit->footprint.anonymous_bytes;
@@ -127,37 +180,39 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     }
     for (LruList::iterator vit : victims) {
       detach_(vit, &deferred);
-      ++stats_.evictions;
+      m_.evictions.inc();
     }
     if (admitted) *admitted = true;
     lru_.push_front(Entry{key, key_hash, std::move(p), footprint, 0, 0});
     map_[key] = lru_.begin();
-    stats_.bytes_used += footprint.anonymous_bytes;
-    stats_.mapped_bytes_used += footprint.mapped_bytes;
-    ++stats_.insertions;
+    bytes_used_ += footprint.anonymous_bytes;
+    mapped_bytes_used_ += footprint.mapped_bytes;
+    m_.insertions.inc();
     cached = lru_.front().pipeline;
     if (footprint.mapped_bytes > 0 &&
-        opt_.mlock_budget_bytes > stats_.locked_bytes) {
+        opt_.mlock_budget_bytes > locked_bytes_) {
       // Reserve this entry's share of the mlock budget now (so concurrent
       // admits cannot over-commit it) and true it up to what mlock actually
       // pinned below, outside the lock.
-      lock_quota = opt_.mlock_budget_bytes - stats_.locked_bytes;
+      lock_quota = opt_.mlock_budget_bytes - locked_bytes_;
       if (lock_quota > footprint.mapped_bytes)
         lock_quota = footprint.mapped_bytes;
-      stats_.locked_bytes += lock_quota;
+      locked_bytes_ += lock_quota;
       lru_.front().locked_bytes = lock_quota;
       lock_token = ++next_lock_token_;
       lru_.front().lock_token = lock_token;
     }
+    publish_sizes_();
   }
   // Residency work runs outside the lock: touching/pinning/releasing pages
   // is O(mapped bytes) of kernel work, and lookups must not stall behind it.
   finish_releases_(deferred);
   if (footprint.mapped_bytes > 0) {
     if (opt_.prefault_on_admit) {
+      const auto t0 = std::chrono::steady_clock::now();
       const std::size_t warmed = cached->warm_up();
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.prefaulted_bytes += warmed;
+      m_.warmup_ms.record(ms_since(t0));
+      m_.prefaulted_bytes.inc(warmed);
     }
     if (lock_quota > 0) {
       const std::size_t locked = cached->lock_residency(lock_quota);
@@ -168,8 +223,9 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
       // erase-and-reinsert of the same pipeline in the window would make us
       // adjust a stranger's (differently sized) reservation.
       if (it != map_.end() && it->second->lock_token == lock_token) {
-        stats_.locked_bytes -= lock_quota - locked;  // locked <= lock_quota
+        locked_bytes_ -= lock_quota - locked;  // locked <= lock_quota
         it->second->locked_bytes = locked;
+        publish_sizes_();
       } else {
         // A racer already evicted/replaced us (its eviction returned our
         // reservation); drop the pins we just took.
@@ -213,7 +269,20 @@ void PipelineRegistry::clear() {
 
 RegistryStats PipelineRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  RegistryStats s = stats_;
+  RegistryStats s;
+  s.hits = m_.hits.value();
+  s.misses = m_.misses.value();
+  s.insertions = m_.insertions.value();
+  s.evictions = m_.evictions.value();
+  s.oversize_rejects = m_.oversize_rejects.value();
+  s.admission_rejects = m_.admission_rejects.value();
+  s.released_evictions = m_.released_evictions.value();
+  s.released_bytes = m_.released_bytes.value();
+  s.prefaulted_bytes = m_.prefaulted_bytes.value();
+  s.bytes_used = bytes_used_;
+  s.mapped_bytes_used = mapped_bytes_used_;
+  s.locked_bytes = locked_bytes_;
+  s.capacity_bytes = opt_.capacity_bytes;
   s.entries = map_.size();
   return s;
 }
@@ -224,12 +293,39 @@ std::size_t PipelineRegistry::size() const {
 }
 
 std::size_t PipelineRegistry::resident_mapped_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot the mapped entries' handles under the lock, probe after it
+  // drops: the mincore walk is O(mapped pages) and must not stall lookups —
+  // and a concurrent evict must not leave the walk probing a mapping whose
+  // pages were already DONTNEEDed out from under it. Each shared_ptr keeps
+  // its mapping alive for the duration of the probe; an entry evicted
+  // mid-walk just contributes its pre-release residency one last time.
+  std::vector<std::shared_ptr<const Pipeline>> mapped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mapped.reserve(map_.size());
+    for (const Entry& entry : lru_)
+      if (entry.footprint.mapped_bytes > 0) mapped.push_back(entry.pipeline);
+  }
   std::size_t resident = 0;
-  for (const Entry& entry : lru_)
-    if (entry.footprint.mapped_bytes > 0)
-      resident += entry.pipeline->residency().resident_mapped_bytes;
+  for (const auto& p : mapped)
+    resident += p->residency().resident_mapped_bytes;
   return resident;
+}
+
+double PipelineRegistry::admission_sketch_occupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_ ? policy_->occupancy() : 0.0;
+}
+
+void PipelineRegistry::register_probes(obs::PeriodicSampler& sampler) {
+  sampler.add_probe(
+      "cw_registry_resident_mapped_bytes",
+      "mincore-probed physically resident bytes of cached mapped entries",
+      [this] { return static_cast<double>(resident_mapped_bytes()); });
+  sampler.add_probe(
+      "cw_admission_sketch_occupancy",
+      "Fraction of nonzero admission-sketch counters (0 under admit-all)",
+      [this] { return admission_sketch_occupancy(); });
 }
 
 void PipelineRegistry::touch_(LruList::iterator it) {
@@ -239,9 +335,9 @@ void PipelineRegistry::touch_(LruList::iterator it) {
 void PipelineRegistry::detach_(LruList::iterator it,
                                std::vector<Deferred>* out) {
   const Entry& entry = *it;
-  stats_.bytes_used -= entry.footprint.anonymous_bytes;
-  stats_.mapped_bytes_used -= entry.footprint.mapped_bytes;
-  stats_.locked_bytes -= entry.locked_bytes;
+  bytes_used_ -= entry.footprint.anonymous_bytes;
+  mapped_bytes_used_ -= entry.footprint.mapped_bytes;
+  locked_bytes_ -= entry.locked_bytes;
   if (entry.footprint.mapped_bytes > 0 &&
       (opt_.release_mapped_on_evict || entry.locked_bytes > 0))
     out->push_back(
@@ -249,10 +345,17 @@ void PipelineRegistry::detach_(LruList::iterator it,
                  opt_.release_mapped_on_evict});
   map_.erase(entry.key);
   lru_.erase(it);
+  publish_sizes_();
+}
+
+void PipelineRegistry::publish_sizes_() {
+  m_.entries.set(static_cast<double>(map_.size()));
+  m_.bytes_used.set(static_cast<double>(bytes_used_));
+  m_.mapped_bytes_used.set(static_cast<double>(mapped_bytes_used_));
+  m_.locked_bytes.set(static_cast<double>(locked_bytes_));
 }
 
 void PipelineRegistry::finish_releases_(const std::vector<Deferred>& deferred) {
-  std::uint64_t released = 0, count = 0;
   for (const Deferred& d : deferred) {
     if (d.release_mapped) {
       // Dropping a mapped entry must return memory, not just forget a
@@ -260,16 +363,14 @@ void PipelineRegistry::finish_releases_(const std::vector<Deferred>& deferred) {
       // copies. Anyone still holding the shared_ptr (or a racer that
       // re-admits the same pipeline meanwhile) stays correct, just
       // re-faults.
-      released += d.pipeline->release_residency();
-      ++count;
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t released = d.pipeline->release_residency();
+      m_.release_ms.record(ms_since(t0));
+      m_.released_bytes.inc(released);
+      m_.released_evictions.inc();
     } else if (d.locked_bytes > 0) {
       d.pipeline->unlock_residency();
     }
-  }
-  if (count > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.released_bytes += released;
-    stats_.released_evictions += count;
   }
 }
 

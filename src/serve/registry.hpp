@@ -32,8 +32,13 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/fingerprint.hpp"
+
+namespace cw::obs {
+class PeriodicSampler;
+}  // namespace cw::obs
 
 namespace cw::serve {
 
@@ -79,8 +84,17 @@ struct RegistryOptions {
   /// DONTNEED a mapped entry's pages when it is evicted/erased, so dropping
   /// it frees physical memory instead of only forgetting the mapping.
   bool release_mapped_on_evict = true;
+  /// Metrics registry backing the cw_registry_* / cw_residency_* series.
+  /// Null = the registry creates a private one (reachable via metrics()).
+  /// Sharing one across registries aggregates their series — each
+  /// RegistryStats view then reports the combined counts.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
+/// Point-in-time view of the registry's telemetry. Since PR 6 this is a
+/// compatibility snapshot assembled from the registry-backed metrics (see
+/// RegistryOptions::metrics) — the durable interface is the cw_registry_*
+/// series themselves, which exporters scrape without taking this struct.
 struct RegistryStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -160,10 +174,28 @@ class PipelineRegistry {
   }
   [[nodiscard]] const RegistryOptions& options() const { return opt_; }
 
+  /// The metrics registry backing this cache's series (the one from
+  /// RegistryOptions::metrics, or the private one created in its absence).
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
   /// Diagnostic probe: mincore the mapped bytes of every cached entry and
-  /// sum what is physically resident right now. O(cached mapped pages) under
-  /// the registry lock — an operator/bench observable, not a hot-path call.
+  /// sum what is physically resident right now. The entry handles are
+  /// snapshotted under the lock and probed after it drops — the walk is
+  /// O(cached mapped pages) and must neither stall lookups nor race a
+  /// concurrent evict into a released mapping. An operator/bench/sampler
+  /// observable, not a hot-path call.
   [[nodiscard]] std::size_t resident_mapped_bytes() const;
+
+  /// Occupancy of the admission sketch (fraction of nonzero counters);
+  /// 0 under admit-all. See AdmissionPolicy::occupancy().
+  [[nodiscard]] double admission_sketch_occupancy() const;
+
+  /// Register this registry's slow probes (resident mapped bytes, sketch
+  /// occupancy) with a background sampler. The sampler must be stopped
+  /// before the registry is destroyed.
+  void register_probes(obs::PeriodicSampler& sampler);
 
  private:
   struct Entry {
@@ -195,13 +227,46 @@ class PipelineRegistry {
   /// Perform the queued residency work; must be called WITHOUT mu_ held.
   void finish_releases_(const std::vector<Deferred>& deferred);
 
+  /// Mirror the byte/entry occupancy fields into their gauges (mu_ held).
+  void publish_sizes_();
+
+  /// The cw_registry_* / cw_residency_* instruments, interned once at
+  /// construction so the serving paths never touch the metrics registry's
+  /// lock again.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& insertions;
+    obs::Counter& evictions;
+    obs::Counter& oversize_rejects;
+    obs::Counter& admission_rejects;
+    obs::Counter& released_evictions;
+    obs::Counter& released_bytes;
+    obs::Counter& prefaulted_bytes;
+    obs::Gauge& entries;
+    obs::Gauge& bytes_used;
+    obs::Gauge& mapped_bytes_used;
+    obs::Gauge& locked_bytes;
+    obs::Gauge& capacity;
+    obs::Histogram& warmup_ms;
+    obs::Histogram& release_ms;
+  };
+
   const RegistryOptions opt_;
   const std::unique_ptr<AdmissionPolicy> policy_;  // null = admit all
+  const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Metrics m_;  // binds into *metrics_: keep declared after it
   mutable std::mutex mu_;
   std::uint64_t next_lock_token_ = 0;
   LruList lru_;  // front = most recently used
   std::unordered_map<Fingerprint, LruList::iterator, FingerprintHasher> map_;
-  RegistryStats stats_{};
+  /// Byte occupancy stays a plain field (mu_-guarded): the eviction loop
+  /// needs read-modify-write consistency a gauge cannot give. Mirrored into
+  /// m_ gauges by publish_sizes_() after every mutation.
+  std::size_t bytes_used_ = 0;
+  std::size_t mapped_bytes_used_ = 0;
+  std::size_t locked_bytes_ = 0;
 };
 
 }  // namespace cw::serve

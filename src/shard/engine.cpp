@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
-#include "common/stats.hpp"
+#include "obs/sampler.hpp"
 
 namespace cw::shard {
 
@@ -19,8 +19,29 @@ double ms_between(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
+ShardedEngine::Metrics::Metrics(obs::MetricsRegistry& m)
+    : submitted(m.counter("cw_sharded_submitted_total",
+                          "Sharded requests accepted")),
+      completed(m.counter("cw_sharded_completed_total",
+                          "Sharded requests gathered successfully")),
+      failed(m.counter("cw_sharded_failed_total",
+                       "Sharded requests with >= 1 failed shard")),
+      shard_multiplies(m.counter("cw_sharded_shard_multiplies_total",
+                                 "Per-shard sub-multiplies scattered")),
+      latency_ms(m.histogram("cw_sharded_request_latency_ms",
+                             "Sharded request latency, submit to gathered")) {}
+
 ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
-    : opt_(opt), start_(Clock::now()), latencies_(opt.latency_window) {
+    : opt_(std::move(opt)),
+      start_(Clock::now()),
+      metrics_(opt_.metrics ? opt_.metrics
+                            : std::make_shared<obs::MetricsRegistry>()),
+      tracer_(opt_.trace ? opt_.trace
+              : opt_.trace_sample_rate > 0
+                  ? std::make_shared<obs::TraceCollector>(obs::TraceOptions{
+                        opt_.trace_sample_rate, std::size_t{1} << 16})
+                  : nullptr),
+      m_(*metrics_) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "sharded engine: need >= 1 worker");
   CW_CHECK_MSG(opt_.gather_workers >= 1,
                "sharded engine: need >= 1 gather worker");
@@ -30,6 +51,12 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
   eopt.batch_window = opt_.batch_window;
   eopt.max_stacked_cols = opt_.max_stacked_cols;
   eopt.registry = opt_.registry;
+  // One registry for the whole plane: cw_sharded_* (this layer),
+  // cw_engine_* (per-shard multiplies), cw_registry_* (the cache). The
+  // inner engine does NOT get its own trace sampler — sampled requests
+  // carry their context into submit_traced, so per-shard spans join the
+  // parent timeline instead of founding K new ones.
+  eopt.metrics = metrics_;
   // Shard results are gathered in block-local order, so the inner engine
   // performs the per-shard unpermute.
   eopt.unpermute_results = true;
@@ -52,13 +79,14 @@ std::future<Csr> ShardedEngine::submit(
   Request req;
   req.pipeline = std::move(pipeline);
   req.b = std::make_shared<const Csr>(std::move(b));
+  if (tracer_) req.trace = tracer_->maybe_sample();
   req.enqueued = Clock::now();
   std::future<Csr> result = req.result.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     CW_CHECK_MSG(!stopping_, "sharded engine: submit after shutdown");
     queue_.push_back(std::move(req));
-    ++submitted_;
+    m_.submitted.inc();
   }
   work_cv_.notify_one();
   return result;
@@ -66,9 +94,10 @@ std::future<Csr> ShardedEngine::submit(
 
 void ShardedEngine::drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  // Counter reads are consistent here: every increment happens under mu_.
   idle_cv_.wait(lock, [this] {
     return queue_.empty() && in_flight_ == 0 &&
-           completed_ + failed_ == submitted_;
+           m_.completed.value() + m_.failed.value() == m_.submitted.value();
   });
 }
 
@@ -88,22 +117,35 @@ void ShardedEngine::shutdown() {
 ShardedEngineStats ShardedEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ShardedEngineStats s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.failed = failed_;
-  s.shard_multiplies = shard_multiplies_;
+  s.submitted = m_.submitted.value();
+  s.completed = m_.completed.value();
+  s.failed = m_.failed.value();
+  s.shard_multiplies = m_.shard_multiplies.value();
   s.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_).count();
   s.throughput_rps = s.elapsed_seconds > 0
                          ? static_cast<double>(s.completed) / s.elapsed_seconds
                          : 0;
-  if (latencies_.count() > 0) {
-    s.latency_p50_ms = latencies_.window_percentile(50);
-    s.latency_p95_ms = latencies_.window_percentile(95);
-    s.latency_p99_ms = latencies_.window_percentile(99);
-    s.latency_max_ms = latencies_.max_ms();
+  const obs::HistogramSnapshot lat = m_.latency_ms.snapshot();
+  if (lat.count > 0) {
+    s.latency_p50_ms = lat.percentile(50);
+    s.latency_p95_ms = lat.percentile(95);
+    s.latency_p99_ms = lat.percentile(99);
+    s.latency_max_ms = lat.max;
   }
   return s;
+}
+
+std::size_t ShardedEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ShardedEngine::register_probes(obs::PeriodicSampler& sampler) {
+  sampler.add_probe("cw_sharded_queue_depth",
+                    "Sharded requests waiting for a gather worker",
+                    [this] { return static_cast<double>(queue_depth()); });
+  shard_engine_->register_probes(sampler);
 }
 
 serve::EngineStats ShardedEngine::shard_engine_stats() const {
@@ -121,22 +163,29 @@ void ShardedEngine::gather_loop_() {
       queue_.pop_front();
       ++in_flight_;
     }
+    const Clock::time_point pickup = Clock::now();
 
     const ShardedPipeline& sp = *req.pipeline;
     const index_t k = sp.num_shards();
 
-    // Scatter: one sub-request per shard, all sharing one B. The submit may
-    // itself throw (e.g. after an engine shutdown race); treat that as a
-    // request failure, not a crash.
+    // Scatter: one sub-request per shard, all sharing one B (and, when the
+    // request is sampled, one trace context — the inner engine tags each
+    // sub-multiply's spans with its shard). The submit may itself throw
+    // (e.g. after an engine shutdown race); treat that as a request
+    // failure, not a crash.
     std::vector<std::future<Csr>> futures;
     std::exception_ptr error;
     try {
       futures.reserve(static_cast<std::size_t>(k));
       for (index_t s = 0; s < k; ++s)
-        futures.push_back(shard_engine_->submit(sp.shard(s), req.b));
+        futures.push_back(req.trace
+                              ? shard_engine_->submit_traced(
+                                    sp.shard(s), req.b, req.trace, s)
+                              : shard_engine_->submit(sp.shard(s), req.b));
     } catch (...) {
       error = std::current_exception();
     }
+    const Clock::time_point scatter_end = Clock::now();
 
     // Gather: wait on every launched shard even after a failure (abandoning
     // a future would discard an in-flight shard result mid-drain), keeping
@@ -161,15 +210,27 @@ void ShardedEngine::gather_loop_() {
         final_error = std::current_exception();
       }
     }
-    const double ms = ms_between(req.enqueued, Clock::now());
+    const Clock::time_point done = Clock::now();
+    const double ms = ms_between(req.enqueued, done);
+    if (req.trace) {
+      // Gather-stage spans: queue-wait (submit → gather worker pickup),
+      // scatter (fanning out K sub-requests), gather (waiting on shard
+      // futures + stitching row blocks). The per-shard multiply spans in
+      // between were written by the inner engine's workers.
+      req.trace->add("queue-wait", req.enqueued, pickup);
+      req.trace->add("scatter", pickup, scatter_end, "shards",
+                     static_cast<std::int64_t>(futures.size()));
+      req.trace->add("gather", scatter_end, done, "shards",
+                     static_cast<std::int64_t>(futures.size()));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (final_error)
-        ++failed_;
+        m_.failed.inc();
       else
-        ++completed_;
-      shard_multiplies_ += static_cast<std::uint64_t>(futures.size());
-      latencies_.record(ms);
+        m_.completed.inc();
+      m_.shard_multiplies.inc(futures.size());
+      m_.latency_ms.record(ms);
       --in_flight_;
       idle = queue_.empty() && in_flight_ == 0;
     }
@@ -177,6 +238,7 @@ void ShardedEngine::gather_loop_() {
       req.result.set_exception(final_error);
     else
       req.result.set_value(std::move(*final_value));
+    if (req.trace) tracer_->commit(req.trace);
     if (idle) idle_cv_.notify_all();
   }
 }

@@ -23,7 +23,6 @@
 #include <thread>
 #include <vector>
 
-#include "common/stats.hpp"
 #include "serve/engine.hpp"
 #include "shard/sharded_pipeline.hpp"
 
@@ -50,8 +49,21 @@ struct ShardedEngineOptions {
   /// Stacked-column cap per fused shard multiply (see
   /// serve::EngineOptions::max_stacked_cols). 0 = unlimited.
   index_t max_stacked_cols = 0;
-  /// Latency samples retained for the percentile report.
+  /// DEPRECATED and ignored since PR 6: percentiles come from a full-run
+  /// log-bucketed histogram (see serve::EngineOptions::latency_window).
   std::size_t latency_window = 4096;
+  /// Metrics registry backing the cw_sharded_* series; forwarded to the
+  /// inner engine (cw_engine_*, cw_registry_*) so one scrape covers the
+  /// whole plane. Null = a private registry, reachable via metrics().
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Fraction of *sharded* requests traced. The inner engine never samples
+  /// on its own here — per-shard multiply spans land inside the sampled
+  /// parent request's timeline (one timeline per request, not K+1). Ignored
+  /// when `trace` is supplied.
+  double trace_sample_rate = 0;
+  /// Trace collector for sampled requests. Null with a non-zero sample
+  /// rate = the engine creates its own, reachable via tracer().
+  std::shared_ptr<obs::TraceCollector> trace;
   /// Embedded per-shard pipeline registry, forwarded to the inner engine
   /// (serve::EngineOptions::registry): capacity 0 = none. Shards are
   /// registry-sized pieces by design (shard/sharded_pipeline.hpp), so
@@ -59,6 +71,7 @@ struct ShardedEngineOptions {
   serve::RegistryOptions registry = {};
 };
 
+/// Point-in-time view over the registry-backed cw_sharded_* metrics.
 struct ShardedEngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -66,8 +79,8 @@ struct ShardedEngineStats {
   std::uint64_t shard_multiplies = 0;
   double elapsed_seconds = 0;
   double throughput_rps = 0;
-  /// End-to-end request latency (submit → gathered), over the most recent
-  /// latency_window requests; max over the engine's lifetime.
+  /// End-to-end request latency (submit → gathered) percentiles from the
+  /// full-run histogram; max is the exact lifetime maximum.
   double latency_p50_ms = 0;
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
@@ -116,6 +129,25 @@ class ShardedEngine {
   /// deterministic-test hook (see serve::ServeEngine::close_batch_windows).
   void close_batch_windows() { shard_engine_->close_batch_windows(); }
 
+  /// The metrics registry backing the cw_sharded_* series (shared with the
+  /// inner engine's cw_engine_* / cw_registry_* series).
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// The trace collector, or null when tracing is off.
+  [[nodiscard]] const std::shared_ptr<obs::TraceCollector>& tracer() const {
+    return tracer_;
+  }
+
+  /// Sharded requests waiting for a gather worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Register this engine's level probes (gather queue depth plus the inner
+  /// engine's and registry's probes) with a background sampler. Stop the
+  /// sampler before destroying the engine.
+  void register_probes(obs::PeriodicSampler& sampler);
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -124,12 +156,28 @@ class ShardedEngine {
     std::shared_ptr<const Csr> b;
     std::promise<Csr> result;
     Clock::time_point enqueued;
+    /// Sampled request's timeline; per-shard sub-multiply spans land here
+    /// too (via ServeEngine::submit_traced). Committed by the gatherer.
+    std::shared_ptr<obs::TraceContext> trace;
   };
 
   void gather_loop_();
 
+  /// The cw_sharded_* instruments, interned once at construction.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& failed;
+    obs::Counter& shard_multiplies;
+    obs::Histogram& latency_ms;
+  };
+
   const ShardedEngineOptions opt_;
   const Clock::time_point start_;
+  const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
+  Metrics m_;  // binds into *metrics_: keep declared after it
   std::unique_ptr<serve::ServeEngine> shard_engine_;
 
   mutable std::mutex mu_;
@@ -138,11 +186,6 @@ class ShardedEngine {
   std::deque<Request> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
-
-  // All guarded by mu_.
-  std::uint64_t submitted_ = 0, completed_ = 0, failed_ = 0,
-                shard_multiplies_ = 0;
-  LatencyRecorder latencies_;
 
   std::vector<std::thread> gatherers_;
 };

@@ -1,0 +1,114 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cw::obs {
+namespace {
+
+/// Golden-file check of the whole exposition: instrument of every kind,
+/// deterministic values, exact expected text. The number formatting and
+/// series ordering are part of the contract (scrapers and the CI parser
+/// rely on them), so this compares byte-for-byte.
+TEST(ObsExposition, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("test_requests_total", "Requests seen").inc(3);
+  reg.gauge("test_queue_depth", "Requests waiting").set(2.5);
+  Histogram& h = reg.histogram("test_latency_ms", "Latency");
+  h.record(1.0);  // bucket bound 1.125 (octave 0, first sub-bucket)
+  h.record(4.0);  // bucket bound 4.5 (octave 2, first sub-bucket)
+
+  const std::string expected =
+      "# HELP test_latency_ms Latency\n"
+      "# TYPE test_latency_ms histogram\n"
+      "test_latency_ms_bucket{le=\"1.125\"} 1\n"
+      "test_latency_ms_bucket{le=\"4.5\"} 2\n"
+      "test_latency_ms_bucket{le=\"+Inf\"} 2\n"
+      "test_latency_ms_sum 5\n"
+      "test_latency_ms_count 2\n"
+      "# HELP test_queue_depth Requests waiting\n"
+      "# TYPE test_queue_depth gauge\n"
+      "test_queue_depth 2.5\n"
+      "# HELP test_requests_total Requests seen\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total 3\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(ObsExposition, PrometheusLabeledSeriesShareOneHeader) {
+  MetricsRegistry reg;
+  reg.counter("test_hits_total", "Hits", {{"shard", "0"}}).inc(1);
+  reg.counter("test_hits_total", "Hits", {{"shard", "1"}}).inc(2);
+  const std::string expected =
+      "# HELP test_hits_total Hits\n"
+      "# TYPE test_hits_total counter\n"
+      "test_hits_total{shard=\"0\"} 1\n"
+      "test_hits_total{shard=\"1\"} 2\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(ObsExposition, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test_h", "");
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+  for (int i = 0; i < 5; ++i) h.record(100.0);
+  const std::string text = to_prometheus(reg);
+
+  // Parse every `le` bucket back out; cumulative counts must be
+  // non-decreasing and the +Inf bucket must equal _count.
+  std::istringstream is(text);
+  std::string line;
+  std::uint64_t prev = 0, inf = 0, count = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("test_h_bucket", 0) == 0) {
+      const std::uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+      if (line.find("+Inf") != std::string::npos) inf = v;
+    }
+    if (line.rfind("test_h_count", 0) == 0)
+      count = std::stoull(line.substr(line.rfind(' ') + 1));
+  }
+  EXPECT_EQ(inf, 15u);
+  EXPECT_EQ(count, 15u);
+}
+
+TEST(ObsExposition, JsonCarriesPercentilesAndBalances) {
+  MetricsRegistry reg;
+  reg.counter("test_c_total", "c").inc(7);
+  reg.gauge("test_g", "g").set(1.5);
+  Histogram& h = reg.histogram("test_h", "h");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test_c_total\", \"labels\": {}, "
+                      "\"value\": 7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p999\": "), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ObsExposition, EmptyRegistryRendersEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(to_prometheus(reg), "");
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"counters\": [\n  ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::obs

@@ -1,0 +1,213 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cw::obs {
+namespace {
+
+TEST(ObsMetrics, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetrics, CounterAggregatesAcrossEightThreads) {
+  // Each thread lands on its own stripe (or shares one correctly); the
+  // summed value must be exact once the incrementers have joined. TSan runs
+  // this too — the hot path is a single relaxed fetch_add.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.add(-1.25);
+  EXPECT_EQ(g.value(), 2.25);
+}
+
+TEST(ObsMetrics, HistogramBucketIndexBoundRoundTrip) {
+  // Every value must land in a bucket whose bound is >= the value, and
+  // whose predecessor bound is < the value (the defining invariant of the
+  // log-bucketed grid).
+  const double values[] = {1e-4, 0.01, 0.5,  1.0,    1.125,  2.0,
+                           3.7,  100,  250,  1e6,    3.2e9,  7.5e11};
+  for (double v : values) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_bound(i)) << "value " << v;
+    // Values exactly on a bound start the next bucket, hence >= not >.
+    if (i > 0)
+      EXPECT_GE(v, Histogram::bucket_bound(i - 1)) << "value " << v;
+  }
+  // Degenerate inputs clamp into the underflow bucket instead of faulting.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  // Saturation: beyond 2^kMaxExp everything shares the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMaxExp + 3)),
+            Histogram::kBuckets - 1);
+}
+
+TEST(ObsMetrics, HistogramBucketWidthIsBoundedFractionOfMagnitude) {
+  // Geometric growth: each bucket spans 1/kSubBuckets of its octave, so a
+  // bucket's width relative to its lower bound is 1/(kSubBuckets + s) for
+  // sub-bucket s — between 1/15 and 1/8. That bounds the relative error of
+  // "report the bucket bound" by 12.5% everywhere on the axis.
+  for (std::size_t i = 2; i < Histogram::kBuckets; ++i) {
+    const double lo = Histogram::bucket_bound(i - 1);
+    const double hi = Histogram::bucket_bound(i);
+    const double rel = (hi - lo) / lo;
+    EXPECT_LE(rel, 1.0 / Histogram::kSubBuckets + 1e-9) << "bucket " << i;
+    EXPECT_GE(rel, 1.0 / (2.0 * Histogram::kSubBuckets - 1) - 1e-9)
+        << "bucket " << i;
+  }
+}
+
+TEST(ObsMetrics, HistogramSnapshotCountsSumMax) {
+  Histogram h;
+  h.record(1.0);
+  h.record(4.0);
+  h.record(4.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 9.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  ASSERT_EQ(s.counts.size(), s.bounds.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : s.counts) total += c;
+  EXPECT_EQ(total, 3u);
+  // The trim keeps everything up to the last occupied bucket.
+  EXPECT_GT(s.counts.back(), 0u);
+}
+
+TEST(ObsMetrics, HistogramMergesShardsFromConcurrentRecorders) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(t + 1));  // thread t records value t+1
+    });
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // sum = kPerThread * (1 + 2 + ... + 8)
+  EXPECT_DOUBLE_EQ(s.sum, kPerThread * 36.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+}
+
+TEST(ObsMetrics, HistogramPercentileWithinOneBucket) {
+  // 1000 samples of a known ramp: the order statistic is exact, the
+  // histogram answer must be within one bucket (12.5% relative) of it.
+  Histogram h;
+  std::vector<double> exact;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) * 0.1;  // 0.1 .. 100 ms
+    h.record(v);
+    exact.push_back(v);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  for (double p : {50.0, 95.0, 99.0, 99.9}) {
+    const double truth = percentile(exact, p);
+    const double est = s.percentile(p);
+    EXPECT_NEAR(est, truth, truth / Histogram::kSubBuckets + 1e-9)
+        << "p" << p;
+  }
+  // The tail never reports a value that never happened.
+  EXPECT_LE(s.percentile(100), s.max);
+  EXPECT_GT(s.percentile(50), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBeatsLatencyRecorderOnHeavyTail) {
+  // The regression the DEPRECATED note on LatencyRecorder points at: a
+  // burst of slow requests followed by sustained fast traffic. The ring
+  // retains only the trailing window — the burst vanishes and p99 collapses
+  // to the fast mode. The histogram covers the FULL run, so its p99 stays
+  // within one bucket of the true order statistic.
+  constexpr int kSlow = 300;     // 250 ms outliers, first
+  constexpr int kFast = 10000;   // 1 ms steady state, after
+  constexpr double kSlowMs = 250.0;
+  constexpr double kFastMs = 1.0;
+
+  Histogram h;
+  LatencyRecorder ring(4096);
+  std::vector<double> exact;
+  for (int i = 0; i < kSlow; ++i) {
+    h.record(kSlowMs);
+    ring.record(kSlowMs);
+    exact.push_back(kSlowMs);
+  }
+  for (int i = 0; i < kFast; ++i) {
+    h.record(kFastMs);
+    ring.record(kFastMs);
+    exact.push_back(kFastMs);
+  }
+
+  const double truth = percentile(exact, 99);  // ≈ 250: 300/10300 ≈ 2.9% slow
+  ASSERT_DOUBLE_EQ(truth, kSlowMs);
+
+  // The ring forgot every slow sample (window < fast-sample count).
+  EXPECT_LT(ring.window_percentile(99), 2.0);
+  // The histogram did not: within one bucket of the exact tail.
+  const double est = h.percentile(99);
+  EXPECT_NEAR(est, truth, truth / Histogram::kSubBuckets + 1e-9);
+  // Both agree on the lifetime max — that part of the ring was never biased.
+  EXPECT_DOUBLE_EQ(ring.max_ms(), h.snapshot().max);
+}
+
+TEST(ObsMetrics, RegistryInternsByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("requests_total", "requests");
+  Counter& b = reg.counter("requests_total");
+  EXPECT_EQ(&a, &b);  // same (name, labels) → same instrument
+  Counter& c = reg.counter("requests_total", "", {{"shard", "1"}});
+  EXPECT_NE(&a, &c);  // labels distinguish series
+  a.inc(3);
+  c.inc(4);
+  EXPECT_EQ(b.value(), 3u);
+
+  const auto series = reg.series();
+  ASSERT_EQ(series.size(), 2u);
+  // series() is stable-ordered: unlabeled first (shorter key).
+  EXPECT_EQ(series[0].name, "requests_total");
+  EXPECT_TRUE(series[0].labels.empty());
+  EXPECT_EQ(series[1].labels.size(), 1u);
+  EXPECT_EQ(series[0].help, "requests");  // first registration's help wins
+}
+
+TEST(ObsMetrics, RegistryRejectsKindMismatch) {
+  MetricsRegistry reg;
+  reg.counter("x_total");
+  EXPECT_THROW(reg.gauge("x_total"), Error);
+  EXPECT_THROW(reg.histogram("x_total"), Error);
+}
+
+TEST(ObsMetrics, RenderLabels) {
+  EXPECT_EQ(render_labels({}), "");
+  EXPECT_EQ(render_labels({{"a", "1"}}), "{a=\"1\"}");
+  EXPECT_EQ(render_labels({{"a", "1"}, {"b", "x"}}), "{a=\"1\",b=\"x\"}");
+}
+
+}  // namespace
+}  // namespace cw::obs

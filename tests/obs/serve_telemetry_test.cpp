@@ -1,0 +1,230 @@
+// Integration coverage for the serving telemetry plane: the engines and the
+// registry publish into one obs::MetricsRegistry, sampled requests carry a
+// stage timeline end to end (including through scatter/gather), and the
+// probes feed live levels into gauges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/sampler.hpp"
+#include "serve/engine.hpp"
+#include "serve/fingerprint.hpp"
+#include "shard/engine.hpp"
+#include "shard/sharded_pipeline.hpp"
+#include "test_utils.hpp"
+
+namespace cw {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.scheme = ClusterScheme::kFixed;
+  o.fixed_length = 4;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+TEST(ObsServe, EngineCountersMatchStatsView) {
+  const Csr a = test::random_csr(40, 40, 0.1, 11);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions opt;
+  opt.num_workers = 2;
+  serve::ServeEngine engine(opt);
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i)
+    (void)engine.submit(p, test::random_csr(40, 8, 0.2, 100 + i));
+  engine.drain();
+
+  // EngineStats is a view over the same registry-backed series.
+  const serve::EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, kRequests);
+  EXPECT_EQ(st.completed, kRequests);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(engine.metrics()->counter("cw_engine_completed_total").value(),
+            kRequests);
+  const obs::HistogramSnapshot lat =
+      engine.metrics()->histogram("cw_engine_request_latency_ms").snapshot();
+  EXPECT_EQ(lat.count, kRequests);
+  EXPECT_GT(st.latency_p50_ms, 0.0);
+  EXPECT_GE(st.latency_max_ms, st.latency_p99_ms);
+
+  const std::string prom = obs::to_prometheus(*engine.metrics());
+  EXPECT_NE(prom.find("cw_engine_completed_total 12"), std::string::npos);
+  EXPECT_NE(prom.find("cw_engine_request_latency_ms_count 12"),
+            std::string::npos);
+}
+
+TEST(ObsServe, TracedRequestsCoverEveryStageInOrder) {
+  const Csr a = test::random_csr(40, 40, 0.1, 12);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions opt;
+  opt.num_workers = 2;
+  opt.trace_sample_rate = 1.0;  // every request traced
+  serve::ServeEngine engine(opt);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i)
+    (void)engine.submit(p, test::random_csr(40, 8, 0.2, 200 + i));
+  engine.drain();
+
+  ASSERT_NE(engine.tracer(), nullptr);
+  EXPECT_EQ(engine.tracer()->sampled(), kRequests);
+  std::map<std::uint64_t, std::vector<obs::TraceSpan>> by_request;
+  for (const obs::TraceSpan& s : engine.tracer()->spans())
+    by_request[s.request_id].push_back(s);
+  ASSERT_EQ(by_request.size(), kRequests);
+
+  for (auto& [id, spans] : by_request) {
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::TraceSpan& x, const obs::TraceSpan& y) {
+                return x.ts_us < y.ts_us;
+              });
+    std::map<std::string, double> begin;
+    for (const obs::TraceSpan& s : spans) {
+      EXPECT_GE(s.ts_us, 0.0) << "request " << id;
+      EXPECT_GE(s.dur_us, 0.0) << "request " << id;
+      begin.emplace(s.name, s.ts_us);
+    }
+    // Every request passes through queue → multiply → unpermute, in that
+    // order (window-park/fuse only appear under a batch window).
+    ASSERT_TRUE(begin.count("queue-wait")) << "request " << id;
+    ASSERT_TRUE(begin.count("multiply")) << "request " << id;
+    ASSERT_TRUE(begin.count("unpermute")) << "request " << id;
+    EXPECT_LE(begin["queue-wait"], begin["multiply"]);
+    EXPECT_LE(begin["multiply"], begin["unpermute"]);
+  }
+}
+
+TEST(ObsServe, BatchWindowAddsParkAndFuseSpans) {
+  const Csr a = test::random_csr(40, 40, 0.1, 13);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions opt;
+  opt.num_workers = 1;  // one worker → arrivals pile into its window
+  opt.batch_window = std::chrono::milliseconds(50);
+  opt.trace_sample_rate = 1.0;
+  serve::ServeEngine engine(opt);
+  for (int i = 0; i < 8; ++i)
+    (void)engine.submit(p, test::random_csr(40, 4, 0.2, 300 + i));
+  engine.drain();
+
+  std::vector<std::string> names;
+  for (const obs::TraceSpan& s : engine.tracer()->spans())
+    names.emplace_back(s.name);
+  const auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  // At least one request was fused out of a window: its timeline shows the
+  // park, the stack assembly, the fused multiply and the split/unpermute.
+  EXPECT_TRUE(has("window-park"));
+  EXPECT_TRUE(has("fuse"));
+  EXPECT_TRUE(has("multiply"));
+  EXPECT_TRUE(has("unpermute"));
+}
+
+TEST(ObsServe, ShardedRequestYieldsOneTimelineWithScatterGather) {
+  const Csr a = test::random_csr(60, 60, 0.1, 14);
+  shard::PlanOptions popt;
+  popt.num_shards = 3;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(a, popt,
+                                                          PipelineOptions{});
+
+  shard::ShardedEngineOptions opt;
+  opt.num_workers = 2;
+  opt.trace_sample_rate = 1.0;
+  shard::ShardedEngine engine(opt);
+  const Csr c = engine.submit(sp, test::random_csr(60, 8, 0.2, 400)).get();
+  engine.drain();
+  EXPECT_GT(c.nnz(), 0);
+
+  ASSERT_NE(engine.tracer(), nullptr);
+  const std::vector<obs::TraceSpan> spans = engine.tracer()->spans();
+  ASSERT_FALSE(spans.empty());
+  // One timeline: every span (including the three per-shard multiplies the
+  // inner engine wrote) carries the same request id.
+  for (const obs::TraceSpan& s : spans)
+    EXPECT_EQ(s.request_id, spans.front().request_id);
+
+  int multiplies = 0;
+  bool scatter = false, gather = false, queue_wait = false;
+  for (const obs::TraceSpan& s : spans) {
+    const std::string name = s.name;
+    if (name == "multiply") {
+      ++multiplies;
+      ASSERT_STREQ(s.arg_name, "shard");
+      EXPECT_GE(s.arg, 0);
+      EXPECT_LT(s.arg, 3);
+    }
+    scatter |= name == "scatter";
+    gather |= name == "gather";
+    queue_wait |= name == "queue-wait";
+  }
+  EXPECT_EQ(multiplies, 3);  // one per shard
+  EXPECT_TRUE(scatter);
+  EXPECT_TRUE(gather);
+  EXPECT_TRUE(queue_wait);
+}
+
+TEST(ObsServe, SharedRegistryAggregatesAllThreePlanes) {
+  const Csr a = test::random_csr(60, 60, 0.1, 15);
+  shard::PlanOptions popt;
+  popt.num_shards = 2;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(a, popt,
+                                                          PipelineOptions{});
+
+  shard::ShardedEngineOptions opt;
+  opt.num_workers = 2;
+  opt.registry.capacity_bytes = std::size_t{64} << 20;
+  shard::ShardedEngine engine(opt);
+  engine.admit(*sp);
+  (void)engine.submit(sp, test::random_csr(60, 8, 0.2, 500)).get();
+  engine.drain();
+
+  // One scrape covers the sharded layer, the inner engine and the cache.
+  const std::string prom = obs::to_prometheus(*engine.metrics());
+  EXPECT_NE(prom.find("cw_sharded_completed_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("cw_sharded_shard_multiplies_total 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cw_engine_completed_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("cw_registry_insertions_total 2"), std::string::npos);
+}
+
+TEST(ObsServe, ProbesPublishLiveLevelsIntoGauges) {
+  const Csr a = test::random_csr(40, 40, 0.1, 16);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions opt;
+  opt.num_workers = 2;
+  opt.registry.capacity_bytes = std::size_t{64} << 20;
+  serve::ServeEngine engine(opt);
+  (void)engine.admit(serve::fingerprint(a), p);
+
+  obs::PeriodicSampler sampler(engine.metrics(),
+                               std::chrono::milliseconds(1000));
+  engine.register_probes(sampler);
+  for (int i = 0; i < 4; ++i)
+    (void)engine.submit(p, test::random_csr(40, 8, 0.2, 600 + i));
+  engine.drain();
+  sampler.sample_once();
+
+  // Drained engine: live levels are back to zero but the series exist.
+  EXPECT_EQ(engine.metrics()->gauge("cw_engine_queue_depth").value(), 0.0);
+  EXPECT_EQ(engine.metrics()->gauge("cw_engine_in_flight").value(), 0.0);
+  EXPECT_EQ(engine.metrics()->gauge("cw_engine_open_windows").value(), 0.0);
+  // Registry probes registered too (values depend on mincore availability).
+  EXPECT_GE(
+      engine.metrics()->gauge("cw_registry_resident_mapped_bytes").value(),
+      0.0);
+  EXPECT_GE(engine.metrics()->gauge("cw_admission_sketch_occupancy").value(),
+            0.0);
+  EXPECT_EQ(sampler.sweeps(), 1u);
+}
+
+}  // namespace
+}  // namespace cw

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cw::obs {
+namespace {
+
+using Clock = TraceContext::Clock;
+using std::chrono::microseconds;
+
+TEST(ObsTrace, RateZeroNeverSamples) {
+  TraceCollector tc({0.0, 64});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(tc.maybe_sample(), nullptr);
+  EXPECT_EQ(tc.sampled(), 0u);
+}
+
+TEST(ObsTrace, RateOneSamplesEverySubmit) {
+  TraceCollector tc({1.0, 64});
+  for (int i = 0; i < 10; ++i) {
+    auto ctx = tc.maybe_sample();
+    ASSERT_NE(ctx, nullptr);
+    EXPECT_EQ(ctx->id(), static_cast<std::uint64_t>(i));  // ids are dense
+  }
+  EXPECT_EQ(tc.sampled(), 10u);
+}
+
+TEST(ObsTrace, FractionalRateIsDeterministicStride) {
+  // rate 0.25 → every 4th submit, starting with the first: two identical
+  // runs trace the same requests.
+  TraceCollector tc({0.25, 64});
+  int sampled = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto ctx = tc.maybe_sample();
+    if (i % 4 == 0) {
+      EXPECT_NE(ctx, nullptr) << "submit " << i;
+      ++sampled;
+    } else {
+      EXPECT_EQ(ctx, nullptr) << "submit " << i;
+    }
+  }
+  EXPECT_EQ(sampled, 10);
+  EXPECT_EQ(tc.sampled(), 10u);
+}
+
+TEST(ObsTrace, SpansKeepOrderAndMonotonicTimestamps) {
+  TraceCollector tc({1.0, 64});
+  auto ctx = tc.maybe_sample();
+  ASSERT_NE(ctx, nullptr);
+  const Clock::time_point t0 = tc.epoch();
+  ctx->add("queue-wait", t0 + microseconds(10), t0 + microseconds(30));
+  ctx->add("multiply", t0 + microseconds(30), t0 + microseconds(90), "cols",
+           32);
+  ctx->add("unpermute", t0 + microseconds(90), t0 + microseconds(100));
+  tc.commit(ctx);
+
+  const std::vector<TraceSpan> spans = tc.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "queue-wait");
+  EXPECT_STREQ(spans[1].name, "multiply");
+  EXPECT_STREQ(spans[2].name, "unpermute");
+  // Stage intervals tile the request: each begins where the last ended,
+  // timestamps relative to the collector epoch, durations non-negative.
+  double prev_end = 0;
+  for (const TraceSpan& s : spans) {
+    EXPECT_GE(s.ts_us, prev_end);
+    EXPECT_GE(s.dur_us, 0.0);
+    prev_end = s.ts_us + s.dur_us;
+  }
+  EXPECT_NEAR(spans[0].ts_us, 10.0, 1e-6);
+  EXPECT_NEAR(prev_end, 100.0, 1e-6);
+  EXPECT_STREQ(spans[1].arg_name, "cols");
+  EXPECT_EQ(spans[1].arg, 32);
+}
+
+TEST(ObsTrace, BackwardsIntervalClampsToZeroDuration) {
+  TraceCollector tc({1.0, 64});
+  auto ctx = tc.maybe_sample();
+  const Clock::time_point t0 = tc.epoch();
+  ctx->add("glitch", t0 + microseconds(50), t0 + microseconds(40));
+  tc.commit(ctx);
+  ASSERT_EQ(tc.spans().size(), 1u);
+  EXPECT_EQ(tc.spans()[0].dur_us, 0.0);
+}
+
+TEST(ObsTrace, CapacityBoundDropsAndCounts) {
+  TraceCollector tc({1.0, 2});  // room for two spans total
+  auto ctx = tc.maybe_sample();
+  const Clock::time_point t0 = tc.epoch();
+  ctx->add("a", t0, t0 + microseconds(1));
+  ctx->add("b", t0 + microseconds(1), t0 + microseconds(2));
+  ctx->add("c", t0 + microseconds(2), t0 + microseconds(3));
+  tc.commit(ctx);
+  EXPECT_EQ(tc.spans().size(), 2u);
+  EXPECT_EQ(tc.dropped_spans(), 1u);
+  // The context is spent after commit; committing again adds nothing.
+  tc.commit(ctx);
+  EXPECT_EQ(tc.spans().size(), 2u);
+}
+
+TEST(ObsTrace, ChromeJsonShape) {
+  TraceCollector tc({1.0, 64});
+  auto ctx = tc.maybe_sample();
+  const Clock::time_point t0 = tc.epoch();
+  ctx->add("multiply", t0 + microseconds(5), t0 + microseconds(25), "shard",
+           3);
+  tc.commit(ctx);
+  const std::string json = tc.to_chrome_json();
+  // Complete-event form, one timeline row per request id.
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"multiply\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\": 3"), std::string::npos);
+  // Balanced braces/brackets — a cheap structural validity check; CI runs
+  // the output through a real JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ObsTrace, ChromeJsonSortsByRequestThenTime) {
+  TraceCollector tc({1.0, 64});
+  auto a = tc.maybe_sample();
+  auto b = tc.maybe_sample();
+  const Clock::time_point t0 = tc.epoch();
+  // Commit b first with a later span; render order must still be request 0
+  // before request 1, each in time order.
+  b->add("late", t0 + microseconds(80), t0 + microseconds(90));
+  b->add("early", t0 + microseconds(10), t0 + microseconds(20));
+  tc.commit(b);
+  a->add("only", t0 + microseconds(50), t0 + microseconds(60));
+  tc.commit(a);
+  const std::string json = tc.to_chrome_json();
+  const auto p_only = json.find("\"only\"");
+  const auto p_early = json.find("\"early\"");
+  const auto p_late = json.find("\"late\"");
+  ASSERT_NE(p_only, std::string::npos);
+  ASSERT_NE(p_early, std::string::npos);
+  ASSERT_NE(p_late, std::string::npos);
+  EXPECT_LT(p_only, p_early);
+  EXPECT_LT(p_early, p_late);
+}
+
+}  // namespace
+}  // namespace cw::obs

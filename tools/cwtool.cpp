@@ -22,11 +22,24 @@
 //   cwtool serve-bench <input|file.cwsnap> [clients] [requests] [workers]
 //                      [--batch-window-us N] [--prefault]
 //                      [--admission lru|tinylfu]
+//                      [--metrics-out m.prom] [--trace-out t.json]
+//                      [--trace-sample R]
 //                                          concurrent-engine throughput run;
 //                                          N > 0 enables second-level B-stacking
 //                                          with an N-microsecond latency budget;
 //                                          a .cwsnap input serves the prepared
-//                                          pipeline zero-copy from the file
+//                                          pipeline zero-copy from the file — a
+//                                          *sharded* .cwsnap serves scatter/
+//                                          gather through the sharded engine.
+//                                          --metrics-out writes Prometheus text
+//                                          exposition; --trace-out writes Chrome
+//                                          trace_event JSON (about:tracing /
+//                                          Perfetto) of the requests sampled at
+//                                          rate R (default 1 when tracing)
+//   cwtool metrics dump <input|file.cwsnap> [requests] [--json]
+//                                          run a small serving burst and dump
+//                                          every metric series to stdout
+//                                          (Prometheus text, or JSON)
 //   cwtool shard plan <input> [K] [strategy]
 //                                          print the row-block split
 //   cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]
@@ -42,6 +55,7 @@
 // degree slashburn. [budget] is single|tens|thousands. [scheme] is one of:
 // none fixed variable hierarchical. [strategy] is one of: naive balanced
 // locality.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +73,8 @@
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "matrix/matrix_market.hpp"
+#include "obs/exposition.hpp"
+#include "obs/sampler.hpp"
 #include "serve/engine.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/snapshot.hpp"
@@ -247,9 +263,123 @@ bool is_snapshot_path(const std::string& input) {
   return input.ends_with(".cwsnap");
 }
 
+/// Telemetry knobs shared by both serve-bench paths.
+struct ServeBenchFlags {
+  long batch_window_us = 0;
+  bool prefault = false;
+  serve::AdmissionKind admission = serve::AdmissionKind::kAdmitAll;
+  std::string metrics_out;  // Prometheus text exposition
+  std::string trace_out;    // Chrome trace_event JSON
+  double trace_sample = 0;  // 0 = tracing off
+};
+
+void export_telemetry(const obs::MetricsRegistry& metrics,
+                      const std::shared_ptr<obs::TraceCollector>& tracer,
+                      const ServeBenchFlags& flags) {
+  if (!flags.metrics_out.empty()) {
+    std::ofstream f(flags.metrics_out);
+    if (!f) throw Error("cannot open " + flags.metrics_out);
+    obs::write_prometheus(f, metrics);
+    std::fprintf(stderr, "wrote metrics to %s\n", flags.metrics_out.c_str());
+  }
+  if (!flags.trace_out.empty()) {
+    if (!tracer)
+      throw Error("serve-bench: --trace-out needs --trace-sample > 0");
+    std::ofstream f(flags.trace_out);
+    if (!f) throw Error("cannot open " + flags.trace_out);
+    tracer->write_chrome_json(f);
+    std::fprintf(stderr,
+                 "wrote %zu trace spans from %llu sampled requests to %s\n",
+                 tracer->spans().size(),
+                 static_cast<unsigned long long>(tracer->sampled()),
+                 flags.trace_out.c_str());
+  }
+}
+
+/// serve-bench over a *sharded* snapshot: requests scatter across the row
+/// blocks and gather back, so sampled traces carry the full span set —
+/// queue-wait/scatter/gather at this level plus the per-shard window-park,
+/// fuse and multiply spans written by the inner engine.
+int cmd_serve_bench_sharded(const std::string& input, int clients,
+                            int requests, int workers,
+                            const ServeBenchFlags& flags) {
+  Timer t_load;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(
+      shard::load_sharded_pipeline_file(input));
+  std::fprintf(stderr, "loaded %d shards from %s in %.1f ms\n",
+               sp->num_shards(), input.c_str(), t_load.seconds() * 1e3);
+
+  const index_t bcols = 32;
+  std::vector<Csr> payloads;
+  for (int i = 0; i < requests; ++i)
+    payloads.push_back(gen_request_payload(
+        sp->plan().ncols(), bcols, 3, 1000 + static_cast<std::uint64_t>(i)));
+
+  shard::ShardedEngineOptions eopt;
+  eopt.num_workers = workers;
+  eopt.gather_workers = std::max(2, clients);
+  eopt.batch_window = std::chrono::microseconds(flags.batch_window_us);
+  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  eopt.registry.admission = flags.admission;
+  eopt.registry.prefault_on_admit = flags.prefault;
+  eopt.trace_sample_rate = flags.trace_sample;
+  shard::ShardedEngine engine(eopt);
+  engine.admit(*sp);
+
+  obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
+  engine.register_probes(sampler);
+  sampler.start();
+
+  Timer t_engine;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(sp, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.drain();
+  const double engine_s = t_engine.seconds();
+  sampler.stop();
+  sampler.sample_once();  // final probe sweep so gauges reflect the drained end state
+
+  const shard::ShardedEngineStats st = engine.stats();
+  const serve::EngineStats inner = engine.shard_engine_stats();
+  std::printf("requests           %d sharded (B is %d-column tall-skinny)\n",
+              requests, bcols);
+  std::printf("engine (%d clients, %d workers, %d shards)\n", clients, workers,
+              sp->num_shards());
+  std::printf("  wall             %.1f ms (%.0f req/s)\n", engine_s * 1e3,
+              requests / engine_s);
+  std::printf("  scatter/gather   %llu requests -> %llu shard multiplies\n",
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.shard_multiplies));
+  std::printf("  inner engine     %llu batches (%llu sub-requests coalesced)\n",
+              static_cast<unsigned long long>(inner.batches),
+              static_cast<unsigned long long>(inner.coalesced));
+  if (flags.batch_window_us > 0)
+    std::printf("  stacking         %llu fused multiplies, %llu sub-requests, "
+                "%llu columns\n",
+                static_cast<unsigned long long>(inner.stacked_batches),
+                static_cast<unsigned long long>(inner.stacked_requests),
+                static_cast<unsigned long long>(inner.fused_columns));
+  std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
+              st.latency_max_ms);
+  export_telemetry(*engine.metrics(), engine.tracer(), flags);
+  return 0;
+}
+
 int cmd_serve_bench(const std::string& input, int clients, int requests,
-                    int workers, long batch_window_us, bool prefault,
-                    serve::AdmissionKind admission) {
+                    int workers, const ServeBenchFlags& flags) {
+  // A sharded snapshot serves scatter/gather through the sharded engine.
+  if (is_snapshot_path(input) &&
+      serve::read_info_file(input).kind ==
+          serve::SnapshotKind::kShardedPipeline)
+    return cmd_serve_bench_sharded(input, clients, requests, workers, flags);
+
+  const long batch_window_us = flags.batch_window_us;
   // A .cwsnap input serves the prepared pipeline zero-copy off the file —
   // the setting where --prefault and the residency counters have teeth.
   std::shared_ptr<const Pipeline> p;
@@ -289,10 +419,16 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   eopt.num_workers = workers;
   eopt.batch_window = std::chrono::microseconds(batch_window_us);
   eopt.registry.capacity_bytes = std::size_t{512} << 20;
-  eopt.registry.admission = admission;
-  eopt.registry.prefault_on_admit = prefault;
+  eopt.registry.admission = flags.admission;
+  eopt.registry.prefault_on_admit = flags.prefault;
+  eopt.trace_sample_rate = flags.trace_sample;
   serve::ServeEngine engine(eopt);
   engine.admit(key, p);
+
+  obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
+  engine.register_probes(sampler);
+  sampler.start();
+
   Timer t_engine;
   std::vector<std::thread> threads;
   for (int cl = 0; cl < clients; ++cl) {
@@ -309,6 +445,8 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   for (auto& t : threads) t.join();
   engine.drain();
   const double engine_s = t_engine.seconds();
+  sampler.stop();
+  sampler.sample_once();  // final probe sweep so gauges reflect the drained end state
   const serve::EngineStats st = engine.stats();
   const std::size_t resident = engine.registry()->resident_mapped_bytes();
 
@@ -358,6 +496,42 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
       static_cast<double>(rs.prefaulted_bytes) / 1e6,
       static_cast<unsigned long long>(rs.released_evictions),
       static_cast<double>(rs.released_bytes) / 1e6);
+  export_telemetry(*engine.metrics(), engine.tracer(), flags);
+  return 0;
+}
+
+/// `cwtool metrics dump` — run a small canned serving burst so every layer's
+/// series carries real values, then print the whole registry to stdout.
+int cmd_metrics_dump(const std::string& input, int requests, bool json) {
+  std::shared_ptr<const Pipeline> p;
+  if (is_snapshot_path(input)) {
+    p = std::make_shared<const Pipeline>(serve::load_pipeline_file(input));
+  } else {
+    const Csr a = load_input(input);
+    p = std::make_shared<const Pipeline>(
+        a, advise(a, ReuseBudget::kThousands).pipeline_options());
+  }
+  const serve::Fingerprint key = serve::fingerprint(p->matrix());
+  const index_t brows = p->matrix().ncols();
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  serve::ServeEngine engine(eopt);
+  engine.admit(key, p);
+  obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
+  engine.register_probes(sampler);
+  for (int i = 0; i < requests; ++i) {
+    auto cached = engine.registry()->find(key);
+    (void)engine.submit(
+        cached != nullptr ? std::move(cached) : p,
+        gen_request_payload(brows, 16, 3, 1000 + static_cast<std::uint64_t>(i)));
+  }
+  engine.drain();
+  sampler.sample_once();
+  const std::string out = json ? obs::to_json(*engine.metrics())
+                               : obs::to_prometheus(*engine.metrics());
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
@@ -564,6 +738,9 @@ int usage() {
                " [workers]\n"
                "                     [--batch-window-us N] [--prefault]"
                " [--admission lru|tinylfu]\n"
+               "                     [--metrics-out m.prom] [--trace-out"
+               " t.json] [--trace-sample R]\n"
+               "  cwtool metrics dump <input|file.cwsnap> [requests] [--json]\n"
                "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
                "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
                "  cwtool shard info <file.cwsnap>\n"
@@ -641,30 +818,57 @@ int main(int argc, char** argv) {
       // Positional args first; the -- flags may appear anywhere after the
       // input.
       std::vector<std::string> pos;
-      long batch_window_us = 0;
-      bool prefault = false;
-      serve::AdmissionKind admission = serve::AdmissionKind::kAdmitAll;
+      ServeBenchFlags flags;
+      bool trace_sample_set = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--batch-window-us") {
           if (i + 1 >= argc) return usage();
-          batch_window_us = std::atol(argv[++i]);
-          if (batch_window_us < 0) return usage();
+          flags.batch_window_us = std::atol(argv[++i]);
+          if (flags.batch_window_us < 0) return usage();
         } else if (arg == "--prefault") {
-          prefault = true;
+          flags.prefault = true;
         } else if (arg == "--admission") {
           if (i + 1 >= argc) return usage();
-          admission = serve::parse_admission_kind(argv[++i]);
+          flags.admission = serve::parse_admission_kind(argv[++i]);
+        } else if (arg == "--metrics-out") {
+          if (i + 1 >= argc) return usage();
+          flags.metrics_out = argv[++i];
+        } else if (arg == "--trace-out") {
+          if (i + 1 >= argc) return usage();
+          flags.trace_out = argv[++i];
+        } else if (arg == "--trace-sample") {
+          if (i + 1 >= argc) return usage();
+          flags.trace_sample = std::atof(argv[++i]);
+          if (flags.trace_sample < 0 || flags.trace_sample > 1) return usage();
+          trace_sample_set = true;
         } else {
           pos.push_back(arg);
         }
       }
+      // --trace-out alone means "trace everything".
+      if (!flags.trace_out.empty() && !trace_sample_set)
+        flags.trace_sample = 1.0;
       const int clients = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
       const int requests = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
       const int workers = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
       if (clients < 1 || requests < 1 || workers < 1) return usage();
-      return cmd_serve_bench(input, clients, requests, workers,
-                             batch_window_us, prefault, admission);
+      return cmd_serve_bench(input, clients, requests, workers, flags);
+    }
+    if (cmd == "metrics") {
+      // here `input` is the metrics sub-verb: dump
+      if (input == "dump" && argc >= 4) {
+        int requests = 32;
+        bool json = false;
+        for (int i = 4; i < argc; ++i) {
+          const std::string arg = argv[i];
+          if (arg == "--json") json = true;
+          else if (std::atoi(arg.c_str()) > 0) requests = std::atoi(arg.c_str());
+          else return usage();
+        }
+        return cmd_metrics_dump(argv[3], requests, json);
+      }
+      return usage();
     }
   } catch (const cw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
