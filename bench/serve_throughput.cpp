@@ -12,7 +12,12 @@
 //   4. tracing overhead — the same serving run at 0% / 1% / 100% request
 //      sampling, so the cost of the stage-trace plane is a measured number
 //      (production guidance: 1% should be within noise of off);
-//   5. registry amortization — get_or_build hit path vs rebuild per request.
+//   5. flight-recorder overhead — the same run with the always-on
+//      tail-capture slot off vs armed (high threshold: nothing kept, pure
+//      slot cost) vs armed with everything kept (worst case). The always-on
+//      configuration is the one production runs with, so it must be within
+//      noise of off;
+//   6. registry amortization — get_or_build hit path vs rebuild per request.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -115,6 +120,51 @@ double run_trace_overhead(const std::shared_ptr<const Pipeline>& p,
               W::param("workers", workers), W::param("clients", clients),
               W::param("requests", requests),
               W::param("sampled", static_cast<long long>(sampled)),
+              W::param("overhead_pct", fmt_ms(overhead_pct))},
+             wall / requests * 1e9, 0, 0});
+  return rps;
+}
+
+/// Experiment 5 worker: one serving run with the flight recorder at the
+/// given slow threshold (< 0 = recorder off). Returns requests/s.
+double run_flight_overhead(const std::shared_ptr<const Pipeline>& p,
+                           const std::vector<Csr>& payloads, int workers,
+                           int clients, double threshold_ms, double base_rps,
+                           bench::JsonBenchWriter* json) {
+  serve::EngineOptions opt;
+  opt.num_workers = workers;
+  if (threshold_ms >= 0) opt.flight_slow_threshold_ms = threshold_ms;
+  serve::ServeEngine engine(opt);
+  const int requests = static_cast<int>(payloads.size());
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  engine.drain();
+  const double wall = t.seconds();
+  const double rps = requests / wall;
+  const std::uint64_t kept =
+      engine.flight() != nullptr ? engine.flight()->kept() : 0;
+  const double overhead_pct =
+      base_rps > 0 ? (base_rps / rps - 1.0) * 100.0 : 0.0;
+  const char* mode = threshold_ms < 0       ? "off          "
+                     : threshold_ms >= 1e6 ? "armed, idle  "
+                                           : "keep all     ";
+  std::printf("  flight %s %8.1f ms  %7.0f req/s  %+5.1f%% vs off  "
+              "(%llu timelines kept)\n",
+              mode, wall * 1e3, rps, overhead_pct,
+              static_cast<unsigned long long>(kept));
+  using W = bench::JsonBenchWriter;
+  json->add({"flight_overhead",
+             {W::param("threshold_ms", fmt_ms(threshold_ms)),
+              W::param("workers", workers), W::param("clients", clients),
+              W::param("requests", requests),
+              W::param("kept", static_cast<long long>(kept)),
               W::param("overhead_pct", fmt_ms(overhead_pct))},
              wall / requests * 1e9, 0, 0});
   return rps;
@@ -251,7 +301,21 @@ int main(int argc, char** argv) {
   run_trace_overhead(p, payloads, 4, 4, 0.01, base_rps, &json);
   run_trace_overhead(p, payloads, 4, 4, 1.0, base_rps, &json);
 
-  // --- 5. registry amortization --------------------------------------------
+  // --- 5. flight-recorder overhead ------------------------------------------
+  // Off anchors the baseline. "armed, idle" is the production setting: every
+  // request pays for its pre-allocated slot and the completion verdict, but
+  // the 1 s threshold keeps nothing — this row must be within noise of off.
+  // "keep all" (threshold ~0) retains every timeline: the debugging worst
+  // case, bounding what a misconfigured threshold can cost.
+  std::printf("\nflight-recorder overhead (%d requests, 4 clients, 4 "
+              "workers)\n",
+              requests);
+  const double flight_base =
+      run_flight_overhead(p, payloads, 4, 4, -1.0, 0.0, &json);
+  run_flight_overhead(p, payloads, 4, 4, 1e6, flight_base, &json);
+  run_flight_overhead(p, payloads, 4, 4, 0.0001, flight_base, &json);
+
+  // --- 6. registry amortization --------------------------------------------
   serve::PipelineRegistry registry(std::size_t{1} << 30);
   const serve::Fingerprint key = serve::fingerprint(a);
   auto build = [&] {

@@ -89,24 +89,4 @@ std::string to_string(const BoxSummary& b) {
   return os.str();
 }
 
-LatencyRecorder::LatencyRecorder(std::size_t window) {
-  CW_CHECK_MSG(window >= 1, "latency recorder: window must be >= 1");
-  ring_.resize(window, 0.0);
-}
-
-void LatencyRecorder::record(double ms) {
-  ring_[next_] = ms;
-  next_ = (next_ + 1) % ring_.size();
-  count_ = std::min(count_ + 1, ring_.size());
-  max_ms_ = std::max(max_ms_, ms);
-}
-
-double LatencyRecorder::window_percentile(double p) const {
-  if (count_ == 0) return 0;
-  return percentile(
-      std::vector<double>(ring_.begin(),
-                          ring_.begin() + static_cast<std::ptrdiff_t>(count_)),
-      p);
-}
-
 }  // namespace cw

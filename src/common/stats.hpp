@@ -44,35 +44,4 @@ std::vector<double> profile_curve(const std::vector<double>& samples,
 /// Render a BoxSummary as "min/q1/med/q3/max (n=..)".
 std::string to_string(const BoxSummary& b);
 
-/// DEPRECATED — superseded by obs::Histogram (PR 6). The ring keeps only
-/// the most recent `window` samples, so under sustained load
-/// window_percentile() silently forgets every earlier sample: a burst of
-/// slow requests older than one window vanishes from the reported tail, and
-/// p99 under-reports exactly when it matters (the regression test in
-/// tests/obs/metrics_test.cpp pins this bias down against the histogram).
-/// The serving engines now record into log-bucketed histograms covering the
-/// FULL run; this class remains only for code that genuinely wants a
-/// moving-window estimate and accepts the bias.
-/// Not internally synchronized: callers guard it with their own mutex.
-class LatencyRecorder {
- public:
-  explicit LatencyRecorder(std::size_t window);
-
-  void record(double ms);
-
-  /// p-th percentile over the retained window; 0 with no samples yet.
-  [[nodiscard]] double window_percentile(double p) const;
-
-  /// Largest sample ever recorded.
-  [[nodiscard]] double max_ms() const { return max_ms_; }
-
-  [[nodiscard]] std::size_t count() const { return count_; }
-
- private:
-  std::vector<double> ring_;  // size = window
-  std::size_t next_ = 0;      // ring cursor
-  std::size_t count_ = 0;     // valid entries (<= window)
-  double max_ms_ = 0;
-};
-
 }  // namespace cw

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/log.hpp"  // json_escape
+
 namespace cw::obs {
 
 namespace {
@@ -23,12 +25,61 @@ std::string fmt(double v) {
   return buf;
 }
 
+/// HELP text escaping per the text exposition format: backslash and
+/// newline. (Label VALUES additionally escape the double quote — see
+/// prom_escape_label.) The registry's interning key keeps the RAW
+/// render_labels rendering; escaping is exposition-only.
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+/// render_labels with exposition escaping applied to the values.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += prom_escape_label(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
 /// Labels with one extra pair appended (the histogram `le` label).
 std::string labels_plus(const Labels& labels, const std::string& key,
                         const std::string& value) {
   Labels all = labels;
   all.emplace_back(key, value);
-  return render_labels(all);
+  return prom_labels(all);
 }
 
 }  // namespace
@@ -38,17 +89,18 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
   for (const MetricsRegistry::Series& s : registry.series()) {
     if (s.name != last_name) {
       // One HELP/TYPE header per metric name, shared by its label series.
-      if (!s.help.empty()) os << "# HELP " << s.name << " " << s.help << "\n";
+      if (!s.help.empty())
+        os << "# HELP " << s.name << " " << prom_escape_help(s.help) << "\n";
       os << "# TYPE " << s.name << " " << to_string(s.kind) << "\n";
       last_name = s.name;
     }
     switch (s.kind) {
       case MetricKind::kCounter:
-        os << s.name << render_labels(s.labels) << " " << s.counter->value()
+        os << s.name << prom_labels(s.labels) << " " << s.counter->value()
            << "\n";
         break;
       case MetricKind::kGauge:
-        os << s.name << render_labels(s.labels) << " " << fmt(s.gauge->value())
+        os << s.name << prom_labels(s.labels) << " " << fmt(s.gauge->value())
            << "\n";
         break;
       case MetricKind::kHistogram: {
@@ -63,9 +115,9 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
         }
         os << s.name << "_bucket" << labels_plus(s.labels, "le", "+Inf") << " "
            << h.count << "\n";
-        os << s.name << "_sum" << render_labels(s.labels) << " " << fmt(h.sum)
+        os << s.name << "_sum" << prom_labels(s.labels) << " " << fmt(h.sum)
            << "\n";
-        os << s.name << "_count" << render_labels(s.labels) << " " << h.count
+        os << s.name << "_count" << prom_labels(s.labels) << " " << h.count
            << "\n";
         break;
       }
@@ -84,8 +136,8 @@ namespace {
 void write_label_json(std::ostream& os, const Labels& labels) {
   os << "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    os << (i == 0 ? "" : ", ") << "\"" << labels[i].first << "\": \""
-       << labels[i].second << "\"";
+    os << (i == 0 ? "" : ", ") << "\"" << json_escape(labels[i].first)
+       << "\": \"" << json_escape(labels[i].second) << "\"";
   }
   os << "}";
 }

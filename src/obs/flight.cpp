@@ -1,0 +1,129 @@
+#include "obs/flight.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace cw::obs {
+
+const char* to_string(FlightReason reason) {
+  switch (reason) {
+    case FlightReason::kSlow:
+      return "slow";
+    case FlightReason::kError:
+      return "error";
+    case FlightReason::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FlightOptions sanitize(FlightOptions opt) {
+  if (opt.capacity == 0) opt.capacity = 1;
+  return opt;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightOptions opt)
+    : opt_(sanitize(opt)), epoch_(Clock::now()) {}
+
+std::shared_ptr<TraceContext> FlightRecorder::begin(std::uint64_t request_id) {
+  auto ctx = std::make_shared<TraceContext>(request_id, epoch_);
+  ctx->reserve(opt_.reserve_spans);
+  return ctx;
+}
+
+void FlightRecorder::keep_(FlightRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++kept_;
+  if (ring_.size() >= opt_.capacity) {
+    ring_.pop_front();
+    ++overwritten_;
+  }
+  ring_.push_back(std::move(rec));
+}
+
+void FlightRecorder::complete(const std::shared_ptr<TraceContext>& ctx,
+                              double latency_ms) {
+  if (ctx == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  if (latency_ms < opt_.slow_threshold_ms) return;  // the fast bulk: discard
+  FlightRecord rec;
+  rec.request_id = ctx->id();
+  rec.latency_ms = latency_ms;
+  rec.reason = FlightReason::kSlow;
+  rec.spans = ctx->take_spans();
+  keep_(std::move(rec));
+}
+
+void FlightRecorder::complete_error(const std::shared_ptr<TraceContext>& ctx,
+                                    double latency_ms, std::string what) {
+  if (ctx == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  if (!opt_.keep_errors) return;
+  FlightRecord rec;
+  rec.request_id = ctx->id();
+  rec.latency_ms = latency_ms;
+  rec.reason = FlightReason::kError;
+  rec.error = std::move(what);
+  rec.spans = ctx->take_spans();
+  keep_(std::move(rec));
+}
+
+void FlightRecorder::record_shed(std::uint64_t request_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  if (!opt_.keep_shed) return;
+  FlightRecord rec;
+  rec.request_id = request_id;
+  rec.reason = FlightReason::kShed;
+  keep_(std::move(rec));
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightRecord>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t FlightRecorder::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t FlightRecorder::kept() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kept_;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+void FlightRecorder::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const FlightRecord& rec : ring_)
+      spans.insert(spans.end(), rec.spans.begin(), rec.spans.end());
+  }
+  write_chrome_trace(os, std::move(spans));
+}
+
+std::string FlightRecorder::to_chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace cw::obs

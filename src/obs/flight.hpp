@@ -1,0 +1,116 @@
+// Tail-sampled slow-request capture — the flight recorder.
+//
+// Stride sampling (obs/trace.hpp) answers "what does a typical request look
+// like" and at 1% almost never catches the p99.9 outlier. The flight
+// recorder inverts the decision: EVERY request gets a cheap pre-allocated
+// trace slot (a TraceContext the serving stages stamp spans into exactly as
+// they do for sampled requests), and the keep/discard choice happens at
+// completion, when the latency is known. A timeline is retained only when
+// the request ran slower than the configured threshold, ended in error, or
+// was shed at the queue cap — so the 1-in-10k outlier is always captured
+// with its full stage breakdown even with stride sampling off, while the
+// sub-threshold bulk costs one small allocation and a handful of clock
+// reads per request.
+//
+// Kept records live in a bounded ring: once full, the oldest record is
+// overwritten and counted (a flight recorder favors the most recent
+// evidence). Timelines export through the same Chrome trace_event writer as
+// the stride sampler, so about:tracing / Perfetto load either.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace cw::obs {
+
+/// Why a record was retained.
+enum class FlightReason : std::uint8_t { kSlow, kError, kShed };
+
+const char* to_string(FlightReason reason);
+
+/// One retained request timeline.
+struct FlightRecord {
+  std::uint64_t request_id = 0;
+  double latency_ms = 0;
+  FlightReason reason = FlightReason::kSlow;
+  std::string error;  // the multiply's exception text (reason == kError)
+  std::vector<TraceSpan> spans;  // full stage timeline
+};
+
+struct FlightOptions {
+  /// Completed requests at or above this latency keep their timeline.
+  double slow_threshold_ms = 50.0;
+  /// Retained records; once full the OLDEST is overwritten (counted in
+  /// overwritten()).
+  std::size_t capacity = 128;
+  /// Keep the timeline of a request whose multiply threw.
+  bool keep_errors = true;
+  /// Record requests refused at the queue cap (no spans — they never
+  /// entered — but the refusal itself is evidence).
+  bool keep_shed = true;
+  /// Span cap per in-flight context, pre-reserved at begin() so the serving
+  /// stages never reallocate under traffic.
+  std::size_t reserve_spans = 8;
+};
+
+class FlightRecorder {
+ public:
+  using Clock = TraceContext::Clock;
+
+  explicit FlightRecorder(FlightOptions opt = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The per-request slot: a fresh context the stages stamp spans into.
+  /// Always returns one (the recorder is always-on by design); `request_id`
+  /// is the engine's own id so records line up with the in-flight table and
+  /// event log.
+  [[nodiscard]] std::shared_ptr<TraceContext> begin(std::uint64_t request_id);
+
+  /// Completion verdict for a successful request: keep the timeline iff
+  /// latency_ms >= slow_threshold_ms, else discard it.
+  void complete(const std::shared_ptr<TraceContext>& ctx, double latency_ms);
+
+  /// Completion verdict for a failed request: kept whenever keep_errors.
+  void complete_error(const std::shared_ptr<TraceContext>& ctx,
+                      double latency_ms, std::string what);
+
+  /// A request shed at the queue cap (never entered; no spans).
+  void record_shed(std::uint64_t request_id);
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<FlightRecord> records() const;
+
+  [[nodiscard]] std::uint64_t completed() const;  // verdicts rendered
+  [[nodiscard]] std::uint64_t kept() const;       // timelines retained
+  [[nodiscard]] std::uint64_t overwritten() const;  // ring drop accounting
+
+  /// Kept timelines as Chrome trace_event JSON — same writer and format as
+  /// TraceCollector, loadable in about:tracing / Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  [[nodiscard]] const FlightOptions& options() const { return opt_; }
+  [[nodiscard]] Clock::time_point epoch() const { return epoch_; }
+
+ private:
+  void keep_(FlightRecord rec);
+
+  const FlightOptions opt_;
+  const Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::deque<FlightRecord> ring_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t kept_ = 0;
+  std::uint64_t overwritten_ = 0;
+};
+
+}  // namespace cw::obs

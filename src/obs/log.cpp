@@ -1,0 +1,148 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cw::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A zero-capacity ring would turn every accepted event into a silent
+/// drop; clamp to something that can at least hold a trip's context.
+EventLogOptions sanitize(EventLogOptions opt) {
+  if (opt.capacity == 0) opt.capacity = 1;
+  return opt;
+}
+
+}  // namespace
+
+EventLog::EventLog(EventLogOptions opt)
+    : opt_(sanitize(opt)), epoch_(Clock::now()) {}
+
+void EventLog::log(LogLevel level, const char* component, std::string message,
+                   Labels labels) {
+  if (!enabled(level)) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event e;
+  e.ts_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - epoch_).count();
+  e.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  e.level = level;
+  e.component = component;
+  e.message = std::move(message);
+  e.labels = std::move(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  if (ring_.size() >= opt_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(e));
+}
+
+std::vector<Event> EventLog::recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t take = (n == 0 || n > ring_.size()) ? ring_.size() : n;
+  return std::vector<Event>(ring_.end() - static_cast<std::ptrdiff_t>(take),
+                            ring_.end());
+}
+
+std::uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_event_json(std::ostream& os, const Event& e) {
+  os << "{\"seq\": " << e.seq << ", \"ts_ms\": " << e.ts_ms
+     << ", \"unix_ms\": " << e.unix_ms << ", \"level\": \""
+     << to_string(e.level) << "\", \"component\": \""
+     << json_escape(e.component) << "\", \"message\": \""
+     << json_escape(e.message) << "\", \"labels\": {";
+  for (std::size_t i = 0; i < e.labels.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << json_escape(e.labels[i].first)
+       << "\": \"" << json_escape(e.labels[i].second) << "\"";
+  }
+  os << "}}";
+}
+
+void EventLog::write_jsonl(std::ostream& os, std::size_t n) const {
+  for (const Event& e : recent(n)) {
+    write_event_json(os, e);
+    os << "\n";
+  }
+}
+
+std::string EventLog::to_jsonl(std::size_t n) const {
+  std::ostringstream os;
+  write_jsonl(os, n);
+  return os.str();
+}
+
+void EventLog::write_json_array(std::ostream& os, std::size_t n) const {
+  const std::vector<Event> events = recent(n);
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_event_json(os, events[i]);
+  }
+  os << (events.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace cw::obs

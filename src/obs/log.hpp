@@ -1,0 +1,132 @@
+// Structured event log — the forensics plane's queryable record of what
+// the serving stack *did*, as opposed to how fast it did it (metrics) or
+// where one request's time went (traces).
+//
+// Every noteworthy discrete event — a registry eviction, an admission
+// reject, a shed request, a force-closed batch window, a watchdog trip —
+// is appended as a leveled `(ts, level, component, message, labels)` record
+// into a bounded ring. The ring is lock-light: a below-threshold event costs
+// one relaxed increment and no lock; an accepted event takes one short
+// mutex-guarded push (events are rare by construction — the hot serving
+// paths emit none). When the ring is full the oldest event is overwritten
+// and counted, never silently.
+//
+// Sinks: JSON-lines (one object per line, greppable / `jq`-able) and a JSON
+// array fragment for embedding in diagnostic dumps (serve::ServeEngine::
+// dump_diagnostics). Timestamps carry both a steady-clock offset from the
+// log's epoch (ordering, durations) and a wall-clock unix milliseconds
+// (correlation with the rest of the fleet).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"  // obs::Labels
+
+namespace cw::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+const char* to_string(LogLevel level);
+
+/// One recorded event. `component` points at a static string ("engine",
+/// "registry", "watchdog", ...); message and labels are owned.
+struct Event {
+  std::uint64_t seq = 0;  // monotone per log, never reused
+  double ts_ms = 0;       // steady milliseconds since the log's epoch
+  std::int64_t unix_ms = 0;  // wall clock, for cross-process correlation
+  LogLevel level = LogLevel::kInfo;
+  const char* component = "";
+  std::string message;
+  Labels labels;
+};
+
+struct EventLogOptions {
+  /// Events below this level are counted (suppressed()) but never stored —
+  /// the gate is one relaxed load, so debug emission points are free in
+  /// production.
+  LogLevel min_level = LogLevel::kInfo;
+  /// Ring capacity; the oldest event is overwritten (and counted in
+  /// dropped()) once full.
+  std::size_t capacity = 1024;
+};
+
+class EventLog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit EventLog(EventLogOptions opt = {});
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Cheap pre-check so callers can skip building a message/labels for an
+  /// event that would be suppressed anyway.
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= opt_.min_level;
+  }
+
+  void log(LogLevel level, const char* component, std::string message,
+           Labels labels = {});
+
+  void debug(const char* component, std::string message, Labels labels = {}) {
+    log(LogLevel::kDebug, component, std::move(message), std::move(labels));
+  }
+  void info(const char* component, std::string message, Labels labels = {}) {
+    log(LogLevel::kInfo, component, std::move(message), std::move(labels));
+  }
+  void warn(const char* component, std::string message, Labels labels = {}) {
+    log(LogLevel::kWarn, component, std::move(message), std::move(labels));
+  }
+  void error(const char* component, std::string message, Labels labels = {}) {
+    log(LogLevel::kError, component, std::move(message), std::move(labels));
+  }
+
+  /// The most recent `n` retained events, oldest first (0 = all retained).
+  [[nodiscard]] std::vector<Event> recent(std::size_t n = 0) const;
+
+  /// Events accepted (at or above min_level) over the log's lifetime.
+  [[nodiscard]] std::uint64_t total() const;
+  /// Ring overwrites: accepted events no longer retrievable.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Events refused by the level gate.
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// JSON-lines sink: one event object per line, most recent `n` (0 = all).
+  void write_jsonl(std::ostream& os, std::size_t n = 0) const;
+  [[nodiscard]] std::string to_jsonl(std::size_t n = 0) const;
+
+  /// JSON array fragment (`[...]`) for embedding in a larger document.
+  void write_json_array(std::ostream& os, std::size_t n = 0) const;
+
+  [[nodiscard]] const EventLogOptions& options() const { return opt_; }
+  [[nodiscard]] Clock::time_point epoch() const { return epoch_; }
+
+ private:
+  const EventLogOptions opt_;
+  const Clock::time_point epoch_;
+  std::atomic<std::uint64_t> suppressed_{0};
+  mutable std::mutex mu_;
+  std::deque<Event> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Escape a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the event sinks, the JSON
+/// metrics exporter's label values, and the engines' diagnostic dumps.
+std::string json_escape(std::string_view s);
+
+/// Render one event as a JSON object (no trailing newline).
+void write_event_json(std::ostream& os, const Event& e);
+
+}  // namespace cw::obs

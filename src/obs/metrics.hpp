@@ -12,9 +12,9 @@
 //   * Histogram — log-bucketed (HDR-style) value distribution. Buckets grow
 //     geometrically: kSubBuckets per power of two, so every bucket's width
 //     is a fixed fraction (1/kSubBuckets) of its magnitude and percentiles
-//     are exact to within one bucket over the FULL run — unlike a sample
-//     ring, which silently drops the oldest samples under load and
-//     under-reports the tail (the LatencyRecorder bias). record() is a
+//     are exact to within one bucket over the FULL run — unlike a
+//     moving-window sample ring, which silently drops the oldest samples
+//     under load and under-reports the tail. record() is a
 //     handful of bit operations plus one relaxed increment in this thread's
 //     shard.
 //

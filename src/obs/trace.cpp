@@ -21,6 +21,18 @@ void TraceContext::add(const char* name, Clock::time_point begin,
   spans_.push_back(s);
 }
 
+void TraceContext::reserve(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.reserve(n);
+}
+
+std::vector<TraceSpan> TraceContext::take_spans() {
+  std::vector<TraceSpan> spans;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans.swap(spans_);
+  return spans;
+}
+
 namespace {
 
 std::uint64_t stride_for(double rate) {
@@ -45,11 +57,7 @@ std::shared_ptr<TraceContext> TraceCollector::maybe_sample() {
 
 void TraceCollector::commit(const std::shared_ptr<TraceContext>& ctx) {
   if (ctx == nullptr) return;
-  std::vector<TraceSpan> spans;
-  {
-    std::lock_guard<std::mutex> lock(ctx->mu_);
-    spans.swap(ctx->spans_);
-  }
+  std::vector<TraceSpan> spans = ctx->take_spans();
   std::lock_guard<std::mutex> lock(mu_);
   for (TraceSpan& s : spans) {
     if (spans_.size() >= opt_.capacity_spans) {
@@ -65,8 +73,7 @@ std::vector<TraceSpan> TraceCollector::spans() const {
   return spans_;
 }
 
-void TraceCollector::write_chrome_json(std::ostream& os) const {
-  std::vector<TraceSpan> spans = this->spans();
+void write_chrome_trace(std::ostream& os, std::vector<TraceSpan> spans) {
   // Stable render order (by request, then time): diffs and golden checks
   // should not depend on commit interleaving.
   std::sort(spans.begin(), spans.end(),
@@ -88,6 +95,10 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
     os << "}}";
   }
   os << "\n]}\n";
+}
+
+void TraceCollector::write_chrome_json(std::ostream& os) const {
+  write_chrome_trace(os, spans());
 }
 
 std::string TraceCollector::to_chrome_json() const {

@@ -52,9 +52,13 @@ class TraceContext {
   void add(const char* name, Clock::time_point begin, Clock::time_point end,
            const char* arg_name = nullptr, std::int64_t arg = 0);
 
- private:
-  friend class TraceCollector;
+  /// Pre-size the span buffer so stamping under traffic never reallocates.
+  void reserve(std::size_t n);
 
+  /// Move the accumulated spans out; the context is spent afterwards.
+  [[nodiscard]] std::vector<TraceSpan> take_spans();
+
+ private:
   const std::uint64_t id_;
   const Clock::time_point epoch_;
   std::mutex mu_;
@@ -113,5 +117,11 @@ class TraceCollector {
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
 };
+
+/// Render spans as Chrome trace_event JSON ({"traceEvents": [...]}) in
+/// stable (request_id, ts) order. Shared by TraceCollector (stride-sampled
+/// timelines) and FlightRecorder (tail-sampled timelines) so both export in
+/// the identical about:tracing / Perfetto-loadable format.
+void write_chrome_trace(std::ostream& os, std::vector<TraceSpan> spans);
 
 }  // namespace cw::obs

@@ -1,0 +1,236 @@
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <utility>
+
+namespace cw::obs {
+
+const char* to_string(WatchdogTrip::Kind kind) {
+  switch (kind) {
+    case WatchdogTrip::Kind::kStuckRequest:
+      return "stuck-request";
+    case WatchdogTrip::Kind::kStuckWindow:
+      return "stuck-window";
+    case WatchdogTrip::Kind::kNoProgress:
+      return "no-progress";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double ms_between(Watchdog::Clock::time_point a,
+                  Watchdog::Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogOptions opt, std::shared_ptr<EventLog> log)
+    : opt_(opt), log_(std::move(log)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::add_target(std::string name, WatchdogTarget target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TargetState st;
+  st.name = std::move(name);
+  st.target = std::move(target);
+  targets_.push_back(std::move(st));
+}
+
+void Watchdog::set_dump(std::function<void()> dump) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_ = std::move(dump);
+}
+
+bool Watchdog::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return false;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread(&Watchdog::loop_, this);
+  return true;
+}
+
+void Watchdog::stop() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    running_ = false;
+    t = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (t.joinable()) t.join();
+}
+
+bool Watchdog::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Watchdog::loop_() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, opt_.interval, [this] { return stopping_; }))
+        return;
+    }
+    sweep_();
+  }
+}
+
+std::size_t Watchdog::check_once() { return sweep_(); }
+
+void Watchdog::record_trip_(WatchdogTrip trip) {
+  // Caller holds mu_.
+  if (log_ != nullptr && log_->enabled(LogLevel::kWarn)) {
+    Labels labels{{"kind", to_string(trip.kind)},
+                  {"target", trip.target},
+                  {"age_ms", fmt_ms(trip.age_ms)}};
+    std::string message;
+    switch (trip.kind) {
+      case WatchdogTrip::Kind::kStuckRequest:
+        labels.emplace_back("request", std::to_string(trip.request_id));
+        labels.emplace_back("stage", trip.stage);
+        message = "request " + std::to_string(trip.request_id) +
+                  " stuck in stage '" + trip.stage + "' for " +
+                  fmt_ms(trip.age_ms) + " ms";
+        break;
+      case WatchdogTrip::Kind::kStuckWindow:
+        message =
+            "batch window open for " + fmt_ms(trip.age_ms) + " ms";
+        break;
+      case WatchdogTrip::Kind::kNoProgress:
+        message = "in-flight work but no completions for " +
+                  fmt_ms(trip.age_ms) + " ms";
+        break;
+    }
+    log_->warn("watchdog", std::move(message), std::move(labels));
+  }
+  ++trip_count_;
+  if (trips_.size() >= opt_.max_trips) trips_.pop_front();
+  trips_.push_back(std::move(trip));
+}
+
+std::size_t Watchdog::sweep_() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_;
+  const Clock::time_point now = Clock::now();
+  std::size_t new_trips = 0;
+
+  for (TargetState& st : targets_) {
+    // --- Stuck requests -------------------------------------------------
+    std::vector<InFlightRequest> inflight;
+    if (st.target.in_flight) inflight = st.target.in_flight();
+
+    // Prune the dedup set against the live table so a request id seen once
+    // stays flagged only while it is actually still in flight.
+    if (!st.flagged_ids.empty()) {
+      std::unordered_set<std::uint64_t> live;
+      live.reserve(inflight.size());
+      for (const InFlightRequest& r : inflight) live.insert(r.id);
+      for (auto it = st.flagged_ids.begin(); it != st.flagged_ids.end();) {
+        it = live.count(*it) ? std::next(it) : st.flagged_ids.erase(it);
+      }
+    }
+
+    for (const InFlightRequest& r : inflight) {
+      // Strict >: a request completing at exactly the deadline is on time.
+      if (!(r.age_ms > opt_.request_deadline_ms)) continue;
+      if (!st.flagged_ids.insert(r.id).second) continue;  // ongoing episode
+      WatchdogTrip trip;
+      trip.kind = WatchdogTrip::Kind::kStuckRequest;
+      trip.target = st.name;
+      trip.request_id = r.id;
+      trip.stage = r.stage;
+      trip.age_ms = r.age_ms;
+      record_trip_(std::move(trip));
+      ++new_trips;
+    }
+
+    // --- Stuck batch windows -------------------------------------------
+    if (st.target.window_ages_ms && st.target.window_budget_ms > 0) {
+      const double limit =
+          opt_.window_budget_factor * st.target.window_budget_ms;
+      double worst = 0;
+      for (double age : st.target.window_ages_ms())
+        if (age > worst) worst = age;
+      // Strict >: a window closing at exactly N× budget is on time.
+      if (worst > limit) {
+        if (!st.window_flagged) {
+          st.window_flagged = true;
+          WatchdogTrip trip;
+          trip.kind = WatchdogTrip::Kind::kStuckWindow;
+          trip.target = st.name;
+          trip.age_ms = worst;
+          record_trip_(std::move(trip));
+          ++new_trips;
+        }
+      } else {
+        st.window_flagged = false;  // episode over — re-arm
+      }
+    }
+
+    // --- No progress ----------------------------------------------------
+    if (st.target.progress && opt_.progress_deadline_ms > 0) {
+      const std::uint64_t cur = st.target.progress();
+      if (st.progress_since == Clock::time_point{} ||
+          cur != st.last_progress || inflight.empty()) {
+        st.last_progress = cur;
+        st.progress_since = now;
+        st.progress_flagged = false;
+      } else if (!st.progress_flagged &&
+                 ms_between(st.progress_since, now) >
+                     opt_.progress_deadline_ms) {
+        st.progress_flagged = true;
+        WatchdogTrip trip;
+        trip.kind = WatchdogTrip::Kind::kNoProgress;
+        trip.target = st.name;
+        trip.age_ms = ms_between(st.progress_since, now);
+        record_trip_(std::move(trip));
+        ++new_trips;
+      }
+    }
+  }
+
+  if (new_trips > 0 && dump_) {
+    // Rate-limit dump writes: a wedged engine should produce one dump per
+    // dump_min_interval, not one per sweep.
+    if (!dumped_once_ || ms_between(last_dump_, now) >=
+                             std::chrono::duration<double, std::milli>(
+                                 opt_.dump_min_interval)
+                                 .count()) {
+      dumped_once_ = true;
+      last_dump_ = now;
+      dump_();
+    }
+  }
+  return new_trips;
+}
+
+std::vector<WatchdogTrip> Watchdog::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<WatchdogTrip>(trips_.begin(), trips_.end());
+}
+
+std::uint64_t Watchdog::trip_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trip_count_;
+}
+
+std::uint64_t Watchdog::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+}  // namespace cw::obs

@@ -1,0 +1,188 @@
+// Stall watchdog — a background thread that turns "the queue-depth gauge
+// is silently growing" into an attributed, actionable trip.
+//
+// Engines register a *target*: three closures that snapshot their in-flight
+// table (per-request age + current stage), their open batch-window ages,
+// and a monotone progress counter. Every `interval` the watchdog sweeps all
+// targets and flags
+//   - a request whose age exceeds the deadline (kStuckRequest),
+//   - a batch window open past `window_budget_factor ×` its budget
+//     (kStuckWindow),
+//   - a target with in-flight work whose progress counter has not moved for
+//     `progress_deadline_ms` (kNoProgress — the "all workers wedged" case a
+//     per-request deadline alone can't distinguish from a long queue).
+//
+// All comparisons are STRICT (`>`): a request completing at exactly the
+// deadline or a window closing at exactly its budget is on time, not a
+// trip. Trips are deduplicated — one per stuck request / open-window
+// episode / progress stall — so a 10 s wedge produces one event, not a
+// hundred. On a new trip the watchdog emits a structured warn event into
+// the EventLog and (rate-limited) invokes the registered dump hook, which
+// the serving layer points at ServeEngine::dump_diagnostics().
+//
+// start()/stop() follow the PeriodicSampler idempotence contract: both are
+// safe to call repeatedly and from any thread; stop() joins. check_once()
+// runs one sweep synchronously for deterministic tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace cw::obs {
+
+/// Live bookkeeping for one in-flight request, owned by the engine's
+/// in-flight table and updated lock-free by whichever worker currently
+/// holds the request. `stage` points at static strings ("queued",
+/// "window-park", "multiply", ...).
+struct RequestSlot {
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t id = 0;
+  Clock::time_point enqueued{};
+  std::atomic<const char*> stage{"queued"};
+  std::int64_t shard = -1;  // owning shard for scattered sub-requests
+
+  RequestSlot(std::uint64_t id_, Clock::time_point enqueued_,
+              std::int64_t shard_ = -1)
+      : id(id_), enqueued(enqueued_), shard(shard_) {}
+};
+
+/// One row of a target's in-flight snapshot.
+struct InFlightRequest {
+  std::uint64_t id = 0;
+  double age_ms = 0;
+  const char* stage = "";
+  std::int64_t shard = -1;
+};
+
+/// What one engine exposes to the watchdog. All closures must be safe to
+/// call from the watchdog thread at any point between add_target() and
+/// stop().
+struct WatchdogTarget {
+  /// Snapshot of currently in-flight requests.
+  std::function<std::vector<InFlightRequest>()> in_flight;
+  /// Ages (ms) of currently open batch windows; empty when none / no
+  /// batching.
+  std::function<std::vector<double>()> window_ages_ms;
+  /// Monotone counter that advances whenever the target finishes work
+  /// (completions + failures). Used for the no-progress check.
+  std::function<std::uint64_t()> progress;
+  /// The target's batch-window budget in ms; 0 disables the window check.
+  double window_budget_ms = 0;
+};
+
+struct WatchdogOptions {
+  /// Sweep period of the background thread.
+  std::chrono::milliseconds interval{100};
+  /// A request STRICTLY older than this trips kStuckRequest.
+  double request_deadline_ms = 1000;
+  /// A window STRICTLY older than factor × the target's budget trips
+  /// kStuckWindow.
+  double window_budget_factor = 4.0;
+  /// With in-flight work and no progress for STRICTLY longer than this,
+  /// trip kNoProgress; 0 disables the check.
+  double progress_deadline_ms = 0;
+  /// Minimum spacing between dump-hook invocations (a wedged engine should
+  /// not write dumps at sweep frequency).
+  std::chrono::milliseconds dump_min_interval{1000};
+  /// Retained trips; oldest discarded beyond this.
+  std::size_t max_trips = 256;
+};
+
+struct WatchdogTrip {
+  enum class Kind : std::uint8_t { kStuckRequest, kStuckWindow, kNoProgress };
+
+  Kind kind = Kind::kStuckRequest;
+  std::string target;        // target name as registered
+  std::uint64_t request_id = 0;  // kStuckRequest only
+  std::string stage;         // request's stage at trip time
+  double age_ms = 0;         // request / window / stall age when flagged
+};
+
+const char* to_string(WatchdogTrip::Kind kind);
+
+class Watchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Watchdog(WatchdogOptions opt = {},
+                    std::shared_ptr<EventLog> log = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register an engine. Not valid while the background thread runs.
+  void add_target(std::string name, WatchdogTarget target);
+
+  /// Hook invoked (rate-limited) when a sweep produces any new trip —
+  /// wired to the diagnostic dump writer.
+  void set_dump(std::function<void()> dump);
+
+  /// Idempotent; returns false when already running.
+  bool start();
+  /// Idempotent; joins the background thread.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// One synchronous sweep; returns the number of NEW trips (deduplicated
+  /// against ongoing episodes). Deterministic for tests.
+  std::size_t check_once();
+
+  /// Recorded trips, oldest first (bounded by max_trips).
+  [[nodiscard]] std::vector<WatchdogTrip> trips() const;
+  [[nodiscard]] std::uint64_t trip_count() const;
+  [[nodiscard]] std::uint64_t sweeps() const;
+
+  [[nodiscard]] const WatchdogOptions& options() const { return opt_; }
+
+ private:
+  struct TargetState {
+    std::string name;
+    WatchdogTarget target;
+    // Dedup state: ids already flagged this episode (pruned against the
+    // live table each sweep so a *recurring* stall on a new request trips
+    // again), whether the current over-budget window episode was flagged,
+    // and the progress watermark.
+    std::unordered_set<std::uint64_t> flagged_ids;
+    bool window_flagged = false;
+    std::uint64_t last_progress = 0;
+    Clock::time_point progress_since{};
+    bool progress_flagged = false;
+  };
+
+  std::size_t sweep_();
+  void record_trip_(WatchdogTrip trip);
+  void loop_();
+
+  const WatchdogOptions opt_;
+  const std::shared_ptr<EventLog> log_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<TargetState> targets_;
+  std::function<void()> dump_;
+  std::deque<WatchdogTrip> trips_;
+  std::uint64_t trip_count_ = 0;
+  std::uint64_t sweeps_ = 0;
+  Clock::time_point last_dump_{};
+  bool dumped_once_ = false;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cw::obs

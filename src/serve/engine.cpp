@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/exposition.hpp"
 #include "obs/sampler.hpp"
 
 namespace cw::serve {
@@ -14,6 +17,18 @@ namespace {
 double ms_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count() * 1e3;
+}
+
+/// Human-readable text of a captured exception, for events and flight
+/// records.
+std::string describe_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
 }
 
 }  // namespace
@@ -57,12 +72,20 @@ ServeEngine::ServeEngine(EngineOptions opt)
       start_(Clock::now()),
       metrics_(opt_.metrics ? opt_.metrics
                             : std::make_shared<obs::MetricsRegistry>()),
+      events_(opt_.events ? opt_.events : std::make_shared<obs::EventLog>()),
+      flight_(opt_.flight ? opt_.flight
+              : opt_.flight_slow_threshold_ms > 0
+                  ? std::make_shared<obs::FlightRecorder>(obs::FlightOptions{
+                        opt_.flight_slow_threshold_ms})
+                  : nullptr),
       registry_(opt_.registry.capacity_bytes > 0
                     ? std::make_unique<PipelineRegistry>([this] {
                         // The embedded cache shares the engine's metrics
-                        // registry unless the caller wired its own.
+                        // registry and event log unless the caller wired
+                        // its own.
                         RegistryOptions r = opt_.registry;
                         if (!r.metrics) r.metrics = metrics_;
+                        if (!r.events) r.events = events_;
                         return r;
                       }())
                     : nullptr),
@@ -74,9 +97,13 @@ ServeEngine::ServeEngine(EngineOptions opt)
       m_(*metrics_) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
   CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
+  stall_armed_.store(opt_.debug_stall_first.count() > 0,
+                     std::memory_order_relaxed);
   workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
   for (int w = 0; w < opt_.num_workers; ++w)
     workers_.emplace_back([this] { worker_loop_(); });
+  events_->info("engine", "engine started",
+                {{"workers", std::to_string(opt_.num_workers)}});
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
@@ -103,9 +130,11 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
 
 std::future<Csr> ServeEngine::submit_traced(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
-    std::shared_ptr<obs::TraceContext> trace, std::int64_t shard) {
+    std::shared_ptr<obs::TraceContext> trace, std::int64_t shard,
+    std::shared_ptr<obs::TraceContext> flight) {
   auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true,
-                         std::move(trace), shard, /*external_trace=*/true);
+                         std::move(trace), shard, /*external_trace=*/true,
+                         std::move(flight));
   CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
   return std::move(*result);
 }
@@ -125,21 +154,35 @@ std::optional<std::future<Csr>> ServeEngine::try_submit(
 std::optional<std::future<Csr>> ServeEngine::enqueue_(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
     bool block, std::shared_ptr<obs::TraceContext> trace,
-    std::int64_t trace_shard, bool external_trace) {
+    std::int64_t trace_shard, bool external_trace,
+    std::shared_ptr<obs::TraceContext> flight_ctx) {
   CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
   CW_CHECK_MSG(b != nullptr, "engine: null request payload");
+  const std::uint64_t rid =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
   Job job;
   job.b = std::move(b);
   if (external_trace) {
-    // Scatter path: spans go into the parent request's context (which may
-    // be null — the parent went unsampled); never consult our own sampler.
+    // Scatter path: spans go into the parent request's contexts (which may
+    // be null — the parent went unsampled / the parent engine has no
+    // recorder); never consult our own sampler or recorder, and leave the
+    // keep/discard verdict to the parent.
     job.trace = std::move(trace);
     job.trace_shard = trace_shard;
-  } else if (tracer_) {
-    job.trace = tracer_->maybe_sample();
-    job.own_trace = job.trace != nullptr;
+    job.flight = std::move(flight_ctx);
+  } else {
+    if (tracer_) {
+      job.trace = tracer_->maybe_sample();
+      job.own_trace = job.trace != nullptr;
+    }
+    if (flight_) {
+      job.flight = flight_->begin(rid);
+      job.own_flight = true;
+    }
   }
   job.enqueued = Clock::now();
+  job.slot = std::make_shared<obs::RequestSlot>(rid, job.enqueued,
+                                                trace_shard);
   std::future<Csr> result = job.result.get_future();
 
   {
@@ -148,6 +191,11 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
     if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
       if (!block) {
         m_.shed.inc();
+        if (job.own_flight) flight_->record_shed(rid);
+        if (events_->enabled(obs::LogLevel::kWarn))
+          events_->warn("engine", "request shed at queue cap",
+                        {{"request", std::to_string(rid)},
+                         {"queue_depth", std::to_string(queued_)}});
         return std::nullopt;
       }
       // Backpressure: park the caller until a worker drains the queue below
@@ -159,6 +207,7 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
       CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
     }
     const Pipeline* key = pipeline.get();
+    live_.emplace(rid, job.slot);
     Group& group = groups_[key];
     if (!group.pipeline) group.pipeline = std::move(pipeline);
     // A group enters the round-robin only when it transitions empty→pending;
@@ -210,6 +259,7 @@ void ServeEngine::shutdown() {
   window_cv_.notify_all();  // wake any worker parked in a batch window
   for (auto& t : workers_) t.join();
   workers_.clear();
+  events_->info("engine", "engine stopped");
 }
 
 EngineStats ServeEngine::stats() const {
@@ -276,12 +326,142 @@ void ServeEngine::register_probes(obs::PeriodicSampler& sampler) {
   if (registry_) registry_->register_probes(sampler);
 }
 
+std::vector<obs::InFlightRequest> ServeEngine::in_flight_requests() const {
+  const Clock::time_point now = Clock::now();
+  std::vector<obs::InFlightRequest> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(live_.size());
+    for (const auto& [id, slot] : live_) {
+      obs::InFlightRequest r;
+      r.id = id;
+      r.age_ms = ms_between(slot->enqueued, now);
+      r.stage = slot->stage.load(std::memory_order_relaxed);
+      r.shard = slot->shard;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const obs::InFlightRequest& a, const obs::InFlightRequest& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<double> ServeEngine::open_window_ages_ms() const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> ages;
+  ages.reserve(window_since_.size());
+  for (const auto& [key, since] : window_since_)
+    ages.push_back(ms_between(since, now));
+  return ages;
+}
+
+void ServeEngine::register_watchdog(obs::Watchdog& watchdog) {
+  obs::WatchdogTarget target;
+  target.in_flight = [this] { return in_flight_requests(); };
+  target.window_ages_ms = [this] { return open_window_ages_ms(); };
+  target.progress = [this] {
+    return m_.completed.value() + m_.failed.value();
+  };
+  target.window_budget_ms =
+      std::chrono::duration<double, std::milli>(opt_.batch_window).count();
+  watchdog.add_target("engine", std::move(target));
+}
+
+void ServeEngine::dump_diagnostics(std::ostream& os) const {
+  // Each section snapshots under its own lock — a diagnostic dump must
+  // never require a globally consistent instant (it is taken while the
+  // engine may be wedged), only per-section consistency.
+  std::size_t queued = 0, inflight = 0, windows = 0;
+  std::uint64_t max_queued = 0;
+  bool stopping = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued = queued_;
+    inflight = in_flight_;
+    windows = open_windows_;
+    max_queued = max_queued_;
+    stopping = stopping_;
+  }
+  os << "{\n  \"kind\": \"serve-engine\",\n";
+  os << "  \"queue\": {\"queued\": " << queued << ", \"in_flight\": "
+     << inflight << ", \"open_windows\": " << windows << ", \"max_queued\": "
+     << max_queued << ", \"stopping\": " << (stopping ? "true" : "false")
+     << ", \"window_ages_ms\": [";
+  {
+    const std::vector<double> ages = open_window_ages_ms();
+    for (std::size_t i = 0; i < ages.size(); ++i)
+      os << (i == 0 ? "" : ", ") << ages[i];
+  }
+  os << "]},\n";
+  os << "  \"in_flight\": [";
+  {
+    const std::vector<obs::InFlightRequest> table = in_flight_requests();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const obs::InFlightRequest& r = table[i];
+      os << (i == 0 ? "\n    " : ",\n    ");
+      os << "{\"id\": " << r.id << ", \"age_ms\": " << r.age_ms
+         << ", \"stage\": \"" << obs::json_escape(r.stage)
+         << "\", \"shard\": " << r.shard << "}";
+    }
+    os << (table.empty() ? "]" : "\n  ]");
+  }
+  os << ",\n";
+  os << "  \"flight\": ";
+  if (flight_ == nullptr) {
+    os << "null";
+  } else {
+    os << "{\"completed\": " << flight_->completed() << ", \"kept\": "
+       << flight_->kept() << ", \"overwritten\": " << flight_->overwritten()
+       << ", \"slow_threshold_ms\": " << flight_->options().slow_threshold_ms
+       << ", \"records\": [";
+    const std::vector<obs::FlightRecord> records = flight_->records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const obs::FlightRecord& r = records[i];
+      os << (i == 0 ? "\n    " : ",\n    ");
+      os << "{\"request\": " << r.request_id << ", \"reason\": \""
+         << obs::to_string(r.reason) << "\", \"latency_ms\": " << r.latency_ms
+         << ", \"spans\": " << r.spans.size() << ", \"error\": \""
+         << obs::json_escape(r.error) << "\"}";
+    }
+    os << (records.empty() ? "]}" : "\n  ]}");
+  }
+  os << ",\n";
+  os << "  \"events\": ";
+  events_->write_json_array(os, 64);
+  os << ",\n";
+  os << "  \"registry\": ";
+  if (registry_ == nullptr)
+    os << "null";
+  else
+    registry_->write_residency_json(os);
+  os << ",\n";
+  os << "  \"metrics\": ";
+  obs::write_json(os, *metrics_);
+  os << "}\n";
+}
+
+std::string ServeEngine::dump_diagnostics() const {
+  std::ostringstream os;
+  dump_diagnostics(os);
+  return os.str();
+}
+
 void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
                                      Group& group) {
-  const Clock::time_point deadline = Clock::now() + opt_.batch_window;
+  const Clock::time_point opened = Clock::now();
+  const Clock::time_point deadline = opened + opt_.batch_window;
   const std::uint64_t epoch = window_epoch_;
   ++open_windows_;
+  window_since_[group.pipeline.get()] = opened;
   m_.windows_opened.inc();
+  // The parked jobs are waiting on the window now, not on a worker.
+  for (const Job& job : group.jobs)
+    if (job.slot)
+      job.slot->stage.store("window-park", std::memory_order_relaxed);
+  bool forced = false;
   for (;;) {
     if (group.jobs.size() >= static_cast<std::size_t>(opt_.max_batch)) {
       m_.window_filled.inc();  // max_batch cutoff: no point waiting further
@@ -289,6 +469,7 @@ void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
     }
     if (stopping_ || window_epoch_ != epoch) {
       m_.window_forced.inc();  // close_batch_windows() hook or shutdown
+      forced = true;
       break;
     }
     if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
@@ -296,6 +477,7 @@ void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
       // space_cv_ and every try_submit() sheds, so no arrival can join this
       // window — waiting out the budget would be pure dead time.
       m_.window_forced.inc();
+      forced = true;
       break;
     }
     if (!ready_.empty() && idle_workers_ == 0) {
@@ -317,6 +499,12 @@ void ServeEngine::wait_batch_window_(std::unique_lock<std::mutex>& lock,
     }
   }
   --open_windows_;
+  window_since_.erase(group.pipeline.get());
+  if (forced && events_->enabled(obs::LogLevel::kInfo))
+    events_->info("engine", "batch window force-closed",
+                  {{"gathered", std::to_string(group.jobs.size())},
+                   {"open_ms", std::to_string(static_cast<std::int64_t>(
+                                   ms_between(opened, Clock::now())))}});
 }
 
 void ServeEngine::worker_loop_() {
@@ -383,23 +571,40 @@ void ServeEngine::worker_loop_() {
     }
     if (opt_.max_queue_depth > 0) space_cv_.notify_all();
 
+    // TEST HOOK: one-shot artificial stall of the first pickup, visible to
+    // the watchdog as a request stuck in "multiply" (see debug_stall_first).
+    if (opt_.debug_stall_first.count() > 0 && !batch.empty() &&
+        stall_armed_.exchange(false, std::memory_order_relaxed)) {
+      if (batch[0].slot)
+        batch[0].slot->stage.store("multiply", std::memory_order_relaxed);
+      std::this_thread::sleep_for(opt_.debug_stall_first);
+    }
+
     const Clock::time_point batch_start = Clock::now();
-    // Scheduler-stage spans for the sampled jobs of this pickup (outside
-    // mu_; the context carries its own lock). A job that arrived while the
-    // window was already open spent no time "waiting in queue" before it —
-    // clamp so spans never run backwards.
+    // Stage spans land in the stride-sampled trace AND the flight-recorder
+    // context — same intervals, independent keep decisions.
+    const auto stamp = [](const Job& job, const char* name,
+                          Clock::time_point begin, Clock::time_point end,
+                          const char* tag, std::int64_t arg) {
+      if (job.trace) job.trace->add(name, begin, end, tag, arg);
+      if (job.flight) job.flight->add(name, begin, end, tag, arg);
+    };
+    // Scheduler-stage spans for the instrumented jobs of this pickup
+    // (outside mu_; the contexts carry their own locks). A job that arrived
+    // while the window was already open spent no time "waiting in queue"
+    // before it — clamp so spans never run backwards.
     for (const Job& job : batch) {
-      if (!job.trace) continue;
+      if (!job.trace && !job.flight) continue;
       const bool sub = job.trace_shard >= 0;
       const char* tag = sub ? "shard" : nullptr;
       if (windowed) {
         const Clock::time_point qend = std::max(job.enqueued, window_begin);
-        job.trace->add("queue-wait", job.enqueued, qend, tag, job.trace_shard);
-        job.trace->add("window-park", std::max(job.enqueued, window_begin),
-                       window_end, tag, job.trace_shard);
+        stamp(job, "queue-wait", job.enqueued, qend, tag, job.trace_shard);
+        stamp(job, "window-park", std::max(job.enqueued, window_begin),
+              window_end, tag, job.trace_shard);
       } else {
-        job.trace->add("queue-wait", job.enqueued, batch_start, tag,
-                       job.trace_shard);
+        stamp(job, "queue-wait", job.enqueued, batch_start, tag,
+              job.trace_shard);
       }
     }
     struct Outcome {
@@ -434,10 +639,17 @@ void ServeEngine::worker_loop_() {
         std::vector<const Csr*> bs;
         bs.reserve(stackable.size());
         for (const std::size_t i : stackable) bs.push_back(batch[i].b.get());
+        for (const std::size_t i : stackable)
+          if (batch[i].slot)
+            batch[i].slot->stage.store("multiply", std::memory_order_relaxed);
         const Clock::time_point mul_begin = Clock::now();
         try {
           std::vector<Csr> products = pipeline->multiply_stacked(bs);
           const Clock::time_point mul_end = Clock::now();
+          for (const std::size_t i : stackable)
+            if (batch[i].slot)
+              batch[i].slot->stage.store("unpermute",
+                                         std::memory_order_relaxed);
           // Unpermuting the slice == slicing the unpermuted panel: row
           // permutations commute with column selection, so this matches the
           // per-request path bit for bit. Finish every slice before
@@ -452,20 +664,19 @@ void ServeEngine::worker_loop_() {
           const Clock::time_point fused_done = Clock::now();
           for (const std::size_t i : stackable) {
             done_ms[i] = ms_between(batch[i].enqueued, fused_done);
-            if (!batch[i].trace) continue;
+            if (!batch[i].trace && !batch[i].flight) continue;
             // Every stacked request shares the batch's fuse/multiply
             // interval — that sharing IS what the timeline should show. The
             // fuse span covers stackable selection (panel assembly happens
             // inside the multiply). Sub-requests tag their shard; whole
             // requests tag the panel width.
-            obs::TraceContext& t = *batch[i].trace;
             const bool sub = batch[i].trace_shard >= 0;
             const char* tag = sub ? "shard" : "cols";
             const std::int64_t arg = sub ? batch[i].trace_shard : total_cols;
-            t.add("fuse", batch_start, mul_begin, tag, arg);
-            t.add("multiply", mul_begin, mul_end, tag, arg);
+            stamp(batch[i], "fuse", batch_start, mul_begin, tag, arg);
+            stamp(batch[i], "multiply", mul_begin, mul_end, tag, arg);
             if (opt_.unpermute_results)
-              t.add("unpermute", mul_end, fused_done, tag, arg);
+              stamp(batch[i], "unpermute", mul_end, fused_done, tag, arg);
           }
           stacked_batches = 1;
           stacked_requests = stackable.size();
@@ -480,13 +691,18 @@ void ServeEngine::worker_loop_() {
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (outcomes[i].value.has_value()) continue;  // fulfilled by the panel
-      const bool traced = batch[i].trace != nullptr;
+      const bool timed = batch[i].trace != nullptr ||
+                         batch[i].flight != nullptr;
+      if (batch[i].slot)
+        batch[i].slot->stage.store("multiply", std::memory_order_relaxed);
       const Clock::time_point mul_begin =
-          traced ? Clock::now() : Clock::time_point{};
+          timed ? Clock::now() : Clock::time_point{};
       Clock::time_point mul_end{};
       try {
         Csr c = pipeline->multiply(*batch[i].b);
-        if (traced) mul_end = Clock::now();
+        if (timed) mul_end = Clock::now();
+        if (batch[i].slot)
+          batch[i].slot->stage.store("unpermute", std::memory_order_relaxed);
         if (opt_.unpermute_results) c = pipeline->unpermute_rows(c);
         outcomes[i].value = std::move(c);
         ++ok;
@@ -496,17 +712,19 @@ void ServeEngine::worker_loop_() {
       }
       const Clock::time_point done = Clock::now();
       done_ms[i] = ms_between(batch[i].enqueued, done);
-      if (traced) {
+      if (timed) {
         const bool sub = batch[i].trace_shard >= 0;
         const char* tag = sub ? "shard" : nullptr;
-        obs::TraceContext& t = *batch[i].trace;
         if (outcomes[i].error) {
           // The failed multiply's span runs to the throw.
-          t.add("multiply", mul_begin, done, tag, batch[i].trace_shard);
+          stamp(batch[i], "multiply", mul_begin, done, tag,
+                batch[i].trace_shard);
         } else {
-          t.add("multiply", mul_begin, mul_end, tag, batch[i].trace_shard);
+          stamp(batch[i], "multiply", mul_begin, mul_end, tag,
+                batch[i].trace_shard);
           if (opt_.unpermute_results)
-            t.add("unpermute", mul_end, done, tag, batch[i].trace_shard);
+            stamp(batch[i], "unpermute", mul_end, done, tag,
+                  batch[i].trace_shard);
         }
       }
     }
@@ -518,6 +736,28 @@ void ServeEngine::worker_loop_() {
     // are atomics, but incrementing them under mu_ keeps the historical
     // consistency contract (completed + failed never exceeds submitted from
     // any observer's point of view).
+    // Flight-recorder verdicts and trace commits come FIRST — before the
+    // in_flight_ decrement and before the promises resolve — so that both
+    // "drain() returned" and "future.get() returned" imply the kept
+    // timeline (and any failure event) is already in the ring. Scatter
+    // sub-requests leave the verdict and the commit to the sharded engine.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Job& job = batch[i];
+      if (outcomes[i].error && events_->enabled(obs::LogLevel::kError)) {
+        events_->error(
+            "engine", "request failed: " + describe_error(outcomes[i].error),
+            {{"request",
+              std::to_string(job.slot ? job.slot->id : std::uint64_t{0})}});
+      }
+      if (!job.own_flight) continue;
+      if (outcomes[i].error)
+        flight_->complete_error(job.flight, done_ms[i],
+                                describe_error(outcomes[i].error));
+      else
+        flight_->complete(job.flight, done_ms[i]);
+    }
+    for (const Job& job : batch)
+      if (job.own_trace) tracer_->commit(job.trace);
     bool idle = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -534,6 +774,8 @@ void ServeEngine::worker_loop_() {
       m_.batch_size.record(static_cast<double>(batch.size()));
       for (const double ms : done_ms) m_.latency_ms.record(ms);
       in_flight_ -= batch.size();
+      for (const Job& job : batch)
+        if (job.slot) live_.erase(job.slot->id);
       idle = ready_.empty() && in_flight_ == 0;
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -542,11 +784,6 @@ void ServeEngine::worker_loop_() {
       else
         batch[i].result.set_value(std::move(*outcomes[i].value));
     }
-    // Engine-sampled timelines are complete once their promises resolved;
-    // scatter sub-requests leave the commit to the sharded engine, which
-    // still owes the parent its gather span.
-    for (const Job& job : batch)
-      if (job.own_trace) tracer_->commit(job.trace);
     if (idle) idle_cv_.notify_all();
   }
 }

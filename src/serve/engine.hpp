@@ -44,8 +44,11 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/registry.hpp"
 
 namespace cw::serve {
@@ -83,10 +86,6 @@ struct EngineOptions {
   /// refuses immediately — pick per client class: block batch producers,
   /// shed interactive traffic.
   std::size_t max_queue_depth = 0;
-  /// DEPRECATED and ignored since PR 6: percentiles come from a log-bucketed
-  /// histogram over the full run (O(1) memory regardless), so there is no
-  /// sample window to size — and no ring-eviction tail bias to suffer.
-  std::size_t latency_window = 4096;
   /// Metrics registry backing the cw_engine_* series. Forwarded to the
   /// embedded pipeline registry too (unless registry.metrics is set), so one
   /// scrape covers engine + cache + residency. Null = the engine creates a
@@ -99,6 +98,24 @@ struct EngineOptions {
   /// Trace collector for sampled requests. Null with a non-zero sample rate =
   /// the engine creates its own, reachable via tracer().
   std::shared_ptr<obs::TraceCollector> trace;
+  /// Structured event log for the engine's discrete happenings — sheds,
+  /// window force-closes, failed multiplies, start/stop (obs/log.hpp).
+  /// Forwarded to the embedded registry (unless registry.events is set) so
+  /// evictions and admission rejects land in the same timeline. Null = the
+  /// engine creates a private log, reachable via events().
+  std::shared_ptr<obs::EventLog> events;
+  /// Flight recorder for tail-sampled slow/error/shed request capture
+  /// (obs/flight.hpp). Null with flight_slow_threshold_ms == 0 = off (a
+  /// request then pays only the trace-sampling null check).
+  std::shared_ptr<obs::FlightRecorder> flight;
+  /// Convenience: > 0 with `flight` null makes the engine create its own
+  /// recorder with this slow threshold, reachable via flight().
+  double flight_slow_threshold_ms = 0;
+  /// TEST HOOK — when non-zero, the first request a worker picks up stalls
+  /// for this long in stage "multiply" before computing. Drives the
+  /// watchdog/dump CI smoke and the forensics tests; never set in
+  /// production.
+  std::chrono::milliseconds debug_stall_first{0};
   /// Embedded pipeline registry (the serving cache): capacity_bytes == 0
   /// (default) means no registry, today's behaviour. A non-zero capacity
   /// gives the engine a fingerprint-keyed cache with the configured
@@ -192,11 +209,16 @@ class ServeEngine {
   /// request's single timeline. The engine's own sampler is bypassed either
   /// way (a sharded request must yield one timeline, not K+1); a null
   /// `trace` behaves exactly like submit() with tracing off. The caller
-  /// commits the context — the engine only writes spans into it.
+  /// commits the context — the engine only writes spans into it. `flight`
+  /// is the parent request's flight-recorder context, same contract: spans
+  /// land there, the caller renders the keep/discard verdict (the engine's
+  /// own recorder is bypassed so a sharded request yields one timeline).
   std::future<Csr> submit_traced(std::shared_ptr<const Pipeline> pipeline,
                                  std::shared_ptr<const Csr> b,
                                  std::shared_ptr<obs::TraceContext> trace,
-                                 std::int64_t shard);
+                                 std::int64_t shard,
+                                 std::shared_ptr<obs::TraceContext> flight =
+                                     nullptr);
 
   /// Block until every submitted request has completed.
   void drain();
@@ -246,6 +268,37 @@ class ServeEngine {
   /// background sampler. Stop the sampler before destroying the engine.
   void register_probes(obs::PeriodicSampler& sampler);
 
+  /// The structured event log (from EngineOptions::events, or the private
+  /// one created in its absence). Never null.
+  [[nodiscard]] const std::shared_ptr<obs::EventLog>& events() const {
+    return events_;
+  }
+
+  /// The flight recorder, or null when tail-sampled capture is off.
+  [[nodiscard]] const std::shared_ptr<obs::FlightRecorder>& flight() const {
+    return flight_;
+  }
+
+  /// Snapshot of every in-flight request (queued, window-parked, or being
+  /// computed): id, age, current stage, shard tag. Sorted by id.
+  [[nodiscard]] std::vector<obs::InFlightRequest> in_flight_requests() const;
+
+  /// Ages (ms) of the batch windows currently held open.
+  [[nodiscard]] std::vector<double> open_window_ages_ms() const;
+
+  /// Register this engine as a watchdog target named "engine": in-flight
+  /// table, open-window ages, completion progress, and the batch-window
+  /// budget. Stop the watchdog before destroying the engine.
+  void register_watchdog(obs::Watchdog& watchdog);
+
+  /// One self-contained JSON diagnostic document: queue/window state, the
+  /// in-flight table with per-request current stage, flight-recorder
+  /// summary, recent events, registry residency report, and a full metrics
+  /// snapshot. Safe to call from any thread at any time (the watchdog's
+  /// dump hook calls it mid-stall).
+  void dump_diagnostics(std::ostream& os) const;
+  [[nodiscard]] std::string dump_diagnostics() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -260,6 +313,16 @@ class ServeEngine {
     std::shared_ptr<obs::TraceContext> trace;
     bool own_trace = false;
     std::int64_t trace_shard = -1;  // >= 0 tags scatter sub-request spans
+    /// Flight-recorder context: non-null for EVERY request when the
+    /// recorder is on (its keep/discard verdict comes at completion).
+    /// own_flight mirrors own_trace: engine-owned contexts get their
+    /// verdict here; scatter sub-requests write into the parent's context
+    /// and leave the verdict to the sharded engine.
+    std::shared_ptr<obs::TraceContext> flight;
+    bool own_flight = false;
+    /// Live watchdog bookkeeping: shared with live_ so whichever worker
+    /// holds the request can update its stage lock-free.
+    std::shared_ptr<obs::RequestSlot> slot;
   };
   // A group whose batch window a worker is holding open is owned by that
   // worker: it stays out of ready_ (jobs non-empty), and enqueue_ wakes all
@@ -285,7 +348,8 @@ class ServeEngine {
   std::optional<std::future<Csr>> enqueue_(
       std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
       bool block, std::shared_ptr<obs::TraceContext> trace,
-      std::int64_t trace_shard, bool external_trace);
+      std::int64_t trace_shard, bool external_trace,
+      std::shared_ptr<obs::TraceContext> flight_ctx = nullptr);
 
   /// The cw_engine_* instruments, interned once at construction so the
   /// serving paths never touch the metrics registry's lock again.
@@ -313,6 +377,8 @@ class ServeEngine {
   const EngineOptions opt_;
   const Clock::time_point start_;
   const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  const std::shared_ptr<obs::EventLog> events_;  // never null
+  const std::shared_ptr<obs::FlightRecorder> flight_;  // null = capture off
   const std::unique_ptr<PipelineRegistry> registry_;  // null = no registry
   const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   Metrics m_;  // binds into *metrics_: keep declared after it
@@ -333,6 +399,15 @@ class ServeEngine {
 
   // Guarded by mu_ (a read-modify-write level, not a monotone counter).
   std::uint64_t max_queued_ = 0;
+
+  /// In-flight table: every accepted, not-yet-fulfilled request's slot,
+  /// keyed by request id. The watchdog and dump_diagnostics() snapshot it.
+  std::unordered_map<std::uint64_t, std::shared_ptr<obs::RequestSlot>> live_;
+  /// Open batch windows' opening stamps, keyed by group (for window ages).
+  std::unordered_map<const Pipeline*, Clock::time_point> window_since_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+  /// debug_stall_first one-shot arming (test hook).
+  std::atomic<bool> stall_armed_{false};
 
   std::vector<std::thread> workers_;
 };

@@ -1,6 +1,7 @@
 #include "serve/registry.hpp"
 
 #include <chrono>
+#include <string>
 
 #include "common/error.hpp"
 #include "obs/sampler.hpp"
@@ -113,6 +114,7 @@ PipelineRegistry::PipelineRegistry(const RegistryOptions& opt)
                   : make_admission_policy(opt.admission, opt.tinylfu)),
       metrics_(opt.metrics ? opt.metrics
                            : std::make_shared<obs::MetricsRegistry>()),
+      events_(opt.events),
       m_(*metrics_) {
   m_.capacity.set(static_cast<double>(opt.capacity_bytes));
 }
@@ -157,6 +159,10 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
     // bytes are shared page cache (see PipelineFootprint).
     if (footprint.anonymous_bytes > opt_.capacity_bytes) {
       m_.oversize_rejects.inc();
+      if (events_)
+        events_->warn("registry", "insert refused: entry exceeds budget",
+                      {{"key", to_string(key)},
+                       {"bytes", std::to_string(footprint.anonymous_bytes)}});
       return p;  // usable by the caller, just not cached
     }
     // Admission is decided over ALL prospective victims BEFORE anything is
@@ -173,12 +179,23 @@ std::shared_ptr<const Pipeline> PipelineRegistry::insert(
       --vit;  // walk LRU-first (back to front)
       if (policy_ && !policy_->admit_over(key_hash, vit->key_hash)) {
         m_.admission_rejects.inc();
+        if (events_)
+          events_->info("registry",
+                        "insert refused by admission: victim is hotter",
+                        {{"key", to_string(key)},
+                         {"victim", to_string(vit->key)}});
         return p;
       }
       freed += vit->footprint.anonymous_bytes;
       victims.push_back(vit);
     }
     for (LruList::iterator vit : victims) {
+      if (events_)
+        events_->info(
+            "registry", "evicted to make room",
+            {{"key", to_string(vit->key)},
+             {"bytes", std::to_string(vit->footprint.anonymous_bytes)},
+             {"for", to_string(key)}});
       detach_(vit, &deferred);
       m_.evictions.inc();
     }
@@ -312,6 +329,21 @@ std::size_t PipelineRegistry::resident_mapped_bytes() const {
   return resident;
 }
 
+void PipelineRegistry::write_residency_json(std::ostream& os) const {
+  // stats() and the mincore probe take the lock separately — a diagnostic
+  // report needs per-field truth, not one global instant.
+  const RegistryStats s = stats();
+  const std::size_t resident = resident_mapped_bytes();
+  os << "{\"entries\": " << s.entries << ", \"capacity_bytes\": "
+     << s.capacity_bytes << ", \"anonymous_bytes\": " << s.bytes_used
+     << ", \"mapped_bytes\": " << s.mapped_bytes_used
+     << ", \"resident_mapped_bytes\": " << resident << ", \"locked_bytes\": "
+     << s.locked_bytes << ", \"hits\": " << s.hits << ", \"misses\": "
+     << s.misses << ", \"evictions\": " << s.evictions
+     << ", \"admission_rejects\": " << s.admission_rejects
+     << ", \"released_bytes\": " << s.released_bytes << "}";
+}
+
 double PipelineRegistry::admission_sketch_occupancy() const {
   std::lock_guard<std::mutex> lock(mu_);
   return policy_ ? policy_->occupancy() : 0.0;
@@ -368,6 +400,9 @@ void PipelineRegistry::finish_releases_(const std::vector<Deferred>& deferred) {
       m_.release_ms.record(ms_since(t0));
       m_.released_bytes.inc(released);
       m_.released_evictions.inc();
+      if (events_ && events_->enabled(obs::LogLevel::kDebug))
+        events_->debug("registry", "released mapped pages of evicted entry",
+                       {{"bytes", std::to_string(released)}});
     } else if (d.locked_bytes > 0) {
       d.pipeline->unlock_residency();
     }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/fingerprint.hpp"
@@ -89,6 +90,10 @@ struct RegistryOptions {
   /// Sharing one across registries aggregates their series — each
   /// RegistryStats view then reports the combined counts.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Structured event log: evictions, admission/oversize rejects and
+  /// residency releases become queryable events (obs/log.hpp). Null = the
+  /// registry emits no events (counters still count everything).
+  std::shared_ptr<obs::EventLog> events;
 };
 
 /// Point-in-time view of the registry's telemetry. Since PR 6 this is a
@@ -188,6 +193,11 @@ class PipelineRegistry {
   /// observable, not a hot-path call.
   [[nodiscard]] std::size_t resident_mapped_bytes() const;
 
+  /// Residency report as one JSON object — occupancy, budget, locked and
+  /// mincore-probed resident bytes, and the headline cache counters. The
+  /// registry section of ServeEngine::dump_diagnostics().
+  void write_residency_json(std::ostream& os) const;
+
   /// Occupancy of the admission sketch (fraction of nonzero counters);
   /// 0 under admit-all. See AdmissionPolicy::occupancy().
   [[nodiscard]] double admission_sketch_occupancy() const;
@@ -256,6 +266,7 @@ class PipelineRegistry {
   const RegistryOptions opt_;
   const std::unique_ptr<AdmissionPolicy> policy_;  // null = admit all
   const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  const std::shared_ptr<obs::EventLog> events_;  // null = no events
   Metrics m_;  // binds into *metrics_: keep declared after it
   mutable std::mutex mu_;
   std::uint64_t next_lock_token_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 #include <optional>
+#include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -15,6 +17,16 @@ namespace {
 double ms_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count() * 1e3;
+}
+
+std::string describe_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
 }
 
 }  // namespace
@@ -36,6 +48,12 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
       start_(Clock::now()),
       metrics_(opt_.metrics ? opt_.metrics
                             : std::make_shared<obs::MetricsRegistry>()),
+      events_(opt_.events ? opt_.events : std::make_shared<obs::EventLog>()),
+      flight_(opt_.flight ? opt_.flight
+              : opt_.flight_slow_threshold_ms > 0
+                  ? std::make_shared<obs::FlightRecorder>(obs::FlightOptions{
+                        opt_.flight_slow_threshold_ms})
+                  : nullptr),
       tracer_(opt_.trace ? opt_.trace
               : opt_.trace_sample_rate > 0
                   ? std::make_shared<obs::TraceCollector>(obs::TraceOptions{
@@ -53,10 +71,13 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
   eopt.registry = opt_.registry;
   // One registry for the whole plane: cw_sharded_* (this layer),
   // cw_engine_* (per-shard multiplies), cw_registry_* (the cache). The
-  // inner engine does NOT get its own trace sampler — sampled requests
-  // carry their context into submit_traced, so per-shard spans join the
-  // parent timeline instead of founding K new ones.
+  // inner engine does NOT get its own trace sampler OR flight recorder —
+  // sampled/recorded requests carry their contexts into submit_traced, so
+  // per-shard spans join the parent timeline instead of founding K new
+  // ones. The event log IS shared: both layers' events form one timeline.
   eopt.metrics = metrics_;
+  eopt.events = events_;
+  eopt.debug_stall_first = opt_.debug_stall_first;
   // Shard results are gathered in block-local order, so the inner engine
   // performs the per-shard unpermute.
   eopt.unpermute_results = true;
@@ -76,15 +97,20 @@ ShardedEngine::~ShardedEngine() { shutdown(); }
 std::future<Csr> ShardedEngine::submit(
     std::shared_ptr<const ShardedPipeline> pipeline, Csr b) {
   CW_CHECK_MSG(pipeline != nullptr, "sharded engine: null pipeline handle");
+  const std::uint64_t rid =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
   Request req;
   req.pipeline = std::move(pipeline);
   req.b = std::make_shared<const Csr>(std::move(b));
   if (tracer_) req.trace = tracer_->maybe_sample();
+  if (flight_) req.flight = flight_->begin(rid);
   req.enqueued = Clock::now();
+  req.slot = std::make_shared<obs::RequestSlot>(rid, req.enqueued);
   std::future<Csr> result = req.result.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     CW_CHECK_MSG(!stopping_, "sharded engine: submit after shutdown");
+    live_.emplace(rid, req.slot);
     queue_.push_back(std::move(req));
     m_.submitted.inc();
   }
@@ -152,6 +178,88 @@ serve::EngineStats ShardedEngine::shard_engine_stats() const {
   return shard_engine_->stats();
 }
 
+std::vector<obs::InFlightRequest> ShardedEngine::in_flight_requests() const {
+  const Clock::time_point now = Clock::now();
+  std::vector<obs::InFlightRequest> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(live_.size());
+    for (const auto& [id, slot] : live_) {
+      obs::InFlightRequest r;
+      r.id = id;
+      r.age_ms = ms_between(slot->enqueued, now);
+      r.stage = slot->stage.load(std::memory_order_relaxed);
+      r.shard = slot->shard;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const obs::InFlightRequest& a, const obs::InFlightRequest& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void ShardedEngine::register_watchdog(obs::Watchdog& watchdog) {
+  obs::WatchdogTarget target;
+  target.in_flight = [this] { return in_flight_requests(); };
+  target.progress = [this] {
+    return m_.completed.value() + m_.failed.value();
+  };
+  // No batch windows at the gather layer; the inner engine registers its
+  // own window budget below.
+  watchdog.add_target("sharded-engine", std::move(target));
+  shard_engine_->register_watchdog(watchdog);
+}
+
+void ShardedEngine::dump_diagnostics(std::ostream& os) const {
+  std::size_t queued = 0, inflight = 0;
+  bool stopping = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued = queue_.size();
+    inflight = in_flight_;
+    stopping = stopping_;
+  }
+  os << "{\n  \"kind\": \"sharded-engine\",\n";
+  os << "  \"queue\": {\"queued\": " << queued << ", \"in_flight\": "
+     << inflight << ", \"stopping\": " << (stopping ? "true" : "false")
+     << "},\n";
+  os << "  \"in_flight\": [";
+  {
+    const std::vector<obs::InFlightRequest> table = in_flight_requests();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const obs::InFlightRequest& r = table[i];
+      os << (i == 0 ? "\n    " : ",\n    ");
+      os << "{\"id\": " << r.id << ", \"age_ms\": " << r.age_ms
+         << ", \"stage\": \"" << obs::json_escape(r.stage) << "\"}";
+    }
+    os << (table.empty() ? "]" : "\n  ]");
+  }
+  os << ",\n";
+  os << "  \"flight\": ";
+  if (flight_ == nullptr) {
+    os << "null";
+  } else {
+    os << "{\"completed\": " << flight_->completed() << ", \"kept\": "
+       << flight_->kept() << ", \"overwritten\": " << flight_->overwritten()
+       << "}";
+  }
+  os << ",\n";
+  os << "  \"events\": ";
+  events_->write_json_array(os, 64);
+  os << ",\n";
+  os << "  \"engine\": ";
+  shard_engine_->dump_diagnostics(os);
+  os << "}\n";
+}
+
+std::string ShardedEngine::dump_diagnostics() const {
+  std::ostringstream os;
+  dump_diagnostics(os);
+  return os.str();
+}
+
 void ShardedEngine::gather_loop_() {
   for (;;) {
     Request req;
@@ -164,28 +272,31 @@ void ShardedEngine::gather_loop_() {
       ++in_flight_;
     }
     const Clock::time_point pickup = Clock::now();
+    if (req.slot) req.slot->stage.store("scatter", std::memory_order_relaxed);
 
     const ShardedPipeline& sp = *req.pipeline;
     const index_t k = sp.num_shards();
 
     // Scatter: one sub-request per shard, all sharing one B (and, when the
-    // request is sampled, one trace context — the inner engine tags each
-    // sub-multiply's spans with its shard). The submit may itself throw
-    // (e.g. after an engine shutdown race); treat that as a request
-    // failure, not a crash.
+    // request is instrumented, one trace and/or flight context — the inner
+    // engine tags each sub-multiply's spans with its shard). The submit may
+    // itself throw (e.g. after an engine shutdown race); treat that as a
+    // request failure, not a crash.
     std::vector<std::future<Csr>> futures;
     std::exception_ptr error;
     try {
       futures.reserve(static_cast<std::size_t>(k));
       for (index_t s = 0; s < k; ++s)
-        futures.push_back(req.trace
-                              ? shard_engine_->submit_traced(
-                                    sp.shard(s), req.b, req.trace, s)
-                              : shard_engine_->submit(sp.shard(s), req.b));
+        futures.push_back(
+            req.trace || req.flight
+                ? shard_engine_->submit_traced(sp.shard(s), req.b, req.trace,
+                                               s, req.flight)
+                : shard_engine_->submit(sp.shard(s), req.b));
     } catch (...) {
       error = std::current_exception();
     }
     const Clock::time_point scatter_end = Clock::now();
+    if (req.slot) req.slot->stage.store("gather", std::memory_order_relaxed);
 
     // Gather: wait on every launched shard even after a failure (abandoning
     // a future would discard an in-flight shard result mid-drain), keeping
@@ -212,17 +323,38 @@ void ShardedEngine::gather_loop_() {
     }
     const Clock::time_point done = Clock::now();
     const double ms = ms_between(req.enqueued, done);
-    if (req.trace) {
-      // Gather-stage spans: queue-wait (submit → gather worker pickup),
-      // scatter (fanning out K sub-requests), gather (waiting on shard
-      // futures + stitching row blocks). The per-shard multiply spans in
-      // between were written by the inner engine's workers.
-      req.trace->add("queue-wait", req.enqueued, pickup);
-      req.trace->add("scatter", pickup, scatter_end, "shards",
-                     static_cast<std::int64_t>(futures.size()));
-      req.trace->add("gather", scatter_end, done, "shards",
-                     static_cast<std::int64_t>(futures.size()));
+    // Gather-stage spans: queue-wait (submit → gather worker pickup),
+    // scatter (fanning out K sub-requests), gather (waiting on shard
+    // futures + stitching row blocks). The per-shard multiply spans in
+    // between were written by the inner engine's workers — into the same
+    // contexts.
+    for (const auto& ctx : {req.trace, req.flight}) {
+      if (!ctx) continue;
+      ctx->add("queue-wait", req.enqueued, pickup);
+      ctx->add("scatter", pickup, scatter_end, "shards",
+               static_cast<std::int64_t>(futures.size()));
+      ctx->add("gather", scatter_end, done, "shards",
+               static_cast<std::int64_t>(futures.size()));
     }
+    // Flight verdict, failure event and trace commit land BEFORE the
+    // in_flight_ decrement and the promise: both "drain() returned" and
+    // "future.get() returned" must imply the timeline is already kept.
+    if (final_error || req.flight) {
+      const std::string what =
+          final_error ? describe_error(final_error) : std::string();
+      if (final_error && events_->enabled(obs::LogLevel::kError))
+        events_->error(
+            "sharded-engine", "request failed: " + what,
+            {{"request",
+              std::to_string(req.slot ? req.slot->id : std::uint64_t{0})}});
+      if (req.flight) {
+        if (final_error)
+          flight_->complete_error(req.flight, ms, what);
+        else
+          flight_->complete(req.flight, ms);
+      }
+    }
+    if (req.trace) tracer_->commit(req.trace);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (final_error)
@@ -232,13 +364,13 @@ void ShardedEngine::gather_loop_() {
       m_.shard_multiplies.inc(futures.size());
       m_.latency_ms.record(ms);
       --in_flight_;
+      if (req.slot) live_.erase(req.slot->id);
       idle = queue_.empty() && in_flight_ == 0;
     }
     if (final_error)
       req.result.set_exception(final_error);
     else
       req.result.set_value(std::move(*final_value));
-    if (req.trace) tracer_->commit(req.trace);
     if (idle) idle_cv_.notify_all();
   }
 }

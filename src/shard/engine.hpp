@@ -13,6 +13,7 @@
 // divided evenly among the shard workers.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -21,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -49,9 +51,6 @@ struct ShardedEngineOptions {
   /// Stacked-column cap per fused shard multiply (see
   /// serve::EngineOptions::max_stacked_cols). 0 = unlimited.
   index_t max_stacked_cols = 0;
-  /// DEPRECATED and ignored since PR 6: percentiles come from a full-run
-  /// log-bucketed histogram (see serve::EngineOptions::latency_window).
-  std::size_t latency_window = 4096;
   /// Metrics registry backing the cw_sharded_* series; forwarded to the
   /// inner engine (cw_engine_*, cw_registry_*) so one scrape covers the
   /// whole plane. Null = a private registry, reachable via metrics().
@@ -64,6 +63,22 @@ struct ShardedEngineOptions {
   /// Trace collector for sampled requests. Null with a non-zero sample
   /// rate = the engine creates its own, reachable via tracer().
   std::shared_ptr<obs::TraceCollector> trace;
+  /// Structured event log, shared with the inner engine (and its registry)
+  /// so gather failures, sheds, evictions and watchdog trips form ONE
+  /// timeline. Null = the engine creates a private log (events()).
+  std::shared_ptr<obs::EventLog> events;
+  /// Flight recorder for tail-sampled capture of SHARDED requests: the
+  /// per-shard sub-multiply spans join the parent request's single flight
+  /// timeline (the inner engine renders no verdict of its own). Null with
+  /// flight_slow_threshold_ms == 0 = off.
+  std::shared_ptr<obs::FlightRecorder> flight;
+  /// Convenience: > 0 with `flight` null makes the engine create its own
+  /// recorder with this slow threshold, reachable via flight().
+  double flight_slow_threshold_ms = 0;
+  /// TEST HOOK, forwarded to the inner engine: the first shard pickup
+  /// stalls this long in stage "multiply" (see
+  /// serve::EngineOptions::debug_stall_first).
+  std::chrono::milliseconds debug_stall_first{0};
   /// Embedded per-shard pipeline registry, forwarded to the inner engine
   /// (serve::EngineOptions::registry): capacity 0 = none. Shards are
   /// registry-sized pieces by design (shard/sharded_pipeline.hpp), so
@@ -143,6 +158,32 @@ class ShardedEngine {
   /// Sharded requests waiting for a gather worker.
   [[nodiscard]] std::size_t queue_depth() const;
 
+  /// The structured event log shared across the sharded plane. Never null.
+  [[nodiscard]] const std::shared_ptr<obs::EventLog>& events() const {
+    return events_;
+  }
+
+  /// The flight recorder, or null when tail-sampled capture is off.
+  [[nodiscard]] const std::shared_ptr<obs::FlightRecorder>& flight() const {
+    return flight_;
+  }
+
+  /// Snapshot of in-flight SHARDED requests (queued / scatter / gather),
+  /// sorted by id. The inner engine's per-shard sub-requests have their own
+  /// table (see ServeEngine::in_flight_requests()).
+  [[nodiscard]] std::vector<obs::InFlightRequest> in_flight_requests() const;
+
+  /// Register both layers with the watchdog: this engine as target
+  /// "sharded-engine" (gather progress, no windows) and the inner engine as
+  /// target "engine" (shard sub-requests, batch windows).
+  void register_watchdog(obs::Watchdog& watchdog);
+
+  /// One JSON diagnostic document for the whole sharded plane; the inner
+  /// engine's dump (queue, per-shard in-flight table, registry residency,
+  /// metrics) is nested under "engine".
+  void dump_diagnostics(std::ostream& os) const;
+  [[nodiscard]] std::string dump_diagnostics() const;
+
   /// Register this engine's level probes (gather queue depth plus the inner
   /// engine's and registry's probes) with a background sampler. Stop the
   /// sampler before destroying the engine.
@@ -159,6 +200,11 @@ class ShardedEngine {
     /// Sampled request's timeline; per-shard sub-multiply spans land here
     /// too (via ServeEngine::submit_traced). Committed by the gatherer.
     std::shared_ptr<obs::TraceContext> trace;
+    /// Flight-recorder context (every request when the recorder is on);
+    /// per-shard spans join it the same way. Verdict at gather completion.
+    std::shared_ptr<obs::TraceContext> flight;
+    /// Live watchdog bookkeeping (stage: queued → scatter → gather).
+    std::shared_ptr<obs::RequestSlot> slot;
   };
 
   void gather_loop_();
@@ -176,6 +222,8 @@ class ShardedEngine {
   const ShardedEngineOptions opt_;
   const Clock::time_point start_;
   const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  const std::shared_ptr<obs::EventLog> events_;  // never null
+  const std::shared_ptr<obs::FlightRecorder> flight_;  // null = capture off
   const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   Metrics m_;  // binds into *metrics_: keep declared after it
   std::unique_ptr<serve::ServeEngine> shard_engine_;
@@ -186,6 +234,9 @@ class ShardedEngine {
   std::deque<Request> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  /// In-flight table of sharded requests, keyed by request id.
+  std::unordered_map<std::uint64_t, std::shared_ptr<obs::RequestSlot>> live_;
+  std::atomic<std::uint64_t> next_request_id_{0};
 
   std::vector<std::thread> gatherers_;
 };

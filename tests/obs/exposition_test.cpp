@@ -54,6 +54,33 @@ TEST(ObsExposition, PrometheusLabeledSeriesShareOneHeader) {
   EXPECT_EQ(to_prometheus(reg), expected);
 }
 
+TEST(ObsExposition, PrometheusEscapesHostileLabelsAndHelp) {
+  // The text exposition format requires backslash and newline escaping in
+  // HELP text, plus double-quote escaping in label VALUES. A path-like
+  // label (backslashes), an embedded quote and a newline must all round
+  // trip as escape sequences — byte-exact, like the golden test above.
+  MetricsRegistry reg;
+  reg.counter("test_evil_total", "Help with \\backslash\nand newline",
+              {{"path", "C:\\temp\\x"}, {"msg", "say \"hi\"\nbye"}})
+      .inc(1);
+  const std::string expected =
+      "# HELP test_evil_total Help with \\\\backslash\\nand newline\n"
+      "# TYPE test_evil_total counter\n"
+      "test_evil_total{path=\"C:\\\\temp\\\\x\",msg=\"say \\\"hi\\\"\\nbye\"}"
+      " 1\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(ObsExposition, JsonEscapesHostileLabels) {
+  MetricsRegistry reg;
+  reg.counter("test_evil_total", "", {{"msg", "a\"b\\c\nd"}}).inc(2);
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"msg\": \"a\\\"b\\\\c\\nd\""), std::string::npos);
+  // Escaping kept the document balanced (no raw quote broke a string).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST(ObsExposition, PrometheusHistogramBucketsAreCumulative) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("test_h", "");

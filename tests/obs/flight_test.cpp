@@ -1,0 +1,189 @@
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::obs {
+namespace {
+
+TEST(FlightRecorder, FastDiscardedSlowKept) {
+  FlightRecorder rec({.slow_threshold_ms = 10.0});
+  const auto t0 = FlightRecorder::Clock::now();
+
+  auto fast = rec.begin(1);
+  fast->add("multiply", t0, t0 + std::chrono::milliseconds(1));
+  rec.complete(fast, 1.0);
+
+  auto slow = rec.begin(2);
+  slow->add("queue-wait", t0, t0 + std::chrono::milliseconds(5));
+  slow->add("multiply", t0 + std::chrono::milliseconds(5),
+            t0 + std::chrono::milliseconds(30));
+  rec.complete(slow, 30.0);
+
+  EXPECT_EQ(rec.completed(), 2u);
+  EXPECT_EQ(rec.kept(), 1u);
+  const std::vector<FlightRecord> records = rec.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].request_id, 2u);
+  EXPECT_EQ(records[0].reason, FlightReason::kSlow);
+  EXPECT_DOUBLE_EQ(records[0].latency_ms, 30.0);
+  ASSERT_EQ(records[0].spans.size(), 2u);
+  EXPECT_STREQ(records[0].spans[1].name, "multiply");
+}
+
+TEST(FlightRecorder, ThresholdIsInclusive) {
+  // "at or above the threshold keeps": exactly-at-threshold is evidence.
+  FlightRecorder rec({.slow_threshold_ms = 10.0});
+  rec.complete(rec.begin(1), 10.0);
+  rec.complete(rec.begin(2), 9.999);
+  EXPECT_EQ(rec.kept(), 1u);
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].request_id, 1u);
+}
+
+TEST(FlightRecorder, ErrorsKeptRegardlessOfLatency) {
+  FlightRecorder rec({.slow_threshold_ms = 1000.0});
+  auto ctx = rec.begin(7);
+  rec.complete_error(ctx, 0.5, "multiply: dimension mismatch");
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].reason, FlightReason::kError);
+  EXPECT_EQ(rec.records()[0].error, "multiply: dimension mismatch");
+  EXPECT_STREQ(to_string(FlightReason::kError), "error");
+}
+
+TEST(FlightRecorder, ShedRecordedWithoutSpans) {
+  FlightRecorder rec({.slow_threshold_ms = 1000.0});
+  rec.record_shed(42);
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].reason, FlightReason::kShed);
+  EXPECT_EQ(rec.records()[0].request_id, 42u);
+  EXPECT_TRUE(rec.records()[0].spans.empty());
+}
+
+TEST(FlightRecorder, RingOverwritesOldestWithAccounting) {
+  FlightRecorder rec({.slow_threshold_ms = 0.0001, .capacity = 2});
+  rec.complete(rec.begin(1), 1.0);
+  rec.complete(rec.begin(2), 1.0);
+  rec.complete(rec.begin(3), 1.0);
+  EXPECT_EQ(rec.kept(), 3u);
+  EXPECT_EQ(rec.overwritten(), 1u);
+  const std::vector<FlightRecord> records = rec.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request_id, 2u);  // oldest (id 1) overwritten
+  EXPECT_EQ(records[1].request_id, 3u);
+}
+
+TEST(FlightRecorder, ChromeExportCarriesKeptTimelines) {
+  FlightRecorder rec({.slow_threshold_ms = 1.0});
+  const auto t0 = FlightRecorder::Clock::now();
+  auto ctx = rec.begin(5);
+  ctx->add("multiply", t0, t0 + std::chrono::milliseconds(8));
+  rec.complete(ctx, 8.0);
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"multiply\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance criterion: with stride sampling OFF, an injected slow outlier
+// must still be captured with its full stage timeline.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, SlowOutlierCapturedWithSamplingOff) {
+  const Csr a = test::random_csr(40, 40, 0.12, 11);
+  PipelineOptions popt;
+  popt.reorder = ReorderAlgo::kRCM;
+  auto p = std::make_shared<const Pipeline>(a, popt);
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.trace_sample_rate = 0;  // stride sampling OFF — the recorder's case
+  eopt.flight_slow_threshold_ms = 10.0;
+  eopt.debug_stall_first = std::chrono::milliseconds(50);  // the outlier
+  serve::ServeEngine engine(eopt);
+  ASSERT_EQ(engine.tracer(), nullptr);
+  ASSERT_NE(engine.flight(), nullptr);
+
+  const Csr b = test::random_csr(40, 8, 0.3, 12);
+  (void)engine.submit(p, b).get();
+  engine.drain();
+
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_EQ(records.size(), 1u) << "the 50 ms outlier must be kept";
+  EXPECT_EQ(records[0].reason, FlightReason::kSlow);
+  EXPECT_GE(records[0].latency_ms, 10.0);
+  // Full stage timeline: queue-wait and the (stalled) multiply at least.
+  std::vector<std::string> names;
+  for (const TraceSpan& s : records[0].spans) names.push_back(s.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "queue-wait"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "multiply"), names.end());
+}
+
+TEST(FlightRecorder, EngineErrorTimelineKept) {
+  const Csr a = test::random_csr(30, 30, 0.15, 13);
+  PipelineOptions popt;
+  popt.reorder = ReorderAlgo::kRCM;
+  auto p = std::make_shared<const Pipeline>(a, popt);
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.flight_slow_threshold_ms = 1e6;  // latency alone would keep nothing
+  serve::ServeEngine engine(eopt);
+
+  const Csr bad_b = test::random_csr(7, 4, 0.5, 14);  // wrong row count
+  auto fut = engine.submit(p, bad_b);
+  EXPECT_THROW((void)fut.get(), std::exception);
+  engine.drain();
+
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].reason, FlightReason::kError);
+  EXPECT_FALSE(records[0].error.empty());
+}
+
+TEST(FlightRecorder, ShedRequestRecorded) {
+  const Csr a = test::random_csr(30, 30, 0.15, 15);
+  PipelineOptions popt;
+  popt.reorder = ReorderAlgo::kRCM;
+  auto p = std::make_shared<const Pipeline>(a, popt);
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.max_queue_depth = 1;
+  eopt.flight_slow_threshold_ms = 1e6;
+  eopt.debug_stall_first = std::chrono::milliseconds(200);  // wedge the worker
+  serve::ServeEngine engine(eopt);
+
+  // First request occupies the stalled worker; then fill the queue and keep
+  // try_submitting until one is refused.
+  std::vector<std::future<Csr>> futures;
+  futures.push_back(engine.submit(p, test::random_csr(30, 4, 0.3, 16)));
+  bool shed = false;
+  for (int i = 0; i < 50 && !shed; ++i) {
+    auto f = engine.try_submit(p, test::random_csr(30, 4, 0.3, 17 + i));
+    if (f.has_value())
+      futures.push_back(std::move(*f));
+    else
+      shed = true;
+  }
+  for (auto& f : futures) (void)f.get();
+  engine.drain();
+
+  ASSERT_TRUE(shed) << "queue cap of 1 against a wedged worker must shed";
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().reason, FlightReason::kShed);
+}
+
+}  // namespace
+}  // namespace cw::obs

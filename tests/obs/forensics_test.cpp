@@ -1,0 +1,239 @@
+// End-to-end failure-forensics tests: the diagnostic dump document, the
+// watchdog wired to real engines, and the event timeline across the planes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/watchdog.hpp"
+#include "serve/engine.hpp"
+#include "shard/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::obs {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kRCM;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+bool balanced(const std::string& s) {
+  return std::count(s.begin(), s.end(), '{') ==
+             std::count(s.begin(), s.end(), '}') &&
+         std::count(s.begin(), s.end(), '[') ==
+             std::count(s.begin(), s.end(), ']');
+}
+
+TEST(Forensics, EngineDumpHasEverySection) {
+  const Csr a = test::random_csr(40, 40, 0.12, 21);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.flight_slow_threshold_ms = 0.0001;  // keep everything: records show up
+  eopt.registry.capacity_bytes = std::size_t{64} << 20;
+  serve::ServeEngine engine(eopt);
+  for (int i = 0; i < 4; ++i)
+    (void)engine.submit(p, test::random_csr(40, 6, 0.3, 22 + i));
+  engine.drain();
+
+  const std::string dump = engine.dump_diagnostics();
+  EXPECT_TRUE(balanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"kind\": \"serve-engine\""), std::string::npos);
+  EXPECT_NE(dump.find("\"queue\""), std::string::npos);
+  EXPECT_NE(dump.find("\"in_flight\""), std::string::npos);
+  EXPECT_NE(dump.find("\"flight\""), std::string::npos);
+  EXPECT_NE(dump.find("\"events\""), std::string::npos);
+  EXPECT_NE(dump.find("\"registry\""), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+  // Real content, not just section headers: kept flight records and the
+  // engine-started event.
+  EXPECT_NE(dump.find("\"records\""), std::string::npos);
+  EXPECT_NE(dump.find("engine started"), std::string::npos);
+  EXPECT_NE(dump.find("cw_engine_completed_total"), std::string::npos);
+}
+
+TEST(Forensics, DumpWithoutFlightOrRegistryRendersNull) {
+  const Csr a = test::random_csr(30, 30, 0.15, 23);
+  auto p = make_pipeline(a);
+  serve::ServeEngine engine({.num_workers = 1});
+  (void)engine.submit(p, test::random_csr(30, 4, 0.3, 24)).get();
+  engine.drain();
+  const std::string dump = engine.dump_diagnostics();
+  EXPECT_TRUE(balanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"flight\": null"), std::string::npos);
+  EXPECT_NE(dump.find("\"registry\": null"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance criterion: an injected stalled request must appear in the
+// watchdog-triggered dump with its current stage.
+// ---------------------------------------------------------------------------
+
+TEST(Forensics, StalledRequestAppearsInWatchdogDump) {
+  const Csr a = test::random_csr(40, 40, 0.12, 25);
+  auto p = make_pipeline(a);
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.debug_stall_first = std::chrono::milliseconds(400);  // the stall
+  serve::ServeEngine engine(eopt);
+
+  WatchdogOptions wopt;
+  wopt.request_deadline_ms = 50;
+  Watchdog watchdog(wopt, engine.events());
+  engine.register_watchdog(watchdog);
+  std::string dump;
+  watchdog.set_dump([&] { dump = engine.dump_diagnostics(); });
+
+  auto fut = engine.submit(p, test::random_csr(40, 6, 0.3, 26));
+  // Let the worker pick the request up and wedge in "multiply", then age it
+  // past the deadline before the (synchronous, deterministic) sweep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_GE(watchdog.check_once(), 1u);
+
+  // The trip identified the stuck request and its stage...
+  const std::vector<WatchdogTrip> trips = watchdog.trips();
+  ASSERT_FALSE(trips.empty());
+  const WatchdogTrip& trip = trips[0];
+  EXPECT_EQ(trip.kind, WatchdogTrip::Kind::kStuckRequest);
+  EXPECT_EQ(trip.stage, "multiply");
+  EXPECT_GT(trip.age_ms, 50.0);
+  // ...the warn event landed in the shared log...
+  bool warned = false;
+  for (const Event& e : engine.events()->recent())
+    if (std::string(e.component) == "watchdog") warned = true;
+  EXPECT_TRUE(warned);
+  // ...and the dump carries the in-flight request mid-stall, with stage.
+  ASSERT_FALSE(dump.empty());
+  EXPECT_TRUE(balanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"stage\": \"multiply\""), std::string::npos) << dump;
+
+  (void)fut.get();  // the stalled request still completes correctly
+  engine.drain();
+}
+
+TEST(Forensics, WatchdogQuietOnAHealthyEngine) {
+  // False-positive guard at the engine level: a normal burst under a
+  // generous deadline must produce zero trips.
+  const Csr a = test::random_csr(40, 40, 0.12, 27);
+  auto p = make_pipeline(a);
+  serve::ServeEngine engine({.num_workers = 2});
+  WatchdogOptions wopt;
+  wopt.request_deadline_ms = 10000;
+  Watchdog watchdog(wopt, engine.events());
+  engine.register_watchdog(watchdog);
+  for (int i = 0; i < 8; ++i)
+    (void)engine.submit(p, test::random_csr(40, 5, 0.3, 28 + i));
+  (void)watchdog.check_once();
+  engine.drain();
+  EXPECT_EQ(watchdog.check_once(), 0u);
+  EXPECT_EQ(watchdog.trip_count(), 0u);
+}
+
+TEST(Forensics, ShardedDumpNestsInnerEngine) {
+  Csr a = test::random_csr(80, 80, 0.08, 29);
+  shard::PlanOptions popt;
+  popt.num_shards = 2;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(a, popt,
+                                                           PipelineOptions{});
+
+  auto log = std::make_shared<EventLog>();
+  shard::ShardedEngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.flight_slow_threshold_ms = 0.0001;
+  eopt.events = log;
+  shard::ShardedEngine engine(eopt);
+  (void)engine.submit(sp, test::random_csr(80, 6, 0.3, 30)).get();
+  engine.drain();
+
+  const std::string dump = engine.dump_diagnostics();
+  EXPECT_TRUE(balanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"kind\": \"sharded-engine\""), std::string::npos);
+  // The inner engine's full document is nested under "engine".
+  EXPECT_NE(dump.find("\"engine\": {"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"serve-engine\""), std::string::npos);
+  // One event timeline across both layers: the caller's log IS the engine's,
+  // and the INNER engine's lifecycle events land in it too.
+  EXPECT_EQ(engine.events().get(), log.get());
+  bool inner_started = false;
+  for (const Event& e : log->recent())
+    if (std::string(e.component) == "engine" &&
+        e.message.find("started") != std::string::npos)
+      inner_started = true;
+  EXPECT_TRUE(inner_started);
+}
+
+TEST(Forensics, ShardedFlightKeepsOneTimelinePerRequest) {
+  Csr a = test::random_csr(80, 80, 0.08, 31);
+  shard::PlanOptions popt;
+  popt.num_shards = 3;
+  auto sp = std::make_shared<const shard::ShardedPipeline>(a, popt,
+                                                           PipelineOptions{});
+  shard::ShardedEngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.flight_slow_threshold_ms = 0.0001;  // keep every request
+  shard::ShardedEngine engine(eopt);
+  (void)engine.submit(sp, test::random_csr(80, 6, 0.3, 32)).get();
+  engine.drain();
+
+  ASSERT_NE(engine.flight(), nullptr);
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_EQ(records.size(), 1u) << "one timeline per sharded request, not K+1";
+  // The single timeline carries this level's spans AND the per-shard
+  // sub-multiply spans written by the inner engine.
+  bool has_gather = false, has_shard_span = false;
+  for (const TraceSpan& s : records[0].spans) {
+    if (std::string(s.name) == "gather") has_gather = true;
+    if (s.arg_name != nullptr && std::string(s.arg_name) == "shard")
+      has_shard_span = true;
+  }
+  EXPECT_TRUE(has_gather);
+  EXPECT_TRUE(has_shard_span);
+}
+
+TEST(Forensics, EngineLifecycleAndShedEventsLogged) {
+  const Csr a = test::random_csr(30, 30, 0.15, 33);
+  auto p = make_pipeline(a);
+  auto log = std::make_shared<EventLog>();
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.max_queue_depth = 1;
+  eopt.events = log;
+  eopt.debug_stall_first = std::chrono::milliseconds(150);
+  {
+    serve::ServeEngine engine(eopt);
+    std::vector<std::future<Csr>> futures;
+    futures.push_back(engine.submit(p, test::random_csr(30, 4, 0.3, 34)));
+    bool shed = false;
+    for (int i = 0; i < 50 && !shed; ++i) {
+      auto f = engine.try_submit(p, test::random_csr(30, 4, 0.3, 35 + i));
+      if (f.has_value())
+        futures.push_back(std::move(*f));
+      else
+        shed = true;
+    }
+    ASSERT_TRUE(shed);
+    for (auto& f : futures) (void)f.get();
+  }  // destructor = shutdown
+  bool started = false, stopped = false, shed_event = false;
+  for (const Event& e : log->recent()) {
+    if (e.message.find("started") != std::string::npos) started = true;
+    if (e.message.find("stopped") != std::string::npos) stopped = true;
+    if (e.message.find("shed") != std::string::npos) shed_event = true;
+  }
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(stopped);
+  EXPECT_TRUE(shed_event);
+}
+
+}  // namespace
+}  // namespace cw::obs

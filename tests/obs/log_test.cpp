@@ -1,0 +1,115 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cw::obs {
+namespace {
+
+TEST(EventLog, LevelGateSuppressesBelowMinLevel) {
+  EventLog log({.min_level = LogLevel::kInfo});
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+
+  log.debug("engine", "never stored");
+  log.info("engine", "stored");
+  log.warn("engine", "also stored");
+
+  EXPECT_EQ(log.total(), 2u);
+  EXPECT_EQ(log.suppressed(), 1u);
+  const std::vector<Event> events = log.recent();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].message, "stored");
+  EXPECT_EQ(events[1].message, "also stored");
+  EXPECT_EQ(events[1].level, LogLevel::kWarn);
+}
+
+TEST(EventLog, RingBoundedWithDropAccounting) {
+  EventLog log({.capacity = 4});
+  for (int i = 0; i < 10; ++i)
+    log.info("engine", "event " + std::to_string(i));
+
+  EXPECT_EQ(log.total(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);  // overwritten, never silently
+  const std::vector<Event> events = log.recent();
+  ASSERT_EQ(events.size(), 4u);
+  // The most recent four survive, oldest first, seq monotone.
+  EXPECT_EQ(events.front().message, "event 6");
+  EXPECT_EQ(events.back().message, "event 9");
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+}
+
+TEST(EventLog, RecentNReturnsTail) {
+  EventLog log;
+  for (int i = 0; i < 8; ++i) log.info("x", std::to_string(i));
+  const std::vector<Event> tail = log.recent(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].message, "5");
+  EXPECT_EQ(tail[2].message, "7");
+}
+
+TEST(EventLog, JsonlSinkEscapesAndCarriesLabels) {
+  EventLog log;
+  log.warn("registry", "evil \"message\"\nwith newline",
+           {{"key", "a\\b"}, {"bytes", "128"}});
+  const std::string line = log.to_jsonl();
+  // One line, escaped quote / backslash / newline, labels present.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  EXPECT_NE(line.find("\"evil \\\"message\\\"\\nwith newline\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"key\": \"a\\\\b\""), std::string::npos);
+  EXPECT_NE(line.find("\"bytes\": \"128\""), std::string::npos);
+  EXPECT_NE(line.find("\"level\": \"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"component\": \"registry\""), std::string::npos);
+}
+
+TEST(EventLog, JsonArrayFragmentIsBalanced) {
+  EventLog log;
+  log.info("engine", "one");
+  log.error("engine", "two");
+  std::ostringstream os;
+  log.write_json_array(os, 0);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s.back(), ']');
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_NE(s.find("\"one\""), std::string::npos);
+  EXPECT_NE(s.find("\"two\""), std::string::npos);
+}
+
+TEST(EventLog, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  // Other control bytes become \u00XX, never raw.
+  const std::string esc = json_escape(std::string("a\x01") + "b");
+  EXPECT_EQ(esc, "a\\u0001b");
+}
+
+TEST(EventLog, ConcurrentAppendsAllAccounted) {
+  EventLog log({.capacity = 64});
+  constexpr int kThreads = 4;
+  constexpr int kEach = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kEach; ++i)
+        log.info("stress", std::to_string(t * kEach + i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.total(), static_cast<std::uint64_t>(kThreads * kEach));
+  EXPECT_EQ(log.recent().size(), 64u);
+  EXPECT_EQ(log.dropped(), static_cast<std::uint64_t>(kThreads * kEach - 64));
+}
+
+}  // namespace
+}  // namespace cw::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -139,19 +140,40 @@ TEST(ObsMetrics, HistogramPercentileWithinOneBucket) {
   EXPECT_GT(s.percentile(50), 0.0);
 }
 
-TEST(ObsMetrics, HistogramBeatsLatencyRecorderOnHeavyTail) {
-  // The regression the DEPRECATED note on LatencyRecorder points at: a
-  // burst of slow requests followed by sustained fast traffic. The ring
+TEST(ObsMetrics, HistogramBeatsSampleRingOnHeavyTail) {
+  // The bias that retired the old moving-window latency estimator: a burst
+  // of slow requests followed by sustained fast traffic. A sample ring
   // retains only the trailing window — the burst vanishes and p99 collapses
   // to the fast mode. The histogram covers the FULL run, so its p99 stays
-  // within one bucket of the true order statistic.
+  // within one bucket of the true order statistic. The ring below replicates
+  // the deleted estimator so the regression stays pinned down.
+  struct SampleRing {
+    explicit SampleRing(std::size_t window) : ring(window, 0.0) {}
+    void record(double ms) {
+      ring[next] = ms;
+      next = (next + 1) % ring.size();
+      count = std::min(count + 1, ring.size());
+      max_ms = std::max(max_ms, ms);
+    }
+    [[nodiscard]] double window_percentile(double p) const {
+      if (count == 0) return 0;
+      return percentile(
+          std::vector<double>(
+              ring.begin(), ring.begin() + static_cast<std::ptrdiff_t>(count)),
+          p);
+    }
+    std::vector<double> ring;
+    std::size_t next = 0, count = 0;
+    double max_ms = 0;
+  };
+
   constexpr int kSlow = 300;     // 250 ms outliers, first
   constexpr int kFast = 10000;   // 1 ms steady state, after
   constexpr double kSlowMs = 250.0;
   constexpr double kFastMs = 1.0;
 
   Histogram h;
-  LatencyRecorder ring(4096);
+  SampleRing ring(4096);
   std::vector<double> exact;
   for (int i = 0; i < kSlow; ++i) {
     h.record(kSlowMs);
@@ -173,7 +195,7 @@ TEST(ObsMetrics, HistogramBeatsLatencyRecorderOnHeavyTail) {
   const double est = h.percentile(99);
   EXPECT_NEAR(est, truth, truth / Histogram::kSubBuckets + 1e-9);
   // Both agree on the lifetime max — that part of the ring was never biased.
-  EXPECT_DOUBLE_EQ(ring.max_ms(), h.snapshot().max);
+  EXPECT_DOUBLE_EQ(ring.max_ms, h.snapshot().max);
 }
 
 TEST(ObsMetrics, RegistryInternsByNameAndLabels) {

@@ -1,0 +1,187 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace cw::obs {
+namespace {
+
+/// A hand-driven target: the test sets exactly what each sweep sees.
+struct FakeTarget {
+  std::vector<InFlightRequest> requests;
+  std::vector<double> window_ages;
+  std::uint64_t progress = 0;
+
+  WatchdogTarget as_target(double window_budget_ms = 0) {
+    WatchdogTarget t;
+    t.in_flight = [this] { return requests; };
+    t.window_ages_ms = [this] { return window_ages; };
+    t.progress = [this] { return progress; };
+    t.window_budget_ms = window_budget_ms;
+    return t;
+  }
+};
+
+WatchdogOptions opts(double deadline_ms) {
+  WatchdogOptions o;
+  o.request_deadline_ms = deadline_ms;
+  return o;
+}
+
+TEST(Watchdog, TripsOnceOnStuckRequestAndAgainOnANewOne) {
+  FakeTarget fake;
+  Watchdog wd(opts(100));
+  wd.add_target("engine", fake.as_target());
+
+  fake.requests = {{7, 150.0, "multiply", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+  EXPECT_EQ(wd.check_once(), 0u);  // same episode: deduplicated
+  ASSERT_EQ(wd.trips().size(), 1u);
+  EXPECT_EQ(wd.trips()[0].kind, WatchdogTrip::Kind::kStuckRequest);
+  EXPECT_EQ(wd.trips()[0].request_id, 7u);
+  EXPECT_EQ(wd.trips()[0].stage, "multiply");
+  EXPECT_EQ(wd.trips()[0].target, "engine");
+
+  // Request 7 completes; a different request wedges: a NEW trip.
+  fake.requests = {{8, 200.0, "unpermute", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+  EXPECT_EQ(wd.trip_count(), 2u);
+
+  // And if 7's id were recycled after leaving the table, it may trip again
+  // (the episode ended when it left the live table).
+  fake.requests = {{7, 300.0, "multiply", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+}
+
+TEST(Watchdog, NoTripAtOrUnderDeadline) {
+  // STRICT comparison: completing at exactly the deadline is on time.
+  FakeTarget fake;
+  Watchdog wd(opts(100));
+  wd.add_target("engine", fake.as_target());
+
+  fake.requests = {{1, 99.9, "multiply", -1}, {2, 100.0, "queued", -1}};
+  EXPECT_EQ(wd.check_once(), 0u);
+  EXPECT_TRUE(wd.trips().empty());
+
+  fake.requests = {{1, 100.0001, "multiply", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+}
+
+TEST(Watchdog, WindowAtExactBudgetDoesNotTrip) {
+  FakeTarget fake;
+  WatchdogOptions o = opts(1e9);  // request check effectively off
+  o.window_budget_factor = 4.0;
+  Watchdog wd(o);
+  wd.add_target("engine", fake.as_target(/*window_budget_ms=*/10));
+
+  // 4 × 10 ms budget = 40 ms: exactly at the line is on time.
+  fake.window_ages = {40.0};
+  EXPECT_EQ(wd.check_once(), 0u);
+
+  fake.window_ages = {40.5};
+  EXPECT_EQ(wd.check_once(), 1u);
+  EXPECT_EQ(wd.check_once(), 0u);  // same open-window episode
+  ASSERT_EQ(wd.trips().size(), 1u);
+  EXPECT_EQ(wd.trips()[0].kind, WatchdogTrip::Kind::kStuckWindow);
+
+  // Episode ends (window closed / back under), then a fresh overrun trips.
+  fake.window_ages = {};
+  EXPECT_EQ(wd.check_once(), 0u);
+  fake.window_ages = {60.0};
+  EXPECT_EQ(wd.check_once(), 1u);
+}
+
+TEST(Watchdog, NoProgressTripRequiresInFlightWork) {
+  FakeTarget fake;
+  WatchdogOptions o = opts(1e9);
+  o.progress_deadline_ms = 30;
+  Watchdog wd(o);
+  wd.add_target("engine", fake.as_target());
+
+  // Idle target: the progress clock must not run while nothing is in
+  // flight, no matter how long we wait.
+  EXPECT_EQ(wd.check_once(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(wd.check_once(), 0u);
+
+  // Work appears and the counter stops moving: trips after the deadline.
+  fake.requests = {{1, 5.0, "multiply", -1}};
+  EXPECT_EQ(wd.check_once(), 0u);  // watermark reset on first sighting
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(wd.check_once(), 1u);
+  ASSERT_FALSE(wd.trips().empty());
+  EXPECT_EQ(wd.trips().back().kind, WatchdogTrip::Kind::kNoProgress);
+  EXPECT_EQ(wd.check_once(), 0u);  // still the same stall: deduplicated
+
+  // Progress resumes: the episode ends; a fresh stall can trip again.
+  fake.progress = 1;
+  EXPECT_EQ(wd.check_once(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(wd.check_once(), 1u);
+}
+
+TEST(Watchdog, StartStopIdempotentAndRestartable) {
+  Watchdog wd({.interval = std::chrono::milliseconds(10)});
+  EXPECT_FALSE(wd.running());
+  EXPECT_TRUE(wd.start());
+  EXPECT_FALSE(wd.start());  // second start: already running
+  EXPECT_TRUE(wd.running());
+  wd.stop();
+  wd.stop();  // second stop: no-op
+  EXPECT_FALSE(wd.running());
+  EXPECT_TRUE(wd.start());  // restartable after stop
+  wd.stop();
+}
+
+TEST(Watchdog, BackgroundThreadSweeps) {
+  FakeTarget fake;
+  fake.requests = {{3, 500.0, "multiply", -1}};
+  Watchdog wd({.interval = std::chrono::milliseconds(5),
+               .request_deadline_ms = 100});
+  wd.add_target("engine", fake.as_target());
+  wd.start();
+  // Poll instead of a fixed sleep so the test is schedule-tolerant.
+  for (int i = 0; i < 200 && wd.trip_count() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  wd.stop();
+  EXPECT_GE(wd.sweeps(), 1u);
+  EXPECT_EQ(wd.trip_count(), 1u);  // dedup holds under repeated sweeps too
+}
+
+TEST(Watchdog, TripEmitsWarnEventAndInvokesDump) {
+  auto log = std::make_shared<EventLog>();
+  FakeTarget fake;
+  Watchdog wd(opts(100), log);
+  int dumps = 0;
+  wd.set_dump([&dumps] { ++dumps; });
+  wd.add_target("engine", fake.as_target());
+
+  fake.requests = {{9, 250.0, "window-park", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+  EXPECT_EQ(dumps, 1);
+
+  const std::vector<Event> events = log->recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].level, LogLevel::kWarn);
+  EXPECT_STREQ(events[0].component, "watchdog");
+  bool has_kind = false;
+  for (const auto& [k, v] : events[0].labels)
+    if (k == "kind" && v == "stuck-request") has_kind = true;
+  EXPECT_TRUE(has_kind);
+
+  // The dump hook is rate-limited: an immediate second trip (new request)
+  // logs an event but does not write a second dump inside the interval.
+  fake.requests = {{10, 250.0, "multiply", -1}};
+  EXPECT_EQ(wd.check_once(), 1u);
+  EXPECT_EQ(dumps, 1);
+  EXPECT_EQ(log->recent().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cw::obs

@@ -24,6 +24,7 @@
 //                      [--admission lru|tinylfu]
 //                      [--metrics-out m.prom] [--trace-out t.json]
 //                      [--trace-sample R]
+//                      [--slow-trace-us T] [--dump-out d.json]
 //                                          concurrent-engine throughput run;
 //                                          N > 0 enables second-level B-stacking
 //                                          with an N-microsecond latency budget;
@@ -35,11 +36,34 @@
 //                                          exposition; --trace-out writes Chrome
 //                                          trace_event JSON (about:tracing /
 //                                          Perfetto) of the requests sampled at
-//                                          rate R (default 1 when tracing)
+//                                          rate R (default 1 when tracing).
+//                                          --slow-trace-us arms the flight
+//                                          recorder: every request completing
+//                                          at or above T microseconds keeps its
+//                                          full stage timeline (--trace-out
+//                                          exports those when stride sampling
+//                                          is off). --dump-out arms a stall
+//                                          watchdog and names the diagnostic
+//                                          dump file: a watchdog trip, a
+//                                          SIGUSR1, or end of run writes one
+//                                          JSON document with the in-flight
+//                                          table, recent events, flight
+//                                          records, registry residency and
+//                                          every metric series.
+//                                          (CW_SERVE_BENCH_STALL_MS=N stalls
+//                                          the first batch pickup N ms — a
+//                                          test hook for exercising the
+//                                          watchdog path end to end.)
 //   cwtool metrics dump <input|file.cwsnap> [requests] [--json]
 //                                          run a small serving burst and dump
-//                                          every metric series to stdout
+//                                          every metric series plus recent
+//                                          engine events to stdout
 //                                          (Prometheus text, or JSON)
+//   cwtool debug dump <input|file.cwsnap> [requests] [--out d.json]
+//                                          run a small serving burst with the
+//                                          flight recorder armed and write the
+//                                          engine's full JSON diagnostic dump
+//                                          (stdout, or --out)
 //   cwtool shard plan <input> [K] [strategy]
 //                                          print the row-block split
 //   cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]
@@ -56,12 +80,19 @@
 // none fixed variable hierarchical. [strategy] is one of: naive balanced
 // locality.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -74,7 +105,10 @@
 #include "gen/suite.hpp"
 #include "matrix/matrix_market.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/sampler.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/engine.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/snapshot.hpp"
@@ -271,10 +305,14 @@ struct ServeBenchFlags {
   std::string metrics_out;  // Prometheus text exposition
   std::string trace_out;    // Chrome trace_event JSON
   double trace_sample = 0;  // 0 = tracing off
+  long slow_trace_us = 0;   // flight-recorder threshold; 0 = capture off
+  std::string dump_out;     // diagnostic dump path; arms the watchdog
+  long stall_ms = 0;        // CW_SERVE_BENCH_STALL_MS test hook
 };
 
 void export_telemetry(const obs::MetricsRegistry& metrics,
                       const std::shared_ptr<obs::TraceCollector>& tracer,
+                      const std::shared_ptr<obs::FlightRecorder>& flight,
                       const ServeBenchFlags& flags) {
   if (!flags.metrics_out.empty()) {
     std::ofstream f(flags.metrics_out);
@@ -283,18 +321,125 @@ void export_telemetry(const obs::MetricsRegistry& metrics,
     std::fprintf(stderr, "wrote metrics to %s\n", flags.metrics_out.c_str());
   }
   if (!flags.trace_out.empty()) {
-    if (!tracer)
-      throw Error("serve-bench: --trace-out needs --trace-sample > 0");
+    if (!tracer && !flight)
+      throw Error(
+          "serve-bench: --trace-out needs --trace-sample > 0 or "
+          "--slow-trace-us");
     std::ofstream f(flags.trace_out);
     if (!f) throw Error("cannot open " + flags.trace_out);
-    tracer->write_chrome_json(f);
-    std::fprintf(stderr,
-                 "wrote %zu trace spans from %llu sampled requests to %s\n",
-                 tracer->spans().size(),
-                 static_cast<unsigned long long>(tracer->sampled()),
-                 flags.trace_out.c_str());
+    if (tracer) {
+      tracer->write_chrome_json(f);
+      std::fprintf(stderr,
+                   "wrote %zu trace spans from %llu sampled requests to %s\n",
+                   tracer->spans().size(),
+                   static_cast<unsigned long long>(tracer->sampled()),
+                   flags.trace_out.c_str());
+    } else {
+      // Stride sampling off but the flight recorder is armed: export the
+      // kept (slow / errored) timelines instead.
+      flight->write_chrome_json(f);
+      std::fprintf(stderr, "wrote %llu kept flight timelines to %s\n",
+                   static_cast<unsigned long long>(flight->kept()),
+                   flags.trace_out.c_str());
+    }
   }
 }
+
+/// SIGUSR1 sets this; the forensics monitor thread polls it. sig_atomic_t
+/// write is the only thing the handler does — async-signal-safe.
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+extern "C" void on_dump_signal(int) { g_dump_requested = 1; }
+
+/// Stall watchdog + SIGUSR1 diagnostic-dump wiring shared by both
+/// serve-bench paths. The watchdog sweeps every 50 ms against a 1 s
+/// request deadline; a trip — or a SIGUSR1, polled by the monitor thread —
+/// writes ONE JSON diagnostic document to --dump-out (stderr when unset).
+/// Writes serialize through a mutex; finish() emits an end-of-run dump only
+/// if nothing was written during the run, so --dump-out always yields a
+/// document.
+class ForensicsHarness {
+ public:
+  ForensicsHarness(std::string dump_out, std::shared_ptr<obs::EventLog> events,
+                   std::function<std::string()> dump)
+      : out_(std::move(dump_out)),
+        dump_(std::move(dump)),
+        watchdog_(sweep_options(), std::move(events)) {
+    watchdog_.set_dump([this] { write_("watchdog trip"); });
+  }
+
+  /// Register engine targets on this before start().
+  [[nodiscard]] obs::Watchdog& watchdog() { return watchdog_; }
+
+  void start() {
+    std::signal(SIGUSR1, on_dump_signal);
+    watchdog_.start();
+    monitor_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        if (g_dump_requested != 0) {
+          g_dump_requested = 0;
+          write_("SIGUSR1");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
+  /// Stop sweeping; honor a still-pending signal; dump if nothing did yet.
+  void finish() {
+    watchdog_.stop();
+    stop_.store(true, std::memory_order_relaxed);
+    if (monitor_.joinable()) monitor_.join();
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      write_("SIGUSR1");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!written_) write_locked_("end of run");
+  }
+
+ private:
+  static obs::WatchdogOptions sweep_options() {
+    obs::WatchdogOptions o;
+    o.interval = std::chrono::milliseconds(50);
+    // A saturating bench burst legitimately queues requests for hundreds of
+    // milliseconds behind coalesced batches; one second separates "busy"
+    // from "wedged" while still tripping well inside an injected stall.
+    o.request_deadline_ms = 1000;
+    return o;
+  }
+
+  void write_(const char* why) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_locked_(why);
+  }
+
+  void write_locked_(const char* why) {
+    const std::string doc = dump_();
+    if (out_.empty()) {
+      std::fputs(doc.c_str(), stderr);
+    } else {
+      std::ofstream f(out_);
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s for the diagnostic dump\n",
+                     out_.c_str());
+        return;
+      }
+      f << doc;
+    }
+    std::fprintf(stderr, "diagnostic dump (%s) -> %s\n", why,
+                 out_.empty() ? "stderr" : out_.c_str());
+    written_ = true;
+  }
+
+  const std::string out_;
+  const std::function<std::string()> dump_;
+  std::mutex mu_;
+  bool written_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread monitor_;
+  obs::Watchdog watchdog_;
+};
 
 /// serve-bench over a *sharded* snapshot: requests scatter across the row
 /// blocks and gather back, so sampled traces carry the full span set —
@@ -323,12 +468,24 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
   eopt.registry.admission = flags.admission;
   eopt.registry.prefault_on_admit = flags.prefault;
   eopt.trace_sample_rate = flags.trace_sample;
+  if (flags.slow_trace_us > 0)
+    eopt.flight_slow_threshold_ms =
+        static_cast<double>(flags.slow_trace_us) / 1000.0;
+  eopt.debug_stall_first = std::chrono::milliseconds(flags.stall_ms);
   shard::ShardedEngine engine(eopt);
   engine.admit(*sp);
 
   obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
   engine.register_probes(sampler);
   sampler.start();
+
+  std::optional<ForensicsHarness> forensics;
+  if (!flags.dump_out.empty() || flags.stall_ms > 0) {
+    forensics.emplace(flags.dump_out, engine.events(),
+                      [&engine] { return engine.dump_diagnostics(); });
+    engine.register_watchdog(forensics->watchdog());
+    forensics->start();
+  }
 
   Timer t_engine;
   std::vector<std::thread> threads;
@@ -343,6 +500,7 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
   const double engine_s = t_engine.seconds();
   sampler.stop();
   sampler.sample_once();  // final probe sweep so gauges reflect the drained end state
+  if (forensics) forensics->finish();
 
   const shard::ShardedEngineStats st = engine.stats();
   const serve::EngineStats inner = engine.shard_engine_stats();
@@ -367,7 +525,13 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
   std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
               st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
               st.latency_max_ms);
-  export_telemetry(*engine.metrics(), engine.tracer(), flags);
+  if (engine.flight())
+    std::printf("  flight           %llu timelines kept of %llu completed "
+                "(threshold %.2f ms)\n",
+                static_cast<unsigned long long>(engine.flight()->kept()),
+                static_cast<unsigned long long>(engine.flight()->completed()),
+                engine.flight()->options().slow_threshold_ms);
+  export_telemetry(*engine.metrics(), engine.tracer(), engine.flight(), flags);
   return 0;
 }
 
@@ -422,12 +586,24 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   eopt.registry.admission = flags.admission;
   eopt.registry.prefault_on_admit = flags.prefault;
   eopt.trace_sample_rate = flags.trace_sample;
+  if (flags.slow_trace_us > 0)
+    eopt.flight_slow_threshold_ms =
+        static_cast<double>(flags.slow_trace_us) / 1000.0;
+  eopt.debug_stall_first = std::chrono::milliseconds(flags.stall_ms);
   serve::ServeEngine engine(eopt);
   engine.admit(key, p);
 
   obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
   engine.register_probes(sampler);
   sampler.start();
+
+  std::optional<ForensicsHarness> forensics;
+  if (!flags.dump_out.empty() || flags.stall_ms > 0) {
+    forensics.emplace(flags.dump_out, engine.events(),
+                      [&engine] { return engine.dump_diagnostics(); });
+    engine.register_watchdog(forensics->watchdog());
+    forensics->start();
+  }
 
   Timer t_engine;
   std::vector<std::thread> threads;
@@ -447,6 +623,7 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   const double engine_s = t_engine.seconds();
   sampler.stop();
   sampler.sample_once();  // final probe sweep so gauges reflect the drained end state
+  if (forensics) forensics->finish();
   const serve::EngineStats st = engine.stats();
   const std::size_t resident = engine.registry()->resident_mapped_bytes();
 
@@ -474,6 +651,12 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   std::printf("  latency ms       p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
               st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
               st.latency_max_ms);
+  if (engine.flight())
+    std::printf("  flight           %llu timelines kept of %llu completed "
+                "(threshold %.2f ms)\n",
+                static_cast<unsigned long long>(engine.flight()->kept()),
+                static_cast<unsigned long long>(engine.flight()->completed()),
+                engine.flight()->options().slow_threshold_ms);
   const serve::RegistryStats& rs = st.registry;
   std::printf(
       "  registry         %llu hits / %llu misses (%.1f%% hit rate), "
@@ -496,7 +679,7 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
       static_cast<double>(rs.prefaulted_bytes) / 1e6,
       static_cast<unsigned long long>(rs.released_evictions),
       static_cast<double>(rs.released_bytes) / 1e6);
-  export_telemetry(*engine.metrics(), engine.tracer(), flags);
+  export_telemetry(*engine.metrics(), engine.tracer(), engine.flight(), flags);
   return 0;
 }
 
@@ -529,9 +712,67 @@ int cmd_metrics_dump(const std::string& input, int requests, bool json) {
   }
   engine.drain();
   sampler.sample_once();
-  const std::string out = json ? obs::to_json(*engine.metrics())
-                               : obs::to_prometheus(*engine.metrics());
-  std::fputs(out.c_str(), stdout);
+  if (json) {
+    // One document: every metric series plus the recent structured events.
+    std::ostringstream os;
+    os << "{\"metrics\": ";
+    obs::write_json(os, *engine.metrics());
+    os << ", \"events\": ";
+    engine.events()->write_json_array(os, 64);
+    os << "}\n";
+    std::fputs(os.str().c_str(), stdout);
+  } else {
+    std::fputs(obs::to_prometheus(*engine.metrics()).c_str(), stdout);
+    // Recent events ride along as exposition comments — still one paste
+    // into a bug report, still a valid scrape.
+    std::fputs("# recent events (jsonl)\n", stdout);
+    for (const obs::Event& e : engine.events()->recent(16)) {
+      std::ostringstream os;
+      obs::write_event_json(os, e);
+      std::printf("# %s\n", os.str().c_str());
+    }
+  }
+  return 0;
+}
+
+/// `cwtool debug dump` — the same canned burst, but with the flight recorder
+/// armed at a tiny threshold so the dump carries real timelines; writes the
+/// engine's full JSON diagnostic document.
+int cmd_debug_dump(const std::string& input, int requests,
+                   const std::string& out_path) {
+  std::shared_ptr<const Pipeline> p;
+  if (is_snapshot_path(input)) {
+    p = std::make_shared<const Pipeline>(serve::load_pipeline_file(input));
+  } else {
+    const Csr a = load_input(input);
+    p = std::make_shared<const Pipeline>(
+        a, advise(a, ReuseBudget::kThousands).pipeline_options());
+  }
+  const serve::Fingerprint key = serve::fingerprint(p->matrix());
+  const index_t brows = p->matrix().ncols();
+
+  serve::EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  eopt.flight_slow_threshold_ms = 0.001;  // keep (nearly) every timeline
+  serve::ServeEngine engine(eopt);
+  engine.admit(key, p);
+  for (int i = 0; i < requests; ++i) {
+    auto cached = engine.registry()->find(key);
+    (void)engine.submit(
+        cached != nullptr ? std::move(cached) : p,
+        gen_request_payload(brows, 16, 3, 1000 + static_cast<std::uint64_t>(i)));
+  }
+  engine.drain();
+  const std::string doc = engine.dump_diagnostics();
+  if (out_path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+  } else {
+    std::ofstream f(out_path);
+    if (!f) throw Error("cannot open " + out_path);
+    f << doc;
+    std::fprintf(stderr, "wrote diagnostic dump to %s\n", out_path.c_str());
+  }
   return 0;
 }
 
@@ -740,7 +981,10 @@ int usage() {
                " [--admission lru|tinylfu]\n"
                "                     [--metrics-out m.prom] [--trace-out"
                " t.json] [--trace-sample R]\n"
+               "                     [--slow-trace-us T] [--dump-out d.json]\n"
                "  cwtool metrics dump <input|file.cwsnap> [requests] [--json]\n"
+               "  cwtool debug dump <input|file.cwsnap> [requests]"
+               " [--out d.json]\n"
                "  cwtool shard plan <input> [K] [naive|balanced|locality]\n"
                "  cwtool shard save <input> <out.cwsnap> [K] [strategy] [scheme]\n"
                "  cwtool shard info <file.cwsnap>\n"
@@ -842,13 +1086,31 @@ int main(int argc, char** argv) {
           flags.trace_sample = std::atof(argv[++i]);
           if (flags.trace_sample < 0 || flags.trace_sample > 1) return usage();
           trace_sample_set = true;
+        } else if (arg == "--slow-trace-us") {
+          if (i + 1 >= argc) return usage();
+          flags.slow_trace_us = std::atol(argv[++i]);
+          if (flags.slow_trace_us < 0) return usage();
+        } else if (arg == "--dump-out") {
+          if (i + 1 >= argc) return usage();
+          flags.dump_out = argv[++i];
         } else {
           pos.push_back(arg);
         }
       }
-      // --trace-out alone means "trace everything".
-      if (!flags.trace_out.empty() && !trace_sample_set)
+      // --trace-out alone means "trace everything" — unless the flight
+      // recorder is armed, in which case it exports the kept timelines.
+      if (!flags.trace_out.empty() && !trace_sample_set &&
+          flags.slow_trace_us == 0)
         flags.trace_sample = 1.0;
+      // Test hook: stall the first batch pickup to exercise the watchdog.
+      if (const char* stall = std::getenv("CW_SERVE_BENCH_STALL_MS"))
+        flags.stall_ms = std::max(0L, std::atol(stall));
+      // Latch SIGUSR1 immediately: a dump request that lands during the
+      // prepare or the sequential baseline (before the engine run starts)
+      // must be queued for the forensics monitor, not take the default
+      // action and kill the process.
+      if (!flags.dump_out.empty() || flags.stall_ms > 0)
+        std::signal(SIGUSR1, on_dump_signal);
       const int clients = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
       const int requests = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
       const int workers = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
@@ -867,6 +1129,26 @@ int main(int argc, char** argv) {
           else return usage();
         }
         return cmd_metrics_dump(argv[3], requests, json);
+      }
+      return usage();
+    }
+    if (cmd == "debug") {
+      // here `input` is the debug sub-verb: dump
+      if (input == "dump" && argc >= 4) {
+        int requests = 32;
+        std::string out;
+        for (int i = 4; i < argc; ++i) {
+          const std::string arg = argv[i];
+          if (arg == "--out") {
+            if (i + 1 >= argc) return usage();
+            out = argv[++i];
+          } else if (std::atoi(arg.c_str()) > 0) {
+            requests = std::atoi(arg.c_str());
+          } else {
+            return usage();
+          }
+        }
+        return cmd_debug_dump(argv[3], requests, out);
       }
       return usage();
     }
