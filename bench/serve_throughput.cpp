@@ -17,7 +17,12 @@
 //      slot cost) vs armed with everything kept (worst case). The always-on
 //      configuration is the one production runs with, so it must be within
 //      noise of off;
-//   6. registry amortization — get_or_build hit path vs rebuild per request.
+//   6. registry amortization — get_or_build hit path vs rebuild per request;
+//   7. fault containment — the same serving run with per-request deadlines
+//      and a seeded multiply-fault rate, recording the deadline-miss rate
+//      and the per-code typed-error counts (every request must resolve:
+//      completed + failed == submitted even under chaos).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -28,6 +33,8 @@
 #include "bench_json.hpp"
 #include "common/timer.hpp"
 #include "core/advisor.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "serve/engine.hpp"
@@ -221,6 +228,69 @@ void run_batch_sweep(const std::shared_ptr<const Pipeline>& p,
              wall / requests * 1e9, 0, 0});
 }
 
+/// Experiment 7 worker: the serving run under a seeded multiply-fault rate
+/// and a per-request deadline; records miss rate and typed-error counts.
+void run_fault_chaos(const std::shared_ptr<const Pipeline>& p,
+                     const std::vector<Csr>& payloads, int workers,
+                     int clients, long deadline_ms, double fault_rate,
+                     bench::JsonBenchWriter* json) {
+  fault::FaultInjector& inj = fault::FaultInjector::global();
+  inj.reset();
+  inj.seed(42);
+  if (fault_rate > 0) {
+    fault::FaultSpec spec;
+    spec.probability = fault_rate;
+    inj.arm("engine.multiply", spec);
+  }
+  serve::EngineOptions opt;
+  opt.num_workers = workers;
+  serve::ServeEngine engine(opt);
+  serve::SubmitOptions sopt;
+  if (deadline_ms > 0) sopt.deadline = std::chrono::milliseconds(deadline_ms);
+  const int requests = static_cast<int>(payloads.size());
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int cl = 0; cl < clients; ++cl) {
+    threads.emplace_back([&, cl] {
+      for (int i = cl; i < requests; i += clients)
+        (void)engine.submit(p, payloads[static_cast<std::size_t>(i)], sopt);
+    });
+  }
+  for (auto& th : threads) th.join();
+  engine.drain();
+  const double wall = t.seconds();
+  inj.reset();  // disarm before the next experiment touches the engine
+  const serve::EngineStats st = engine.stats();
+  const auto missed = st.errors[static_cast<std::size_t>(
+      fault::ErrorCode::kDeadlineExceeded)];
+  const auto injected = st.errors[static_cast<std::size_t>(
+      fault::ErrorCode::kInternal)];
+  const double miss_rate =
+      requests > 0 ? static_cast<double>(missed) / requests : 0.0;
+  std::printf("  fault %4.1f%%  deadline %4ld ms  %8.1f ms  %7.0f req/s  "
+              "%llu failed (%llu injected, %llu deadline-missed)%s\n",
+              fault_rate * 100, deadline_ms, wall * 1e3, requests / wall,
+              static_cast<unsigned long long>(st.failed),
+              static_cast<unsigned long long>(injected),
+              static_cast<unsigned long long>(missed),
+              st.completed + st.failed + st.shed == st.submitted
+                  ? ""
+                  : "  ACCOUNTING VIOLATION");
+  using W = bench::JsonBenchWriter;
+  json->add({"fault_chaos",
+             {W::param("fault_pct", static_cast<long long>(fault_rate * 100)),
+              W::param("deadline_ms", deadline_ms),
+              W::param("workers", workers), W::param("clients", clients),
+              W::param("requests", requests),
+              W::param("completed", static_cast<long long>(st.completed)),
+              W::param("failed", static_cast<long long>(st.failed)),
+              W::param("err_internal", static_cast<long long>(injected)),
+              W::param("err_deadline", static_cast<long long>(missed)),
+              W::param("deadline_miss_rate_pct",
+                       fmt_ms(miss_rate * 100))},
+             wall / requests * 1e9, 0, 0});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +412,17 @@ int main(int argc, char** argv) {
             cold_s * 1e9, 0, 0});
   json.add({"registry_hot_get_or_build", {W::param("dataset", name)},
             hot_s * 1e9, 0, 0});
+
+  // --- 7. fault containment -------------------------------------------------
+  // Chaos economics: what a 5% injected multiply-fault rate and a generous
+  // per-request deadline cost the same serving run — and proof that every
+  // request still resolves (the accounting line would call out a leak).
+  std::printf("\nfault containment (%d requests, 4 clients, 4 workers, "
+              "seeded)\n",
+              requests);
+  run_fault_chaos(p, payloads, 4, 4, 0, 0.0, &json);
+  run_fault_chaos(p, payloads, 4, 4, 1000, 0.05, &json);
+
   const std::string json_path = json.write();
   if (!json_path.empty()) std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

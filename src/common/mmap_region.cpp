@@ -10,6 +10,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
+
 namespace cw {
 
 #ifndef _WIN32
@@ -17,32 +20,41 @@ namespace cw {
 std::uint64_t MmapRegion::query_file_size(const std::string& path) {
   struct stat st{};
   if (::stat(path.c_str(), &st) != 0)
-    throw Error("mmap: cannot stat " + path + ": " + std::strerror(errno));
+    throw fault::StatusError(
+        fault::ErrorCode::kIoError,
+        "mmap: cannot stat " + path + ": " + std::strerror(errno));
   return static_cast<std::uint64_t>(st.st_size);
 }
 
 std::shared_ptr<const MmapRegion> MmapRegion::map_file(const std::string& path,
                                                        std::uint64_t offset,
                                                        std::uint64_t length) {
+  fault::inject("mmap.map", fault::ErrorCode::kIoError);
   // CLOEXEC: the descriptor lives as long as the mapping (drop_cache needs
   // it) and is strictly in-process — children must not inherit one fd per
   // cached snapshot.
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0)
-    throw Error("mmap: cannot open " + path + ": " + std::strerror(errno));
+    throw fault::StatusError(
+        fault::ErrorCode::kIoError,
+        "mmap: cannot open " + path + ": " + std::strerror(errno));
 
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     const int err = errno;
     ::close(fd);
-    throw Error("mmap: fstat failed for " + path + ": " + std::strerror(err));
+    throw fault::StatusError(
+        fault::ErrorCode::kIoError,
+        "mmap: fstat failed for " + path + ": " + std::strerror(err));
   }
   const auto file_size = static_cast<std::uint64_t>(st.st_size);
   if (offset > file_size ||
       (length > 0 && length > file_size - offset)) {
     ::close(fd);
-    throw Error("mmap: requested range exceeds " + path + " (" +
-                std::to_string(file_size) + " bytes) — truncated file?");
+    throw fault::StatusError(
+        fault::ErrorCode::kCorruptSnapshot,
+        "mmap: requested range exceeds " + path + " (" +
+            std::to_string(file_size) + " bytes) — truncated file?");
   }
   if (length == 0) length = file_size - offset;
 

@@ -1,0 +1,54 @@
+// Per-code failure counters: the cw_errors_total{code=...} series.
+//
+// Every failure that crosses a plane boundary bumps exactly one of these,
+// keyed by its taxonomy code (fault/status.hpp). The instruments are
+// interned once at construction — the hot failure paths never touch the
+// metrics registry's lock — and engines/registries sharing one
+// MetricsRegistry share the instruments, so the per-code totals aggregate
+// across the whole serving plane (the same (name, labels) → same
+// instrument contract as every other cw_* series).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace cw::fault {
+
+class ErrorCounters {
+ public:
+  explicit ErrorCounters(obs::MetricsRegistry& m) {
+    for (std::size_t i = 1; i < kNumErrorCodes; ++i)
+      counters_[i] = &m.counter(
+          "cw_errors_total", "Failures by fault-taxonomy code",
+          {{"code", code_label(static_cast<ErrorCode>(i))}});
+  }
+
+  /// Count one failure of `code`. kOk (and out-of-range values) are
+  /// ignored — a success is not an error series sample.
+  void bump(ErrorCode code) {
+    const auto i = static_cast<std::size_t>(code);
+    if (i >= 1 && i < kNumErrorCodes) counters_[i]->inc();
+  }
+
+  [[nodiscard]] std::uint64_t value(ErrorCode code) const {
+    const auto i = static_cast<std::size_t>(code);
+    return (i >= 1 && i < kNumErrorCodes) ? counters_[i]->value() : 0;
+  }
+
+  /// Snapshot of every code's count, indexed by ErrorCode ([0] stays 0).
+  [[nodiscard]] std::array<std::uint64_t, kNumErrorCodes> snapshot() const {
+    std::array<std::uint64_t, kNumErrorCodes> out{};
+    for (std::size_t i = 1; i < kNumErrorCodes; ++i)
+      out[i] = counters_[i]->value();
+    return out;
+  }
+
+ private:
+  std::array<obs::Counter*, kNumErrorCodes> counters_{};
+};
+
+}  // namespace cw::fault

@@ -1,0 +1,136 @@
+#include "fault/injector.hpp"
+
+#include <cstdlib>
+
+namespace cw::fault {
+
+FaultInjector& FaultInjector::global() {
+  // Leaked on purpose: probes may run from static destructors (e.g. a
+  // cached mmap region unwinding after main), and a destructed injector
+  // would turn the armed() load into a use-after-free.
+  static FaultInjector* g = [] {
+    auto* injector = new FaultInjector();
+    injector->arm_from_env();
+    return injector;
+  }();
+  return *g;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.spec = spec;
+  s.hits = 0;
+  s.fires = 0;
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(std::uint64_t s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(s);
+}
+
+int FaultInjector::arm_from_spec(const std::string& spec) {
+  int armed = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    CW_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+                 "fault: malformed spec token '" << token
+                                                << "' (want site=p or site=@N)");
+    const std::string site = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    FaultSpec fs;
+    if (value[0] == '@') {
+      char* parse_end = nullptr;
+      fs.fire_on_hit = std::strtoull(value.c_str() + 1, &parse_end, 10);
+      CW_CHECK_MSG(parse_end != nullptr && *parse_end == '\0' &&
+                       fs.fire_on_hit > 0,
+                   "fault: malformed @N trigger in '" << token << "'");
+      fs.max_fires = 1;
+    } else {
+      char* parse_end = nullptr;
+      fs.probability = std::strtod(value.c_str(), &parse_end);
+      CW_CHECK_MSG(parse_end != nullptr && *parse_end == '\0' &&
+                       fs.probability >= 0.0 && fs.probability <= 1.0,
+                   "fault: probability in '" << token
+                                             << "' must be a number in [0,1]");
+    }
+    arm(site, fs);
+    ++armed;
+  }
+  return armed;
+}
+
+int FaultInjector::arm_from_env(const char* var) {
+  if (const char* seed_text = std::getenv("CW_FAULT_SEED");
+      seed_text != nullptr && *seed_text != '\0')
+    seed(std::strtoull(seed_text, nullptr, 10));
+  const char* spec = std::getenv(var);
+  if (spec == nullptr || *spec == '\0') return 0;
+  return arm_from_spec(spec);
+}
+
+void FaultInjector::check(const char* site, ErrorCode default_code) {
+  ErrorCode fired_code = ErrorCode::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    Site& s = it->second;
+    ++s.hits;
+    if (s.spec.max_fires > 0 && s.fires >= s.spec.max_fires) return;
+    const bool fire = s.spec.fire_on_hit > 0
+                          ? s.hits == s.spec.fire_on_hit
+                          : rng_.uniform() < s.spec.probability;
+    if (!fire) return;
+    ++s.fires;
+    fired_code =
+        s.spec.code != ErrorCode::kOk ? s.spec.code : default_code;
+  }
+  throw StatusError(fired_code,
+                    std::string("injected fault at ") + site + " (" +
+                        code_label(fired_code) + ")");
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FaultInjector::fired_sites()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [site, s] : sites_)
+    if (s.fires > 0) out.emplace_back(site, s.fires);
+  return out;
+}
+
+}  // namespace cw::fault

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the containment plane's chaos drills.
+//
+// Sites are string-named probe points compiled permanently into the
+// serving and snapshot-IO paths (`snapshot.read`, `snapshot.checksum`,
+// `mmap.map`, `engine.multiply`, `shard.multiply_k`, `registry.admit`).
+// A probe at a DISARMED injector costs exactly one relaxed atomic load —
+// no map lookup, no lock, no string hash — so the hooks stay on in release
+// builds and the chaos CI exercises the very binary that ships.
+//
+// Arming is per site, by per-hit probability or fire-on-the-Nth-hit, with
+// an explicitly seeded xoshiro RNG (common/rng.hpp): the same seed and the
+// same single-threaded hit order reproduce the same fires, and @N specs
+// are deterministic regardless of scheduling. Drive it programmatically
+// (tests), from `cwtool serve-bench --fault site=spec`, or from the
+// `CW_FAULT` environment variable (applied once, on first probe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/status.hpp"
+
+namespace cw::fault {
+
+/// How an armed site fires. Exactly one trigger is active: `fire_on_hit`
+/// when non-zero (deterministic), else `probability` per hit (seeded RNG).
+struct FaultSpec {
+  /// Per-hit fire probability in [0, 1]; 1 fires on every hit.
+  double probability = 0.0;
+  /// Fire exactly on the Nth hit of the site (1-based). 0 = use
+  /// probability instead.
+  std::uint64_t fire_on_hit = 0;
+  /// Stop firing after this many fires; 0 = unlimited. arm_from_spec's
+  /// `@N` grammar sets 1 (a one-shot fault).
+  std::uint64_t max_fires = 0;
+  /// Code of the injected StatusError; kOk = the probe site's own default
+  /// (snapshot sites throw kCorruptSnapshot/kIoError, multiply sites
+  /// kInternal).
+  ErrorCode code = ErrorCode::kOk;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector every inject() probe consults. Applies
+  /// CW_FAULT / CW_FAULT_SEED once on first use; intentionally leaked so
+  /// probes stay valid during static destruction.
+  static FaultInjector& global();
+
+  void arm(const std::string& site, FaultSpec spec);
+  void disarm(const std::string& site);
+
+  /// Disarm every site and zero the hit/fire counters (test isolation).
+  void reset();
+
+  /// Re-seed the RNG behind probability-armed sites.
+  void seed(std::uint64_t s);
+
+  /// Arm sites from a comma-separated spec string:
+  ///   "engine.multiply=0.02"  — 2% per-hit probability
+  ///   "snapshot.read=@3"      — fire exactly on the 3rd hit, once
+  ///   "a=0.5,b=@1"            — several sites at once
+  /// Returns how many sites were armed; throws Error on a malformed spec.
+  int arm_from_spec(const std::string& spec);
+
+  /// Arm from the environment: `var` holds an arm_from_spec string,
+  /// CW_FAULT_SEED (optional) a decimal RNG seed. Returns sites armed (0
+  /// when the variable is unset or empty).
+  int arm_from_env(const char* var = "CW_FAULT");
+
+  /// One relaxed load — the whole cost of a probe while nothing is armed.
+  [[nodiscard]] bool armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Count a hit at `site` and throw StatusError when it fires. Called via
+  /// inject() below, which short-circuits on armed() first.
+  void check(const char* site, ErrorCode default_code);
+
+  /// Lifetime hit/fire counts of a site (0 if never armed). Hits are only
+  /// counted while the injector has ANY armed site — the zero-cost
+  /// disarmed path does not track traffic.
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
+  [[nodiscard]] std::uint64_t fires(const std::string& site) const;
+
+  /// (site, fires) for every site that fired at least once — the
+  /// serve-bench summary's injection report.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  fired_sites() const;
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  std::atomic<int> armed_sites_{0};
+  mutable std::mutex mu_;
+  Rng rng_{0xfa017ULL};  // explicit default seed: deterministic by default
+  std::unordered_map<std::string, Site> sites_;
+};
+
+/// The probe compiled into the serving/IO paths. Zero-cost (one relaxed
+/// load) while nothing is armed anywhere.
+inline void inject(const char* site, ErrorCode default_code) {
+  FaultInjector& g = FaultInjector::global();
+  if (g.armed()) g.check(site, default_code);
+}
+
+}  // namespace cw::fault

@@ -1,0 +1,70 @@
+#include "fault/quarantine.hpp"
+
+#include <utility>
+
+namespace cw::fault {
+
+Quarantine::Quarantine(QuarantineOptions opt) : opt_(opt) {}
+
+void Quarantine::put(const std::string& key, std::string reason) {
+  if (opt_.ttl.count() <= 0 || opt_.capacity == 0) return;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= opt_.capacity && map_.find(key) == map_.end()) {
+    // At capacity, sacrifice the entry closest to expiry: it was the least
+    // protection left to lose.
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it)
+      if (it->second.expires < victim->second.expires) victim = it;
+    map_.erase(victim);
+  }
+  map_[key] = Entry{now + opt_.ttl, std::move(reason)};
+  ++quarantined_;
+}
+
+bool Quarantine::blocked(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  if (Clock::now() >= it->second.expires) {
+    map_.erase(it);  // TTL elapsed: the key earns another chance
+    return false;
+  }
+  ++blocked_;
+  return true;
+}
+
+std::optional<std::string> Quarantine::reason(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || Clock::now() >= it->second.expires)
+    return std::nullopt;
+  return it->second.reason;
+}
+
+void Quarantine::release(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(key);
+}
+
+void Quarantine::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::size_t Quarantine::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::uint64_t Quarantine::quarantined_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+std::uint64_t Quarantine::blocked_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocked_;
+}
+
+}  // namespace cw::fault

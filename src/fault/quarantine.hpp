@@ -1,0 +1,73 @@
+// TTL-bounded negative cache for inputs proven bad — the recovery plane's
+// memory of which snapshots not to trust.
+//
+// A snapshot whose load fails its checksum once might be a torn read; one
+// that fails again after a retry from disk is bad on disk. The registry
+// quarantines that fingerprint here so a hot serving loop fails fast
+// (kCorruptSnapshot, microseconds) instead of re-reading and re-hashing a
+// multi-GB bad file on every admission attempt. Entries expire after a TTL
+// — an operator who replaces the file gets it re-admitted without a
+// restart — and the map is capacity-bounded so an adversarial stream of
+// distinct bad keys cannot grow it without limit.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cw::fault {
+
+struct QuarantineOptions {
+  /// How long a key stays blocked. <= 0 disables quarantining entirely
+  /// (put() becomes a no-op).
+  std::chrono::milliseconds ttl{30000};
+  /// Max simultaneously quarantined keys; at capacity, the entry closest
+  /// to expiry is dropped to make room.
+  std::size_t capacity = 1024;
+};
+
+class Quarantine {
+ public:
+  explicit Quarantine(QuarantineOptions opt = {});
+  Quarantine(const Quarantine&) = delete;
+  Quarantine& operator=(const Quarantine&) = delete;
+
+  /// Block `key` for the TTL (re-quarantining refreshes the clock).
+  void put(const std::string& key, std::string reason);
+
+  /// Is `key` currently blocked? Expired entries are dropped lazily here;
+  /// a true return counts toward blocked_total().
+  [[nodiscard]] bool blocked(const std::string& key);
+
+  /// Why `key` is blocked, or nullopt when it is not.
+  [[nodiscard]] std::optional<std::string> reason(const std::string& key);
+
+  /// Drop one key / every key (operator override: "I replaced the file").
+  void release(const std::string& key);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  /// Lifetime keys quarantined (refreshes included).
+  [[nodiscard]] std::uint64_t quarantined_total() const;
+  /// Lifetime lookups refused because the key was blocked.
+  [[nodiscard]] std::uint64_t blocked_total() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Clock::time_point expires;
+    std::string reason;
+  };
+
+  const QuarantineOptions opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace cw::fault

@@ -1,0 +1,74 @@
+#include "fault/status.hpp"
+
+namespace cw::fault {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "kOk";
+    case ErrorCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case ErrorCode::kShed:
+      return "kShed";
+    case ErrorCode::kCorruptSnapshot:
+      return "kCorruptSnapshot";
+    case ErrorCode::kIoError:
+      return "kIoError";
+    case ErrorCode::kCancelled:
+      return "kCancelled";
+    case ErrorCode::kInternal:
+      return "kInternal";
+  }
+  return "kInternal";
+}
+
+const char* code_label(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kShed:
+      return "shed";
+    case ErrorCode::kCorruptSnapshot:
+      return "corrupt_snapshot";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode code_of(const std::exception_ptr& error) noexcept {
+  if (!error) return ErrorCode::kOk;
+  try {
+    std::rethrow_exception(error);
+  } catch (const StatusError& e) {
+    return e.code();
+  } catch (...) {
+    return ErrorCode::kInternal;
+  }
+}
+
+Status status_of(const std::exception_ptr& error) {
+  Status s;
+  if (!error) return s;
+  try {
+    std::rethrow_exception(error);
+  } catch (const StatusError& e) {
+    s.code = e.code();
+    s.message = e.what();
+  } catch (const std::exception& e) {
+    s.code = ErrorCode::kInternal;
+    s.message = e.what();
+  } catch (...) {
+    s.code = ErrorCode::kInternal;
+    s.message = "unknown error";
+  }
+  return s;
+}
+
+}  // namespace cw::fault

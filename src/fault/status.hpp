@@ -1,0 +1,92 @@
+// Typed error taxonomy for the serving stack's fault-containment plane.
+//
+// Failures that cross a plane boundary (ServeEngine/ShardedEngine futures,
+// PipelineRegistry loads, snapshot IO) carry an ErrorCode so callers can
+// branch on WHAT failed without parsing strings: a deadline miss must never
+// be retried, a corrupt snapshot is quarantinable, a transient IO or
+// internal kernel error is worth one retry on a fresh worker. StatusError
+// derives from cw::Error, so every existing `catch (const Error&)` handler
+// keeps working — the taxonomy refines the exception hierarchy instead of
+// replacing it, and an exception that reaches a boundary untyped simply
+// classifies as kInternal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cw::fault {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  /// The request's deadline passed before (or between) its multiplies; the
+  /// multiply was never run.
+  kDeadlineExceeded = 1,
+  /// Refused at the queue cap (try_submit backpressure).
+  kShed = 2,
+  /// Snapshot bytes do not match their stored digest (or a quarantined
+  /// fingerprint was asked for again).
+  kCorruptSnapshot = 3,
+  /// A syscall-level IO failure: open/stat/mmap/read.
+  kIoError = 4,
+  /// Submitted after shutdown, or abandoned by an engine stop.
+  kCancelled = 5,
+  /// Any failure that reached a plane boundary without a finer type.
+  kInternal = 6,
+};
+
+inline constexpr std::size_t kNumErrorCodes = 7;
+
+/// Enumerator-style name ("kDeadlineExceeded") for logs and test output.
+const char* to_string(ErrorCode code);
+
+/// Prometheus label value ("deadline_exceeded") — the `code` label of
+/// cw_errors_total and the vocabulary of event-log labels.
+const char* code_label(ErrorCode code);
+
+/// The typed exception the serving planes throw across boundaries.
+class StatusError : public Error {
+ public:
+  StatusError(ErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Value-shaped view of a failure, for callers that want to inspect rather
+/// than catch (cwtool summaries, tests).
+struct Status {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+  [[nodiscard]] bool ok() const { return code == ErrorCode::kOk; }
+};
+
+/// Classify a captured exception: a StatusError yields its own code, any
+/// other exception kInternal. Null classifies as kOk.
+[[nodiscard]] ErrorCode code_of(const std::exception_ptr& error) noexcept;
+
+/// code_of() plus the exception's what() text.
+[[nodiscard]] Status status_of(const std::exception_ptr& error);
+
+/// Load-path failures worth one retry from disk: a torn read or transient
+/// IO error can heal; a second identical failure means the file itself is
+/// bad (quarantine it). Deadline/cancel/shed failures must never re-read.
+[[nodiscard]] inline bool retryable_load(ErrorCode code) noexcept {
+  return code == ErrorCode::kIoError || code == ErrorCode::kCorruptSnapshot ||
+         code == ErrorCode::kInternal;
+}
+
+/// Multiply-path failures worth one retry on a fresh worker: transient
+/// internal/IO faults. A deadline miss or cancellation is final by
+/// definition, and a corrupt snapshot will corrupt the retry identically.
+[[nodiscard]] inline bool retryable_multiply(ErrorCode code) noexcept {
+  return code == ErrorCode::kIoError || code == ErrorCode::kInternal;
+}
+
+}  // namespace cw::fault

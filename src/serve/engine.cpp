@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fault/injector.hpp"
 #include "obs/exposition.hpp"
 #include "obs/sampler.hpp"
 
@@ -94,7 +95,8 @@ ServeEngine::ServeEngine(EngineOptions opt)
                   ? std::make_shared<obs::TraceCollector>(obs::TraceOptions{
                         opt_.trace_sample_rate, std::size_t{1} << 16})
                   : nullptr),
-      m_(*metrics_) {
+      m_(*metrics_),
+      errors_(*metrics_) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "engine: need at least one worker");
   CW_CHECK_MSG(opt_.max_batch >= 1, "engine: max_batch must be >= 1");
   stall_armed_.store(opt_.debug_stall_first.count() > 0,
@@ -115,15 +117,16 @@ std::shared_ptr<const Pipeline> ServeEngine::admit(
 }
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
-                                     Csr b) {
-  return submit(std::move(pipeline),
-                std::make_shared<const Csr>(std::move(b)));
+                                     Csr b, const SubmitOptions& opts) {
+  return submit(std::move(pipeline), std::make_shared<const Csr>(std::move(b)),
+                opts);
 }
 
 std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
-                                     std::shared_ptr<const Csr> b) {
+                                     std::shared_ptr<const Csr> b,
+                                     const SubmitOptions& opts) {
   auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true,
-                         nullptr, -1, /*external_trace=*/false);
+                         nullptr, -1, /*external_trace=*/false, nullptr, opts);
   CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
   return std::move(*result);
 }
@@ -131,31 +134,33 @@ std::future<Csr> ServeEngine::submit(std::shared_ptr<const Pipeline> pipeline,
 std::future<Csr> ServeEngine::submit_traced(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
     std::shared_ptr<obs::TraceContext> trace, std::int64_t shard,
-    std::shared_ptr<obs::TraceContext> flight) {
+    std::shared_ptr<obs::TraceContext> flight, const SubmitOptions& opts) {
   auto result = enqueue_(std::move(pipeline), std::move(b), /*block=*/true,
                          std::move(trace), shard, /*external_trace=*/true,
-                         std::move(flight));
+                         std::move(flight), opts);
   CW_CHECK_MSG(result.has_value(), "engine: blocking submit cannot shed");
   return std::move(*result);
 }
 
 std::optional<std::future<Csr>> ServeEngine::try_submit(
-    std::shared_ptr<const Pipeline> pipeline, Csr b) {
+    std::shared_ptr<const Pipeline> pipeline, Csr b,
+    const SubmitOptions& opts) {
   return try_submit(std::move(pipeline),
-                    std::make_shared<const Csr>(std::move(b)));
+                    std::make_shared<const Csr>(std::move(b)), opts);
 }
 
 std::optional<std::future<Csr>> ServeEngine::try_submit(
-    std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b) {
+    std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
+    const SubmitOptions& opts) {
   return enqueue_(std::move(pipeline), std::move(b), /*block=*/false, nullptr,
-                  -1, /*external_trace=*/false);
+                  -1, /*external_trace=*/false, nullptr, opts);
 }
 
 std::optional<std::future<Csr>> ServeEngine::enqueue_(
     std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
     bool block, std::shared_ptr<obs::TraceContext> trace,
     std::int64_t trace_shard, bool external_trace,
-    std::shared_ptr<obs::TraceContext> flight_ctx) {
+    std::shared_ptr<obs::TraceContext> flight_ctx, const SubmitOptions& opts) {
   CW_CHECK_MSG(pipeline != nullptr, "engine: null pipeline handle");
   CW_CHECK_MSG(b != nullptr, "engine: null request payload");
   const std::uint64_t rid =
@@ -181,52 +186,197 @@ std::optional<std::future<Csr>> ServeEngine::enqueue_(
     }
   }
   job.enqueued = Clock::now();
+  job.deadline = opts.deadline_at;
+  if (opts.deadline.count() > 0)
+    job.deadline = std::min(job.deadline, job.enqueued + opts.deadline);
   job.slot = std::make_shared<obs::RequestSlot>(rid, job.enqueued,
                                                 trace_shard);
   std::future<Csr> result = job.result.get_future();
 
+  // Dead on arrival: the deadline passed before the request could queue.
+  // Resolve the typed error without consuming a queue slot (never counted
+  // submitted).
+  if (job.deadline <= job.enqueued) {
+    reject_job_(std::move(job), fault::ErrorCode::kDeadlineExceeded,
+                "engine: deadline expired before enqueue");
+    return result;
+  }
+
+  std::vector<Job> victims;
+  bool shed = false;
+  fault::ErrorCode reject = fault::ErrorCode::kOk;
+  const char* reject_msg = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
-    if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
+    if (stopping_) {
+      // The submit/stop race is a normal shutdown condition: resolve the
+      // future with kCancelled instead of tearing the caller down with a
+      // thrown Error.
+      reject = fault::ErrorCode::kCancelled;
+      reject_msg = "engine: submit after shutdown";
+    } else if (opt_.max_queue_depth > 0 && queued_ >= opt_.max_queue_depth) {
       if (!block) {
-        m_.shed.inc();
-        if (job.own_flight) flight_->record_shed(rid);
-        if (events_->enabled(obs::LogLevel::kWarn))
-          events_->warn("engine", "request shed at queue cap",
-                        {{"request", std::to_string(rid)},
-                         {"queue_depth", std::to_string(queued_)}});
-        return std::nullopt;
+        // Deadline-aware shedding: before refusing the arrival, reap any
+        // queued request whose deadline has already passed — it can never
+        // produce a product, so the slot it holds belongs to a request
+        // that still can. Shed the arrival only when no victim exists.
+        if (cancel_expired_locked_(Clock::now(), &victims) == 0) {
+          shed = true;
+          m_.shed.inc();
+          errors_.bump(fault::ErrorCode::kShed);
+          if (job.own_flight) flight_->record_shed(rid);
+          if (events_->enabled(obs::LogLevel::kWarn))
+            events_->warn("engine", "request shed at queue cap",
+                          {{"request", std::to_string(rid)},
+                           {"queue_depth", std::to_string(queued_)}});
+        }
+      } else {
+        // Backpressure: park the caller until a worker drains the queue
+        // below the cap, an expired victim frees a slot, the caller's own
+        // deadline passes, or shutdown makes the wait moot.
+        for (;;) {
+          if (stopping_) {
+            reject = fault::ErrorCode::kCancelled;
+            reject_msg = "engine: submit after shutdown";
+            break;
+          }
+          if (queued_ < opt_.max_queue_depth) break;
+          if (cancel_expired_locked_(Clock::now(), &victims) > 0) break;
+          if (job.deadline != Clock::time_point::max() &&
+              Clock::now() >= job.deadline) {
+            reject = fault::ErrorCode::kDeadlineExceeded;
+            reject_msg = "engine: deadline expired waiting for queue space";
+            break;
+          }
+          if (job.deadline != Clock::time_point::max())
+            space_cv_.wait_until(lock, job.deadline);
+          else
+            space_cv_.wait(lock);
+        }
       }
-      // Backpressure: park the caller until a worker drains the queue below
-      // the cap. shutdown() notifies too, so a blocked producer fails fast
-      // instead of deadlocking a stopping engine.
-      space_cv_.wait(lock, [this] {
-        return stopping_ || queued_ < opt_.max_queue_depth;
-      });
-      CW_CHECK_MSG(!stopping_, "engine: submit after shutdown");
     }
-    const Pipeline* key = pipeline.get();
-    live_.emplace(rid, job.slot);
-    Group& group = groups_[key];
-    if (!group.pipeline) group.pipeline = std::move(pipeline);
-    // A group enters the round-robin only when it transitions empty→pending;
-    // a worker re-queues it after a pickup if jobs remain. A group whose
-    // batch window is open is owned by a parked worker instead: it is never
-    // in ready_ (jobs non-empty), and the arrival is signalled to the owner
-    // so it can re-check the max_batch cutoff.
-    if (group.jobs.empty()) ready_.push_back(key);
-    group.jobs.push_back(std::move(job));
-    m_.submitted.inc();
-    ++queued_;
-    if (queued_ > max_queued_) max_queued_ = queued_;
-    // Wake every parked window on any arrival: the owner of this group's
-    // window re-checks max_batch; other windows re-check whether they must
-    // yield to newly-ready groups or force-close at the queue cap.
-    if (open_windows_ > 0) window_cv_.notify_all();
+    if (!shed && reject == fault::ErrorCode::kOk) {
+      const Pipeline* key = pipeline.get();
+      live_.emplace(rid, job.slot);
+      Group& group = groups_[key];
+      if (!group.pipeline) group.pipeline = std::move(pipeline);
+      // A group enters the round-robin only when it transitions
+      // empty→pending; a worker re-queues it after a pickup if jobs remain.
+      // A group whose batch window is open is owned by a parked worker
+      // instead: it is never in ready_ (jobs non-empty), and the arrival is
+      // signalled to the owner so it can re-check the max_batch cutoff.
+      if (group.jobs.empty()) ready_.push_back(key);
+      group.jobs.push_back(std::move(job));
+      m_.submitted.inc();
+      ++queued_;
+      if (queued_ > max_queued_) max_queued_ = queued_;
+      // Wake every parked window on any arrival: the owner of this group's
+      // window re-checks max_batch; other windows re-check whether they
+      // must yield to newly-ready groups or force-close at the queue cap.
+      if (open_windows_ > 0) window_cv_.notify_all();
+    }
+  }
+  if (!victims.empty()) {
+    finish_deadline_cancelled_(victims, Clock::now());
+    space_cv_.notify_all();  // the reaped slots are free
+    idle_cv_.notify_all();   // their failed counts may complete a drain()
+  }
+  if (shed) return std::nullopt;
+  if (reject != fault::ErrorCode::kOk) {
+    reject_job_(std::move(job), reject, reject_msg);
+    return result;
   }
   work_cv_.notify_one();
   return result;
+}
+
+std::size_t ServeEngine::cancel_expired_locked_(Clock::time_point now,
+                                                std::vector<Job>* out) {
+  std::size_t n = 0;
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    const Pipeline* key = *it;
+    Group& group = groups_.at(key);
+    for (auto jit = group.jobs.begin(); jit != group.jobs.end();) {
+      if (jit->deadline <= now) {
+        out->push_back(std::move(*jit));
+        jit = group.jobs.erase(jit);
+        ++n;
+      } else {
+        ++jit;
+      }
+    }
+    if (group.jobs.empty()) {
+      groups_.erase(key);
+      it = ready_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (n == 0) return 0;
+  queued_ -= n;
+  // The victims count as failed — their futures WILL resolve with the typed
+  // error once the caller runs finish_deadline_cancelled_ — under mu_, the
+  // same consistency contract as the worker's commit.
+  for (auto vit = out->end() - static_cast<std::ptrdiff_t>(n);
+       vit != out->end(); ++vit) {
+    m_.failed.inc();
+    errors_.bump(fault::ErrorCode::kDeadlineExceeded);
+    m_.latency_ms.record(ms_between(vit->enqueued, now));
+    if (vit->slot) {
+      vit->slot->stage.store("deadline", std::memory_order_relaxed);
+      live_.erase(vit->slot->id);
+    }
+  }
+  return n;
+}
+
+void ServeEngine::finish_deadline_cancelled_(std::vector<Job>& victims,
+                                             Clock::time_point now) {
+  for (Job& job : victims) {
+    const double ms = ms_between(job.enqueued, now);
+    const char* tag = job.trace_shard >= 0 ? "shard" : nullptr;
+    if (job.trace) {
+      job.trace->add("queue-wait", job.enqueued, now, tag, job.trace_shard);
+      job.trace->add("deadline", now, now, tag, job.trace_shard);
+    }
+    if (job.flight) {
+      job.flight->add("queue-wait", job.enqueued, now, tag, job.trace_shard);
+      job.flight->add("deadline", now, now, tag, job.trace_shard);
+    }
+    if (events_->enabled(obs::LogLevel::kWarn))
+      events_->warn(
+          "engine", "request cancelled: deadline expired in queue",
+          {{"request",
+            std::to_string(job.slot ? job.slot->id : std::uint64_t{0})},
+           {"code",
+            fault::code_label(fault::ErrorCode::kDeadlineExceeded)}});
+    if (job.own_flight)
+      flight_->complete_error(job.flight, ms, "deadline expired in queue");
+    if (job.own_trace) tracer_->commit(job.trace);
+    job.result.set_exception(std::make_exception_ptr(fault::StatusError(
+        fault::ErrorCode::kDeadlineExceeded,
+        "engine: deadline expired in queue")));
+  }
+}
+
+void ServeEngine::reject_job_(Job&& job, fault::ErrorCode code,
+                              const std::string& msg) {
+  const Clock::time_point now = Clock::now();
+  const double ms = ms_between(job.enqueued, now);
+  if (job.slot)
+    job.slot->stage.store(
+        code == fault::ErrorCode::kCancelled ? "cancelled" : "deadline",
+        std::memory_order_relaxed);
+  errors_.bump(code);
+  if (events_->enabled(obs::LogLevel::kWarn))
+    events_->warn("engine", "request rejected: " + msg,
+                  {{"request",
+                    std::to_string(job.slot ? job.slot->id : std::uint64_t{0})},
+                   {"code", fault::code_label(code)}});
+  if (job.own_flight) flight_->complete_error(job.flight, ms, msg);
+  if (job.own_trace) tracer_->commit(job.trace);
+  job.result.set_exception(
+      std::make_exception_ptr(fault::StatusError(code, msg)));
 }
 
 void ServeEngine::drain() {
@@ -248,6 +398,9 @@ void ServeEngine::close_batch_windows() {
 }
 
 void ServeEngine::shutdown() {
+  // Flush any open batch windows first: a stopping engine must not wait out
+  // latency budgets for arrivals that can no longer come.
+  close_batch_windows();
   drain();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -295,6 +448,7 @@ EngineStats ServeEngine::stats() const {
     s.latency_max_ms = lat.max;
   }
   if (registry_) s.registry = registry_->stats();
+  s.errors = errors_.snapshot();
   return s;
 }
 
@@ -615,6 +769,24 @@ void ServeEngine::worker_loop_() {
     std::vector<Outcome> outcomes(batch.size());
     std::vector<double> done_ms(batch.size(), 0.0);
 
+    // Deadline gate at pickup: a request whose budget expired while queued
+    // or window-parked resolves its typed error now and never reaches a
+    // kernel. (Queue-resident expiry is also reaped by deadline-aware
+    // shedding; this catches window-parked jobs and uncapped queues.)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline > batch_start) continue;
+      outcomes[i].error = std::make_exception_ptr(fault::StatusError(
+          fault::ErrorCode::kDeadlineExceeded,
+          "engine: deadline expired before multiply"));
+      ++bad;
+      done_ms[i] = ms_between(batch[i].enqueued, batch_start);
+      if (batch[i].slot)
+        batch[i].slot->stage.store("deadline", std::memory_order_relaxed);
+      stamp(batch[i], "deadline", batch_start, batch_start,
+            batch[i].trace_shard >= 0 ? "shard" : nullptr,
+            batch[i].trace_shard);
+    }
+
     // Fused stacked multiply: column-stack every compatible B (right row
     // count, within the stacked-column cap) into one panel and run a single
     // kernel launch for all of them — bit-identical per slice to the
@@ -627,6 +799,7 @@ void ServeEngine::worker_loop_() {
       std::vector<std::size_t> stackable;
       std::int64_t total_cols = 0;
       for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (outcomes[i].error) continue;  // expired at pickup
         const Csr& b = *batch[i].b;
         if (b.nrows() != want_rows) continue;
         if (opt_.max_stacked_cols > 0 &&
@@ -644,6 +817,10 @@ void ServeEngine::worker_loop_() {
             batch[i].slot->stage.store("multiply", std::memory_order_relaxed);
         const Clock::time_point mul_begin = Clock::now();
         try {
+          fault::inject(batch[stackable[0]].trace_shard >= 0
+                            ? "shard.multiply_k"
+                            : "engine.multiply",
+                        fault::ErrorCode::kInternal);
           std::vector<Csr> products = pipeline->multiply_stacked(bs);
           const Clock::time_point mul_end = Clock::now();
           for (const std::size_t i : stackable)
@@ -690,15 +867,36 @@ void ServeEngine::worker_loop_() {
     }
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (outcomes[i].value.has_value()) continue;  // fulfilled by the panel
+      if (outcomes[i].value.has_value() || outcomes[i].error)
+        continue;  // fulfilled by the panel / expired at pickup
       const bool timed = batch[i].trace != nullptr ||
                          batch[i].flight != nullptr;
+      // Re-check between batch-mates' multiplies: an earlier request's long
+      // kernel may have consumed this one's whole budget, and an expired
+      // request must not spend a kernel launch.
+      const Clock::time_point pre = Clock::now();
+      if (batch[i].deadline <= pre) {
+        outcomes[i].error = std::make_exception_ptr(fault::StatusError(
+            fault::ErrorCode::kDeadlineExceeded,
+            "engine: deadline expired before multiply"));
+        ++bad;
+        done_ms[i] = ms_between(batch[i].enqueued, pre);
+        if (batch[i].slot)
+          batch[i].slot->stage.store("deadline", std::memory_order_relaxed);
+        stamp(batch[i], "deadline", pre, pre,
+              batch[i].trace_shard >= 0 ? "shard" : nullptr,
+              batch[i].trace_shard);
+        continue;
+      }
       if (batch[i].slot)
         batch[i].slot->stage.store("multiply", std::memory_order_relaxed);
       const Clock::time_point mul_begin =
           timed ? Clock::now() : Clock::time_point{};
       Clock::time_point mul_end{};
       try {
+        fault::inject(batch[i].trace_shard >= 0 ? "shard.multiply_k"
+                                                : "engine.multiply",
+                      fault::ErrorCode::kInternal);
         Csr c = pipeline->multiply(*batch[i].b);
         if (timed) mul_end = Clock::now();
         if (batch[i].slot)
@@ -747,7 +945,9 @@ void ServeEngine::worker_loop_() {
         events_->error(
             "engine", "request failed: " + describe_error(outcomes[i].error),
             {{"request",
-              std::to_string(job.slot ? job.slot->id : std::uint64_t{0})}});
+              std::to_string(job.slot ? job.slot->id : std::uint64_t{0})},
+             {"code",
+              fault::code_label(fault::code_of(outcomes[i].error))}});
       }
       if (!job.own_flight) continue;
       if (outcomes[i].error)
@@ -763,6 +963,8 @@ void ServeEngine::worker_loop_() {
       std::lock_guard<std::mutex> lock(mu_);
       m_.completed.inc(ok);
       m_.failed.inc(bad);
+      for (const Outcome& o : outcomes)
+        if (o.error) errors_.bump(fault::code_of(o.error));
       m_.batches.inc();
       if (batch.size() > 1) m_.coalesced.inc(batch.size());
       if (stacked_batches > 0) {

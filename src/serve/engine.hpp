@@ -31,6 +31,7 @@
 // over the metrics.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,6 +45,8 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "fault/counters.hpp"
+#include "fault/status.hpp"
 #include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +55,22 @@
 #include "serve/registry.hpp"
 
 namespace cw::serve {
+
+/// Per-request submission controls, accepted by every submit overload (and
+/// forwarded by the sharded scatter path). Default: no deadline.
+struct SubmitOptions {
+  /// Relative deadline, measured from submit time; <= 0 = none. Once it
+  /// expires the request resolves fault::ErrorCode::kDeadlineExceeded
+  /// WITHOUT running its multiply — enforced at queue pickup, at batch-
+  /// window close, and between batch-mates' multiplies.
+  std::chrono::microseconds deadline{0};
+  /// Absolute deadline (steady clock); max() = none. When both are set the
+  /// earlier wins. The scatter path (shard/engine.hpp) forwards the parent
+  /// request's absolute deadline here so all K per-shard sub-requests race
+  /// one shared clock instead of K restarted budgets.
+  std::chrono::steady_clock::time_point deadline_at =
+      std::chrono::steady_clock::time_point::max();
+};
 
 struct EngineOptions {
   /// Worker threads draining the queue. Each runs whole multiplies; the
@@ -174,6 +193,11 @@ struct EngineStats {
   /// Embedded registry counters (hit rate, admission rejects, residency
   /// bytes); all-zero when EngineOptions::registry is disabled.
   RegistryStats registry = {};
+  /// Failures by fault-taxonomy code, indexed by fault::ErrorCode (the
+  /// cw_errors_total{code=...} series; [kOk] stays 0). Deadline-cancelled
+  /// and multiply-failed requests land in `failed` AND here; sheds land in
+  /// `shed` and here under kShed.
+  std::array<std::uint64_t, fault::kNumErrorCodes> errors{};
 };
 
 class ServeEngine {
@@ -186,22 +210,32 @@ class ServeEngine {
 
   /// Enqueue C = A'×B against the prepared `pipeline`. B's rows are in the
   /// original index space (Pipeline::multiply permutes them internally).
-  /// The future yields the product, or rethrows the multiply's exception.
-  std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline, Csr b);
+  /// The future yields the product, or rethrows the multiply's exception —
+  /// a fault::StatusError for every engine-originated failure (kCancelled
+  /// after shutdown, kDeadlineExceeded past `opts` deadlines).
+  std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline, Csr b,
+                          const SubmitOptions& opts = {});
 
   /// Same, but B is shared: the scatter path (shard/engine.hpp) fans one B
   /// out to K per-shard requests without K copies.
   std::future<Csr> submit(std::shared_ptr<const Pipeline> pipeline,
-                          std::shared_ptr<const Csr> b);
+                          std::shared_ptr<const Csr> b,
+                          const SubmitOptions& opts = {});
 
   /// Load-shedding submit: like submit(), but when the queue is at
   /// max_queue_depth it refuses instead of blocking. Returns the future on
   /// acceptance, std::nullopt when shed (counted in EngineStats::shed).
-  /// Always accepts when no cap is configured.
+  /// Always accepts when no cap is configured. Shedding is deadline-aware:
+  /// at the cap, queued requests whose deadline already expired are
+  /// cancelled first (they can never produce a product), and the arrival is
+  /// accepted into the freed slot — the engine sheds the request that
+  /// cannot make its deadline, not the newest arrival.
   std::optional<std::future<Csr>> try_submit(
-      std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b);
+      std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
+      const SubmitOptions& opts = {});
   std::optional<std::future<Csr>> try_submit(
-      std::shared_ptr<const Pipeline> pipeline, Csr b);
+      std::shared_ptr<const Pipeline> pipeline, Csr b,
+      const SubmitOptions& opts = {});
 
   /// Scatter-path submit (shard/engine.hpp): like submit(), but this
   /// request's stage spans land in the caller-owned `trace` context tagged
@@ -218,7 +252,8 @@ class ServeEngine {
                                  std::shared_ptr<obs::TraceContext> trace,
                                  std::int64_t shard,
                                  std::shared_ptr<obs::TraceContext> flight =
-                                     nullptr);
+                                     nullptr,
+                                 const SubmitOptions& opts = {});
 
   /// Block until every submitted request has completed.
   void drain();
@@ -230,8 +265,11 @@ class ServeEngine {
   /// is open).
   void close_batch_windows();
 
-  /// drain(), then stop and join the workers. Further submits throw.
-  /// Idempotent; the destructor calls it.
+  /// Force-close any open batch windows, drain(), then stop and join the
+  /// workers. Further submits resolve their future with
+  /// fault::ErrorCode::kCancelled instead of throwing (the submit/stop race
+  /// is a normal shutdown condition, not a caller bug). Idempotent; the
+  /// destructor calls it.
   void shutdown();
 
   /// The embedded pipeline registry, or null when EngineOptions::registry
@@ -306,6 +344,8 @@ class ServeEngine {
     std::shared_ptr<const Csr> b;
     std::promise<Csr> result;
     Clock::time_point enqueued;  // queue-enter; queue-wait span begin
+    /// Absolute deadline (SubmitOptions resolved at submit); max() = none.
+    Clock::time_point deadline = Clock::time_point::max();
     /// Null for the (common) untraced request. Engine-sampled contexts are
     /// committed by the completing worker (own_trace); scatter sub-requests
     /// carry the parent's context (committed by the sharded engine) plus
@@ -349,7 +389,28 @@ class ServeEngine {
       std::shared_ptr<const Pipeline> pipeline, std::shared_ptr<const Csr> b,
       bool block, std::shared_ptr<obs::TraceContext> trace,
       std::int64_t trace_shard, bool external_trace,
-      std::shared_ptr<obs::TraceContext> flight_ctx = nullptr);
+      std::shared_ptr<obs::TraceContext> flight_ctx = nullptr,
+      const SubmitOptions& opts = {});
+
+  /// Reap every expired job still waiting in ready_ groups (mu_ held).
+  /// Window-owned groups are left alone — their parked jobs are reaped by
+  /// the owning worker at pickup, and erasing a window-owned Group would
+  /// dangle the owner's reference. Victims move to `out` for resolution
+  /// outside mu_; queued_ and the under-mu_ counters (failed, errors,
+  /// latency, live_) are updated here. Returns how many were cancelled.
+  std::size_t cancel_expired_locked_(Clock::time_point now,
+                                     std::vector<Job>* out);
+
+  /// Resolve queue-reaped victims outside mu_: spans, warn events, flight
+  /// verdicts, trace commits, then the kDeadlineExceeded futures — the same
+  /// verdicts-before-promises order as the worker's commit.
+  void finish_deadline_cancelled_(std::vector<Job>& victims,
+                                  Clock::time_point now);
+
+  /// Resolve a never-enqueued job's future with a typed error (submit after
+  /// shutdown → kCancelled; deadline already expired at submit →
+  /// kDeadlineExceeded). The job was never counted submitted.
+  void reject_job_(Job&& job, fault::ErrorCode code, const std::string& msg);
 
   /// The cw_engine_* instruments, interned once at construction so the
   /// serving paths never touch the metrics registry's lock again.
@@ -382,6 +443,7 @@ class ServeEngine {
   const std::unique_ptr<PipelineRegistry> registry_;  // null = no registry
   const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   Metrics m_;  // binds into *metrics_: keep declared after it
+  fault::ErrorCounters errors_;  // cw_errors_total{code=...}; binds into *metrics_ too
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when ready_ gains a group

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "fault/injector.hpp"
 #include "obs/sampler.hpp"
 
 namespace cw::serve {
@@ -92,6 +93,15 @@ PipelineRegistry::Metrics::Metrics(obs::MetricsRegistry& m)
                                "Mapped bytes DONTNEEDed by those releases")),
       prefaulted_bytes(m.counter("cw_registry_prefaulted_bytes_total",
                                  "Mapped bytes prefaulted on admit")),
+      load_retries(m.counter("cw_registry_load_retries_total",
+                             "get_or_load retries after a retryable "
+                             "load failure")),
+      quarantined(
+          m.counter("cw_registry_quarantined_total",
+                    "Fingerprints quarantined after exhausting retries")),
+      quarantine_blocked(
+          m.counter("cw_registry_quarantine_blocked_total",
+                    "get_or_load calls refused fast: key quarantined")),
       entries(m.gauge("cw_registry_entries", "Cached pipelines")),
       bytes_used(m.gauge("cw_registry_anonymous_bytes",
                          "Anonymous (budget-charged) bytes cached")),
@@ -115,7 +125,9 @@ PipelineRegistry::PipelineRegistry(const RegistryOptions& opt)
       metrics_(opt.metrics ? opt.metrics
                            : std::make_shared<obs::MetricsRegistry>()),
       events_(opt.events),
-      m_(*metrics_) {
+      m_(*metrics_),
+      errors_(*metrics_),
+      quarantine_(fault::QuarantineOptions{opt.quarantine_ttl}) {
   m_.capacity.set(static_cast<double>(opt.capacity_bytes));
 }
 
@@ -264,6 +276,73 @@ std::shared_ptr<const Pipeline> PipelineRegistry::get_or_build(
   return insert(key, std::move(built));
 }
 
+std::shared_ptr<const Pipeline> PipelineRegistry::get_or_load(
+    const Fingerprint& key,
+    const std::function<std::shared_ptr<const Pipeline>()>& load) {
+  if (auto hit = find(key)) return hit;
+  const std::string qkey = to_string(key);
+  if (quarantine_.blocked(qkey)) {
+    // Fail fast: the file was proven bad within the TTL. Re-reading it
+    // would spend seconds of IO per admission attempt to rediscover that.
+    m_.quarantine_blocked.inc();
+    errors_.bump(fault::ErrorCode::kCorruptSnapshot);
+    if (events_)
+      events_->warn(
+          "registry", "load refused: fingerprint quarantined",
+          {{"key", qkey},
+           {"reason", quarantine_.reason(qkey).value_or("")},
+           {"code", fault::code_label(fault::ErrorCode::kCorruptSnapshot)}});
+    throw fault::StatusError(
+        fault::ErrorCode::kCorruptSnapshot,
+        "registry: fingerprint quarantined after repeated load failures: " +
+            qkey);
+  }
+  // `load` runs outside every registry mutex — same discipline as
+  // get_or_build and the deferred-release eviction path: O(file) syscall
+  // work must never stall concurrent lookups.
+  const int attempts = 1 + (opt_.load_retries > 0 ? opt_.load_retries : 0);
+  std::exception_ptr last;
+  fault::ErrorCode last_code = fault::ErrorCode::kInternal;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      fault::inject("registry.admit", fault::ErrorCode::kIoError);
+      std::shared_ptr<const Pipeline> loaded = load();
+      CW_CHECK_MSG(loaded != nullptr, "registry: load callback returned null");
+      return insert(key, std::move(loaded));
+    } catch (const Error&) {
+      last = std::current_exception();
+      last_code = fault::code_of(last);
+      // A torn read or transient IO error may heal on a re-read from disk;
+      // anything else (bad argument, cancellation) never will.
+      if (!fault::retryable_load(last_code)) break;
+      if (attempt + 1 < attempts) {
+        m_.load_retries.inc();
+        if (events_)
+          events_->warn("registry", "pipeline load failed; retrying from disk",
+                        {{"key", qkey},
+                         {"attempt", std::to_string(attempt + 1)},
+                         {"code", fault::code_label(last_code)}});
+      }
+    }
+  }
+  errors_.bump(last_code);
+  if (fault::retryable_load(last_code)) {
+    // Failed every attempt: the file is bad on disk, not torn in transit.
+    quarantine_.put(qkey, "load failed " + std::to_string(attempts) +
+                              "x: " + std::string(fault::to_string(last_code)));
+    m_.quarantined.inc();
+    if (events_)
+      events_->error("registry", "pipeline load failed; key quarantined",
+                     {{"key", qkey},
+                      {"attempts", std::to_string(attempts)},
+                      {"code", fault::code_label(last_code)}});
+  } else if (events_) {
+    events_->error("registry", "pipeline load failed (not retryable)",
+                   {{"key", qkey}, {"code", fault::code_label(last_code)}});
+  }
+  std::rethrow_exception(last);
+}
+
 void PipelineRegistry::erase(const Fingerprint& key) {
   std::vector<Deferred> deferred;
   {
@@ -296,6 +375,10 @@ RegistryStats PipelineRegistry::stats() const {
   s.released_evictions = m_.released_evictions.value();
   s.released_bytes = m_.released_bytes.value();
   s.prefaulted_bytes = m_.prefaulted_bytes.value();
+  s.load_retries = m_.load_retries.value();
+  s.quarantined = m_.quarantined.value();
+  s.quarantine_blocked = m_.quarantine_blocked.value();
+  s.quarantined_keys = quarantine_.size();
   s.bytes_used = bytes_used_;
   s.mapped_bytes_used = mapped_bytes_used_;
   s.locked_bytes = locked_bytes_;

@@ -22,6 +22,7 @@
 //     instead of just forgetting a pointer into page cache.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,9 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "fault/counters.hpp"
+#include "fault/quarantine.hpp"
+#include "fault/status.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
@@ -94,6 +98,16 @@ struct RegistryOptions {
   /// residency releases become queryable events (obs/log.hpp). Null = the
   /// registry emits no events (counters still count everything).
   std::shared_ptr<obs::EventLog> events;
+  /// get_or_load recovery: how many times a retryable load failure
+  /// (kIoError / kCorruptSnapshot / kInternal) is retried from disk before
+  /// the fingerprint is quarantined. 0 = fail (and quarantine) on the first
+  /// error.
+  int load_retries = 1;
+  /// How long a fingerprint whose load failed retries-exhausted stays in
+  /// the corruption quarantine (get_or_load fails it fast with
+  /// kCorruptSnapshot instead of re-reading a bad file). <= 0 disables
+  /// quarantining.
+  std::chrono::milliseconds quarantine_ttl{30000};
 };
 
 /// Point-in-time view of the registry's telemetry. Since PR 6 this is a
@@ -116,6 +130,14 @@ struct RegistryStats {
   std::uint64_t released_bytes = 0;
   /// Cumulative mapped bytes prefaulted by prefault_on_admit.
   std::uint64_t prefaulted_bytes = 0;
+  /// get_or_load retries after a retryable load failure.
+  std::uint64_t load_retries = 0;
+  /// Fingerprints quarantined after exhausting their load retries.
+  std::uint64_t quarantined = 0;
+  /// get_or_load calls refused fast because the fingerprint was quarantined.
+  std::uint64_t quarantine_blocked = 0;
+  /// Fingerprints currently in quarantine.
+  std::size_t quarantined_keys = 0;
   /// Anonymous (private, budget-charged) bytes of the cached entries.
   std::size_t bytes_used = 0;
   /// File-backed mmap bytes of the cached entries — tracked for honesty,
@@ -165,6 +187,26 @@ class PipelineRegistry {
   std::shared_ptr<const Pipeline> get_or_build(
       const Fingerprint& key,
       const std::function<std::shared_ptr<const Pipeline>()>& build);
+
+  /// find(), or load-from-disk-and-insert on miss — get_or_build's
+  /// fault-contained sibling for snapshot-backed pipelines. `load` runs
+  /// OUTSIDE every registry mutex (same deferred-syscall discipline as the
+  /// eviction path: O(file) work never stalls concurrent lookups). A
+  /// retryable failure (kIoError / kCorruptSnapshot / kInternal — a torn
+  /// read may heal on a re-read) is retried from disk up to
+  /// RegistryOptions::load_retries times; when every attempt fails the
+  /// fingerprint is quarantined for quarantine_ttl and the last error
+  /// rethrown. While quarantined, calls fail fast with kCorruptSnapshot —
+  /// microseconds instead of re-reading and re-hashing a bad multi-GB file
+  /// per admission attempt. Non-retryable codes rethrow immediately,
+  /// without retry or quarantine.
+  std::shared_ptr<const Pipeline> get_or_load(
+      const Fingerprint& key,
+      const std::function<std::shared_ptr<const Pipeline>()>& load);
+
+  /// The corruption quarantine behind get_or_load (operator override:
+  /// release(key) / clear() after replacing a bad file).
+  [[nodiscard]] fault::Quarantine& quarantine() { return quarantine_; }
 
   /// Remove one entry (no-op if absent).
   void erase(const Fingerprint& key);
@@ -254,6 +296,9 @@ class PipelineRegistry {
     obs::Counter& released_evictions;
     obs::Counter& released_bytes;
     obs::Counter& prefaulted_bytes;
+    obs::Counter& load_retries;
+    obs::Counter& quarantined;
+    obs::Counter& quarantine_blocked;
     obs::Gauge& entries;
     obs::Gauge& bytes_used;
     obs::Gauge& mapped_bytes_used;
@@ -268,6 +313,11 @@ class PipelineRegistry {
   const std::shared_ptr<obs::MetricsRegistry> metrics_;
   const std::shared_ptr<obs::EventLog> events_;  // null = no events
   Metrics m_;  // binds into *metrics_: keep declared after it
+  fault::ErrorCounters errors_;  // cw_errors_total{code=...}, shared series
+  /// Negative cache of fingerprints whose loads failed retries-exhausted.
+  /// Its own lock, never held together with mu_: a quarantine check must
+  /// not serialize behind an eviction, nor vice versa.
+  fault::Quarantine quarantine_;
   mutable std::mutex mu_;
   std::uint64_t next_lock_token_ = 0;
   LruList lru_;  // front = most recently used

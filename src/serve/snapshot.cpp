@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/mmap_region.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
 
 namespace cw::serve {
 
@@ -448,8 +450,11 @@ std::ofstream open_out(const std::string& path) {
 }
 
 std::ifstream open_in(const std::string& path) {
+  fault::inject("snapshot.read", fault::ErrorCode::kIoError);
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw Error("snapshot: cannot open " + path);
+  if (!f)
+    throw fault::StatusError(fault::ErrorCode::kIoError,
+                             "snapshot: cannot open " + path);
   return f;
 }
 
@@ -468,6 +473,7 @@ void save_pipeline_file(const std::string& path, const Pipeline& pipeline,
 }
 
 Csr load_csr_mmap(const std::string& path, const MmapLoadOptions& opt) {
+  fault::inject("snapshot.read", fault::ErrorCode::kIoError);
   auto region = MmapRegion::map_file(path);
   expect_mmap_header(*region, SnapshotKind::kCsr, path);
   io::SegmentTable table;
@@ -478,6 +484,7 @@ Csr load_csr_mmap(const std::string& path, const MmapLoadOptions& opt) {
 
 Pipeline load_pipeline_mmap(const std::string& path,
                             const MmapLoadOptions& opt) {
+  fault::inject("snapshot.read", fault::ErrorCode::kIoError);
   auto region = MmapRegion::map_file(path);
   expect_mmap_header(*region, SnapshotKind::kPipeline, path);
   io::SegmentTable table;

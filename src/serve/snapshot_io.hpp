@@ -39,6 +39,8 @@
 #include "common/array_segment.hpp"
 #include "common/error.hpp"
 #include "common/mmap_region.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
 
 namespace cw::serve::io {
 
@@ -232,15 +234,17 @@ class SegmentTable {
   /// this is a no-op for them.
   void verify_checksums() const {
     if (region_ == nullptr) return;
+    fault::inject("snapshot.checksum", fault::ErrorCode::kCorruptSnapshot);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const SegmentEntry& e = entries_[i];
       if (e.count == 0) continue;
       const void* p = region_->at(e.offset, e.bytes());
       if (fnv1a(kFnvOffsetBasis, p, static_cast<std::size_t>(e.bytes())) !=
           e.checksum)
-        throw Error("snapshot: checksum mismatch in segment " +
-                    std::to_string(i) + " (stored bits do not match their "
-                    "digest — corrupted file?)");
+        throw fault::StatusError(
+            fault::ErrorCode::kCorruptSnapshot,
+            "snapshot: checksum mismatch in segment " + std::to_string(i) +
+                " (stored bits do not match their digest — corrupted file?)");
     }
   }
 
@@ -341,6 +345,7 @@ class Reader {
   /// in the control block / directory).
   void checksum(const char* what) {
     if (!checksummed()) return;
+    fault::inject("snapshot.checksum", fault::ErrorCode::kCorruptSnapshot);
     const std::uint64_t computed = hash_.digest();
     std::uint32_t tag;
     raw_bytes(&tag, sizeof(tag));
@@ -349,9 +354,11 @@ class Reader {
     std::uint64_t stored;
     raw_bytes(&stored, sizeof(stored));
     if (stored != computed)
-      throw Error(std::string("snapshot: checksum mismatch in ") + what +
-                  " payload (stored bits do not match their digest — "
-                  "corrupted file?)");
+      throw fault::StatusError(
+          fault::ErrorCode::kCorruptSnapshot,
+          std::string("snapshot: checksum mismatch in ") + what +
+              " payload (stored bits do not match their digest — "
+              "corrupted file?)");
     hash_.reset();
   }
 
@@ -548,8 +555,11 @@ inline V3Control parse_v3_control(const MmapRegion& region,
   std::memcpy(&tag, region.at(dir_off + dir_bytes, 4), 4);
   std::uint64_t stored;
   std::memcpy(&stored, region.at(dir_off + dir_bytes + 4, 8), 8);
+  fault::inject("snapshot.checksum", fault::ErrorCode::kCorruptSnapshot);
   if (tag != kChecksumTag || stored != ctrl.digest())
-    throw Error("snapshot: control checksum mismatch (corrupted file?)");
+    throw fault::StatusError(
+        fault::ErrorCode::kCorruptSnapshot,
+        "snapshot: control checksum mismatch (corrupted file?)");
 
   const std::uint64_t ctrl_end = dir_off + dir_bytes + 12;
   validate_entries(c.entries, ctrl_end, region.file_size(), &c.end);
@@ -612,8 +622,11 @@ inline StreamRecord read_v3_record(std::istream& in, std::uint64_t pos,
   Reader raw(in, 3);
   raw.raw_bytes(&tag, sizeof(tag));
   raw.raw_bytes(&stored, sizeof(stored));
+  fault::inject("snapshot.checksum", fault::ErrorCode::kCorruptSnapshot);
   if (tag != kChecksumTag || stored != ctrl.digest())
-    throw Error("snapshot: control checksum mismatch (corrupted file?)");
+    throw fault::StatusError(
+        fault::ErrorCode::kCorruptSnapshot,
+        "snapshot: control checksum mismatch (corrupted file?)");
 
   const std::uint64_t ctrl_end =
       base + 16 + meta_len + seg_count * sizeof(SegmentEntry) + 12;
@@ -635,9 +648,10 @@ inline StreamRecord read_v3_record(std::istream& in, std::uint64_t pos,
       throw Error("snapshot: truncated file");
     if (fnv1a(kFnvOffsetBasis, buffers[i].data(), buffers[i].size()) !=
         e.checksum)
-      throw Error("snapshot: checksum mismatch in segment " +
-                  std::to_string(i) + " (stored bits do not match their "
-                  "digest — corrupted file?)");
+      throw fault::StatusError(
+          fault::ErrorCode::kCorruptSnapshot,
+          "snapshot: checksum mismatch in segment " + std::to_string(i) +
+              " (stored bits do not match their digest — corrupted file?)");
     cur = e.offset + e.bytes();
   }
   rec.table = SegmentTable::buffered(std::move(entries), std::move(buffers));

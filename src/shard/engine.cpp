@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fault/status.hpp"
 #include "obs/sampler.hpp"
 
 namespace cw::shard {
@@ -40,6 +41,11 @@ ShardedEngine::Metrics::Metrics(obs::MetricsRegistry& m)
                        "Sharded requests with >= 1 failed shard")),
       shard_multiplies(m.counter("cw_sharded_shard_multiplies_total",
                                  "Per-shard sub-multiplies scattered")),
+      shard_retries(m.counter("cw_sharded_shard_retries_total",
+                              "Failed shard multiplies resubmitted once")),
+      shard_retry_success(
+          m.counter("cw_sharded_shard_retry_success_total",
+                    "Shard retries that produced the product after all")),
       latency_ms(m.histogram("cw_sharded_request_latency_ms",
                              "Sharded request latency, submit to gathered")) {}
 
@@ -59,7 +65,8 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
                   ? std::make_shared<obs::TraceCollector>(obs::TraceOptions{
                         opt_.trace_sample_rate, std::size_t{1} << 16})
                   : nullptr),
-      m_(*metrics_) {
+      m_(*metrics_),
+      errors_(*metrics_) {
   CW_CHECK_MSG(opt_.num_workers >= 1, "sharded engine: need >= 1 worker");
   CW_CHECK_MSG(opt_.gather_workers >= 1,
                "sharded engine: need >= 1 gather worker");
@@ -95,7 +102,8 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
 ShardedEngine::~ShardedEngine() { shutdown(); }
 
 std::future<Csr> ShardedEngine::submit(
-    std::shared_ptr<const ShardedPipeline> pipeline, Csr b) {
+    std::shared_ptr<const ShardedPipeline> pipeline, Csr b,
+    const serve::SubmitOptions& opts) {
   CW_CHECK_MSG(pipeline != nullptr, "sharded engine: null pipeline handle");
   const std::uint64_t rid =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -105,14 +113,37 @@ std::future<Csr> ShardedEngine::submit(
   if (tracer_) req.trace = tracer_->maybe_sample();
   if (flight_) req.flight = flight_->begin(rid);
   req.enqueued = Clock::now();
+  req.deadline = opts.deadline_at;
+  if (opts.deadline.count() > 0)
+    req.deadline = std::min(req.deadline, req.enqueued + opts.deadline);
   req.slot = std::make_shared<obs::RequestSlot>(rid, req.enqueued);
   std::future<Csr> result = req.result.get_future();
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    CW_CHECK_MSG(!stopping_, "sharded engine: submit after shutdown");
-    live_.emplace(rid, req.slot);
-    queue_.push_back(std::move(req));
-    m_.submitted.inc();
+    if (stopping_) {
+      rejected = true;  // submit/stop race: resolve kCancelled, don't throw
+    } else {
+      live_.emplace(rid, req.slot);
+      queue_.push_back(std::move(req));
+      m_.submitted.inc();
+    }
+  }
+  if (rejected) {
+    const std::string msg = "sharded engine: submit after shutdown";
+    if (req.slot)
+      req.slot->stage.store("cancelled", std::memory_order_relaxed);
+    errors_.bump(fault::ErrorCode::kCancelled);
+    if (events_->enabled(obs::LogLevel::kWarn))
+      events_->warn(
+          "sharded-engine", "request rejected: " + msg,
+          {{"request", std::to_string(rid)},
+           {"code", fault::code_label(fault::ErrorCode::kCancelled)}});
+    if (req.flight) flight_->complete_error(req.flight, 0.0, msg);
+    if (req.trace) tracer_->commit(req.trace);
+    req.result.set_exception(std::make_exception_ptr(
+        fault::StatusError(fault::ErrorCode::kCancelled, msg)));
+    return result;
   }
   work_cv_.notify_one();
   return result;
@@ -147,6 +178,9 @@ ShardedEngineStats ShardedEngine::stats() const {
   s.completed = m_.completed.value();
   s.failed = m_.failed.value();
   s.shard_multiplies = m_.shard_multiplies.value();
+  s.shard_retries = m_.shard_retries.value();
+  s.shard_retry_success = m_.shard_retry_success.value();
+  s.errors = errors_.snapshot();
   s.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_).count();
   s.throughput_rps = s.elapsed_seconds > 0
@@ -272,49 +306,99 @@ void ShardedEngine::gather_loop_() {
       ++in_flight_;
     }
     const Clock::time_point pickup = Clock::now();
-    if (req.slot) req.slot->stage.store("scatter", std::memory_order_relaxed);
 
     const ShardedPipeline& sp = *req.pipeline;
     const index_t k = sp.num_shards();
 
     // Scatter: one sub-request per shard, all sharing one B (and, when the
     // request is instrumented, one trace and/or flight context — the inner
-    // engine tags each sub-multiply's spans with its shard). The submit may
-    // itself throw (e.g. after an engine shutdown race); treat that as a
-    // request failure, not a crash.
+    // engine tags each sub-multiply's spans with its shard) AND one
+    // absolute deadline. Always submit_traced: scatter sub-requests carry
+    // their shard tag even untraced, so the inner engine's fault-injection
+    // probes see them as "shard.multiply_k", not "engine.multiply". The
+    // submit may itself fail (e.g. after an engine shutdown race); treat
+    // that as a request failure, not a crash.
     std::vector<std::future<Csr>> futures;
     std::exception_ptr error;
-    try {
-      futures.reserve(static_cast<std::size_t>(k));
-      for (index_t s = 0; s < k; ++s)
-        futures.push_back(
-            req.trace || req.flight
-                ? shard_engine_->submit_traced(sp.shard(s), req.b, req.trace,
-                                               s, req.flight)
-                : shard_engine_->submit(sp.shard(s), req.b));
-    } catch (...) {
-      error = std::current_exception();
+    serve::SubmitOptions sub;
+    sub.deadline_at = req.deadline;
+    if (req.deadline <= pickup) {
+      // Expired while waiting for a gather worker: the typed error resolves
+      // without scattering a single shard multiply.
+      if (req.slot)
+        req.slot->stage.store("deadline", std::memory_order_relaxed);
+      error = std::make_exception_ptr(fault::StatusError(
+          fault::ErrorCode::kDeadlineExceeded,
+          "sharded engine: deadline expired before scatter"));
+    } else {
+      if (req.slot)
+        req.slot->stage.store("scatter", std::memory_order_relaxed);
+      try {
+        futures.reserve(static_cast<std::size_t>(k));
+        for (index_t s = 0; s < k; ++s)
+          futures.push_back(shard_engine_->submit_traced(
+              sp.shard(s), req.b, req.trace, s, req.flight, sub));
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     const Clock::time_point scatter_end = Clock::now();
-    if (req.slot) req.slot->stage.store("gather", std::memory_order_relaxed);
+    if (req.slot && req.deadline > pickup)
+      req.slot->stage.store("gather", std::memory_order_relaxed);
 
     // Gather: wait on every launched shard even after a failure (abandoning
     // a future would discard an in-flight shard result mid-drain), keeping
-    // the first error for the caller.
-    std::vector<Csr> results;
-    results.reserve(futures.size());
-    for (auto& f : futures) {
+    // the first error for the caller. A shard whose multiply failed with a
+    // retryable code (kInternal / kIoError — an injected fault, transient
+    // worker trouble) is resubmitted ONCE: the retry is a fresh submission
+    // that lands on whichever worker is free, not the one that just failed.
+    // Non-retryable codes (deadline, cancellation, corruption), an already
+    // doomed request, or an expired deadline skip the retry.
+    std::vector<std::optional<Csr>> parts(futures.size());
+    std::exception_ptr first_error = error;
+    for (std::size_t s = 0; s < futures.size(); ++s) {
+      std::exception_ptr shard_error;
       try {
-        results.push_back(f.get());
+        parts[s].emplace(futures[s].get());
+        continue;
       } catch (...) {
-        if (!error) error = std::current_exception();
+        shard_error = std::current_exception();
+      }
+      const fault::ErrorCode code = fault::code_of(shard_error);
+      const bool in_budget = req.deadline == Clock::time_point::max() ||
+                             Clock::now() < req.deadline;
+      if (error || !fault::retryable_multiply(code) || !in_budget) {
+        if (!first_error) first_error = shard_error;
+        continue;
+      }
+      m_.shard_retries.inc();
+      if (events_->enabled(obs::LogLevel::kWarn))
+        events_->warn(
+            "sharded-engine", "shard multiply failed; retrying once",
+            {{"request",
+              std::to_string(req.slot ? req.slot->id : std::uint64_t{0})},
+             {"shard", std::to_string(s)},
+             {"code", fault::code_label(code)}});
+      try {
+        parts[s].emplace(
+            shard_engine_
+                ->submit_traced(sp.shard(static_cast<index_t>(s)), req.b,
+                                req.trace, static_cast<std::int64_t>(s),
+                                req.flight, sub)
+                .get());
+        m_.shard_retry_success.inc();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
       }
     }
 
     bool idle = false;
-    std::exception_ptr final_error = error;
+    std::exception_ptr final_error = first_error;
     std::optional<Csr> final_value;
     if (!final_error) {
+      std::vector<Csr> results;
+      results.reserve(parts.size());
+      for (auto& p : parts) results.push_back(std::move(*p));
       try {
         final_value.emplace(sp.gather(results));
       } catch (...) {
@@ -346,7 +430,8 @@ void ShardedEngine::gather_loop_() {
         events_->error(
             "sharded-engine", "request failed: " + what,
             {{"request",
-              std::to_string(req.slot ? req.slot->id : std::uint64_t{0})}});
+              std::to_string(req.slot ? req.slot->id : std::uint64_t{0})},
+             {"code", fault::code_label(fault::code_of(final_error))}});
       if (req.flight) {
         if (final_error)
           flight_->complete_error(req.flight, ms, what);
@@ -357,10 +442,12 @@ void ShardedEngine::gather_loop_() {
     if (req.trace) tracer_->commit(req.trace);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (final_error)
+      if (final_error) {
         m_.failed.inc();
-      else
+        errors_.bump(fault::code_of(final_error));
+      } else {
         m_.completed.inc();
+      }
       m_.shard_multiplies.inc(futures.size());
       m_.latency_ms.record(ms);
       --in_flight_;

@@ -13,6 +13,7 @@
 // divided evenly among the shard workers.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -25,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/counters.hpp"
+#include "fault/status.hpp"
 #include "serve/engine.hpp"
 #include "shard/sharded_pipeline.hpp"
 
@@ -92,6 +95,14 @@ struct ShardedEngineStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  // requests with at least one failed shard
   std::uint64_t shard_multiplies = 0;
+  /// Failed per-shard multiplies resubmitted once to a fresh worker
+  /// (retryable codes only), and how many of those retries produced the
+  /// shard's product after all.
+  std::uint64_t shard_retries = 0;
+  std::uint64_t shard_retry_success = 0;
+  /// Failures by fault-taxonomy code at THIS layer (one entry per sharded
+  /// request, by its final error), indexed by fault::ErrorCode.
+  std::array<std::uint64_t, fault::kNumErrorCodes> errors{};
   double elapsed_seconds = 0;
   double throughput_rps = 0;
   /// End-to-end request latency (submit → gathered) percentiles from the
@@ -112,14 +123,19 @@ class ShardedEngine {
 
   /// Enqueue C = A×B against the sharded `pipeline`. B's rows are in A's
   /// original column space; the future yields C with rows in the original
-  /// row order, or rethrows the first failed shard's exception.
+  /// row order, or rethrows the first failed shard's exception (a
+  /// fault::StatusError for engine-originated failures). An `opts` deadline
+  /// is shared by all K per-shard sub-requests — one absolute clock, not K
+  /// restarted budgets; an expired request resolves kDeadlineExceeded
+  /// without scattering a single shard multiply.
   std::future<Csr> submit(std::shared_ptr<const ShardedPipeline> pipeline,
-                          Csr b);
+                          Csr b, const serve::SubmitOptions& opts = {});
 
   /// Block until every submitted request has been gathered.
   void drain();
 
-  /// drain(), then stop and join. Further submits throw. Idempotent.
+  /// drain(), then stop and join. Further submits resolve kCancelled
+  /// instead of throwing. Idempotent.
   void shutdown();
 
   [[nodiscard]] ShardedEngineStats stats() const;
@@ -197,6 +213,8 @@ class ShardedEngine {
     std::shared_ptr<const Csr> b;
     std::promise<Csr> result;
     Clock::time_point enqueued;
+    /// Absolute deadline shared by all K sub-requests; max() = none.
+    Clock::time_point deadline = Clock::time_point::max();
     /// Sampled request's timeline; per-shard sub-multiply spans land here
     /// too (via ServeEngine::submit_traced). Committed by the gatherer.
     std::shared_ptr<obs::TraceContext> trace;
@@ -216,6 +234,8 @@ class ShardedEngine {
     obs::Counter& completed;
     obs::Counter& failed;
     obs::Counter& shard_multiplies;
+    obs::Counter& shard_retries;
+    obs::Counter& shard_retry_success;
     obs::Histogram& latency_ms;
   };
 
@@ -226,6 +246,7 @@ class ShardedEngine {
   const std::shared_ptr<obs::FlightRecorder> flight_;  // null = capture off
   const std::shared_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   Metrics m_;  // binds into *metrics_: keep declared after it
+  fault::ErrorCounters errors_;  // cw_errors_total{code=...}, shared series
   std::unique_ptr<serve::ServeEngine> shard_engine_;
 
   mutable std::mutex mu_;

@@ -1,0 +1,137 @@
+// Deterministic fault injection: arming grammar, fire-on-Nth-hit,
+// probability with a seeded RNG, and the zero-cost disarmed contract.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/status.hpp"
+
+namespace cw::fault {
+namespace {
+
+/// Count how many of `hits` probes at `site` throw.
+int count_fires(FaultInjector& inj, const char* site, int hits) {
+  int fires = 0;
+  for (int i = 0; i < hits; ++i) {
+    try {
+      if (inj.armed()) inj.check(site, ErrorCode::kInternal);
+    } catch (const StatusError&) {
+      ++fires;
+    }
+  }
+  return fires;
+}
+
+TEST(FaultInjector, DisarmedNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(count_fires(inj, "engine.multiply", 1000), 0);
+  EXPECT_EQ(inj.hits("engine.multiply"), 0u);  // disarmed path tracks nothing
+}
+
+TEST(FaultInjector, FireOnNthHitIsExactAndOneShot) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.fire_on_hit = 3;
+  spec.max_fires = 1;
+  inj.arm("snapshot.read", spec);
+  EXPECT_TRUE(inj.armed());
+  for (int hit = 1; hit <= 10; ++hit) {
+    bool fired = false;
+    try {
+      inj.check("snapshot.read", ErrorCode::kIoError);
+    } catch (const StatusError& e) {
+      fired = true;
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);  // site default code
+    }
+    EXPECT_EQ(fired, hit == 3) << "hit " << hit;
+  }
+  EXPECT_EQ(inj.hits("snapshot.read"), 10u);
+  EXPECT_EQ(inj.fires("snapshot.read"), 1u);
+}
+
+TEST(FaultInjector, ProbabilityEdgesAndSeededDeterminism) {
+  FaultInjector inj;
+  inj.arm("a", FaultSpec{.probability = 1.0});
+  inj.arm("b", FaultSpec{.probability = 0.0});
+  EXPECT_EQ(count_fires(inj, "a", 50), 50);
+  EXPECT_EQ(count_fires(inj, "b", 50), 0);
+
+  // Same seed + same single-threaded hit order => the same fire pattern.
+  const auto pattern = [](std::uint64_t seed) {
+    FaultInjector i;
+    i.seed(seed);
+    i.arm("p", FaultSpec{.probability = 0.3});
+    std::vector<bool> fired;
+    for (int k = 0; k < 200; ++k) {
+      try {
+        i.check("p", ErrorCode::kInternal);
+        fired.push_back(false);
+      } catch (const StatusError&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));  // and the seed actually matters
+}
+
+TEST(FaultInjector, SpecCodeOverridesTheSiteDefault) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.code = ErrorCode::kCorruptSnapshot;
+  inj.arm("mmap.map", spec);
+  try {
+    inj.check("mmap.map", ErrorCode::kIoError);
+    FAIL() << "armed at p=1 must fire";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptSnapshot);
+  }
+}
+
+TEST(FaultInjector, ArmFromSpecGrammar) {
+  FaultInjector inj;
+  EXPECT_EQ(inj.arm_from_spec("engine.multiply=0.5,snapshot.read=@2"), 2);
+  EXPECT_TRUE(inj.armed());
+  // @2 fires exactly on the second hit, once.
+  EXPECT_EQ(count_fires(inj, "snapshot.read", 5), 1);
+  EXPECT_EQ(inj.fires("snapshot.read"), 1u);
+  EXPECT_THROW(inj.arm_from_spec("nonsense"), Error);
+  EXPECT_THROW(inj.arm_from_spec("site=notanumber"), Error);
+  EXPECT_EQ(inj.arm_from_spec(""), 0);
+}
+
+TEST(FaultInjector, DisarmAndResetRestoreTheZeroCostPath) {
+  FaultInjector inj;
+  inj.arm("a", FaultSpec{.probability = 1.0});
+  inj.arm("b", FaultSpec{.probability = 1.0});
+  inj.disarm("a");
+  EXPECT_TRUE(inj.armed());  // b still armed
+  EXPECT_EQ(count_fires(inj, "a", 10), 0);
+  EXPECT_EQ(count_fires(inj, "b", 3), 3);
+  inj.reset();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.fires("b"), 0u);  // counters zeroed for test isolation
+}
+
+TEST(FaultInjector, FiredSitesReportsOnlyFiringSites) {
+  FaultInjector inj;
+  inj.arm("hot", FaultSpec{.probability = 1.0});
+  inj.arm("cold", FaultSpec{.probability = 0.0});
+  (void)count_fires(inj, "hot", 4);
+  (void)count_fires(inj, "cold", 4);
+  const auto fired = inj.fired_sites();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, "hot");
+  EXPECT_EQ(fired[0].second, 4u);
+}
+
+}  // namespace
+}  // namespace cw::fault

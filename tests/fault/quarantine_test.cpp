@@ -1,0 +1,82 @@
+// Corruption quarantine: TTL-bounded negative cache with lazy expiry and a
+// capacity bound.
+#include "fault/quarantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace cw::fault {
+namespace {
+
+TEST(Quarantine, PutBlocksAndCarriesTheReason) {
+  Quarantine q;
+  EXPECT_FALSE(q.blocked("fp1"));
+  q.put("fp1", "checksum mismatch");
+  EXPECT_TRUE(q.blocked("fp1"));
+  EXPECT_EQ(q.reason("fp1").value_or(""), "checksum mismatch");
+  EXPECT_FALSE(q.blocked("fp2"));
+  EXPECT_FALSE(q.reason("fp2").has_value());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.quarantined_total(), 1u);
+  EXPECT_EQ(q.blocked_total(), 1u);  // only the positive blocked() counts
+}
+
+TEST(Quarantine, EntriesExpireAfterTheTtl) {
+  Quarantine q(QuarantineOptions{.ttl = std::chrono::milliseconds(30)});
+  q.put("fp", "bad");
+  EXPECT_TRUE(q.blocked("fp"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Lazy expiry: the blocked() probe itself drops the stale entry — an
+  // operator who replaced the file gets re-admission without a restart.
+  EXPECT_FALSE(q.blocked("fp"));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Quarantine, ReQuarantiningRefreshesTheClock) {
+  Quarantine q(QuarantineOptions{.ttl = std::chrono::milliseconds(80)});
+  q.put("fp", "first");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.put("fp", "second");  // refresh: expiry restarts from now
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(q.blocked("fp"));  // 100 ms after the FIRST put, still blocked
+  EXPECT_EQ(q.reason("fp").value_or(""), "second");
+}
+
+TEST(Quarantine, ReleaseAndClearAreOperatorOverrides) {
+  Quarantine q;
+  q.put("a", "bad");
+  q.put("b", "bad");
+  q.release("a");
+  EXPECT_FALSE(q.blocked("a"));
+  EXPECT_TRUE(q.blocked("b"));
+  q.clear();
+  EXPECT_FALSE(q.blocked("b"));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Quarantine, CapacityEvictsTheEntryClosestToExpiry) {
+  Quarantine q(QuarantineOptions{.ttl = std::chrono::milliseconds(60000),
+                                 .capacity = 2});
+  q.put("oldest", "bad");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.put("middle", "bad");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.put("newest", "bad");  // at capacity: drops the closest-to-expiry entry
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.blocked("oldest"));
+  EXPECT_TRUE(q.blocked("middle"));
+  EXPECT_TRUE(q.blocked("newest"));
+}
+
+TEST(Quarantine, NonPositiveTtlDisablesQuarantining) {
+  Quarantine q(QuarantineOptions{.ttl = std::chrono::milliseconds(0)});
+  q.put("fp", "bad");
+  EXPECT_FALSE(q.blocked("fp"));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cw::fault

@@ -1,0 +1,87 @@
+// Typed error taxonomy: codes, labels, exception classification, and the
+// retry predicates the recovery paths branch on.
+#include "fault/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cw::fault {
+namespace {
+
+TEST(FaultStatus, LabelsCoverEveryCode) {
+  for (std::size_t c = 0; c < kNumErrorCodes; ++c) {
+    const auto code = static_cast<ErrorCode>(c);
+    EXPECT_NE(std::string(to_string(code)), "");
+    const std::string label = code_label(code);
+    EXPECT_NE(label, "");
+    // Prometheus label values: lowercase snake_case, no spaces.
+    for (char ch : label)
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_') << label;
+  }
+  EXPECT_STREQ(code_label(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(code_label(ErrorCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(code_label(ErrorCode::kCorruptSnapshot), "corrupt_snapshot");
+}
+
+TEST(FaultStatus, StatusErrorIsAnErrorAndCarriesItsCode) {
+  // Existing catch (const Error&) handlers must keep working: the taxonomy
+  // refines the hierarchy, it does not fork it.
+  try {
+    throw StatusError(ErrorCode::kIoError, "disk fell over");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("disk fell over"),
+              std::string::npos);
+  }
+  try {
+    throw StatusError(ErrorCode::kShed, "queue full");
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kShed);
+  }
+}
+
+TEST(FaultStatus, CodeOfClassifiesExceptions) {
+  EXPECT_EQ(code_of(nullptr), ErrorCode::kOk);
+  EXPECT_EQ(code_of(std::make_exception_ptr(
+                StatusError(ErrorCode::kDeadlineExceeded, "late"))),
+            ErrorCode::kDeadlineExceeded);
+  // Untyped exceptions reaching a boundary classify as kInternal.
+  EXPECT_EQ(code_of(std::make_exception_ptr(Error("plain"))),
+            ErrorCode::kInternal);
+  EXPECT_EQ(code_of(std::make_exception_ptr(std::runtime_error("std"))),
+            ErrorCode::kInternal);
+}
+
+TEST(FaultStatus, StatusOfCarriesTheMessage) {
+  const Status s = status_of(
+      std::make_exception_ptr(StatusError(ErrorCode::kCancelled, "stopped")));
+  EXPECT_EQ(s.code, ErrorCode::kCancelled);
+  EXPECT_NE(s.message.find("stopped"), std::string::npos);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(status_of(nullptr).ok());
+}
+
+TEST(FaultStatus, RetryPredicatesMatchTheRecoveryContract) {
+  // Load path: torn reads and transient IO heal on a re-read; so might an
+  // untyped internal failure. Deadline/shed/cancel never do.
+  EXPECT_TRUE(retryable_load(ErrorCode::kIoError));
+  EXPECT_TRUE(retryable_load(ErrorCode::kCorruptSnapshot));
+  EXPECT_TRUE(retryable_load(ErrorCode::kInternal));
+  EXPECT_FALSE(retryable_load(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(retryable_load(ErrorCode::kShed));
+  EXPECT_FALSE(retryable_load(ErrorCode::kCancelled));
+  // Multiply path: a corrupt snapshot corrupts the retry identically, so it
+  // is NOT retryable on a fresh worker — unlike the load path.
+  EXPECT_TRUE(retryable_multiply(ErrorCode::kInternal));
+  EXPECT_TRUE(retryable_multiply(ErrorCode::kIoError));
+  EXPECT_FALSE(retryable_multiply(ErrorCode::kCorruptSnapshot));
+  EXPECT_FALSE(retryable_multiply(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(retryable_multiply(ErrorCode::kCancelled));
+}
+
+}  // namespace
+}  // namespace cw::fault

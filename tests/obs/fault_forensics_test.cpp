@@ -1,0 +1,128 @@
+// Forensics under injected faults: a deadline-missed request leaves a full
+// flight record with an error verdict and its final stage, injected multiply
+// faults land in the ring with the site name, and the watchdog stays
+// coherent while faults are firing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/watchdog.hpp"
+#include "serve/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::obs {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kRCM;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+struct InjectorGuard {
+  InjectorGuard() { fault::FaultInjector::global().reset(); }
+  ~InjectorGuard() { fault::FaultInjector::global().reset(); }
+};
+
+TEST(FaultForensics, DeadlineMissLeavesAnErrorVerdictInTheFlightRing) {
+  const Csr a = test::random_csr(30, 30, 0.15, 41);
+  auto p = make_pipeline(a);
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.flight_slow_threshold_ms = 1e9;  // only error verdicts survive
+  eopt.debug_stall_first = std::chrono::milliseconds(200);
+  serve::ServeEngine engine(eopt);
+  auto stalled = engine.submit(p, test::random_csr(30, 4, 0.3, 42));
+  serve::SubmitOptions opts;
+  opts.deadline = std::chrono::microseconds(30'000);
+  auto late = engine.submit(p, test::random_csr(30, 4, 0.3, 43), opts);
+  EXPECT_THROW((void)late.get(), fault::StatusError);
+  (void)stalled.get();
+  engine.drain();
+
+  ASSERT_NE(engine.flight(), nullptr);
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_EQ(records.size(), 1u) << "only the deadline miss should be kept";
+  const FlightRecord& rec = records[0];
+  EXPECT_EQ(rec.reason, FlightReason::kError);
+  EXPECT_NE(rec.error.find("deadline"), std::string::npos) << rec.error;
+  // The timeline ends at the deadline gate, not in a multiply.
+  bool gate_span = false, multiply_span = false;
+  for (const TraceSpan& s : rec.spans) {
+    if (std::string(s.name) == "deadline") gate_span = true;
+    if (std::string(s.name) == "multiply") multiply_span = true;
+  }
+  EXPECT_TRUE(gate_span);
+  EXPECT_FALSE(multiply_span) << "expired request must never reach multiply";
+}
+
+TEST(FaultForensics, InjectedMultiplyFaultNamesItsSiteInTheRecord) {
+  InjectorGuard guard;
+  fault::FaultInjector::global().arm_from_spec("engine.multiply=@1");
+  const Csr a = test::random_csr(30, 30, 0.15, 44);
+  auto p = make_pipeline(a);
+  serve::EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.flight_slow_threshold_ms = 1e9;
+  serve::ServeEngine engine(eopt);
+  auto bad = engine.submit(p, test::random_csr(30, 4, 0.3, 45));
+  EXPECT_THROW((void)bad.get(), fault::StatusError);
+  engine.drain();
+
+  const std::vector<FlightRecord> records = engine.flight()->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].reason, FlightReason::kError);
+  // The verdict carries the injection site, so the ring alone answers
+  // "what failed" without correlating against stderr.
+  EXPECT_NE(records[0].error.find("engine.multiply"), std::string::npos)
+      << records[0].error;
+}
+
+TEST(FaultForensics, WatchdogStaysCoherentWhileFaultsFire) {
+  // A watchdog registered on an engine taking injected faults must neither
+  // false-trip on the failures nor lose track of in-flight accounting.
+  InjectorGuard guard;
+  fault::FaultInjector::global().arm_from_spec("engine.multiply=0.3");
+  const Csr a = test::random_csr(30, 30, 0.15, 46);
+  auto p = make_pipeline(a);
+  serve::ServeEngine engine({.num_workers = 2});
+  WatchdogOptions wopt;
+  wopt.request_deadline_ms = 10000;
+  Watchdog watchdog(wopt, engine.events());
+  engine.register_watchdog(watchdog);
+
+  std::vector<std::future<Csr>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(engine.submit(p, test::random_csr(30, 4, 0.3, 47 + i)));
+  (void)watchdog.check_once();
+  std::uint64_t ok = 0, failed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++ok;
+    } catch (const fault::StatusError& e) {
+      EXPECT_EQ(e.code(), fault::ErrorCode::kInternal);
+      ++failed;
+    }
+  }
+  engine.drain();
+  EXPECT_EQ(watchdog.check_once(), 0u);  // drained engine: nothing stuck
+  EXPECT_TRUE(engine.in_flight_requests().empty());
+  const serve::EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, 32u);
+  EXPECT_EQ(st.completed, ok);
+  EXPECT_EQ(st.failed, failed);
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+}
+
+}  // namespace
+}  // namespace cw::obs

@@ -1,0 +1,192 @@
+// Request deadlines and cancellation: expired requests resolve typed
+// kDeadlineExceeded WITHOUT running their multiply, deadline-aware shedding
+// sacrifices the request that cannot make its deadline (never the newest
+// arrival), and the submit/stop race always resolves every future.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/status.hpp"
+#include "serve/engine.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kRCM;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+fault::ErrorCode code_of_future(std::future<Csr>& f) {
+  try {
+    (void)f.get();
+    return fault::ErrorCode::kOk;
+  } catch (const fault::StatusError& e) {
+    return e.code();
+  }
+}
+
+/// Wait until some request is visibly in the "multiply" stage (the
+/// debug_stall_first hook parks the first pickup there).
+void wait_for_multiply_stage(const ServeEngine& engine) {
+  for (;;) {
+    for (const obs::InFlightRequest& r : engine.in_flight_requests())
+      if (std::string(r.stage) == "multiply") return;
+    std::this_thread::yield();
+  }
+}
+
+TEST(Deadline, DeadOnArrivalNeverEntersTheQueue) {
+  const Csr a = test::random_csr(30, 30, 0.15, 1);
+  auto p = make_pipeline(a);
+  ServeEngine engine({.num_workers = 1});
+  SubmitOptions opts;
+  opts.deadline_at = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  auto f = engine.submit(p, test::random_csr(30, 4, 0.3, 2), opts);
+  EXPECT_EQ(code_of_future(f), fault::ErrorCode::kDeadlineExceeded);
+  const EngineStats st = engine.stats();
+  // Rejected before enqueue: never counted submitted, typed error counted.
+  EXPECT_EQ(st.submitted, 0u);
+  EXPECT_EQ(st.errors[static_cast<std::size_t>(
+                fault::ErrorCode::kDeadlineExceeded)],
+            1u);
+}
+
+TEST(Deadline, ExpiredBehindAStalledWorkerSkipsTheMultiply) {
+  const Csr a = test::random_csr(30, 30, 0.15, 3);
+  auto p = make_pipeline(a);
+  ServeEngine engine({.num_workers = 1,
+                      .debug_stall_first = std::chrono::milliseconds(250)});
+  // First request is picked up and stalled in "multiply" for 250 ms.
+  auto stalled = engine.submit(p, test::random_csr(30, 4, 0.3, 4));
+  // Second request has a 40 ms budget — expired long before the worker
+  // frees up, so the pickup deadline gate must resolve it without a kernel.
+  SubmitOptions opts;
+  opts.deadline = std::chrono::microseconds(40'000);
+  auto late = engine.submit(p, test::random_csr(30, 4, 0.3, 5), opts);
+  EXPECT_EQ(code_of_future(late), fault::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(code_of_future(stalled), fault::ErrorCode::kOk);
+  engine.drain();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.errors[static_cast<std::size_t>(
+                fault::ErrorCode::kDeadlineExceeded)],
+            1u);
+}
+
+TEST(Deadline, ExpiredQueuedJobsAreCancelledInsteadOfSheddingOnTimeWork) {
+  // Queue capped at 2, single worker stalled 400 ms. Two requests with tiny
+  // budgets fill the queue and expire there; a later ON-TIME try_submit
+  // must be ACCEPTED by cancelling the expired pair — shedding the newest
+  // arrival (classic tail-drop) would sacrifice the only request that can
+  // still make its deadline.
+  const Csr a = test::random_csr(30, 30, 0.15, 6);
+  auto p = make_pipeline(a);
+  ServeEngine engine({.num_workers = 1,
+                      .max_batch = 1,
+                      .max_queue_depth = 2,
+                      .debug_stall_first = std::chrono::milliseconds(400)});
+  auto stalled = engine.submit(p, test::random_csr(30, 4, 0.3, 7));
+  wait_for_multiply_stage(engine);  // queue is now empty, worker parked
+
+  SubmitOptions tiny;
+  tiny.deadline = std::chrono::microseconds(30'000);
+  auto doomed1 = engine.submit(p, test::random_csr(30, 4, 0.3, 8), tiny);
+  auto doomed2 = engine.submit(p, test::random_csr(30, 4, 0.3, 9), tiny);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // both expire
+
+  const Csr b = test::random_csr(30, 4, 0.3, 10);
+  auto ontime = engine.try_submit(p, b);
+  ASSERT_TRUE(ontime.has_value())
+      << "on-time request shed while expired work held the queue";
+  EXPECT_TRUE(ontime->get() == p->unpermute_rows(p->multiply(b)));
+
+  EXPECT_EQ(code_of_future(doomed1), fault::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(code_of_future(doomed2), fault::ErrorCode::kDeadlineExceeded);
+  (void)stalled.get();
+  engine.drain();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.shed, 0u);  // zero on-time requests shed
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.failed, 2u);
+  EXPECT_EQ(st.errors[static_cast<std::size_t>(
+                fault::ErrorCode::kDeadlineExceeded)],
+            2u);
+}
+
+TEST(Deadline, BlockedSubmitRejectsWhenItsOwnDeadlinePasses) {
+  // A blocking submit parked on backpressure must give up when ITS deadline
+  // expires instead of waiting for space that may never come.
+  const Csr a = test::random_csr(30, 30, 0.15, 11);
+  auto p = make_pipeline(a);
+  ServeEngine engine({.num_workers = 1,
+                      .max_batch = 1,
+                      .max_queue_depth = 1,
+                      .debug_stall_first = std::chrono::milliseconds(300)});
+  auto stalled = engine.submit(p, test::random_csr(30, 4, 0.3, 12));
+  wait_for_multiply_stage(engine);
+  auto filler = engine.submit(p, test::random_csr(30, 4, 0.3, 13));  // cap
+  SubmitOptions opts;
+  opts.deadline = std::chrono::microseconds(50'000);
+  // Queue full of ON-TIME work (filler has no deadline, it is not a
+  // cancellation victim), so this submit blocks until its own budget dies.
+  auto blocked = engine.submit(p, test::random_csr(30, 4, 0.3, 14), opts);
+  EXPECT_EQ(code_of_future(blocked), fault::ErrorCode::kDeadlineExceeded);
+  (void)stalled.get();
+  (void)filler.get();
+  engine.drain();
+  EXPECT_EQ(engine.stats().shed, 0u);  // blocking submit never sheds
+}
+
+TEST(Deadline, SubmitStopRaceResolvesEveryFuture) {
+  // Regression for the submit/stop race: producers hammering submit() while
+  // another thread calls shutdown() must never crash, hang, or leave a
+  // future unresolved — every request ends kOk or kCancelled, nothing else.
+  const Csr a = test::random_csr(24, 24, 0.2, 15);
+  auto p = make_pipeline(a);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 60;
+  ServeEngine engine({.num_workers = 2});
+  std::vector<std::vector<std::future<Csr>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i)
+        futures[static_cast<std::size_t>(t)].push_back(
+            engine.submit(p, test::random_csr(24, 3, 0.3, 100 + t * 64 + i)));
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.shutdown();  // races the producers mid-submit
+  for (auto& t : producers) t.join();
+
+  std::uint64_t ok = 0, cancelled = 0;
+  for (auto& lane : futures)
+    for (auto& f : lane) {
+      const fault::ErrorCode code = code_of_future(f);
+      if (code == fault::ErrorCode::kOk) ++ok;
+      else if (code == fault::ErrorCode::kCancelled) ++cancelled;
+      else FAIL() << "unexpected code " << fault::to_string(code);
+    }
+  EXPECT_EQ(ok + cancelled, kProducers * kPerProducer);
+  const EngineStats st = engine.stats();
+  // Accepted requests all completed; rejected ones were never "submitted".
+  EXPECT_EQ(st.submitted, ok);
+  EXPECT_EQ(st.completed, ok);
+  EXPECT_EQ(st.errors[static_cast<std::size_t>(fault::ErrorCode::kCancelled)],
+            cancelled);
+}
+
+}  // namespace
+}  // namespace cw::serve

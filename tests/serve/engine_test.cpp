@@ -177,13 +177,27 @@ TEST(Engine, StatsReportLatencyAndThroughput) {
   EXPECT_GT(st.busy_seconds, 0.0);
 }
 
-TEST(Engine, SubmitAfterShutdownThrows) {
+TEST(Engine, SubmitAfterShutdownResolvesCancelled) {
+  // Post-shutdown submits resolve as typed kCancelled futures instead of
+  // throwing out of submit(): callers hold exactly one failure channel (the
+  // future), whatever the engine's lifecycle state.
   const Csr a = test::random_csr(20, 20, 0.2, 13);
   auto p = make_pipeline(a, ClusterScheme::kNone);
   ServeEngine engine({.num_workers = 1});
   engine.submit(p, test::random_csr(20, 3, 0.3, 14)).get();
   engine.shutdown();
-  EXPECT_THROW(engine.submit(p, test::random_csr(20, 3, 0.3, 15)), Error);
+  std::future<Csr> late = engine.submit(p, test::random_csr(20, 3, 0.3, 15));
+  try {
+    (void)late.get();
+    FAIL() << "post-shutdown submit should not succeed";
+  } catch (const fault::StatusError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kCancelled);
+  }
+  // Rejected requests never count as submitted.
+  EXPECT_EQ(engine.stats().submitted, 1u);
+  EXPECT_EQ(engine.stats().errors[static_cast<std::size_t>(
+                fault::ErrorCode::kCancelled)],
+            1u);
 }
 
 TEST(Engine, PermutedSpaceResultsWhenUnpermuteDisabled) {
@@ -286,12 +300,15 @@ TEST(Engine, ShutdownWakesBlockedProducers) {
   const Csr heavy_b = test::random_csr(n, 64, 0.5, 36);
   std::future<Csr> busy = engine->submit(p, heavy_b);
   std::future<Csr> queued = engine->submit(p, heavy_b);  // queue now full
-  std::atomic<bool> threw{false};
+  std::atomic<bool> cancelled{false};
   std::thread producer([&] {
+    // Blocks on backpressure; shutdown wakes it and the future resolves
+    // kCancelled (or the worker drained a slot first and it completed).
+    std::future<Csr> f = engine->submit(p, heavy_b);
     try {
-      (void)engine->submit(p, heavy_b);  // blocks (queue full), then throws
-    } catch (const Error&) {
-      threw = true;
+      (void)f.get();
+    } catch (const fault::StatusError& e) {
+      if (e.code() == fault::ErrorCode::kCancelled) cancelled = true;
     }
   });
   // Give the producer a moment to park on the backpressure wait, then stop.
@@ -299,10 +316,12 @@ TEST(Engine, ShutdownWakesBlockedProducers) {
   engine->shutdown();
   producer.join();
   // Either it squeezed in before shutdown (worker drained a slot) or it was
-  // woken and threw; both are fine — the point is producer.join() returned.
+  // woken and cancelled; both are fine — the point is producer.join()
+  // returned.
   (void)busy.get();
   (void)queued.get();
-  SUCCEED() << (threw ? "producer woken by shutdown" : "producer won the race");
+  SUCCEED() << (cancelled ? "producer woken by shutdown"
+                          : "producer won the race");
 }
 
 }  // namespace

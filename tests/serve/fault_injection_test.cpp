@@ -1,0 +1,188 @@
+// Injected faults flowing through the serving planes: typed errors out of
+// engine futures, snapshot IO failures, and the registry's retry-then-
+// quarantine recovery.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
+#include "obs/log.hpp"
+#include "serve/engine.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/registry.hpp"
+#include "serve/snapshot.hpp"
+#include "test_utils.hpp"
+
+namespace cw::serve {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::shared_ptr<const Pipeline> make_pipeline(const Csr& a) {
+  PipelineOptions o;
+  o.reorder = ReorderAlgo::kRCM;
+  return std::make_shared<const Pipeline>(a, o);
+}
+
+/// The global injector is process-wide state: every test arms inside this
+/// guard so a failing assertion cannot leak an armed site into later tests.
+struct InjectorGuard {
+  InjectorGuard() { fault::FaultInjector::global().reset(); }
+  ~InjectorGuard() { fault::FaultInjector::global().reset(); }
+};
+
+TEST(FaultInjection, EngineMultiplyFaultResolvesTyped) {
+  InjectorGuard guard;
+  fault::FaultInjector::global().arm_from_spec("engine.multiply=@1");
+  const Csr a = test::random_csr(30, 30, 0.15, 1);
+  auto p = make_pipeline(a);
+  ServeEngine engine({.num_workers = 1});
+  auto bad = engine.submit(p, test::random_csr(30, 4, 0.3, 2));
+  try {
+    (void)bad.get();
+    FAIL() << "injected multiply fault must reach the future";
+  } catch (const fault::StatusError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("engine.multiply"),
+              std::string::npos);
+  }
+  // The next request takes the same worker, fault disarmed after one fire.
+  const Csr b = test::random_csr(30, 4, 0.3, 3);
+  EXPECT_TRUE(engine.submit(p, b).get() == p->unpermute_rows(p->multiply(b)));
+  engine.drain();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.errors[static_cast<std::size_t>(fault::ErrorCode::kInternal)],
+            1u);
+  // The failure landed in the event log with its taxonomy label.
+  bool logged = false;
+  for (const obs::Event& e : engine.events()->recent(32))
+    for (const auto& [k, v] : e.labels)
+      if (k == "code" && v == "internal") logged = true;
+  EXPECT_TRUE(logged);
+}
+
+TEST(FaultInjection, SnapshotReadFaultIsTypedIoError) {
+  InjectorGuard guard;
+  const Csr a = test::random_csr(24, 24, 0.2, 4);
+  const std::string path = temp_path("cw_fault_read.cwsnap");
+  save_pipeline_file(path, Pipeline(a, {}));
+  fault::FaultInjector::global().arm_from_spec("snapshot.read=@1");
+  try {
+    (void)load_pipeline_file(path);
+    FAIL() << "injected read fault must surface";
+  } catch (const fault::StatusError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kIoError);
+    EXPECT_TRUE(fault::retryable_load(e.code()));
+  }
+  // One-shot: the retry from disk succeeds.
+  EXPECT_EQ(load_pipeline_file(path).matrix().nnz(), a.nnz());
+}
+
+TEST(FaultInjection, RegistryGetOrLoadRetriesARetryableFault) {
+  InjectorGuard guard;
+  const Csr a = test::random_csr(24, 24, 0.2, 5);
+  auto p = make_pipeline(a);
+  const Fingerprint key = fingerprint(a);
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  PipelineRegistry registry(opt);
+  int calls = 0;
+  auto flaky_load = [&]() -> std::shared_ptr<const Pipeline> {
+    if (++calls == 1)
+      throw fault::StatusError(fault::ErrorCode::kIoError, "torn read");
+    return p;
+  };
+  EXPECT_EQ(registry.get_or_load(key, flaky_load), p);
+  EXPECT_EQ(calls, 2);
+  const RegistryStats st = registry.stats();
+  EXPECT_EQ(st.load_retries, 1u);
+  EXPECT_EQ(st.quarantined, 0u);  // it healed: no quarantine
+  EXPECT_EQ(registry.quarantine().size(), 0u);
+  // And the key is cached now: no further load calls.
+  EXPECT_EQ(registry.get_or_load(key, flaky_load), p);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FaultInjection, RegistryQuarantinesAfterRetriesExhaust) {
+  InjectorGuard guard;
+  const Csr a = test::random_csr(24, 24, 0.2, 6);
+  const Fingerprint key = fingerprint(a);
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  opt.load_retries = 1;
+  PipelineRegistry registry(opt);
+  int calls = 0;
+  auto broken_load = [&]() -> std::shared_ptr<const Pipeline> {
+    ++calls;
+    throw fault::StatusError(fault::ErrorCode::kCorruptSnapshot,
+                             "checksum mismatch");
+  };
+  EXPECT_THROW((void)registry.get_or_load(key, broken_load),
+               fault::StatusError);
+  EXPECT_EQ(calls, 2);  // initial + one retry, both from disk
+
+  // Quarantined: the next call fails FAST — the load lambda never runs.
+  try {
+    (void)registry.get_or_load(key, broken_load);
+    FAIL() << "quarantined key must be refused";
+  } catch (const fault::StatusError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kCorruptSnapshot);
+    EXPECT_NE(std::string(e.what()).find("quarantined"), std::string::npos);
+  }
+  EXPECT_EQ(calls, 2);
+  const RegistryStats st = registry.stats();
+  EXPECT_EQ(st.quarantined, 1u);
+  EXPECT_EQ(st.quarantine_blocked, 1u);
+  EXPECT_EQ(st.quarantined_keys, 1u);
+
+  // Operator override ("I replaced the file"): release re-admits the key.
+  registry.quarantine().release(to_string(key));
+  auto p = make_pipeline(a);
+  EXPECT_EQ(registry.get_or_load(key, [&] { return p; }), p);
+}
+
+TEST(FaultInjection, RegistryDoesNotRetryOrQuarantineNonRetryableCodes) {
+  InjectorGuard guard;
+  const Csr a = test::random_csr(24, 24, 0.2, 7);
+  const Fingerprint key = fingerprint(a);
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  opt.load_retries = 3;
+  PipelineRegistry registry(opt);
+  int calls = 0;
+  auto cancelled_load = [&]() -> std::shared_ptr<const Pipeline> {
+    ++calls;
+    throw fault::StatusError(fault::ErrorCode::kCancelled, "shutting down");
+  };
+  EXPECT_THROW((void)registry.get_or_load(key, cancelled_load),
+               fault::StatusError);
+  EXPECT_EQ(calls, 1);  // no retry: a cancellation never heals on a re-read
+  EXPECT_EQ(registry.stats().quarantined, 0u);
+  EXPECT_EQ(registry.quarantine().size(), 0u);
+}
+
+TEST(FaultInjection, RegistryAdmitSiteIsInjectableAndRecovers) {
+  InjectorGuard guard;
+  fault::FaultInjector::global().arm_from_spec("registry.admit=@1");
+  const Csr a = test::random_csr(24, 24, 0.2, 8);
+  auto p = make_pipeline(a);
+  RegistryOptions opt;
+  opt.capacity_bytes = std::size_t{64} << 20;
+  PipelineRegistry registry(opt);
+  // The injected kIoError on attempt 1 is retryable; attempt 2 succeeds.
+  EXPECT_EQ(registry.get_or_load(fingerprint(a), [&] { return p; }), p);
+  EXPECT_EQ(registry.stats().load_retries, 1u);
+  EXPECT_EQ(registry.stats().quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace cw::serve

@@ -222,8 +222,15 @@ TEST(ShardedEngine, ShutdownDrainsAndRejectsLateSubmits) {
                                 200 + static_cast<std::uint64_t>(i))));
   engine.shutdown();
   for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
-  EXPECT_THROW((void)engine.submit(sp, gen_request_payload(a.nrows(), 4, 2, 299)),
-               Error);
+  // Late submits resolve a typed kCancelled through the future instead of
+  // throwing at the call site (the submit/stop race contract).
+  auto late = engine.submit(sp, gen_request_payload(a.nrows(), 4, 2, 299));
+  try {
+    (void)late.get();
+    FAIL() << "post-shutdown submit must not run";
+  } catch (const fault::StatusError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kCancelled);
+  }
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 //                      [--metrics-out m.prom] [--trace-out t.json]
 //                      [--trace-sample R]
 //                      [--slow-trace-us T] [--dump-out d.json]
+//                      [--deadline-ms D] [--fault site=spec]...
 //                                          concurrent-engine throughput run;
 //                                          N > 0 enables second-level B-stacking
 //                                          with an N-microsecond latency budget;
@@ -54,6 +55,21 @@
 //                                          the first batch pickup N ms — a
 //                                          test hook for exercising the
 //                                          watchdog path end to end.)
+//                                          --deadline-ms gives every request
+//                                          a D-millisecond deadline; expired
+//                                          requests resolve kDeadlineExceeded
+//                                          without running their multiply,
+//                                          and the summary reports the miss
+//                                          rate. --fault (repeatable) arms
+//                                          the fault injector at a named
+//                                          site — `engine.multiply=0.02` (2%
+//                                          per hit), `snapshot.read=@3` (the
+//                                          3rd hit, once) — for chaos drills;
+//                                          CW_FAULT/CW_FAULT_SEED do the same
+//                                          from the environment. The run
+//                                          exits nonzero if the accounting
+//                                          invariant completed + failed +
+//                                          shed == submitted is violated.
 //   cwtool metrics dump <input|file.cwsnap> [requests] [--json]
 //                                          run a small serving burst and dump
 //                                          every metric series plus recent
@@ -80,6 +96,7 @@
 // none fixed variable hierarchical. [strategy] is one of: naive balanced
 // locality.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -101,6 +118,8 @@
 #include "common/residency.hpp"
 #include "common/timer.hpp"
 #include "core/advisor.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "matrix/matrix_market.hpp"
@@ -308,7 +327,89 @@ struct ServeBenchFlags {
   long slow_trace_us = 0;   // flight-recorder threshold; 0 = capture off
   std::string dump_out;     // diagnostic dump path; arms the watchdog
   long stall_ms = 0;        // CW_SERVE_BENCH_STALL_MS test hook
+  long deadline_ms = 0;     // per-request deadline; 0 = none
+  std::vector<std::string> faults;  // injector specs, one per --fault
 };
+
+/// Per-request submit options from the bench flags (one fresh deadline per
+/// submission — the budget starts at enqueue, not at bench start).
+serve::SubmitOptions submit_options(const ServeBenchFlags& flags) {
+  serve::SubmitOptions o;
+  if (flags.deadline_ms > 0)
+    o.deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::milliseconds(flags.deadline_ms));
+  return o;
+}
+
+/// Snapshot loading under chaos: with `--fault snapshot.read=...` armed the
+/// initial load itself can fail, and the drill is about the serving path
+/// surviving — retry a retryable load a few times (deterministic under
+/// CW_FAULT_SEED), the same recovery the registry's get_or_load applies.
+template <typename F>
+auto load_with_recovery(F&& load) -> decltype(load()) {
+  constexpr int kAttempts = 8;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return load();
+    } catch (const Error&) {
+      const fault::ErrorCode code = fault::code_of(std::current_exception());
+      if (attempt >= kAttempts || !fault::retryable_load(code)) throw;
+      std::fprintf(stderr, "snapshot load failed (%s); retrying %d/%d\n",
+                   fault::code_label(code), attempt, kAttempts - 1);
+    }
+  }
+}
+
+/// Shared tail of both serve-bench summaries: typed error counts by code,
+/// deadline-miss rate, injector report, and the accounting invariant.
+/// Returns 0 when completed + failed + shed == submitted, 1 otherwise.
+int print_fault_summary(const char* layer, std::uint64_t submitted,
+                        std::uint64_t completed, std::uint64_t failed,
+                        std::uint64_t shed,
+                        const std::array<std::uint64_t,
+                                         fault::kNumErrorCodes>& errors,
+                        int requests, const ServeBenchFlags& flags) {
+  std::uint64_t typed = 0;
+  std::string by_code;
+  for (std::size_t c = 1; c < fault::kNumErrorCodes; ++c) {
+    if (errors[c] == 0) continue;
+    typed += errors[c];
+    by_code += std::string(by_code.empty() ? "" : "  ") +
+               fault::code_label(static_cast<fault::ErrorCode>(c)) + " " +
+               std::to_string(errors[c]);
+  }
+  if (typed > 0)
+    std::printf("  errors by code   %s\n", by_code.c_str());
+  if (flags.deadline_ms > 0) {
+    const auto missed =
+        errors[static_cast<std::size_t>(fault::ErrorCode::kDeadlineExceeded)];
+    std::printf("  deadline         %ld ms budget: %llu missed of %d "
+                "(%.2f%% miss rate)\n",
+                flags.deadline_ms, static_cast<unsigned long long>(missed),
+                requests,
+                requests > 0 ? 100.0 * static_cast<double>(missed) / requests
+                             : 0.0);
+  }
+  const auto fired = fault::FaultInjector::global().fired_sites();
+  if (!fired.empty()) {
+    std::string sites;
+    for (const auto& [site, fires] : fired)
+      sites += std::string(sites.empty() ? "" : "  ") + site + " x" +
+               std::to_string(fires);
+    std::printf("  faults injected  %s\n", sites.c_str());
+  }
+  if (completed + failed + shed != submitted) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION (%s): completed %llu + failed %llu + "
+                 "shed %llu != submitted %llu\n",
+                 layer, static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(shed),
+                 static_cast<unsigned long long>(submitted));
+    return 1;
+  }
+  return 0;
+}
 
 void export_telemetry(const obs::MetricsRegistry& metrics,
                       const std::shared_ptr<obs::TraceCollector>& tracer,
@@ -449,8 +550,8 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
                             int requests, int workers,
                             const ServeBenchFlags& flags) {
   Timer t_load;
-  auto sp = std::make_shared<const shard::ShardedPipeline>(
-      shard::load_sharded_pipeline_file(input));
+  auto sp = std::make_shared<const shard::ShardedPipeline>(load_with_recovery(
+      [&] { return shard::load_sharded_pipeline_file(input); }));
   std::fprintf(stderr, "loaded %d shards from %s in %.1f ms\n",
                sp->num_shards(), input.c_str(), t_load.seconds() * 1e3);
 
@@ -492,7 +593,8 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
   for (int cl = 0; cl < clients; ++cl) {
     threads.emplace_back([&, cl] {
       for (int i = cl; i < requests; i += clients)
-        (void)engine.submit(sp, payloads[static_cast<std::size_t>(i)]);
+        (void)engine.submit(sp, payloads[static_cast<std::size_t>(i)],
+                            submit_options(flags));
     });
   }
   for (auto& t : threads) t.join();
@@ -531,8 +633,15 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
                 static_cast<unsigned long long>(engine.flight()->kept()),
                 static_cast<unsigned long long>(engine.flight()->completed()),
                 engine.flight()->options().slow_threshold_ms);
+  if (st.shard_retries > 0)
+    std::printf("  shard retries    %llu (%llu recovered the product)\n",
+                static_cast<unsigned long long>(st.shard_retries),
+                static_cast<unsigned long long>(st.shard_retry_success));
+  const int rc =
+      print_fault_summary("sharded", st.submitted, st.completed, st.failed,
+                          0, st.errors, requests, flags);
   export_telemetry(*engine.metrics(), engine.tracer(), engine.flight(), flags);
-  return 0;
+  return rc;
 }
 
 int cmd_serve_bench(const std::string& input, int clients, int requests,
@@ -549,7 +658,8 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   std::shared_ptr<const Pipeline> p;
   if (is_snapshot_path(input)) {
     Timer t_load;
-    p = std::make_shared<const Pipeline>(serve::load_pipeline_file(input));
+    p = std::make_shared<const Pipeline>(
+        load_with_recovery([&] { return serve::load_pipeline_file(input); }));
     std::fprintf(stderr, "loaded %s in %.1f ms; fingerprint %s\n",
                  input.c_str(), t_load.seconds() * 1e3,
                  serve::to_string(serve::fingerprint(p->matrix())).c_str());
@@ -614,7 +724,8 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
         // serving frontend would — the hit-rate line below is real traffic.
         auto cached = engine.registry()->find(key);
         (void)engine.submit(cached != nullptr ? std::move(cached) : p,
-                            payloads[static_cast<std::size_t>(i)]);
+                            payloads[static_cast<std::size_t>(i)],
+                            submit_options(flags));
       }
     });
   }
@@ -679,8 +790,11 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
       static_cast<double>(rs.prefaulted_bytes) / 1e6,
       static_cast<unsigned long long>(rs.released_evictions),
       static_cast<double>(rs.released_bytes) / 1e6);
+  const int rc =
+      print_fault_summary("engine", st.submitted, st.completed, st.failed,
+                          st.shed, st.errors, requests, flags);
   export_telemetry(*engine.metrics(), engine.tracer(), engine.flight(), flags);
-  return 0;
+  return rc;
 }
 
 /// `cwtool metrics dump` — run a small canned serving burst so every layer's
@@ -982,6 +1096,7 @@ int usage() {
                "                     [--metrics-out m.prom] [--trace-out"
                " t.json] [--trace-sample R]\n"
                "                     [--slow-trace-us T] [--dump-out d.json]\n"
+               "                     [--deadline-ms D] [--fault site=spec]...\n"
                "  cwtool metrics dump <input|file.cwsnap> [requests] [--json]\n"
                "  cwtool debug dump <input|file.cwsnap> [requests]"
                " [--out d.json]\n"
@@ -1093,6 +1208,13 @@ int main(int argc, char** argv) {
         } else if (arg == "--dump-out") {
           if (i + 1 >= argc) return usage();
           flags.dump_out = argv[++i];
+        } else if (arg == "--deadline-ms") {
+          if (i + 1 >= argc) return usage();
+          flags.deadline_ms = std::atol(argv[++i]);
+          if (flags.deadline_ms < 0) return usage();
+        } else if (arg == "--fault") {
+          if (i + 1 >= argc) return usage();
+          flags.faults.emplace_back(argv[++i]);
         } else {
           pos.push_back(arg);
         }
@@ -1111,6 +1233,11 @@ int main(int argc, char** argv) {
       // action and kill the process.
       if (!flags.dump_out.empty() || flags.stall_ms > 0)
         std::signal(SIGUSR1, on_dump_signal);
+      // Arm the chaos sites before anything loads — the snapshot read is
+      // part of the drill (CW_FAULT from the environment arms on first
+      // probe by itself).
+      for (const std::string& spec : flags.faults)
+        fault::FaultInjector::global().arm_from_spec(spec);
       const int clients = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4;
       const int requests = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
       const int workers = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
