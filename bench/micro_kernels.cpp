@@ -1,15 +1,28 @@
 // google-benchmark micro suite: accumulator ablation (hash vs dense SPA vs
 // sort) and format construction costs — the design choices DESIGN.md calls
-// out.
+// out. Has its own main(): before the google-benchmark suite runs, a
+// kernel-dispatch sweep times the wide-lane (stacked-panel) accumulation
+// under every available SIMD tier, checks the products are bit-identical to
+// the scalar reference, and emits BENCH_micro_kernels.json with per-tier
+// speedups (pass --sweep-only to skip the google-benchmark suite).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accumulator/cluster_accumulator.hpp"
 #include "accumulator/dense_accumulator.hpp"
 #include "accumulator/hash_accumulator.hpp"
 #include "accumulator/sort_accumulator.hpp"
+#include "bench_json.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/clustering_schemes.hpp"
 #include "gen/generators.hpp"
 #include "matrix/csr_cluster.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -109,4 +122,182 @@ void BM_Transpose(benchmark::State& state) {
 }
 BENCHMARK(BM_Transpose);
 
+// --- kernel-dispatch sweep ---------------------------------------------------
+//
+// Times the two shapes the SIMD tiers accelerate — the raw K-wide lane FMA
+// over a stacked-panel's worth of columns, and the full cluster-accumulator
+// accumulate+extract loop — once per available tier, always against the
+// scalar tier as baseline. Every tier's output is byte-compared to scalar's
+// before its timing is recorded: a tier that is fast but not bit-identical
+// is a bug, not a win.
+
+struct SweepTiming {
+  double ns_per_op = 0;
+  bool bit_identical = false;
+};
+
+/// Raw stacked-panel accumulation: lane[r] += panel(c, r) * bv[c] for every
+/// panel column, lanes-wide. This is the dense-mask inner loop of the
+/// numeric phase with the hash probe factored out — pure kernel time.
+SweepTiming sweep_panel_fma(simd::SimdTier tier, index_t lanes,
+                            std::vector<value_t>& scalar_lane_bytes) {
+  const index_t ncols = 512;
+  Rng rng(77);
+  std::vector<value_t> panel(static_cast<std::size_t>(ncols) *
+                             static_cast<std::size_t>(lanes));
+  std::vector<value_t> bvals(static_cast<std::size_t>(ncols));
+  for (auto& v : panel) v = rng.uniform() - 0.5;
+  for (auto& v : bvals) v = rng.uniform() - 0.5;
+
+  if (!simd::force_tier(tier)) return {};
+  auto* const lane_fma = simd::kernels().lane_fma;
+  std::vector<value_t> lane(static_cast<std::size_t>(lanes), 0.0);
+  const int inner = 64;  // panel passes per timed rep
+  const double sec = time_best_of(7, [&] {
+    std::fill(lane.begin(), lane.end(), 0.0);
+    for (int rep = 0; rep < inner; ++rep)
+      for (index_t c = 0; c < ncols; ++c)
+        lane_fma(lane.data(),
+                 panel.data() +
+                     static_cast<std::size_t>(c) * static_cast<std::size_t>(lanes),
+                 bvals[static_cast<std::size_t>(c)], lanes);
+  });
+  SweepTiming out;
+  out.ns_per_op = sec * 1e9 / (static_cast<double>(inner) * ncols);
+  if (tier == simd::SimdTier::kScalar) {
+    scalar_lane_bytes = lane;
+    out.bit_identical = true;
+  } else {
+    out.bit_identical =
+        lane.size() == scalar_lane_bytes.size() &&
+        std::memcmp(lane.data(), scalar_lane_bytes.data(),
+                    lane.size() * sizeof(value_t)) == 0;
+  }
+  return out;
+}
+
+/// Cluster-accumulator accumulate + sorted extraction, dense masks — the
+/// end-to-end wide-lane path of the stacked-panel numeric phase, hash
+/// probes included.
+SweepTiming sweep_accumulator(simd::SimdTier tier, index_t lanes,
+                              std::vector<value_t>& scalar_vals) {
+  const index_t nkeys = 96;
+  const int touches = 4096;
+  Rng rng(88);
+  std::vector<index_t> keys(static_cast<std::size_t>(touches));
+  std::vector<value_t> bvals(static_cast<std::size_t>(touches));
+  for (auto& k : keys) k = rng.index(nkeys) * 17;
+  for (auto& v : bvals) v = rng.uniform() - 0.5;
+  std::vector<value_t> avals(static_cast<std::size_t>(lanes));
+  for (auto& v : avals) v = rng.uniform() - 0.5;
+  const std::uint64_t full_mask =
+      lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+
+  if (!simd::force_tier(tier)) return {};
+  ClusterAccumulator acc(lanes);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  const double sec = time_best_of(7, [&] {
+    acc.configure(lanes);
+    for (int i = 0; i < touches; ++i)
+      acc.add_scaled(keys[static_cast<std::size_t>(i)], full_mask,
+                     avals.data(), bvals[static_cast<std::size_t>(i)]);
+    cols.clear();
+    vals.clear();
+    for (index_t r = 0; r < lanes; ++r) acc.extract_lane_sorted(r, cols, vals);
+  });
+  SweepTiming out;
+  out.ns_per_op =
+      sec * 1e9 / (static_cast<double>(touches) * static_cast<double>(lanes));
+  if (tier == simd::SimdTier::kScalar) {
+    scalar_vals = vals;
+    out.bit_identical = true;
+  } else {
+    out.bit_identical =
+        vals.size() == scalar_vals.size() &&
+        std::memcmp(vals.data(), scalar_vals.data(),
+                    vals.size() * sizeof(value_t)) == 0;
+  }
+  return out;
+}
+
+/// Runs both sweeps across lanes × tiers and writes BENCH_micro_kernels.json.
+/// Returns false if any tier failed the bit-identity comparison.
+bool run_dispatch_sweep() {
+  cw::bench::JsonBenchWriter json("micro_kernels");
+  const std::vector<simd::SimdTier> tiers = simd::available_tiers();
+  bool all_identical = true;
+  std::printf("kernel-dispatch sweep (tiers:");
+  for (simd::SimdTier t : tiers) std::printf(" %s", simd::to_string(t));
+  std::printf(")\n");
+
+  for (const index_t lanes : {index_t{8}, index_t{32}, index_t{64}}) {
+    // Scalar baseline first; other tiers are compared and ratioed to it.
+    std::vector<value_t> panel_ref;
+    SweepTiming scalar_panel = sweep_panel_fma(simd::SimdTier::kScalar, lanes,
+                                               panel_ref);
+    std::vector<value_t> acc_ref;
+    SweepTiming scalar_acc =
+        sweep_accumulator(simd::SimdTier::kScalar, lanes, acc_ref);
+    for (simd::SimdTier t : tiers) {
+      const SweepTiming panel =
+          t == simd::SimdTier::kScalar ? scalar_panel
+                                       : sweep_panel_fma(t, lanes, panel_ref);
+      const SweepTiming acc = t == simd::SimdTier::kScalar
+                                  ? scalar_acc
+                                  : sweep_accumulator(t, lanes, acc_ref);
+      all_identical = all_identical && panel.bit_identical && acc.bit_identical;
+      const double panel_speedup = scalar_panel.ns_per_op / panel.ns_per_op;
+      const double acc_speedup = scalar_acc.ns_per_op / acc.ns_per_op;
+      std::printf(
+          "  lanes=%2d tier=%-6s panel_fma %7.3f ns/op (%4.2fx)  "
+          "accumulator %7.3f ns/lane-op (%4.2fx)  bit_identical=%s\n",
+          static_cast<int>(lanes), simd::to_string(t), panel.ns_per_op,
+          panel_speedup, acc.ns_per_op, acc_speedup,
+          panel.bit_identical && acc.bit_identical ? "yes" : "NO");
+      using W = cw::bench::JsonBenchWriter;
+      json.add({"panel_fma",
+                {W::param("tier", simd::to_string(t)), W::param("lanes", lanes),
+                 W::param("speedup_vs_scalar",
+                          std::to_string(panel_speedup)),
+                 W::param("bit_identical", panel.bit_identical ? "yes" : "no")},
+                panel.ns_per_op,
+                0,
+                0});
+      json.add({"cluster_accumulate_extract",
+                {W::param("tier", simd::to_string(t)), W::param("lanes", lanes),
+                 W::param("speedup_vs_scalar", std::to_string(acc_speedup)),
+                 W::param("bit_identical", acc.bit_identical ? "yes" : "no")},
+                acc.ns_per_op,
+                0,
+                0});
+    }
+  }
+  simd::reset_tier();
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  if (!all_identical)
+    std::fprintf(stderr, "ERROR: a SIMD tier diverged from the scalar bits\n");
+  return all_identical;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  const bool ok = run_dispatch_sweep();
+  if (!sweep_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return ok ? 0 : 1;
+}

@@ -12,9 +12,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cw {
 
@@ -24,9 +27,18 @@ class ClusterAccumulator {
 
   explicit ClusterAccumulator(index_t lanes = 1) { configure(lanes); }
 
-  /// Set the lane count (cluster size). Implies reset().
+  /// Set the lane count (cluster size). Implies reset(). Lane counts above
+  /// kMaxLanes are rejected, not clamped: the presence masks are 64-bit, so
+  /// lane 64 would shift a uint64_t by >= 64 (UB) and silently corrupt the
+  /// output pattern. Callers with wider clusters must split them first
+  /// (Clustering::split).
   void configure(index_t lanes) {
+    CW_CHECK_MSG(lanes <= kMaxLanes,
+                 "ClusterAccumulator: " << lanes << " lanes exceeds kMaxLanes ("
+                                        << kMaxLanes
+                                        << "); split the cluster");
     lanes_ = std::max<index_t>(lanes, 1);
+    lane_fma_ = simd::kernels().lane_fma;
     if (capacity_ == 0) rehash_(kMinCapacity);
     // slot_for() zero-fills a lane the moment its key is inserted, so stale
     // values from earlier clusters are unreachable — only the backing
@@ -63,17 +75,23 @@ class ClusterAccumulator {
   }
 
   /// Numeric insert: lane r += avals[r] * bv for rows owning the column.
-  /// Dense masks take the branch-free vectorizable K-wide FMA (padding lanes
-  /// carry avals[r] == 0, guaranteed by CSR_Cluster, so they accumulate
-  /// zeros); sparse masks iterate set bits to avoid wasted lane work. The
-  /// mask keeps the *pattern* exact either way.
+  /// Dense masks take the K-wide lane update — dispatched to the active SIMD
+  /// tier for wide lanes (per-lane order-preserving mul-then-add, so the
+  /// vector path is bit-identical to the scalar loop; padding lanes carry
+  /// avals[r] == 0, guaranteed by CSR_Cluster, so they accumulate zeros).
+  /// Sparse masks iterate set bits to avoid wasted lane work. The mask keeps
+  /// the *pattern* exact either way.
   void add_scaled(index_t key, std::uint64_t mask, const value_t* avals,
                   value_t bv) {
     const std::size_t slot = slot_for(key);
     masks_[slot] |= mask;
     value_t* lane = &vals_[slot * static_cast<std::size_t>(lanes_)];
     if (2 * __builtin_popcountll(mask) >= lanes_) {
-      for (index_t r = 0; r < lanes_; ++r) lane[r] += avals[r] * bv;
+      if (lanes_ >= simd::kMinVectorLanes) {
+        lane_fma_(lane, avals, bv, lanes_);
+      } else {
+        for (index_t r = 0; r < lanes_; ++r) lane[r] += avals[r] * bv;
+      }
     } else {
       std::uint64_t m = mask;
       while (m) {
@@ -160,8 +178,16 @@ class ClusterAccumulator {
   static constexpr std::size_t kMinCapacity = 16;
 
   static std::uint64_t hash_(index_t key) {
-    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
-           0x9e3779b97f4a7c15ULL;
+    // Mix the full key width. Truncating to uint32 before the multiply would
+    // alias keys differing only in high bits onto one probe chain the moment
+    // index_t widens to 64 bits; the xor-shift folds the multiply's high
+    // bits back down so probe_'s top-bits slot (>> shift_) sees all of them.
+    std::uint64_t x =
+        static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<index_t>>(key));
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    return x;
   }
 
   std::size_t probe_(index_t key) const {
@@ -215,6 +241,9 @@ class ClusterAccumulator {
   }
 
   index_t lanes_ = 1;
+  // Dense-branch lane kernel, re-fetched from the dispatch table at every
+  // configure() so per-cluster work never re-probes mid-loop.
+  void (*lane_fma_)(value_t*, const value_t*, value_t, index_t) = nullptr;
   std::size_t capacity_ = 0;
   int shift_ = 0;
   bool sorted_ = true;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cw {
 
@@ -36,23 +37,41 @@ class DenseAccumulator {
     return static_cast<index_t>(touched_.size());
   }
 
+  /// Iterates in insertion order — extract_sorted does not disturb it.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (index_t c : touched_) fn(c, vals_[static_cast<std::size_t>(c)]);
   }
 
+  /// Append the entries sorted by key. Sorts a scratch copy of the touched
+  /// list: extraction used to std::sort touched_ in place, so a for_each (or
+  /// any order-dependent consumer) after an extraction silently observed
+  /// sorted order instead of insertion order. The value gather runs through
+  /// the dispatched SIMD kernel (pure data movement, bit-exact).
   void extract_sorted(std::vector<index_t>& cols, std::vector<value_t>& vals) {
-    std::sort(touched_.begin(), touched_.end());
-    for (index_t c : touched_) {
-      cols.push_back(c);
-      vals.push_back(vals_[static_cast<std::size_t>(c)]);
-    }
+    scratch_.assign(touched_.begin(), touched_.end());
+    std::sort(scratch_.begin(), scratch_.end());
+    const std::size_t base = cols.size();
+    cols.reserve(base + scratch_.size());
+    vals.reserve(base + scratch_.size());
+    cols.insert(cols.end(), scratch_.begin(), scratch_.end());
+    vals.resize(base + scratch_.size());
+    simd::kernels().gather_f64(vals.data() + base, vals_.data(),
+                               scratch_.data(), scratch_.size());
   }
 
   void reset() {
-    for (index_t c : touched_) {
-      present_[static_cast<std::size_t>(c)] = 0;
-      vals_[static_cast<std::size_t>(c)] = 0.0;
+    // Once a decent fraction of the columns was touched, two wholesale
+    // vectorized fills beat per-entry scatter stores; sparsely touched rows
+    // keep the O(#touched) clear.
+    if (touched_.size() >= vals_.size() / 8) {
+      simd::kernels().fill_zero_f64(vals_.data(), vals_.size());
+      simd::kernels().fill_zero_u8(present_.data(), present_.size());
+    } else {
+      for (index_t c : touched_) {
+        present_[static_cast<std::size_t>(c)] = 0;
+        vals_[static_cast<std::size_t>(c)] = 0.0;
+      }
     }
     touched_.clear();
   }
@@ -61,6 +80,7 @@ class DenseAccumulator {
   std::vector<value_t> vals_;
   std::vector<std::uint8_t> present_;
   std::vector<index_t> touched_;
+  std::vector<index_t> scratch_;  // reused per-extraction sort buffer
 };
 
 }  // namespace cw

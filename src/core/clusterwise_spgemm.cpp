@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/prefix_sum.hpp"
 #include "common/timer.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cw {
 
@@ -34,8 +35,17 @@ void symbolic_lanes(const CsrCluster& a, const Csr& b,
     for (index_t c = 0; c < ncl; ++c) {
       const index_t k = cl.size(c);
       acc.configure(k);
+      const offset_t t_end = a.cluster_ptr()[static_cast<std::size_t>(c) + 1];
       for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
-           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1]; ++t) {
+           t < t_end; ++t) {
+        // A's column stream is sequential; the B row it selects is not.
+        // Reading the next column id early and prefetching its B row hides
+        // the dependent-load latency behind this column's accumulate.
+        if (t + 1 < t_end) {
+          const index_t next_col = a.col_idx()[static_cast<std::size_t>(t) + 1];
+          const offset_t bnext = b.row_ptr()[next_col];
+          simd::prefetch_read(b.col_idx().data() + bnext);
+        }
         const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
         const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
         for (offset_t kb = b.row_ptr()[col]; kb < b.row_ptr()[col + 1]; ++kb) {
@@ -66,9 +76,18 @@ void numeric_lanes(const CsrCluster& a, const Csr& b,
       offset_t val_off = a.value_ptr()[static_cast<std::size_t>(c)];
       // Alg. 1 lines 3–8: each B row is fetched once per cluster; the
       // K-wide lane FMA applies it to every owning row.
+      const offset_t t_end = a.cluster_ptr()[static_cast<std::size_t>(c) + 1];
       for (offset_t t = a.cluster_ptr()[static_cast<std::size_t>(c)];
-           t < a.cluster_ptr()[static_cast<std::size_t>(c) + 1];
-           ++t, val_off += k) {
+           t < t_end; ++t, val_off += k) {
+        // Prefetch the next column's B row (ids and values) while this
+        // column's lane updates run — the B-row fetch is the only
+        // non-sequential access in the loop.
+        if (t + 1 < t_end) {
+          const index_t next_col = a.col_idx()[static_cast<std::size_t>(t) + 1];
+          const offset_t bnext = b.row_ptr()[next_col];
+          simd::prefetch_read(b.col_idx().data() + bnext);
+          simd::prefetch_read(b.values().data() + bnext);
+        }
         const index_t col = a.col_idx()[static_cast<std::size_t>(t)];
         const std::uint64_t mask = a.row_mask()[static_cast<std::size_t>(t)];
         const value_t* avals = &a.values()[static_cast<std::size_t>(val_off)];

@@ -55,6 +55,22 @@ Clustering Clustering::from_ptr(ArraySegment<index_t> ptr) {
   return c;
 }
 
+Clustering Clustering::split(index_t max_size) const {
+  CW_CHECK(max_size >= 1);
+  std::vector<index_t> ptr;
+  ptr.reserve(ptr_.size());
+  ptr.push_back(0);
+  for (index_t c = 0; c < num_clusters(); ++c) {
+    for (index_t start = row_start(c) + max_size; start < row_start(c + 1);
+         start += max_size)
+      ptr.push_back(start);
+    ptr.push_back(row_start(c + 1));
+  }
+  Clustering out;
+  out.ptr_ = std::move(ptr);
+  return out;
+}
+
 index_t Clustering::max_size() const {
   index_t m = 0;
   for (index_t c = 0; c < num_clusters(); ++c) m = std::max(m, size(c));

@@ -46,6 +46,13 @@ class Clustering {
   /// the O(num_clusters) invariants: ptr[0] == 0, strictly increasing.
   static Clustering from_ptr(ArraySegment<index_t> ptr);
 
+  /// Copy with every cluster wider than `max_size` split into consecutive
+  /// chunks of at most `max_size` rows (row coverage and order unchanged).
+  /// This is how callers with externally supplied cluster sizes fit the
+  /// 64-row presence-mask / accumulator-lane bound (CsrCluster::build and
+  /// ClusterAccumulator::configure both reject oversized clusters).
+  [[nodiscard]] Clustering split(index_t max_size) const;
+
   [[nodiscard]] index_t num_clusters() const {
     return static_cast<index_t>(ptr_.size()) - 1;
   }

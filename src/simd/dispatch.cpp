@@ -1,0 +1,123 @@
+#include "simd/dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/tables.hpp"
+
+namespace cw::simd {
+
+const char* to_string(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kNeon: return "neon";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool tier_from_string(const char* s, SimdTier& tier, bool& auto_tier) {
+  auto_tier = false;
+  if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0) {
+    auto_tier = true;
+    return true;
+  }
+  if (std::strcmp(s, "scalar") == 0) { tier = SimdTier::kScalar; return true; }
+  if (std::strcmp(s, "neon") == 0) { tier = SimdTier::kNeon; return true; }
+  if (std::strcmp(s, "avx2") == 0) { tier = SimdTier::kAvx2; return true; }
+  if (std::strcmp(s, "avx512") == 0) { tier = SimdTier::kAvx512; return true; }
+  return false;
+}
+
+namespace detail {
+namespace {
+
+/// Table for `tier` iff it is compiled into this build AND the running CPU
+/// executes it; nullptr otherwise.
+const KernelTable* usable_table(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return scalar_table();
+    case SimdTier::kNeon:
+      // NEON is baseline on AArch64: compiled-in implies executable.
+      return neon_table();
+    case SimdTier::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      if (__builtin_cpu_supports("avx2")) return avx2_table();
+#endif
+      return nullptr;
+    case SimdTier::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      if (__builtin_cpu_supports("avx512f")) return avx512_table();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Best usable tier, best first in the enum order: avx512 > avx2 > neon >
+/// scalar (avx* and neon never coexist).
+const KernelTable* best_table() {
+  for (SimdTier t : {SimdTier::kAvx512, SimdTier::kAvx2, SimdTier::kNeon}) {
+    if (const KernelTable* table = usable_table(t)) return table;
+  }
+  return scalar_table();
+}
+
+/// Auto-selection: CPU probe, then the CW_SIMD override. An unknown or
+/// unusable override falls back to the probe result (with a one-line note,
+/// so a CI leg forcing `CW_SIMD=avx2` on odd hardware degrades loudly but
+/// gracefully instead of failing every test).
+const KernelTable* select_table() {
+  const KernelTable* chosen = best_table();
+  const char* env = std::getenv("CW_SIMD");
+  if (env == nullptr || *env == '\0') return chosen;
+  SimdTier want{};
+  bool auto_tier = false;
+  if (!tier_from_string(env, want, auto_tier)) {
+    std::fprintf(stderr, "cw: CW_SIMD=%s not recognized; using %s kernels\n",
+                 env, to_string(chosen->tier));
+    return chosen;
+  }
+  if (auto_tier) return chosen;
+  if (const KernelTable* table = usable_table(want)) return table;
+  std::fprintf(stderr, "cw: CW_SIMD=%s unavailable on this CPU/build; "
+                       "using %s kernels\n", env, to_string(chosen->tier));
+  return chosen;
+}
+
+}  // namespace
+
+std::atomic<const KernelTable*>& active_slot() {
+  static std::atomic<const KernelTable*> slot{select_table()};
+  return slot;
+}
+
+}  // namespace detail
+
+SimdTier active_tier() { return kernels().tier; }
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> out;
+  for (SimdTier t : {SimdTier::kAvx512, SimdTier::kAvx2, SimdTier::kNeon,
+                     SimdTier::kScalar}) {
+    if (detail::usable_table(t) != nullptr) out.push_back(t);
+  }
+  return out;
+}
+
+bool force_tier(SimdTier tier) {
+  const KernelTable* table = detail::usable_table(tier);
+  if (table == nullptr) return false;
+  detail::active_slot().store(table, std::memory_order_release);
+  return true;
+}
+
+void reset_tier() {
+  detail::active_slot().store(detail::select_table(),
+                              std::memory_order_release);
+}
+
+}  // namespace cw::simd

@@ -1,0 +1,110 @@
+// Runtime-dispatched SIMD kernels for the accumulator / panel hot paths.
+//
+// The library is built once, with no global -march flags; only the per-ISA
+// kernel translation units (src/simd/kernels_*.cpp) are compiled with
+// -mavx2 / -mavx512f, and the best tier the *running* CPU supports is picked
+// at startup (CPUID probe via __builtin_cpu_supports). `CW_SIMD=scalar`
+// forces the portable fallback; `CW_SIMD=avx2|avx512|neon` requests a tier
+// (clamped to what the CPU and the build actually provide).
+//
+// Bit-identity contract: every kernel computes, per element, exactly the
+// scalar reference's IEEE operation sequence — multiplies and adds are never
+// fused (the kernel TUs are built with -ffp-contract=off and the intrinsics
+// use mul-then-add, not FMA), and no kernel reassociates across elements.
+// Vectorizing across *lanes* of the cluster accumulator is safe because the
+// lanes are independent accumulators; the 220-case bit-identity suite runs
+// under every tier to keep this provable (tests/simd/dispatch_identity_test).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cw::simd {
+
+enum class SimdTier : int {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+const char* to_string(SimdTier tier);
+
+/// Parse a CW_SIMD value; returns false for unknown strings ("auto" and ""
+/// parse as `auto_tier = true`).
+bool tier_from_string(const char* s, SimdTier& tier, bool& auto_tier);
+
+/// The per-tier kernel table. Every pointer is non-null in every table; the
+/// scalar table is the reference implementation the others must match bit
+/// for bit.
+struct KernelTable {
+  SimdTier tier;
+
+  /// lane[r] += avals[r] * bv for r in [0, k) — the K-wide lane update of
+  /// the cluster accumulator's dense-mask branch. Per-lane order-preserving:
+  /// one multiply, one add per element, no fusing, no reassociation.
+  void (*lane_fma)(value_t* lane, const value_t* avals, value_t bv, index_t k);
+
+  /// out[i] = base[idx[i]] for i in [0, n) — sorted-key value extraction
+  /// (dense accumulator). Pure data movement.
+  void (*gather_f64)(value_t* out, const value_t* base, const index_t* idx,
+                     std::size_t n);
+
+  /// dst[i] = src[i] + delta for i in [0, n) — column-id shifting when
+  /// stacking request panels (delta > 0) or splitting them back (delta < 0).
+  void (*shift_i32)(index_t* dst, const index_t* src, index_t delta,
+                    std::size_t n);
+
+  /// dst[0, n) = 0.0 — wholesale dense-accumulator reset.
+  void (*fill_zero_f64)(value_t* dst, std::size_t n);
+
+  /// dst[0, n) = 0 — wholesale presence-flag reset.
+  void (*fill_zero_u8)(std::uint8_t* dst, std::size_t n);
+};
+
+namespace detail {
+/// The active table slot (function-local static inside active_slot(), so any
+/// static-init-order use still probes first).
+std::atomic<const KernelTable*>& active_slot();
+}  // namespace detail
+
+/// The active kernel table. One relaxed load + indirect call per kernel use;
+/// hot loops may cache individual pointers (re-fetched on reconfigure).
+inline const KernelTable& kernels() {
+  return *detail::active_slot().load(std::memory_order_acquire);
+}
+
+/// The tier the active table implements.
+SimdTier active_tier();
+
+/// Tiers usable on this CPU with this build, best first. Always contains
+/// kScalar.
+std::vector<SimdTier> available_tiers();
+
+/// Force a tier (tests / bench sweeps). Returns false — and leaves the
+/// active table unchanged — if the tier is not available. Not meant to be
+/// called while kernels are executing on other threads.
+bool force_tier(SimdTier tier);
+
+/// Re-run auto-selection (CPU probe + CW_SIMD env override).
+void reset_tier();
+
+/// Dispatch-independent read prefetch hint (no-op where unsupported).
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+/// Lane counts below this stay on the inline scalar loop: the indirect call
+/// into the dispatched kernel only pays for itself once a vector register's
+/// worth of lanes is in flight.
+inline constexpr index_t kMinVectorLanes = 8;
+
+}  // namespace cw::simd

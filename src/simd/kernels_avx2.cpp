@@ -1,0 +1,94 @@
+// AVX2 kernels. This file — and only this file — is compiled with
+// -mavx2 -ffp-contract=off (see CMakeLists); when the compiler cannot
+// target AVX2 the stub at the bottom keeps the build portable. The FP
+// kernels use mul-then-add, never _mm256_fmadd_pd: fusing would change the
+// rounding and break bit-identity with the scalar reference.
+#include "simd/tables.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace cw::simd::detail {
+namespace {
+
+void lane_fma_avx2(value_t* lane, const value_t* avals, value_t bv,
+                   index_t k) {
+  const __m256d vb = _mm256_set1_pd(bv);
+  index_t r = 0;
+  // Register-blocked: two independent accumulate chains per iteration keep
+  // the add ports busy across the load latency.
+  for (; r + 8 <= k; r += 8) {
+    const __m256d a0 = _mm256_loadu_pd(avals + r);
+    const __m256d a1 = _mm256_loadu_pd(avals + r + 4);
+    const __m256d l0 = _mm256_loadu_pd(lane + r);
+    const __m256d l1 = _mm256_loadu_pd(lane + r + 4);
+    _mm256_storeu_pd(lane + r, _mm256_add_pd(l0, _mm256_mul_pd(a0, vb)));
+    _mm256_storeu_pd(lane + r + 4, _mm256_add_pd(l1, _mm256_mul_pd(a1, vb)));
+  }
+  for (; r + 4 <= k; r += 4) {
+    const __m256d a0 = _mm256_loadu_pd(avals + r);
+    const __m256d l0 = _mm256_loadu_pd(lane + r);
+    _mm256_storeu_pd(lane + r, _mm256_add_pd(l0, _mm256_mul_pd(a0, vb)));
+  }
+  for (; r < k; ++r) lane[r] += avals[r] * bv;
+}
+
+void gather_f64_avx2(value_t* out, const value_t* base, const index_t* idx,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    _mm256_storeu_pd(out + i, _mm256_i32gather_pd(base, vi, 8));
+  }
+  for (; i < n; ++i) out[i] = base[static_cast<std::size_t>(idx[i])];
+}
+
+void shift_i32_avx2(index_t* dst, const index_t* src, index_t delta,
+                    std::size_t n) {
+  const __m256i vd = _mm256_set1_epi32(delta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi32(v, vd));
+  }
+  for (; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void fill_zero_f64_avx2(value_t* dst, std::size_t n) {
+  const __m256d z = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(dst + i, z);
+    _mm256_storeu_pd(dst + i + 4, z);
+  }
+  if (i < n) std::memset(dst + i, 0, (n - i) * sizeof(value_t));
+}
+
+void fill_zero_u8_avx2(std::uint8_t* dst, std::size_t n) {
+  std::memset(dst, 0, n);
+}
+
+constexpr KernelTable kAvx2Table = {
+    SimdTier::kAvx2,    lane_fma_avx2,      gather_f64_avx2,
+    shift_i32_avx2,     fill_zero_f64_avx2, fill_zero_u8_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace cw::simd::detail
+
+#else  // !__AVX2__
+
+namespace cw::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace cw::simd::detail
+
+#endif

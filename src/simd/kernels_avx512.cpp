@@ -1,0 +1,97 @@
+// AVX-512F kernels (compiled with -mavx512f -ffp-contract=off; stubbed out
+// otherwise). Same bit-identity rules as the AVX2 tier: mul-then-add, no
+// _mm512_fmadd_pd, scalar-identical per-element operation order. Tail
+// elements use masked loads/stores so a 63-lane cluster never reads past its
+// value block.
+#include "simd/tables.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace cw::simd::detail {
+namespace {
+
+void lane_fma_avx512(value_t* lane, const value_t* avals, value_t bv,
+                     index_t k) {
+  const __m512d vb = _mm512_set1_pd(bv);
+  index_t r = 0;
+  for (; r + 16 <= k; r += 16) {
+    const __m512d a0 = _mm512_loadu_pd(avals + r);
+    const __m512d a1 = _mm512_loadu_pd(avals + r + 8);
+    const __m512d l0 = _mm512_loadu_pd(lane + r);
+    const __m512d l1 = _mm512_loadu_pd(lane + r + 8);
+    _mm512_storeu_pd(lane + r, _mm512_add_pd(l0, _mm512_mul_pd(a0, vb)));
+    _mm512_storeu_pd(lane + r + 8, _mm512_add_pd(l1, _mm512_mul_pd(a1, vb)));
+  }
+  if (r < k) {
+    const __mmask8 tail0 =
+        static_cast<__mmask8>((k - r >= 8) ? 0xFF : (1u << (k - r)) - 1);
+    const __m512d a0 = _mm512_maskz_loadu_pd(tail0, avals + r);
+    const __m512d l0 = _mm512_maskz_loadu_pd(tail0, lane + r);
+    _mm512_mask_storeu_pd(lane + r, tail0,
+                          _mm512_add_pd(l0, _mm512_mul_pd(a0, vb)));
+    r += 8;
+    if (r < k) {
+      const __mmask8 tail1 = static_cast<__mmask8>((1u << (k - r)) - 1);
+      const __m512d a1 = _mm512_maskz_loadu_pd(tail1, avals + r);
+      const __m512d l1 = _mm512_maskz_loadu_pd(tail1, lane + r);
+      _mm512_mask_storeu_pd(lane + r, tail1,
+                            _mm512_add_pd(l1, _mm512_mul_pd(a1, vb)));
+    }
+  }
+}
+
+void gather_f64_avx512(value_t* out, const value_t* base, const index_t* idx,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    _mm512_storeu_pd(out + i, _mm512_i32gather_pd(vi, base, 8));
+  }
+  for (; i < n; ++i) out[i] = base[static_cast<std::size_t>(idx[i])];
+}
+
+void shift_i32_avx512(index_t* dst, const index_t* src, index_t delta,
+                      std::size_t n) {
+  const __m512i vd = _mm512_set1_epi32(delta);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i v = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_add_epi32(v, vd));
+  }
+  for (; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void fill_zero_f64_avx512(value_t* dst, std::size_t n) {
+  const __m512d z = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm512_storeu_pd(dst + i, z);
+  if (i < n) std::memset(dst + i, 0, (n - i) * sizeof(value_t));
+}
+
+void fill_zero_u8_avx512(std::uint8_t* dst, std::size_t n) {
+  std::memset(dst, 0, n);
+}
+
+constexpr KernelTable kAvx512Table = {
+    SimdTier::kAvx512,    lane_fma_avx512,      gather_f64_avx512,
+    shift_i32_avx512,     fill_zero_f64_avx512, fill_zero_u8_avx512,
+};
+
+}  // namespace
+
+const KernelTable* avx512_table() { return &kAvx512Table; }
+
+}  // namespace cw::simd::detail
+
+#else  // !__AVX512F__
+
+namespace cw::simd::detail {
+const KernelTable* avx512_table() { return nullptr; }
+}  // namespace cw::simd::detail
+
+#endif

@@ -1,0 +1,70 @@
+// NEON kernels (AArch64; NEON is baseline there, so no per-file -m flags —
+// just -ffp-contract=off). vmulq/vaddq, never vfmaq: fused multiply-add
+// rounds differently from the scalar reference.
+#include "simd/tables.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON) && !defined(CW_NO_SIMD)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace cw::simd::detail {
+namespace {
+
+void lane_fma_neon(value_t* lane, const value_t* avals, value_t bv,
+                   index_t k) {
+  const float64x2_t vb = vdupq_n_f64(bv);
+  index_t r = 0;
+  for (; r + 4 <= k; r += 4) {
+    const float64x2_t a0 = vld1q_f64(avals + r);
+    const float64x2_t a1 = vld1q_f64(avals + r + 2);
+    const float64x2_t l0 = vld1q_f64(lane + r);
+    const float64x2_t l1 = vld1q_f64(lane + r + 2);
+    vst1q_f64(lane + r, vaddq_f64(l0, vmulq_f64(a0, vb)));
+    vst1q_f64(lane + r + 2, vaddq_f64(l1, vmulq_f64(a1, vb)));
+  }
+  for (; r < k; ++r) lane[r] += avals[r] * bv;
+}
+
+void gather_f64_neon(value_t* out, const value_t* base, const index_t* idx,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = base[static_cast<std::size_t>(idx[i])];
+}
+
+void shift_i32_neon(index_t* dst, const index_t* src, index_t delta,
+                    std::size_t n) {
+  const int32x4_t vd = vdupq_n_s32(delta);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_s32(dst + i, vaddq_s32(vld1q_s32(src + i), vd));
+  for (; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void fill_zero_f64_neon(value_t* dst, std::size_t n) {
+  std::memset(dst, 0, n * sizeof(value_t));
+}
+
+void fill_zero_u8_neon(std::uint8_t* dst, std::size_t n) {
+  std::memset(dst, 0, n);
+}
+
+constexpr KernelTable kNeonTable = {
+    SimdTier::kNeon,    lane_fma_neon,      gather_f64_neon,
+    shift_i32_neon,     fill_zero_f64_neon, fill_zero_u8_neon,
+};
+
+}  // namespace
+
+const KernelTable* neon_table() { return &kNeonTable; }
+
+}  // namespace cw::simd::detail
+
+#else  // not an AArch64 NEON build
+
+namespace cw::simd::detail {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace cw::simd::detail
+
+#endif

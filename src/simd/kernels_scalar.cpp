@@ -1,0 +1,45 @@
+// Portable reference kernels — the bit-identity baseline every vector tier
+// must reproduce exactly. Compiled with the project's default flags (no
+// -march, contraction disabled via CMake), so `lane[r] += avals[r] * bv` is
+// one IEEE multiply followed by one IEEE add per element.
+#include <cstring>
+
+#include "simd/tables.hpp"
+
+namespace cw::simd::detail {
+namespace {
+
+void lane_fma_scalar(value_t* lane, const value_t* avals, value_t bv,
+                     index_t k) {
+  for (index_t r = 0; r < k; ++r) lane[r] += avals[r] * bv;
+}
+
+void gather_f64_scalar(value_t* out, const value_t* base, const index_t* idx,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = base[static_cast<std::size_t>(idx[i])];
+}
+
+void shift_i32_scalar(index_t* dst, const index_t* src, index_t delta,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] + delta;
+}
+
+void fill_zero_f64_scalar(value_t* dst, std::size_t n) {
+  std::memset(dst, 0, n * sizeof(value_t));
+}
+
+void fill_zero_u8_scalar(std::uint8_t* dst, std::size_t n) {
+  std::memset(dst, 0, n);
+}
+
+constexpr KernelTable kScalarTable = {
+    SimdTier::kScalar,    lane_fma_scalar,      gather_f64_scalar,
+    shift_i32_scalar,     fill_zero_f64_scalar, fill_zero_u8_scalar,
+};
+
+}  // namespace
+
+const KernelTable* scalar_table() { return &kScalarTable; }
+
+}  // namespace cw::simd::detail

@@ -1,0 +1,15 @@
+// Internal: per-ISA kernel table accessors. Each returns nullptr when the
+// tier was not compiled into this build (wrong architecture, compiler
+// without the -m flag, or CW_ENABLE_SIMD=OFF).
+#pragma once
+
+#include "simd/dispatch.hpp"
+
+namespace cw::simd::detail {
+
+const KernelTable* scalar_table();  // never nullptr
+const KernelTable* neon_table();
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+
+}  // namespace cw::simd::detail

@@ -1,9 +1,12 @@
 #include "spgemm/stacked.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cw {
 
@@ -40,6 +43,10 @@ ColumnStack stack_columns(const std::vector<const Csr*>& bs) {
     row_ptr[static_cast<std::size_t>(r) + 1] +=
         row_ptr[static_cast<std::size_t>(r)];
 
+  // Each (row, request) segment is contiguous in both source and panel, so
+  // the fill is one vectorized column-id shift plus one value memcpy per
+  // segment instead of an element-wise loop.
+  const simd::KernelTable& kern = simd::kernels();
   std::vector<index_t> cols(static_cast<std::size_t>(total_nnz));
   std::vector<value_t> vals(static_cast<std::size_t>(total_nnz));
   for (index_t r = 0; r < nrows; ++r) {
@@ -48,10 +55,10 @@ ColumnStack stack_columns(const std::vector<const Csr*>& bs) {
       const index_t off = out.offsets[k];
       const auto rc = bs[k]->row_cols(r);
       const auto rv = bs[k]->row_vals(r);
-      for (std::size_t t = 0; t < rc.size(); ++t, ++dst) {
-        cols[dst] = rc[t] + off;
-        vals[dst] = rv[t];
-      }
+      if (rc.empty()) continue;
+      kern.shift_i32(cols.data() + dst, rc.data(), off, rc.size());
+      std::memcpy(vals.data() + dst, rv.data(), rv.size() * sizeof(value_t));
+      dst += rc.size();
     }
   }
   out.panel = Csr(nrows, static_cast<index_t>(total_cols), std::move(row_ptr),
@@ -70,16 +77,25 @@ std::vector<Csr> split_columns(const Csr& c,
                  "split_columns: offsets must be non-decreasing");
   const index_t nrows = c.nrows();
 
-  // Count each slice's per-row nonzeros. Rows are sorted, so a slice's
-  // entries are contiguous within a row and one forward walk buckets them.
+  // Rows are sorted, so a slice's entries are contiguous within a row: find
+  // each (row, slice) segment's end by binary search and bucket it as one
+  // block — the copy-out below then runs as a vectorized column-id shift
+  // plus a value memcpy per segment instead of an element-wise walk.
   std::vector<std::vector<offset_t>> row_ptrs(num);
   for (std::size_t k = 0; k < num; ++k)
     row_ptrs[k].assign(static_cast<std::size_t>(nrows) + 1, 0);
   for (index_t r = 0; r < nrows; ++r) {
-    std::size_t k = 0;
-    for (const index_t col : c.row_cols(r)) {
-      while (col >= offsets[k + 1]) ++k;
-      ++row_ptrs[k][static_cast<std::size_t>(r) + 1];
+    const auto rc = c.row_cols(r);
+    std::size_t t = 0, k = 0;
+    while (t < rc.size()) {
+      while (rc[t] >= offsets[k + 1]) ++k;
+      const std::size_t seg_end = static_cast<std::size_t>(
+          std::lower_bound(rc.begin() + static_cast<std::ptrdiff_t>(t),
+                           rc.end(), offsets[k + 1]) -
+          rc.begin());
+      row_ptrs[k][static_cast<std::size_t>(r) + 1] +=
+          static_cast<offset_t>(seg_end - t);
+      t = seg_end;
     }
   }
   std::vector<std::vector<index_t>> cols(num);
@@ -92,17 +108,25 @@ std::vector<Csr> split_columns(const Csr& c,
     vals[k].resize(static_cast<std::size_t>(row_ptrs[k].back()));
   }
 
+  const simd::KernelTable& kern = simd::kernels();
   std::vector<offset_t> cursor(num);
   for (std::size_t k = 0; k < num; ++k) cursor[k] = 0;
   for (index_t r = 0; r < nrows; ++r) {
-    std::size_t k = 0;
     const auto rc = c.row_cols(r);
     const auto rv = c.row_vals(r);
-    for (std::size_t t = 0; t < rc.size(); ++t) {
+    std::size_t t = 0, k = 0;
+    while (t < rc.size()) {
       while (rc[t] >= offsets[k + 1]) ++k;
-      const auto dst = static_cast<std::size_t>(cursor[k]++);
-      cols[k][dst] = rc[t] - offsets[k];
-      vals[k][dst] = rv[t];
+      const std::size_t seg_end = static_cast<std::size_t>(
+          std::lower_bound(rc.begin() + static_cast<std::ptrdiff_t>(t),
+                           rc.end(), offsets[k + 1]) -
+          rc.begin());
+      const std::size_t n = seg_end - t;
+      const auto dst = static_cast<std::size_t>(cursor[k]);
+      cursor[k] += static_cast<offset_t>(n);
+      kern.shift_i32(cols[k].data() + dst, rc.data() + t, -offsets[k], n);
+      std::memcpy(vals[k].data() + dst, rv.data() + t, n * sizeof(value_t));
+      t = seg_end;
     }
   }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "accumulator/cluster_accumulator.hpp"
@@ -213,6 +214,162 @@ TEST(ClusterAccumulator, SymbolicMasksUnion) {
   EXPECT_EQ(acc.lane_size(1), 1);
   EXPECT_EQ(acc.lane_size(2), 1);
   EXPECT_EQ(acc.size(), 2);
+}
+
+TEST(ClusterAccumulator, ConfigureAcceptsUpToMaxLanesAndRejectsBeyond) {
+  // The presence masks are 64-bit: lane 64 would shift a uint64_t by >= 64
+  // (UB). configure() must reject, not clamp — a clamped lane count would
+  // silently drop rows.
+  ClusterAccumulator acc;
+  EXPECT_NO_THROW(acc.configure(63));
+  EXPECT_EQ(acc.lanes(), 63);
+  EXPECT_NO_THROW(acc.configure(64));
+  EXPECT_EQ(acc.lanes(), 64);
+  EXPECT_THROW(acc.configure(65), Error);
+  EXPECT_THROW(ClusterAccumulator{65}, Error);
+  EXPECT_THROW(acc.configure(1000), Error);
+}
+
+TEST(ClusterAccumulator, MaskBit63AddressesTheLastLane) {
+  // Lane 63 is the one a 1-off shift-width bug corrupts first.
+  ClusterAccumulator acc(64);
+  value_t avals[64] = {};
+  avals[0] = 2.0;
+  avals[63] = 5.0;
+  const std::uint64_t hi = std::uint64_t{1} << 63;
+  acc.add_symbolic(11, hi);
+  acc.add_scaled(7, hi | 1u, avals, 10.0);
+  acc.add_scaled(7, hi, avals, 0.5);  // sparse-mask branch on the top bit
+  EXPECT_EQ(acc.lane_size(63), 2);
+  EXPECT_EQ(acc.lane_size(0), 1);
+  EXPECT_EQ(acc.lane_size(62), 0);
+  std::vector<offset_t> sizes;
+  acc.lane_sizes(sizes);
+  ASSERT_EQ(sizes.size(), 64u);
+  EXPECT_EQ(sizes[63], 2);
+  EXPECT_EQ(sizes[0], 1);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(63, cols, vals);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 7);
+  EXPECT_DOUBLE_EQ(vals[0], 52.5);  // 5*10 + 5*0.5
+  EXPECT_EQ(cols[1], 11);
+  EXPECT_DOUBLE_EQ(vals[1], 0.0);  // symbolic-only entry
+  cols.clear();
+  vals.clear();
+  acc.extract_lane_sorted(0, cols, vals);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 20.0);
+}
+
+TEST(ClusterAccumulator, At63And64LanesDenseBranchMatchesReference) {
+  // Boundary lane counts drive the dispatched K-wide update through its
+  // masked/partial-vector tails; compare against a plain map accumulation.
+  for (const index_t lanes : {index_t{63}, index_t{64}}) {
+    ClusterAccumulator acc(lanes);
+    std::vector<value_t> avals(static_cast<std::size_t>(lanes));
+    Rng rng(7000 + static_cast<std::uint64_t>(lanes));
+    const std::uint64_t full = lanes == 64 ? ~std::uint64_t{0}
+                                           : (std::uint64_t{1} << lanes) - 1;
+    std::vector<std::map<index_t, value_t>> ref(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < 300; ++i) {
+      const index_t key = rng.index(40);
+      const value_t bv = rng.uniform() - 0.5;
+      for (index_t r = 0; r < lanes; ++r)
+        avals[static_cast<std::size_t>(r)] = rng.uniform() - 0.5;
+      acc.add_scaled(key, full, avals.data(), bv);
+      for (index_t r = 0; r < lanes; ++r)
+        ref[static_cast<std::size_t>(r)][key] +=
+            avals[static_cast<std::size_t>(r)] * bv;
+    }
+    for (index_t r = 0; r < lanes; ++r) {
+      std::vector<index_t> cols;
+      std::vector<value_t> vals;
+      acc.extract_lane_sorted(r, cols, vals);
+      const auto& m = ref[static_cast<std::size_t>(r)];
+      ASSERT_EQ(cols.size(), m.size()) << "lanes=" << lanes << " r=" << r;
+      std::size_t i = 0;
+      for (const auto& [key, v] : m) {
+        EXPECT_EQ(cols[i], key);
+        // The accumulation order is identical (same adds in the same
+        // sequence), so this holds bit-for-bit, not just approximately.
+        EXPECT_EQ(vals[i], v) << "lanes=" << lanes << " r=" << r;
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(ClusterAccumulator, CollisionHeavyKeysResolveExactly) {
+  // Keys sharing low bits and keys clustered in a narrow high range both
+  // stress the top-bits probe slot; the 64-bit mix must keep every key on
+  // its own chain (the old mix truncated to uint32 before multiplying).
+  ClusterAccumulator acc(4);
+  const value_t avals[4] = {1.0, 2.0, 3.0, 4.0};
+  std::vector<index_t> keys;
+  for (index_t k = 0; k < 300; ++k) keys.push_back(k << 12);  // low bits equal
+  for (index_t k = 0; k < 300; ++k)
+    keys.push_back((index_t{1} << 30) + k);  // dense high range
+  for (int pass = 0; pass < 3; ++pass)
+    for (const index_t key : keys) acc.add_scaled(key, 0b1111u, avals, 1.0);
+  EXPECT_EQ(acc.size(), 600);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_lane_sorted(1, cols, vals);
+  ASSERT_EQ(cols.size(), 600u);
+  std::vector<index_t> sorted_keys = keys;
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols[i], sorted_keys[i]);
+    EXPECT_DOUBLE_EQ(vals[i], 6.0);  // 3 passes × avals[1] * 1.0
+  }
+}
+
+TEST(DenseAccumulator, ExtractSortedLeavesInsertionOrderIntact) {
+  // extract_sorted used to std::sort the touched list in place, so any
+  // order-dependent consumer running after an extraction silently saw
+  // sorted order instead of insertion order.
+  DenseAccumulator acc(32);
+  const std::vector<index_t> order = {17, 3, 25, 0, 9};
+  for (std::size_t i = 0; i < order.size(); ++i)
+    acc.add(order[i], static_cast<value_t>(i + 1));
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_sorted(cols, vals);
+  EXPECT_EQ(cols, (std::vector<index_t>{0, 3, 9, 17, 25}));
+  std::vector<index_t> seen;
+  acc.for_each([&](index_t c, value_t) { seen.push_back(c); });
+  EXPECT_EQ(seen, order);
+  // A second extraction still works and still appends (shared-output
+  // contract used by the row-wise kernel).
+  acc.extract_sorted(cols, vals);
+  ASSERT_EQ(cols.size(), 10u);
+  EXPECT_EQ(cols[5], 0);
+  EXPECT_DOUBLE_EQ(vals[5], 4.0);
+}
+
+TEST(DenseAccumulator, WholesaleResetClearsEverything) {
+  // Touch enough columns to take the vectorized full-array reset branch.
+  DenseAccumulator acc(40);
+  for (index_t k = 0; k < 40; ++k) acc.add(k, 1.5);
+  acc.reset();
+  EXPECT_EQ(acc.size(), 0);
+  acc.add(13, 2.0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  acc.extract_sorted(cols, vals);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 2.0);  // no residue from before the reset
+  // And the sparse branch right after a wholesale one.
+  acc.reset();
+  acc.add(39, -1.0);
+  acc.reset();
+  acc.add(39, 4.0);
+  cols.clear();
+  vals.clear();
+  acc.extract_sorted(cols, vals);
+  EXPECT_DOUBLE_EQ(vals[0], 4.0);
 }
 
 TEST(AllAccumulators, ReuseAcrossManyRows) {

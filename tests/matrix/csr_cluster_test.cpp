@@ -143,6 +143,31 @@ TEST(CsrCluster, RejectsOversizeCluster) {
   EXPECT_THROW(CsrCluster::build(a, Clustering::from_sizes({65, 5})), Error);
 }
 
+TEST(Clustering, SplitCapsOversizedClusters) {
+  // split() is the sanctioned path for externally supplied cluster sizes
+  // that exceed the 64-row presence-mask bound: coverage and row order are
+  // unchanged, only clusters wider than the cap are chunked.
+  const Clustering cl = Clustering::from_sizes({100, 3, 64, 65});
+  const Clustering sp = cl.split(64);
+  EXPECT_EQ(sp.sizes(), (std::vector<index_t>{64, 36, 3, 64, 64, 1}));
+  EXPECT_EQ(sp.nrows(), cl.nrows());
+  EXPECT_EQ(sp.max_size(), 64);
+  EXPECT_NO_THROW(sp.validate(cl.nrows()));
+  // Nothing oversized: split is the identity.
+  EXPECT_EQ(sp.split(64).sizes(), sp.sizes());
+  // Degenerate cap: singletons.
+  EXPECT_EQ(cl.split(1).num_clusters(), cl.nrows());
+}
+
+TEST(Clustering, SplitMakesOversizedClusteringBuildable) {
+  const Csr a = test::random_csr(70, 70, 0.05, 3);
+  const Clustering oversized = Clustering::from_sizes({65, 5});
+  EXPECT_THROW(CsrCluster::build(a, oversized), Error);
+  const CsrCluster cc =
+      CsrCluster::build(a, oversized.split(CsrCluster::kMaxClusterSize));
+  EXPECT_TRUE(cc.to_csr() == a);
+}
+
 TEST(CsrCluster, EmptyMatrix) {
   Coo coo(4, 4);
   const Csr a = Csr::from_coo(coo);

@@ -1,0 +1,246 @@
+// Unit tests for the runtime SIMD dispatch layer: CW_SIMD parsing, tier
+// probing, force/reset semantics, and — the load-bearing part — bit-exactness
+// of every tier compiled into this build against the scalar reference
+// kernels, across sizes that cover every vector-width tail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/tables.hpp"
+
+namespace cw::simd {
+namespace {
+
+/// Restores auto-selection (CPU probe + CW_SIMD env) on scope exit so a
+/// failing test cannot leave a forced tier behind for the rest of the binary.
+struct TierGuard {
+  TierGuard() = default;
+  ~TierGuard() { reset_tier(); }
+};
+
+TEST(SimdDispatch, TierFromString) {
+  SimdTier tier{};
+  bool auto_tier = false;
+  EXPECT_TRUE(tier_from_string("scalar", tier, auto_tier));
+  EXPECT_EQ(tier, SimdTier::kScalar);
+  EXPECT_FALSE(auto_tier);
+  EXPECT_TRUE(tier_from_string("neon", tier, auto_tier));
+  EXPECT_EQ(tier, SimdTier::kNeon);
+  EXPECT_TRUE(tier_from_string("avx2", tier, auto_tier));
+  EXPECT_EQ(tier, SimdTier::kAvx2);
+  EXPECT_TRUE(tier_from_string("avx512", tier, auto_tier));
+  EXPECT_EQ(tier, SimdTier::kAvx512);
+
+  EXPECT_TRUE(tier_from_string("auto", tier, auto_tier));
+  EXPECT_TRUE(auto_tier);
+  EXPECT_TRUE(tier_from_string("", tier, auto_tier));
+  EXPECT_TRUE(auto_tier);
+  EXPECT_TRUE(tier_from_string(nullptr, tier, auto_tier));
+  EXPECT_TRUE(auto_tier);
+
+  EXPECT_FALSE(tier_from_string("sse9", tier, auto_tier));
+  EXPECT_FALSE(tier_from_string("AVX2", tier, auto_tier));  // case-sensitive
+}
+
+TEST(SimdDispatch, ToStringRoundTrips) {
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kNeon, SimdTier::kAvx2,
+                     SimdTier::kAvx512}) {
+    SimdTier parsed{};
+    bool auto_tier = false;
+    ASSERT_TRUE(tier_from_string(to_string(t), parsed, auto_tier));
+    EXPECT_EQ(parsed, t);
+    EXPECT_FALSE(auto_tier);
+  }
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndListedLast) {
+  const std::vector<SimdTier> tiers = available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.back(), SimdTier::kScalar);
+  // Best-first ordering: enum value strictly decreasing.
+  for (std::size_t i = 1; i < tiers.size(); ++i)
+    EXPECT_GT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+}
+
+TEST(SimdDispatch, ForceAndResetSemantics) {
+  TierGuard guard;
+  const std::vector<SimdTier> tiers = available_tiers();
+  // Every advertised tier can actually be forced and reports itself active.
+  for (SimdTier t : tiers) {
+    ASSERT_TRUE(force_tier(t)) << to_string(t);
+    EXPECT_EQ(active_tier(), t);
+    EXPECT_EQ(kernels().tier, t);
+  }
+  // Forcing an unavailable tier fails and leaves the active table unchanged.
+  ASSERT_TRUE(force_tier(SimdTier::kScalar));
+  for (SimdTier t : {SimdTier::kNeon, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (std::find(tiers.begin(), tiers.end(), t) != tiers.end()) continue;
+    EXPECT_FALSE(force_tier(t)) << to_string(t);
+    EXPECT_EQ(active_tier(), SimdTier::kScalar);
+  }
+  // reset_tier() returns to auto-selection: some available tier, and the
+  // best one when no CW_SIMD override is in effect.
+  reset_tier();
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), active_tier()), tiers.end());
+  if (std::getenv("CW_SIMD") == nullptr) EXPECT_EQ(active_tier(), tiers.front());
+}
+
+TEST(SimdDispatch, EnvOverrideForcesScalar) {
+  // The CW_SIMD=scalar contract the forced-scalar CI leg relies on.
+  const char* old = std::getenv("CW_SIMD");
+  const std::string saved = old ? old : "";
+  ASSERT_EQ(setenv("CW_SIMD", "scalar", 1), 0);
+  reset_tier();
+  EXPECT_EQ(active_tier(), SimdTier::kScalar);
+  if (old) {
+    ASSERT_EQ(setenv("CW_SIMD", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("CW_SIMD"), 0);
+  }
+  reset_tier();
+}
+
+TEST(SimdDispatch, UnknownEnvValueFallsBackGracefully) {
+  const char* old = std::getenv("CW_SIMD");
+  const std::string saved = old ? old : "";
+  ASSERT_EQ(setenv("CW_SIMD", "not-a-tier", 1), 0);
+  reset_tier();  // must not throw or crash; falls back to the probe result
+  const std::vector<SimdTier> tiers = available_tiers();
+  EXPECT_EQ(active_tier(), tiers.front());
+  if (old) {
+    ASSERT_EQ(setenv("CW_SIMD", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("CW_SIMD"), 0);
+  }
+  reset_tier();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bit-exactness: every tier's kernels vs the scalar reference.
+// ---------------------------------------------------------------------------
+
+/// Values chosen to expose any deviation from the scalar IEEE operation
+/// sequence: rounding-sensitive magnitudes, signed zeros, denormals, and
+/// infinities (which also catch a fused multiply-add sneaking in).
+value_t tricky_value(Rng& rng, int i) {
+  switch (i % 7) {
+    case 0: return rng.uniform() - 0.5;
+    case 1: return (rng.uniform() - 0.5) * 1e300;
+    case 2: return (rng.uniform() - 0.5) * 1e-300;
+    case 3: return -0.0;
+    case 4: return std::numeric_limits<value_t>::denorm_min() *
+                   (1.0 + rng.index(100));
+    case 5: return 1.0 + rng.uniform() * 1e-15;  // rounding boundary
+    default: return -(rng.uniform() + 0.25) * 3.0;
+  }
+}
+
+class SimdKernelExactness : public ::testing::TestWithParam<SimdTier> {};
+
+TEST_P(SimdKernelExactness, LaneFmaMatchesScalarBitForBit) {
+  TierGuard guard;
+  ASSERT_TRUE(force_tier(GetParam()));
+  const KernelTable& t = kernels();
+  const KernelTable& ref = *detail::scalar_table();
+  Rng rng(42);
+  // Cover every tail length around the 4- and 8-wide vector widths, and the
+  // full 64-lane cluster bound.
+  for (index_t k = 1; k <= 70; ++k) {
+    std::vector<value_t> lane(static_cast<std::size_t>(k));
+    std::vector<value_t> lane_ref(static_cast<std::size_t>(k));
+    std::vector<value_t> avals(static_cast<std::size_t>(k));
+    for (index_t r = 0; r < k; ++r) {
+      lane[static_cast<std::size_t>(r)] = tricky_value(rng, r);
+      avals[static_cast<std::size_t>(r)] = tricky_value(rng, r + 3);
+    }
+    lane_ref = lane;
+    const value_t bv = tricky_value(rng, static_cast<int>(k));
+    t.lane_fma(lane.data(), avals.data(), bv, k);
+    ref.lane_fma(lane_ref.data(), avals.data(), bv, k);
+    ASSERT_EQ(std::memcmp(lane.data(), lane_ref.data(),
+                          lane.size() * sizeof(value_t)),
+              0)
+        << to_string(GetParam()) << " k=" << k;
+  }
+}
+
+TEST_P(SimdKernelExactness, GatherMatchesScalarBitForBit) {
+  TierGuard guard;
+  ASSERT_TRUE(force_tier(GetParam()));
+  const KernelTable& t = kernels();
+  const KernelTable& ref = *detail::scalar_table();
+  Rng rng(43);
+  std::vector<value_t> base(512);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    base[i] = tricky_value(rng, static_cast<int>(i));
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{64}, std::size_t{301}}) {
+    std::vector<index_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+      idx[i] = rng.index(static_cast<index_t>(base.size()));
+    std::vector<value_t> out(n, -1.0), out_ref(n, -1.0);
+    t.gather_f64(out.data(), base.data(), idx.data(), n);
+    ref.gather_f64(out_ref.data(), base.data(), idx.data(), n);
+    ASSERT_EQ(std::memcmp(out.data(), out_ref.data(), n * sizeof(value_t)), 0)
+        << to_string(GetParam()) << " n=" << n;
+  }
+}
+
+TEST_P(SimdKernelExactness, ShiftMatchesScalar) {
+  TierGuard guard;
+  ASSERT_TRUE(force_tier(GetParam()));
+  const KernelTable& t = kernels();
+  const KernelTable& ref = *detail::scalar_table();
+  Rng rng(44);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{8}, std::size_t{13}, std::size_t{16},
+                        std::size_t{17}, std::size_t{200}}) {
+    for (index_t delta : {index_t{0}, index_t{7}, index_t{-7}, index_t{100000},
+                          index_t{-100000}}) {
+      std::vector<index_t> src(n);
+      for (std::size_t i = 0; i < n; ++i)
+        src[i] = static_cast<index_t>(rng.index(1 << 20)) + 100000;
+      std::vector<index_t> dst(n, -99), dst_ref(n, -99);
+      t.shift_i32(dst.data(), src.data(), delta, n);
+      ref.shift_i32(dst_ref.data(), src.data(), delta, n);
+      ASSERT_EQ(dst, dst_ref)
+          << to_string(GetParam()) << " n=" << n << " delta=" << delta;
+    }
+  }
+}
+
+TEST_P(SimdKernelExactness, FillsZeroEveryByte) {
+  TierGuard guard;
+  ASSERT_TRUE(force_tier(GetParam()));
+  const KernelTable& t = kernels();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{8}, std::size_t{31}, std::size_t{257}}) {
+    std::vector<value_t> v(n, -3.25);
+    t.fill_zero_f64(v.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const value_t zero = 0.0;
+      ASSERT_EQ(std::memcmp(&v[i], &zero, sizeof(value_t)), 0) << i;
+    }
+    std::vector<std::uint8_t> f(n, 0xAB);
+    t.fill_zero_u8(f.data(), n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(f[i], 0u) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailableTiers, SimdKernelExactness,
+    ::testing::ValuesIn(available_tiers()),
+    [](const ::testing::TestParamInfo<SimdTier>& info) {
+      return to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace cw::simd
