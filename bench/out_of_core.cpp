@@ -1,0 +1,449 @@
+// Out-of-core serving benchmark: what async shard prefetch + residency-aware
+// scheduling buy when the working set does not fit the RAM budget.
+//
+//   ./out_of_core [--smoke] [nrows]
+//
+// Setup: a CORPUS of sharded pipelines, each saved as a v3 sharded
+// snapshot and mmap-loaded (every shard's arrays are borrowed file
+// mappings), served round-robin by a CLOSED-LOOP client that keeps two
+// requests outstanding — the steady-state serving shape: one request
+// multiplying, the next queued behind it. (An open-loop wave that queues
+// the whole corpus would pin every pipeline's shards via demand holds
+// and the governor could not enforce the budget at all mid-wave.) The
+// "RAM budget" is the paging governor's high watermark over the
+// registry's mincore-probed resident mapped bytes, held at roughly TWO
+// pipelines' bytes (the active request plus the one streaming in behind
+// it) while the CORPUS grows: serving 4, 8, 16 snapshots puts total
+// shard bytes at 2x, 4x, 8x the budget — the out-of-core regime is
+// ratio >= 4x. Each config starts fully cold (residency released, page
+// cache dropped — re-faults hit the disk) and runs twice:
+//
+//   prefetch OFF — the PR-9 baseline: fixed 0..K-1 scatter order, every
+//     cold shard faults inline on the compute workers, the governor alone
+//     enforces the budget.
+//   prefetch ON  — each dispatch primes the next queued request, so while
+//     pipeline A's request computes, B's shards stream into the room the
+//     governor frees by releasing already-multiplied (LRU) shards; pickup
+//     orders warm shards first.
+//
+// Bars (enforced in full runs on residency-capable builds only — without
+// eviction teeth nothing is ever cold and the modes converge):
+//   * every product bit-identical to the fully-resident reference;
+//   * at least one out-of-core ratio (>= 4x) shows prefetch-on beating
+//     prefetch-off on wall-clock throughput;
+//   * at every ratio >= 4x, prefetch-on serves cold shards ahead of
+//     demand — inline cold multiplies cut at least 2x vs prefetch-off
+//     (measured 3-6x: the streams land nearly every shard before its
+//     multiply) — and wall-clock stays within 15% (run-to-run noise on a
+//     shared single-core host is ~±8%).
+// Context for reading the numbers: on hosts whose cold faults hit a real
+// device, the cold-multiply cut IS the cold-shard throughput win — the
+// inline I/O stall leaves the request path. This harness's storage is
+// host-page-cache backed (~7 GB/s effective readahead), so both modes
+// are largely CPU-bound on the same fault/compute work and the wall-clock
+// margin is a few percent, not the device-bound multiple.
+//
+// Emits BENCH_out_of_core.json (bench_json.hpp) for cross-PR tracking.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/residency.hpp"
+#include "common/timer.hpp"
+#include "gen/generators.hpp"
+#include "io/prefetcher.hpp"
+#include "obs/sampler.hpp"
+#include "serve/paging_governor.hpp"
+#include "serve/registry.hpp"
+#include "shard/engine.hpp"
+#include "shard/snapshot.hpp"
+
+namespace {
+
+using namespace cw;
+
+struct ModeResult {
+  double seconds = 0;
+  double rps = 0;
+  std::uint64_t cold_multiplies = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_warmed = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_skipped = 0;
+  std::uint64_t prefetch_bytes = 0;
+  double prefetch_hit_rate = 0;
+  std::uint64_t governor_released_bytes = 0;
+};
+
+using SpHandle = std::shared_ptr<const shard::ShardedPipeline>;
+
+/// Drop every shard's pages (and their page-cache copies): the next touch
+/// re-reads from disk. This is the cold start each mode begins from.
+void make_cold(const std::vector<SpHandle>& sps) {
+  for (const SpHandle& sp : sps)
+    for (index_t s = 0; s < sp->num_shards(); ++s)
+      sp->shard(s)->release_residency();
+}
+
+std::size_t total_mapped_bytes(const std::vector<SpHandle>& sps) {
+  std::size_t total = 0;
+  for (const SpHandle& sp : sps)
+    for (index_t s = 0; s < sp->num_shards(); ++s)
+      total += sp->shard(s)->residency().mapped_bytes;
+  return total;
+}
+
+/// Serve `rounds` waves of one request per pipeline over the first `count`
+/// pipelines of the corpus. payloads/want are indexed [round][pipeline].
+ModeResult run_mode(const std::vector<SpHandle>& all_sps,
+                    const std::vector<std::vector<Csr>>& payloads,
+                    const std::vector<std::vector<Csr>>& want,
+                    std::size_t count, std::size_t budget_bytes,
+                    bool prefetch_on) {
+  const std::vector<SpHandle> sps(all_sps.begin(),
+                                  all_sps.begin() +
+                                      static_cast<std::ptrdiff_t>(count));
+  make_cold(sps);
+
+  shard::ShardedEngineOptions opt;
+  // ONE compute worker and ONE gather worker: shard multiplies run strictly
+  // one at a time, the semi-external-memory regime — compute is the fixed
+  // budget and the only question is whether shard I/O hides behind it.
+  // OFF: the worker faults each cold shard inline, serializing read and
+  // multiply. ON: the prefetcher's I/O threads stream the queued shards
+  // while the worker computes.
+  opt.num_workers = 1;
+  opt.gather_workers = 1;
+  // Capacity far above any corpus size: the cache's own LRU eviction must
+  // never fire — the paging governor is the only residency authority here,
+  // so the sweep measures paging policy, not cache sizing.
+  opt.registry.capacity_bytes = std::size_t{4} << 30;
+  opt.residency_order = prefetch_on;
+  // One metrics plane built up front so the prefetcher's budget probe can
+  // read the governor's cached resident gauge (set on every enforcement
+  // tick) instead of paying a full-corpus mincore walk per pacing poll —
+  // on one core those walks would starve the very compute the prefetch is
+  // supposed to hide behind.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  opt.metrics = metrics;
+  obs::Gauge& resident_gauge = metrics->gauge(
+      "cw_governor_resident_mapped_bytes",
+      "Registry resident mapped bytes at last governor check");
+  // Bounded prefetch wait: a cold shard whose stream is mid-flight gets a
+  // short grace before the worker faults it inline — racing the advise
+  // readahead with an inline fault duplicates the very I/O the prefetch
+  // issued. Warm shards scatter first (residency order), so the wait
+  // overlaps the inner worker crunching them; ~one shard's stream time is
+  // all the grace that pays for itself.
+  opt.max_prefetch_wait = std::chrono::milliseconds(10);
+  // Dispatch-primed stream-ahead, one pipeline deep: the budget is ~TWO
+  // pipelines' bytes — the active request plus exactly one streaming in
+  // behind it. Feeding the whole wave at submit instead (lookahead 0)
+  // floods the stream queue with the entire corpus; the governor then
+  // evicts every early stream before its request runs and the sweep
+  // thrashes (all bytes streamed, nothing warm at use).
+  opt.prefetch_lookahead = 1;
+  std::shared_ptr<io::ShardPrefetcher> prefetcher;
+  if (prefetch_on) {
+    io::PrefetchOptions popt;
+    // ONE streaming worker: service order is sequential, so streaming the
+    // queue sequentially resolves the ticket the gather needs NEXT as early
+    // as possible — two concurrent streams would halve each other's
+    // bandwidth exactly when the pickup is waiting on the first.
+    popt.num_workers = 1;
+    std::size_t shards = 0;
+    for (const SpHandle& sp : sps)
+      shards += static_cast<std::size_t>(sp->num_shards());
+    popt.max_in_flight = shards + 4;
+    // Pace above the demand-hold floor: the closed-loop client keeps two
+    // requests outstanding, whose held (unevictable) shards alone sit at
+    // the budget — pacing AT the budget would park the stream worker
+    // forever. 1.5x leaves a pipeline's slack for the stream itself while
+    // still catching a runaway (leaked holds, governor stall).
+    popt.budget_bytes = budget_bytes + budget_bytes / 2;
+    // Fire-and-forget: the advise hands the I/O to the kernel and the
+    // worker moves on — on one core every poll cycle is stolen from the
+    // multiply the stream is hiding behind.
+    popt.wait_resident = false;
+    // A paced ticket legitimately waits as long as the requests ahead of
+    // it take to compute — give it the patience (the default 2 s give-up
+    // is sized for latency-sensitive serving).
+    popt.max_stream_wait = std::chrono::seconds(60);
+    popt.resident_bytes_fn = [&resident_gauge]() -> std::size_t {
+      return static_cast<std::size_t>(resident_gauge.value());
+    };
+    prefetcher = std::make_shared<io::ShardPrefetcher>(std::move(popt));
+    prefetcher->start();
+    opt.prefetcher = prefetcher;
+  }
+  shard::ShardedEngine eng(opt);
+  for (const SpHandle& sp : sps) eng.admit(*sp);
+
+  // Both modes run the SAME pressure loop: a background sampler drives the
+  // governor, which releases cold residency (LRU tail — the shards the
+  // active request is done with) whenever the budget is breached. Only the
+  // streaming side differs.
+  io::ShardPrefetcher idle_prefetcher;  // OFF mode: governor needs one
+  io::ShardPrefetcher& gov_pf =
+      prefetcher != nullptr ? *prefetcher : idle_prefetcher;
+  serve::PagingGovernorOptions gopt;
+  gopt.high_watermark_bytes = budget_bytes;
+  // Release down to half the budget: one enforcement frees a pipeline's
+  // worth of headroom, so the prefetcher streams the next request in one
+  // burst instead of trickling a shard per release.
+  gopt.low_watermark_bytes = budget_bytes / 2;
+  gopt.metrics = eng.metrics();
+  serve::PagingGovernor governor(*eng.registry(), gov_pf, gopt);
+  // Demand holds: queued requests pin their shards out of the release walk
+  // until served — without this the LRU tail the governor releases first
+  // is, under round-robin, exactly the next request's freshly-prefetched
+  // shards (LRU's cyclic-scan failure mode), and both modes thrash.
+  eng.set_governor(&governor);
+  // 20 ms ticks: each enforcement pays one full-corpus mincore walk, so the
+  // cadence trades governor responsiveness (requests take ~50 ms) against
+  // stealing the single core from the multiplies.
+  obs::PeriodicSampler sampler(eng.metrics(), std::chrono::milliseconds(20));
+  governor.register_probes(sampler);
+  sampler.start();
+
+  // Closed-loop client, two requests outstanding: the dispatch of one
+  // primes the stream of the next (prefetch_lookahead), the governor's
+  // demand holds pin at most two pipelines, and residency cycles through
+  // the watermark pump continuously — steady-state out-of-core serving,
+  // not an open-loop wave that pins the whole corpus.
+  std::size_t served = 0;
+  Timer t;
+  std::vector<Csr> products;
+  std::deque<std::future<Csr>> window;
+  const std::size_t max_outstanding = 2;
+  for (std::size_t r = 0; r < payloads.size(); ++r) {
+    for (std::size_t p = 0; p < sps.size(); ++p) {
+      if (window.size() == max_outstanding) {
+        products.push_back(window.front().get());
+        window.pop_front();
+      }
+      window.push_back(eng.submit(sps[p], payloads[r][p]));
+      ++served;
+    }
+  }
+  while (!window.empty()) {
+    products.push_back(window.front().get());
+    window.pop_front();
+  }
+  const double seconds = t.seconds();
+  sampler.stop();
+  eng.set_governor(nullptr);  // the governor dies before the engine does
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    for (std::size_t p = 0; p < count; ++p, ++i) {
+      if (!(products[i] == want[r][p])) {
+        std::fprintf(stderr,
+                     "FATAL: round %zu pipeline %zu product differs from the "
+                     "fully-resident reference (prefetch %s)\n",
+                     r, p, prefetch_on ? "on" : "off");
+        std::exit(1);
+      }
+    }
+  }
+
+  ModeResult out;
+  out.seconds = seconds;
+  out.rps = seconds > 0 ? static_cast<double>(served) / seconds : 0;
+  out.cold_multiplies = eng.stats().cold_multiplies;
+  out.governor_released_bytes = governor.stats().released_bytes;
+  if (prefetcher != nullptr) {
+    const io::PrefetchStats ps = prefetcher->stats();
+    out.prefetch_issued = ps.issued;
+    out.prefetch_warmed = ps.warmed;
+    out.prefetch_hits = ps.hits;
+    out.prefetch_skipped = ps.skipped;
+    out.prefetch_bytes = ps.bytes;
+    out.prefetch_hit_rate = ps.hit_rate();
+    eng.shutdown();
+    prefetcher->stop();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int argi = 1;
+  if (argc > argi && std::strcmp(argv[argi], "--smoke") == 0) {
+    smoke = true;
+    ++argi;
+  }
+  const index_t nrows =
+      argc > argi ? std::atoi(argv[argi]) : (smoke ? 5000 : 36000);
+  // The corpus is the swept variable: the budget stays ~2 pipelines' bytes
+  // (active request + the one streaming behind it) while the snapshot count
+  // doubles, so total:budget runs 2x, 4x, 8x.
+  const std::vector<std::size_t> counts =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{4, 8, 16};
+  const std::size_t num_pipelines = counts.back();
+  const index_t k_shards = smoke ? 3 : 6;
+  const std::size_t rounds = smoke ? 2 : 3;
+
+  const std::string dir = []() -> std::string {
+    const char* t = std::getenv("TMPDIR");
+    return t != nullptr ? t : "/tmp";
+  }();
+  bench::JsonBenchWriter json("out_of_core");
+  using W = bench::JsonBenchWriter;
+  if (!residency::supported())
+    std::printf("note: residency syscalls unavailable in this build; "
+                "nothing is ever cold and the modes converge\n");
+
+  // P sharded pipelines (same banded structure, distinct values), each
+  // saved v3 and mmap-loaded so every shard's arrays are borrowed file
+  // mappings with real eviction teeth.
+  std::vector<SpHandle> sps;
+  std::vector<std::string> paths;
+  for (std::size_t p = 0; p < num_pipelines; ++p) {
+    Csr a = gen_banded(nrows, 24, 0.9, 42 + static_cast<std::uint64_t>(p));
+    randomize_values(a, 420 + static_cast<std::uint64_t>(p));
+    PipelineOptions popt;
+    popt.scheme = ClusterScheme::kFixed;
+    popt.fixed_length = 8;
+    shard::PlanOptions plan_opt;
+    plan_opt.num_shards = k_shards;
+    const shard::ShardedPipeline built(a, plan_opt, popt);
+    paths.push_back(dir + "/cw_out_of_core_bench_" + std::to_string(p) +
+                    ".cwsnap");
+    shard::save_sharded_pipeline_file(paths.back(), built);
+    sps.push_back(std::make_shared<const shard::ShardedPipeline>(
+        shard::load_sharded_pipeline_file(paths.back())));
+  }
+  const std::size_t total_bytes = total_mapped_bytes(sps);
+
+  std::vector<std::vector<Csr>> payloads(rounds);
+  std::vector<std::vector<Csr>> want(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t p = 0; p < num_pipelines; ++p) {
+      // Payload sized so compute per request (~75 ms warm) clearly exceeds
+      // one pipeline's disk time (~35 ms): the latency-bound regime where
+      // streaming the next request under the current one's compute has
+      // headroom. With a trivial payload the sweep is disk-bandwidth-bound
+      // and NO prefetch policy can beat demand paging — the disk is busy
+      // either way, only total bytes matter.
+      payloads[r].push_back(gen_request_payload(
+          nrows, 32, 16, static_cast<std::uint64_t>(100 + r * 16 + p)));
+      // Fully-resident reference: the sequential scatter/gather path with
+      // everything warm — the bit-identity bar for both modes.
+      want[r].push_back(sps[p]->multiply(payloads[r].back()));
+    }
+  }
+
+  std::printf("out-of-core: corpus of %zu pipelines, %.1f MB mapped across "
+              "%zu shards\n",
+              num_pipelines, static_cast<double>(total_bytes) / 1e6,
+              num_pipelines * static_cast<std::size_t>(k_shards));
+
+  bool perf_bar_ok = true;
+  bool out_of_core_win = false;
+  for (std::size_t count : counts) {
+    std::size_t subset_bytes = 0;
+    for (std::size_t p = 0; p < count; ++p)
+      for (index_t s = 0; s < sps[p]->num_shards(); ++s)
+        subset_bytes += sps[p]->shard(s)->residency().mapped_bytes;
+    const int ratio = count >= 4 ? static_cast<int>(count) / 2 : 2;
+    const std::size_t budget = subset_bytes / static_cast<std::size_t>(ratio);
+    const std::size_t requests = rounds * count;
+    // Best-of-N, interleaved: on one core the governor walk, page-cache
+    // state and device throughput wander run to run (~±15%); the max over
+    // repeats is the standard throughput estimator under one-sided noise,
+    // and interleaving decorrelates slow drift from the mode under test.
+    const int repeats = smoke ? 1 : 3;
+    ModeResult off, on;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const ModeResult o = run_mode(sps, payloads, want, count, budget, false);
+      if (rep == 0 || o.rps > off.rps) off = o;
+      const ModeResult p = run_mode(sps, payloads, want, count, budget, true);
+      if (rep == 0 || p.rps > on.rps) on = p;
+    }
+    std::printf(
+        "ratio %dx (%zu pipelines, %.1f MB, budget %.1f MB): prefetch-off "
+        "%.2f req/s (%llu cold) vs prefetch-on %.2f req/s (%llu cold, hit "
+        "rate %.0f%%, %.1f MB streamed)  [%.2fx]\n",
+        ratio, count, static_cast<double>(subset_bytes) / 1e6,
+        static_cast<double>(budget) / 1e6, off.rps,
+        static_cast<unsigned long long>(off.cold_multiplies), on.rps,
+        static_cast<unsigned long long>(on.cold_multiplies),
+        on.prefetch_hit_rate * 100,
+        static_cast<double>(on.prefetch_bytes) / 1e6,
+        off.rps > 0 ? on.rps / off.rps : 0);
+    std::printf(
+        "          prefetch detail: %llu issued / %llu warmed / %llu hits / "
+        "%llu skipped; governor released %.1f MB (off) %.1f MB (on)\n",
+        static_cast<unsigned long long>(on.prefetch_issued),
+        static_cast<unsigned long long>(on.prefetch_warmed),
+        static_cast<unsigned long long>(on.prefetch_hits),
+        static_cast<unsigned long long>(on.prefetch_skipped),
+        static_cast<double>(off.governor_released_bytes) / 1e6,
+        static_cast<double>(on.governor_released_bytes) / 1e6);
+    for (const auto& [mode, res] :
+         {std::pair<const char*, const ModeResult&>{"off", off},
+          std::pair<const char*, const ModeResult&>{"on", on}}) {
+      json.add({"cold_shard_throughput",
+                {W::param("ratio", ratio), W::param("prefetch", mode),
+                 W::param("nrows", nrows),
+                 W::param("pipelines", static_cast<long long>(count)),
+                 W::param("shards",
+                          static_cast<long long>(
+                              count * static_cast<std::size_t>(k_shards))),
+                 W::param("requests", static_cast<long long>(requests)),
+                 W::param("total_mb",
+                          static_cast<long long>(subset_bytes >> 20)),
+                 W::param("budget_mb",
+                          static_cast<long long>(budget >> 20)),
+                 W::param("cold_multiplies",
+                          static_cast<long long>(res.cold_multiplies)),
+                 W::param("hit_rate_pct",
+                          static_cast<long long>(res.prefetch_hit_rate * 100)),
+                 W::param("streamed_mb",
+                          static_cast<long long>(res.prefetch_bytes >> 20)),
+                 W::param("governor_released_mb",
+                          static_cast<long long>(res.governor_released_bytes >>
+                                                 20))},
+                res.seconds * 1e9 / static_cast<double>(requests),
+                subset_bytes, 0});
+    }
+    // Out-of-core bars (ratio >= 4x): the streams must actually serve the
+    // cold shards ahead of demand — inline cold multiplies cut at least
+    // 2x (measured 3-6x) — and prefetch must not cost wall-clock where
+    // this host's page-cache-backed storage leaves it little to hide
+    // (both modes CPU-bound near parity; 15% covers run-to-run noise).
+    // The outright wall-clock win is required of the sweep, not of every
+    // point: one ratio >= 4x must show prefetch-on ahead.
+    if (ratio >= 4) {
+      if (on.cold_multiplies * 2 > off.cold_multiplies) perf_bar_ok = false;
+      if (on.rps < 0.85 * off.rps) perf_bar_ok = false;
+      if (on.rps >= off.rps) out_of_core_win = true;
+    }
+  }
+
+  const std::string out = json.write();
+  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
+  for (const std::string& p : paths) std::remove(p.c_str());
+  if (!smoke && residency::supported() && (!perf_bar_ok || !out_of_core_win)) {
+    std::fprintf(stderr,
+                 !perf_bar_ok
+                     ? "FATAL: at an out-of-core ratio (>= 4x) prefetch-on "
+                       "failed to cut inline cold multiplies 2x, or cost > "
+                       "15%% wall-clock vs prefetch-off\n"
+                     : "FATAL: no out-of-core ratio (>= 4x) showed "
+                       "prefetch-on beating prefetch-off on wall-clock\n");
+    return 1;
+  }
+  return 0;
+}

@@ -205,6 +205,16 @@ std::size_t Pipeline::warm_up() const {
   return warmed;
 }
 
+std::size_t Pipeline::advise_willneed() const {
+  std::size_t advised = 0;
+  for_each_segment(*this, [&](const auto& seg) {
+    if (seg.owned() || seg.empty()) return;
+    seg.advise(residency::Advice::kWillNeed);
+    advised += seg.size_bytes();
+  });
+  return advised;
+}
+
 std::size_t Pipeline::release_residency() const {
   std::size_t released = 0;
   for_each_segment(*this,

@@ -176,6 +176,13 @@ class Pipeline {
   /// traffic instead of on its first multiplies. Returns mapped bytes warmed.
   std::size_t warm_up() const;
 
+  /// Async half of warm_up(): WILLNEED-advise every mapped segment and
+  /// return immediately — the kernel's readahead streams the pages in
+  /// behind the caller (poll residency() for completion). Costs almost no
+  /// CPU, so prefetch can overlap compute even on a single core. Returns
+  /// mapped bytes advised.
+  std::size_t advise_willneed() const;
+
   /// Release: munlock + DONTNEED every mapped segment, dropping its physical
   /// pages (they re-fault from the file on next use). This is what gives
   /// registry eviction of mapped pipelines real teeth. Returns mapped bytes

@@ -1,0 +1,336 @@
+#include "io/prefetcher.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/residency.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
+#include "obs/sampler.hpp"
+
+namespace cw::io {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ShardPrefetcher::TicketState ShardPrefetcher::Ticket::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool ShardPrefetcher::Ticket::wait_until(
+    Clock::time_point deadline) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (deadline == Clock::time_point::max()) {
+    cv_.wait(lock, [this] { return state_ != TicketState::kPending; });
+    return true;
+  }
+  return cv_.wait_until(lock, deadline, [this] {
+    return state_ != TicketState::kPending;
+  });
+}
+
+void ShardPrefetcher::Ticket::resolve_(TicketState s) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != TicketState::kPending) return;  // first resolution wins
+    state_ = s;
+  }
+  cv_.notify_all();
+}
+
+ShardPrefetcher::Metrics::Metrics(obs::MetricsRegistry& m)
+    : issued(m.counter("cw_prefetch_issued_total",
+                       "Shard warm-ups started (I/O actually issued)")),
+      warmed(m.counter("cw_prefetch_warmed_total",
+                       "Issued warm-ups that completed")),
+      hits(m.counter("cw_prefetch_hits_total",
+                     "Demand already resident — no I/O needed")),
+      skipped(m.counter("cw_prefetch_skipped_total",
+                        "Demand skipped: queue full / over budget / stopped")),
+      failed(m.counter("cw_prefetch_failed_total",
+                       "Warm-ups that failed (request falls back to inline "
+                       "faulting)")),
+      coalesced(m.counter("cw_prefetch_coalesced_total",
+                          "Demand that joined an already-pending ticket")),
+      bytes(m.counter("cw_prefetch_bytes_total",
+                      "Mapped bytes streamed into the page cache")),
+      warm_ms(m.histogram("cw_prefetch_warm_ms",
+                          "Per-ticket warm-up duration (advise + touch)")) {}
+
+ShardPrefetcher::ShardPrefetcher(PrefetchOptions opt)
+    : opt_(std::move(opt)),
+      metrics_(opt_.metrics ? opt_.metrics
+                            : std::make_shared<obs::MetricsRegistry>()),
+      m_(*metrics_) {
+  CW_CHECK_MSG(opt_.num_workers >= 1, "prefetcher: need >= 1 worker");
+  CW_CHECK_MSG(opt_.max_in_flight >= 1,
+               "prefetcher: need >= 1 in-flight slot");
+}
+
+ShardPrefetcher::~ShardPrefetcher() { stop(); }
+
+void ShardPrefetcher::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
+  for (int w = 0; w < opt_.num_workers; ++w)
+    workers_.emplace_back([this] { worker_loop_(); });
+}
+
+void ShardPrefetcher::stop() {
+  std::vector<std::thread> workers;
+  std::vector<std::shared_ptr<Ticket>> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    // Cancel everything still queued; tickets being warmed right now are
+    // resolved by their worker before it exits.
+    while (!queue_.empty()) {
+      cancelled.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (auto& t : cancelled) finish_(t, TicketState::kSkipped, 0, 0);
+  for (auto& t : workers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+}
+
+bool ShardPrefetcher::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::shared_ptr<ShardPrefetcher::Ticket> ShardPrefetcher::enqueue(
+    std::shared_ptr<const Pipeline> p) {
+  auto make_resolved = [](TicketState s) {
+    auto t = std::make_shared<Ticket>();
+    t->state_ = s;  // never shared yet: no lock needed
+    return t;
+  };
+  // Nothing mapped = nothing to stream: owned bytes are always resident.
+  if (p == nullptr) return make_resolved(TicketState::kHit);
+  const PipelineResidency res = p->residency();
+  if (res.mapped_bytes == 0 ||
+      static_cast<double>(res.resident_mapped_bytes) >=
+          opt_.resident_fraction * static_cast<double>(res.mapped_bytes)) {
+    m_.hits.inc();
+    return make_resolved(TicketState::kHit);
+  }
+  std::shared_ptr<Ticket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stopping_) {
+      m_.skipped.inc();
+      return make_resolved(TicketState::kSkipped);
+    }
+    auto it = pending_.find(p.get());
+    if (it != pending_.end()) {
+      m_.coalesced.inc();
+      return it->second;  // one paging cycle amortizes all queued demand
+    }
+    if (in_flight_ >= opt_.max_in_flight) {
+      m_.skipped.inc();
+      return make_resolved(TicketState::kSkipped);
+    }
+    ticket = std::make_shared<Ticket>();
+    ticket->pipeline_ = std::move(p);
+    ticket->enqueued_ = Clock::now();
+    pending_.emplace(ticket->pipeline_.get(), ticket);
+    queue_.push_back(ticket);
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::size_t ShardPrefetcher::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+PrefetchStats ShardPrefetcher::stats() const {
+  PrefetchStats s;
+  s.issued = m_.issued.value();
+  s.warmed = m_.warmed.value();
+  s.hits = m_.hits.value();
+  s.skipped = m_.skipped.value();
+  s.failed = m_.failed.value();
+  s.coalesced = m_.coalesced.value();
+  s.bytes = m_.bytes.value();
+  return s;
+}
+
+void ShardPrefetcher::register_probes(obs::PeriodicSampler& sampler) {
+  sampler.add_probe("cw_prefetch_hit_rate",
+                    "Fraction of prefetch demand already resident",
+                    [this] { return stats().hit_rate(); });
+  sampler.add_probe("cw_prefetch_in_flight",
+                    "Prefetch tickets pending or being warmed",
+                    [this] { return static_cast<double>(in_flight()); });
+}
+
+void ShardPrefetcher::finish_(const std::shared_ptr<Ticket>& t,
+                              TicketState s, std::size_t bytes_streamed,
+                              double ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(t->pipeline_.get());
+    if (in_flight_ > 0) --in_flight_;
+  }
+  switch (s) {
+    case TicketState::kWarmed:
+      m_.warmed.inc();
+      m_.bytes.inc(bytes_streamed);
+      m_.warm_ms.record(ms);
+      break;
+    case TicketState::kSkipped:
+      m_.skipped.inc();
+      break;
+    case TicketState::kFailed:
+      m_.failed.inc();
+      break;
+    default:
+      break;
+  }
+  t->resolve_(s);
+  // Drop the pipeline ref promptly: a resolved ticket must not keep an
+  // evicted pipeline's mapping alive for as long as callers hold tickets.
+  t->pipeline_.reset();
+}
+
+void ShardPrefetcher::worker_loop_() {
+  for (;;) {
+    std::shared_ptr<Ticket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // stop() already cancelled the queue
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // The shard may have become resident while the ticket queued (the
+    // engine inline-faulted it, a coalesced neighbour streamed it, the
+    // governor re-warmed it): a late ticket is a hit, not a re-stream.
+    const auto already_resident = [this, &ticket]() -> bool {
+      const PipelineResidency res = ticket->pipeline_->residency();
+      return res.mapped_bytes == 0 ||
+             static_cast<double>(res.resident_mapped_bytes) >=
+                 opt_.resident_fraction * static_cast<double>(res.mapped_bytes);
+    };
+    // Re-probe BEFORE pacing — but only tickets that AGED in the queue (a
+    // fresh one was probed at enqueue microseconds ago, and on one core
+    // every redundant mincore walk is stolen from the multiplies). Pacing
+    // first would park the worker on I/O nobody needs and head-of-line
+    // block every fresh ticket behind a stale one for up to
+    // max_stream_wait.
+    if (residency::supported() &&
+        Clock::now() - ticket->enqueued_ > std::chrono::milliseconds(5) &&
+        already_resident()) {
+      m_.hits.inc();
+      finish_(ticket, TicketState::kHit, 0, 0);
+      continue;
+    }
+    // Budget pacing, at ISSUE time: streaming past the budget would evict
+    // pages the requests ahead of this one are about to multiply out of —
+    // and get this ticket's pages evicted before their turn (prefetch
+    // distance). Wait for the governor to open room; demand that cannot
+    // get room within max_stream_wait degrades to inline faulting. While
+    // paced the world moves on — the engine may inline-fault this very
+    // shard — so re-probe every ~16 ms and resolve the gone-resident
+    // ticket kHit instead of keeping the queue wedged behind it.
+    if (opt_.budget_bytes > 0 && opt_.resident_bytes_fn) {
+      const Clock::time_point give_up = Clock::now() + opt_.max_stream_wait;
+      bool over = false;
+      bool became_hit = false;
+      int polls = 0;
+      while ((over = opt_.resident_bytes_fn() >= opt_.budget_bytes)) {
+        if (Clock::now() >= give_up) break;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (stopping_) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (residency::supported() && ++polls % 16 == 0 &&
+            already_resident()) {
+          became_hit = true;
+          break;
+        }
+      }
+      if (became_hit) {
+        m_.hits.inc();
+        finish_(ticket, TicketState::kHit, 0, 0);
+        continue;
+      }
+      if (over) {
+        finish_(ticket, TicketState::kSkipped, 0, 0);
+        continue;
+      }
+    }
+    const Clock::time_point begin = Clock::now();
+    std::size_t streamed = 0;
+    TicketState outcome = TicketState::kWarmed;
+    std::string what;
+    try {
+      // The chaos drill's prefetch-loss site: a fire here degrades this
+      // ticket to inline faulting — it must never propagate to a request.
+      fault::inject("io.prefetch", fault::ErrorCode::kIoError);
+      m_.issued.inc();
+      if (opt_.touch_pages || !residency::supported()) {
+        streamed = ticket->pipeline_->warm_up();
+      } else {
+        // Advise, then (unless fire-and-forget) sleep-poll until the
+        // readahead lands: the kernel does the I/O, the worker yields the
+        // CPU to the multiply.
+        streamed = ticket->pipeline_->advise_willneed();
+        const Clock::time_point give_up =
+            opt_.wait_resident ? begin + opt_.max_stream_wait : begin;
+        while (opt_.wait_resident) {
+          const PipelineResidency res = ticket->pipeline_->residency();
+          if (res.mapped_bytes == 0 ||
+              static_cast<double>(res.resident_mapped_bytes) >=
+                  opt_.resident_fraction *
+                      static_cast<double>(res.mapped_bytes))
+            break;
+          if (Clock::now() >= give_up) break;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stopping_) break;
+          }
+          // 2 ms polls: each iteration pays a mincore probe of the shard,
+          // and on a single core that CPU comes out of the multiplies the
+          // stream is supposed to hide behind.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    } catch (const std::exception& e) {
+      outcome = TicketState::kFailed;
+      what = e.what();
+    } catch (...) {
+      outcome = TicketState::kFailed;
+      what = "unknown error";
+    }
+    const double ms =
+        std::chrono::duration<double>(Clock::now() - begin).count() * 1e3;
+    if (outcome == TicketState::kFailed && opt_.events != nullptr &&
+        opt_.events->enabled(obs::LogLevel::kWarn))
+      opt_.events->warn("prefetcher",
+                        "prefetch failed; request will fault inline: " + what,
+                        {{"bytes", std::to_string(streamed)}});
+    finish_(ticket, outcome, streamed, ms);
+  }
+}
+
+}  // namespace cw::io

@@ -1,0 +1,238 @@
+// Async shard prefetcher — the streaming half of out-of-core serving.
+//
+// A v3-mmapped shard that is not resident pays its page faults inline, on
+// the serving thread, in the middle of a multiply. The prefetcher moves
+// that cost off the request path: callers enqueue the pipelines upcoming
+// requests will touch (the demand stream), and a small pool of worker
+// threads streams them in — by default WILLNEED advise (the kernel starts
+// async readahead I/O) plus a sleeping mincore poll for completion, so
+// cold shards stream from disk WHILE the engine multiplies resident ones
+// and the workers cost almost no CPU; PrefetchOptions::touch_pages swaps
+// in the synchronous touch pass (Pipeline::warm_up()) instead. This is
+// the FlashGraph/SAFS shape (per-worker AIO feeding an in-memory portion
+// of an external-memory store) applied to prepared pipelines.
+//
+// Semantics:
+//   * Tickets. enqueue() returns a shared Ticket that turns terminal
+//     exactly once: kWarmed (I/O done), kHit (already resident — no I/O
+//     needed), kSkipped (queue full / over budget / stopped — caller
+//     falls back to inline faulting), or kFailed (an io.prefetch fault or
+//     a real syscall error — ALSO just a fallback to inline faulting;
+//     a prefetch failure must never fail a request).
+//   * Coalescing. Requests queued for the same pipeline share one ticket
+//     while it is pending — N queued requests for one shard group pay one
+//     paging cycle, not N.
+//   * Bounded in-flight. At most `max_in_flight` tickets are pending at
+//     once; excess demand resolves kSkipped immediately instead of
+//     building an unbounded I/O backlog.
+//   * Budget. When a resident-bytes probe is configured (e.g. the
+//     registry's mincore walk), a worker PACES at issue time: while the
+//     probe reads at or above `budget_bytes` it sleeps, waiting for the
+//     paging governor (serve/paging_governor.hpp) to release room, and
+//     only then streams — prefetch must not page-thrash the very memory
+//     the engine is multiplying out of, nor run so far ahead of the
+//     request queue that its own pages are evicted before their turn.
+//     A ticket that cannot get room within max_stream_wait resolves
+//     kSkipped (inline faulting).
+//
+// start()/stop() are idempotent; stop() cancels pending tickets (they
+// resolve kSkipped) and joins the workers, so an engine shutdown never
+// leaves a ticket waiter hanging.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace cw::obs {
+class PeriodicSampler;
+}  // namespace cw::obs
+
+namespace cw::io {
+
+struct PrefetchOptions {
+  /// Worker threads driving warm_up(). One is usually enough (the kernel
+  /// parallelizes the readahead); more overlap multiple shards' touch
+  /// passes.
+  int num_workers = 1;
+  /// Pending-ticket cap: demand beyond it resolves kSkipped immediately.
+  std::size_t max_in_flight = 8;
+  /// Pace streaming while `resident_bytes_fn` reads >= this (the worker
+  /// waits for the governor to open room before issuing); 0 = no budget
+  /// (always stream immediately).
+  std::size_t budget_bytes = 0;
+  /// Resident-byte probe backing the budget (e.g.
+  /// PipelineRegistry::resident_mapped_bytes, or the governor's cached
+  /// view). Null with budget_bytes > 0 = the budget is ignored.
+  std::function<std::size_t()> resident_bytes_fn;
+  /// A pipeline whose mapped bytes are at least this resident counts as a
+  /// hit (no I/O issued). 1.0 would re-stream a shard missing one page.
+  double resident_fraction = 0.9;
+  /// Stream mode. false (default): WILLNEED-advise the shard — the
+  /// kernel's readahead performs the I/O asynchronously — then poll
+  /// mincore with 1 ms sleeps until resident_fraction is reached, so a
+  /// worker costs almost no CPU while pages land (the mode for
+  /// compute-starved hosts: I/O overlaps the multiply even on one core).
+  /// true: follow the advise with a touch pass (Pipeline::warm_up()) that
+  /// guarantees the pages are faulted on return — worth it when spare
+  /// cores outnumber the I/O streams. Builds without residency syscalls
+  /// always touch (there is no mincore to poll).
+  bool touch_pages = false;
+  /// Async mode: resolve the ticket only once the pages actually landed
+  /// (the mincore poll). false = fire-and-forget: the ticket resolves
+  /// kWarmed right after the WILLNEED advise — the kernel owns the I/O
+  /// from there and whatever has not landed by pickup faults inline. The
+  /// cheapest possible streaming on a compute-starved host: no polling,
+  /// no waiters, just early readahead. (Ignored by touch_pages mode.)
+  bool wait_resident = true;
+  /// Async mode: give up polling a ticket after this long; the ticket
+  /// still resolves kWarmed and whatever has not landed faults inline.
+  std::chrono::milliseconds max_stream_wait{2000};
+  /// Metrics registry backing the cw_prefetch_* series. Null = private.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Structured event log for failed/skipped prefetches. Null = silent.
+  std::shared_ptr<obs::EventLog> events;
+};
+
+/// Point-in-time counters (also exported as cw_prefetch_* series).
+struct PrefetchStats {
+  std::uint64_t issued = 0;     ///< warm_up()s actually started (I/O)
+  std::uint64_t warmed = 0;     ///< issued that completed
+  std::uint64_t hits = 0;       ///< demand already resident — no I/O
+  std::uint64_t skipped = 0;    ///< queue full / over budget / stopped
+  std::uint64_t failed = 0;     ///< injected or real I/O failure
+  std::uint64_t coalesced = 0;  ///< demand that joined a pending ticket
+  std::uint64_t bytes = 0;      ///< mapped bytes streamed by warm_up()
+  /// Fraction of useful demand that needed no I/O: hits/(hits+issued).
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + issued;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class ShardPrefetcher {
+ public:
+  /// Why (and whether) a ticket is terminal.
+  enum class TicketState : std::uint8_t {
+    kPending = 0,
+    kWarmed,
+    kHit,
+    kSkipped,
+    kFailed,
+  };
+
+  /// One unit of demand. Shared: every enqueue() of a pipeline whose
+  /// ticket is still pending returns the SAME ticket.
+  class Ticket {
+   public:
+    /// Terminal state, or kPending.
+    [[nodiscard]] TicketState state() const;
+    [[nodiscard]] bool terminal() const { return state() != TicketState::kPending; }
+    /// The prefetch finished with its pages in RAM (warmed or already hot).
+    [[nodiscard]] bool resident() const {
+      const TicketState s = state();
+      return s == TicketState::kWarmed || s == TicketState::kHit;
+    }
+    /// Block until terminal or `deadline`; returns terminal(). Tickets
+    /// always terminate: workers resolve them, and stop() cancels pending
+    /// ones — so a max() deadline cannot hang past the prefetcher's life.
+    bool wait_until(std::chrono::steady_clock::time_point deadline) const;
+
+   private:
+    friend class ShardPrefetcher;
+    void resolve_(TicketState s);
+    std::shared_ptr<const Pipeline> pipeline_;
+    /// When the demand was registered — a worker re-probes residency only
+    /// for tickets that AGED in the queue (the enqueue-time probe already
+    /// vouched for a fresh one).
+    std::chrono::steady_clock::time_point enqueued_{};
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    TicketState state_ = TicketState::kPending;
+  };
+
+  explicit ShardPrefetcher(PrefetchOptions opt = {});
+  ~ShardPrefetcher();  // stop()
+
+  ShardPrefetcher(const ShardPrefetcher&) = delete;
+  ShardPrefetcher& operator=(const ShardPrefetcher&) = delete;
+
+  /// Launch the workers. No-op if already running.
+  void start();
+
+  /// Cancel pending tickets (kSkipped), join workers. No-op if stopped; a
+  /// stopped prefetcher can be start()ed again.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Register demand. Never blocks and never throws: the ticket is already
+  /// terminal when the demand was a hit, over budget, over the in-flight
+  /// cap, or the prefetcher is stopped. Null pipelines and fully-owned
+  /// pipelines (nothing mapped to stream) resolve kHit.
+  std::shared_ptr<Ticket> enqueue(std::shared_ptr<const Pipeline> p);
+
+  /// Pending + in-progress tickets right now.
+  [[nodiscard]] std::size_t in_flight() const;
+
+  [[nodiscard]] PrefetchStats stats() const;
+
+  /// The registry backing the cw_prefetch_* series.
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// Publish cw_prefetch_hit_rate and cw_prefetch_in_flight as sampled
+  /// gauges. Stop the sampler before destroying the prefetcher.
+  void register_probes(obs::PeriodicSampler& sampler);
+
+ private:
+  /// The cw_prefetch_* instruments, interned once at construction.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& issued;
+    obs::Counter& warmed;
+    obs::Counter& hits;
+    obs::Counter& skipped;
+    obs::Counter& failed;
+    obs::Counter& coalesced;
+    obs::Counter& bytes;
+    obs::Histogram& warm_ms;
+  };
+
+  void worker_loop_();
+  /// Terminal transition + dedup-map cleanup + metrics. Never under mu_
+  /// for the ticket's own cv (Ticket has its own lock).
+  void finish_(const std::shared_ptr<Ticket>& t, TicketState s,
+               std::size_t bytes_streamed, double ms);
+
+  const PrefetchOptions opt_;
+  const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Metrics m_;  // binds into *metrics_: keep declared after it
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Ticket>> queue_;
+  /// Coalescing index: pipeline -> its pending ticket. Entries are erased
+  /// at terminal transition, so a re-enqueue after completion streams
+  /// again (the pages may have been released meanwhile).
+  std::unordered_map<const Pipeline*, std::shared_ptr<Ticket>> pending_;
+  std::size_t in_flight_ = 0;  // queued + being warmed
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cw::io

@@ -1,0 +1,179 @@
+#include "serve/paging_governor.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/sampler.hpp"
+
+namespace cw::serve {
+
+PagingGovernor::Metrics::Metrics(obs::MetricsRegistry& m)
+    : enforcements(m.counter("cw_governor_enforcements_total",
+                             "Watermark checks that released residency")),
+      released_bytes(m.counter("cw_governor_released_bytes_total",
+                               "Cold mapped bytes released under pressure")),
+      rewarms(m.counter("cw_governor_rewarms_total",
+                        "Watched pipelines re-warmed after residency decay")),
+      demand(m.counter("cw_governor_demand_total",
+                       "Pipelines fed through the demand stream")),
+      resident_bytes(m.gauge("cw_governor_resident_mapped_bytes",
+                             "Registry resident mapped bytes at last "
+                             "governor check")) {}
+
+PagingGovernor::PagingGovernor(PipelineRegistry& registry,
+                               io::ShardPrefetcher& prefetcher,
+                               PagingGovernorOptions opt)
+    : registry_(registry),
+      prefetcher_(prefetcher),
+      opt_(std::move(opt)),
+      low_watermark_(opt_.low_watermark_bytes > 0
+                         ? opt_.low_watermark_bytes
+                         : opt_.high_watermark_bytes -
+                               opt_.high_watermark_bytes / 8),
+      metrics_(opt_.metrics ? opt_.metrics
+                            : std::make_shared<obs::MetricsRegistry>()),
+      m_(*metrics_) {}
+
+std::vector<std::shared_ptr<io::ShardPrefetcher::Ticket>>
+PagingGovernor::demand(
+    const std::vector<std::shared_ptr<const Pipeline>>& pipelines) {
+  // Release BEFORE streaming: enforcement with the demanded set held out
+  // makes room for exactly the pages the prefetcher is about to pull in,
+  // instead of letting them evict each other mid-flight.
+  std::vector<const Pipeline*> keep;
+  keep.reserve(pipelines.size());
+  for (const auto& p : pipelines)
+    if (p != nullptr) keep.push_back(p.get());
+  enforce(keep);
+  std::vector<std::shared_ptr<io::ShardPrefetcher::Ticket>> tickets;
+  tickets.reserve(pipelines.size());
+  for (const auto& p : pipelines) {
+    m_.demand.inc();
+    tickets.push_back(prefetcher_.enqueue(p));
+  }
+  return tickets;
+}
+
+std::size_t PagingGovernor::enforce(const std::vector<const Pipeline*>& keep) {
+  if (opt_.high_watermark_bytes == 0) return 0;
+  const std::size_t resident = registry_.resident_mapped_bytes();
+  m_.resident_bytes.set(static_cast<double>(resident));
+  if (resident <= opt_.high_watermark_bytes) return 0;
+  // Queued demand is sacrosanct: the LRU tail the registry releases first
+  // is, in a forward-scanning queue, the very pipeline a queued request is
+  // about to touch — merge the standing holds into the keep set so no
+  // enforcement path evicts pages between their prefetch and their use.
+  std::vector<const Pipeline*> merged = keep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged.reserve(merged.size() + held_.size());
+    for (const auto& [p, hold] : held_) merged.push_back(p);
+  }
+  const std::size_t released =
+      registry_.release_cold_residency(low_watermark_, merged);
+  if (released > 0) {
+    m_.enforcements.inc();
+    m_.released_bytes.inc(released);
+    if (opt_.events != nullptr && opt_.events->enabled(obs::LogLevel::kInfo))
+      opt_.events->info(
+          "governor", "released cold residency under pressure",
+          {{"resident", std::to_string(resident)},
+           {"high_watermark", std::to_string(opt_.high_watermark_bytes)},
+           {"released", std::to_string(released)}});
+  }
+  return released;
+}
+
+void PagingGovernor::hold_demand(const std::shared_ptr<const Pipeline>& p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Hold& hold = held_[p.get()];
+  if (hold.refs == 0) hold.pipeline = p;
+  ++hold.refs;
+}
+
+void PagingGovernor::release_demand(const Pipeline* p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(p);
+  if (it == held_.end()) return;
+  if (--it->second.refs == 0) held_.erase(it);
+}
+
+void PagingGovernor::watch(std::shared_ptr<const Pipeline> p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& w : watched_)
+    if (w.get() == p.get()) return;
+  watched_.push_back(std::move(p));
+}
+
+void PagingGovernor::unwatch(const Pipeline* p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(std::remove_if(watched_.begin(), watched_.end(),
+                                [p](const auto& w) { return w.get() == p; }),
+                 watched_.end());
+}
+
+std::size_t PagingGovernor::rewarm_once() {
+  std::vector<std::shared_ptr<const Pipeline>> watched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watched = watched_;
+  }
+  std::size_t rewarmed = 0;
+  for (const auto& p : watched) {
+    const PipelineResidency res = p->residency();
+    if (res.mapped_bytes == 0) continue;
+    if (static_cast<double>(res.resident_mapped_bytes) >=
+        opt_.rewarm_fraction * static_cast<double>(res.mapped_bytes))
+      continue;
+    // Decayed below the watermark: the kernel reclaimed pages, or a
+    // neighbouring release took them. Re-warm through the prefetcher so
+    // the touch pass runs off the serving threads and under its budget.
+    prefetcher_.enqueue(p);
+    m_.rewarms.inc();
+    ++rewarmed;
+    if (opt_.events != nullptr && opt_.events->enabled(obs::LogLevel::kInfo))
+      opt_.events->info(
+          "governor", "re-warming pipeline below residency watermark",
+          {{"resident", std::to_string(res.resident_mapped_bytes)},
+           {"mapped", std::to_string(res.mapped_bytes)}});
+  }
+  return rewarmed;
+}
+
+PagingGovernorStats PagingGovernor::stats() const {
+  PagingGovernorStats s;
+  s.enforcements = m_.enforcements.value();
+  s.released_bytes = m_.released_bytes.value();
+  s.rewarms = m_.rewarms.value();
+  s.demand = m_.demand.value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.held = held_.size();
+  }
+  return s;
+}
+
+void PagingGovernor::register_probes(obs::PeriodicSampler& sampler) {
+  sampler.add_probe(
+      "cw_governor_resident_mapped_bytes",
+      "Registry resident mapped bytes at last governor check",
+      [this] {
+        // The sampler tick IS the governor's background loop: enforce the
+        // watermarks, keep watched pipelines warm, report the level.
+        enforce();
+        rewarm_once();
+        // Report the PRE-release level enforce() just read (one mincore
+        // walk per tick, not three). This is also the prefetcher's pacing
+        // signal: it must see the pressure the governor saw — publishing
+        // the post-release level would tell the streams the coast is
+        // clear at exactly the moment it never is, and they would run an
+        // entire corpus ahead of the requests consuming them.
+        return m_.resident_bytes.value();
+      });
+}
+
+}  // namespace cw::serve

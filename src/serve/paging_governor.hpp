@@ -1,0 +1,160 @@
+// Paging governor — the pressure-release half of out-of-core serving.
+//
+// The prefetcher (io/prefetcher.hpp) streams upcoming shards IN; something
+// must decide what goes OUT, or serving a snapshot 10x RAM just thrashes.
+// The governor watches the registry's mincore-probed resident mapped bytes
+// against a watermark pair:
+//
+//   resident > high_watermark  →  release cold entries' residency
+//                                 (coldest-first, LRU tail) down to
+//                                 low_watermark — the entries stay cached
+//                                 and re-fault or re-prefetch on next use.
+//
+// The gap between the watermarks is the streaming headroom: each
+// enforcement frees a batch of pages so the next few prefetches land
+// without re-triggering a release per ticket. Entries pinned under the
+// mlock budget and pipelines named in the current demand set are never
+// released.
+//
+// Two driving paths:
+//   * demand(pipelines) — the engine's queued requests name the shards
+//     they are about to touch; non-resident ones are fed to the
+//     prefetcher and the watermarks enforced (with the demanded set held
+//     out of the release walk).
+//   * hold_demand()/release_demand() — standing holds for QUEUED demand.
+//     The registry releases coldest-first by LRU, but a serving queue is
+//     a forward scan: the least-recently-USED pipeline is often exactly
+//     the one a queued request touches next (and the prefetcher just
+//     streamed) — LRU's classic failure mode. The engine holds every
+//     queued request's shards from submit until the request resolves, so
+//     no enforcement path (demand-driven or the background sampler tick)
+//     can evict pages between their prefetch and their multiply.
+//   * register_probes(sampler) — a PeriodicSampler probe publishes the
+//     resident level AND, as its side effect, enforces the watermarks and
+//     re-warms watched pipelines whose residency decayed below
+//     rewarm_fraction (the kernel reclaimed pages behind our back, a
+//     neighbour DONTNEEDed a shared mapping, …). This is the background
+//     re-warm loop: watch() a pipeline once and the sampler keeps it warm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "io/prefetcher.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace cw::serve {
+
+struct PagingGovernorOptions {
+  /// Resident mapped bytes across the registry above which enforce()
+  /// releases cold residency. 0 = watermark enforcement disabled (demand
+  /// still feeds the prefetcher).
+  std::size_t high_watermark_bytes = 0;
+  /// Release down to this level; 0 = 7/8 of the high watermark.
+  std::size_t low_watermark_bytes = 0;
+  /// A watched pipeline is re-warmed when its resident fraction drops
+  /// below this.
+  double rewarm_fraction = 0.5;
+  /// Metrics registry backing the cw_governor_* series. Null = private.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Event log for enforcement/re-warm events. Null = silent.
+  std::shared_ptr<obs::EventLog> events;
+};
+
+/// Point-in-time counters (also exported as cw_governor_* series).
+struct PagingGovernorStats {
+  std::uint64_t enforcements = 0;    ///< enforce() calls that released
+  std::uint64_t released_bytes = 0;  ///< cold mapped bytes released
+  std::uint64_t rewarms = 0;         ///< watched pipelines re-warmed
+  std::uint64_t demand = 0;          ///< pipelines fed through demand()
+  std::uint64_t held = 0;            ///< pipelines under a standing hold now
+};
+
+class PagingGovernor {
+ public:
+  /// The registry and prefetcher must outlive the governor (and any
+  /// sampler its probes are registered with).
+  PagingGovernor(PipelineRegistry& registry, io::ShardPrefetcher& prefetcher,
+                 PagingGovernorOptions opt = {});
+
+  PagingGovernor(const PagingGovernor&) = delete;
+  PagingGovernor& operator=(const PagingGovernor&) = delete;
+
+  /// Feed the demand stream: enqueue prefetches for `pipelines` (the
+  /// prefetcher filters hits itself), then enforce the watermarks with
+  /// the demanded set excluded from release. Returns the tickets, aligned
+  /// with the input.
+  std::vector<std::shared_ptr<io::ShardPrefetcher::Ticket>> demand(
+      const std::vector<std::shared_ptr<const Pipeline>>& pipelines);
+
+  /// One watermark check: when the registry's resident mapped bytes
+  /// exceed the high watermark, release cold residency down to the low
+  /// one. `keep` — plus every pipeline under a standing hold — is held
+  /// out of the release walk. Returns bytes released.
+  std::size_t enforce(const std::vector<const Pipeline*>& keep = {});
+
+  /// Standing hold: keep `p` out of EVERY release walk (background ticks
+  /// included) until release_demand(p). Holds are counted — N queued
+  /// requests naming the same shard take N holds and the shard stays
+  /// protected until the last one resolves. Null is a no-op.
+  void hold_demand(const std::shared_ptr<const Pipeline>& p);
+  /// Drop one hold on `p`; the pipeline becomes evictable when the count
+  /// reaches zero. Unmatched releases are no-ops.
+  void release_demand(const Pipeline* p);
+
+  /// Keep `p` warm in the background: every rewarm_once() sweep (usually
+  /// sampler-driven) re-enqueues a prefetch when its resident fraction
+  /// has dropped below rewarm_fraction. Watching an owned (nothing
+  /// mapped) pipeline is a no-op per sweep.
+  void watch(std::shared_ptr<const Pipeline> p);
+  void unwatch(const Pipeline* p);
+
+  /// Sweep the watched set once; returns re-warms enqueued. (The sampler
+  /// probe body — callable inline from tests.)
+  std::size_t rewarm_once();
+
+  [[nodiscard]] PagingGovernorStats stats() const;
+
+  /// Publish cw_governor_resident_mapped_bytes as a sampled gauge whose
+  /// probe ALSO enforces the watermarks and sweeps the re-warm set — one
+  /// registration turns the sampler into the governor's background loop.
+  /// Stop the sampler before destroying the governor.
+  void register_probes(obs::PeriodicSampler& sampler);
+
+ private:
+  /// The cw_governor_* instruments, interned once at construction.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& enforcements;
+    obs::Counter& released_bytes;
+    obs::Counter& rewarms;
+    obs::Counter& demand;
+    obs::Gauge& resident_bytes;
+  };
+
+  PipelineRegistry& registry_;
+  io::ShardPrefetcher& prefetcher_;
+  const PagingGovernorOptions opt_;
+  const std::size_t low_watermark_;
+  const std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Metrics m_;  // binds into *metrics_: keep declared after it
+
+  /// One standing hold: the shared_ptr keeps the mapping alive while a
+  /// queued request depends on it; refs counts overlapping requests.
+  struct Hold {
+    std::shared_ptr<const Pipeline> pipeline;
+    std::uint32_t refs = 0;
+  };
+
+  mutable std::mutex mu_;  // guards watched_ and held_
+  std::vector<std::shared_ptr<const Pipeline>> watched_;
+  std::unordered_map<const Pipeline*, Hold> held_;
+};
+
+}  // namespace cw::serve

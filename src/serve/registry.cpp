@@ -412,6 +412,62 @@ std::size_t PipelineRegistry::resident_mapped_bytes() const {
   return resident;
 }
 
+std::vector<std::shared_ptr<const Pipeline>>
+PipelineRegistry::mapped_entries_coldest_first() const {
+  std::vector<std::shared_ptr<const Pipeline>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(map_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+    if (it->footprint.mapped_bytes > 0) out.push_back(it->pipeline);
+  return out;
+}
+
+std::size_t PipelineRegistry::release_cold_residency(
+    std::size_t target_bytes, const std::vector<const Pipeline*>& keep) {
+  // Snapshot (pipeline, mlocked?) coldest-first under the lock, then do all
+  // mincore/madvise work after it drops — identical discipline to
+  // resident_mapped_bytes(): O(mapped pages) of kernel work must never
+  // stall lookups, and the shared_ptrs keep mappings alive across the walk.
+  struct Victim {
+    std::shared_ptr<const Pipeline> pipeline;
+    bool pinned;
+  };
+  std::vector<Victim> cold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cold.reserve(map_.size());
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+      if (it->footprint.mapped_bytes > 0)
+        cold.push_back(Victim{it->pipeline, it->locked_bytes > 0});
+  }
+  std::size_t resident = 0;
+  std::vector<std::size_t> per_entry(cold.size(), 0);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    per_entry[i] = cold[i].pipeline->residency().resident_mapped_bytes;
+    resident += per_entry[i];
+  }
+  std::size_t released = 0;
+  for (std::size_t i = 0; i < cold.size() && resident > target_bytes; ++i) {
+    if (cold[i].pinned || per_entry[i] == 0) continue;
+    bool demanded = false;
+    for (const Pipeline* k : keep)
+      if (k == cold[i].pipeline.get()) {
+        demanded = true;
+        break;
+      }
+    if (demanded) continue;  // a queued request is about to touch it
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t r = cold[i].pipeline->release_residency();
+    m_.release_ms.record(ms_since(t0));
+    released += r;
+    resident -= per_entry[i] < resident ? per_entry[i] : resident;
+    if (events_ && events_->enabled(obs::LogLevel::kDebug))
+      events_->debug("registry", "governor released cold entry's residency",
+                     {{"bytes", std::to_string(r)}});
+  }
+  return released;
+}
+
 void PipelineRegistry::write_residency_json(std::ostream& os) const {
   // stats() and the mincore probe take the lock separately — a diagnostic
   // report needs per-field truth, not one global instant.

@@ -240,6 +240,24 @@ class PipelineRegistry {
   /// registry section of ServeEngine::dump_diagnostics().
   void write_residency_json(std::ostream& os) const;
 
+  /// Paging-governor hook (serve/paging_governor.hpp): release cold mapped
+  /// entries' RESIDENCY — not the entries themselves — until the
+  /// mincore-probed resident total across the cache is <= `target_bytes`.
+  /// Walks coldest-first (LRU tail), skips mlocked entries and anything in
+  /// `keep` (pipelines queued requests are about to touch), and runs every
+  /// syscall outside mu_ under the same snapshot discipline as
+  /// resident_mapped_bytes(). The entries stay cached and re-fault (or are
+  /// re-prefetched) on next use. Returns mapped bytes released.
+  std::size_t release_cold_residency(
+      std::size_t target_bytes,
+      const std::vector<const Pipeline*>& keep = {});
+
+  /// Cached mapped-backed entries, coldest (LRU tail) first — the
+  /// governor's and diagnostics' residency-walk order. Handles keep their
+  /// mappings alive while the caller probes them.
+  [[nodiscard]] std::vector<std::shared_ptr<const Pipeline>>
+  mapped_entries_coldest_first() const;
+
   /// Occupancy of the admission sketch (fraction of nonzero counters);
   /// 0 under admit-all. See AdmissionPolicy::occupancy().
   [[nodiscard]] double admission_sketch_occupancy() const;

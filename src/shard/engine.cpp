@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "fault/status.hpp"
 #include "obs/sampler.hpp"
+#include "serve/paging_governor.hpp"
 
 namespace cw::shard {
 
@@ -46,8 +47,16 @@ ShardedEngine::Metrics::Metrics(obs::MetricsRegistry& m)
       shard_retry_success(
           m.counter("cw_sharded_shard_retry_success_total",
                     "Shard retries that produced the product after all")),
+      cold_multiplies(
+          m.counter("cw_shard_cold_multiplies_total",
+                    "Shard multiplies scattered below the residency "
+                    "threshold (paid page faults inline)")),
       latency_ms(m.histogram("cw_sharded_request_latency_ms",
-                             "Sharded request latency, submit to gathered")) {}
+                             "Sharded request latency, submit to gathered")),
+      prefetch_wait_ms(
+          m.histogram("cw_sharded_prefetch_wait_ms",
+                      "Per-request wall time spent waiting on cold shards' "
+                      "prefetch tickets before scattering them")) {}
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
     : opt_(std::move(opt)),
@@ -94,12 +103,38 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions opt)
           : std::max(1, hardware_threads() / opt_.num_workers);
   shard_engine_ = std::make_unique<serve::ServeEngine>(eopt);
 
+  // Out-of-core prefetch: a shared instance keeps its caller's lifecycle;
+  // an internal one is started here and stopped by shutdown(). Its
+  // cw_prefetch_* series and failure events join this engine's plane
+  // unless prefetch_opt already names others.
+  if (opt_.prefetcher != nullptr) {
+    prefetcher_ = opt_.prefetcher;
+  } else if (opt_.prefetch) {
+    io::PrefetchOptions popt = opt_.prefetch_opt;
+    if (popt.metrics == nullptr) popt.metrics = metrics_;
+    if (popt.events == nullptr) popt.events = events_;
+    prefetcher_ = std::make_shared<io::ShardPrefetcher>(std::move(popt));
+    prefetcher_->start();
+    owns_prefetcher_ = true;
+  }
+
   gatherers_.reserve(static_cast<std::size_t>(opt_.gather_workers));
   for (int g = 0; g < opt_.gather_workers; ++g)
     gatherers_.emplace_back([this] { gather_loop_(); });
 }
 
 ShardedEngine::~ShardedEngine() { shutdown(); }
+
+void ShardedEngine::release_holds_(Request& req) {
+  if (!req.held) return;
+  req.held = false;
+  serve::PagingGovernor* governor =
+      governor_.load(std::memory_order_acquire);
+  if (governor == nullptr) return;
+  const index_t k = req.pipeline->num_shards();
+  for (index_t s = 0; s < k; ++s)
+    governor->release_demand(req.pipeline->shard(s).get());
+}
 
 std::future<Csr> ShardedEngine::submit(
     std::shared_ptr<const ShardedPipeline> pipeline, Csr b,
@@ -117,6 +152,28 @@ std::future<Csr> ShardedEngine::submit(
   if (opts.deadline.count() > 0)
     req.deadline = std::min(req.deadline, req.enqueued + opts.deadline);
   req.slot = std::make_shared<obs::RequestSlot>(rid, req.enqueued);
+  // Demand stream: name every shard this request will touch so cold ones
+  // start streaming NOW, while the request waits for a gather worker and
+  // earlier requests' resident shards multiply. An already-expired request
+  // must not trigger a byte of prefetch I/O — it will resolve
+  // kDeadlineExceeded without scattering. The governor hold lands BEFORE
+  // the tickets: a watermark enforcement racing this submit must not evict
+  // the very pages the tickets are about to stream.
+  serve::PagingGovernor* governor =
+      governor_.load(std::memory_order_acquire);
+  if (governor != nullptr && req.deadline > req.enqueued) {
+    const index_t k = req.pipeline->num_shards();
+    for (index_t s = 0; s < k; ++s)
+      governor->hold_demand(req.pipeline->shard(s));
+    req.held = true;
+  }
+  if (prefetcher_ != nullptr && req.deadline > req.enqueued &&
+      opt_.prefetch_lookahead == 0) {
+    const index_t k = req.pipeline->num_shards();
+    req.tickets.reserve(static_cast<std::size_t>(k));
+    for (index_t s = 0; s < k; ++s)
+      req.tickets.push_back(prefetcher_->enqueue(req.pipeline->shard(s)));
+  }
   std::future<Csr> result = req.result.get_future();
   bool rejected = false;
   {
@@ -130,6 +187,7 @@ std::future<Csr> ShardedEngine::submit(
     }
   }
   if (rejected) {
+    release_holds_(req);
     const std::string msg = "sharded engine: submit after shutdown";
     if (req.slot)
       req.slot->stage.store("cancelled", std::memory_order_relaxed);
@@ -169,6 +227,10 @@ void ShardedEngine::shutdown() {
   for (auto& t : gatherers_) t.join();
   gatherers_.clear();
   shard_engine_->shutdown();
+  // The internal prefetcher dies with the engine: pending tickets resolve
+  // kSkipped (nobody is left to wait on them) and the workers join. A
+  // shared prefetcher is the caller's to stop.
+  if (owns_prefetcher_ && prefetcher_ != nullptr) prefetcher_->stop();
 }
 
 ShardedEngineStats ShardedEngine::stats() const {
@@ -180,6 +242,7 @@ ShardedEngineStats ShardedEngine::stats() const {
   s.shard_multiplies = m_.shard_multiplies.value();
   s.shard_retries = m_.shard_retries.value();
   s.shard_retry_success = m_.shard_retry_success.value();
+  s.cold_multiplies = m_.cold_multiplies.value();
   s.errors = errors_.snapshot();
   s.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start_).count();
@@ -205,6 +268,7 @@ void ShardedEngine::register_probes(obs::PeriodicSampler& sampler) {
   sampler.add_probe("cw_sharded_queue_depth",
                     "Sharded requests waiting for a gather worker",
                     [this] { return static_cast<double>(queue_depth()); });
+  if (prefetcher_ != nullptr) prefetcher_->register_probes(sampler);
   shard_engine_->register_probes(sampler);
 }
 
@@ -297,6 +361,7 @@ std::string ShardedEngine::dump_diagnostics() const {
 void ShardedEngine::gather_loop_() {
   for (;;) {
     Request req;
+    std::vector<std::shared_ptr<const ShardedPipeline>> prime;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -304,6 +369,37 @@ void ShardedEngine::gather_loop_() {
       req = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      // Dispatch-primed streaming: this dispatch IS the consumption signal
+      // the stream pipeline paces itself by — prime the next L queued
+      // requests (skipping already-primed and expired ones) so stream-ahead
+      // never exceeds L pipelines no matter how deep the backlog. The
+      // actual enqueues happen after the lock drops; only the window
+      // bookkeeping needs mu_.
+      if (prefetcher_ != nullptr && opt_.prefetch_lookahead > 0) {
+        const Clock::time_point now = Clock::now();
+        // A dispatch nobody primed (the first of a burst) streams ITSELF
+        // first: one WILLNEED advise opens the kernel's readahead at full
+        // window immediately, where the scatter's demand faults would pay
+        // the per-mapping ramp. It goes ahead of the successors in the
+        // stream queue — its bytes are the ones needed NOW.
+        if (!req.primed && req.deadline > now) prime.push_back(req.pipeline);
+        std::size_t window = 0;
+        for (Request& next : queue_) {
+          if (window == opt_.prefetch_lookahead) break;
+          if (next.primed) {  // still occupies its slot until dispatched
+            ++window;
+            continue;
+          }
+          if (next.deadline <= now) continue;  // expired: not a byte of I/O
+          next.primed = true;
+          prime.push_back(next.pipeline);
+          ++window;
+        }
+      }
+    }
+    for (const auto& ahead : prime) {
+      const index_t ka = ahead->num_shards();
+      for (index_t s = 0; s < ka; ++s) prefetcher_->enqueue(ahead->shard(s));
     }
     const Clock::time_point pickup = Clock::now();
 
@@ -318,13 +414,24 @@ void ShardedEngine::gather_loop_() {
     // probes see them as "shard.multiply_k", not "engine.multiply". The
     // submit may itself fail (e.g. after an engine shutdown race); treat
     // that as a request failure, not a crash.
+    //
+    // Residency-aware order: warm shards are submitted first and multiply
+    // immediately; cold ones go last, each given a bounded chance to
+    // finish streaming (its prefetch ticket) before it is scattered to
+    // fault inline. gather() stitches by shard index, so any submission
+    // order is bit-identical to the fixed 0..K-1 scatter.
     std::vector<std::future<Csr>> futures;
+    std::vector<index_t> scatter_order;
     std::exception_ptr error;
     serve::SubmitOptions sub;
     sub.deadline_at = req.deadline;
+    Clock::time_point prefetch_wait_begin{};
+    Clock::time_point prefetch_wait_end{};
+    std::uint64_t cold_scattered = 0;
     if (req.deadline <= pickup) {
       // Expired while waiting for a gather worker: the typed error resolves
-      // without scattering a single shard multiply.
+      // without scattering a single shard multiply — and without waiting a
+      // microsecond on (or issuing) any prefetch.
       if (req.slot)
         req.slot->stage.store("deadline", std::memory_order_relaxed);
       error = std::make_exception_ptr(fault::StatusError(
@@ -334,14 +441,85 @@ void ShardedEngine::gather_loop_() {
       if (req.slot)
         req.slot->stage.store("scatter", std::memory_order_relaxed);
       try {
-        futures.reserve(static_cast<std::size_t>(k));
+        scatter_order.resize(static_cast<std::size_t>(k));
         for (index_t s = 0; s < k; ++s)
+          scatter_order[static_cast<std::size_t>(s)] = s;
+        // One mincore walk per shard: fraction of its mapped bytes in RAM
+        // right now (owned-only shards count as fully resident). Probed in
+        // BOTH orders so cw_shard_cold_multiplies stays honest with the
+        // reorder off.
+        std::vector<double> resident_frac;
+        if (k > 1) {
+          resident_frac.resize(static_cast<std::size_t>(k), 1.0);
+          for (index_t s = 0; s < k; ++s) {
+            const PipelineResidency res = sp.shard(s)->residency();
+            if (res.mapped_bytes > 0)
+              resident_frac[static_cast<std::size_t>(s)] =
+                  static_cast<double>(res.resident_mapped_bytes) /
+                  static_cast<double>(res.mapped_bytes);
+          }
+        }
+        if (opt_.residency_order && k > 1) {
+          // stable: equal-residency shards keep index order, so the fully
+          // resident (or fully cold) case degenerates to the fixed order.
+          std::stable_sort(scatter_order.begin(), scatter_order.end(),
+                           [&resident_frac](index_t a, index_t b) {
+                             return resident_frac[static_cast<std::size_t>(
+                                        a)] >
+                                    resident_frac[static_cast<std::size_t>(b)];
+                           });
+        }
+        futures.reserve(static_cast<std::size_t>(k));
+        for (index_t pos = 0; pos < k; ++pos) {
+          const index_t s = scatter_order[static_cast<std::size_t>(pos)];
+          bool cold =
+              !resident_frac.empty() &&
+              resident_frac[static_cast<std::size_t>(s)] < opt_.cold_fraction;
+          const std::shared_ptr<io::ShardPrefetcher::Ticket>* ticket =
+              static_cast<std::size_t>(s) < req.tickets.size()
+                  ? &req.tickets[static_cast<std::size_t>(s)]
+                  : nullptr;
+          if (cold && pos > 0 && ticket != nullptr && *ticket != nullptr &&
+              !(*ticket)->terminal() &&
+              opt_.max_prefetch_wait.count() > 0) {
+            // Bounded prefetch-wait: the shards scattered ahead of this one
+            // are already multiplying, so the wait runs concurrently with
+            // their compute. The FIRST scattered shard never waits — with
+            // nothing in the shard workers' queue the wait would idle them,
+            // and inline faulting overlaps the stream anyway. Capped by the
+            // request deadline — and by max_prefetch_wait, past which
+            // inline faulting beats waiting.
+            const Clock::time_point wait_begin = Clock::now();
+            Clock::time_point wait_deadline =
+                wait_begin + opt_.max_prefetch_wait;
+            if (req.deadline < wait_deadline) wait_deadline = req.deadline;
+            if (prefetch_wait_begin == Clock::time_point{})
+              prefetch_wait_begin = wait_begin;
+            (*ticket)->wait_until(wait_deadline);
+            prefetch_wait_end = Clock::now();
+            // Re-probe after the wait: mincore, not the ticket, is the
+            // truth about what the multiply is about to find (a fire-and-
+            // forget ticket resolves when the I/O is ISSUED, not landed).
+            const PipelineResidency res = sp.shard(s)->residency();
+            if (res.mapped_bytes > 0)
+              cold = static_cast<double>(res.resident_mapped_bytes) <
+                     opt_.cold_fraction * static_cast<double>(res.mapped_bytes);
+          }
+          // Still cold at submission (no stream, or it has not landed):
+          // this multiply pays its faults inline — exactly the event
+          // cw_shard_cold_multiplies counts.
+          if (cold) {
+            m_.cold_multiplies.inc();
+            ++cold_scattered;
+          }
           futures.push_back(shard_engine_->submit_traced(
               sp.shard(s), req.b, req.trace, s, req.flight, sub));
+        }
       } catch (...) {
         error = std::current_exception();
       }
     }
+    req.tickets.clear();  // drop ticket refs; coalesced waiters keep theirs
     const Clock::time_point scatter_end = Clock::now();
     if (req.slot && req.deadline > pickup)
       req.slot->stage.store("gather", std::memory_order_relaxed);
@@ -354,12 +532,16 @@ void ShardedEngine::gather_loop_() {
     // that lands on whichever worker is free, not the one that just failed.
     // Non-retryable codes (deadline, cancellation, corruption), an already
     // doomed request, or an expired deadline skip the retry.
-    std::vector<std::optional<Csr>> parts(futures.size());
+    // parts is indexed by SHARD id while futures follows the scatter
+    // order — the mapping through scatter_order is what keeps a
+    // residency-reordered fan-out bit-identical at gather().
+    std::vector<std::optional<Csr>> parts(static_cast<std::size_t>(k));
     std::exception_ptr first_error = error;
-    for (std::size_t s = 0; s < futures.size(); ++s) {
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const index_t s = scatter_order[i];
       std::exception_ptr shard_error;
       try {
-        parts[s].emplace(futures[s].get());
+        parts[static_cast<std::size_t>(s)].emplace(futures[i].get());
         continue;
       } catch (...) {
         shard_error = std::current_exception();
@@ -380,17 +562,21 @@ void ShardedEngine::gather_loop_() {
              {"shard", std::to_string(s)},
              {"code", fault::code_label(code)}});
       try {
-        parts[s].emplace(
+        parts[static_cast<std::size_t>(s)].emplace(
             shard_engine_
-                ->submit_traced(sp.shard(static_cast<index_t>(s)), req.b,
-                                req.trace, static_cast<std::int64_t>(s),
-                                req.flight, sub)
+                ->submit_traced(sp.shard(s), req.b, req.trace,
+                                static_cast<std::int64_t>(s), req.flight, sub)
                 .get());
         m_.shard_retry_success.inc();
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
     }
+
+    // Every shard future is resolved: the multiplies are done reading the
+    // mapped arrays, so the queued-demand holds come off — from here the
+    // governor may evict this request's shards to make room for the next.
+    release_holds_(req);
 
     bool idle = false;
     std::exception_ptr final_error = first_error;
@@ -412,14 +598,25 @@ void ShardedEngine::gather_loop_() {
     // futures + stitching row blocks). The per-shard multiply spans in
     // between were written by the inner engine's workers — into the same
     // contexts.
+    const bool prefetch_waited =
+        prefetch_wait_begin != Clock::time_point{};
     for (const auto& ctx : {req.trace, req.flight}) {
       if (!ctx) continue;
       ctx->add("queue-wait", req.enqueued, pickup);
+      // prefetch-wait nests inside scatter: the wall time this pickup
+      // spent parked on cold shards' tickets (while already-submitted warm
+      // shards multiplied) — the paging-stall signal the runbook reads.
+      if (prefetch_waited)
+        ctx->add("prefetch-wait", prefetch_wait_begin, prefetch_wait_end,
+                 "cold_shards", static_cast<std::int64_t>(cold_scattered));
       ctx->add("scatter", pickup, scatter_end, "shards",
                static_cast<std::int64_t>(futures.size()));
       ctx->add("gather", scatter_end, done, "shards",
                static_cast<std::int64_t>(futures.size()));
     }
+    if (prefetch_waited)
+      m_.prefetch_wait_ms.record(
+          ms_between(prefetch_wait_begin, prefetch_wait_end));
     // Flight verdict, failure event and trace commit land BEFORE the
     // in_flight_ decrement and the promise: both "drain() returned" and
     // "future.get() returned" must imply the timeline is already kept.

@@ -28,8 +28,13 @@
 
 #include "fault/counters.hpp"
 #include "fault/status.hpp"
+#include "io/prefetcher.hpp"
 #include "serve/engine.hpp"
 #include "shard/sharded_pipeline.hpp"
+
+namespace cw::serve {
+class PagingGovernor;
+}  // namespace cw::serve
 
 namespace cw::shard {
 
@@ -87,6 +92,43 @@ struct ShardedEngineOptions {
   /// registry-sized pieces by design (shard/sharded_pipeline.hpp), so
   /// admission, prefault-on-admit and the mlock budget apply per shard.
   serve::RegistryOptions registry = {};
+  /// Out-of-core serving: create an internal prefetcher (io/prefetcher.hpp,
+  /// configured by prefetch_opt) that streams cold shards' pages in the
+  /// background while resident shards multiply. Every submit feeds it the
+  /// request's non-resident shards as demand (never for an already-expired
+  /// request). The engine owns the internal instance: shutdown() cancels
+  /// its pending tickets and joins its workers.
+  bool prefetch = false;
+  io::PrefetchOptions prefetch_opt = {};
+  /// Alternatively share an external prefetcher (e.g. one governed
+  /// instance across engines). Takes precedence over `prefetch`; its
+  /// lifecycle stays with the caller.
+  std::shared_ptr<io::ShardPrefetcher> prefetcher;
+  /// Order each request's scatter by current shard residency: resident
+  /// shards are submitted (and multiply) first while cold ones stream in
+  /// behind them. Bit-identical to the fixed 0..K-1 order — gather
+  /// stitches by shard index, not completion order. The pickup pays one
+  /// mincore walk over the request's mapped shards.
+  bool residency_order = true;
+  /// A shard whose mapped bytes are less than this fraction resident
+  /// counts as cold (cw_shard_cold_multiplies, prefetch waits).
+  double cold_fraction = 0.9;
+  /// Longest a pickup waits for ONE cold shard's prefetch ticket before
+  /// scattering it anyway (inline faulting); also capped by the request
+  /// deadline. 0 = never wait — cold shards scatter immediately and the
+  /// prefetch races the inner queue.
+  std::chrono::milliseconds max_prefetch_wait{250};
+  /// Stream-ahead flow control. 0 = every request's shards are fed to the
+  /// prefetcher at submit — fine for shallow queues, but a deep backlog
+  /// floods the stream pipeline with a whole queue's demand at once and
+  /// the paging governor evicts the early streams before their requests
+  /// run (cyclic-scan thrash: every shard streamed, none warm at use).
+  /// L > 0 = dispatch-primed: each request DISPATCH primes the next L
+  /// still-queued requests' shards, so the dispatch itself is the
+  /// consumption signal the streams pace themselves by and stream-ahead
+  /// never exceeds L pipelines regardless of queue depth. Size L so L
+  /// pipelines fit the residency budget beside the active request.
+  std::size_t prefetch_lookahead = 0;
 };
 
 /// Point-in-time view over the registry-backed cw_sharded_* metrics.
@@ -100,6 +142,10 @@ struct ShardedEngineStats {
   /// shard's product after all.
   std::uint64_t shard_retries = 0;
   std::uint64_t shard_retry_success = 0;
+  /// Shard multiplies scattered while their shard was below the
+  /// cold_fraction residency threshold — each one paid page faults inline
+  /// (the number the prefetcher exists to drive to zero).
+  std::uint64_t cold_multiplies = 0;
   /// Failures by fault-taxonomy code at THIS layer (one entry per sharded
   /// request, by its final error), indexed by fault::ErrorCode.
   std::array<std::uint64_t, fault::kNumErrorCodes> errors{};
@@ -159,6 +205,22 @@ class ShardedEngine {
   /// Force the inner engine's open batch windows to flush immediately —
   /// deterministic-test hook (see serve::ServeEngine::close_batch_windows).
   void close_batch_windows() { shard_engine_->close_batch_windows(); }
+
+  /// The shard prefetcher (internal or shared), or null when out-of-core
+  /// prefetch is off.
+  [[nodiscard]] const std::shared_ptr<io::ShardPrefetcher>& prefetcher() const {
+    return prefetcher_;
+  }
+
+  /// Attach a paging governor: from then on every accepted request takes a
+  /// standing demand-hold on its shards (serve::PagingGovernor::hold_demand)
+  /// at submit and drops it when the request resolves, so the governor's
+  /// watermark enforcement never evicts pages a queued request is about to
+  /// multiply out of. The governor must outlive the engine (or be detached
+  /// with nullptr after shutdown()); null = no holds (the default).
+  void set_governor(serve::PagingGovernor* governor) {
+    governor_.store(governor, std::memory_order_release);
+  }
 
   /// The metrics registry backing the cw_sharded_* series (shared with the
   /// inner engine's cw_engine_* / cw_registry_* series).
@@ -223,9 +285,22 @@ class ShardedEngine {
     std::shared_ptr<obs::TraceContext> flight;
     /// Live watchdog bookkeeping (stage: queued → scatter → gather).
     std::shared_ptr<obs::RequestSlot> slot;
+    /// Prefetch tickets, aligned with shard index (empty when prefetch is
+    /// off or the request arrived expired). The scatter loop waits —
+    /// bounded — on a cold shard's ticket before submitting it.
+    std::vector<std::shared_ptr<io::ShardPrefetcher::Ticket>> tickets;
+    /// This request holds its shards in the governor's demand set (dropped
+    /// by the gatherer when the request resolves).
+    bool held = false;
+    /// Under dispatch-primed streaming (prefetch_lookahead > 0): a
+    /// predecessor's dispatch already fed this request's shards to the
+    /// prefetcher while it sat in the queue.
+    bool primed = false;
   };
 
   void gather_loop_();
+  /// Drop the request's standing demand-holds (no-op when it took none).
+  void release_holds_(Request& req);
 
   /// The cw_sharded_* instruments, interned once at construction.
   struct Metrics {
@@ -236,7 +311,9 @@ class ShardedEngine {
     obs::Counter& shard_multiplies;
     obs::Counter& shard_retries;
     obs::Counter& shard_retry_success;
+    obs::Counter& cold_multiplies;
     obs::Histogram& latency_ms;
+    obs::Histogram& prefetch_wait_ms;
   };
 
   const ShardedEngineOptions opt_;
@@ -248,6 +325,9 @@ class ShardedEngine {
   Metrics m_;  // binds into *metrics_: keep declared after it
   fault::ErrorCounters errors_;  // cw_errors_total{code=...}, shared series
   std::unique_ptr<serve::ServeEngine> shard_engine_;
+  std::shared_ptr<io::ShardPrefetcher> prefetcher_;  // null = prefetch off
+  bool owns_prefetcher_ = false;  // internal instance: stopped by shutdown()
+  std::atomic<serve::PagingGovernor*> governor_{nullptr};  // null = no holds
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

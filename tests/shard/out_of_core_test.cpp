@@ -1,0 +1,230 @@
+// Out-of-core sharded serving (shard/engine.hpp + io/prefetcher.hpp):
+// residency-aware scatter order must stay bit-identical to the fixed order
+// under forced eviction, an expired request must never trigger prefetch
+// I/O, and an injected io.prefetch fault must degrade to inline faulting
+// without failing a single request.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/residency.hpp"
+#include "fault/injector.hpp"
+#include "fault/status.hpp"
+#include "gen/generators.hpp"
+#include "shard/engine.hpp"
+#include "shard/snapshot.hpp"
+#include "test_utils.hpp"
+
+namespace cw::shard {
+namespace {
+
+using SpHandle = std::shared_ptr<const ShardedPipeline>;
+
+/// Build a sharded pipeline, round-trip it through a v3 sharded snapshot
+/// and mmap-load it: every shard's bulk arrays become borrowed file
+/// mappings, so release_residency() has real eviction teeth.
+SpHandle mmap_sharded(const char* name, std::uint64_t seed, index_t k) {
+  Csr a = gen_banded(1200, 16, 0.9, seed);
+  randomize_values(a, seed + 1000);
+  PipelineOptions popt;
+  popt.scheme = ClusterScheme::kFixed;
+  popt.fixed_length = 8;
+  PlanOptions plan;
+  plan.num_shards = k;
+  const ShardedPipeline built(a, plan, popt);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  save_sharded_pipeline_file(path, built);
+  auto sp = std::make_shared<const ShardedPipeline>(
+      load_sharded_pipeline_file(path));
+  std::remove(path.c_str());  // the mappings (and their fd) keep data alive
+  return sp;
+}
+
+void evict_all(const std::vector<SpHandle>& sps) {
+  for (const SpHandle& sp : sps)
+    for (index_t s = 0; s < sp->num_shards(); ++s)
+      sp->shard(s)->release_residency();
+}
+
+fault::ErrorCode code_of(std::future<Csr>& f) {
+  try {
+    f.get();
+  } catch (const fault::StatusError& e) {
+    return e.code();
+  }
+  return fault::ErrorCode::kOk;
+}
+
+TEST(OutOfCore, ResidencyOrderedSchedulingBitIdenticalUnderEviction) {
+  const index_t k = 3;
+  std::vector<SpHandle> sps;
+  sps.push_back(mmap_sharded("cw_ooc_a.cwsnap", 61, k));
+  sps.push_back(mmap_sharded("cw_ooc_b.cwsnap", 62, k));
+
+  // Engine A: the out-of-core path — residency-ordered scatter, prefetch
+  // streaming cold shards, bounded prefetch wait.
+  ShardedEngineOptions a_opt;
+  a_opt.num_workers = 2;
+  a_opt.gather_workers = 2;
+  a_opt.registry.capacity_bytes = std::size_t{1} << 30;
+  a_opt.residency_order = true;
+  a_opt.prefetch = true;
+  a_opt.max_prefetch_wait = std::chrono::milliseconds(25);
+  ShardedEngine a_eng(a_opt);
+  // Engine B: the fixed 0..K-1 baseline, no prefetcher.
+  ShardedEngineOptions b_opt;
+  b_opt.num_workers = 2;
+  b_opt.gather_workers = 2;
+  b_opt.registry.capacity_bytes = std::size_t{1} << 30;
+  b_opt.residency_order = false;
+  ShardedEngine b_eng(b_opt);
+  for (const SpHandle& sp : sps) {
+    a_eng.admit(*sp);
+    b_eng.admit(*sp);
+  }
+
+  // Three rounds, the corpus force-evicted before each: cold shards reorder
+  // the residency-aware scatter differently round to round, yet every
+  // product must match the sequential reference bit for bit.
+  for (int round = 0; round < 3; ++round) {
+    evict_all(sps);
+    for (std::size_t p = 0; p < sps.size(); ++p) {
+      const Csr b = gen_request_payload(
+          sps[p]->plan().nrows(), 6, 3,
+          static_cast<std::uint64_t>(700 + round * 10) + p);
+      const Csr ref = sps[p]->multiply(b);
+      Csr got_a = a_eng.submit(sps[p], b).get();
+      Csr got_b = b_eng.submit(sps[p], b).get();
+      EXPECT_TRUE(got_a == ref) << "round " << round << " pipeline " << p;
+      EXPECT_TRUE(got_b == ref) << "round " << round << " pipeline " << p;
+    }
+  }
+  EXPECT_EQ(a_eng.stats().failed, 0u);
+  EXPECT_EQ(a_eng.stats().completed, 6u);
+  // The residency-ordered engine fed its prefetcher real demand.
+  ASSERT_NE(a_eng.prefetcher(), nullptr);
+  if (residency::supported()) {
+    const io::PrefetchStats ps = a_eng.prefetcher()->stats();
+    EXPECT_GT(ps.issued + ps.hits + ps.skipped + ps.failed, 0u);
+  }
+}
+
+TEST(OutOfCore, DispatchPrimedLookaheadBitIdenticalUnderBurst) {
+  const index_t k = 3;
+  std::vector<SpHandle> sps;
+  sps.push_back(mmap_sharded("cw_ooc_la_a.cwsnap", 71, k));
+  sps.push_back(mmap_sharded("cw_ooc_la_b.cwsnap", 72, k));
+  sps.push_back(mmap_sharded("cw_ooc_la_c.cwsnap", 73, k));
+
+  // Dispatch-primed flow control: submit floods the queue, but the
+  // prefetcher only ever sees one request's shards ahead of the dispatch
+  // stream (plus the self-prime of an unprimed first dispatch).
+  ShardedEngineOptions opt;
+  opt.num_workers = 2;
+  opt.gather_workers = 1;  // deterministic dispatch order for the window
+  opt.registry.capacity_bytes = std::size_t{1} << 30;
+  opt.prefetch = true;
+  opt.prefetch_lookahead = 1;
+  ShardedEngine eng(opt);
+  for (const SpHandle& sp : sps) eng.admit(*sp);
+  evict_all(sps);
+
+  std::vector<Csr> payloads;
+  std::vector<Csr> refs;
+  std::vector<std::future<Csr>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t p = 0; p < sps.size(); ++p) {
+      payloads.push_back(gen_request_payload(
+          sps[p]->plan().nrows(), 6, 3,
+          static_cast<std::uint64_t>(900 + round * 10) + p));
+      refs.push_back(sps[p]->multiply(payloads.back()));
+    }
+  }
+  std::size_t i = 0;
+  for (int round = 0; round < 2; ++round)
+    for (std::size_t p = 0; p < sps.size(); ++p, ++i)
+      futures.push_back(eng.submit(sps[p], payloads[i]));
+  for (i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(futures[i].get() == refs[i]) << "request " << i;
+
+  const ShardedEngineStats st = eng.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.completed, 6u);
+  ASSERT_NE(eng.prefetcher(), nullptr);
+  if (residency::supported()) {
+    // The dispatches really primed the stream pipeline (successor and/or
+    // self-primes on a cold corpus must register demand).
+    const io::PrefetchStats ps = eng.prefetcher()->stats();
+    EXPECT_GT(ps.issued + ps.hits + ps.coalesced + ps.skipped, 0u);
+  }
+}
+
+TEST(OutOfCore, ExpiredRequestTriggersNoPrefetchIo) {
+  std::vector<SpHandle> sps{mmap_sharded("cw_ooc_exp.cwsnap", 63, 3)};
+  ShardedEngineOptions opt;
+  opt.registry.capacity_bytes = std::size_t{1} << 30;
+  opt.prefetch = true;
+  ShardedEngine eng(opt);
+  eng.admit(*sps[0]);
+  evict_all(sps);  // cold: a live request WOULD issue prefetch I/O here
+
+  serve::SubmitOptions sopt;
+  sopt.deadline_at = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);  // already expired
+  const Csr b = gen_request_payload(sps[0]->plan().nrows(), 6, 3, 64);
+  auto f = eng.submit(sps[0], b, sopt);
+  EXPECT_EQ(code_of(f), fault::ErrorCode::kDeadlineExceeded);
+  eng.drain();
+
+  // A request that arrives expired is resolved without scattering a shard
+  // — and without a single byte of prefetch I/O on its behalf.
+  ASSERT_NE(eng.prefetcher(), nullptr);
+  const io::PrefetchStats ps = eng.prefetcher()->stats();
+  EXPECT_EQ(ps.issued, 0u);
+  EXPECT_EQ(ps.bytes, 0u);
+  EXPECT_EQ(eng.prefetcher()->in_flight(), 0u);
+
+  // The engine is healthy: the same request without a deadline completes.
+  Csr got = eng.submit(sps[0], b).get();
+  EXPECT_TRUE(got == sps[0]->multiply(b));
+}
+
+TEST(OutOfCore, InjectedPrefetchFaultNeverFailsARequest) {
+  fault::FaultInjector::global().reset();
+  fault::FaultSpec spec;
+  spec.probability = 1.0;  // every prefetch attempt fails
+  fault::FaultInjector::global().arm("io.prefetch", spec);
+
+  std::vector<SpHandle> sps{mmap_sharded("cw_ooc_fault.cwsnap", 65, 3)};
+  ShardedEngineOptions opt;
+  opt.registry.capacity_bytes = std::size_t{1} << 30;
+  opt.prefetch = true;
+  opt.max_prefetch_wait = std::chrono::milliseconds(25);
+  ShardedEngine eng(opt);
+  eng.admit(*sps[0]);
+
+  for (int i = 0; i < 3; ++i) {
+    evict_all(sps);
+    const Csr b = gen_request_payload(sps[0]->plan().nrows(), 6, 3,
+                                      static_cast<std::uint64_t>(80 + i));
+    // Prefetch loss degrades to inline faulting: the product is still
+    // bit-identical and the request never observes the fault.
+    Csr got = eng.submit(sps[0], b).get();
+    EXPECT_TRUE(got == sps[0]->multiply(b)) << "request " << i;
+  }
+  const ShardedEngineStats st = eng.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.completed, 3u);
+  if (residency::supported()) {
+    // The faults really fired — they landed on tickets, not requests.
+    EXPECT_GE(eng.prefetcher()->stats().failed, 1u);
+  }
+  fault::FaultInjector::global().reset();
+}
+
+}  // namespace
+}  // namespace cw::shard

@@ -130,6 +130,8 @@
 #include "obs/watchdog.hpp"
 #include "serve/engine.hpp"
 #include "serve/fingerprint.hpp"
+#include "io/prefetcher.hpp"
+#include "serve/paging_governor.hpp"
 #include "serve/snapshot.hpp"
 #include "shard/engine.hpp"
 #include "shard/snapshot.hpp"
@@ -329,6 +331,14 @@ struct ServeBenchFlags {
   long stall_ms = 0;        // CW_SERVE_BENCH_STALL_MS test hook
   long deadline_ms = 0;     // per-request deadline; 0 = none
   std::vector<std::string> faults;  // injector specs, one per --fault
+  /// Registry capacity in bytes (and, for sharded snapshots, the paging
+  /// governor's RAM-budget watermark — enforced in BOTH --prefetch
+  /// modes). < 0 = the 512 MB default (no governor).
+  long long registry_bytes = -1;
+  /// Out-of-core A/B knob (sharded snapshots): 1 = prefetcher + residency
+  /// ordering, 0 = neither (fixed-order inline-faulting baseline),
+  /// -1 = engine defaults (no prefetcher).
+  int prefetch = -1;
 };
 
 /// Per-request submit options from the bench flags (one fresh deadline per
@@ -561,11 +571,15 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
     payloads.push_back(gen_request_payload(
         sp->plan().ncols(), bcols, 3, 1000 + static_cast<std::uint64_t>(i)));
 
+  const std::size_t registry_bytes =
+      flags.registry_bytes >= 0
+          ? static_cast<std::size_t>(flags.registry_bytes)
+          : std::size_t{512} << 20;
   shard::ShardedEngineOptions eopt;
   eopt.num_workers = workers;
   eopt.gather_workers = std::max(2, clients);
   eopt.batch_window = std::chrono::microseconds(flags.batch_window_us);
-  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  eopt.registry.capacity_bytes = registry_bytes;
   eopt.registry.admission = flags.admission;
   eopt.registry.prefault_on_admit = flags.prefault;
   eopt.trace_sample_rate = flags.trace_sample;
@@ -573,11 +587,43 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
     eopt.flight_slow_threshold_ms =
         static_cast<double>(flags.slow_trace_us) / 1000.0;
   eopt.debug_stall_first = std::chrono::milliseconds(flags.stall_ms);
+  if (flags.prefetch == 1) {
+    eopt.prefetch = true;
+    eopt.residency_order = true;
+  } else if (flags.prefetch == 0) {
+    eopt.residency_order = false;
+  }
   shard::ShardedEngine engine(eopt);
   engine.admit(*sp);
 
+  // An explicit --registry-bytes RAM budget arms the paging governor in
+  // BOTH prefetch modes — it enforces the budget as a resident-mapped-
+  // bytes watermark (the sampler tick releases cold shards' residency
+  // under pressure and re-warms watched pipelines), so the --prefetch
+  // on|off A/B compares streaming policy under the SAME memory pressure,
+  // not budget-enforced against unlimited. With --prefetch off the
+  // governor leans on a never-started prefetcher: its re-warm demand
+  // resolves kSkipped and releases proceed as usual.
+  std::optional<io::ShardPrefetcher> idle_prefetcher;
+  std::optional<serve::PagingGovernor> governor;
+  if (flags.registry_bytes >= 0) {
+    serve::PagingGovernorOptions gopt;
+    gopt.high_watermark_bytes = registry_bytes;
+    gopt.metrics = engine.metrics();
+    gopt.events = engine.events();
+    if (engine.prefetcher() == nullptr) idle_prefetcher.emplace();
+    governor.emplace(*engine.registry(),
+                     engine.prefetcher() != nullptr ? *engine.prefetcher()
+                                                    : *idle_prefetcher,
+                     gopt);
+    // Queued requests hold their shards out of the release walk — the LRU
+    // tail under round-robin load is exactly the next request's shards.
+    engine.set_governor(&*governor);
+  }
+
   obs::PeriodicSampler sampler(engine.metrics(), std::chrono::milliseconds(50));
   engine.register_probes(sampler);
+  if (governor) governor->register_probes(sampler);
   sampler.start();
 
   std::optional<ForensicsHarness> forensics;
@@ -599,6 +645,7 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
   }
   for (auto& t : threads) t.join();
   engine.drain();
+  engine.set_governor(nullptr);  // the governor dies before the engine does
   const double engine_s = t_engine.seconds();
   sampler.stop();
   sampler.sample_once();  // final probe sweep so gauges reflect the drained end state
@@ -637,6 +684,35 @@ int cmd_serve_bench_sharded(const std::string& input, int clients,
     std::printf("  shard retries    %llu (%llu recovered the product)\n",
                 static_cast<unsigned long long>(st.shard_retries),
                 static_cast<unsigned long long>(st.shard_retry_success));
+  // Paging stats: how much of the run was served cold, and what the
+  // prefetcher/governor did about it. Printed whenever any of the paging
+  // plane was armed so the --prefetch on|off A/B always has both lines
+  // to compare (an all-warm off run legitimately reads "0 cold").
+  if (engine.prefetcher() != nullptr || governor || st.cold_multiplies > 0) {
+    std::string line = std::to_string(st.cold_multiplies) +
+                       " cold shard multiplies of " +
+                       std::to_string(st.shard_multiplies);
+    if (engine.prefetcher() != nullptr) {
+      const io::PrefetchStats ps = engine.prefetcher()->stats();
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ", prefetch %llu issued / %llu hits (%.0f%% hit rate, "
+                    "%.1f MB streamed)",
+                    static_cast<unsigned long long>(ps.issued),
+                    static_cast<unsigned long long>(ps.hits),
+                    ps.hit_rate() * 100,
+                    static_cast<double>(ps.bytes) / 1e6);
+      line += buf;
+    }
+    if (governor) {
+      const serve::PagingGovernorStats gs = governor->stats();
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", governor released %.1f MB",
+                    static_cast<double>(gs.released_bytes) / 1e6);
+      line += buf;
+    }
+    std::printf("  paging           %s\n", line.c_str());
+  }
   const int rc =
       print_fault_summary("sharded", st.submitted, st.completed, st.failed,
                           0, st.errors, requests, flags);
@@ -692,7 +768,9 @@ int cmd_serve_bench(const std::string& input, int clients, int requests,
   serve::EngineOptions eopt;
   eopt.num_workers = workers;
   eopt.batch_window = std::chrono::microseconds(batch_window_us);
-  eopt.registry.capacity_bytes = std::size_t{512} << 20;
+  eopt.registry.capacity_bytes =
+      flags.registry_bytes >= 0 ? static_cast<std::size_t>(flags.registry_bytes)
+                                : std::size_t{512} << 20;
   eopt.registry.admission = flags.admission;
   eopt.registry.prefault_on_admit = flags.prefault;
   eopt.trace_sample_rate = flags.trace_sample;
@@ -1097,6 +1175,7 @@ int usage() {
                " t.json] [--trace-sample R]\n"
                "                     [--slow-trace-us T] [--dump-out d.json]\n"
                "                     [--deadline-ms D] [--fault site=spec]...\n"
+               "                     [--registry-bytes N] [--prefetch on|off]\n"
                "  cwtool metrics dump <input|file.cwsnap> [requests] [--json]\n"
                "  cwtool debug dump <input|file.cwsnap> [requests]"
                " [--out d.json]\n"
@@ -1215,6 +1294,16 @@ int main(int argc, char** argv) {
         } else if (arg == "--fault") {
           if (i + 1 >= argc) return usage();
           flags.faults.emplace_back(argv[++i]);
+        } else if (arg == "--registry-bytes") {
+          if (i + 1 >= argc) return usage();
+          flags.registry_bytes = std::atoll(argv[++i]);
+          if (flags.registry_bytes < 0) return usage();
+        } else if (arg == "--prefetch") {
+          if (i + 1 >= argc) return usage();
+          const std::string v = argv[++i];
+          if (v == "on") flags.prefetch = 1;
+          else if (v == "off") flags.prefetch = 0;
+          else return usage();
         } else {
           pos.push_back(arg);
         }
